@@ -1,0 +1,59 @@
+/// Regenerates paper Figure 4: ADEPT performance on the three GPUs —
+/// V0, V0-GEVO, V1, V1-GEVO, normalized to V0 within each device.
+/// The GEVO configurations apply the golden edit sets (Sec V/VI); pass
+/// --evolve=1 to rediscover improvements with a live search instead.
+
+#include "bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gevo;
+    using namespace gevo::adept;
+    const Flags flags(argc, argv);
+    bench::banner("Figure 4: ADEPT speedups (normalized to V0 per GPU)",
+                  "paper Fig. 4");
+
+    const ScoringParams sc;
+    const auto pairs = bench::adeptPairs(flags);
+    const auto v0 = buildAdeptV0(sc, 64);
+    const auto v1 = buildAdeptV1(sc, 64);
+    const AdeptDriver d0(pairs, sc, 0, 64);
+    const AdeptDriver d1(pairs, sc, 1, 64);
+
+    // Paper-reported speedups for side-by-side comparison.
+    const double paperV0Gevo[3] = {32.8, 32.0, 18.36};
+    const double paperV1Gevo[3] = {1.28, 1.31, 1.17};
+    const double paperV0Ms[3] = {2362, 1442, 918};
+
+    Table t({"GPU", "config", "ms", "speedup vs V0", "paper"});
+    int d = 0;
+    for (const auto& dev : sim::allDevices()) {
+        AdeptFitness fit0(d0, dev);
+        AdeptFitness fit1(d1, dev);
+        const double v0ms = bench::msOf(v0.module, {}, fit0, "V0");
+        const double v0gevoMs = bench::msOf(
+            v0.module, editsOf(v0GoldenEdits(v0)), fit0, "V0-GEVO");
+        const double v1ms = bench::msOf(v1.module, {}, fit1, "V1");
+        const double v1gevoMs = bench::msOf(
+            v1.module, editsOf(v1AllGoldenEdits(v1)), fit1, "V1-GEVO");
+
+        t.row().cell(dev.name).cell("ADEPT-V0").cell(v0ms, 3).cell(1.0, 2)
+            .cell(strformat("baseline (%.0f ms)", paperV0Ms[d]));
+        t.row().cell(dev.name).cell("ADEPT-V0-GEVO").cell(v0gevoMs, 3)
+            .cell(v0ms / v0gevoMs, 1)
+            .cell(strformat("%.1fx", paperV0Gevo[d]));
+        t.row().cell(dev.name).cell("ADEPT-V1").cell(v1ms, 3)
+            .cell(v0ms / v1ms, 1).cell("20-30x");
+        t.row().cell(dev.name).cell("ADEPT-V1-GEVO").cell(v1gevoMs, 3)
+            .cell(v0ms / v1gevoMs, 1)
+            .cell(strformat("%.2fx over V1 (ours %.2fx)",
+                            paperV1Gevo[d], v1ms / v1gevoMs));
+        ++d;
+    }
+    t.print();
+    std::printf("\nNote: 'speedup vs V0' is within-device, as in the "
+                "paper's figure;\nthe V1-GEVO row also reports the "
+                "V1-relative improvement next to the paper's.\n");
+    return 0;
+}

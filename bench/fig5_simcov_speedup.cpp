@@ -1,0 +1,40 @@
+/// Regenerates paper Figure 5: SIMCoV performance on the three GPUs,
+/// baseline vs GEVO-optimized (golden edit set), normalized per device.
+
+#include "bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gevo;
+    using namespace gevo::simcov;
+    const Flags flags(argc, argv);
+    bench::banner("Figure 5: SIMCoV speedups (normalized per GPU)",
+                  "paper Fig. 5");
+
+    const auto cfg = bench::simcovConfig(flags);
+    const auto built = buildSimcov(cfg);
+    const SimcovDriver driver(cfg);
+
+    const double paperSpeedup[3] = {1.29, 1.43, 1.17};
+    const double paperBaseMs[3] = {716, 512, 344};
+
+    Table t({"GPU", "config", "ms", "speedup", "paper"});
+    int d = 0;
+    for (const auto& dev : sim::allDevices()) {
+        SimcovFitness fit(driver, dev);
+        const double base =
+            bench::msOf(built.module, {}, fit, "SIMCoV baseline");
+        const double gevo = bench::msOf(
+            built.module, editsOf(allGoldenEdits(built)), fit,
+            "SIMCoV-GEVO");
+        t.row().cell(dev.name).cell("SIMCoV").cell(base, 3).cell(1.0, 2)
+            .cell(strformat("baseline (%.0f ms)", paperBaseMs[d]));
+        t.row().cell(dev.name).cell("SIMCoV-GEVO").cell(gevo, 3)
+            .cell(base / gevo, 2)
+            .cell(strformat("%.2fx", paperSpeedup[d]));
+        ++d;
+    }
+    t.print();
+    return 0;
+}

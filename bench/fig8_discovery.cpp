@@ -1,0 +1,84 @@
+/// Regenerates paper Figure 8: the discovery sequence of the epistatic
+/// edits across generations, by recapitulating a (seeded, scaled) GEVO
+/// run on ADEPT-V1 and tracing when each golden edit first appears in the
+/// generation-best individual.
+///
+/// Paper: e6 first, e8 at generation 47, e10 at 213, e5 at 221 over 303
+/// generations. The scaled default (--gens=15, --pop=20) rarely assembles
+/// the full cluster — the trace reports exactly what was and wasn't
+/// discovered, alongside the fitness trajectory.
+
+#include "analysis/edit_analysis.h"
+#include "bench_util.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gevo;
+    using namespace gevo::adept;
+    const Flags flags(argc, argv);
+    bench::banner("Figure 8: edit discovery sequence (ADEPT-V1, P100)",
+                  "paper Fig. 8");
+
+    const ScoringParams sc;
+    const auto pairs = bench::adeptPairs(flags, 4);
+    const auto v1 = buildAdeptV1(sc, 64);
+    const AdeptDriver driver(pairs, sc, 1, 64);
+    AdeptFitness fitness(driver, sim::p100());
+
+    core::EvolutionParams params;
+    params.populationSize =
+        static_cast<std::uint32_t>(flags.getInt("pop", 28));
+    params.generations =
+        static_cast<std::uint32_t>(flags.getInt("gens", 50));
+    params.elitism = 2;
+    params.seed = static_cast<std::uint64_t>(flags.getInt("seed", 2022));
+
+    std::printf("running GEVO: pop %u, %u generations, seed %llu\n\n",
+                params.populationSize, params.generations,
+                static_cast<unsigned long long>(params.seed));
+    core::EvolutionEngine engine(v1.module, fitness, params);
+    const auto result = engine.run();
+
+    std::printf("fitness trajectory (speedup over baseline):\n");
+    for (const auto& log : result.history) {
+        std::printf("  gen %3u: best %.3fx (valid %zu, evals %zu, "
+                    "best has %zu edits)\n",
+                    log.generation, result.baselineMs / log.bestMs,
+                    log.validCount, log.evaluations,
+                    log.bestEdits.size());
+    }
+
+    const auto cluster = v1EpistaticCluster(v1);
+    std::vector<mut::Edit> targets;
+    std::vector<std::string> names;
+    for (const auto& n : cluster) {
+        targets.push_back(n.edit);
+        names.push_back(n.name);
+    }
+    for (const auto& n : v1IndependentEdits(v1)) {
+        targets.push_back(n.edit);
+        names.push_back(n.name);
+    }
+    const auto gens =
+        analysis::discoveryGenerations(result.history, targets);
+
+    std::printf("\ndiscovery of golden edits in the generation-best:\n");
+    const std::map<std::string, std::string> paperGens = {
+        {"e6", "first"}, {"e8", "gen 47"}, {"e10", "gen 213"},
+        {"e5", "gen 221"}};
+    Table t({"edit", "discovered at", "paper"});
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const auto note = paperGens.find(names[i]);
+        t.row().cell(names[i])
+            .cell(gens[i] ? strformat("gen %u", *gens[i])
+                          : "not discovered at this budget")
+            .cell(note != paperGens.end() ? note->second : "");
+    }
+    t.print();
+    std::printf(
+        "\nfinal best: %.3fx with %zu edits (golden ceiling: the full\n"
+        "edit set reaches ~1.28x; see bench/fig4_adept_speedup)\n",
+        result.speedup(), result.best.edits.size());
+    return 0;
+}

@@ -1,0 +1,109 @@
+/// google-benchmark microbenchmarks for the substrates themselves:
+/// simulator interpreter throughput, patch application, the optimizer
+/// pipeline and the CPU alignment oracle. These guard against regressions
+/// in the machinery that every experiment above depends on.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/adept/cpu_reference.h"
+#include "apps/adept/golden_edits.h"
+#include "ir/parser.h"
+#include "mutation/patch.h"
+#include "opt/passes.h"
+#include "sim/device_memory.h"
+#include "sim/executor.h"
+#include "sim/program.h"
+
+namespace {
+
+using namespace gevo;
+
+constexpr const char* kLoopKernel = R"(
+kernel @loop params 1 regs 24 shared 256 local 0 {
+entry:
+    r1 = tid
+    r2 = mov 0
+    r3 = mov 0
+    br header
+header:
+    r4 = mul.i32 r2, 3
+    r5 = add.i32 r4, r1
+    r3 = add.i32 r3, r5
+    r6 = mul.i32 r2, 4
+    r7 = cvt.i32.i64 r6
+    st.i32.shared r7, r3
+    r2 = add.i32 r2, 1
+    r8 = cmp.lt.i32 r2, 64
+    brc r8, header, exit
+exit:
+    r9 = cvt.i32.i64 r1
+    r10 = mul.i64 r9, 4
+    r11 = add.i64 r0, r10
+    st.i32.global r11, r3
+    ret
+}
+)";
+
+void
+BM_SimulatorLaneThroughput(benchmark::State& state)
+{
+    auto parsed = ir::parseModule(kLoopKernel);
+    const auto prog = sim::Program::decode(parsed.module.function(0));
+    std::uint64_t lanes = 0;
+    for (auto _ : state) {
+        sim::DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(256 * 4);
+        const auto res = sim::launchKernel(
+            sim::p100(), mem, prog, {4, 64},
+            {static_cast<std::uint64_t>(out)});
+        benchmark::DoNotOptimize(res.stats.cycles);
+        lanes += res.stats.laneInstrs;
+    }
+    state.counters["lane_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(lanes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorLaneThroughput);
+
+void
+BM_PatchApplication(benchmark::State& state)
+{
+    const auto built = adept::buildAdeptV1(adept::ScoringParams{}, 64);
+    const auto edits = adept::editsOf(adept::v1AllGoldenEdits(built));
+    for (auto _ : state) {
+        auto variant = mut::applyPatch(built.module, edits);
+        benchmark::DoNotOptimize(variant.instrCount());
+    }
+}
+BENCHMARK(BM_PatchApplication);
+
+void
+BM_CleanupPipeline(benchmark::State& state)
+{
+    const auto built = adept::buildAdeptV1(adept::ScoringParams{}, 64);
+    const auto edits = adept::editsOf(adept::v1AllGoldenEdits(built));
+    for (auto _ : state) {
+        auto variant = mut::applyPatch(built.module, edits);
+        opt::runCleanupPipeline(variant);
+        benchmark::DoNotOptimize(variant.instrCount());
+    }
+}
+BENCHMARK(BM_CleanupPipeline);
+
+void
+BM_CpuAlignmentOracle(benchmark::State& state)
+{
+    adept::SequenceSetConfig cfg;
+    cfg.numPairs = 8;
+    cfg.seed = 5;
+    const auto pairs = adept::generatePairs(cfg);
+    for (auto _ : state) {
+        const auto results =
+            adept::alignAllCpu(pairs, adept::ScoringParams{}, true);
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_CpuAlignmentOracle);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+/// Regenerates paper Table I: architectural characteristics of the GPUs.
+
+#include "bench_util.h"
+#include "sim/device_config.h"
+
+int
+main(int argc, char** argv)
+{
+    (void)argc;
+    (void)argv;
+    using namespace gevo;
+    bench::banner("Table I: GPU architectural characteristics",
+                  "paper Table I");
+    Table t({"GPU", "Architecture Family", "CUDA cores", "Core Frequency",
+             "Memory Size"});
+    for (const auto& dev : sim::allDevices()) {
+        t.row()
+            .cell(dev.name)
+            .cell(dev.family == sim::ArchFamily::Pascal ? "Pascal"
+                                                        : "Volta")
+            .cell(static_cast<long long>(dev.cudaCores()))
+            .cell(std::to_string(dev.clockMhz) + " Mhz")
+            .cell(std::to_string(dev.memoryGb) + "GB " + dev.memoryKind);
+    }
+    t.print();
+    return 0;
+}

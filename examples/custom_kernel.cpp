@@ -1,0 +1,101 @@
+/// Bring-your-own-kernel: write any CUDA-like kernel in the textual IR,
+/// point GEVO at it with your own test oracle, and inspect what the
+/// simulator's profiler says about it. Here: a matrix transpose whose
+/// shared-memory staging has a bank-conflict bug GEVO can discover.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "ir/parser.h"
+#include "sim/device_memory.h"
+#include "sim/executor.h"
+#include "sim/program.h"
+
+using namespace gevo;
+
+// 32x32 tile transpose, one block. The shared tile is laid out WITHOUT
+// padding, so column reads conflict across all 32 banks — the classic
+// optimization-guide example. GEVO can reduce the conflicts by rerouting
+// the staging addresses.
+constexpr const char* kTranspose = R"(
+kernel @transpose params 2 regs 32 shared 4096 local 0 {
+entry:
+    r2 = tid
+    r3 = rem.i32 r2, 32
+    r4 = div.i32 r2, 32
+    ; stage in[row=r4][col=r3] into tile[r3][r4]  (transposed write)
+    r5 = mul.i32 r4, 32
+    r6 = add.i32 r5, r3
+    r7 = cvt.i32.i64 r6
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    r10 = ld.i32.global r9
+    r11 = mul.i32 r3, 32
+    r12 = add.i32 r11, r4
+    r13 = cvt.i32.i64 r12
+    r14 = mul.i64 r13, 4
+    st.i32.shared r14, r10
+    bar.sync
+    ; write tile[r4][r3] out linearly
+    r15 = mul.i32 r4, 32
+    r16 = add.i32 r15, r3
+    r17 = cvt.i32.i64 r16
+    r18 = mul.i64 r17, 4
+    r19 = ld.i32.shared r18
+    r20 = add.i64 r1, r18
+    st.i32.global r20, r19
+    ret
+}
+)";
+
+int
+main()
+{
+    auto parsed = ir::parseModule(kTranspose);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "parse: %s\n", parsed.error.c_str());
+        return 1;
+    }
+    const auto prog = sim::Program::decode(parsed.module.function(0));
+
+    sim::DeviceMemory mem(1 << 20);
+    const auto in = mem.alloc(1024 * 4);
+    const auto out = mem.alloc(1024 * 4);
+    for (int i = 0; i < 1024; ++i)
+        mem.write<std::int32_t>(in + 4 * i, i);
+
+    const auto res = sim::launchKernel(
+        sim::p100(), mem, prog, {1, 1024},
+        {static_cast<std::uint64_t>(in), static_cast<std::uint64_t>(out)},
+        /*profileLocs=*/true);
+    if (!res.ok()) {
+        std::fprintf(stderr, "fault: %s\n", res.fault.detail.c_str());
+        return 1;
+    }
+
+    // Verify the transpose.
+    int wrong = 0;
+    for (int r = 0; r < 32; ++r)
+        for (int c = 0; c < 32; ++c)
+            wrong += mem.read<std::int32_t>(out + 4 * (r * 32 + c)) !=
+                             c * 32 + r
+                         ? 1
+                         : 0;
+
+    std::printf("transpose: %s\n", wrong == 0 ? "correct" : "WRONG");
+    std::printf("simulated: %.4f ms, %llu warp instrs, %llu extra "
+                "bank-conflict ways, %llu global sectors\n",
+                res.stats.ms,
+                static_cast<unsigned long long>(res.stats.warpInstrs),
+                static_cast<unsigned long long>(
+                    res.stats.sharedConflictWays),
+                static_cast<unsigned long long>(res.stats.globalSectors));
+    std::printf("\nThe %llu conflict ways come from the unpadded tile — "
+                "exactly what a\nGEVO run over this kernel (see "
+                "examples/quickstart.cpp for the recipe)\ndiscovers and "
+                "what the paper's Sec VII calls counter-intuitive "
+                "optimization\nspace that EC explores mechanically.\n",
+                static_cast<unsigned long long>(
+                    res.stats.sharedConflictWays));
+    return 0;
+}

@@ -1,0 +1,244 @@
+#include "analysis/edit_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace gevo::analysis {
+
+using mut::Edit;
+
+EditSetFitness
+makeEditSetFitness(const ir::Module& base,
+                   const core::FitnessFunction& fitness)
+{
+    return [&base, &fitness](const std::vector<Edit>& edits) {
+        return core::evaluateVariant(base, edits, fitness);
+    };
+}
+
+namespace {
+
+/// Set difference by index list.
+std::vector<Edit>
+without(const std::vector<Edit>& edits, const std::vector<bool>& removed)
+{
+    std::vector<Edit> out;
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+        if (!removed[i])
+            out.push_back(edits[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+MinimizationResult
+minimizeEdits(const std::vector<Edit>& edits, const EditSetFitness& fitness,
+              double threshold)
+{
+    MinimizationResult result;
+    const auto full = fitness(edits);
+    GEVO_ASSERT(full.valid, "minimization needs a valid starting set");
+    result.fullMs = full.ms;
+
+    // Algorithm 1: walk each edit; measure f(S - weaks) against
+    // f(S - weaks - ei); drop ei when the relative gain is below the
+    // threshold. "weaks" accumulates, so redundant stepping-stones are
+    // caught (paper Sec V-A).
+    std::vector<bool> weak(edits.size(), false);
+    auto current = fitness(edits);
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+        weak[i] = true;
+        const auto withoutI = fitness(without(edits, weak));
+        if (!withoutI.valid) {
+            weak[i] = false; // removal breaks the program: edit matters
+            continue;
+        }
+        const double gain = (withoutI.ms - current.ms) / withoutI.ms;
+        if (gain < threshold) {
+            current = withoutI; // confirmed weak; keep it dropped
+        } else {
+            weak[i] = false;
+        }
+    }
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+        if (weak[i]) {
+            result.dropped.push_back(edits[i]);
+        } else {
+            result.kept.push_back(edits[i]);
+        }
+    }
+    result.keptMs = fitness(result.kept).ms;
+    return result;
+}
+
+EpistasisResult
+separateEpistasis(const std::vector<Edit>& edits,
+                  const EditSetFitness& fitness, double agreement)
+{
+    EpistasisResult result;
+    const auto baseline = fitness({});
+    GEVO_ASSERT(baseline.valid, "baseline must be valid");
+    result.baselineMs = baseline.ms;
+
+    // Algorithm 2.
+    std::vector<bool> indep(edits.size(), false);
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+        const auto solo = fitness({edits[i]});
+        if (!solo.valid)
+            continue; // not individually applicable -> epistatic
+
+        // Context = S minus already-identified independents minus ei.
+        std::vector<Edit> context;
+        for (std::size_t j = 0; j < edits.size(); ++j) {
+            if (j != i && !indep[j])
+                context.push_back(edits[j]);
+        }
+        const auto ctxWithout = fitness(context);
+        std::vector<Edit> ctxPlus = context;
+        ctxPlus.push_back(edits[i]);
+        const auto ctxWith = fitness(ctxPlus);
+        if (!ctxWithout.valid || !ctxWith.valid)
+            continue;
+
+        const double perfIncr = (baseline.ms - solo.ms) / baseline.ms;
+        const double perfDecr = (ctxWithout.ms - ctxWith.ms) / ctxWithout.ms;
+        const double denom =
+            std::max(std::abs(perfIncr), std::abs(perfDecr));
+        const bool agrees =
+            denom < 1e-4 ||
+            std::abs(perfIncr - perfDecr) <= agreement * denom;
+        if (agrees)
+            indep[i] = true;
+    }
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+        if (indep[i]) {
+            result.independent.push_back(edits[i]);
+        } else {
+            result.epistatic.push_back(edits[i]);
+        }
+    }
+    result.independentMs = fitness(result.independent).ms;
+    result.epistaticMs = fitness(result.epistatic).ms;
+    return result;
+}
+
+std::vector<SubsetResult>
+searchSubsets(const std::vector<Edit>& epistatic,
+              const EditSetFitness& fitness)
+{
+    GEVO_ASSERT(epistatic.size() <= 20,
+                "exhaustive subset search capped at 20 edits (paper "
+                "Sec VII notes the same scaling limit)");
+    const auto baseline = fitness({});
+    const double baseMs = baseline.ms;
+
+    std::vector<SubsetResult> results;
+    const std::uint32_t total = 1u << epistatic.size();
+    results.reserve(total);
+    for (std::uint32_t mask = 0; mask < total; ++mask) {
+        SubsetResult r;
+        r.mask = mask;
+        std::vector<Edit> subset;
+        for (std::size_t i = 0; i < epistatic.size(); ++i) {
+            if (mask & (1u << i))
+                subset.push_back(epistatic[i]);
+        }
+        const auto fit = fitness(subset);
+        r.valid = fit.valid;
+        if (fit.valid) {
+            r.ms = fit.ms;
+            r.improvement = (baseMs - fit.ms) / baseMs;
+        }
+        results.push_back(r);
+    }
+    return results;
+}
+
+std::vector<DependencyEdge>
+dependencyGraph(std::size_t numEdits,
+                const std::vector<SubsetResult>& subsets)
+{
+    std::vector<DependencyEdge> edges;
+    for (std::size_t i = 0; i < numEdits; ++i) {
+        // Is edit i valid on its own?
+        bool soloValid = false;
+        for (const auto& s : subsets) {
+            if (s.mask == (1u << i))
+                soloValid = s.valid;
+        }
+        if (soloValid)
+            continue;
+        for (std::size_t j = 0; j < numEdits; ++j) {
+            if (j == i)
+                continue;
+            bool dependency = true;
+            bool sawValidWithI = false;
+            for (const auto& s : subsets) {
+                if (!(s.mask & (1u << i)) || !s.valid)
+                    continue;
+                sawValidWithI = true;
+                if (!(s.mask & (1u << j))) {
+                    dependency = false;
+                    break;
+                }
+            }
+            if (dependency && sawValidWithI)
+                edges.push_back({i, j});
+        }
+    }
+    return edges;
+}
+
+std::string
+toDot(std::size_t numEdits, const std::vector<SubsetResult>& subsets,
+      const std::vector<DependencyEdge>& edges,
+      const std::vector<std::string>& names)
+{
+    std::string out = "digraph epistasis {\n";
+    for (std::size_t i = 0; i < numEdits; ++i) {
+        double solo = 0.0;
+        bool soloValid = false;
+        for (const auto& s : subsets) {
+            if (s.mask == (1u << i)) {
+                soloValid = s.valid;
+                solo = s.improvement;
+            }
+        }
+        const std::string label =
+            i < names.size() ? names[i] : strformat("e%zu", i);
+        out += strformat(
+            "  n%zu [label=\"%s\\n%s\"];\n", i, label.c_str(),
+            soloValid ? strformat("%.1f%%", solo * 100).c_str()
+                      : "exec failed");
+    }
+    for (const auto& e : edges)
+        out += strformat("  n%zu -> n%zu;\n", e.from, e.to);
+    out += "}\n";
+    return out;
+}
+
+std::vector<std::optional<std::uint32_t>>
+discoveryGenerations(const std::vector<core::GenerationLog>& history,
+                     const std::vector<Edit>& targets)
+{
+    std::vector<std::optional<std::uint32_t>> out(targets.size());
+    for (const auto& log : history) {
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            if (out[t].has_value())
+                continue;
+            for (const auto& e : log.bestEdits) {
+                if (e == targets[t]) {
+                    out[t] = log.generation;
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace gevo::analysis

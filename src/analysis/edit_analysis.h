@@ -1,0 +1,108 @@
+/// \file
+/// The paper's Section V analysis pipeline over evolved edit sets:
+///
+/// * Algorithm 1 — weak-edit minimization: iteratively drop edits whose
+///   in-context contribution is below 1% (1394 -> 17 on ADEPT-V1).
+/// * Algorithm 2 — independent/epistatic separation: an edit is
+///   independent when its solo gain matches its in-context marginal gain;
+///   the remainder is the epistatic set (17 -> 5 + 12).
+/// * Exhaustive subset search over the (small) epistatic set, yielding the
+///   Figure 7 dependency structure.
+/// * Discovery-sequence tracing from a search history (Figure 8).
+
+#ifndef GEVO_ANALYSIS_EDIT_ANALYSIS_H
+#define GEVO_ANALYSIS_EDIT_ANALYSIS_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/fitness.h"
+#include "mutation/edit.h"
+
+namespace gevo::analysis {
+
+/// Fitness of an edit set: valid + milliseconds, or invalid.
+using EditSetFitness =
+    std::function<core::FitnessResult(const std::vector<mut::Edit>&)>;
+
+/// Convenience: bind (base module, fitness function) into an EditSetFitness
+/// going through core::evaluateVariant (patch + cleanup + verify + run).
+EditSetFitness makeEditSetFitness(const ir::Module& base,
+                                  const core::FitnessFunction& fitness);
+
+/// Result of Algorithm 1.
+struct MinimizationResult {
+    std::vector<mut::Edit> kept;    ///< Edits that matter (>= threshold).
+    std::vector<mut::Edit> dropped; ///< Weak edits.
+    double fullMs = 0.0;            ///< Fitness with every edit applied.
+    double keptMs = 0.0;            ///< Fitness with only the kept edits.
+};
+
+/// Algorithm 1: identify weak edits at the given relative threshold
+/// (paper: 1%). \pre the full edit set evaluates as valid.
+MinimizationResult minimizeEdits(const std::vector<mut::Edit>& edits,
+                                 const EditSetFitness& fitness,
+                                 double threshold = 0.01);
+
+/// Result of Algorithm 2.
+struct EpistasisResult {
+    std::vector<mut::Edit> independent;
+    std::vector<mut::Edit> epistatic;
+    double baselineMs = 0.0;       ///< Unmodified program.
+    double independentMs = 0.0;    ///< Baseline + independent set.
+    double epistaticMs = 0.0;      ///< Baseline + epistatic set.
+};
+
+/// Algorithm 2: separate independent from epistatic edits. An edit is
+/// independent when it is individually applicable and removable, and its
+/// solo improvement matches its in-context marginal improvement within
+/// \p agreement (relative).
+EpistasisResult separateEpistasis(const std::vector<mut::Edit>& edits,
+                                  const EditSetFitness& fitness,
+                                  double agreement = 0.3);
+
+/// One subset evaluation from the exhaustive epistatic search.
+struct SubsetResult {
+    std::uint32_t mask = 0;     ///< Bit i = edit i of the epistatic set.
+    bool valid = false;
+    double ms = 0.0;
+    double improvement = 0.0;   ///< (baseline - ms) / baseline; 0 if invalid.
+};
+
+/// Exhaustively evaluate every subset of \p epistatic (paper Sec V-C;
+/// feasible because the set is small — capped at 20 edits).
+std::vector<SubsetResult>
+searchSubsets(const std::vector<mut::Edit>& epistatic,
+              const EditSetFitness& fitness);
+
+/// Dependency edge: edit `from` only functions when `to` is present.
+struct DependencyEdge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+};
+
+/// Derive the Figure 7 dependency graph from subset results: edit j is a
+/// dependency of edit i when every valid subset containing i also
+/// contains j (and i alone is invalid).
+std::vector<DependencyEdge>
+dependencyGraph(std::size_t numEdits,
+                const std::vector<SubsetResult>& subsets);
+
+/// Render subset results + dependencies as Graphviz DOT (Figure 7).
+std::string toDot(std::size_t numEdits,
+                  const std::vector<SubsetResult>& subsets,
+                  const std::vector<DependencyEdge>& edges,
+                  const std::vector<std::string>& names);
+
+/// First generation at which each target edit appears in the
+/// generation-best individual (Figure 8); nullopt when never discovered.
+std::vector<std::optional<std::uint32_t>>
+discoveryGenerations(const std::vector<core::GenerationLog>& history,
+                     const std::vector<mut::Edit>& targets);
+
+} // namespace gevo::analysis
+
+#endif // GEVO_ANALYSIS_EDIT_ANALYSIS_H

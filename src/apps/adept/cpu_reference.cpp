@@ -1,0 +1,105 @@
+#include "apps/adept/cpu_reference.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gevo::adept {
+
+namespace {
+
+constexpr std::int32_t kNegInf = -(1 << 28);
+
+/// Column-major Gotoh scan; returns (score, endA=i, endB=j), positions
+/// 0-based, -1/-1 for the empty alignment. Ties keep the smallest j, then
+/// the smallest i — exactly the GPU kernel's per-thread (ascending i,
+/// strict >) update followed by the ascending-j (strict >) reduction.
+AlignmentResult
+forwardScan(const std::string& a, const std::string& b,
+            const ScoringParams& sc)
+{
+    const auto n = static_cast<std::int32_t>(a.size());
+    const auto m = static_cast<std::int32_t>(b.size());
+    AlignmentResult best;
+
+    // Column-major: process columns j (positions of b); each column needs
+    // the previous column's H and E plus a running F per row.
+    std::vector<std::int32_t> prevColH(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<std::int32_t> prevColE(static_cast<std::size_t>(n) + 1,
+                                       kNegInf);
+    std::vector<std::int32_t> curColH(prevColH);
+    std::vector<std::int32_t> curColE(prevColE);
+
+    for (std::int32_t j = 0; j < m; ++j) {
+        curColH[0] = 0;
+        curColE[0] = kNegInf;
+        std::int32_t f = kNegInf;
+        for (std::int32_t i = 0; i < n; ++i) {
+            const std::int32_t s =
+                a[static_cast<std::size_t>(i)] ==
+                        b[static_cast<std::size_t>(j)]
+                    ? sc.match
+                    : sc.mismatch;
+            const std::int32_t e = std::max(prevColH[i + 1] - sc.gapOpen,
+                                            prevColE[i + 1] - sc.gapExtend);
+            f = std::max(curColH[i] - sc.gapOpen, f - sc.gapExtend);
+            std::int32_t h = std::max(0, prevColH[i] + s);
+            h = std::max(h, e);
+            h = std::max(h, f);
+            curColH[i + 1] = h;
+            curColE[i + 1] = e;
+            if (h > best.score) {
+                best.score = h;
+                best.endA = i;
+                best.endB = j;
+            }
+        }
+        std::swap(prevColH, curColH);
+        std::swap(prevColE, curColE);
+    }
+    return best;
+}
+
+} // namespace
+
+AlignmentResult
+alignForwardCpu(const std::string& a, const std::string& b,
+                const ScoringParams& scoring)
+{
+    return forwardScan(a, b, scoring);
+}
+
+AlignmentResult
+alignFullCpu(const std::string& a, const std::string& b,
+             const ScoringParams& scoring)
+{
+    AlignmentResult result = forwardScan(a, b, scoring);
+    if (result.score <= 0)
+        return result;
+    // Reverse pass (the ADEPT second kernel): align the reversed prefixes
+    // ending at (endA, endB); the best cell maps back to the start.
+    std::string ra(a.begin(),
+                   a.begin() + static_cast<std::size_t>(result.endA) + 1);
+    std::string rb(b.begin(),
+                   b.begin() + static_cast<std::size_t>(result.endB) + 1);
+    std::reverse(ra.begin(), ra.end());
+    std::reverse(rb.begin(), rb.end());
+    const AlignmentResult rev = forwardScan(ra, rb, scoring);
+    result.startA = result.endA - rev.endA;
+    result.startB = result.endB - rev.endB;
+    return result;
+}
+
+std::vector<AlignmentResult>
+alignAllCpu(const std::vector<SequencePair>& pairs,
+            const ScoringParams& scoring, bool withStarts)
+{
+    std::vector<AlignmentResult> out;
+    out.reserve(pairs.size());
+    for (const auto& p : pairs) {
+        out.push_back(withStarts ? alignFullCpu(p.a, p.b, scoring)
+                                 : alignForwardCpu(p.a, p.b, scoring));
+    }
+    return out;
+}
+
+} // namespace gevo::adept

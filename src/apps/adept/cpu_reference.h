@@ -1,0 +1,36 @@
+/// \file
+/// CPU reference Smith-Waterman with affine gaps (Gotoh).
+///
+/// This is the validation oracle for the GPU kernels (paper Sec III-C:
+/// "gene sequence alignment often requires strict accuracy so we require
+/// 100% accuracy"). The tie-breaking convention matches the GPU
+/// reduction: scan column-major (j outer, i inner), keep strictly better
+/// scores, so ties resolve to the smallest endB, then smallest endA.
+
+#ifndef GEVO_APPS_ADEPT_CPU_REFERENCE_H
+#define GEVO_APPS_ADEPT_CPU_REFERENCE_H
+
+#include <vector>
+
+#include "apps/adept/scoring.h"
+#include "apps/adept/sequences.h"
+
+namespace gevo::adept {
+
+/// Forward pass only: best score and end positions.
+AlignmentResult alignForwardCpu(const std::string& a, const std::string& b,
+                                const ScoringParams& scoring);
+
+/// Full alignment: forward pass plus the ADEPT-style reverse pass that
+/// recovers start positions by aligning the reversed prefixes.
+AlignmentResult alignFullCpu(const std::string& a, const std::string& b,
+                             const ScoringParams& scoring);
+
+/// Convenience: align every pair (forward only when \p withStarts false).
+std::vector<AlignmentResult>
+alignAllCpu(const std::vector<SequencePair>& pairs,
+            const ScoringParams& scoring, bool withStarts);
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_CPU_REFERENCE_H

@@ -1,0 +1,133 @@
+#include "apps/adept/driver.h"
+
+#include <algorithm>
+
+#include "apps/adept/cpu_reference.h"
+#include "sim/device_memory.h"
+#include "sim/program.h"
+#include "support/logging.h"
+
+namespace gevo::adept {
+
+AdeptDriver::AdeptDriver(std::vector<SequencePair> pairs,
+                         ScoringParams scoring, int version,
+                         std::uint32_t maxThreads)
+    : pairs_(std::move(pairs)), scoring_(scoring), version_(version),
+      maxThreads_(maxThreads)
+{
+    GEVO_ASSERT(!pairs_.empty(), "empty dataset");
+    std::size_t maxLen = 0;
+    for (const auto& p : pairs_)
+        maxLen = std::max({maxLen, p.a.size(), p.b.size()});
+    maxLen_ = static_cast<std::uint32_t>(maxLen);
+    GEVO_ASSERT(maxLen_ <= maxThreads_,
+                "sequences longer than the kernel's thread block");
+    expected_ = alignAllCpu(pairs_, scoring_, version_ == 1);
+}
+
+AdeptRunOutput
+AdeptDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
+                 bool profile) const
+{
+    AdeptRunOutput out;
+    const auto n = static_cast<std::uint32_t>(pairs_.size());
+    const std::int64_t stride = maxThreads_;
+
+    sim::DeviceMemory mem(std::max<std::int64_t>(
+        8ll << 20, 16ll * stride * n + (1 << 16)));
+    const auto seqA = mem.alloc(stride * n);
+    const auto seqB = mem.alloc(stride * n);
+    const auto lenA = mem.alloc(4ll * n);
+    const auto lenB = mem.alloc(4ll * n);
+    const auto outScore = mem.alloc(4ll * n);
+    const auto outEndA = mem.alloc(4ll * n);
+    const auto outEndB = mem.alloc(4ll * n);
+    sim::DevPtr outStartA = 0;
+    sim::DevPtr outStartB = 0;
+    if (version_ == 1) {
+        outStartA = mem.alloc(4ll * n);
+        outStartB = mem.alloc(4ll * n);
+    }
+
+    for (std::uint32_t p = 0; p < n; ++p) {
+        const auto& pair = pairs_[p];
+        mem.copyIn(seqA + stride * p, pair.a.data(),
+                   static_cast<std::int64_t>(pair.a.size()));
+        mem.copyIn(seqB + stride * p, pair.b.data(),
+                   static_cast<std::int64_t>(pair.b.size()));
+        mem.write<std::int32_t>(lenA + 4ll * p,
+                                static_cast<std::int32_t>(pair.a.size()));
+        mem.write<std::int32_t>(lenB + 4ll * p,
+                                static_cast<std::int32_t>(pair.b.size()));
+    }
+
+    const auto* fwdFn =
+        module.findFunction(version_ == 0 ? "sw_fwd_v0" : "sw_fwd_v1");
+    if (fwdFn == nullptr) {
+        out.fault.kind = sim::FaultKind::InvalidProgram;
+        out.fault.detail = "forward kernel missing from module";
+        return out;
+    }
+    const auto fwdProg = sim::Program::decode(*fwdFn);
+    const sim::LaunchDims dims{n, maxThreads_, oversubscribe_};
+    const std::vector<std::uint64_t> fwdArgs = {
+        static_cast<std::uint64_t>(seqA),
+        static_cast<std::uint64_t>(seqB),
+        static_cast<std::uint64_t>(lenA),
+        static_cast<std::uint64_t>(lenB),
+        static_cast<std::uint64_t>(outScore),
+        static_cast<std::uint64_t>(outEndA),
+        static_cast<std::uint64_t>(outEndB),
+        static_cast<std::uint64_t>(stride),
+    };
+    const auto fwdRes =
+        sim::launchKernel(dev, mem, fwdProg, dims, fwdArgs, profile);
+    out.fwdStats = fwdRes.stats;
+    out.totalMs += fwdRes.stats.ms;
+    if (!fwdRes.ok()) {
+        out.fault = fwdRes.fault;
+        return out;
+    }
+
+    if (version_ == 1) {
+        const auto* revFn = module.findFunction("sw_rev_v1");
+        if (revFn == nullptr) {
+            out.fault.kind = sim::FaultKind::InvalidProgram;
+            out.fault.detail = "reverse kernel missing from module";
+            return out;
+        }
+        const auto revProg = sim::Program::decode(*revFn);
+        const std::vector<std::uint64_t> revArgs = {
+            static_cast<std::uint64_t>(seqA),
+            static_cast<std::uint64_t>(seqB),
+            static_cast<std::uint64_t>(outEndA),
+            static_cast<std::uint64_t>(outEndB),
+            static_cast<std::uint64_t>(outStartA),
+            static_cast<std::uint64_t>(outStartB),
+            static_cast<std::uint64_t>(stride),
+        };
+        const auto revRes =
+            sim::launchKernel(dev, mem, revProg, dims, revArgs, profile);
+        out.revStats = revRes.stats;
+        out.totalMs += revRes.stats.ms;
+        if (!revRes.ok()) {
+            out.fault = revRes.fault;
+            return out;
+        }
+    }
+
+    out.results.resize(n);
+    for (std::uint32_t p = 0; p < n; ++p) {
+        auto& r = out.results[p];
+        r.score = mem.read<std::int32_t>(outScore + 4ll * p);
+        r.endA = mem.read<std::int32_t>(outEndA + 4ll * p);
+        r.endB = mem.read<std::int32_t>(outEndB + 4ll * p);
+        if (version_ == 1) {
+            r.startA = mem.read<std::int32_t>(outStartA + 4ll * p);
+            r.startB = mem.read<std::int32_t>(outStartB + 4ll * p);
+        }
+    }
+    return out;
+}
+
+} // namespace gevo::adept

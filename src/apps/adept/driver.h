@@ -1,0 +1,71 @@
+/// \file
+/// Host-side driver: packs sequence pairs into device memory, launches the
+/// ADEPT kernels (from any module variant — this is the "load the mutated
+/// PTX" step of paper Fig. 1), and reads back alignment results.
+
+#ifndef GEVO_APPS_ADEPT_DRIVER_H
+#define GEVO_APPS_ADEPT_DRIVER_H
+
+#include <vector>
+
+#include "apps/adept/kernels.h"
+#include "apps/adept/scoring.h"
+#include "apps/adept/sequences.h"
+#include "sim/device_config.h"
+#include "sim/executor.h"
+
+namespace gevo::adept {
+
+/// Output of one full run over a pair set.
+struct AdeptRunOutput {
+    sim::Fault fault;                      ///< First fault, if any.
+    std::vector<AlignmentResult> results;  ///< Per pair (empty on fault).
+    double totalMs = 0.0;                  ///< Sum of kernel times.
+    sim::LaunchStats fwdStats;
+    sim::LaunchStats revStats;             ///< V1 only.
+
+    bool ok() const { return fault.ok(); }
+};
+
+/// Immutable dataset + launch configuration; safe to share across threads
+/// (each run() builds its own device memory).
+class AdeptDriver {
+  public:
+    /// \p version selects result decoding (V0: no start positions).
+    AdeptDriver(std::vector<SequencePair> pairs, ScoringParams scoring,
+                int version, std::uint32_t maxThreads);
+
+    /// Execute the kernels in \p module over the dataset on \p dev.
+    AdeptRunOutput run(const ir::Module& module,
+                       const sim::DeviceConfig& dev,
+                       bool profile = false) const;
+
+    /// CPU-oracle results for the dataset (start positions iff version 1).
+    const std::vector<AlignmentResult>& expected() const
+    {
+        return expected_;
+    }
+
+    /// The dataset.
+    const std::vector<SequencePair>& pairs() const { return pairs_; }
+    std::uint32_t maxThreads() const { return maxThreads_; }
+
+    /// Timing-grid multiplier (see sim::LaunchDims::oversubscribe): the
+    /// fitness pair set stands in for the paper's 30,000-pair batches, so
+    /// kernels are priced in the saturated-device regime by default.
+    void setOversubscribe(std::uint32_t factor) { oversubscribe_ = factor; }
+    std::uint32_t oversubscribe() const { return oversubscribe_; }
+
+  private:
+    std::vector<SequencePair> pairs_;
+    ScoringParams scoring_;
+    int version_;
+    std::uint32_t maxThreads_;
+    std::uint32_t maxLen_;
+    std::uint32_t oversubscribe_ = 512;
+    std::vector<AlignmentResult> expected_;
+};
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_DRIVER_H

@@ -1,0 +1,35 @@
+#include "apps/adept/fitness.h"
+
+#include "support/strings.h"
+
+namespace gevo::adept {
+
+core::FitnessResult
+AdeptFitness::evaluate(const ir::Module& variant) const
+{
+    const auto out = driver_.run(variant, dev_);
+    if (!out.ok())
+        return core::FitnessResult::fail(out.fault.detail);
+    const auto& expected = driver_.expected();
+    for (std::size_t p = 0; p < expected.size(); ++p) {
+        if (!(out.results[p] == expected[p])) {
+            return core::FitnessResult::fail(strformat(
+                "pair %zu: got score %d end (%d,%d) start (%d,%d), want "
+                "score %d end (%d,%d) start (%d,%d)",
+                p, out.results[p].score, out.results[p].endA,
+                out.results[p].endB, out.results[p].startA,
+                out.results[p].startB, expected[p].score, expected[p].endA,
+                expected[p].endB, expected[p].startA, expected[p].startB));
+        }
+    }
+    return core::FitnessResult::pass(out.totalMs);
+}
+
+std::string
+AdeptFitness::name() const
+{
+    return strformat("adept(%zu pairs, %s)", driver_.pairs().size(),
+                     dev_.name.c_str());
+}
+
+} // namespace gevo::adept

@@ -1,0 +1,34 @@
+/// \file
+/// ADEPT fitness: simulated kernel time with strict-accuracy validation
+/// (paper Sec III-C: 100% accuracy required; no error tolerance for
+/// sequence alignment).
+
+#ifndef GEVO_APPS_ADEPT_FITNESS_H
+#define GEVO_APPS_ADEPT_FITNESS_H
+
+#include "apps/adept/driver.h"
+#include "core/fitness.h"
+
+namespace gevo::adept {
+
+/// Scores a module variant by total simulated kernel time over the
+/// driver's pair set; any fault or any result mismatch invalidates it.
+class AdeptFitness : public core::FitnessFunction {
+  public:
+    AdeptFitness(const AdeptDriver& driver, sim::DeviceConfig dev)
+        : driver_(driver), dev_(std::move(dev))
+    {
+    }
+
+    core::FitnessResult evaluate(const ir::Module& variant) const override;
+
+    std::string name() const override;
+
+  private:
+    const AdeptDriver& driver_;
+    sim::DeviceConfig dev_;
+};
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_FITNESS_H

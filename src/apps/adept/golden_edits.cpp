@@ -1,0 +1,192 @@
+#include "apps/adept/golden_edits.h"
+
+#include "support/logging.h"
+
+namespace gevo::adept {
+
+namespace {
+
+using mut::Edit;
+using mut::EditKind;
+
+Edit
+condReplace(std::uint64_t brcUid, ir::Operand newCond)
+{
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = brcUid;
+    e.opIndex = 0;
+    e.newOperand = newCond;
+    return e;
+}
+
+Edit
+del(std::uint64_t uid)
+{
+    Edit e;
+    e.kind = EditKind::InstrDelete;
+    e.srcUid = uid;
+    return e;
+}
+
+Edit
+opReplace(std::uint64_t uid, int slot, ir::Operand op)
+{
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = uid;
+    e.opIndex = static_cast<std::int8_t>(slot);
+    e.newOperand = op;
+    return e;
+}
+
+/// The per-kernel independent plants, shared by both V1 kernels and V0.
+void
+appendCommonIndependents(const AdeptModule& m, const std::string& p,
+                         std::vector<NamedEdit>* out)
+{
+    out->push_back({p + "dup-rowptr",
+                    opReplace(m.uidOf(p + "achar.load"), 0,
+                              ir::Operand::reg(m.regOf(p + "reg.rowptr1")))});
+    out->push_back({p + "bounds-check",
+                    condReplace(m.uidOf(p + "bounds.brc"),
+                                ir::Operand::imm(1))});
+    out->push_back(
+        {p + "redundant-finit", del(m.uidOf(p + "redundant.finit"))});
+}
+
+} // namespace
+
+std::vector<mut::Edit>
+editsOf(const std::vector<NamedEdit>& named)
+{
+    std::vector<mut::Edit> out;
+    out.reserve(named.size());
+    for (const auto& n : named)
+        out.push_back(n.edit);
+    return out;
+}
+
+std::vector<NamedEdit>
+v0GoldenEdits(const AdeptModule& built)
+{
+    GEVO_ASSERT(built.version == 0, "v0 edits need a V0 module");
+    std::vector<NamedEdit> out;
+    // Sec VI-C: kill the per-diagonal re-initialization loop...
+    out.push_back({"v0-memset-loop",
+                   condReplace(built.uidOf("v0.memset.brc"),
+                               ir::Operand::imm(0))});
+    // ...and its companion barrier.
+    out.push_back({"v0-memset-bar", del(built.uidOf("v0.memset.bar"))});
+    appendCommonIndependents(built, "v0.", &out);
+    return out;
+}
+
+std::vector<NamedEdit>
+v1EpistaticCluster(const AdeptModule& built)
+{
+    GEVO_ASSERT(built.version == 1, "v1 edits need a V1 module");
+    std::vector<NamedEdit> out;
+    // Edit 6 (Fig 9 line 8): local publish on every diagonal (rewrites
+    // the predicated guard's condition).
+    out.push_back({"e6",
+                   condReplace(built.uidOf("v1f.localwrite.sel"),
+                               ir::Operand::reg(
+                                   built.regOf("v1f.reg.tidltmin")))});
+    // Edit 8 (Fig 9 line 17): E/H reads always from the local arrays.
+    out.push_back({"e8",
+                   condReplace(built.uidOf("v1f.read_eh.brc"),
+                               ir::Operand::reg(
+                                   built.regOf("v1f.reg.isvalid")))});
+    // Edit 10 (Fig 9 line 26): same for the diagonal H.
+    out.push_back({"e10",
+                   condReplace(built.uidOf("v1f.read_hh.brc"),
+                               ir::Operand::reg(
+                                   built.regOf("v1f.reg.isvalid")))});
+    // Edit 5 (Fig 9 line 3): lane 31 -> lane 0 publish.
+    out.push_back({"e5",
+                   opReplace(built.uidOf("v1f.lane31.cmp"), 1,
+                             ir::Operand::imm(0))});
+    return out;
+}
+
+std::vector<NamedEdit>
+v1ReverseCluster(const AdeptModule& built)
+{
+    GEVO_ASSERT(built.version == 1, "v1 edits need a V1 module");
+    std::vector<NamedEdit> out;
+    // Edit 11: the reverse kernel's local-publish guard.
+    out.push_back({"e11",
+                   condReplace(built.uidOf("v1r.localwrite.sel"),
+                               ir::Operand::reg(
+                                   built.regOf("v1r.reg.tidltmin")))});
+    // Edit 0: the reverse kernel's E/H read guard.
+    out.push_back({"e0",
+                   condReplace(built.uidOf("v1r.read_eh.brc"),
+                               ir::Operand::reg(
+                                   built.regOf("v1r.reg.isvalid")))});
+    return out;
+}
+
+std::vector<NamedEdit>
+v1ReverseClusterFull(const AdeptModule& built)
+{
+    auto out = v1ReverseCluster(built);
+    // The reverse-kernel analogues of edits 10 and 5 (the paper's
+    // 12-edit epistatic set spans both kernels).
+    out.push_back({"e0b",
+                   condReplace(built.uidOf("v1r.read_hh.brc"),
+                               ir::Operand::reg(
+                                   built.regOf("v1r.reg.isvalid")))});
+    out.push_back({"e11b",
+                   opReplace(built.uidOf("v1r.lane31.cmp"), 1,
+                             ir::Operand::imm(0))});
+    return out;
+}
+
+std::vector<NamedEdit>
+v1IndependentEdits(const AdeptModule& built)
+{
+    GEVO_ASSERT(built.version == 1, "v1 edits need a V1 module");
+    std::vector<NamedEdit> out;
+    // Sec VI-B: reroute the first shuffle's mask to the activemask; the
+    // ballot_sync becomes dead and codegen removes it.
+    out.push_back({"ballot",
+                   opReplace(built.uidOf("v1f.shfl.e"), 0,
+                             ir::Operand::reg(built.regOf("v1f.reg.am")))});
+    out.push_back({"extra-barrier", del(built.uidOf("v1f.extrabar"))});
+    appendCommonIndependents(built, "v1f.", &out);
+    appendCommonIndependents(built, "v1r.", &out);
+    return out;
+}
+
+std::vector<NamedEdit>
+v1AllGoldenEdits(const AdeptModule& built)
+{
+    auto out = v1EpistaticCluster(built);
+    for (auto& e : v1ReverseClusterFull(built))
+        out.push_back(std::move(e));
+    for (auto& e : v1IndependentEdits(built))
+        out.push_back(std::move(e));
+    return out;
+}
+
+NamedEdit
+v1PortabilityTrapEdit(const AdeptModule& built)
+{
+    // Move the E shuffle from the uniform top-of-loop position into the
+    // divergent shuffle-read path. On Pascal's lock-step model this is a
+    // small win (the shuffle stops executing on diagonals that take the
+    // local-array path) and still reads the right register values; on
+    // Volta the pre-divergence mask now names inactive lanes and the
+    // shfl_sync faults — the paper's Sec IV observation that "a small
+    // subset of the optimized code from the P100 GPU cannot run directly
+    // on the V100".
+    Edit e;
+    e.kind = EditKind::InstrMove;
+    e.srcUid = built.uidOf("v1f.shfl.e");
+    e.dstUid = built.uidOf("v1f.eh_shfl.movE");
+    return {"volta-trap", e};
+}
+
+} // namespace gevo::adept

@@ -1,0 +1,60 @@
+/// \file
+/// Canonical ("golden") edit sets: the optimizations the paper's Section
+/// V/VI analysis names, expressed against a built AdeptModule's anchors.
+///
+/// The benches use these to regenerate Figures 4/7 and the Sec VI studies
+/// without re-running multi-day searches; the live-search benches verify
+/// the engine can rediscover them (Figures 6/8).
+
+#ifndef GEVO_APPS_ADEPT_GOLDEN_EDITS_H
+#define GEVO_APPS_ADEPT_GOLDEN_EDITS_H
+
+#include <string>
+#include <vector>
+
+#include "apps/adept/kernels.h"
+#include "mutation/edit.h"
+
+namespace gevo::adept {
+
+/// An edit with the paper's name for it.
+struct NamedEdit {
+    std::string name; ///< e.g. "e6", "v0-memset", "ballot".
+    mut::Edit edit;
+};
+
+/// Strip names.
+std::vector<mut::Edit> editsOf(const std::vector<NamedEdit>& named);
+
+/// ADEPT-V0 golden set: the Sec VI-C memset-loop kill (branch condition ->
+/// false), the redundant barrier delete, and the small independents.
+std::vector<NamedEdit> v0GoldenEdits(const AdeptModule& built);
+
+/// The Figure 7 epistatic cluster on the forward kernel: e5, e6, e8, e10.
+std::vector<NamedEdit> v1EpistaticCluster(const AdeptModule& built);
+
+/// The second, smaller cluster on the reverse kernel: e0, e11.
+std::vector<NamedEdit> v1ReverseCluster(const AdeptModule& built);
+
+/// The full reverse-kernel cluster (e0, e11 plus the analogues of edits
+/// 10 and 5) — together with the forward cluster this is our counterpart
+/// of the paper's 12-edit epistatic set.
+std::vector<NamedEdit> v1ReverseClusterFull(const AdeptModule& built);
+
+/// The independent edits of Sec V-B / VI-B (ballot reroute, extra-barrier
+/// delete, duplicate row pointer reroute, dominated bounds check, redundant
+/// F re-init) on both V1 kernels.
+std::vector<NamedEdit> v1IndependentEdits(const AdeptModule& built);
+
+/// Everything for V1 (epistatic + reverse cluster + independents) — the
+/// "GEVO-optimized ADEPT-V1" configuration of Figure 4.
+std::vector<NamedEdit> v1AllGoldenEdits(const AdeptModule& built);
+
+/// The Volta portability trap (paper Sec IV "Generality"): replaces the
+/// shuffle mask with the full-warp constant. Runs on Pascal, faults on
+/// V100.
+NamedEdit v1PortabilityTrapEdit(const AdeptModule& built);
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_GOLDEN_EDITS_H

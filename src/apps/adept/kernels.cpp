@@ -1,0 +1,721 @@
+#include "apps/adept/kernels.h"
+
+#include "ir/builder.h"
+#include "support/logging.h"
+
+namespace gevo::adept {
+
+using ir::IRBuilder;
+using ir::MemSpace;
+using ir::MemWidth;
+using ir::Operand;
+
+std::uint64_t
+AdeptModule::uidOf(const std::string& name) const
+{
+    const auto it = anchors.find(name);
+    if (it == anchors.end())
+        GEVO_FATAL("unknown ADEPT anchor '%s'", name.c_str());
+    return it->second;
+}
+
+std::int64_t
+AdeptModule::regOf(const std::string& name) const
+{
+    const auto it = regs.find(name);
+    if (it == regs.end())
+        GEVO_FATAL("unknown ADEPT register anchor '%s'", name.c_str());
+    return it->second;
+}
+
+namespace {
+
+/// Shared-memory byte offsets. V1 reserves 16 warp slots for the
+/// warp-boundary publish arrays; both versions keep per-thread reduction
+/// arrays at the tail.
+struct SharedLayout {
+    std::int64_t wbE = 0;    ///< V1: sh_prev_E[16 warps].
+    std::int64_t wbH = 64;   ///< V1: sh_prev_H.
+    std::int64_t wbHH = 128; ///< V1: sh_prev_prev_H.
+    std::int64_t locE = 0;   ///< exchange array E (V0: the only mechanism).
+    std::int64_t locH = 0;
+    std::int64_t locHH = 0;
+    std::int64_t best = 0;
+    std::int64_t bestI = 0;
+    std::int64_t bestJ = 0;
+    std::uint32_t totalBytes = 0;
+
+    /// V1 only: byte distance from the local arrays to a same-shape spill
+    /// region used by the predicated publish (see emitExchangePublish).
+    std::int64_t spillDelta = 0;
+
+    static SharedLayout
+    forVersion(int version, std::uint32_t T)
+    {
+        SharedLayout l;
+        const std::int64_t base = version == 0 ? 0 : 192;
+        l.locE = base;
+        l.locH = base + 4ll * T;
+        l.locHH = base + 8ll * T;
+        if (version == 1) {
+            // Spill region shadows locE/locH/locHH at +12T.
+            l.spillDelta = 12ll * T;
+            l.best = base + 24ll * T;
+        } else {
+            l.best = base + 12ll * T;
+        }
+        l.bestI = l.best + 4ll * T;
+        l.bestJ = l.best + 8ll * T;
+        l.totalBytes = static_cast<std::uint32_t>(l.bestJ + 4ll * T);
+        return l;
+    }
+};
+
+/// Emits one ADEPT kernel. The three kernels (V0 fwd, V1 fwd, V1 rev)
+/// share the wavefront skeleton; flags select the exchange mechanism and
+/// the sequence addressing.
+class KernelEmitter {
+  public:
+    KernelEmitter(IRBuilder& b, AdeptModule& out, int version, bool reverse,
+                  std::uint32_t T)
+        : b_(b), out_(out), version_(version), reverse_(reverse), T_(T),
+          layout_(SharedLayout::forVersion(version, T)),
+          prefix_(version == 0 ? "v0." : (reverse ? "v1r." : "v1f."))
+    {
+    }
+
+    void emit();
+
+  private:
+    /// Register the last-emitted instruction under an anchor name.
+    void
+    anchor(const std::string& name)
+    {
+        auto& fn = b_.kernel();
+        out_.anchors[prefix_ + name] =
+            fn.blocks[b_.insertBlock()].instrs.back().uid;
+    }
+    /// Register a value register under an anchor name.
+    void
+    regAnchor(const std::string& name, Operand r)
+    {
+        GEVO_ASSERT(r.isReg(), "reg anchor on non-register");
+        out_.regs[prefix_ + name] = r.value;
+    }
+
+    Operand imm(std::int64_t v) const { return Operand::imm(v); }
+
+    /// Byte address within shared memory: base + index*4 (i64 register).
+    Operand
+    sharedAddr(std::int64_t base, Operand index32)
+    {
+        const auto idx = b_.sext64(index32);
+        const auto off = b_.lmul(idx, imm(4));
+        return b_.ladd(off, imm(base));
+    }
+
+    void emitPrologue();
+    void emitDiagLoopHeader();
+    void emitV0MemsetPlant();
+    void emitExchangePublish();
+    void emitShuffles();
+    void emitValidity();
+    void emitNeighborRead();
+    void emitCellCompute();
+    void emitRotateAndLatch();
+    void emitReduction();
+
+    IRBuilder& b_;
+    AdeptModule& out_;
+    int version_;
+    bool reverse_;
+    std::uint32_t T_;
+    SharedLayout layout_;
+    std::string prefix_;
+
+    // ---- blocks ----
+    std::int32_t bbDiag_ = -1;
+    std::int32_t bbReduce_ = -1;
+    std::int32_t bbAfterCompute_ = -1;
+    std::int32_t bbCell_ = -1;
+
+    // ---- registers ----
+    Operand tid_, ntid_, bid_, lane_, warp_;
+    Operand lenA_, lenB_;   ///< Effective problem sizes (n, m).
+    Operand endA_, endB_;   ///< Reverse kernel inputs.
+    Operand aBase_, bBase_;
+    Operand myChar_;
+    Operand prevH_, prevE_, prevF_, prevHH_;
+    Operand curH_, curE_, curF_;
+    Operand best_, bestI_, bestJ_;
+    Operand d_, nDiags_, iRow_;
+    Operand isValid_;
+    Operand nH_, nE_, nHH_;
+    Operand pg_, tm_;
+    Operand shE_, shH_, shHH_;
+    Operand locWAddrE_, locWAddrH_, locWAddrHH_;
+    Operand locNbE_, locNbH_, locNbHH_;
+    Operand wbWAddrE_, wbWAddrH_, wbWAddrHH_;
+    Operand wbNbE_, wbNbH_, wbNbHH_;
+    Operand bestAddr_, bestIAddr_, bestJAddr_;
+};
+
+void
+KernelEmitter::emitPrologue()
+{
+    b_.setLoc(version_ == 0 ? "adept_v0.cu:prologue"
+                            : "adept_v1.cu:prologue");
+    tid_ = b_.tid();
+    ntid_ = b_.ntid();
+    bid_ = b_.bid();
+    lane_ = b_.lane();
+    warp_ = b_.warpid();
+
+    const auto bid64 = b_.sext64(bid_);
+    const auto bidOff4 = b_.lmul(bid64, imm(4));
+
+    if (!reverse_) {
+        // p2/p3 = length arrays.
+        lenA_ = b_.ld(MemSpace::Global, MemWidth::I32,
+                      b_.ladd(b_.param(2), bidOff4));
+        lenB_ = b_.ld(MemSpace::Global, MemWidth::I32,
+                      b_.ladd(b_.param(3), bidOff4));
+    } else {
+        // p2/p3 = forward end positions; problem sizes are endA+1, endB+1.
+        endA_ = b_.ld(MemSpace::Global, MemWidth::I32,
+                      b_.ladd(b_.param(2), bidOff4));
+        endB_ = b_.ld(MemSpace::Global, MemWidth::I32,
+                      b_.ladd(b_.param(3), bidOff4));
+        lenA_ = b_.iadd(endA_, imm(1));
+        lenB_ = b_.iadd(endB_, imm(1));
+    }
+
+    // Sequence bases: blob + pair * maxLen (maxLen is the last param).
+    const auto maxLenParam =
+        b_.param(reverse_ ? 6u : 7u);
+    const auto pairOff = b_.lmul(bid64, maxLenParam);
+    aBase_ = b_.ladd(b_.param(0), pairOff);
+    bBase_ = b_.ladd(b_.param(1), pairOff);
+
+    if (reverse_) {
+        // Empty forward alignment: emit -1/-1 and quit before any barrier.
+        const auto bbEmpty = b_.block("empty");
+        const auto bbEmptyW = b_.block("empty_write");
+        const auto bbEmptyR = b_.block("empty_ret");
+        const auto bbMain = b_.block("main");
+        b_.setInsert(0);
+        const auto isEmpty = b_.ilt(endA_, imm(0));
+        b_.brc(isEmpty, bbEmpty, bbMain);
+        b_.setInsert(bbEmpty);
+        const auto t0 = b_.ieq(tid_, imm(0));
+        b_.brc(t0, bbEmptyW, bbEmptyR);
+        b_.setInsert(bbEmptyW);
+        const auto bidOff4b = b_.lmul(b_.sext64(bid_), imm(4));
+        b_.st(MemSpace::Global, MemWidth::I32,
+              b_.ladd(b_.param(4), bidOff4b), imm(-1));
+        b_.st(MemSpace::Global, MemWidth::I32,
+              b_.ladd(b_.param(5), bidOff4b), imm(-1));
+        b_.br(bbEmptyR);
+        b_.setInsert(bbEmptyR);
+        b_.ret();
+        b_.setInsert(bbMain);
+    }
+
+    // My query character b[j]: forward j = tid, reverse j = endB - tid
+    // (clamped so inactive threads stay in bounds).
+    if (!reverse_) {
+        myChar_ = b_.ld(MemSpace::Global, MemWidth::U8,
+                        b_.ladd(bBase_, b_.sext64(tid_)));
+    } else {
+        const auto off = b_.imax(b_.isub(endB_, tid_), imm(0));
+        myChar_ = b_.ld(MemSpace::Global, MemWidth::U8,
+                        b_.ladd(bBase_, b_.sext64(off)));
+    }
+
+    // Wavefront state.
+    prevH_ = b_.mov(imm(0));
+    prevE_ = b_.mov(imm(kNegInfScore));
+    prevF_ = b_.mov(imm(kNegInfScore));
+    prevHH_ = b_.mov(imm(0));
+    curH_ = b_.mov(imm(0));
+    curE_ = b_.mov(imm(kNegInfScore));
+    curF_ = b_.mov(imm(kNegInfScore));
+    best_ = b_.mov(imm(0));
+    bestI_ = b_.mov(imm(-1));
+    bestJ_ = b_.mov(imm(-1));
+    d_ = b_.mov(imm(0));
+    nDiags_ = b_.isub(b_.iadd(lenA_, lenB_), imm(1));
+
+    // Precomputed shared addresses. Neighbour indices are clamped to 0 so
+    // thread 0 can issue the reads unconditionally; its values are then
+    // overridden with the matrix-boundary constants via selects (keeps the
+    // warp free of a boundary branch).
+    const auto tidM1 = b_.imax(b_.isub(tid_, imm(1)), imm(0));
+    locWAddrE_ = sharedAddr(layout_.locE, tid_);
+    locWAddrH_ = sharedAddr(layout_.locH, tid_);
+    locWAddrHH_ = sharedAddr(layout_.locHH, tid_);
+    locNbE_ = sharedAddr(layout_.locE, tidM1);
+    locNbH_ = sharedAddr(layout_.locH, tidM1);
+    locNbHH_ = sharedAddr(layout_.locHH, tidM1);
+    bestAddr_ = sharedAddr(layout_.best, tid_);
+    bestIAddr_ = sharedAddr(layout_.bestI, tid_);
+    bestJAddr_ = sharedAddr(layout_.bestJ, tid_);
+    if (version_ == 1) {
+        const auto warpM1 = b_.imax(b_.isub(warp_, imm(1)), imm(0));
+        wbWAddrE_ = sharedAddr(layout_.wbE, warp_);
+        wbWAddrH_ = sharedAddr(layout_.wbH, warp_);
+        wbWAddrHH_ = sharedAddr(layout_.wbHH, warp_);
+        wbNbE_ = sharedAddr(layout_.wbE, warpM1);
+        wbNbH_ = sharedAddr(layout_.wbH, warpM1);
+        wbNbHH_ = sharedAddr(layout_.wbHH, warpM1);
+    }
+}
+
+void
+KernelEmitter::emitV0MemsetPlant()
+{
+    // Sec VI-C: on EVERY diagonal, EVERY thread defensively re-zeroes the
+    // whole shared region, followed by a barrier. All 32 lanes of each
+    // warp hammer the same address each iteration (32-way write
+    // serialization), which is exactly why the paper measures a >30x win
+    // when this region is removed. Removal is safe: the exchange arrays
+    // are fully rewritten before every read and the reduction buffers are
+    // rewritten before the final scan.
+    b_.setLoc("adept_v0.cu:memset");
+    const auto bbLoop = b_.block("memset_loop");
+    const auto bbDone = b_.block("memset_done");
+    b_.setInsert(bbDiag_);
+    const auto kaddr = b_.mov(imm(0));
+    b_.br(bbLoop);
+    b_.setInsert(bbLoop);
+    const auto zaddr = b_.ladd(kaddr, imm(layout_.best));
+    b_.st(MemSpace::Shared, MemWidth::I32, zaddr, imm(0));
+    b_.emitTo(kaddr, ir::Opcode::AddI64, {kaddr, imm(4)});
+    const auto kc = b_.emitOp(
+        ir::Opcode::CmpLtI64,
+        {kaddr, imm(4ll * T_)}); // the T-word score result buffer
+    b_.brc(kc, bbLoop, bbDone);
+    anchor("memset.brc");
+    b_.setInsert(bbDone);
+    b_.setLoc("adept_v0.cu:memset_sync");
+    b_.barrier();
+    anchor("memset.bar");
+    b_.setLoc("");
+}
+
+void
+KernelEmitter::emitExchangePublish()
+{
+    if (version_ == 0) {
+        // V0: every thread publishes through the shared arrays.
+        b_.setLoc("adept_v0.cu:exchange");
+        b_.st(MemSpace::Shared, MemWidth::I32, locWAddrE_, prevE_);
+        b_.st(MemSpace::Shared, MemWidth::I32, locWAddrH_, prevH_);
+        b_.st(MemSpace::Shared, MemWidth::I32, locWAddrHH_, prevHH_);
+        b_.barrier();
+        b_.setLoc("");
+        return;
+    }
+
+    // V1, Fig 9 lines 2-5: lane 31 publishes for the next warp's lane 0.
+    b_.setLoc("adept_v1.cu:3");
+    const auto bbWb = b_.block("wb_store");
+    const auto bbWbDone = b_.block("wb_done");
+    b_.setInsert(bbDiag_);
+    const auto l31 = b_.ieq(lane_, imm(31));
+    anchor("lane31.cmp"); // paper edit 5 rewrites the 31 to 0
+    b_.brc(l31, bbWb, bbWbDone);
+    b_.setInsert(bbWb);
+    b_.st(MemSpace::Shared, MemWidth::I32, wbWAddrE_, prevE_);
+    b_.st(MemSpace::Shared, MemWidth::I32, wbWAddrH_, prevH_);
+    b_.st(MemSpace::Shared, MemWidth::I32, wbWAddrHH_, prevHH_);
+    b_.br(bbWbDone);
+    b_.setInsert(bbWbDone);
+
+    // Fig 9 lines 7-10: local publish during the shrinking phase. The
+    // guard compiles to predication: when it is false the stores land in
+    // a dead spill shadow of the local arrays (same shape, +spillDelta),
+    // so the publish is branch-free and the guard is one select — whose
+    // condition operand is exactly what paper edit 6 rewrites.
+    b_.setLoc("adept_v1.cu:8");
+    b_.setInsert(bbWbDone);
+    // "maxSize": the diagonal from which the developer routes the
+    // exchange through the local shared arrays (the wavefront tail, where
+    // the shuffle neighbourhood breaks down).
+    const auto halfB = b_.idiv(lenB_, imm(2));
+    const auto maxSize = b_.iadd(lenA_, halfB);
+    pg_ = b_.ige(d_, maxSize); // "diag >= maxSize"
+    regAnchor("reg.phase", pg_);
+    tm_ = b_.ilt(tid_, lenB_); // "tID < minSize"
+    regAnchor("reg.tidltmin", tm_);
+    const auto pw = b_.band(pg_, tm_);
+    const auto off = b_.sel(pw, imm(0), imm(layout_.spillDelta));
+    anchor("localwrite.sel"); // paper edit 6 rewrites cond -> tm_
+    b_.st(MemSpace::Shared, MemWidth::I32, b_.ladd(locWAddrE_, off),
+          prevE_);
+    b_.st(MemSpace::Shared, MemWidth::I32, b_.ladd(locWAddrH_, off),
+          prevH_);
+    b_.st(MemSpace::Shared, MemWidth::I32, b_.ladd(locWAddrHH_, off),
+          prevHH_);
+
+    b_.setLoc("adept_v1.cu:12");
+    b_.barrier();
+    b_.barrier(); // planted: redundant double sync
+    anchor("extrabar");
+    b_.setLoc("");
+}
+
+void
+KernelEmitter::emitShuffles()
+{
+    if (version_ == 0)
+        return;
+    // Uniform full-warp exchange: legal on Volta because the mask is taken
+    // where every lane participates. The developer defensively guards with
+    // BOTH activemask and ballot_sync (Sec VI-B); only the first shuffle
+    // consumes the ballot, so rerouting it to the activemask makes the
+    // ballot dead.
+    b_.setLoc("adept_v1.cu:ballot");
+    const auto am = b_.activemask();
+    regAnchor("reg.am", am);
+    const auto blt = b_.ballot(am, imm(1));
+    anchor("ballot");
+    shE_ = b_.shflUp(blt, prevE_, imm(1));
+    anchor("shfl.e"); // the Sec VI-B edit: mask operand -> am
+    shH_ = b_.shflUp(am, prevH_, imm(1));
+    shHH_ = b_.shflUp(am, prevHH_, imm(1));
+    b_.setLoc("");
+}
+
+void
+KernelEmitter::emitValidity()
+{
+    iRow_ = b_.isub(d_, tid_);
+    const auto c1 = b_.ige(iRow_, imm(0));
+    const auto c2 = b_.ilt(iRow_, lenA_);
+    const auto c3 = b_.ilt(tid_, lenB_);
+    const auto c12 = b_.band(c1, c2);
+    isValid_ = b_.band(c12, c3);
+    regAnchor("reg.isvalid", isValid_);
+}
+
+void
+KernelEmitter::emitNeighborRead()
+{
+    // Entered only for valid threads. Every thread (including thread 0,
+    // whose neighbour address is clamped) reads neighbour j-1's published
+    // state; thread 0's values are overridden with boundary constants by
+    // selects at the head of the cell block.
+    const auto bbExch = b_.insertBlock();
+    bbCell_ = b_.block("cell");
+
+    nH_ = b_.newReg();
+    nE_ = b_.newReg();
+    nHH_ = b_.newReg();
+
+    b_.setInsert(bbExch);
+    if (version_ == 0) {
+        b_.setLoc("adept_v0.cu:read");
+        b_.ldTo(nE_, MemSpace::Shared, MemWidth::I32, locNbE_);
+        b_.ldTo(nH_, MemSpace::Shared, MemWidth::I32, locNbH_);
+        b_.ldTo(nHH_, MemSpace::Shared, MemWidth::I32, locNbHH_);
+        b_.br(bbCell_);
+        b_.setLoc("");
+        return;
+    }
+
+    // V1, Fig 9 lines 16-23: E/H exchange.
+    b_.setLoc("adept_v1.cu:17");
+    const auto bbLocEH = b_.block("eh_local");
+    const auto bbWarpEH = b_.block("eh_warpsel");
+    const auto bbShEH = b_.block("eh_shared");
+    const auto bbShflEH = b_.block("eh_shfl");
+    const auto bbHH = b_.block("hh_read");
+    b_.setInsert(bbExch);
+    b_.brc(pg_, bbLocEH, bbWarpEH);
+    anchor("read_eh.brc"); // paper edit 8: cond -> isValid_
+    b_.setInsert(bbLocEH);
+    b_.ldTo(nE_, MemSpace::Shared, MemWidth::I32, locNbE_);
+    b_.ldTo(nH_, MemSpace::Shared, MemWidth::I32, locNbH_);
+    b_.br(bbHH);
+    b_.setInsert(bbWarpEH);
+    const auto w0 = b_.ine(warp_, imm(0));
+    const auto l0 = b_.ieq(lane_, imm(0));
+    const auto wl = b_.band(w0, l0);
+    b_.brc(wl, bbShEH, bbShflEH);
+    b_.setInsert(bbShEH);
+    b_.setLoc("adept_v1.cu:21");
+    b_.ldTo(nE_, MemSpace::Shared, MemWidth::I32, wbNbE_);
+    b_.ldTo(nH_, MemSpace::Shared, MemWidth::I32, wbNbH_);
+    b_.br(bbHH);
+    b_.setInsert(bbShflEH);
+    b_.setLoc("adept_v1.cu:23");
+    b_.movTo(nE_, shE_);
+    anchor("eh_shfl.movE"); // portability-trap move target (Sec IV)
+    b_.movTo(nH_, shH_);
+    b_.br(bbHH);
+
+    // Fig 9 lines 25-32: H-from-two-diagonals exchange.
+    b_.setLoc("adept_v1.cu:26");
+    const auto bbLocHH = b_.block("hh_local");
+    const auto bbWarpHH = b_.block("hh_warpsel");
+    const auto bbShHH = b_.block("hh_shared");
+    const auto bbShflHH = b_.block("hh_shfl");
+    b_.setInsert(bbHH);
+    b_.brc(pg_, bbLocHH, bbWarpHH);
+    anchor("read_hh.brc"); // paper edit 10: cond -> isValid_
+    b_.setInsert(bbLocHH);
+    b_.ldTo(nHH_, MemSpace::Shared, MemWidth::I32, locNbHH_);
+    b_.br(bbCell_);
+    b_.setInsert(bbWarpHH);
+    // Fig 9 evaluates the warp-boundary condition afresh in each region
+    // (lines 20 and 29), so this tree stays self-contained even when an
+    // edit makes the E/H region unreachable.
+    const auto w0h = b_.ine(warp_, imm(0));
+    const auto l0h = b_.ieq(lane_, imm(0));
+    const auto wlh = b_.band(w0h, l0h);
+    b_.brc(wlh, bbShHH, bbShflHH);
+    b_.setInsert(bbShHH);
+    b_.setLoc("adept_v1.cu:30");
+    b_.ldTo(nHH_, MemSpace::Shared, MemWidth::I32, wbNbHH_);
+    b_.br(bbCell_);
+    b_.setInsert(bbShflHH);
+    b_.setLoc("adept_v1.cu:32");
+    b_.movTo(nHH_, shHH_);
+    b_.br(bbCell_);
+    b_.setLoc("");
+}
+
+void
+KernelEmitter::emitCellCompute()
+{
+    b_.setInsert(bbCell_);
+    b_.setLoc(version_ == 0 ? "adept_v0.cu:cell" : "adept_v1.cu:cell");
+
+    // Matrix-boundary override for thread 0 (j == 0 has no neighbour).
+    const auto isT0 = b_.ieq(tid_, imm(0));
+    b_.selTo(nH_, isT0, imm(0), nH_);
+    b_.selTo(nE_, isT0, imm(kNegInfScore), nE_);
+    b_.selTo(nHH_, isT0, imm(0), nHH_);
+
+    // Reference character a[i] (reverse kernel walks backwards), with a
+    // planted duplicate row-pointer computation: the load consumes the
+    // second copy, so rerouting it to the first makes the duplicate dead.
+    Operand aOff;
+    if (!reverse_) {
+        aOff = b_.sext64(iRow_);
+    } else {
+        aOff = b_.sext64(b_.isub(endA_, iRow_));
+    }
+    const auto rowPtr1 = b_.ladd(aBase_, aOff);
+    regAnchor("reg.rowptr1", rowPtr1);
+    const auto rowPtr2 = b_.ladd(aBase_, aOff);
+    anchor("dup.rowptr2");
+    const auto aChar = b_.ld(MemSpace::Global, MemWidth::U8, rowPtr2);
+    anchor("achar.load"); // independent edit: operand 0 -> rowPtr1
+
+    const auto isMatch = b_.ieq(aChar, myChar_);
+    const auto s = b_.sel(isMatch, imm(out_.scoring.match),
+                          imm(out_.scoring.mismatch));
+
+    // E: gap in A, from the neighbour's H/E.
+    const auto e1 = b_.isub(nH_, imm(out_.scoring.gapOpen));
+    const auto e2 = b_.isub(nE_, imm(out_.scoring.gapExtend));
+    b_.emitTo(curE_, ir::Opcode::MaxI32, {e1, e2});
+    // F: gap in B, from own previous row.
+    const auto f1 = b_.isub(prevH_, imm(out_.scoring.gapOpen));
+    const auto f2 = b_.isub(prevF_, imm(out_.scoring.gapExtend));
+    b_.emitTo(curF_, ir::Opcode::MaxI32, {f1, f2});
+    // H: max(0, diag + s, E, F).
+    const auto dg = b_.iadd(nHH_, s);
+    const auto h1 = b_.imax(imm(0), dg);
+    const auto h2 = b_.imax(h1, curE_);
+    b_.emitTo(curH_, ir::Opcode::MaxI32, {h2, curF_});
+
+    // Planted dominated bounds check around the best-update (always true:
+    // tid < 4096 for any launchable block).
+    const auto bbUpd = b_.block("best_update");
+    const auto bbUpdDone = b_.block("best_done");
+    b_.setInsert(bbCell_);
+    const auto bc = b_.ilt(tid_, imm(4096));
+    b_.brc(bc, bbUpd, bbUpdDone);
+    anchor("bounds.brc"); // independent edit: cond -> imm 1
+    b_.setInsert(bbUpd);
+    const auto better = b_.igt(curH_, best_);
+    b_.selTo(best_, better, curH_, best_);
+    b_.selTo(bestI_, better, iRow_, bestI_);
+    b_.selTo(bestJ_, better, tid_, bestJ_);
+    b_.br(bbUpdDone);
+    b_.setInsert(bbUpdDone);
+    b_.br(bbAfterCompute_);
+    b_.setLoc("");
+}
+
+void
+KernelEmitter::emitRotateAndLatch()
+{
+    b_.setInsert(bbAfterCompute_);
+    // Rotate the wavefront registers (order matters: HH takes the old H).
+    b_.movTo(prevHH_, prevH_);
+    b_.movTo(prevH_, curH_);
+    b_.movTo(prevE_, curE_);
+    // Planted redundant register re-init: curF is recomputed from scratch
+    // before any use next iteration, so this mov is deletable (a typical
+    // "weak edit" under the paper's 1% threshold).
+    b_.movTo(prevF_, curF_);
+    b_.movTo(curF_, imm(kNegInfScore));
+    anchor("redundant.finit");
+    b_.barrier();
+    b_.iaddTo(d_, d_, imm(1));
+    const auto more = b_.ilt(d_, nDiags_);
+    b_.brc(more, bbDiag_, bbReduce_);
+}
+
+void
+KernelEmitter::emitReduction()
+{
+    b_.setInsert(bbReduce_);
+    b_.setLoc(version_ == 0 ? "adept_v0.cu:reduce" : "adept_v1.cu:reduce");
+    b_.st(MemSpace::Shared, MemWidth::I32, bestAddr_, best_);
+    b_.st(MemSpace::Shared, MemWidth::I32, bestIAddr_, bestI_);
+    b_.st(MemSpace::Shared, MemWidth::I32, bestJAddr_, bestJ_);
+    b_.barrier();
+
+    const auto bbScan = b_.block("scan");
+    const auto bbScanLoop = b_.block("scan_loop");
+    const auto bbOut = b_.block("scan_out");
+    const auto bbDone = b_.block("done");
+    b_.setInsert(bbReduce_);
+    const auto t0 = b_.ieq(tid_, imm(0));
+    b_.brc(t0, bbScan, bbDone);
+
+    b_.setInsert(bbScan);
+    const auto rBest = b_.mov(imm(0));
+    const auto rI = b_.mov(imm(-1));
+    const auto rJ = b_.mov(imm(-1));
+    const auto k = b_.mov(imm(0));
+    b_.br(bbScanLoop);
+
+    b_.setInsert(bbScanLoop);
+    const auto sK = b_.ld(MemSpace::Shared, MemWidth::I32,
+                          sharedAddr(layout_.best, k));
+    const auto iK = b_.ld(MemSpace::Shared, MemWidth::I32,
+                          sharedAddr(layout_.bestI, k));
+    const auto jK = b_.ld(MemSpace::Shared, MemWidth::I32,
+                          sharedAddr(layout_.bestJ, k));
+    const auto better = b_.igt(sK, rBest);
+    b_.selTo(rBest, better, sK, rBest);
+    b_.selTo(rI, better, iK, rI);
+    b_.selTo(rJ, better, jK, rJ);
+    b_.iaddTo(k, k, imm(1));
+    const auto more = b_.ilt(k, ntid_);
+    b_.brc(more, bbScanLoop, bbOut);
+
+    b_.setInsert(bbOut);
+    const auto bidOff4 = b_.lmul(b_.sext64(bid_), imm(4));
+    if (!reverse_) {
+        b_.st(MemSpace::Global, MemWidth::I32,
+              b_.ladd(b_.param(4), bidOff4), rBest);
+        b_.st(MemSpace::Global, MemWidth::I32,
+              b_.ladd(b_.param(5), bidOff4), rI);
+        b_.st(MemSpace::Global, MemWidth::I32,
+              b_.ladd(b_.param(6), bidOff4), rJ);
+    } else {
+        // Map the reversed-best cell back to start positions.
+        const auto startA = b_.isub(endA_, rI);
+        const auto startB = b_.isub(endB_, rJ);
+        b_.st(MemSpace::Global, MemWidth::I32,
+              b_.ladd(b_.param(4), bidOff4), startA);
+        b_.st(MemSpace::Global, MemWidth::I32,
+              b_.ladd(b_.param(5), bidOff4), startB);
+    }
+    b_.br(bbDone);
+    b_.setInsert(bbDone);
+    b_.ret();
+    b_.setLoc("");
+}
+
+void
+KernelEmitter::emit()
+{
+    const std::string name =
+        version_ == 0 ? "sw_fwd_v0" : (reverse_ ? "sw_rev_v1" : "sw_fwd_v1");
+    const std::uint32_t numParams = reverse_ ? 7 : 8;
+    b_.startKernel(name, numParams, layout_.totalBytes, 0);
+    b_.block("entry");
+
+    emitPrologue();
+    // The prologue leaves the insertion point in its last block ("entry"
+    // for forward kernels, "main" for the reverse kernel).
+    const auto prologueEnd = b_.insertBlock();
+
+    bbDiag_ = b_.block("diag_loop");
+    b_.setInsert(prologueEnd);
+    b_.br(bbDiag_);
+    b_.setInsert(bbDiag_);
+
+    if (version_ == 0)
+        emitV0MemsetPlant();
+    emitExchangePublish();
+    emitShuffles();
+    emitValidity();
+    const auto validityEnd = b_.insertBlock();
+
+    // Guard the compute region by validity.
+    const auto bbCompute = b_.block("compute");
+    bbAfterCompute_ = b_.block("after_compute");
+    bbReduce_ = b_.block("reduce");
+    b_.setInsert(validityEnd);
+    b_.brc(isValid_, bbCompute, bbAfterCompute_);
+    b_.setInsert(bbCompute);
+    emitNeighborRead();
+    emitCellCompute();
+    emitRotateAndLatch();
+    emitReduction();
+}
+
+} // namespace
+
+AdeptModule
+buildAdeptV0(const ScoringParams& scoring, std::uint32_t maxThreads)
+{
+    GEVO_ASSERT(maxThreads % 32 == 0 && maxThreads >= 32 &&
+                    maxThreads <= 512,
+                "maxThreads must be a warp multiple <= 512");
+    AdeptModule out;
+    out.version = 0;
+    out.scoring = scoring;
+    out.maxThreads = maxThreads;
+    IRBuilder b(out.module);
+    KernelEmitter(b, out, 0, false, maxThreads).emit();
+    return out;
+}
+
+AdeptModule
+buildAdeptV1(const ScoringParams& scoring, std::uint32_t maxThreads)
+{
+    GEVO_ASSERT(maxThreads % 32 == 0 && maxThreads >= 64 &&
+                    maxThreads <= 512,
+                "V1 needs at least two warps, at most 512 threads");
+    AdeptModule out;
+    out.version = 1;
+    out.scoring = scoring;
+    out.maxThreads = maxThreads;
+    IRBuilder b(out.module);
+    KernelEmitter(b, out, 1, false, maxThreads).emit();
+    KernelEmitter(b, out, 1, true, maxThreads).emit();
+    return out;
+}
+
+AdeptModule
+buildAdept(int version, const ScoringParams& scoring,
+           std::uint32_t maxThreads)
+{
+    if (version == 0)
+        return buildAdeptV0(scoring, maxThreads);
+    if (version == 1)
+        return buildAdeptV1(scoring, maxThreads);
+    GEVO_FATAL("unknown ADEPT version %d", version);
+}
+
+} // namespace gevo::adept

@@ -1,0 +1,67 @@
+/// \file
+/// The ADEPT GPU kernels, built in IR.
+///
+/// Two development stages, exactly as the paper studies them (Sec III-B):
+///
+/// * **ADEPT-V0** — the naive port: one forward kernel, all neighbour
+///   exchange through shared memory, plus the pathological per-diagonal
+///   re-initialization of the reduction buffer by every thread with an
+///   extra barrier (the Sec VI-C ">30x" bottleneck).
+/// * **ADEPT-V1** — the hand-tuned version: forward + reverse kernels,
+///   warp-shuffle exchange inside warps, lane-31 shared-memory publish at
+///   warp boundaries, and `local_prev_*` shared arrays for the shrinking
+///   phase — the exact structure of the paper's Figure 9, including the
+///   activemask/ballot guard pair of Sec VI-B.
+///
+/// Every instruction the paper's edits touch is registered as a named
+/// anchor (uid) so that golden edit sets, discovery-trace matching and the
+/// epistasis analysis can refer to "edit 5/6/8/10" precisely. Key spots
+/// carry source locations named after Figure 9's line numbers.
+
+#ifndef GEVO_APPS_ADEPT_KERNELS_H
+#define GEVO_APPS_ADEPT_KERNELS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "apps/adept/scoring.h"
+#include "ir/function.h"
+
+namespace gevo::adept {
+
+/// A built ADEPT module plus the anchor maps golden edits are built from.
+struct AdeptModule {
+    ir::Module module;
+    int version = 0;                ///< 0 or 1.
+    ScoringParams scoring;
+    std::uint32_t maxThreads = 64;  ///< blockDim the kernels were built for.
+    /// Anchor-name -> instruction uid (edit targets).
+    std::map<std::string, std::uint64_t> anchors;
+    /// Anchor-name -> register index (edit replacement payloads).
+    std::map<std::string, std::int64_t> regs;
+
+    /// Anchor lookup; fatal when missing (a build/test mismatch).
+    std::uint64_t uidOf(const std::string& name) const;
+    /// Register lookup; fatal when missing.
+    std::int64_t regOf(const std::string& name) const;
+};
+
+/// Build ADEPT-V0 (one kernel: `sw_fwd_v0`).
+AdeptModule buildAdeptV0(const ScoringParams& scoring,
+                         std::uint32_t maxThreads);
+
+/// Build ADEPT-V1 (two kernels: `sw_fwd_v1`, `sw_rev_v1`).
+AdeptModule buildAdeptV1(const ScoringParams& scoring,
+                         std::uint32_t maxThreads);
+
+/// Build either version.
+AdeptModule buildAdept(int version, const ScoringParams& scoring,
+                       std::uint32_t maxThreads);
+
+/// Score sentinel used for -infinity in the kernels and the CPU oracle.
+constexpr std::int32_t kNegInfScore = -(1 << 28);
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_KERNELS_H

@@ -1,0 +1,51 @@
+/// \file
+/// Alignment scoring parameters (ADEPT's DNA defaults: affine gaps).
+
+#ifndef GEVO_APPS_ADEPT_SCORING_H
+#define GEVO_APPS_ADEPT_SCORING_H
+
+#include <cstdint>
+
+namespace gevo::adept {
+
+/// Affine-gap scoring. Penalties are stored positive and subtracted.
+struct ScoringParams {
+    std::int32_t match = 3;      ///< Score for a matching pair.
+    std::int32_t mismatch = -3;  ///< Score for a mismatching pair.
+    std::int32_t gapOpen = 6;    ///< Penalty to open a gap.
+    std::int32_t gapExtend = 1;  ///< Penalty to extend a gap.
+};
+
+/// The simple linear scheme from the paper's Figure 2 walkthrough
+/// (match +2, mismatch -2, gap -1 expressed as open==extend).
+inline ScoringParams
+figure2Scoring()
+{
+    ScoringParams p;
+    p.match = 2;
+    p.mismatch = -2;
+    p.gapOpen = 1;
+    p.gapExtend = 1;
+    return p;
+}
+
+/// Alignment result for one pair. Positions are 0-based; -1 when the best
+/// local alignment is empty.
+struct AlignmentResult {
+    std::int32_t score = 0;
+    std::int32_t endA = -1;
+    std::int32_t endB = -1;
+    std::int32_t startA = -1; ///< Filled by the reverse pass (V1/CPU only).
+    std::int32_t startB = -1;
+
+    friend bool
+    operator==(const AlignmentResult& x, const AlignmentResult& y)
+    {
+        return x.score == y.score && x.endA == y.endA && x.endB == y.endB &&
+               x.startA == y.startA && x.startB == y.startB;
+    }
+};
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_SCORING_H

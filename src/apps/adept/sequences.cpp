@@ -1,0 +1,87 @@
+#include "apps/adept/sequences.h"
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace gevo::adept {
+
+namespace {
+
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+std::string
+randomSequence(Rng& rng, std::size_t len)
+{
+    std::string s(len, 'A');
+    for (auto& c : s)
+        c = kBases[rng.below(4)];
+    return s;
+}
+
+/// Derive a mutated copy: substitutions plus short indels, clamped to
+/// [minLen, maxLen].
+std::string
+mutate(Rng& rng, const std::string& src, const SequenceSetConfig& cfg)
+{
+    std::string out;
+    out.reserve(src.size() + 8);
+    for (const char c : src) {
+        if (rng.chance(cfg.indelRate)) {
+            if (rng.chance(0.5)) {
+                continue; // deletion
+            }
+            out.push_back(kBases[rng.below(4)]); // insertion
+        }
+        if (rng.chance(cfg.mutationRate)) {
+            out.push_back(kBases[rng.below(4)]);
+        } else {
+            out.push_back(c);
+        }
+    }
+    while (out.size() < cfg.minLen)
+        out.push_back(kBases[rng.below(4)]);
+    if (out.size() > cfg.maxLen)
+        out.resize(cfg.maxLen);
+    return out;
+}
+
+} // namespace
+
+void
+appendBoundaryProbePairs(std::vector<SequencePair>* pairs,
+                         std::size_t maxLen, std::uint64_t seed)
+{
+    GEVO_ASSERT(maxLen >= 48, "probe pairs need maxLen >= 48");
+    Rng rng(seed ^ 0xb0a7ULL);
+    for (const std::size_t insert : {10u, 14u}) {
+        SequencePair p;
+        p.a = randomSequence(rng, maxLen);
+        // Query = random front insertion + a prefix of the reference, so
+        // the best path sits `insert` rows below the diagonal and crosses
+        // lane boundaries during the growing phase of the wavefront.
+        p.b = randomSequence(rng, insert) +
+              p.a.substr(0, maxLen - insert);
+        pairs->push_back(std::move(p));
+    }
+}
+
+std::vector<SequencePair>
+generatePairs(const SequenceSetConfig& cfg)
+{
+    GEVO_ASSERT(cfg.minLen >= 4 && cfg.minLen <= cfg.maxLen,
+                "bad sequence length bounds");
+    Rng rng(cfg.seed);
+    std::vector<SequencePair> pairs;
+    pairs.reserve(cfg.numPairs);
+    for (std::size_t i = 0; i < cfg.numPairs; ++i) {
+        const std::size_t len =
+            cfg.minLen + rng.below(cfg.maxLen - cfg.minLen + 1);
+        SequencePair p;
+        p.a = randomSequence(rng, len);
+        p.b = mutate(rng, p.a, cfg);
+        pairs.push_back(std::move(p));
+    }
+    return pairs;
+}
+
+} // namespace gevo::adept

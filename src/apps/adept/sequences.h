@@ -1,0 +1,48 @@
+/// \file
+/// Synthetic DNA sequence-pair generation.
+///
+/// Stands in for the ADEPT repository's 30,000-pair fitness set and
+/// 4.6M-pair held-out set (DESIGN.md §2): pairs are derived from a common
+/// ancestor by point mutations and indels so that meaningful local
+/// alignments exist, all deterministically from a seed.
+
+#ifndef GEVO_APPS_ADEPT_SEQUENCES_H
+#define GEVO_APPS_ADEPT_SEQUENCES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gevo::adept {
+
+/// One read pair to align.
+struct SequencePair {
+    std::string a; ///< Reference fragment.
+    std::string b; ///< Query fragment.
+};
+
+/// Configuration for the generator.
+struct SequenceSetConfig {
+    std::size_t numPairs = 8;
+    std::size_t minLen = 40;
+    std::size_t maxLen = 64;       ///< Hard cap; also the kernel stride.
+    double mutationRate = 0.1;     ///< Per-base substitution probability.
+    double indelRate = 0.03;       ///< Per-base insertion/deletion prob.
+    std::uint64_t seed = 42;
+};
+
+/// Generate a deterministic set of related DNA pairs.
+std::vector<SequencePair> generatePairs(const SequenceSetConfig& config);
+
+/// Append "warp-boundary probe" pairs: full-length pairs where the query
+/// carries a front insertion, pushing the optimal path through the warp
+/// boundary early in the wavefront. Without such pairs a variant that
+/// corrupts the warp-boundary exchange (paper edit 5 applied alone) can
+/// slip through a small fitness set — these make the fitness suite as
+/// discriminating as the paper's (where e5 alone fails validation).
+void appendBoundaryProbePairs(std::vector<SequencePair>* pairs,
+                              std::size_t maxLen, std::uint64_t seed);
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_SEQUENCES_H

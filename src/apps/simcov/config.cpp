@@ -1,0 +1,60 @@
+#include "apps/simcov/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace gevo::simcov {
+
+namespace {
+
+struct SeriesCheck {
+    const char* name;
+    double meanErr = 0.0;
+    double maxErr = 0.0;
+};
+
+void
+accumulate(SeriesCheck* chk, double ref, double got, double absFloor)
+{
+    const double denom = std::max(std::abs(ref), absFloor);
+    const double err = std::abs(got - ref) / denom;
+    chk->meanErr += err;
+    chk->maxErr = std::max(chk->maxErr, err);
+}
+
+} // namespace
+
+std::string
+compareSeries(const TimeSeries& ref, const TimeSeries& got,
+              const SeriesTolerance& tol)
+{
+    if (ref.size() != got.size())
+        return strformat("series length %zu != %zu", got.size(),
+                         ref.size());
+    SeriesCheck checks[5] = {
+        {"virions"}, {"chemokine"}, {"tcells"}, {"infected"}, {"dead"}};
+    for (std::size_t s = 0; s < ref.size(); ++s) {
+        accumulate(&checks[0], ref[s].totalVirions, got[s].totalVirions,
+                   tol.absFloor);
+        accumulate(&checks[1], ref[s].totalChemokine,
+                   got[s].totalChemokine, tol.absFloor);
+        accumulate(&checks[2], ref[s].tcells, got[s].tcells, tol.absFloor);
+        accumulate(&checks[3], ref[s].infected, got[s].infected,
+                   tol.absFloor);
+        accumulate(&checks[4], ref[s].dead, got[s].dead, tol.absFloor);
+    }
+    for (auto& chk : checks) {
+        chk.meanErr /= static_cast<double>(ref.size());
+        if (chk.meanErr > tol.meanRel)
+            return strformat("%s: mean relative error %.4f > %.4f",
+                             chk.name, chk.meanErr, tol.meanRel);
+        if (chk.maxErr > tol.maxRel)
+            return strformat("%s: max relative error %.4f > %.4f",
+                             chk.name, chk.maxErr, tol.maxRel);
+    }
+    return {};
+}
+
+} // namespace gevo::simcov

@@ -1,0 +1,250 @@
+#include "apps/simcov/cpu_model.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace gevo::simcov {
+
+namespace {
+
+/// Fixed 8-neighbour order shared with the GPU kernel emitter.
+constexpr int kNeighborDx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+constexpr int kNeighborDy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+
+/// One diffusion pass (kernels 2 and 3).
+void
+diffuse(const SimcovConfig& cfg, const std::vector<float>& src,
+        std::vector<float>* dst, float rate, float decay)
+{
+    const std::int32_t w = cfg.gridW;
+    for (std::int32_t c = 0; c < cfg.cells(); ++c) {
+        const std::int32_t y = c / w;
+        const std::int32_t x = c % w;
+        const float v = src[static_cast<std::size_t>(c)];
+        float acc = 0.0f;
+        for (int k = 0; k < 8; ++k) {
+            const std::int32_t nx = x + kNeighborDx[k];
+            const std::int32_t ny = y + kNeighborDy[k];
+            if (nx >= 0 && nx < w && ny >= 0 && ny < w)
+                acc += src[static_cast<std::size_t>(ny * w + nx)];
+        }
+        const float lap = acc - v * 8.0f;
+        const float t1 = lap * (rate / 8.0f);
+        const float t2 = v * decay;
+        const float next = std::max((v + t1) - t2, 0.0f);
+        (*dst)[static_cast<std::size_t>(c)] = next;
+    }
+}
+
+/// Kernel 4: epithelial state machine + production.
+void
+epicellUpdate(const SimcovConfig& cfg, ModelState* st)
+{
+    for (std::int32_t c = 0; c < cfg.cells(); ++c) {
+        const auto idx = static_cast<std::size_t>(c);
+        const std::int32_t state = st->epistate[idx];
+        if (state == kHealthy) {
+            if (st->virionsNext[idx] > cfg.infectThreshold) {
+                const std::uint32_t draw = xorshift32(st->rng[idx]);
+                st->rng[idx] = draw;
+                if (static_cast<std::int32_t>(draw & 0xffffff) <
+                    cfg.infectProbScaled) {
+                    st->epistate[idx] = kInfected;
+                    st->timer[idx] = 0;
+                }
+            }
+        } else if (state == kInfected) {
+            st->timer[idx] += 1;
+            st->virionsNext[idx] += cfg.virionProduction;
+            st->chemNext[idx] += cfg.chemProduction;
+            if (st->timer[idx] > cfg.incubationSteps) {
+                st->epistate[idx] = kApoptotic;
+                st->timer[idx] = 0;
+            }
+        } else if (state == kApoptotic) {
+            st->timer[idx] += 1;
+            if (st->timer[idx] > cfg.apoptosisSteps)
+                st->epistate[idx] = kDead;
+        }
+    }
+}
+
+/// Kernel 5: clear the move buffer and extravasate new T cells.
+void
+tcellGenerate(const SimcovConfig& cfg, ModelState* st)
+{
+    for (std::int32_t c = 0; c < cfg.cells(); ++c) {
+        const auto idx = static_cast<std::size_t>(c);
+        st->tcellNext[idx] = 0;
+        if (st->tcell[idx] == 0 &&
+            st->chemNext[idx] > cfg.tcellSpawnThreshold) {
+            const std::uint32_t draw = xorshift32(st->rng[idx]);
+            st->rng[idx] = draw;
+            if (static_cast<std::int32_t>(draw & 0xffffff) <
+                cfg.spawnProbScaled)
+                st->tcell[idx] = 1;
+        }
+    }
+}
+
+/// Kernel 6: random movement with atomic claim of the destination.
+///
+/// The GPU executes this warp-wide: all 32 lanes issue their first-choice
+/// CAS in lane order, and only then do the losers issue the fallback CAS
+/// on their own cell. The CPU mirror therefore processes cells in
+/// warp-sized chunks with the same two-phase order (warps of one block
+/// run to completion sequentially in the simulator, so chunk order is
+/// simply ascending).
+void
+tcellMove(const SimcovConfig& cfg, ModelState* st)
+{
+    const std::int32_t w = cfg.gridW;
+    for (std::int32_t base = 0; base < cfg.cells(); base += 32) {
+        std::int32_t losers[32];
+        int numLosers = 0;
+        const std::int32_t end = std::min(cfg.cells(), base + 32);
+        for (std::int32_t c = base; c < end; ++c) {
+            const auto idx = static_cast<std::size_t>(c);
+            if (st->tcell[idx] != 1)
+                continue;
+            const std::uint32_t draw = xorshift32(st->rng[idx]);
+            st->rng[idx] = draw;
+            // Matches the kernel: mask to 31 bits, then signed modulo.
+            const auto d =
+                static_cast<std::int32_t>((draw & 0x7fffffffu) % 9u);
+            const std::int32_t dx = d % 3 - 1;
+            const std::int32_t dy = d / 3 - 1;
+            const std::int32_t x = c % w;
+            const std::int32_t y = c / w;
+            const std::int32_t nx = x + dx;
+            const std::int32_t ny = y + dy;
+            std::int32_t dst = c;
+            if (nx >= 0 && nx < w && ny >= 0 && ny < w)
+                dst = ny * w + nx;
+            auto& slot = st->tcellNext[static_cast<std::size_t>(dst)];
+            if (slot == 0) {
+                slot = 1; // first-choice CAS wins
+            } else {
+                losers[numLosers++] = c;
+            }
+        }
+        for (int i = 0; i < numLosers; ++i) {
+            const auto idx = static_cast<std::size_t>(losers[i]);
+            if (st->tcellNext[idx] == 0)
+                st->tcellNext[idx] = 1; // fallback CAS
+        }
+    }
+}
+
+/// Kernel 7: bound T cells push infected neighbours into apoptosis.
+void
+tcellBind(const SimcovConfig& cfg, ModelState* st)
+{
+    const std::int32_t w = cfg.gridW;
+    for (std::int32_t c = 0; c < cfg.cells(); ++c) {
+        if (st->tcellNext[static_cast<std::size_t>(c)] != 1)
+            continue;
+        const std::int32_t x = c % w;
+        const std::int32_t y = c / w;
+        for (int k = 0; k < 9; ++k) {
+            const std::int32_t dx = k % 3 - 1;
+            const std::int32_t dy = k / 3 - 1;
+            const std::int32_t nx = x + dx;
+            const std::int32_t ny = y + dy;
+            if (nx < 0 || nx >= w || ny < 0 || ny >= w)
+                continue;
+            const auto nc = static_cast<std::size_t>(ny * w + nx);
+            if (st->epistate[nc] == kInfected) {
+                st->epistate[nc] = kApoptotic;
+                st->timer[nc] = 0;
+            }
+        }
+    }
+}
+
+/// Kernel 8: per-block float32 reduction in block order (mirrors the GPU
+/// shared-memory scan + per-block atomics, so sums match bit-for-bit).
+StepStats
+reduceStats(const SimcovConfig& cfg, const ModelState& st)
+{
+    StepStats out;
+    const auto blockDim = static_cast<std::int32_t>(cfg.blockDim);
+    for (std::int32_t base = 0; base < cfg.cells(); base += blockDim) {
+        float v = 0.0f;
+        float ch = 0.0f;
+        std::int32_t tc = 0;
+        std::int32_t inf = 0;
+        std::int32_t dead = 0;
+        const std::int32_t end = std::min(cfg.cells(), base + blockDim);
+        for (std::int32_t c = base; c < end; ++c) {
+            const auto idx = static_cast<std::size_t>(c);
+            v += st.virionsNext[idx];
+            ch += st.chemNext[idx];
+            tc += st.tcellNext[idx];
+            inf += st.epistate[idx] == kInfected ? 1 : 0;
+            dead += st.epistate[idx] == kDead ? 1 : 0;
+        }
+        out.totalVirions += v;
+        out.totalChemokine += ch;
+        out.tcells += tc;
+        out.infected += inf;
+        out.dead += dead;
+    }
+    return out;
+}
+
+} // namespace
+
+ModelState
+ModelState::initial(const SimcovConfig& cfg)
+{
+    ModelState st;
+    const auto n = static_cast<std::size_t>(cfg.cells());
+    st.epistate.assign(n, kHealthy);
+    st.timer.assign(n, 0);
+    st.virions.assign(n, 0.0f);
+    st.virionsNext.assign(n, 0.0f);
+    st.chemokine.assign(n, 0.0f);
+    st.chemNext.assign(n, 0.0f);
+    st.tcell.assign(n, 0);
+    st.tcellNext.assign(n, 0);
+    st.rng.resize(n);
+    for (std::int32_t c = 0; c < cfg.cells(); ++c)
+        st.rng[static_cast<std::size_t>(c)] = cellSeed(cfg.seed, c);
+    const std::int32_t centre =
+        (cfg.gridW / 2) * cfg.gridW + cfg.gridW / 2;
+    st.virions[static_cast<std::size_t>(centre)] = cfg.initialVirions;
+    return st;
+}
+
+StepStats
+stepCpuModel(const SimcovConfig& cfg, ModelState* st)
+{
+    diffuse(cfg, st->virions, &st->virionsNext, cfg.virionDiffuse,
+            cfg.virionDecay);
+    diffuse(cfg, st->chemokine, &st->chemNext, cfg.chemDiffuse,
+            cfg.chemDecay);
+    epicellUpdate(cfg, st);
+    tcellGenerate(cfg, st);
+    tcellMove(cfg, st);
+    tcellBind(cfg, st);
+    const StepStats stats = reduceStats(cfg, *st);
+    std::swap(st->virions, st->virionsNext);
+    std::swap(st->chemokine, st->chemNext);
+    std::swap(st->tcell, st->tcellNext);
+    return stats;
+}
+
+TimeSeries
+runCpuModel(const SimcovConfig& cfg)
+{
+    ModelState st = ModelState::initial(cfg);
+    TimeSeries series;
+    series.reserve(static_cast<std::size_t>(cfg.steps));
+    for (std::int32_t s = 0; s < cfg.steps; ++s)
+        series.push_back(stepCpuModel(cfg, &st));
+    return series;
+}
+
+} // namespace gevo::simcov

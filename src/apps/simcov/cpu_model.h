@@ -1,0 +1,47 @@
+/// \file
+/// CPU reference implementation of the SIMCoV model — the fixed-seed
+/// ground truth the GPU kernels are validated against (paper Sec III-C:
+/// "We use the simulation output generated from the unmodified SIMCoV as
+/// ground truth").
+///
+/// Every loop mirrors one GPU kernel, iterating cells in ascending index
+/// order — which is exactly the deterministic lane/warp/block order of the
+/// simulator — and all accumulation is done in float32 with the kernels'
+/// operation order, so the unmutated GPU module matches bit-for-bit.
+
+#ifndef GEVO_APPS_SIMCOV_CPU_MODEL_H
+#define GEVO_APPS_SIMCOV_CPU_MODEL_H
+
+#include <vector>
+
+#include "apps/simcov/config.h"
+
+namespace gevo::simcov {
+
+/// Full model state (host side).
+struct ModelState {
+    std::vector<std::int32_t> epistate;
+    std::vector<std::int32_t> timer;
+    std::vector<float> virions;
+    std::vector<float> virionsNext;
+    std::vector<float> chemokine;
+    std::vector<float> chemNext;
+    std::vector<std::int32_t> tcell;
+    std::vector<std::int32_t> tcellNext;
+    std::vector<std::uint32_t> rng;
+
+    /// Initialize per the setup kernel: one infection site at the grid
+    /// centre, deterministic per-cell RNG streams.
+    static ModelState initial(const SimcovConfig& config);
+};
+
+/// Run the reference simulation, returning the per-step statistics series.
+TimeSeries runCpuModel(const SimcovConfig& config);
+
+/// Single-step variant used by tests: advances \p state in place and
+/// returns the step's stats.
+StepStats stepCpuModel(const SimcovConfig& config, ModelState* state);
+
+} // namespace gevo::simcov
+
+#endif // GEVO_APPS_SIMCOV_CPU_MODEL_H

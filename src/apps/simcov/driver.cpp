@@ -1,0 +1,156 @@
+#include "apps/simcov/driver.h"
+
+#include <array>
+
+#include "apps/simcov/cpu_model.h"
+#include "sim/device_memory.h"
+#include "sim/program.h"
+#include "support/logging.h"
+
+namespace gevo::simcov {
+
+SimcovDriver::SimcovDriver(SimcovConfig config, bool padded,
+                           bool tightArena)
+    : config_(config), padded_(padded), tightArena_(tightArena),
+      expected_(runCpuModel(config))
+{
+}
+
+namespace {
+
+/// Accumulate launch counters into the aggregate.
+void
+addStats(sim::LaunchStats* agg, const sim::LaunchStats& s)
+{
+    agg->warpInstrs += s.warpInstrs;
+    agg->laneInstrs += s.laneInstrs;
+    agg->issueCycles += s.issueCycles;
+    agg->divergences += s.divergences;
+    agg->barriers += s.barriers;
+    agg->sharedConflictWays += s.sharedConflictWays;
+    agg->globalSectors += s.globalSectors;
+    for (const auto& [loc, n] : s.locIssues)
+        agg->locIssues[loc] += n;
+}
+
+} // namespace
+
+SimcovRunOutput
+SimcovDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
+                  bool profile) const
+{
+    SimcovRunOutput out;
+    const std::int32_t w = config_.gridW;
+    const std::int32_t side = padded_ ? w + 2 : w;
+    const std::int64_t gridBytes = 4ll * side * side;
+
+    // Allocation plan: stats + rng/epistate/timer/tcell/tcell_next +
+    // virions_next/chem_next + virions + CHEMOKINE LAST (see header).
+    const std::int64_t statsBytes = 256;
+    const std::int64_t total = statsBytes + 9 * ((gridBytes + 255) / 256)
+                                   * 256;
+    sim::DeviceMemory mem(tightArena_ ? total
+                                      : std::max<std::int64_t>(
+                                            total + (1 << 20), 8 << 20));
+
+    const auto stats = mem.alloc(statsBytes);
+    const auto rng = mem.alloc(gridBytes);
+    const auto epistate = mem.alloc(gridBytes);
+    const auto timer = mem.alloc(gridBytes);
+    const auto tcell = mem.alloc(gridBytes);
+    const auto tcellNext = mem.alloc(gridBytes);
+    const auto virionsNext = mem.alloc(gridBytes);
+    const auto chemNext = mem.alloc(gridBytes);
+    const auto virions = mem.alloc(gridBytes);
+    const auto chemokine = mem.alloc(gridBytes);
+
+    const auto blocks = static_cast<std::uint32_t>(
+        config_.cells() / static_cast<std::int32_t>(config_.blockDim));
+    const sim::LaunchDims dims{blocks, config_.blockDim, oversubscribe_};
+
+    // Decode all kernels up front.
+    struct Decoded {
+        const char* name;
+        sim::Program prog;
+    };
+    std::vector<Decoded> kernels;
+    for (const char* name :
+         {"sc_setup", "sc_vdiff", "sc_cdiff", "sc_epicell", "sc_tgen",
+          "sc_tmove", "sc_tbind", "sc_stats"}) {
+        const auto* fn = module.findFunction(name);
+        if (fn == nullptr) {
+            out.fault.kind = sim::FaultKind::InvalidProgram;
+            out.fault.detail = std::string(name) + " missing from module";
+            return out;
+        }
+        kernels.push_back({name, sim::Program::decode(*fn)});
+    }
+    auto launch = [&](std::size_t idx,
+                      const std::vector<std::uint64_t>& args) {
+        const auto res = sim::launchKernel(dev, mem, kernels[idx].prog,
+                                           dims, args, profile);
+        out.totalMs += res.stats.ms;
+        addStats(&out.aggregate, res.stats);
+        return res;
+    };
+    auto u64 = [](sim::DevPtr p) { return static_cast<std::uint64_t>(p); };
+
+    // Setup.
+    {
+        const auto res = launch(
+            0, {u64(epistate), u64(timer), u64(virions), u64(virionsNext),
+                u64(chemokine), u64(chemNext), u64(tcell), u64(tcellNext),
+                u64(rng), config_.seed});
+        if (!res.ok()) {
+            out.fault = res.fault;
+            return out;
+        }
+    }
+
+    sim::DevPtr vCur = virions;
+    sim::DevPtr vNext = virionsNext;
+    sim::DevPtr cCur = chemokine;
+    sim::DevPtr cNext = chemNext;
+    sim::DevPtr tCur = tcell;
+    sim::DevPtr tNext = tcellNext;
+
+    const auto wArg = static_cast<std::uint64_t>(w);
+    for (std::int32_t step = 0; step < config_.steps; ++step) {
+        for (int i = 0; i < 5; ++i)
+            mem.write<std::uint32_t>(stats + 4ll * i, 0);
+
+        const std::array<std::vector<std::uint64_t>, 7> argSets = {{
+            {u64(vCur), u64(vNext), wArg},                      // vdiff
+            {u64(cCur), u64(cNext), wArg},                      // cdiff
+            {u64(epistate), u64(timer), u64(vNext), u64(cNext),
+             u64(rng)},                                         // epicell
+            {u64(tCur), u64(tNext), u64(cNext), u64(rng)},      // tgen
+            {u64(tCur), u64(tNext), u64(rng), wArg},            // tmove
+            {u64(tNext), u64(epistate), u64(timer), wArg},      // tbind
+            {u64(vNext), u64(cNext), u64(tNext), u64(epistate),
+             u64(stats)},                                       // stats
+        }};
+        for (std::size_t k = 0; k < argSets.size(); ++k) {
+            const auto res = launch(k + 1, argSets[k]);
+            if (!res.ok()) {
+                out.fault = res.fault;
+                return out;
+            }
+        }
+
+        StepStats s;
+        s.totalVirions = mem.read<float>(stats);
+        s.totalChemokine = mem.read<float>(stats + 4);
+        s.tcells = mem.read<std::int32_t>(stats + 8);
+        s.infected = mem.read<std::int32_t>(stats + 12);
+        s.dead = mem.read<std::int32_t>(stats + 16);
+        out.series.push_back(s);
+
+        std::swap(vCur, vNext);
+        std::swap(cCur, cNext);
+        std::swap(tCur, tNext);
+    }
+    return out;
+}
+
+} // namespace gevo::simcov

@@ -1,0 +1,67 @@
+/// \file
+/// Host-side SIMCoV driver: allocates the grids, runs the per-step kernel
+/// sequence, swaps the double buffers, and collects the statistics series.
+///
+/// Allocation order matters (DESIGN.md §2 / paper Sec VI-D): the
+/// `chemokine` grid is the last allocation, so a boundary-check-free
+/// stencil's worst overrun (4*(W+1) bytes past the array) lands in mapped
+/// page slack on a roomy arena (small fitness grids pass) but past the
+/// mapped end when the arena is sized tightly to the problem — the
+/// held-out large-grid configuration — where it faults, exactly like the
+/// paper's 2500x2500 segfault.
+
+#ifndef GEVO_APPS_SIMCOV_DRIVER_H
+#define GEVO_APPS_SIMCOV_DRIVER_H
+
+#include "apps/simcov/config.h"
+#include "apps/simcov/kernels.h"
+#include "sim/device_config.h"
+#include "sim/executor.h"
+
+namespace gevo::simcov {
+
+/// Output of a full simulation run.
+struct SimcovRunOutput {
+    sim::Fault fault;
+    TimeSeries series;
+    double totalMs = 0.0;           ///< Simulated time across all kernels.
+    sim::LaunchStats aggregate;     ///< Issue/instr counters summed.
+
+    bool ok() const { return fault.ok(); }
+};
+
+/// Immutable run configuration; thread-safe (each run() owns its memory).
+class SimcovDriver {
+  public:
+    /// \p tightArena sizes device memory exactly to the allocations
+    /// (the held-out large-grid regime).
+    SimcovDriver(SimcovConfig config, bool padded = false,
+                 bool tightArena = false);
+
+    /// Execute the module's kernels over the configured run.
+    SimcovRunOutput run(const ir::Module& module,
+                        const sim::DeviceConfig& dev,
+                        bool profile = false) const;
+
+    /// CPU ground-truth series (computed once; identical for the padded
+    /// layout by construction).
+    const TimeSeries& expected() const { return expected_; }
+
+    const SimcovConfig& config() const { return config_; }
+    bool padded() const { return padded_; }
+
+    /// Timing-grid multiplier (saturated-device regime; the paper's
+    /// production grids are 2500x2500).
+    void setOversubscribe(std::uint32_t f) { oversubscribe_ = f; }
+
+  private:
+    SimcovConfig config_;
+    bool padded_;
+    bool tightArena_;
+    std::uint32_t oversubscribe_ = 512;
+    TimeSeries expected_;
+};
+
+} // namespace gevo::simcov
+
+#endif // GEVO_APPS_SIMCOV_DRIVER_H

@@ -1,0 +1,52 @@
+/// \file
+/// SIMCoV fitness: simulated total kernel time with per-value tolerance
+/// validation against the fixed-seed CPU ground truth (paper Sec III-C).
+
+#ifndef GEVO_APPS_SIMCOV_FITNESS_H
+#define GEVO_APPS_SIMCOV_FITNESS_H
+
+#include "apps/simcov/driver.h"
+#include "core/fitness.h"
+
+namespace gevo::simcov {
+
+/// Scores a module variant by total simulated kernel time; any fault or
+/// out-of-tolerance series invalidates it.
+class SimcovFitness : public core::FitnessFunction {
+  public:
+    SimcovFitness(const SimcovDriver& driver, sim::DeviceConfig dev,
+                  SeriesTolerance tolerance = {})
+        : driver_(driver), dev_(std::move(dev)), tolerance_(tolerance)
+    {
+    }
+
+    core::FitnessResult
+    evaluate(const ir::Module& variant) const override
+    {
+        const auto out = driver_.run(variant, dev_);
+        if (!out.ok())
+            return core::FitnessResult::fail(out.fault.detail);
+        const auto diag =
+            compareSeries(driver_.expected(), out.series, tolerance_);
+        if (!diag.empty())
+            return core::FitnessResult::fail(diag);
+        return core::FitnessResult::pass(out.totalMs);
+    }
+
+    std::string
+    name() const override
+    {
+        return "simcov(" + std::to_string(driver_.config().gridW) + "x" +
+               std::to_string(driver_.config().gridW) + ", " + dev_.name +
+               ")";
+    }
+
+  private:
+    const SimcovDriver& driver_;
+    sim::DeviceConfig dev_;
+    SeriesTolerance tolerance_;
+};
+
+} // namespace gevo::simcov
+
+#endif // GEVO_APPS_SIMCOV_FITNESS_H

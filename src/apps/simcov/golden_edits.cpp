@@ -1,0 +1,84 @@
+#include "apps/simcov/golden_edits.h"
+
+#include "support/strings.h"
+
+namespace gevo::simcov {
+
+namespace {
+
+using mut::Edit;
+using mut::EditKind;
+
+Edit
+condReplace(std::uint64_t uid, ir::Operand newCond)
+{
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = uid;
+    e.opIndex = 0;
+    e.newOperand = newCond;
+    return e;
+}
+
+} // namespace
+
+std::vector<mut::Edit>
+editsOf(const std::vector<NamedEdit>& named)
+{
+    std::vector<mut::Edit> out;
+    out.reserve(named.size());
+    for (const auto& n : named)
+        out.push_back(n.edit);
+    return out;
+}
+
+std::vector<NamedEdit>
+boundaryCheckEdits(const SimcovModule& built)
+{
+    std::vector<NamedEdit> out;
+    for (const char* tag : {"vdiff", "cdiff"}) {
+        for (int k = 0; k < 8; ++k) {
+            const auto name = strformat("%s.nb%d.brc", tag, k);
+            out.push_back({strformat("%s-nb%d", tag, k),
+                           condReplace(built.uidOf(name),
+                                       ir::Operand::imm(1))});
+        }
+    }
+    return out;
+}
+
+std::vector<NamedEdit>
+minorEdits(const SimcovModule& built)
+{
+    std::vector<NamedEdit> out;
+    {
+        Edit e;
+        e.kind = EditKind::InstrDelete;
+        e.srcUid = built.uidOf("stats.extrabar");
+        out.push_back({"stats-extra-barrier", e});
+    }
+    for (const char* tag : {"vdiff", "cdiff"}) {
+        Edit e;
+        e.kind = EditKind::OperandReplace;
+        e.srcUid = built.uidOf(std::string(tag) + ".center.load");
+        e.opIndex = 0;
+        e.newOperand = ir::Operand::reg(
+            built.regs.at(std::string(tag) + ".reg.caddr1"));
+        out.push_back({std::string(tag) + "-dup-coords", e});
+    }
+    out.push_back({"tmove-bounds",
+                   condReplace(built.uidOf("tmove.bounds.brc"),
+                               ir::Operand::imm(1))});
+    return out;
+}
+
+std::vector<NamedEdit>
+allGoldenEdits(const SimcovModule& built)
+{
+    auto out = boundaryCheckEdits(built);
+    for (auto& e : minorEdits(built))
+        out.push_back(std::move(e));
+    return out;
+}
+
+} // namespace gevo::simcov

@@ -1,0 +1,38 @@
+/// \file
+/// Canonical SIMCoV edit sets (paper Sec VI-D and the Figure 5 result).
+
+#ifndef GEVO_APPS_SIMCOV_GOLDEN_EDITS_H
+#define GEVO_APPS_SIMCOV_GOLDEN_EDITS_H
+
+#include <string>
+#include <vector>
+
+#include "apps/simcov/kernels.h"
+#include "mutation/edit.h"
+
+namespace gevo::simcov {
+
+/// A named golden edit.
+struct NamedEdit {
+    std::string name;
+    mut::Edit edit;
+};
+
+/// Strip names.
+std::vector<mut::Edit> editsOf(const std::vector<NamedEdit>& named);
+
+/// The Sec VI-D boundary-check removals: the 16 per-neighbour guard
+/// conditions of the two diffusion stencils rewritten to `true` (the
+/// checks then fold away, leaving unguarded edge reads).
+std::vector<NamedEdit> boundaryCheckEdits(const SimcovModule& built);
+
+/// The small independents: redundant stats barrier, duplicate coordinate
+/// chains in both stencils, dominated T-cell bounds check.
+std::vector<NamedEdit> minorEdits(const SimcovModule& built);
+
+/// Everything — the "SIMCoV-GEVO" configuration of Figure 5.
+std::vector<NamedEdit> allGoldenEdits(const SimcovModule& built);
+
+} // namespace gevo::simcov
+
+#endif // GEVO_APPS_SIMCOV_GOLDEN_EDITS_H

@@ -1,0 +1,607 @@
+#include "apps/simcov/kernels.h"
+
+#include "ir/builder.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace gevo::simcov {
+
+using ir::IRBuilder;
+using ir::MemSpace;
+using ir::MemWidth;
+using ir::Opcode;
+using ir::Operand;
+
+std::uint64_t
+SimcovModule::uidOf(const std::string& name) const
+{
+    const auto it = anchors.find(name);
+    if (it == anchors.end())
+        GEVO_FATAL("unknown SIMCoV anchor '%s'", name.c_str());
+    return it->second;
+}
+
+namespace {
+
+/// Fixed 8-neighbour order (must match cpu_model.cpp).
+constexpr int kNeighborDx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+constexpr int kNeighborDy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+
+/// Emits all eight kernels into one module.
+class SimcovEmitter {
+  public:
+    SimcovEmitter(SimcovModule& out) : out_(out), b_(out.module) {}
+
+    void
+    emitAll()
+    {
+        emitSetup();
+        emitDiffusion("sc_vdiff", "vdiff", out_.config.virionDiffuse,
+                      out_.config.virionDecay);
+        emitDiffusion("sc_cdiff", "cdiff", out_.config.chemDiffuse,
+                      out_.config.chemDecay);
+        emitEpicell();
+        emitTcellGenerate();
+        emitTcellMove();
+        emitTcellBind();
+        emitStats();
+    }
+
+  private:
+    void
+    anchor(const std::string& name)
+    {
+        auto& fn = b_.kernel();
+        out_.anchors[name] =
+            fn.blocks[b_.insertBlock()].instrs.back().uid;
+    }
+    void
+    regAnchor(const std::string& name, Operand r)
+    {
+        out_.regs[name] = r.value;
+    }
+
+    static Operand imm(std::int64_t v) { return Operand::imm(v); }
+    static Operand immf(float v) { return Operand::immF32(v); }
+
+    std::int32_t gridW() const { return out_.config.gridW; }
+    /// Row stride of the stored arrays (W, or W+2 when padded).
+    std::int32_t stride() const
+    {
+        return out_.padded ? gridW() + 2 : gridW();
+    }
+
+    /// c = bid*ntid + tid (logical cell, 0..W*W).
+    Operand
+    emitCellIndex()
+    {
+        const auto tid = b_.tid();
+        const auto bid = b_.bid();
+        const auto ntid = b_.ntid();
+        return b_.iadd(b_.imul(bid, ntid), tid);
+    }
+
+    /// Logical (x, y) of cell c.
+    std::pair<Operand, Operand>
+    emitXY(Operand c)
+    {
+        const auto y = b_.idiv(c, imm(gridW()));
+        const auto x = b_.irem(c, imm(gridW()));
+        return {x, y};
+    }
+
+    /// Element address: base + 4*(row*stride + col + pad offset).
+    Operand
+    emitAddrXY(Operand base, Operand x, Operand y)
+    {
+        const std::int32_t pad = out_.padded ? 1 : 0;
+        const auto row = b_.iadd(y, imm(pad));
+        const auto col = b_.iadd(x, imm(pad));
+        const auto idx = b_.iadd(b_.imul(row, imm(stride())), col);
+        return b_.ladd(base, b_.lmul(b_.sext64(idx), imm(4)));
+    }
+
+    /// Address of logical cell c in a (possibly padded) array.
+    Operand
+    emitAddrCell(Operand base, Operand c)
+    {
+        auto [x, y] = emitXY(c);
+        return emitAddrXY(base, x, y);
+    }
+
+    // ---- kernels ----
+
+    void emitSetup();
+    void emitDiffusion(const std::string& name, const std::string& tag,
+                       float rate, float decay);
+    void emitEpicell();
+    void emitTcellGenerate();
+    void emitTcellMove();
+    void emitTcellBind();
+    void emitStats();
+
+    /// rng draw: s = xorshift32(rng[c]); rng[c] = s; returns s (i32 reg).
+    Operand
+    emitRngDraw(Operand rngAddr)
+    {
+        const auto s0 = b_.ld(MemSpace::Global, MemWidth::U32, rngAddr);
+        const auto s1 = b_.bxor(s0, b_.band(b_.shl(s0, imm(13)),
+                                            imm(0xffffffffll)));
+        const auto s2 = b_.bxor(s1, b_.shr(s1, imm(17)));
+        const auto s3 = b_.bxor(s2, b_.band(b_.shl(s2, imm(5)),
+                                            imm(0xffffffffll)));
+        b_.st(MemSpace::Global, MemWidth::U32, rngAddr, s3);
+        return s3;
+    }
+
+    SimcovModule& out_;
+    IRBuilder b_;
+};
+
+void
+SimcovEmitter::emitSetup()
+{
+    // p0 epistate p1 timer p2 virions p3 virions_next p4 chem p5 chem_next
+    // p6 tcell p7 tcell_next p8 rng p9 seed
+    b_.startKernel("sc_setup", 10);
+    b_.block("entry");
+    b_.setLoc("simcov.cu:setup");
+    const auto c = emitCellIndex();
+    auto [x, y] = emitXY(c);
+
+    for (const std::uint32_t arrayParam : {0u, 1u, 6u, 7u}) {
+        b_.st(MemSpace::Global, MemWidth::I32,
+              emitAddrXY(b_.param(arrayParam), x, y), imm(0));
+    }
+    for (const std::uint32_t arrayParam : {3u, 4u, 5u}) {
+        b_.st(MemSpace::Global, MemWidth::F32,
+              emitAddrXY(b_.param(arrayParam), x, y), immf(0.0f));
+    }
+    // One infection site at the centre.
+    const std::int32_t centre =
+        (gridW() / 2) * gridW() + gridW() / 2;
+    const auto isCentre = b_.ieq(c, imm(centre));
+    const auto v0 = b_.sel(isCentre, immf(out_.config.initialVirions),
+                           immf(0.0f));
+    b_.st(MemSpace::Global, MemWidth::F32,
+          emitAddrXY(b_.param(2), x, y), v0);
+
+    // rng[c] = cellSeed(seed, c) — matches config.h's cellSeed().
+    const auto c64 = b_.sext64(c);
+    const auto mixed = b_.ladd(
+        b_.lmul(b_.ladd(c64, imm(1)), imm(0x9e3779b97f4a7c15ULL)),
+        b_.param(9));
+    const auto hi = b_.shr(mixed, imm(32));
+    const auto sVal = b_.band(b_.bxor(hi, mixed), imm(0xffffffffll));
+    const auto zero = b_.ieq(sVal, imm(0));
+    const auto seedVal = b_.sel(zero, imm(0x1234567), sVal);
+    b_.st(MemSpace::Global, MemWidth::U32,
+          emitAddrXY(b_.param(8), x, y), seedVal);
+    b_.ret();
+    b_.setLoc("");
+}
+
+void
+SimcovEmitter::emitDiffusion(const std::string& name,
+                             const std::string& tag, float rate,
+                             float decay)
+{
+    // p0 src p1 dst p2 W(unused; embedded) — kept for interface symmetry.
+    b_.startKernel(name, 3);
+    b_.block("entry");
+    b_.setLoc("simcov.cu:" + tag);
+    const auto c = emitCellIndex();
+    auto [x, y] = emitXY(c);
+
+    // Planted duplicate coordinate computation: the centre load derives
+    // its address from a second div/rem chain; rerouting the load to the
+    // first chain's address makes the duplicate dead (independent edit).
+    const auto centreAddr1 = emitAddrXY(b_.param(0), x, y);
+    regAnchor(tag + ".reg.caddr1", centreAddr1);
+    const auto y2 = b_.idiv(c, imm(gridW()));
+    const auto x2 = b_.irem(c, imm(gridW()));
+    const auto centreAddr2 = emitAddrXY(b_.param(0), x2, y2);
+    const auto v = b_.ld(MemSpace::Global, MemWidth::F32, centreAddr2);
+    anchor(tag + ".center.load");
+
+    const auto acc = b_.mov(immf(0.0f));
+    for (int k = 0; k < 8; ++k) {
+        const auto nx = b_.iadd(x, imm(kNeighborDx[k]));
+        const auto ny = b_.iadd(y, imm(kNeighborDy[k]));
+        if (!out_.padded) {
+            // Sec VI-D: verbose per-neighbour boundary checks.
+            b_.setLoc("simcov.cu:boundary");
+            const auto c1 = b_.ige(nx, imm(0));
+            const auto c2 = b_.ilt(nx, imm(gridW()));
+            const auto c3 = b_.ige(ny, imm(0));
+            const auto c4 = b_.ilt(ny, imm(gridW()));
+            const auto a1 = b_.band(c1, c2);
+            const auto a2 = b_.band(c3, c4);
+            const auto ok = b_.band(a1, a2);
+            const auto cur = b_.insertBlock();
+            const auto bbAcc = b_.block(strformat("acc%d", k));
+            const auto bbSkip = b_.block(strformat("skip%d", k));
+            b_.setInsert(cur);
+            b_.brc(ok, bbAcc, bbSkip);
+            anchor(strformat("%s.nb%d.brc", tag.c_str(), k));
+            b_.setInsert(bbAcc);
+            b_.setLoc("simcov.cu:" + tag);
+            const auto val = b_.ld(MemSpace::Global, MemWidth::F32,
+                                   emitAddrXY(b_.param(0), nx, ny));
+            b_.faddTo(acc, acc, val);
+            b_.br(bbSkip);
+            b_.setInsert(bbSkip);
+        } else {
+            // Padded halo (Fig 10(c)): reads are in bounds and halo cells
+            // are zero, so unconditional accumulation is exact.
+            const auto val = b_.ld(MemSpace::Global, MemWidth::F32,
+                                   emitAddrXY(b_.param(0), nx, ny));
+            b_.faddTo(acc, acc, val);
+        }
+    }
+    b_.setLoc("simcov.cu:" + tag);
+    const auto lap = b_.fsub(acc, b_.fmul(v, immf(8.0f)));
+    const auto t1 = b_.fmul(lap, immf(rate / 8.0f));
+    const auto t2 = b_.fmul(v, immf(decay));
+    const auto sum = b_.fadd(v, t1);
+    const auto nextRaw = b_.fsub(sum, t2);
+    const auto next = b_.fmax(nextRaw, immf(0.0f));
+    b_.st(MemSpace::Global, MemWidth::F32,
+          emitAddrXY(b_.param(1), x, y), next);
+    b_.ret();
+    b_.setLoc("");
+}
+
+void
+SimcovEmitter::emitEpicell()
+{
+    // p0 epistate p1 timer p2 virions_next p3 chem_next p4 rng
+    b_.startKernel("sc_epicell", 5);
+    const auto entry = b_.block("entry");
+    b_.setLoc("simcov.cu:epicell");
+    b_.setInsert(entry);
+    const auto c = emitCellIndex();
+    auto [x, y] = emitXY(c);
+    const auto stateAddr = emitAddrXY(b_.param(0), x, y);
+    const auto timerAddr = emitAddrXY(b_.param(1), x, y);
+    const auto virionAddr = emitAddrXY(b_.param(2), x, y);
+    const auto chemAddr = emitAddrXY(b_.param(3), x, y);
+    const auto rngAddr = emitAddrXY(b_.param(4), x, y);
+    const auto state = b_.ld(MemSpace::Global, MemWidth::I32, stateAddr);
+
+    const auto bbHealthy = b_.block("healthy");
+    const auto bbInfect = b_.block("do_infect");
+    const auto bbNotH = b_.block("not_healthy");
+    const auto bbInfected = b_.block("infected");
+    const auto bbApopCheck = b_.block("apop_check");
+    const auto bbApop = b_.block("apoptotic");
+    const auto bbDone = b_.block("done");
+
+    b_.setInsert(entry);
+    const auto isH = b_.ieq(state, imm(kHealthy));
+    b_.brc(isH, bbHealthy, bbNotH);
+
+    b_.setInsert(bbHealthy);
+    const auto vHere = b_.ld(MemSpace::Global, MemWidth::F32, virionAddr);
+    const auto hot = b_.fgt(vHere, immf(out_.config.infectThreshold));
+    const auto bbDraw = b_.block("draw_infect");
+    b_.setInsert(bbHealthy);
+    b_.brc(hot, bbDraw, bbDone);
+    b_.setInsert(bbDraw);
+    const auto draw = emitRngDraw(rngAddr);
+    const auto low = b_.band(draw, imm(0xffffff));
+    const auto roll = b_.ilt(low, imm(out_.config.infectProbScaled));
+    b_.brc(roll, bbInfect, bbDone);
+    b_.setInsert(bbInfect);
+    b_.st(MemSpace::Global, MemWidth::I32, stateAddr, imm(kInfected));
+    b_.st(MemSpace::Global, MemWidth::I32, timerAddr, imm(0));
+    b_.br(bbDone);
+
+    b_.setInsert(bbNotH);
+    const auto isInf = b_.ieq(state, imm(kInfected));
+    b_.brc(isInf, bbInfected, bbApopCheck);
+
+    b_.setInsert(bbInfected);
+    const auto t0 = b_.ld(MemSpace::Global, MemWidth::I32, timerAddr);
+    const auto t1 = b_.iadd(t0, imm(1));
+    b_.st(MemSpace::Global, MemWidth::I32, timerAddr, t1);
+    const auto vOld = b_.ld(MemSpace::Global, MemWidth::F32, virionAddr);
+    b_.st(MemSpace::Global, MemWidth::F32, virionAddr,
+          b_.fadd(vOld, immf(out_.config.virionProduction)));
+    const auto cOld = b_.ld(MemSpace::Global, MemWidth::F32, chemAddr);
+    b_.st(MemSpace::Global, MemWidth::F32, chemAddr,
+          b_.fadd(cOld, immf(out_.config.chemProduction)));
+    const auto bbToApop = b_.block("to_apop");
+    b_.setInsert(bbInfected);
+    const auto over = b_.igt(t1, imm(out_.config.incubationSteps));
+    b_.brc(over, bbToApop, bbDone);
+    b_.setInsert(bbToApop);
+    b_.st(MemSpace::Global, MemWidth::I32, stateAddr, imm(kApoptotic));
+    b_.st(MemSpace::Global, MemWidth::I32, timerAddr, imm(0));
+    b_.br(bbDone);
+
+    b_.setInsert(bbApopCheck);
+    const auto isApop = b_.ieq(state, imm(kApoptotic));
+    const auto bbDie = b_.block("to_dead");
+    b_.setInsert(bbApopCheck);
+    b_.brc(isApop, bbApop, bbDone);
+    b_.setInsert(bbApop);
+    const auto ta = b_.ld(MemSpace::Global, MemWidth::I32, timerAddr);
+    const auto ta1 = b_.iadd(ta, imm(1));
+    b_.st(MemSpace::Global, MemWidth::I32, timerAddr, ta1);
+    const auto deadNow = b_.igt(ta1, imm(out_.config.apoptosisSteps));
+    b_.brc(deadNow, bbDie, bbDone);
+    b_.setInsert(bbDie);
+    b_.st(MemSpace::Global, MemWidth::I32, stateAddr, imm(kDead));
+    b_.br(bbDone);
+
+    b_.setInsert(bbDone);
+    b_.ret();
+    b_.setLoc("");
+}
+
+void
+SimcovEmitter::emitTcellGenerate()
+{
+    // p0 tcell p1 tcell_next p2 chem_next p3 rng
+    b_.startKernel("sc_tgen", 4);
+    const auto entry = b_.block("entry");
+    b_.setLoc("simcov.cu:tgen");
+    const auto c = emitCellIndex();
+    auto [x, y] = emitXY(c);
+    const auto tAddr = emitAddrXY(b_.param(0), x, y);
+    const auto tnAddr = emitAddrXY(b_.param(1), x, y);
+    const auto chAddr = emitAddrXY(b_.param(2), x, y);
+    const auto rngAddr = emitAddrXY(b_.param(3), x, y);
+
+    // Clear the move buffer.
+    b_.st(MemSpace::Global, MemWidth::I32, tnAddr, imm(0));
+
+    const auto occupied = b_.ld(MemSpace::Global, MemWidth::I32, tAddr);
+    const auto ch = b_.ld(MemSpace::Global, MemWidth::F32, chAddr);
+    const auto empty = b_.ieq(occupied, imm(0));
+    const auto warm = b_.fgt(ch, immf(out_.config.tcellSpawnThreshold));
+    const auto cand = b_.band(empty, warm);
+    const auto bbDraw = b_.block("draw_spawn");
+    const auto bbSpawn = b_.block("spawn");
+    const auto bbDone = b_.block("done");
+    b_.setInsert(entry);
+    b_.brc(cand, bbDraw, bbDone);
+    b_.setInsert(bbDraw);
+    const auto draw = emitRngDraw(rngAddr);
+    const auto low = b_.band(draw, imm(0xffffff));
+    const auto roll = b_.ilt(low, imm(out_.config.spawnProbScaled));
+    b_.brc(roll, bbSpawn, bbDone);
+    b_.setInsert(bbSpawn);
+    b_.st(MemSpace::Global, MemWidth::I32, tAddr, imm(1));
+    b_.br(bbDone);
+    b_.setInsert(bbDone);
+    b_.ret();
+    b_.setLoc("");
+}
+
+void
+SimcovEmitter::emitTcellMove()
+{
+    // p0 tcell p1 tcell_next p2 rng p3 W(embedded)
+    b_.startKernel("sc_tmove", 4);
+    const auto entry = b_.block("entry");
+    b_.setLoc("simcov.cu:tmove");
+    const auto c = emitCellIndex();
+    auto [x, y] = emitXY(c);
+    const auto tAddr = emitAddrXY(b_.param(0), x, y);
+    const auto rngAddr = emitAddrXY(b_.param(2), x, y);
+
+    const auto occupied = b_.ld(MemSpace::Global, MemWidth::I32, tAddr);
+    const auto bbMove = b_.block("move");
+    const auto bbDone = b_.block("done");
+    b_.setInsert(entry);
+    const auto isT = b_.ieq(occupied, imm(1));
+    b_.brc(isT, bbMove, bbDone);
+
+    b_.setInsert(bbMove);
+    // Planted dominated bounds check (always true).
+    const auto bbMove2 = b_.block("move2");
+    b_.setInsert(bbMove);
+    const auto inRange = b_.ilt(c, imm(1 << 22));
+    b_.brc(inRange, bbMove2, bbDone);
+    anchor("tmove.bounds.brc"); // independent edit: cond -> imm 1
+    b_.setInsert(bbMove2);
+    const auto draw = emitRngDraw(rngAddr);
+    const auto d = b_.irem(b_.band(draw, imm(0x7fffffff)), imm(9));
+    const auto dx = b_.isub(b_.irem(d, imm(3)), imm(1));
+    const auto dy = b_.isub(b_.idiv(d, imm(3)), imm(1));
+    const auto nx = b_.iadd(x, dx);
+    const auto ny = b_.iadd(y, dy);
+    b_.setLoc("simcov.cu:boundary");
+    const auto c1 = b_.ige(nx, imm(0));
+    const auto c2 = b_.ilt(nx, imm(gridW()));
+    const auto c3 = b_.ige(ny, imm(0));
+    const auto c4 = b_.ilt(ny, imm(gridW()));
+    const auto ok = b_.band(b_.band(c1, c2), b_.band(c3, c4));
+    b_.setLoc("simcov.cu:tmove");
+    const auto sx = b_.sel(ok, nx, x);
+    const auto sy = b_.sel(ok, ny, y);
+    const auto dstAddr = emitAddrXY(b_.param(1), sx, sy);
+    const auto old = b_.atomicCas(MemSpace::Global, dstAddr, imm(0),
+                                  imm(1));
+    const auto bbStay = b_.block("stay");
+    b_.setInsert(bbMove2);
+    const auto lost = b_.ine(old, imm(0));
+    b_.brc(lost, bbStay, bbDone);
+    b_.setInsert(bbStay);
+    const auto ownAddr = emitAddrXY(b_.param(1), x, y);
+    b_.atomicCas(MemSpace::Global, ownAddr, imm(0), imm(1));
+    b_.br(bbDone);
+    b_.setInsert(bbDone);
+    b_.ret();
+    b_.setLoc("");
+}
+
+void
+SimcovEmitter::emitTcellBind()
+{
+    // p0 tcell_next p1 epistate p2 timer p3 W(embedded)
+    b_.startKernel("sc_tbind", 4);
+    const auto entry = b_.block("entry");
+    b_.setLoc("simcov.cu:tbind");
+    const auto c = emitCellIndex();
+    auto [x, y] = emitXY(c);
+    const auto tAddr = emitAddrXY(b_.param(0), x, y);
+    const auto occupied = b_.ld(MemSpace::Global, MemWidth::I32, tAddr);
+
+    const auto bbBind = b_.block("bind");
+    const auto bbDone = b_.block("done");
+    b_.setInsert(entry);
+    const auto isT = b_.ieq(occupied, imm(1));
+    b_.brc(isT, bbBind, bbDone);
+    b_.setInsert(bbBind);
+
+    for (int k = 0; k < 9; ++k) {
+        const int dx = k % 3 - 1;
+        const int dy = k / 3 - 1;
+        const auto nx = b_.iadd(x, imm(dx));
+        const auto ny = b_.iadd(y, imm(dy));
+        const auto cur = b_.insertBlock();
+        const auto bbTouch = b_.block(strformat("touch%d", k));
+        const auto bbKill = b_.block(strformat("kill%d", k));
+        const auto bbNext = b_.block(strformat("next%d", k));
+        b_.setInsert(cur);
+        if (!out_.padded) {
+            b_.setLoc("simcov.cu:boundary");
+            const auto c1 = b_.ige(nx, imm(0));
+            const auto c2 = b_.ilt(nx, imm(gridW()));
+            const auto c3 = b_.ige(ny, imm(0));
+            const auto c4 = b_.ilt(ny, imm(gridW()));
+            const auto ok = b_.band(b_.band(c1, c2), b_.band(c3, c4));
+            b_.setLoc("simcov.cu:tbind");
+            b_.brc(ok, bbTouch, bbNext);
+        } else {
+            b_.br(bbTouch);
+        }
+        b_.setInsert(bbTouch);
+        const auto stAddr = emitAddrXY(b_.param(1), nx, ny);
+        const auto st = b_.ld(MemSpace::Global, MemWidth::I32, stAddr);
+        const auto inf = b_.ieq(st, imm(kInfected));
+        b_.brc(inf, bbKill, bbNext);
+        b_.setInsert(bbKill);
+        b_.st(MemSpace::Global, MemWidth::I32, stAddr, imm(kApoptotic));
+        b_.st(MemSpace::Global, MemWidth::I32,
+              emitAddrXY(b_.param(2), nx, ny), imm(0));
+        b_.br(bbNext);
+        b_.setInsert(bbNext);
+    }
+    b_.br(bbDone);
+    b_.setInsert(bbDone);
+    b_.ret();
+    b_.setLoc("");
+}
+
+void
+SimcovEmitter::emitStats()
+{
+    // p0 virions_next p1 chem_next p2 tcell_next p3 epistate p4 stats
+    const auto T = out_.config.blockDim;
+    b_.startKernel("sc_stats", 5, /*sharedBytes=*/T * 5 * 4);
+    const auto entry = b_.block("entry");
+    b_.setLoc("simcov.cu:stats");
+    const auto c = emitCellIndex();
+    auto [x, y] = emitXY(c);
+    const auto tid = b_.tid();
+    const auto tid64 = b_.sext64(tid);
+    const auto slot = b_.lmul(tid64, imm(4));
+
+    const auto v = b_.ld(MemSpace::Global, MemWidth::F32,
+                         emitAddrXY(b_.param(0), x, y));
+    const auto ch = b_.ld(MemSpace::Global, MemWidth::F32,
+                          emitAddrXY(b_.param(1), x, y));
+    const auto tc = b_.ld(MemSpace::Global, MemWidth::I32,
+                          emitAddrXY(b_.param(2), x, y));
+    const auto st = b_.ld(MemSpace::Global, MemWidth::I32,
+                          emitAddrXY(b_.param(3), x, y));
+    const auto inf = b_.ieq(st, imm(kInfected));
+    const auto dead = b_.ieq(st, imm(kDead));
+
+    const std::int64_t strideBytes = 4ll * T;
+    b_.st(MemSpace::Shared, MemWidth::F32, slot, v);
+    b_.st(MemSpace::Shared, MemWidth::F32,
+          b_.ladd(slot, imm(strideBytes)), ch);
+    b_.st(MemSpace::Shared, MemWidth::I32,
+          b_.ladd(slot, imm(2 * strideBytes)), tc);
+    b_.st(MemSpace::Shared, MemWidth::I32,
+          b_.ladd(slot, imm(3 * strideBytes)), inf);
+    b_.st(MemSpace::Shared, MemWidth::I32,
+          b_.ladd(slot, imm(4 * strideBytes)), dead);
+    b_.barrier();
+    b_.barrier(); // planted: redundant double sync
+    anchor("stats.extrabar");
+
+    const auto bbScan = b_.block("scan");
+    const auto bbLoop = b_.block("scan_loop");
+    const auto bbOut = b_.block("scan_out");
+    const auto bbDone = b_.block("done");
+    b_.setInsert(entry);
+    const auto isT0 = b_.ieq(tid, imm(0));
+    b_.brc(isT0, bbScan, bbDone);
+
+    b_.setInsert(bbScan);
+    const auto sumV = b_.mov(immf(0.0f));
+    const auto sumC = b_.mov(immf(0.0f));
+    const auto sumT = b_.mov(imm(0));
+    const auto sumI = b_.mov(imm(0));
+    const auto sumD = b_.mov(imm(0));
+    const auto k = b_.mov(imm(0));
+    b_.br(bbLoop);
+    b_.setInsert(bbLoop);
+    const auto kslot = b_.lmul(b_.sext64(k), imm(4));
+    b_.faddTo(sumV, sumV,
+              b_.ld(MemSpace::Shared, MemWidth::F32, kslot));
+    b_.faddTo(sumC, sumC,
+              b_.ld(MemSpace::Shared, MemWidth::F32,
+                    b_.ladd(kslot, imm(strideBytes))));
+    b_.iaddTo(sumT, sumT,
+              b_.ld(MemSpace::Shared, MemWidth::I32,
+                    b_.ladd(kslot, imm(2 * strideBytes))));
+    b_.iaddTo(sumI, sumI,
+              b_.ld(MemSpace::Shared, MemWidth::I32,
+                    b_.ladd(kslot, imm(3 * strideBytes))));
+    b_.iaddTo(sumD, sumD,
+              b_.ld(MemSpace::Shared, MemWidth::I32,
+                    b_.ladd(kslot, imm(4 * strideBytes))));
+    b_.iaddTo(k, k, imm(1));
+    const auto more = b_.ilt(k, b_.ntid());
+    b_.brc(more, bbLoop, bbOut);
+    b_.setInsert(bbOut);
+    b_.atomic(ir::AtomicOp::AddF32, MemSpace::Global, b_.param(4), sumV);
+    b_.atomic(ir::AtomicOp::AddF32, MemSpace::Global,
+              b_.ladd(b_.param(4), imm(4)), sumC);
+    b_.atomic(ir::AtomicOp::AddI32, MemSpace::Global,
+              b_.ladd(b_.param(4), imm(8)), sumT);
+    b_.atomic(ir::AtomicOp::AddI32, MemSpace::Global,
+              b_.ladd(b_.param(4), imm(12)), sumI);
+    b_.atomic(ir::AtomicOp::AddI32, MemSpace::Global,
+              b_.ladd(b_.param(4), imm(16)), sumD);
+    b_.br(bbDone);
+    b_.setInsert(bbDone);
+    b_.ret();
+    b_.setLoc("");
+}
+
+} // namespace
+
+SimcovModule
+buildSimcov(const SimcovConfig& config, bool padded)
+{
+    GEVO_ASSERT(config.cells() %
+                        static_cast<std::int32_t>(config.blockDim) ==
+                    0,
+                "grid cells must be a multiple of blockDim");
+    SimcovModule out;
+    out.config = config;
+    out.padded = padded;
+    SimcovEmitter emitter(out);
+    emitter.emitAll();
+    return out;
+}
+
+} // namespace gevo::simcov

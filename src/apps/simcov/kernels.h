@@ -1,0 +1,44 @@
+/// \file
+/// The SIMCoV GPU kernels, built in IR.
+///
+/// Eight kernels, mirroring the paper's "initial GPU port" (Sec III-B:
+/// 8 kernels, one thread per grid point): setup, virion diffusion,
+/// chemokine diffusion, epithelial update, T-cell generation, T-cell
+/// movement (atomicCAS destination claim — the Sec II-C2 race, resolved
+/// deterministically here), T-cell binding, and statistics reduction.
+///
+/// The diffusion stencils carry the verbose per-neighbour boundary checks
+/// of Sec VI-D (tagged with the "simcov.cu:boundary" source location so
+/// the profiler can measure their dynamic share); the padded variant
+/// (paper Fig 10(c)) allocates a zero halo and drops them.
+
+#ifndef GEVO_APPS_SIMCOV_KERNELS_H
+#define GEVO_APPS_SIMCOV_KERNELS_H
+
+#include <map>
+#include <string>
+
+#include "apps/simcov/config.h"
+#include "ir/function.h"
+
+namespace gevo::simcov {
+
+/// A built SIMCoV module plus anchors for the golden edits.
+struct SimcovModule {
+    ir::Module module;
+    SimcovConfig config; ///< Constants embedded in the kernels.
+    bool padded = false;
+    std::map<std::string, std::uint64_t> anchors;
+    std::map<std::string, std::int64_t> regs;
+
+    /// Anchor lookup; fatal when missing.
+    std::uint64_t uidOf(const std::string& name) const;
+};
+
+/// Build the eight kernels. \p padded selects the Fig 10(c) halo layout
+/// (boundary checks removed by construction; grid stride W+2).
+SimcovModule buildSimcov(const SimcovConfig& config, bool padded = false);
+
+} // namespace gevo::simcov
+
+#endif // GEVO_APPS_SIMCOV_KERNELS_H

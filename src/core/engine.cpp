@@ -1,0 +1,168 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "mutation/patch.h"
+#include "support/logging.h"
+#include "support/thread_pool.h"
+
+namespace gevo::core {
+
+EvolutionEngine::EvolutionEngine(const ir::Module& base,
+                                 const FitnessFunction& fitness,
+                                 EvolutionParams params)
+    : base_(base), fitness_(fitness), params_(params)
+{
+    GEVO_ASSERT(params_.populationSize >= 2, "population too small");
+    GEVO_ASSERT(params_.elitism < params_.populationSize,
+                "elitism exceeds population");
+}
+
+Individual
+EvolutionEngine::makeSeedIndividual(Rng& rng)
+{
+    // GEVO seeds the population with single-mutation variants of the
+    // original program.
+    Individual ind;
+    const auto edit = mut::sampleEdit(base_, rng, params_.sampler);
+    if (edit)
+        ind.edits.push_back(*edit);
+    return ind;
+}
+
+void
+EvolutionEngine::evaluatePopulation(ThreadPool& pool,
+                                    std::vector<Individual>* pop)
+{
+    std::vector<Individual*> todo;
+    for (auto& ind : *pop) {
+        if (!ind.evaluated)
+            todo.push_back(&ind);
+    }
+    pool.parallelFor(todo.size(), [&](std::size_t i) {
+        todo[i]->fitness = evaluateVariant(base_, todo[i]->edits, fitness_);
+        todo[i]->evaluated = true;
+    });
+}
+
+const Individual&
+EvolutionEngine::tournament(const std::vector<Individual>& pop,
+                            Rng& rng) const
+{
+    const Individual* best = nullptr;
+    for (std::uint32_t i = 0; i < params_.tournamentSize; ++i) {
+        const Individual& c = pop[rng.below(pop.size())];
+        if (best == nullptr || c.fitness.ms < best->fitness.ms)
+            best = &c;
+    }
+    return *best;
+}
+
+void
+EvolutionEngine::mutate(Individual* ind, Rng& rng)
+{
+    if (!ind->edits.empty() && !rng.chance(params_.mutationAppendProb)) {
+        ind->edits.erase(ind->edits.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             rng.below(ind->edits.size())));
+        ind->evaluated = false;
+        return;
+    }
+    // Sample against the patched variant so new edits can build on
+    // previously inserted instructions.
+    const ir::Module patched = mut::applyPatch(base_, ind->edits);
+    const auto edit = mut::sampleEdit(patched, rng, params_.sampler);
+    if (edit) {
+        ind->edits.push_back(*edit);
+        ind->evaluated = false;
+    }
+}
+
+SearchResult
+EvolutionEngine::run(const GenerationCallback& onGeneration)
+{
+    Rng rng(params_.seed);
+    SearchResult result;
+    ThreadPool pool(params_.threads);
+
+    const auto baseline = evaluateVariant(base_, {}, fitness_);
+    if (!baseline.valid)
+        GEVO_FATAL("baseline program fails its own tests: %s",
+                   baseline.failReason.c_str());
+    result.baselineMs = baseline.ms;
+    result.best.fitness = baseline;
+    result.best.evaluated = true;
+
+    std::vector<Individual> pop;
+    pop.reserve(params_.populationSize);
+    for (std::uint32_t i = 0; i < params_.populationSize; ++i)
+        pop.push_back(makeSeedIndividual(rng));
+
+    for (std::uint32_t gen = 1; gen <= params_.generations; ++gen) {
+        std::size_t evals = 0;
+        for (const auto& ind : pop)
+            evals += ind.evaluated ? 0 : 1;
+        evaluatePopulation(pool, &pop);
+
+        std::sort(pop.begin(), pop.end(),
+                  [](const Individual& a, const Individual& b) {
+                      return a.fitness.ms < b.fitness.ms;
+                  });
+
+        GenerationLog log;
+        log.generation = gen;
+        log.evaluations = evals;
+        double sum = 0.0;
+        for (const auto& ind : pop) {
+            if (ind.fitness.valid) {
+                sum += ind.fitness.ms;
+                ++log.validCount;
+            }
+        }
+        log.meanMs = log.validCount
+                         ? sum / static_cast<double>(log.validCount)
+                         : 0.0;
+        if (pop.front().fitness.valid &&
+            pop.front().fitness.ms < result.best.fitness.ms) {
+            result.best = pop.front();
+        }
+        log.bestMs = result.best.fitness.ms;
+        log.bestEdits = result.best.edits;
+        result.history.push_back(log);
+        if (onGeneration)
+            onGeneration(result.history.back(), result);
+
+        // ---- breed the next generation ----
+        std::vector<Individual> next;
+        next.reserve(params_.populationSize);
+        for (std::uint32_t e = 0;
+             e < params_.elitism && e < pop.size(); ++e)
+            next.push_back(pop[e]);
+
+        while (next.size() < params_.populationSize) {
+            const Individual& a = tournament(pop, rng);
+            const Individual& b = tournament(pop, rng);
+            Individual child;
+            if (rng.chance(params_.crossoverProb)) {
+                auto [c1, c2] = mut::crossoverEdits(a.edits, b.edits, rng);
+                child.edits = std::move(c1);
+                if (next.size() + 1 < params_.populationSize) {
+                    Individual sibling;
+                    sibling.edits = std::move(c2);
+                    if (rng.chance(params_.mutationProb))
+                        mutate(&sibling, rng);
+                    next.push_back(std::move(sibling));
+                }
+            } else {
+                child = a;
+            }
+            if (rng.chance(params_.mutationProb))
+                mutate(&child, rng);
+            next.push_back(std::move(child));
+        }
+        pop = std::move(next);
+    }
+    return result;
+}
+
+} // namespace gevo::core

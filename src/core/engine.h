@@ -1,0 +1,104 @@
+/// \file
+/// The GEVO evolutionary search engine.
+///
+/// Generational GA over edit lists with the paper's Sec III-E parameters as
+/// defaults: population 256, elitism 4, crossover probability 0.8, mutation
+/// probability 0.3 per individual per generation. Fitness evaluations run
+/// on a thread pool; every stochastic decision flows from the single seed,
+/// so (seed, base module, fitness) fully determines the search trajectory —
+/// which is what lets the Figure 8 discovery-sequence analysis recapitulate
+/// a run.
+
+#ifndef GEVO_CORE_ENGINE_H
+#define GEVO_CORE_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/fitness.h"
+#include "mutation/sampler.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace gevo::core {
+
+/// One member of the population: an edit list plus its cached fitness.
+struct Individual {
+    std::vector<mut::Edit> edits;
+    FitnessResult fitness;
+    bool evaluated = false;
+};
+
+/// Search hyper-parameters (paper defaults).
+struct EvolutionParams {
+    std::uint32_t populationSize = 256;
+    std::uint32_t generations = 300;
+    std::uint32_t elitism = 4;
+    double crossoverProb = 0.8;
+    double mutationProb = 0.3;
+    /// Within a mutation event: probability the edit list grows (vs. a
+    /// random existing edit being dropped).
+    double mutationAppendProb = 0.85;
+    std::uint32_t tournamentSize = 2;
+    std::uint64_t seed = 1;
+    std::uint32_t threads = 0; ///< 0 = hardware concurrency.
+    mut::SamplerConfig sampler;
+};
+
+/// Per-generation record (drives Figures 6 and 8).
+struct GenerationLog {
+    std::uint32_t generation = 0;
+    double bestMs = 0.0;     ///< Best (lowest) valid fitness so far.
+    double meanMs = 0.0;     ///< Mean over valid individuals this gen.
+    std::size_t validCount = 0;
+    std::size_t evaluations = 0; ///< Fitness calls this generation.
+    std::vector<mut::Edit> bestEdits; ///< Edit list of the generation best.
+};
+
+/// Result of a full search.
+struct SearchResult {
+    double baselineMs = 0.0;  ///< Fitness of the unmodified program.
+    Individual best;          ///< Best individual over the whole run.
+    std::vector<GenerationLog> history;
+
+    /// Final speedup (baseline / best), 1.0 when nothing improved.
+    double speedup() const
+    {
+        return best.fitness.valid && best.fitness.ms > 0.0
+                   ? baselineMs / best.fitness.ms
+                   : 1.0;
+    }
+};
+
+/// Evolutionary search driver.
+class EvolutionEngine {
+  public:
+    /// Observer invoked after each generation (progress reporting).
+    using GenerationCallback =
+        std::function<void(const GenerationLog&, const SearchResult&)>;
+
+    /// \p base must evaluate as valid under \p fitness (fatal otherwise —
+    /// a broken baseline means the test suite itself is wrong).
+    EvolutionEngine(const ir::Module& base, const FitnessFunction& fitness,
+                    EvolutionParams params);
+
+    /// Run the configured number of generations.
+    SearchResult run(const GenerationCallback& onGeneration = {});
+
+  private:
+    Individual makeSeedIndividual(Rng& rng);
+    void evaluatePopulation(ThreadPool& pool,
+                            std::vector<Individual>* pop);
+    const Individual& tournament(const std::vector<Individual>& pop,
+                                 Rng& rng) const;
+    void mutate(Individual* ind, Rng& rng);
+
+    const ir::Module& base_;
+    const FitnessFunction& fitness_;
+    EvolutionParams params_;
+};
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_ENGINE_H

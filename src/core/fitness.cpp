@@ -1,0 +1,24 @@
+#include "core/fitness.h"
+
+#include "ir/verifier.h"
+#include "mutation/patch.h"
+#include "opt/passes.h"
+
+namespace gevo::core {
+
+FitnessResult
+evaluateVariant(const ir::Module& base, const std::vector<mut::Edit>& edits,
+                const FitnessFunction& fitness)
+{
+    ir::Module variant = mut::applyPatch(base, edits);
+    const auto verify = ir::verifyModule(variant);
+    if (!verify.ok())
+        return FitnessResult::fail("verify: " + verify.message());
+    opt::runCleanupPipeline(variant);
+    const auto reVerify = ir::verifyModule(variant);
+    if (!reVerify.ok())
+        return FitnessResult::fail("post-opt verify: " + reVerify.message());
+    return fitness.evaluate(variant);
+}
+
+} // namespace gevo::core

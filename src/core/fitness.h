@@ -1,0 +1,68 @@
+/// \file
+/// Fitness abstraction: how a kernel-module variant is scored.
+///
+/// Paper Sec III-E: "Kernel execution time is the fitness target, averaged
+/// across all test cases. Individuals that fail one or more test cases are
+/// not part of the calculation." Applications implement FitnessFunction
+/// (ADEPT: exact score/position match; SIMCoV: per-value mean/variance
+/// tolerance against the fixed-seed ground truth).
+
+#ifndef GEVO_CORE_FITNESS_H
+#define GEVO_CORE_FITNESS_H
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "mutation/edit.h"
+
+namespace gevo::core {
+
+/// Outcome of evaluating one variant.
+struct FitnessResult {
+    bool valid = false;  ///< Passed every test case.
+    double ms = std::numeric_limits<double>::infinity(); ///< Mean simulated
+                                                         ///< kernel time.
+    std::string failReason; ///< Why the variant was rejected.
+
+    /// Convenience for a passing result.
+    static FitnessResult pass(double msValue)
+    {
+        return {true, msValue, {}};
+    }
+    /// Convenience for a failing result.
+    static FitnessResult fail(std::string reason)
+    {
+        return {false, std::numeric_limits<double>::infinity(),
+                std::move(reason)};
+    }
+};
+
+/// Application-supplied evaluation of a fully-patched, cleaned module.
+///
+/// Implementations must be safe to call concurrently from multiple threads
+/// (each call creates its own device memory / launch state).
+class FitnessFunction {
+  public:
+    virtual ~FitnessFunction() = default;
+
+    /// Evaluate a structurally valid module variant.
+    virtual FitnessResult evaluate(const ir::Module& variant) const = 0;
+
+    /// Short description for logs.
+    virtual std::string name() const = 0;
+};
+
+/// Apply \p edits to \p base, run the post-mutation cleanup pipeline
+/// (constant folding / CFG simplification / DCE — the NVPTX-codegen
+/// stand-in), verify, and score. This is THE entry point used by the
+/// evolution engine, the analysis algorithms, and the benches, so every
+/// consumer sees identical semantics.
+FitnessResult evaluateVariant(const ir::Module& base,
+                              const std::vector<mut::Edit>& edits,
+                              const FitnessFunction& fitness);
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_FITNESS_H

@@ -1,0 +1,119 @@
+#include "ir/builder.h"
+
+#include "support/logging.h"
+
+namespace gevo::ir {
+
+Function&
+IRBuilder::startKernel(const std::string& name, std::uint32_t numParams,
+                       std::uint32_t sharedBytes, std::uint32_t localBytes)
+{
+    Function fn;
+    fn.name = name;
+    fn.numParams = numParams;
+    fn.numRegs = numParams;
+    fn.sharedBytes = sharedBytes;
+    fn.localBytes = localBytes;
+    fnIndex_ = static_cast<std::int32_t>(module_.addFunction(std::move(fn)));
+    insert_ = -1;
+    curLoc_ = 0;
+    return kernel();
+}
+
+Function&
+IRBuilder::kernel()
+{
+    GEVO_ASSERT(fnIndex_ >= 0, "no kernel started");
+    return module_.function(static_cast<std::size_t>(fnIndex_));
+}
+
+std::int32_t
+IRBuilder::block(const std::string& label)
+{
+    auto& fn = kernel();
+    BasicBlock bb;
+    bb.name = label;
+    fn.blocks.push_back(std::move(bb));
+    insert_ = static_cast<std::int32_t>(fn.blocks.size() - 1);
+    return insert_;
+}
+
+void
+IRBuilder::setInsert(std::int32_t blockIndex)
+{
+    GEVO_ASSERT(blockIndex >= 0 &&
+                    static_cast<std::size_t>(blockIndex) <
+                        kernel().blocks.size(),
+                "bad insert block %d", blockIndex);
+    insert_ = blockIndex;
+}
+
+Operand
+IRBuilder::newReg()
+{
+    auto& fn = kernel();
+    return Operand::reg(fn.numRegs++);
+}
+
+Operand
+IRBuilder::param(std::uint32_t i) const
+{
+    return Operand::reg(i);
+}
+
+void
+IRBuilder::setLoc(const std::string& loc)
+{
+    curLoc_ = module_.internLoc(loc);
+}
+
+Operand
+IRBuilder::emitOp(Opcode op, std::initializer_list<Operand> ops,
+                  std::int32_t dest)
+{
+    return emitMem(op, MemSpace::None, MemWidth::None, AtomicOp::None, ops,
+                   dest);
+}
+
+void
+IRBuilder::emitTo(Operand dest, Opcode op, std::initializer_list<Operand> ops)
+{
+    GEVO_ASSERT(dest.isReg(), "emitTo needs a register destination");
+    emitMem(op, MemSpace::None, MemWidth::None, AtomicOp::None, ops,
+            static_cast<std::int32_t>(dest.value));
+}
+
+Operand
+IRBuilder::emitMem(Opcode op, MemSpace space, MemWidth width, AtomicOp atom,
+                   std::initializer_list<Operand> ops, std::int32_t dest)
+{
+    GEVO_ASSERT(insert_ >= 0, "no insertion block");
+    const OpInfo& info = opInfo(op);
+    GEVO_ASSERT(ops.size() <= kMaxOperands, "too many operands");
+
+    Instr in;
+    in.op = op;
+    in.space = space;
+    in.width = width;
+    in.atom = atom;
+    in.loc = curLoc_;
+    in.uid = module_.nextUid();
+    in.nops = static_cast<std::uint8_t>(ops.size());
+    int i = 0;
+    for (const auto& o : ops)
+        in.ops[i++] = o;
+
+    if (info.hasDest) {
+        in.dest = dest == kNewReg
+                      ? static_cast<std::int32_t>(newReg().value)
+                      : dest;
+        GEVO_ASSERT(in.dest >= 0, "missing destination for %s",
+                    std::string(info.mnemonic).c_str());
+    }
+
+    auto& fn = kernel();
+    fn.blocks[insert_].instrs.push_back(in);
+    return in.dest >= 0 ? Operand::reg(in.dest) : Operand();
+}
+
+} // namespace gevo::ir

@@ -1,0 +1,220 @@
+/// \file
+/// Ergonomic construction of IR kernels (used by the ADEPT/SIMCoV kernel
+/// "frontends" the way Clang's CUDA frontend produces LLVM-IR in the paper).
+
+#ifndef GEVO_IR_BUILDER_H
+#define GEVO_IR_BUILDER_H
+
+#include <initializer_list>
+#include <string>
+
+#include "ir/function.h"
+
+namespace gevo::ir {
+
+/// Builder for one module; create kernels, blocks, and instructions.
+///
+/// All value-producing helpers return a register Operand. Registers are
+/// mutable, so loop-carried values use the `*To` variants (or emitTo) to
+/// overwrite an existing register.
+class IRBuilder {
+  public:
+    /// Sentinel for "allocate a fresh destination register".
+    static constexpr std::int32_t kNewReg = -2;
+
+    explicit IRBuilder(Module& module) : module_(module) {}
+
+    /// Begin a new kernel; subsequent blocks/instructions go to it.
+    /// Registers r0..r(numParams-1) hold launch arguments.
+    Function& startKernel(const std::string& name, std::uint32_t numParams,
+                          std::uint32_t sharedBytes = 0,
+                          std::uint32_t localBytes = 0);
+
+    /// Create a block with \p label and make it the insertion point.
+    std::int32_t block(const std::string& label);
+    /// Move the insertion point to an existing block.
+    void setInsert(std::int32_t blockIndex);
+    /// Current insertion block index.
+    std::int32_t insertBlock() const { return insert_; }
+
+    /// Allocate a fresh virtual register.
+    Operand newReg();
+    /// Parameter register i (r0-based).
+    Operand param(std::uint32_t i) const;
+
+    /// Sticky source location applied to subsequently emitted instructions.
+    void setLoc(const std::string& loc);
+
+    /// Integer immediate.
+    static Operand imm(std::int64_t v) { return Operand::imm(v); }
+    /// f32 immediate.
+    static Operand immf(float v) { return Operand::immF32(v); }
+
+    /// Generic emission; dest==kNewReg allocates, -1 means no destination.
+    Operand emitOp(Opcode op, std::initializer_list<Operand> ops,
+                   std::int32_t dest = kNewReg);
+    /// Emission into an explicit existing register.
+    void emitTo(Operand dest, Opcode op, std::initializer_list<Operand> ops);
+    /// Emit a fully-formed memory instruction.
+    Operand emitMem(Opcode op, MemSpace space, MemWidth width, AtomicOp atom,
+                    std::initializer_list<Operand> ops,
+                    std::int32_t dest = kNewReg);
+
+    // ---- i32 arithmetic ----
+    Operand iadd(Operand a, Operand b) { return emitOp(Opcode::AddI32, {a, b}); }
+    Operand isub(Operand a, Operand b) { return emitOp(Opcode::SubI32, {a, b}); }
+    Operand imul(Operand a, Operand b) { return emitOp(Opcode::MulI32, {a, b}); }
+    Operand idiv(Operand a, Operand b) { return emitOp(Opcode::DivI32, {a, b}); }
+    Operand irem(Operand a, Operand b) { return emitOp(Opcode::RemI32, {a, b}); }
+    Operand imin(Operand a, Operand b) { return emitOp(Opcode::MinI32, {a, b}); }
+    Operand imax(Operand a, Operand b) { return emitOp(Opcode::MaxI32, {a, b}); }
+
+    // ---- i64 address math ----
+    Operand ladd(Operand a, Operand b) { return emitOp(Opcode::AddI64, {a, b}); }
+    Operand lsub(Operand a, Operand b) { return emitOp(Opcode::SubI64, {a, b}); }
+    Operand lmul(Operand a, Operand b) { return emitOp(Opcode::MulI64, {a, b}); }
+
+    // ---- f32 arithmetic ----
+    Operand fadd(Operand a, Operand b) { return emitOp(Opcode::AddF32, {a, b}); }
+    Operand fsub(Operand a, Operand b) { return emitOp(Opcode::SubF32, {a, b}); }
+    Operand fmul(Operand a, Operand b) { return emitOp(Opcode::MulF32, {a, b}); }
+    Operand fdiv(Operand a, Operand b) { return emitOp(Opcode::DivF32, {a, b}); }
+    Operand fmin(Operand a, Operand b) { return emitOp(Opcode::MinF32, {a, b}); }
+    Operand fmax(Operand a, Operand b) { return emitOp(Opcode::MaxF32, {a, b}); }
+
+    // ---- bitwise / moves ----
+    Operand band(Operand a, Operand b) { return emitOp(Opcode::And, {a, b}); }
+    Operand bor(Operand a, Operand b) { return emitOp(Opcode::Or, {a, b}); }
+    Operand bxor(Operand a, Operand b) { return emitOp(Opcode::Xor, {a, b}); }
+    Operand shl(Operand a, Operand b) { return emitOp(Opcode::Shl, {a, b}); }
+    Operand shr(Operand a, Operand b) { return emitOp(Opcode::ShrL, {a, b}); }
+    Operand not1(Operand a) { return emitOp(Opcode::NotI1, {a}); }
+    Operand mov(Operand a) { return emitOp(Opcode::Mov, {a}); }
+    Operand sel(Operand c, Operand a, Operand b)
+    {
+        return emitOp(Opcode::Select, {c, a, b});
+    }
+
+    // ---- conversions ----
+    Operand i2f(Operand a) { return emitOp(Opcode::CvtI32ToF32, {a}); }
+    Operand f2i(Operand a) { return emitOp(Opcode::CvtF32ToI32, {a}); }
+    Operand sext64(Operand a) { return emitOp(Opcode::CvtI32ToI64, {a}); }
+    Operand trunc32(Operand a) { return emitOp(Opcode::CvtI64ToI32, {a}); }
+
+    // ---- i32 comparisons ----
+    Operand ieq(Operand a, Operand b) { return emitOp(Opcode::CmpEqI32, {a, b}); }
+    Operand ine(Operand a, Operand b) { return emitOp(Opcode::CmpNeI32, {a, b}); }
+    Operand ilt(Operand a, Operand b) { return emitOp(Opcode::CmpLtI32, {a, b}); }
+    Operand ile(Operand a, Operand b) { return emitOp(Opcode::CmpLeI32, {a, b}); }
+    Operand igt(Operand a, Operand b) { return emitOp(Opcode::CmpGtI32, {a, b}); }
+    Operand ige(Operand a, Operand b) { return emitOp(Opcode::CmpGeI32, {a, b}); }
+
+    // ---- f32 comparisons ----
+    Operand flt(Operand a, Operand b) { return emitOp(Opcode::CmpLtF32, {a, b}); }
+    Operand fgt(Operand a, Operand b) { return emitOp(Opcode::CmpGtF32, {a, b}); }
+    Operand fge(Operand a, Operand b) { return emitOp(Opcode::CmpGeF32, {a, b}); }
+
+    // ---- memory ----
+    Operand ld(MemSpace space, MemWidth width, Operand addr)
+    {
+        return emitMem(Opcode::Load, space, width, AtomicOp::None, {addr});
+    }
+    void
+    st(MemSpace space, MemWidth width, Operand addr, Operand value)
+    {
+        emitMem(Opcode::Store, space, width, AtomicOp::None, {addr, value},
+                -1);
+    }
+    Operand
+    atomic(AtomicOp op, MemSpace space, Operand addr, Operand value)
+    {
+        return emitMem(Opcode::AtomicRMW, space, MemWidth::I32, op,
+                       {addr, value});
+    }
+    Operand
+    atomicCas(MemSpace space, Operand addr, Operand cmp, Operand newVal)
+    {
+        return emitMem(Opcode::AtomicRMW, space, MemWidth::I32,
+                       AtomicOp::Cas, {addr, cmp, newVal});
+    }
+
+    // ---- special registers ----
+    Operand tid() { return emitOp(Opcode::Tid, {}); }
+    Operand bid() { return emitOp(Opcode::Bid, {}); }
+    Operand ntid() { return emitOp(Opcode::BlockDim, {}); }
+    Operand nbid() { return emitOp(Opcode::GridDim, {}); }
+    Operand lane() { return emitOp(Opcode::LaneId, {}); }
+    Operand warpid() { return emitOp(Opcode::WarpId, {}); }
+
+    // ---- sync / warp exchange ----
+    void barrier() { emitOp(Opcode::Barrier, {}, -1); }
+    Operand
+    shflUp(Operand mask, Operand val, Operand delta)
+    {
+        return emitOp(Opcode::ShflUp, {mask, val, delta});
+    }
+    Operand
+    shflIdx(Operand mask, Operand val, Operand srcLane)
+    {
+        return emitOp(Opcode::ShflIdx, {mask, val, srcLane});
+    }
+    Operand
+    ballot(Operand mask, Operand pred)
+    {
+        return emitOp(Opcode::Ballot, {mask, pred});
+    }
+    Operand activemask() { return emitOp(Opcode::ActiveMask, {}); }
+
+    // ---- terminators ----
+    void br(std::int32_t blockIndex)
+    {
+        emitOp(Opcode::Br, {Operand::label(blockIndex)}, -1);
+    }
+    void
+    brc(Operand cond, std::int32_t ifTrue, std::int32_t ifFalse)
+    {
+        emitOp(Opcode::CondBr,
+               {cond, Operand::label(ifTrue), Operand::label(ifFalse)}, -1);
+    }
+    void ret() { emitOp(Opcode::Ret, {}, -1); }
+
+    // ---- explicit-destination variants for loop-carried registers ----
+    void movTo(Operand d, Operand a) { emitTo(d, Opcode::Mov, {a}); }
+    void iaddTo(Operand d, Operand a, Operand b)
+    {
+        emitTo(d, Opcode::AddI32, {a, b});
+    }
+    void imaxTo(Operand d, Operand a, Operand b)
+    {
+        emitTo(d, Opcode::MaxI32, {a, b});
+    }
+    void faddTo(Operand d, Operand a, Operand b)
+    {
+        emitTo(d, Opcode::AddF32, {a, b});
+    }
+    void selTo(Operand d, Operand c, Operand a, Operand b)
+    {
+        emitTo(d, Opcode::Select, {c, a, b});
+    }
+    void
+    ldTo(Operand d, MemSpace space, MemWidth width, Operand addr)
+    {
+        emitMem(Opcode::Load, space, width, AtomicOp::None, {addr},
+                static_cast<std::int32_t>(d.value));
+    }
+
+    /// Module being built.
+    Module& module() { return module_; }
+    /// Kernel being built. \pre startKernel was called.
+    Function& kernel();
+
+  private:
+    Module& module_;
+    std::int32_t fnIndex_ = -1;
+    std::int32_t insert_ = -1;
+    std::uint32_t curLoc_ = 0;
+};
+
+} // namespace gevo::ir
+
+#endif // GEVO_IR_BUILDER_H

@@ -1,0 +1,211 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace gevo::ir {
+
+namespace {
+
+/// Cooper-Harvey-Kennedy dominator computation over an abstract graph.
+///
+/// \p n node count; \p root the entry; \p preds predecessor lists;
+/// \p rpo reverse post-order (root first); returns idom per node
+/// (-2 for nodes unreachable from root, root's idom is itself).
+std::vector<std::int32_t>
+computeIdoms(std::size_t n, std::int32_t root,
+             const std::vector<std::vector<std::int32_t>>& preds,
+             const std::vector<std::int32_t>& rpo)
+{
+    std::vector<std::int32_t> rpoNum(n, -1);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpoNum[rpo[i]] = static_cast<std::int32_t>(i);
+
+    std::vector<std::int32_t> idom(n, -2);
+    idom[root] = root;
+
+    auto intersect = [&](std::int32_t a, std::int32_t b) {
+        while (a != b) {
+            while (rpoNum[a] > rpoNum[b])
+                a = idom[a];
+            while (rpoNum[b] > rpoNum[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto b : rpo) {
+            if (b == root)
+                continue;
+            std::int32_t newIdom = -2;
+            for (const auto p : preds[b]) {
+                if (idom[p] == -2)
+                    continue;
+                newIdom = newIdom == -2 ? p : intersect(p, newIdom);
+            }
+            if (newIdom != -2 && idom[b] != newIdom) {
+                idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+/// Reverse post-order from \p root following \p succs.
+std::vector<std::int32_t>
+computeRpoFrom(std::size_t n, std::int32_t root,
+               const std::vector<std::vector<std::int32_t>>& succs)
+{
+    std::vector<std::int32_t> postorder;
+    std::vector<std::uint8_t> state(n, 0); // 0 unseen, 1 open, 2 done
+    // Iterative DFS with an explicit stack of (node, next-child).
+    std::vector<std::pair<std::int32_t, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    state[root] = 1;
+    while (!stack.empty()) {
+        auto& [node, child] = stack.back();
+        if (child < succs[node].size()) {
+            const auto next = succs[node][child++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            postorder.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(postorder.begin(), postorder.end());
+    return postorder;
+}
+
+} // namespace
+
+Cfg::Cfg(const Function& fn)
+{
+    const std::size_t n = fn.blocks.size();
+    GEVO_ASSERT(n > 0, "CFG over empty function");
+    succs_.resize(n);
+    preds_.resize(n);
+
+    for (std::size_t b = 0; b < n; ++b) {
+        GEVO_ASSERT(!fn.blocks[b].instrs.empty(), "empty block in CFG");
+        const Instr& term = fn.blocks[b].terminator();
+        switch (term.op) {
+          case Opcode::Br:
+            succs_[b].push_back(static_cast<std::int32_t>(term.ops[0].value));
+            break;
+          case Opcode::CondBr:
+            succs_[b].push_back(static_cast<std::int32_t>(term.ops[1].value));
+            if (term.ops[2].value != term.ops[1].value)
+                succs_[b].push_back(
+                    static_cast<std::int32_t>(term.ops[2].value));
+            break;
+          case Opcode::Ret:
+            break;
+          default:
+            GEVO_PANIC("block without terminator in CFG");
+        }
+    }
+    for (std::size_t b = 0; b < n; ++b)
+        for (const auto s : succs_[b])
+            preds_[s].push_back(static_cast<std::int32_t>(b));
+
+    computeReachability();
+    computeRpo();
+    computeDominators();
+    computePostDominators();
+}
+
+void
+Cfg::computeReachability()
+{
+    reachable_.assign(size(), false);
+    std::vector<std::int32_t> work = {0};
+    reachable_[0] = true;
+    while (!work.empty()) {
+        const auto b = work.back();
+        work.pop_back();
+        for (const auto s : succs_[b]) {
+            if (!reachable_[s]) {
+                reachable_[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+}
+
+void
+Cfg::computeRpo()
+{
+    rpo_ = computeRpoFrom(size(), 0, succs_);
+}
+
+void
+Cfg::computeDominators()
+{
+    idom_ = computeIdoms(size(), 0, preds_, rpo_);
+}
+
+void
+Cfg::computePostDominators()
+{
+    // Work on the reverse CFG with a virtual exit node at index n.
+    const std::size_t n = size();
+    const auto exitNode = static_cast<std::int32_t>(n);
+
+    std::vector<std::vector<std::int32_t>> succRev(n + 1);
+    std::vector<std::vector<std::int32_t>> predRev(n + 1);
+    for (std::size_t b = 0; b < n; ++b) {
+        // Reverse-graph successors of b are the original predecessors.
+        for (const auto p : preds_[b])
+            succRev[b].push_back(p);
+        if (succs_[b].empty()) {
+            // Ret block: reverse edge exit -> b.
+            succRev[exitNode].push_back(static_cast<std::int32_t>(b));
+            predRev[b].push_back(exitNode);
+        }
+        for (const auto s : succs_[b])
+            predRev[b].push_back(s);
+    }
+
+    const auto rpoRev = computeRpoFrom(n + 1, exitNode, succRev);
+    const auto idomRev = computeIdoms(n + 1, exitNode, predRev, rpoRev);
+
+    ipdom_.assign(n, -2);
+    for (std::size_t b = 0; b < n; ++b) {
+        const auto d = idomRev[b];
+        if (d == -2) {
+            // No path to exit (e.g. an infinite loop): treat the virtual
+            // exit as the reconvergence point so divergence never
+            // reconverges early.
+            ipdom_[b] = reachable_[b] ? kExit : -2;
+        } else {
+            ipdom_[b] = d == exitNode ? kExit : d;
+        }
+    }
+}
+
+bool
+Cfg::dominates(std::int32_t a, std::int32_t b) const
+{
+    if (!reachable_[a] || !reachable_[b])
+        return false;
+    std::int32_t cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        const auto next = idom_[cur];
+        if (next == cur || next < 0)
+            return cur == a;
+        cur = next;
+    }
+}
+
+} // namespace gevo::ir

@@ -1,0 +1,74 @@
+/// \file
+/// Control-flow graph, reverse post-order, dominators and post-dominators.
+///
+/// The SIMT executor needs each branch block's immediate post-dominator as
+/// the warp reconvergence point (the classic GPGPU-Sim stack discipline);
+/// the optimizer needs reachability; tests use dominance directly.
+
+#ifndef GEVO_IR_CFG_H
+#define GEVO_IR_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace gevo::ir {
+
+/// CFG over a function's basic blocks plus derived orders and dominators.
+class Cfg {
+  public:
+    /// Virtual-exit sentinel used by post-dominance.
+    static constexpr std::int32_t kExit = -1;
+
+    /// Build from a structurally valid function.
+    explicit Cfg(const Function& fn);
+
+    /// Number of blocks.
+    std::size_t size() const { return succs_.size(); }
+
+    /// Successor block indices of \p b (empty for Ret blocks).
+    const std::vector<std::int32_t>& succs(std::int32_t b) const
+    {
+        return succs_[b];
+    }
+    /// Predecessor block indices of \p b.
+    const std::vector<std::int32_t>& preds(std::int32_t b) const
+    {
+        return preds_[b];
+    }
+
+    /// True when \p b is reachable from the entry block.
+    bool reachable(std::int32_t b) const { return reachable_[b]; }
+
+    /// Reverse post-order over reachable blocks (entry first).
+    const std::vector<std::int32_t>& rpo() const { return rpo_; }
+
+    /// Immediate dominator of \p b (entry's idom is itself); -2 when
+    /// unreachable.
+    std::int32_t idom(std::int32_t b) const { return idom_[b]; }
+
+    /// Immediate post-dominator of \p b; kExit when the only post-dominator
+    /// is the virtual exit; -2 when unreachable.
+    std::int32_t ipdom(std::int32_t b) const { return ipdom_[b]; }
+
+    /// True when \p a dominates \p b (reflexive).
+    bool dominates(std::int32_t a, std::int32_t b) const;
+
+  private:
+    void computeReachability();
+    void computeRpo();
+    void computeDominators();
+    void computePostDominators();
+
+    std::vector<std::vector<std::int32_t>> succs_;
+    std::vector<std::vector<std::int32_t>> preds_;
+    std::vector<bool> reachable_;
+    std::vector<std::int32_t> rpo_;
+    std::vector<std::int32_t> idom_;
+    std::vector<std::int32_t> ipdom_;
+};
+
+} // namespace gevo::ir
+
+#endif // GEVO_IR_CFG_H

@@ -1,0 +1,17 @@
+#include "ir/eval.h"
+
+namespace gevo::ir {
+
+bool
+isScalarEvaluable(Opcode op)
+{
+    switch (opInfo(op).kind) {
+      case OpKind::Alu:
+      case OpKind::Cmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace gevo::ir

@@ -1,0 +1,132 @@
+#include "ir/function.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/logging.h"
+
+namespace gevo::ir {
+
+std::size_t
+Function::instrCount() const
+{
+    std::size_t n = 0;
+    for (const auto& b : blocks)
+        n += b.instrs.size();
+    return n;
+}
+
+InstrPos
+Function::findUid(std::uint64_t uid) const
+{
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const auto& instrs = blocks[b].instrs;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].uid == uid) {
+                return {static_cast<std::int32_t>(b),
+                        static_cast<std::int32_t>(i)};
+            }
+        }
+    }
+    return {};
+}
+
+const Instr&
+Function::at(InstrPos pos) const
+{
+    GEVO_ASSERT(pos.valid() &&
+                    static_cast<std::size_t>(pos.block) < blocks.size(),
+                "bad InstrPos block");
+    const auto& instrs = blocks[pos.block].instrs;
+    GEVO_ASSERT(static_cast<std::size_t>(pos.index) < instrs.size(),
+                "bad InstrPos index");
+    return instrs[pos.index];
+}
+
+Instr&
+Function::at(InstrPos pos)
+{
+    return const_cast<Instr&>(std::as_const(*this).at(pos));
+}
+
+std::int32_t
+Function::blockIndexOf(std::string_view label) const
+{
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b].name == label)
+            return static_cast<std::int32_t>(b);
+    }
+    return -1;
+}
+
+Module
+Module::clone() const
+{
+    Module out;
+    out.functions_ = functions_;
+    out.locs_ = locs_;
+    out.uidCounter_ = uidCounter_;
+    return out;
+}
+
+std::size_t
+Module::addFunction(Function fn)
+{
+    functions_.push_back(std::move(fn));
+    return functions_.size() - 1;
+}
+
+Function*
+Module::findFunction(std::string_view name)
+{
+    for (auto& f : functions_) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+const Function*
+Module::findFunction(std::string_view name) const
+{
+    return const_cast<Module*>(this)->findFunction(name);
+}
+
+void
+Module::bumpUidCounter(std::uint64_t atLeast)
+{
+    uidCounter_ = std::max(uidCounter_, atLeast);
+}
+
+std::uint32_t
+Module::internLoc(const std::string& loc)
+{
+    if (loc.empty())
+        return 0;
+    for (std::size_t i = 1; i < locs_.size(); ++i) {
+        if (locs_[i] == loc)
+            return static_cast<std::uint32_t>(i);
+    }
+    locs_.push_back(loc);
+    return static_cast<std::uint32_t>(locs_.size() - 1);
+}
+
+const std::string&
+Module::locString(std::uint32_t id) const
+{
+    static const std::string kEmpty;
+    if (id >= locs_.size())
+        return kEmpty;
+    return locs_[id];
+}
+
+std::size_t
+Module::instrCount() const
+{
+    std::size_t n = 0;
+    for (const auto& f : functions_)
+        n += f.instrCount();
+    return n;
+}
+
+} // namespace gevo::ir

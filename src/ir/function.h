@@ -1,0 +1,124 @@
+/// \file
+/// BasicBlock, Function (GPU kernel) and Module containers.
+
+#ifndef GEVO_IR_FUNCTION_H
+#define GEVO_IR_FUNCTION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instr.h"
+
+namespace gevo::ir {
+
+/// A straight-line sequence of instructions ending in one terminator.
+struct BasicBlock {
+    std::string name;          ///< Label used by the textual format.
+    std::vector<Instr> instrs; ///< Instructions; last one is the terminator.
+
+    /// Terminator accessor; \pre block is non-empty.
+    const Instr& terminator() const { return instrs.back(); }
+};
+
+/// Position of an instruction inside a function (block index, instr index).
+struct InstrPos {
+    std::int32_t block = -1;
+    std::int32_t index = -1;
+
+    bool valid() const { return block >= 0; }
+
+    friend bool
+    operator==(const InstrPos& a, const InstrPos& b)
+    {
+        return a.block == b.block && a.index == b.index;
+    }
+};
+
+/// A GPU kernel: blocks + register/parameter/memory declarations.
+///
+/// Registers r0..r(numParams-1) are preloaded with the kernel's launch
+/// arguments (64-bit each); the rest start at zero for every thread — the
+/// simulator is deterministic by construction, which the paper's validation
+/// methodology (fixed seeds, ground-truth comparison) relies on.
+struct Function {
+    std::string name;             ///< Kernel name (unique within module).
+    std::uint32_t numParams = 0;  ///< Launch arguments preloaded in r0..
+    std::uint32_t numRegs = 0;    ///< Total virtual registers.
+    std::uint32_t sharedBytes = 0; ///< Static shared memory per block.
+    std::uint32_t localBytes = 0;  ///< Per-thread local scratch bytes.
+    std::vector<BasicBlock> blocks; ///< Entry is blocks[0].
+
+    /// Total instruction count across blocks.
+    std::size_t instrCount() const;
+
+    /// Locate an instruction by uid; invalid InstrPos when absent.
+    InstrPos findUid(std::uint64_t uid) const;
+
+    /// Instruction at \p pos. \pre pos is valid for this function.
+    const Instr& at(InstrPos pos) const;
+    /// Mutable variant.
+    Instr& at(InstrPos pos);
+
+    /// Index of the block labelled \p label, or -1.
+    std::int32_t blockIndexOf(std::string_view label) const;
+};
+
+/// A collection of kernels plus interned source-location strings.
+///
+/// Modules own the uid counter: every instruction created through the
+/// builder/parser obtains a fresh uid, and mutation-inserted clones draw
+/// from the same counter so anchors never collide.
+class Module {
+  public:
+    Module() = default;
+
+    // Modules are heavyweight; copy explicitly via clone().
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+    Module(Module&&) = default;
+    Module& operator=(Module&&) = default;
+
+    /// Deep copy (preserves uids and the uid counter).
+    Module clone() const;
+
+    /// Append an empty function, returning a stable index.
+    std::size_t addFunction(Function fn);
+
+    /// Number of kernels.
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    /// Kernel accessors.
+    Function& function(std::size_t i) { return functions_[i]; }
+    const Function& function(std::size_t i) const { return functions_[i]; }
+
+    /// Find a kernel by name; nullptr when absent.
+    Function* findFunction(std::string_view name);
+    const Function* findFunction(std::string_view name) const;
+
+    /// Allocate the next instruction uid.
+    std::uint64_t nextUid() { return ++uidCounter_; }
+    /// Highest uid handed out so far.
+    std::uint64_t uidCounter() const { return uidCounter_; }
+    /// Raise the counter (used when cloning/parsing).
+    void bumpUidCounter(std::uint64_t atLeast);
+
+    /// Intern a source-location string ("file.cu:42"), returning its id.
+    /// Id 0 is reserved for "no location".
+    std::uint32_t internLoc(const std::string& loc);
+    /// Source-location string for id (empty for 0 / unknown).
+    const std::string& locString(std::uint32_t id) const;
+
+    /// Total instructions across all kernels.
+    std::size_t instrCount() const;
+
+  private:
+    std::vector<Function> functions_;
+    std::vector<std::string> locs_ = {""};
+    std::uint64_t uidCounter_ = 0;
+};
+
+} // namespace gevo::ir
+
+#endif // GEVO_IR_FUNCTION_H

@@ -1,0 +1,76 @@
+#include "ir/opcode.h"
+
+#include <array>
+
+#include "support/logging.h"
+
+namespace gevo::ir {
+
+namespace {
+
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+#define OP(name, mnemonic, nops, hasDest, kind) \
+    OpInfo{mnemonic, nops, hasDest, OpKind::kind},
+#include "ir/opcodes.def"
+#undef OP
+}};
+
+} // namespace
+
+const OpInfo&
+opInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    GEVO_ASSERT(idx < kNumOpcodes, "bad opcode %zu", idx);
+    return kOpTable[idx];
+}
+
+std::string_view
+opMnemonic(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return opInfo(op).kind == OpKind::Ctrl;
+}
+
+bool
+isPure(Opcode op)
+{
+    switch (opInfo(op).kind) {
+      case OpKind::Alu:
+      case OpKind::Cmp:
+      case OpKind::Sreg:
+        return true;
+      case OpKind::Mem:
+        // Loads are observationally pure in a single-kernel run only if no
+        // store races them; the DCE pass treats loads as droppable when the
+        // destination is dead because dropping a load cannot change memory.
+        return op == Opcode::Load;
+      case OpKind::Sync:
+        // shfl/ballot/activemask read lane state but do not mutate it; a
+        // dead result makes them removable. Barrier is never pure.
+        return op == Opcode::ShflIdx || op == Opcode::ShflUp ||
+               op == Opcode::Ballot || op == Opcode::ActiveMask;
+      case OpKind::Ctrl:
+        return false;
+      case OpKind::Misc:
+        return op == Opcode::Nop;
+    }
+    return false;
+}
+
+Opcode
+opcodeFromMnemonic(std::string_view mnemonic)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        if (kOpTable[i].mnemonic == mnemonic)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::Count;
+}
+
+} // namespace gevo::ir

@@ -1,0 +1,59 @@
+/// \file
+/// Opcode enumeration and static per-opcode metadata.
+
+#ifndef GEVO_IR_OPCODE_H
+#define GEVO_IR_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace gevo::ir {
+
+/// Broad behavioural class of an opcode (drives verifier, timing, DCE).
+enum class OpKind : std::uint8_t {
+    Alu,
+    Cmp,
+    Mem,
+    Ctrl,
+    Sync,
+    Sreg,
+    Misc,
+};
+
+/// All IR opcodes. See opcodes.def for semantics.
+enum class Opcode : std::uint16_t {
+#define OP(name, mnemonic, nops, hasDest, kind) name,
+#include "ir/opcodes.def"
+#undef OP
+    Count,
+};
+
+/// Static description of one opcode.
+struct OpInfo {
+    std::string_view mnemonic; ///< Textual name, e.g. "add.i32".
+    std::uint8_t numOps;       ///< Operand count (AtomicRMW CAS uses 3).
+    bool hasDest;              ///< Writes a destination register.
+    OpKind kind;               ///< Behavioural class.
+};
+
+/// Metadata for \p op.
+const OpInfo& opInfo(Opcode op);
+
+/// Mnemonic for \p op.
+std::string_view opMnemonic(Opcode op);
+
+/// True for Br/CondBr/Ret.
+bool isTerminator(Opcode op);
+
+/// True when the opcode has no side effect and its result can be dropped.
+bool isPure(Opcode op);
+
+/// Look up an opcode by exact mnemonic; returns Opcode::Count when unknown.
+Opcode opcodeFromMnemonic(std::string_view mnemonic);
+
+/// Total number of opcodes.
+constexpr std::size_t kNumOpcodes = static_cast<std::size_t>(Opcode::Count);
+
+} // namespace gevo::ir
+
+#endif // GEVO_IR_OPCODE_H

@@ -1,0 +1,389 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace gevo::ir {
+
+namespace {
+
+/// Pending label fix-up: operand slot that names a not-yet-resolved block.
+struct LabelFixup {
+    std::size_t block;
+    std::size_t instr;
+    int slot;
+    std::string label;
+    int line;
+};
+
+struct ParserState {
+    ParseResult result;
+    int line = 0;
+
+    bool
+    fail(const std::string& msg)
+    {
+        if (result.error.empty())
+            result.error = strformat("line %d: %s", line, msg.c_str());
+        result.ok = false;
+        return false;
+    }
+};
+
+bool
+parseWidth(std::string_view name, MemWidth* out)
+{
+    static const std::map<std::string_view, MemWidth> kMap = {
+        {"i8", MemWidth::I8},   {"u8", MemWidth::U8},
+        {"i16", MemWidth::I16}, {"u16", MemWidth::U16},
+        {"i32", MemWidth::I32}, {"u32", MemWidth::U32},
+        {"i64", MemWidth::I64}, {"f32", MemWidth::F32},
+    };
+    const auto it = kMap.find(name);
+    if (it == kMap.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+bool
+parseSpace(std::string_view name, MemSpace* out)
+{
+    if (name == "global") {
+        *out = MemSpace::Global;
+    } else if (name == "shared") {
+        *out = MemSpace::Shared;
+    } else if (name == "local") {
+        *out = MemSpace::Local;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parseAtomicOp(std::string_view name, AtomicOp* out)
+{
+    static const std::map<std::string_view, AtomicOp> kMap = {
+        {"add.i32", AtomicOp::AddI32}, {"add.f32", AtomicOp::AddF32},
+        {"max.i32", AtomicOp::MaxI32}, {"min.i32", AtomicOp::MinI32},
+        {"exch.i32", AtomicOp::Exch},  {"cas.i32", AtomicOp::Cas},
+    };
+    const auto it = kMap.find(name);
+    if (it == kMap.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+/// Decompose a full mnemonic into opcode + memory attributes.
+bool
+decodeMnemonic(std::string_view m, Instr* in, std::string* err)
+{
+    if (startsWith(m, "ld.") || startsWith(m, "st.")) {
+        const auto parts = split(m, '.');
+        if (parts.size() != 3) {
+            *err = "malformed memory mnemonic";
+            return false;
+        }
+        in->op = parts[0] == "ld" ? Opcode::Load : Opcode::Store;
+        if (!parseWidth(parts[1], &in->width)) {
+            *err = "unknown memory width '" + parts[1] + "'";
+            return false;
+        }
+        if (!parseSpace(parts[2], &in->space)) {
+            *err = "unknown memory space '" + parts[2] + "'";
+            return false;
+        }
+        return true;
+    }
+    if (startsWith(m, "atom.")) {
+        // atom.<op>.<ty>.<space>, e.g. atom.add.i32.global
+        const auto parts = split(m, '.');
+        if (parts.size() != 4) {
+            *err = "malformed atomic mnemonic";
+            return false;
+        }
+        in->op = Opcode::AtomicRMW;
+        in->width = MemWidth::I32;
+        const std::string opName = parts[1] + "." + parts[2];
+        if (!parseAtomicOp(opName, &in->atom)) {
+            *err = "unknown atomic op '" + opName + "'";
+            return false;
+        }
+        if (!parseSpace(parts[3], &in->space)) {
+            *err = "unknown memory space '" + parts[3] + "'";
+            return false;
+        }
+        return true;
+    }
+    const Opcode op = opcodeFromMnemonic(m);
+    if (op == Opcode::Count) {
+        *err = "unknown mnemonic '" + std::string(m) + "'";
+        return false;
+    }
+    in->op = op;
+    return true;
+}
+
+bool
+looksLikeFloat(std::string_view tok)
+{
+    if (tok.empty())
+        return false;
+    // Hex literals are always integers ("0xff" is not a float despite the
+    // trailing 'f').
+    if (startsWith(tok, "0x") || startsWith(tok, "0X") ||
+        startsWith(tok, "-0x") || startsWith(tok, "-0X"))
+        return false;
+    bool digit = false;
+    for (char c : tok) {
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            digit = true;
+    }
+    if (!digit)
+        return false;
+    return tok.find('.') != std::string_view::npos || tok.back() == 'f' ||
+           tok.find('e') != std::string_view::npos;
+}
+
+bool
+parseOperandToken(std::string_view tok, Operand* out, std::string* label)
+{
+    if (tok.empty())
+        return false;
+    if (tok[0] == 'r' && tok.size() > 1 &&
+        std::isdigit(static_cast<unsigned char>(tok[1]))) {
+        char* end = nullptr;
+        const long long v = std::strtoll(tok.data() + 1, &end, 10);
+        if (end == tok.data() + tok.size()) {
+            *out = Operand::reg(v);
+            return true;
+        }
+    }
+    const bool neg = tok[0] == '-';
+    const bool digitStart =
+        std::isdigit(static_cast<unsigned char>(tok[0])) ||
+        (neg && tok.size() > 1 &&
+         std::isdigit(static_cast<unsigned char>(tok[1])));
+    if (digitStart) {
+        if (looksLikeFloat(tok)) {
+            std::string buf(tok);
+            if (buf.back() == 'f')
+                buf.pop_back();
+            *out = Operand::immF32(std::strtof(buf.c_str(), nullptr));
+            return true;
+        }
+        std::string buf(tok);
+        *out = Operand::imm(std::strtoll(buf.c_str(), nullptr, 0));
+        return true;
+    }
+    // Otherwise: a block label, resolved later.
+    *label = std::string(tok);
+    out->kind = Operand::Kind::Label;
+    out->value = -1;
+    return true;
+}
+
+/// Split "a, b, c" into trimmed tokens.
+std::vector<std::string>
+splitOperands(std::string_view text)
+{
+    std::vector<std::string> out;
+    for (const auto& piece : split(text, ',')) {
+        const auto t = trim(piece);
+        if (!t.empty())
+            out.emplace_back(t);
+    }
+    return out;
+}
+
+} // namespace
+
+ParseResult
+parseModule(std::string_view text)
+{
+    ParserState st;
+    Module& mod = st.result.module;
+
+    Function* fn = nullptr;
+    std::vector<LabelFixup> fixups;
+    std::map<std::string, std::int32_t> blockIndex;
+
+    auto finishFunction = [&]() -> bool {
+        if (fn == nullptr)
+            return true;
+        for (const auto& fix : fixups) {
+            const auto it = blockIndex.find(fix.label);
+            if (it == blockIndex.end()) {
+                st.line = fix.line;
+                return st.fail("unknown label '" + fix.label + "'");
+            }
+            fn->blocks[fix.block].instrs[fix.instr].ops[fix.slot] =
+                Operand::label(it->second);
+        }
+        fixups.clear();
+        blockIndex.clear();
+        fn = nullptr;
+        return true;
+    };
+
+    const auto lines = split(text, '\n');
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        st.line = static_cast<int>(li) + 1;
+        std::string_view line = lines[li];
+        // Strip comments (not inside the @"loc" suffix — locs contain ':'
+        // but never ';' or '#').
+        const auto comment = line.find_first_of(";#");
+        if (comment != std::string_view::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        if (startsWith(line, "kernel ")) {
+            if (fn != nullptr) {
+                st.fail("nested kernel");
+                return std::move(st.result);
+            }
+            // kernel @name params N regs N shared N local N {
+            std::string header(line);
+            std::uint32_t params = 0;
+            std::uint32_t regs = 0;
+            std::uint32_t shared = 0;
+            std::uint32_t local = 0;
+            char name[128] = {};
+            const int got = std::sscanf(
+                header.c_str(),
+                "kernel @%127s params %u regs %u shared %u local %u",
+                name, &params, &regs, &shared, &local);
+            if (got < 3) {
+                st.fail("malformed kernel header");
+                return std::move(st.result);
+            }
+            Function newFn;
+            newFn.name = name;
+            newFn.numParams = params;
+            newFn.numRegs = regs;
+            newFn.sharedBytes = shared;
+            newFn.localBytes = local;
+            const auto idx = mod.addFunction(std::move(newFn));
+            fn = &mod.function(idx);
+            continue;
+        }
+        if (line == "}") {
+            if (!finishFunction())
+                return std::move(st.result);
+            continue;
+        }
+        if (fn == nullptr) {
+            st.fail("instruction outside kernel");
+            return std::move(st.result);
+        }
+        if (line.back() == ':') {
+            const auto label = std::string(trim(line.substr(0, line.size() - 1)));
+            BasicBlock bb;
+            bb.name = label;
+            fn->blocks.push_back(std::move(bb));
+            blockIndex[label] = static_cast<std::int32_t>(fn->blocks.size()) - 1;
+            continue;
+        }
+        if (fn->blocks.empty()) {
+            st.fail("instruction before first label");
+            return std::move(st.result);
+        }
+
+        // Optional source-location suffix.
+        std::string locStr;
+        const auto at = line.rfind("@\"");
+        if (at != std::string_view::npos && line.back() == '"') {
+            locStr = std::string(line.substr(at + 2,
+                                             line.size() - at - 3));
+            line = trim(line.substr(0, at));
+        }
+
+        Instr in;
+        in.loc = mod.internLoc(locStr);
+
+        // Optional destination.
+        std::string_view rest = line;
+        const auto eq = line.find('=');
+        if (eq != std::string_view::npos &&
+            line.substr(0, eq).find(' ') == line.substr(0, eq).find_last_of(' ')) {
+            const auto destTok = trim(line.substr(0, eq));
+            if (!destTok.empty() && destTok[0] == 'r') {
+                in.dest = static_cast<std::int32_t>(
+                    std::strtoll(std::string(destTok.substr(1)).c_str(),
+                                 nullptr, 10));
+                rest = trim(line.substr(eq + 1));
+            }
+        }
+
+        // Mnemonic token then operand list.
+        const auto sp = rest.find_first_of(" \t");
+        const std::string_view mnemonic =
+            sp == std::string_view::npos ? rest : rest.substr(0, sp);
+        const std::string_view opsText =
+            sp == std::string_view::npos ? std::string_view()
+                                         : trim(rest.substr(sp + 1));
+
+        std::string err;
+        if (!decodeMnemonic(mnemonic, &in, &err)) {
+            st.fail(err);
+            return std::move(st.result);
+        }
+
+        const auto tokens = splitOperands(opsText);
+        const OpInfo& info = opInfo(in.op);
+        const std::size_t expected =
+            in.op == Opcode::AtomicRMW && in.atom == AtomicOp::Cas
+                ? 3
+                : info.numOps;
+        if (tokens.size() != expected) {
+            st.fail(strformat("expected %zu operands, got %zu", expected,
+                              tokens.size()));
+            return std::move(st.result);
+        }
+        if (info.hasDest && in.dest < 0) {
+            st.fail("missing destination register");
+            return std::move(st.result);
+        }
+        if (!info.hasDest && in.dest >= 0) {
+            st.fail("unexpected destination register");
+            return std::move(st.result);
+        }
+
+        in.nops = static_cast<std::uint8_t>(tokens.size());
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            std::string label;
+            if (!parseOperandToken(tokens[i], &in.ops[i], &label)) {
+                st.fail("bad operand '" + tokens[i] + "'");
+                return std::move(st.result);
+            }
+            if (in.ops[i].isLabel() && !label.empty()) {
+                fixups.push_back({fn->blocks.size() - 1,
+                                  fn->blocks.back().instrs.size(),
+                                  static_cast<int>(i), label, st.line});
+            }
+        }
+
+        in.uid = mod.nextUid();
+        fn->blocks.back().instrs.push_back(in);
+    }
+
+    if (fn != nullptr) {
+        st.fail("missing closing '}'");
+        return std::move(st.result);
+    }
+    if (!st.result.error.empty())
+        return std::move(st.result);
+    st.result.ok = true;
+    return std::move(st.result);
+}
+
+} // namespace gevo::ir

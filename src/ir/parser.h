@@ -1,0 +1,38 @@
+/// \file
+/// Parser for the textual IR format produced by the printer.
+///
+/// Grammar (line oriented; `;` and `#` start comments):
+///
+///   kernel @NAME params N regs N shared N local N {
+///   LABEL:
+///       rD = MNEMONIC OPERAND, OPERAND ... [@"file.cu:LINE"]
+///       MNEMONIC OPERAND ...
+///   }
+///
+/// Operands: `rN` registers, integer immediates (decimal or 0x hex),
+/// float immediates (contain '.' or trailing 'f'; stored as f32 bits),
+/// or block labels (Br/CondBr only).
+
+#ifndef GEVO_IR_PARSER_H
+#define GEVO_IR_PARSER_H
+
+#include <string>
+#include <string_view>
+
+#include "ir/function.h"
+
+namespace gevo::ir {
+
+/// Parse result: a module or a diagnostic.
+struct ParseResult {
+    Module module;
+    bool ok = false;
+    std::string error; ///< "line N: message" when !ok.
+};
+
+/// Parse IR text into a module.
+ParseResult parseModule(std::string_view text);
+
+} // namespace gevo::ir
+
+#endif // GEVO_IR_PARSER_H

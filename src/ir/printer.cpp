@@ -1,0 +1,102 @@
+#include "ir/printer.h"
+
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace gevo::ir {
+
+namespace {
+
+std::string
+printOperand(const Operand& op, const Function& fn)
+{
+    switch (op.kind) {
+      case Operand::Kind::None:
+        return "<none>";
+      case Operand::Kind::Reg:
+        return strformat("r%lld", static_cast<long long>(op.value));
+      case Operand::Kind::Imm:
+        return strformat("%lld", static_cast<long long>(op.value));
+      case Operand::Kind::Label: {
+        const auto idx = static_cast<std::size_t>(op.value);
+        if (idx < fn.blocks.size())
+            return fn.blocks[idx].name;
+        return strformat("<bb%lld>", static_cast<long long>(op.value));
+      }
+    }
+    return "?";
+}
+
+std::string
+mnemonicOf(const Instr& in)
+{
+    std::string m(opMnemonic(in.op));
+    if (in.op == Opcode::Load || in.op == Opcode::Store) {
+        m += '.';
+        m += memWidthName(in.width);
+        m += '.';
+        m += memSpaceName(in.space);
+    } else if (in.op == Opcode::AtomicRMW) {
+        m += '.';
+        m += atomicOpName(in.atom);
+        m += '.';
+        m += memSpaceName(in.space);
+    }
+    return m;
+}
+
+} // namespace
+
+std::string
+printInstr(const Instr& in, const Function& fn, const Module* mod)
+{
+    std::string out;
+    if (in.dest >= 0)
+        out += strformat("r%d = ", in.dest);
+    out += mnemonicOf(in);
+    for (int i = 0; i < in.nops; ++i) {
+        out += i == 0 ? " " : ", ";
+        out += printOperand(in.ops[i], fn);
+    }
+    if (mod != nullptr && in.loc != 0) {
+        const std::string& loc = mod->locString(in.loc);
+        if (!loc.empty())
+            out += strformat(" @\"%s\"", loc.c_str());
+    }
+    return out;
+}
+
+std::string
+printFunction(const Function& fn, const Module* mod)
+{
+    std::string out = strformat(
+        "kernel @%s params %u regs %u shared %u local %u {\n",
+        fn.name.c_str(), fn.numParams, fn.numRegs, fn.sharedBytes,
+        fn.localBytes);
+    for (const auto& bb : fn.blocks) {
+        out += bb.name;
+        out += ":\n";
+        for (const auto& in : bb.instrs) {
+            out += "    ";
+            out += printInstr(in, fn, mod);
+            out += '\n';
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+printModule(const Module& mod)
+{
+    std::string out;
+    for (std::size_t i = 0; i < mod.numFunctions(); ++i) {
+        if (i)
+            out += '\n';
+        out += printFunction(mod.function(i), &mod);
+    }
+    return out;
+}
+
+} // namespace gevo::ir

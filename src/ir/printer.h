@@ -1,0 +1,26 @@
+/// \file
+/// Textual rendering of IR (round-trips through the parser).
+
+#ifndef GEVO_IR_PRINTER_H
+#define GEVO_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace gevo::ir {
+
+/// Render one instruction (no trailing newline). \p fn supplies block names
+/// for label operands; \p mod (optional) supplies source-location strings.
+std::string printInstr(const Instr& instr, const Function& fn,
+                       const Module* mod = nullptr);
+
+/// Render a whole kernel.
+std::string printFunction(const Function& fn, const Module* mod = nullptr);
+
+/// Render a whole module.
+std::string printModule(const Module& mod);
+
+} // namespace gevo::ir
+
+#endif // GEVO_IR_PRINTER_H

@@ -1,0 +1,134 @@
+#include "ir/verifier.h"
+
+#include "support/strings.h"
+
+namespace gevo::ir {
+
+std::string
+VerifyResult::message() const
+{
+    std::string out;
+    for (const auto& e : errors) {
+        if (!out.empty())
+            out += "; ";
+        out += e;
+    }
+    return out;
+}
+
+namespace {
+
+void
+verifyInstr(const Function& fn, const BasicBlock& bb, std::size_t bi,
+            std::size_t ii, const Instr& in, VerifyResult* res)
+{
+    auto err = [&](const std::string& msg) {
+        res->errors.push_back(strformat("%s/%s[%zu]: %s", fn.name.c_str(),
+                                        bb.name.c_str(), ii, msg.c_str()));
+    };
+
+    if (static_cast<std::size_t>(in.op) >= kNumOpcodes) {
+        err("invalid opcode");
+        return;
+    }
+    const OpInfo& info = opInfo(in.op);
+
+    const std::size_t expectedOps =
+        in.op == Opcode::AtomicRMW && in.atom == AtomicOp::Cas ? 3
+                                                               : info.numOps;
+    if (in.nops != expectedOps)
+        err(strformat("operand count %u != %zu", in.nops, expectedOps));
+
+    if (info.hasDest) {
+        if (in.dest < 0 ||
+            static_cast<std::uint32_t>(in.dest) >= fn.numRegs)
+            err(strformat("bad destination r%d", in.dest));
+    } else if (in.dest >= 0) {
+        err("unexpected destination");
+    }
+
+    const bool isMem = info.kind == OpKind::Mem;
+    if (isMem) {
+        if (in.space == MemSpace::None)
+            err("memory op without space");
+        if (in.width == MemWidth::None)
+            err("memory op without width");
+        if (in.op == Opcode::AtomicRMW && in.atom == AtomicOp::None)
+            err("atomic without op");
+    } else {
+        if (in.space != MemSpace::None || in.width != MemWidth::None ||
+            in.atom != AtomicOp::None)
+            err("memory attributes on non-memory op");
+    }
+
+    for (int s = 0; s < in.nops; ++s) {
+        const Operand& op = in.ops[s];
+        const bool labelSlot =
+            (in.op == Opcode::Br && s == 0) ||
+            (in.op == Opcode::CondBr && (s == 1 || s == 2));
+        if (labelSlot) {
+            if (!op.isLabel() ||
+                static_cast<std::size_t>(op.value) >= fn.blocks.size())
+                err(strformat("operand %d: bad label", s));
+            continue;
+        }
+        if (op.isLabel()) {
+            err(strformat("operand %d: label in value slot", s));
+            continue;
+        }
+        if (op.isReg() &&
+            (op.value < 0 ||
+             static_cast<std::uint32_t>(op.value) >= fn.numRegs))
+            err(strformat("operand %d: bad register r%lld", s,
+                          static_cast<long long>(op.value)));
+        if (op.kind == Operand::Kind::None)
+            err(strformat("operand %d: missing", s));
+    }
+
+    const bool lastInBlock = ii + 1 == bb.instrs.size();
+    if (in.isTerminator() && !lastInBlock)
+        err("terminator not at block end");
+    if (!in.isTerminator() && lastInBlock)
+        err("block does not end in a terminator");
+    (void)bi;
+}
+
+} // namespace
+
+VerifyResult
+verifyFunction(const Function& fn)
+{
+    VerifyResult res;
+    if (fn.blocks.empty()) {
+        res.errors.push_back(fn.name + ": kernel has no blocks");
+        return res;
+    }
+    if (fn.numParams > fn.numRegs)
+        res.errors.push_back(fn.name + ": params exceed registers");
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+        const auto& bb = fn.blocks[bi];
+        if (bb.instrs.empty()) {
+            res.errors.push_back(
+                strformat("%s/%s: empty block", fn.name.c_str(),
+                          bb.name.c_str()));
+            continue;
+        }
+        for (std::size_t ii = 0; ii < bb.instrs.size(); ++ii)
+            verifyInstr(fn, bb, bi, ii, bb.instrs[ii], &res);
+    }
+    return res;
+}
+
+VerifyResult
+verifyModule(const Module& mod)
+{
+    VerifyResult res;
+    for (std::size_t i = 0; i < mod.numFunctions(); ++i) {
+        auto fnRes = verifyFunction(mod.function(i));
+        for (auto& e : fnRes.errors)
+            res.errors.push_back(std::move(e));
+    }
+    return res;
+}
+
+} // namespace gevo::ir

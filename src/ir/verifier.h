@@ -1,0 +1,38 @@
+/// \file
+/// Structural validation of kernels.
+///
+/// Mutated modules are hostile inputs: the verifier is the first fitness
+/// gate (paper Fig. 1 "Evaluation" — variants that do not even constitute a
+/// runnable kernel are discarded before simulation).
+
+#ifndef GEVO_IR_VERIFIER_H
+#define GEVO_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace gevo::ir {
+
+/// Result of verification: empty `errors` means structurally valid.
+struct VerifyResult {
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+    /// Single joined diagnostic string.
+    std::string message() const;
+};
+
+/// Verify one kernel: every block non-empty and terminator-terminated,
+/// terminators only in tail position, label operands in range, register
+/// indices within numRegs, operand counts/kinds matching opcode signatures,
+/// memory attributes present exactly on memory opcodes.
+VerifyResult verifyFunction(const Function& fn);
+
+/// Verify all kernels of a module.
+VerifyResult verifyModule(const Module& mod);
+
+} // namespace gevo::ir
+
+#endif // GEVO_IR_VERIFIER_H

@@ -1,0 +1,153 @@
+#include "mutation/edit.h"
+
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace gevo::mut {
+
+std::string_view
+editKindName(EditKind kind)
+{
+    switch (kind) {
+      case EditKind::InstrDelete: return "delete";
+      case EditKind::InstrCopy: return "copy";
+      case EditKind::InstrMove: return "move";
+      case EditKind::InstrReplace: return "replace";
+      case EditKind::InstrSwap: return "swap";
+      case EditKind::OperandReplace: return "oprepl";
+    }
+    return "?";
+}
+
+namespace {
+
+const char*
+operandKindTag(ir::Operand::Kind kind)
+{
+    switch (kind) {
+      case ir::Operand::Kind::None: return "n";
+      case ir::Operand::Kind::Reg: return "r";
+      case ir::Operand::Kind::Imm: return "i";
+      case ir::Operand::Kind::Label: return "l";
+    }
+    return "?";
+}
+
+bool
+parseOperandKindTag(const std::string& tag, ir::Operand::Kind* out)
+{
+    if (tag == "n") {
+        *out = ir::Operand::Kind::None;
+    } else if (tag == "r") {
+        *out = ir::Operand::Kind::Reg;
+    } else if (tag == "i") {
+        *out = ir::Operand::Kind::Imm;
+    } else if (tag == "l") {
+        *out = ir::Operand::Kind::Label;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+Edit::toString() const
+{
+    switch (kind) {
+      case EditKind::InstrDelete:
+        return strformat("delete(#%llu)",
+                         static_cast<unsigned long long>(srcUid));
+      case EditKind::InstrCopy:
+        return strformat("copy(#%llu -> before #%llu)",
+                         static_cast<unsigned long long>(srcUid),
+                         static_cast<unsigned long long>(dstUid));
+      case EditKind::InstrMove:
+        return strformat("move(#%llu -> before #%llu)",
+                         static_cast<unsigned long long>(srcUid),
+                         static_cast<unsigned long long>(dstUid));
+      case EditKind::InstrReplace:
+        return strformat("replace(#%llu <- #%llu)",
+                         static_cast<unsigned long long>(dstUid),
+                         static_cast<unsigned long long>(srcUid));
+      case EditKind::InstrSwap:
+        return strformat("swap(#%llu <-> #%llu)",
+                         static_cast<unsigned long long>(srcUid),
+                         static_cast<unsigned long long>(dstUid));
+      case EditKind::OperandReplace:
+        return strformat("oprepl(#%llu.%d <- %s%lld)",
+                         static_cast<unsigned long long>(srcUid), opIndex,
+                         operandKindTag(newOperand.kind),
+                         static_cast<long long>(newOperand.value));
+    }
+    return "?";
+}
+
+std::string
+serializeEdits(const std::vector<Edit>& edits)
+{
+    std::string out;
+    for (const auto& e : edits) {
+        out += strformat("%s %llu %llu %d %s %lld %llu\n",
+                         std::string(editKindName(e.kind)).c_str(),
+                         static_cast<unsigned long long>(e.srcUid),
+                         static_cast<unsigned long long>(e.dstUid),
+                         static_cast<int>(e.opIndex),
+                         operandKindTag(e.newOperand.kind),
+                         static_cast<long long>(e.newOperand.value),
+                         static_cast<unsigned long long>(e.newUid));
+    }
+    return out;
+}
+
+bool
+deserializeEdits(const std::string& text, std::vector<Edit>* out)
+{
+    out->clear();
+    for (const auto& lineStr : split(text, '\n')) {
+        const auto line = trim(lineStr);
+        if (line.empty())
+            continue;
+        char kindBuf[16] = {};
+        char tagBuf[4] = {};
+        unsigned long long src = 0;
+        unsigned long long dst = 0;
+        unsigned long long newUid = 0;
+        long long value = 0;
+        int opIdx = -1;
+        const int got = std::sscanf(std::string(line).c_str(),
+                                    "%15s %llu %llu %d %3s %lld %llu",
+                                    kindBuf, &src, &dst, &opIdx, tagBuf,
+                                    &value, &newUid);
+        if (got != 7)
+            return false;
+        Edit e;
+        const std::string kindName(kindBuf);
+        bool found = false;
+        for (const auto kind :
+             {EditKind::InstrDelete, EditKind::InstrCopy, EditKind::InstrMove,
+              EditKind::InstrReplace, EditKind::InstrSwap,
+              EditKind::OperandReplace}) {
+            if (editKindName(kind) == kindName) {
+                e.kind = kind;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+        e.srcUid = src;
+        e.dstUid = dst;
+        e.opIndex = static_cast<std::int8_t>(opIdx);
+        if (!parseOperandKindTag(tagBuf, &e.newOperand.kind))
+            return false;
+        e.newOperand.value = value;
+        e.newUid = newUid;
+        out->push_back(e);
+    }
+    return true;
+}
+
+} // namespace gevo::mut

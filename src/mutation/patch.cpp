@@ -1,0 +1,190 @@
+#include "mutation/patch.h"
+
+#include <utility>
+
+namespace gevo::mut {
+
+namespace {
+
+using ir::Function;
+using ir::Instr;
+using ir::InstrPos;
+using ir::Module;
+
+/// Locate (function, position) of an instruction uid; fn == nullptr when
+/// not found.
+struct Located {
+    Function* fn = nullptr;
+    InstrPos pos;
+};
+
+Located
+locate(Module& mod, std::uint64_t uid)
+{
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        auto& fn = mod.function(f);
+        const auto pos = fn.findUid(uid);
+        if (pos.valid())
+            return {&fn, pos};
+    }
+    return {};
+}
+
+bool
+applyDelete(Module& mod, const Edit& e)
+{
+    const auto loc = locate(mod, e.srcUid);
+    if (loc.fn == nullptr || loc.fn->at(loc.pos).isTerminator())
+        return false;
+    auto& instrs = loc.fn->blocks[loc.pos.block].instrs;
+    instrs.erase(instrs.begin() + loc.pos.index);
+    return true;
+}
+
+bool
+applyCopy(Module& mod, const Edit& e)
+{
+    const auto src = locate(mod, e.srcUid);
+    const auto dst = locate(mod, e.dstUid);
+    if (src.fn == nullptr || dst.fn == nullptr || src.fn != dst.fn)
+        return false;
+    if (src.fn->at(src.pos).isTerminator())
+        return false;
+    Instr clone = src.fn->at(src.pos);
+    clone.uid = e.newUid;
+    auto& instrs = dst.fn->blocks[dst.pos.block].instrs;
+    instrs.insert(instrs.begin() + dst.pos.index, clone);
+    mod.bumpUidCounter(e.newUid);
+    return true;
+}
+
+bool
+applyMove(Module& mod, const Edit& e)
+{
+    const auto src = locate(mod, e.srcUid);
+    const auto dst = locate(mod, e.dstUid);
+    if (src.fn == nullptr || dst.fn == nullptr || src.fn != dst.fn)
+        return false;
+    if (src.fn->at(src.pos).isTerminator())
+        return false;
+    if (e.srcUid == e.dstUid)
+        return false;
+    const Instr moved = src.fn->at(src.pos);
+    auto& srcInstrs = src.fn->blocks[src.pos.block].instrs;
+    srcInstrs.erase(srcInstrs.begin() + src.pos.index);
+    // Re-locate the destination: indices may have shifted.
+    const auto dst2 = locate(mod, e.dstUid);
+    if (dst2.fn == nullptr) {
+        // Destination vanished (was the moved instruction's neighbour in a
+        // degenerate way); restore by appending back where it was.
+        srcInstrs.insert(srcInstrs.begin() + src.pos.index, moved);
+        return false;
+    }
+    auto& dstInstrs = dst2.fn->blocks[dst2.pos.block].instrs;
+    dstInstrs.insert(dstInstrs.begin() + dst2.pos.index, moved);
+    return true;
+}
+
+bool
+applyReplace(Module& mod, const Edit& e)
+{
+    const auto src = locate(mod, e.srcUid);
+    const auto dst = locate(mod, e.dstUid);
+    if (src.fn == nullptr || dst.fn == nullptr || src.fn != dst.fn)
+        return false;
+    if (src.fn->at(src.pos).isTerminator() ||
+        dst.fn->at(dst.pos).isTerminator())
+        return false;
+    if (e.srcUid == e.dstUid)
+        return false;
+    Instr clone = src.fn->at(src.pos);
+    clone.uid = e.newUid;
+    dst.fn->at(dst.pos) = clone;
+    mod.bumpUidCounter(e.newUid);
+    return true;
+}
+
+bool
+applySwap(Module& mod, const Edit& e)
+{
+    const auto a = locate(mod, e.srcUid);
+    const auto b = locate(mod, e.dstUid);
+    if (a.fn == nullptr || b.fn == nullptr || a.fn != b.fn)
+        return false;
+    if (a.fn->at(a.pos).isTerminator() || b.fn->at(b.pos).isTerminator())
+        return false;
+    if (e.srcUid == e.dstUid)
+        return false;
+    std::swap(a.fn->at(a.pos), b.fn->at(b.pos));
+    return true;
+}
+
+bool
+applyOperandReplace(Module& mod, const Edit& e)
+{
+    const auto loc = locate(mod, e.srcUid);
+    if (loc.fn == nullptr)
+        return false;
+    Instr& in = loc.fn->at(loc.pos);
+    if (e.opIndex < 0 || e.opIndex >= in.nops)
+        return false;
+    const bool labelSlot =
+        (in.op == ir::Opcode::Br && e.opIndex == 0) ||
+        (in.op == ir::Opcode::CondBr && (e.opIndex == 1 || e.opIndex == 2));
+    if (labelSlot) {
+        if (!e.newOperand.isLabel() ||
+            static_cast<std::size_t>(e.newOperand.value) >=
+                loc.fn->blocks.size())
+            return false;
+    } else {
+        if (e.newOperand.isLabel())
+            return false;
+        if (e.newOperand.isReg() &&
+            (e.newOperand.value < 0 ||
+             static_cast<std::uint32_t>(e.newOperand.value) >=
+                 loc.fn->numRegs))
+            return false;
+        if (e.newOperand.kind == ir::Operand::Kind::None)
+            return false;
+    }
+    if (in.ops[e.opIndex] == e.newOperand)
+        return false; // no-op
+    in.ops[e.opIndex] = e.newOperand;
+    return true;
+}
+
+} // namespace
+
+bool
+applyEdit(ir::Module& mod, const Edit& edit)
+{
+    switch (edit.kind) {
+      case EditKind::InstrDelete: return applyDelete(mod, edit);
+      case EditKind::InstrCopy: return applyCopy(mod, edit);
+      case EditKind::InstrMove: return applyMove(mod, edit);
+      case EditKind::InstrReplace: return applyReplace(mod, edit);
+      case EditKind::InstrSwap: return applySwap(mod, edit);
+      case EditKind::OperandReplace: return applyOperandReplace(mod, edit);
+    }
+    return false;
+}
+
+ir::Module
+applyPatch(const ir::Module& base, const std::vector<Edit>& edits,
+           PatchStats* stats)
+{
+    ir::Module variant = base.clone();
+    PatchStats local;
+    for (const auto& e : edits) {
+        if (applyEdit(variant, e)) {
+            ++local.applied;
+        } else {
+            ++local.skipped;
+        }
+    }
+    if (stats != nullptr)
+        *stats = local;
+    return variant;
+}
+
+} // namespace gevo::mut

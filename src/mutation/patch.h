@@ -1,0 +1,37 @@
+/// \file
+/// Patch application: turn (original module, edit list) into a variant.
+
+#ifndef GEVO_MUTATION_PATCH_H
+#define GEVO_MUTATION_PATCH_H
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/function.h"
+#include "mutation/edit.h"
+
+namespace gevo::mut {
+
+/// Statistics from one patch application.
+struct PatchStats {
+    std::size_t applied = 0; ///< Edits that changed the module.
+    std::size_t skipped = 0; ///< Dangling/no-op edits (GEVO-style skip).
+};
+
+/// Apply one edit to \p mod in place. Returns true when the module changed.
+///
+/// Skip (returns false) when any referenced uid is missing, when a
+/// structural edit touches a terminator (branch structure is mutated via
+/// OperandReplace on conditions/labels instead), when src/dst live in
+/// different kernels, or when an OperandReplace payload does not fit the
+/// slot (label payloads only into label slots, value payloads only into
+/// value slots, register indices in range).
+bool applyEdit(ir::Module& mod, const Edit& edit);
+
+/// Apply a whole edit list in order to a copy of \p base.
+ir::Module applyPatch(const ir::Module& base, const std::vector<Edit>& edits,
+                      PatchStats* stats = nullptr);
+
+} // namespace gevo::mut
+
+#endif // GEVO_MUTATION_PATCH_H

@@ -1,0 +1,210 @@
+#include "mutation/sampler.h"
+
+#include <algorithm>
+
+namespace gevo::mut {
+
+namespace {
+
+using ir::Function;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using ir::Operand;
+
+/// Flattened instruction reference used by the sampler.
+struct InstrRef {
+    std::size_t fnIdx;
+    std::uint64_t uid;
+    bool terminator;
+    const Instr* instr;
+};
+
+std::vector<InstrRef>
+collect(const Module& mod)
+{
+    std::vector<InstrRef> out;
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        const auto& fn = mod.function(f);
+        for (const auto& bb : fn.blocks) {
+            for (const auto& in : bb.instrs)
+                out.push_back({f, in.uid, in.isTerminator(), &in});
+        }
+    }
+    return out;
+}
+
+/// Pick a random element with predicate; nullopt if none qualify.
+template <typename Pred>
+std::optional<InstrRef>
+pick(const std::vector<InstrRef>& pool, Rng& rng, Pred pred)
+{
+    std::vector<std::size_t> candidates;
+    candidates.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (pred(pool[i]))
+            candidates.push_back(i);
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    return pool[candidates[rng.below(candidates.size())]];
+}
+
+/// Fresh uid for clone edits: top-bit-tagged random id so edits from
+/// different individuals cannot collide after crossover.
+std::uint64_t
+freshUid(Rng& rng)
+{
+    return (1ull << 63) | rng.next();
+}
+
+std::optional<Edit>
+sampleOperandReplace(const Module& mod, const std::vector<InstrRef>& pool,
+                     Rng& rng)
+{
+    // Pick a target instruction with at least one operand.
+    const auto target =
+        pick(pool, rng, [](const InstrRef& r) { return r.instr->nops > 0; });
+    if (!target)
+        return std::nullopt;
+    const auto& in = *target->instr;
+    const int slot = static_cast<int>(rng.below(in.nops));
+
+    const bool labelSlot =
+        (in.op == Opcode::Br && slot == 0) ||
+        (in.op == Opcode::CondBr && (slot == 1 || slot == 2));
+
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = target->uid;
+    e.opIndex = static_cast<std::int8_t>(slot);
+
+    const auto& fn = mod.function(target->fnIdx);
+    if (labelSlot) {
+        e.newOperand = Operand::label(
+            static_cast<std::int64_t>(rng.below(fn.blocks.size())));
+        return e;
+    }
+
+    // Value slot: draw from the operands and destinations visible in the
+    // same kernel ("replace the operands between instructions"), plus the
+    // canonical constants 0/1 that branch-condition rewrites need.
+    std::vector<Operand> candidates = {Operand::imm(0), Operand::imm(1)};
+    for (const auto& bb : fn.blocks) {
+        for (const auto& other : bb.instrs) {
+            for (int i = 0; i < other.nops; ++i) {
+                if (!other.ops[i].isLabel())
+                    candidates.push_back(other.ops[i]);
+            }
+            if (other.dest >= 0)
+                candidates.push_back(Operand::reg(other.dest));
+        }
+    }
+    e.newOperand = candidates[rng.below(candidates.size())];
+    return e;
+}
+
+} // namespace
+
+std::optional<Edit>
+sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
+{
+    const auto pool = collect(mod);
+    if (pool.empty())
+        return std::nullopt;
+
+    const double total = cfg.wDelete + cfg.wCopy + cfg.wMove +
+                         cfg.wReplace + cfg.wSwap + cfg.wOperand;
+    double roll = rng.uniform() * total;
+
+    auto nonTerm = [](const InstrRef& r) { return !r.terminator; };
+
+    if ((roll -= cfg.wDelete) < 0) {
+        const auto victim = pick(pool, rng, nonTerm);
+        if (!victim)
+            return std::nullopt;
+        Edit e;
+        e.kind = EditKind::InstrDelete;
+        e.srcUid = victim->uid;
+        return e;
+    }
+    if ((roll -= cfg.wCopy) < 0) {
+        const auto src = pick(pool, rng, nonTerm);
+        if (!src)
+            return std::nullopt;
+        const auto dst = pick(pool, rng, [&](const InstrRef& r) {
+            return r.fnIdx == src->fnIdx;
+        });
+        if (!dst)
+            return std::nullopt;
+        Edit e;
+        e.kind = EditKind::InstrCopy;
+        e.srcUid = src->uid;
+        e.dstUid = dst->uid;
+        e.newUid = freshUid(rng);
+        return e;
+    }
+    if ((roll -= cfg.wMove) < 0) {
+        const auto src = pick(pool, rng, nonTerm);
+        if (!src)
+            return std::nullopt;
+        const auto dst = pick(pool, rng, [&](const InstrRef& r) {
+            return r.fnIdx == src->fnIdx && r.uid != src->uid;
+        });
+        if (!dst)
+            return std::nullopt;
+        Edit e;
+        e.kind = EditKind::InstrMove;
+        e.srcUid = src->uid;
+        e.dstUid = dst->uid;
+        return e;
+    }
+    if ((roll -= cfg.wReplace) < 0) {
+        const auto src = pick(pool, rng, nonTerm);
+        if (!src)
+            return std::nullopt;
+        const auto dst = pick(pool, rng, [&](const InstrRef& r) {
+            return r.fnIdx == src->fnIdx && !r.terminator &&
+                   r.uid != src->uid;
+        });
+        if (!dst)
+            return std::nullopt;
+        Edit e;
+        e.kind = EditKind::InstrReplace;
+        e.srcUid = src->uid;
+        e.dstUid = dst->uid;
+        e.newUid = freshUid(rng);
+        return e;
+    }
+    if ((roll -= cfg.wSwap) < 0) {
+        const auto a = pick(pool, rng, nonTerm);
+        if (!a)
+            return std::nullopt;
+        const auto b = pick(pool, rng, [&](const InstrRef& r) {
+            return r.fnIdx == a->fnIdx && !r.terminator && r.uid != a->uid;
+        });
+        if (!b)
+            return std::nullopt;
+        Edit e;
+        e.kind = EditKind::InstrSwap;
+        e.srcUid = a->uid;
+        e.dstUid = b->uid;
+        return e;
+    }
+    return sampleOperandReplace(mod, pool, rng);
+}
+
+std::pair<std::vector<Edit>, std::vector<Edit>>
+crossoverEdits(const std::vector<Edit>& a, const std::vector<Edit>& b,
+               Rng& rng)
+{
+    const std::size_t i = rng.below(a.size() + 1);
+    const std::size_t j = rng.below(b.size() + 1);
+    std::vector<Edit> c1(a.begin(), a.begin() + i);
+    c1.insert(c1.end(), b.begin() + j, b.end());
+    std::vector<Edit> c2(b.begin(), b.begin() + j);
+    c2.insert(c2.end(), a.begin() + i, a.end());
+    return {std::move(c1), std::move(c2)};
+}
+
+} // namespace gevo::mut

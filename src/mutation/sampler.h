@@ -1,0 +1,47 @@
+/// \file
+/// Random mutation sampling and patch crossover.
+///
+/// Sampling runs against the *current variant* (base + existing edits), so
+/// later mutations can reference instructions earlier copies introduced —
+/// the stepping-stone structure the paper's epistasis analysis (Sec V)
+/// depends on.
+
+#ifndef GEVO_MUTATION_SAMPLER_H
+#define GEVO_MUTATION_SAMPLER_H
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ir/function.h"
+#include "mutation/edit.h"
+#include "support/rng.h"
+
+namespace gevo::mut {
+
+/// Relative weights of the mutation operators.
+struct SamplerConfig {
+    double wDelete = 0.20;
+    double wCopy = 0.12;
+    double wMove = 0.08;
+    double wReplace = 0.10;
+    double wSwap = 0.08;
+    double wOperand = 0.42; ///< Operand replacement carries the search
+                            ///< (paper Sec VI: the headline edits are all
+                            ///< condition/operand rewrites).
+};
+
+/// Draw one random edit valid against \p mod; nullopt when the module has
+/// no mutable instructions. Deterministic in (mod, rng state).
+std::optional<Edit> sampleEdit(const ir::Module& mod, Rng& rng,
+                               const SamplerConfig& cfg = {});
+
+/// One-point crossover on edit lists (GEVO-style tail exchange): returns
+/// {a[:i] + b[j:], b[:j] + a[i:]} with i, j drawn uniformly.
+std::pair<std::vector<Edit>, std::vector<Edit>>
+crossoverEdits(const std::vector<Edit>& a, const std::vector<Edit>& b,
+               Rng& rng);
+
+} // namespace gevo::mut
+
+#endif // GEVO_MUTATION_SAMPLER_H

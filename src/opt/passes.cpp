@@ -1,0 +1,239 @@
+#include "opt/passes.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/eval.h"
+#include "support/logging.h"
+
+namespace gevo::opt {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instr;
+using ir::Opcode;
+using ir::Operand;
+
+bool
+runDce(Function& fn)
+{
+    bool removedAny = false;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // A register is "used" when it appears as a value operand anywhere.
+        std::vector<bool> used(fn.numRegs, false);
+        for (const auto& bb : fn.blocks) {
+            for (const auto& in : bb.instrs) {
+                for (int i = 0; i < in.nops; ++i) {
+                    if (in.ops[i].isReg())
+                        used[static_cast<std::size_t>(in.ops[i].value)] =
+                            true;
+                }
+            }
+        }
+        for (auto& bb : fn.blocks) {
+            auto& instrs = bb.instrs;
+            const auto pre = instrs.size();
+            instrs.erase(
+                std::remove_if(
+                    instrs.begin(), instrs.end(),
+                    [&](const Instr& in) {
+                        return ir::isPure(in.op) && in.dest >= 0 &&
+                               !used[static_cast<std::size_t>(in.dest)];
+                    }),
+                instrs.end());
+            if (instrs.size() != pre) {
+                changed = true;
+                removedAny = true;
+            }
+        }
+    }
+    return removedAny;
+}
+
+bool
+runConstantFold(Function& fn)
+{
+    bool changed = false;
+    for (auto& bb : fn.blocks) {
+        for (auto& in : bb.instrs) {
+            if (in.op == Opcode::CondBr && in.ops[0].isImm()) {
+                const bool taken = in.ops[0].value != 0;
+                const Operand target = taken ? in.ops[1] : in.ops[2];
+                in.op = Opcode::Br;
+                in.nops = 1;
+                in.ops[0] = target;
+                in.ops[1] = Operand();
+                in.ops[2] = Operand();
+                changed = true;
+                continue;
+            }
+            if (in.op == Opcode::Select && in.ops[0].isImm()) {
+                const Operand chosen =
+                    in.ops[0].value != 0 ? in.ops[1] : in.ops[2];
+                in.op = Opcode::Mov;
+                in.nops = 1;
+                in.ops[0] = chosen;
+                in.ops[1] = Operand();
+                in.ops[2] = Operand();
+                changed = true;
+                continue;
+            }
+            if (!ir::isScalarEvaluable(in.op) || in.op == Opcode::Mov)
+                continue;
+            bool allImm = true;
+            for (int i = 0; i < in.nops; ++i)
+                allImm = allImm && in.ops[i].isImm();
+            if (!allImm || in.nops == 0)
+                continue;
+            const std::uint64_t result = ir::evalScalar(
+                in.op, static_cast<std::uint64_t>(in.ops[0].value),
+                in.nops > 1 ? static_cast<std::uint64_t>(in.ops[1].value) : 0,
+                in.nops > 2 ? static_cast<std::uint64_t>(in.ops[2].value)
+                            : 0);
+            in.op = Opcode::Mov;
+            in.nops = 1;
+            in.ops[0] = Operand::imm(static_cast<std::int64_t>(result));
+            in.ops[1] = Operand();
+            in.ops[2] = Operand();
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+namespace {
+
+/// Remap all label operands through \p map (old block index -> new).
+void
+remapLabels(Function& fn, const std::vector<std::int32_t>& map)
+{
+    for (auto& bb : fn.blocks) {
+        for (auto& in : bb.instrs) {
+            for (int i = 0; i < in.nops; ++i) {
+                if (in.ops[i].isLabel()) {
+                    const auto updated =
+                        map[static_cast<std::size_t>(in.ops[i].value)];
+                    GEVO_ASSERT(updated >= 0,
+                                "branch to removed block survived");
+                    in.ops[i].value = updated;
+                }
+            }
+        }
+    }
+}
+
+bool
+removeUnreachable(Function& fn)
+{
+    const ir::Cfg cfg(fn);
+    bool any = false;
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b)
+        any = any || !cfg.reachable(static_cast<std::int32_t>(b));
+    if (!any)
+        return false;
+
+    std::vector<std::int32_t> map(fn.blocks.size(), -1);
+    std::vector<BasicBlock> kept;
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        if (cfg.reachable(static_cast<std::int32_t>(b))) {
+            map[b] = static_cast<std::int32_t>(kept.size());
+            kept.push_back(std::move(fn.blocks[b]));
+        }
+    }
+    fn.blocks = std::move(kept);
+    remapLabels(fn, map);
+    return true;
+}
+
+bool
+mergeStraightLine(Function& fn)
+{
+    // Find b -> s where b ends in Br s, s has exactly one predecessor and
+    // is not the entry. Merge s into b.
+    const ir::Cfg cfg(fn);
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        auto& bb = fn.blocks[b];
+        if (bb.instrs.empty())
+            continue;
+        const Instr& term = bb.terminator();
+        if (term.op != Opcode::Br)
+            continue;
+        const auto s = static_cast<std::size_t>(term.ops[0].value);
+        if (s == b || s == 0)
+            continue;
+        if (cfg.preds(static_cast<std::int32_t>(s)).size() != 1)
+            continue;
+
+        auto& sb = fn.blocks[s];
+        bb.instrs.pop_back(); // drop the Br
+        bb.instrs.insert(bb.instrs.end(), sb.instrs.begin(),
+                         sb.instrs.end());
+
+        // Delete s and remap.
+        std::vector<std::int32_t> map(fn.blocks.size());
+        std::vector<BasicBlock> kept;
+        for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+            if (i == s) {
+                map[i] = -1;
+                continue;
+            }
+            map[i] = static_cast<std::int32_t>(kept.size());
+            kept.push_back(std::move(fn.blocks[i]));
+        }
+        fn.blocks = std::move(kept);
+        remapLabels(fn, map);
+        return true; // restart: indices changed
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+runSimplifyCfg(Function& fn)
+{
+    bool changed = false;
+    for (auto& bb : fn.blocks) {
+        if (bb.instrs.empty())
+            continue;
+        Instr& term = bb.instrs.back();
+        if (term.op == Opcode::CondBr &&
+            term.ops[1].value == term.ops[2].value) {
+            term.op = Opcode::Br;
+            term.ops[0] = term.ops[1];
+            term.nops = 1;
+            term.ops[1] = Operand();
+            term.ops[2] = Operand();
+            changed = true;
+        }
+    }
+    changed = removeUnreachable(fn) || changed;
+    while (mergeStraightLine(fn))
+        changed = true;
+    return changed;
+}
+
+void
+runCleanupPipeline(Function& fn)
+{
+    // Bounded fixpoint; each iteration strictly shrinks or stabilizes.
+    for (int iter = 0; iter < 8; ++iter) {
+        bool changed = runConstantFold(fn);
+        changed = runSimplifyCfg(fn) || changed;
+        changed = runDce(fn) || changed;
+        if (!changed)
+            break;
+    }
+}
+
+void
+runCleanupPipeline(ir::Module& mod)
+{
+    for (std::size_t i = 0; i < mod.numFunctions(); ++i)
+        runCleanupPipeline(mod.function(i));
+}
+
+} // namespace gevo::opt

@@ -1,0 +1,43 @@
+/// \file
+/// Post-mutation cleanup passes.
+///
+/// In the paper's pipeline (Fig. 1) the mutated LLVM-IR is lowered through
+/// NVPTX codegen, which performs dead-code elimination and CFG cleanup
+/// before the kernel executes. These passes are our stand-in: without them
+/// an edit like "replace a branch condition with `true`" would leave the
+/// now-dead compare chain executing and its performance benefit invisible
+/// (see DESIGN.md §2 and the Sec VI-D boundary-check experiment).
+
+#ifndef GEVO_OPT_PASSES_H
+#define GEVO_OPT_PASSES_H
+
+#include "ir/function.h"
+
+namespace gevo::opt {
+
+/// Remove pure instructions whose destination register is never read
+/// anywhere in the function. Iterates to a fixpoint. Returns true when
+/// anything was removed.
+bool runDce(ir::Function& fn);
+
+/// Fold pure ops with all-immediate operands into `mov imm`, rewrite
+/// CondBr-on-immediate into Br, and Select-on-immediate into mov.
+/// Returns true when anything changed.
+bool runConstantFold(ir::Function& fn);
+
+/// Replace same-target CondBr with Br, delete unreachable blocks
+/// (remapping label operands), and merge single-predecessor straight-line
+/// block pairs. Returns true when anything changed.
+bool runSimplifyCfg(ir::Function& fn);
+
+/// Run fold/simplify/DCE to a (bounded) fixpoint on every kernel.
+/// This is what the fitness evaluator applies to each variant before
+/// simulation.
+void runCleanupPipeline(ir::Module& mod);
+
+/// Same, single function.
+void runCleanupPipeline(ir::Function& fn);
+
+} // namespace gevo::opt
+
+#endif // GEVO_OPT_PASSES_H

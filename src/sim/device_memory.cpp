@@ -1,0 +1,46 @@
+#include "sim/device_memory.h"
+
+namespace gevo::sim {
+
+DeviceMemory::DeviceMemory(std::int64_t bytes)
+{
+    GEVO_ASSERT(bytes > 0, "empty arena");
+    data_.assign(static_cast<std::size_t>(bytes), 0);
+}
+
+DevPtr
+DeviceMemory::alloc(std::int64_t bytes)
+{
+    GEVO_ASSERT(bytes >= 0, "negative allocation");
+    const DevPtr ptr = used_;
+    std::int64_t padded = (bytes + kAlign - 1) / kAlign * kAlign;
+    if (used_ + padded > capacity())
+        GEVO_FATAL("device arena exhausted: %lld + %lld > %lld",
+                   static_cast<long long>(used_),
+                   static_cast<long long>(padded),
+                   static_cast<long long>(capacity()));
+    used_ += padded;
+    return ptr;
+}
+
+void
+DeviceMemory::reset()
+{
+    used_ = 0;
+    std::fill(data_.begin(), data_.end(), 0);
+}
+
+std::int64_t
+DeviceMemory::mappedEnd() const
+{
+    const std::int64_t rounded = (used_ + kPage - 1) / kPage * kPage;
+    return rounded < capacity() ? rounded : capacity();
+}
+
+bool
+DeviceMemory::mapped(std::int64_t addr, std::int64_t size) const
+{
+    return addr >= 0 && size >= 0 && addr + size <= mappedEnd();
+}
+
+} // namespace gevo::sim

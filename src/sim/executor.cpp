@@ -1,0 +1,823 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "ir/eval.h"
+#include "support/strings.h"
+
+namespace gevo::sim {
+
+std::string_view
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::MemOobGlobal: return "global-oob";
+      case FaultKind::MemOobShared: return "shared-oob";
+      case FaultKind::MemOobLocal: return "local-oob";
+      case FaultKind::BarrierDivergence: return "barrier-divergence";
+      case FaultKind::IllegalWarpSync: return "illegal-warp-sync";
+      case FaultKind::Timeout: return "timeout";
+      case FaultKind::InvalidProgram: return "invalid-program";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr int kWarpSize = 32;
+constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+using ir::MemSpace;
+using ir::MemWidth;
+using ir::Opcode;
+using ir::Operand;
+
+/// One SIMT reconvergence-stack entry.
+struct StackEntry {
+    std::int32_t pc;
+    std::int32_t reconvPc;
+    std::uint32_t mask;
+};
+
+/// Outcome of running a warp until it can no longer proceed.
+enum class WarpStop : std::uint8_t {
+    Done,
+    AtBarrier,
+    Faulted,
+};
+
+struct WarpState {
+    std::uint32_t aliveMask = 0;
+    std::vector<StackEntry> stack;
+    bool done = false;
+    bool atBarrier = false;
+    std::uint64_t cycle = 0;
+    std::uint64_t issueCycles = 0;
+    std::uint64_t issuedInstrs = 0;
+    std::vector<std::uint64_t> regs;  ///< lane-major: [lane*numRegs + r].
+    std::vector<std::uint64_t> ready; ///< per-register ready cycle.
+    int index = 0;
+};
+
+/// Executes one thread block.
+class BlockRunner {
+  public:
+    BlockRunner(const DeviceConfig& dev, DeviceMemory& mem,
+                const Program& prog, LaunchDims dims, std::uint32_t blockIdx,
+                const std::vector<std::uint64_t>& args, LaunchStats* stats,
+                bool profileLocs)
+        : dev_(dev), mem_(mem), prog_(prog), dims_(dims),
+          blockIdx_(blockIdx), stats_(stats), profileLocs_(profileLocs)
+    {
+        shared_.assign(prog.sharedBytes, 0);
+        local_.assign(static_cast<std::size_t>(prog.localBytes) *
+                          dims.blockDim,
+                      0);
+        const std::uint32_t numWarps =
+            (dims.blockDim + kWarpSize - 1) / kWarpSize;
+        warps_.resize(numWarps);
+        for (std::uint32_t w = 0; w < numWarps; ++w) {
+            WarpState& warp = warps_[w];
+            warp.index = static_cast<int>(w);
+            const std::uint32_t lanes =
+                std::min<std::uint32_t>(kWarpSize,
+                                        dims.blockDim - w * kWarpSize);
+            warp.aliveMask = lanes == kWarpSize ? kFullMask
+                                                : ((1u << lanes) - 1);
+            warp.stack.push_back({0, kExitPc, warp.aliveMask});
+            warp.regs.assign(
+                static_cast<std::size_t>(kWarpSize) * prog.numRegs, 0);
+            warp.ready.assign(prog.numRegs, 0);
+            for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
+                for (std::uint32_t p = 0;
+                     p < prog.numParams && p < args.size(); ++p) {
+                    warp.regs[lane * prog.numRegs + p] = args[p];
+                }
+            }
+        }
+    }
+
+    /// Run the block to completion. Returns the fault (None on success)
+    /// and per-block timing via issueSum/latMax.
+    Fault
+    run(std::uint64_t* issueSum, std::uint64_t* latMax)
+    {
+        while (true) {
+            bool allDone = true;
+            for (auto& warp : warps_) {
+                if (warp.done || warp.atBarrier)
+                    continue;
+                const WarpStop stop = runWarp(warp);
+                if (stop == WarpStop::Faulted)
+                    return fault_;
+                allDone = false;
+            }
+            // Every warp is now done or waiting at a barrier.
+            bool anyWaiting = false;
+            for (auto& warp : warps_)
+                anyWaiting = anyWaiting || warp.atBarrier;
+            if (!anyWaiting) {
+                if (allDone || warpsAllDone())
+                    break;
+                continue;
+            }
+            releaseBarrier();
+        }
+        std::uint64_t issue = 0;
+        std::uint64_t lat = 0;
+        for (const auto& warp : warps_) {
+            issue += warp.issueCycles;
+            lat = std::max(lat, warp.cycle);
+        }
+        *issueSum = issue;
+        *latMax = lat;
+        return fault_;
+    }
+
+  private:
+    bool
+    warpsAllDone() const
+    {
+        for (const auto& warp : warps_) {
+            if (!warp.done)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    releaseBarrier()
+    {
+        std::uint64_t t = 0;
+        for (const auto& warp : warps_)
+            t = std::max(t, warp.cycle);
+        t += dev_.barrierBase +
+             static_cast<std::uint64_t>(dev_.barrierPerWarp) * warps_.size();
+        for (auto& warp : warps_) {
+            if (!warp.done) {
+                warp.cycle = t;
+                warp.atBarrier = false;
+            }
+        }
+        ++stats_->barriers;
+    }
+
+    // ---- fault helpers ----
+
+    WarpStop
+    memFault(FaultKind kind, std::int64_t addr)
+    {
+        fault_.kind = kind;
+        fault_.detail = strformat(
+            "%s at address %lld (kernel %s, block %u)",
+            std::string(faultKindName(kind)).c_str(),
+            static_cast<long long>(addr), prog_.name.c_str(), blockIdx_);
+        return WarpStop::Faulted;
+    }
+
+    WarpStop
+    plainFault(FaultKind kind, const std::string& what)
+    {
+        fault_.kind = kind;
+        fault_.detail = strformat("%s: %s (kernel %s, block %u)",
+                                  std::string(faultKindName(kind)).c_str(),
+                                  what.c_str(), prog_.name.c_str(),
+                                  blockIdx_);
+        return WarpStop::Faulted;
+    }
+
+    // ---- functional memory ----
+
+    bool
+    loadValue(MemSpace space, MemWidth width, std::int64_t addr,
+              std::uint32_t thread, std::uint64_t* out, FaultKind* fk)
+    {
+        const std::int64_t size = ir::memWidthBytes(width);
+        const std::uint8_t* base = nullptr;
+        switch (space) {
+          case MemSpace::Global:
+            if (!mem_.mapped(addr, size)) {
+                *fk = FaultKind::MemOobGlobal;
+                return false;
+            }
+            base = mem_.raw();
+            break;
+          case MemSpace::Shared:
+            if (addr < 0 ||
+                addr + size > static_cast<std::int64_t>(shared_.size())) {
+                *fk = FaultKind::MemOobShared;
+                return false;
+            }
+            base = shared_.data();
+            break;
+          case MemSpace::Local:
+            if (addr < 0 ||
+                addr + size > static_cast<std::int64_t>(prog_.localBytes)) {
+                *fk = FaultKind::MemOobLocal;
+                return false;
+            }
+            base = local_.data() +
+                   static_cast<std::size_t>(thread) * prog_.localBytes;
+            break;
+          default:
+            *fk = FaultKind::InvalidProgram;
+            return false;
+        }
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, base + addr, static_cast<std::size_t>(size));
+        switch (width) {
+          case MemWidth::I8:
+            raw = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int8_t>(raw)));
+            break;
+          case MemWidth::I16:
+            raw = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int16_t>(raw)));
+            break;
+          case MemWidth::I32:
+            raw = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int32_t>(raw)));
+            break;
+          default:
+            break; // U8/U16/U32/F32/I64: zero-extended raw bits.
+        }
+        *out = raw;
+        return true;
+    }
+
+    bool
+    storeValue(MemSpace space, MemWidth width, std::int64_t addr,
+               std::uint32_t thread, std::uint64_t value, FaultKind* fk)
+    {
+        const std::int64_t size = ir::memWidthBytes(width);
+        std::uint8_t* base = nullptr;
+        switch (space) {
+          case MemSpace::Global:
+            if (!mem_.mapped(addr, size)) {
+                *fk = FaultKind::MemOobGlobal;
+                return false;
+            }
+            base = mem_.raw();
+            break;
+          case MemSpace::Shared:
+            if (addr < 0 ||
+                addr + size > static_cast<std::int64_t>(shared_.size())) {
+                *fk = FaultKind::MemOobShared;
+                return false;
+            }
+            base = shared_.data();
+            break;
+          case MemSpace::Local:
+            if (addr < 0 ||
+                addr + size > static_cast<std::int64_t>(prog_.localBytes)) {
+                *fk = FaultKind::MemOobLocal;
+                return false;
+            }
+            base = local_.data() +
+                   static_cast<std::size_t>(thread) * prog_.localBytes;
+            break;
+          default:
+            *fk = FaultKind::InvalidProgram;
+            return false;
+        }
+        std::memcpy(base + addr, &value, static_cast<std::size_t>(size));
+        return true;
+    }
+
+    // ---- timing helpers ----
+
+    /// Shared-memory conflict ways: max accesses per 4B bank among the
+    /// active lanes; identical addresses broadcast on loads but serialize
+    /// on stores.
+    std::uint32_t
+    sharedConflictWays(const std::int64_t* addrs, std::uint32_t mask,
+                       bool isStore)
+    {
+        std::uint32_t perBank[32] = {};
+        std::int64_t firstAddr[32];
+        bool seen[32] = {};
+        std::uint32_t ways = 1;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            const std::int64_t a = addrs[lane];
+            const auto bank = static_cast<std::uint32_t>((a >> 2) & 31);
+            if (!seen[bank]) {
+                seen[bank] = true;
+                firstAddr[bank] = a;
+                perBank[bank] = 1;
+            } else if (isStore || firstAddr[bank] != a) {
+                // Loads of the same address broadcast (1 way);
+                // anything else serializes.
+                ++perBank[bank];
+            }
+            ways = std::max(ways, perBank[bank]);
+        }
+        return ways;
+    }
+
+    /// Global coalescing: distinct 32B sectors touched by active lanes.
+    std::uint32_t
+    globalSectors(const std::int64_t* addrs, std::uint32_t mask)
+    {
+        std::int64_t sectors[kWarpSize];
+        int n = 0;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            const std::int64_t s = addrs[lane] >> 5;
+            bool dup = false;
+            for (int i = 0; i < n; ++i)
+                dup = dup || sectors[i] == s;
+            if (!dup)
+                sectors[n++] = s;
+        }
+        return static_cast<std::uint32_t>(std::max(1, n));
+    }
+
+    /// Stall until source registers are ready, then consume issue slots.
+    void
+    issue(WarpState& warp, const DecodedInstr& in, std::uint64_t slots)
+    {
+        for (int i = 0; i < in.nops; ++i) {
+            if (in.ops[i].isReg())
+                warp.cycle = std::max(
+                    warp.cycle,
+                    warp.ready[static_cast<std::size_t>(in.ops[i].value)]);
+        }
+        warp.cycle += slots;
+        warp.issueCycles += slots;
+        ++warp.issuedInstrs;
+        ++stats_->warpInstrs;
+        if (profileLocs_ && in.loc != 0)
+            ++stats_->locIssues[in.loc];
+    }
+
+    void
+    setReady(WarpState& warp, std::int32_t dest, std::uint64_t lat)
+    {
+        if (dest >= 0)
+            warp.ready[static_cast<std::size_t>(dest)] = warp.cycle + lat;
+    }
+
+    // ---- the interpreter ----
+
+    WarpStop runWarp(WarpState& warp);
+    WarpStop step(WarpState& warp);
+
+    const DeviceConfig& dev_;
+    DeviceMemory& mem_;
+    const Program& prog_;
+    LaunchDims dims_;
+    std::uint32_t blockIdx_;
+    LaunchStats* stats_;
+    bool profileLocs_;
+
+    std::vector<std::uint8_t> shared_;
+    std::vector<std::uint8_t> local_;
+    std::vector<WarpState> warps_;
+    Fault fault_;
+};
+
+WarpStop
+BlockRunner::runWarp(WarpState& warp)
+{
+    while (true) {
+        const WarpStop result = step(warp);
+        if (result == WarpStop::Faulted || result == WarpStop::AtBarrier)
+            return result;
+        if (warp.done)
+            return WarpStop::Done;
+    }
+}
+
+/// Executes exactly one warp instruction (or resolves stack bookkeeping).
+WarpStop
+BlockRunner::step(WarpState& warp)
+{
+    // Resolve reconvergence and dead entries before fetching.
+    while (!warp.stack.empty()) {
+        StackEntry& top = warp.stack.back();
+        if ((top.mask & warp.aliveMask) == 0) {
+            warp.stack.pop_back();
+            continue;
+        }
+        if (top.pc == kExitPc) {
+            // Implicit exit: retire these lanes.
+            warp.aliveMask &= ~top.mask;
+            warp.stack.pop_back();
+            continue;
+        }
+        if (top.pc == top.reconvPc) {
+            warp.stack.pop_back();
+            continue;
+        }
+        break;
+    }
+    if (warp.stack.empty() || warp.aliveMask == 0) {
+        warp.done = true;
+        return WarpStop::Done;
+    }
+
+    if (warp.issuedInstrs > dev_.maxInstrPerThread)
+        return plainFault(FaultKind::Timeout, "instruction budget exceeded");
+
+    StackEntry& top = warp.stack.back();
+    const std::uint32_t mask = top.mask & warp.aliveMask;
+    const auto pc = static_cast<std::size_t>(top.pc);
+    if (pc >= prog_.code.size())
+        return plainFault(FaultKind::InvalidProgram, "pc out of range");
+    const DecodedInstr& in = prog_.code[pc];
+
+    stats_->laneInstrs += std::popcount(mask);
+
+    const std::uint32_t numRegs = prog_.numRegs;
+    auto laneRegs = [&](int lane) {
+        return warp.regs.data() + static_cast<std::size_t>(lane) * numRegs;
+    };
+    auto readOp = [&](const Operand& op, int lane) -> std::uint64_t {
+        return op.isReg()
+                   ? laneRegs(lane)[static_cast<std::size_t>(op.value)]
+                   : static_cast<std::uint64_t>(op.value);
+    };
+
+    const ir::OpKind kind = ir::opInfo(in.op).kind;
+
+    switch (kind) {
+      case ir::OpKind::Alu:
+      case ir::OpKind::Cmp: {
+        issue(warp, in, 1);
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            const std::uint64_t a =
+                in.nops > 0 ? readOp(in.ops[0], lane) : 0;
+            const std::uint64_t b =
+                in.nops > 1 ? readOp(in.ops[1], lane) : 0;
+            const std::uint64_t c =
+                in.nops > 2 ? readOp(in.ops[2], lane) : 0;
+            laneRegs(lane)[static_cast<std::size_t>(in.dest)] =
+                ir::evalScalar(in.op, a, b, c);
+        }
+        setReady(warp, in.dest, dev_.aluLat);
+        ++top.pc;
+        return WarpStop::Done; // caller loops; "Done" here means progress
+      }
+
+      case ir::OpKind::Sreg: {
+        issue(warp, in, 1);
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            std::uint64_t v = 0;
+            switch (in.op) {
+              case Opcode::Tid:
+                v = static_cast<std::uint64_t>(warp.index) * kWarpSize +
+                    static_cast<std::uint64_t>(lane);
+                break;
+              case Opcode::Bid: v = blockIdx_; break;
+              case Opcode::BlockDim: v = dims_.blockDim; break;
+              case Opcode::GridDim: v = dims_.gridDim; break;
+              case Opcode::LaneId: v = static_cast<std::uint64_t>(lane);
+                break;
+              case Opcode::WarpId:
+                v = static_cast<std::uint64_t>(warp.index);
+                break;
+              default: break;
+            }
+            laneRegs(lane)[static_cast<std::size_t>(in.dest)] = v;
+        }
+        setReady(warp, in.dest, 1);
+        ++top.pc;
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Mem: {
+        // Gather per-lane addresses first.
+        std::int64_t addrs[kWarpSize] = {};
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (mask & (1u << lane))
+                addrs[lane] =
+                    static_cast<std::int64_t>(readOp(in.ops[0], lane));
+        }
+
+        std::uint64_t slots = 1;
+        std::uint64_t lat = dev_.aluLat;
+        if (in.space == MemSpace::Shared) {
+            const bool isStore = in.op == Opcode::Store;
+            std::uint32_t ways =
+                in.op == Opcode::AtomicRMW
+                    ? std::popcount(mask)
+                    : sharedConflictWays(addrs, mask, isStore);
+            if (isStore)
+                ways = std::min(ways, dev_.storeWaysCap);
+            stats_->sharedConflictWays += ways - 1;
+            slots = static_cast<std::uint64_t>(dev_.sharedIssue) * ways;
+            lat = dev_.sharedLat;
+            if (isStore) {
+                // Store-completion skew: the store retires with its last
+                // participating sub-warp transaction, so a lone store from
+                // a high lane pays almost a full warp's scheduling slots
+                // while a full-warp store amortizes them (this models the
+                // effect behind paper edit 5, Sec VI-A).
+                const int hi = 31 - std::countl_zero(mask);
+                slots += static_cast<std::uint64_t>(
+                    dev_.storeLaneSkew * (hi + 1) /
+                    std::popcount(mask));
+            }
+        } else if (in.space == MemSpace::Global) {
+            const std::uint32_t sectors = globalSectors(addrs, mask);
+            stats_->globalSectors += sectors;
+            if (in.op == Opcode::AtomicRMW) {
+                slots = static_cast<std::uint64_t>(dev_.atomicIssue) *
+                        std::popcount(mask);
+                lat = dev_.atomicLat;
+            } else {
+                slots = static_cast<std::uint64_t>(dev_.globalSectorIssue) *
+                        sectors;
+                lat = dev_.globalLat;
+            }
+        } else { // Local
+            slots = dev_.sharedIssue;
+            lat = dev_.sharedLat;
+        }
+        issue(warp, in, slots);
+
+        FaultKind fk = FaultKind::None;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            const auto thread =
+                static_cast<std::uint32_t>(warp.index) * kWarpSize +
+                static_cast<std::uint32_t>(lane);
+            const std::int64_t addr = addrs[lane];
+            if (in.op == Opcode::Load) {
+                std::uint64_t v = 0;
+                if (!loadValue(in.space, in.width, addr, thread, &v, &fk))
+                    return memFault(fk, addr);
+                laneRegs(lane)[static_cast<std::size_t>(in.dest)] = v;
+            } else if (in.op == Opcode::Store) {
+                const std::uint64_t v = readOp(in.ops[1], lane);
+                if (!storeValue(in.space, in.width, addr, thread, v, &fk))
+                    return memFault(fk, addr);
+            } else { // AtomicRMW, lane order = deterministic resolution
+                std::uint64_t old = 0;
+                if (!loadValue(in.space,
+                               in.atom == ir::AtomicOp::AddF32
+                                   ? MemWidth::U32
+                                   : MemWidth::I32,
+                               addr, thread, &old, &fk))
+                    return memFault(fk, addr);
+                const std::uint64_t b = readOp(in.ops[1], lane);
+                std::uint64_t next = old;
+                bool doStore = true;
+                switch (in.atom) {
+                  case ir::AtomicOp::AddI32:
+                    next = ir::evalScalar(Opcode::AddI32, old, b);
+                    break;
+                  case ir::AtomicOp::AddF32:
+                    next = ir::evalScalar(Opcode::AddF32, old, b);
+                    break;
+                  case ir::AtomicOp::MaxI32:
+                    next = ir::evalScalar(Opcode::MaxI32, old, b);
+                    break;
+                  case ir::AtomicOp::MinI32:
+                    next = ir::evalScalar(Opcode::MinI32, old, b);
+                    break;
+                  case ir::AtomicOp::Exch:
+                    next = b;
+                    break;
+                  case ir::AtomicOp::Cas: {
+                    const std::uint64_t newv = readOp(in.ops[2], lane);
+                    if (ir::asI32(old) == ir::asI32(b)) {
+                        next = newv;
+                    } else {
+                        doStore = false;
+                    }
+                    break;
+                  }
+                  default:
+                    doStore = false;
+                    break;
+                }
+                if (doStore &&
+                    !storeValue(in.space, MemWidth::I32, addr, thread, next,
+                                &fk))
+                    return memFault(fk, addr);
+                laneRegs(lane)[static_cast<std::size_t>(in.dest)] = old;
+            }
+        }
+        if (in.op != Opcode::Store)
+            setReady(warp, in.dest, lat);
+        ++top.pc;
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Sync: {
+        if (in.op == Opcode::Barrier) {
+            if (mask != warp.aliveMask)
+                return plainFault(FaultKind::BarrierDivergence,
+                                  "bar.sync under divergence");
+            issue(warp, in, 1 + dev_.barrierIssue);
+            ++top.pc;
+            warp.atBarrier = true;
+            return WarpStop::AtBarrier;
+        }
+        if (in.op == Opcode::ActiveMask) {
+            issue(warp, in, 1);
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                if (mask & (1u << lane))
+                    laneRegs(lane)[static_cast<std::size_t>(in.dest)] = mask;
+            }
+            setReady(warp, in.dest, 1);
+            ++top.pc;
+            return WarpStop::Done;
+        }
+        if (in.op == Opcode::Ballot) {
+            issue(warp, in, dev_.ballotIssue + dev_.ballotResync);
+            // Per-lane sync mask must cover only active lanes on Volta.
+            std::uint32_t result = 0;
+            std::uint32_t syncMask = 0;
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                if (!(mask & (1u << lane)))
+                    continue;
+                syncMask = static_cast<std::uint32_t>(
+                    readOp(in.ops[0], lane));
+                if (readOp(in.ops[1], lane) != 0)
+                    result |= 1u << lane;
+            }
+            if (dev_.independentThreadScheduling() &&
+                (syncMask & ~mask) != 0)
+                return plainFault(FaultKind::IllegalWarpSync,
+                                  "ballot mask names inactive lanes");
+            result &= syncMask;
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                if (mask & (1u << lane))
+                    laneRegs(lane)[static_cast<std::size_t>(in.dest)] =
+                        result;
+            }
+            setReady(warp, in.dest, dev_.shflLat);
+            ++top.pc;
+            return WarpStop::Done;
+        }
+        // ShflUp / ShflIdx.
+        issue(warp, in, dev_.shflIssue);
+        std::uint64_t srcVals[kWarpSize];
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            srcVals[lane] = readOp(in.ops[1], lane);
+        std::uint64_t results[kWarpSize] = {};
+        std::uint32_t syncMask = 0;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            syncMask =
+                static_cast<std::uint32_t>(readOp(in.ops[0], lane));
+            const auto arg =
+                static_cast<std::int64_t>(readOp(in.ops[2], lane));
+            int src = lane;
+            if (in.op == Opcode::ShflUp) {
+                src = lane - static_cast<int>(arg);
+            } else {
+                src = static_cast<int>(arg);
+            }
+            if (src >= 0 && src < kWarpSize &&
+                (syncMask & (1u << src)) != 0) {
+                results[lane] = srcVals[src];
+            } else {
+                results[lane] = srcVals[lane];
+            }
+        }
+        if (dev_.independentThreadScheduling() && (syncMask & ~mask) != 0)
+            return plainFault(FaultKind::IllegalWarpSync,
+                              "shfl mask names inactive lanes");
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (mask & (1u << lane))
+                laneRegs(lane)[static_cast<std::size_t>(in.dest)] =
+                    results[lane];
+        }
+        setReady(warp, in.dest, dev_.shflLat);
+        ++top.pc;
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Ctrl: {
+        if (in.op == Opcode::Ret) {
+            issue(warp, in, 1);
+            warp.aliveMask &= ~mask;
+            warp.stack.pop_back();
+            return WarpStop::Done;
+        }
+        if (in.op == Opcode::Br) {
+            issue(warp, in, 1);
+            top.pc = in.target0;
+            return WarpStop::Done;
+        }
+        // CondBr.
+        std::uint32_t takenMask = 0;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if ((mask & (1u << lane)) && readOp(in.ops[0], lane) != 0)
+                takenMask |= 1u << lane;
+        }
+        const std::uint32_t fallMask = mask & ~takenMask;
+        if (in.target0 == in.target1 || fallMask == 0) {
+            issue(warp, in, 1);
+            top.pc = in.target0;
+            return WarpStop::Done;
+        }
+        if (takenMask == 0) {
+            issue(warp, in, 1);
+            top.pc = in.target1;
+            return WarpStop::Done;
+        }
+        // Divergence: the reconvergence-stack management occupies issue
+        // slots (both sides will each issue their path on top of this).
+        ++stats_->divergences;
+        issue(warp, in, 1 + dev_.divergeOverhead);
+        const std::int32_t reconv = in.reconvPc;
+        top.pc = reconv;
+        warp.stack.push_back({in.target1, reconv, fallMask});
+        warp.stack.push_back({in.target0, reconv, takenMask});
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Misc: {
+        issue(warp, in, 1);
+        ++top.pc;
+        return WarpStop::Done;
+      }
+    }
+    return plainFault(FaultKind::InvalidProgram, "unhandled opcode");
+}
+
+} // namespace
+
+LaunchResult
+launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
+             LaunchDims dims, const std::vector<std::uint64_t>& args,
+             bool profileLocs)
+{
+    LaunchResult result;
+    if (dims.blockDim == 0 || dims.blockDim > 1024 || dims.gridDim == 0) {
+        result.fault.kind = FaultKind::InvalidProgram;
+        result.fault.detail = "bad launch dimensions";
+        return result;
+    }
+    if (args.size() < prog.numParams) {
+        result.fault.kind = FaultKind::InvalidProgram;
+        result.fault.detail = "missing kernel arguments";
+        return result;
+    }
+
+    std::uint64_t sumIssue = 0;
+    std::uint64_t sumLat = 0;
+    for (std::uint32_t b = 0; b < dims.gridDim; ++b) {
+        BlockRunner runner(dev, mem, prog, dims, b, args, &result.stats,
+                           profileLocs);
+        std::uint64_t issue = 0;
+        std::uint64_t lat = 0;
+        const Fault fault = runner.run(&issue, &lat);
+        if (!fault.ok()) {
+            result.fault = fault;
+            return result;
+        }
+        sumIssue += issue;
+        sumLat += lat;
+    }
+    result.stats.issueCycles = sumIssue;
+
+    // ---- occupancy wave model ----
+    const std::uint32_t warpsPerBlock =
+        (dims.blockDim + 31) / 32;
+    std::uint32_t resident = dev.maxBlocksPerSm;
+    resident = std::min(resident,
+                        std::max(1u, dev.maxWarpsPerSm / warpsPerBlock));
+    if (prog.sharedBytes > 0) {
+        resident = std::min(
+            resident,
+            std::max(1u, dev.sharedPerSmBytes / prog.sharedBytes));
+    }
+    const std::uint64_t effectiveGrid =
+        static_cast<std::uint64_t>(dims.gridDim) *
+        std::max(1u, dims.oversubscribe);
+    const std::uint32_t blocksPerSm = static_cast<std::uint32_t>(
+        (effectiveGrid + dev.smCount - 1) / dev.smCount);
+    resident = std::max(1u, std::min(resident, blocksPerSm));
+    const std::uint32_t waves = (blocksPerSm + resident - 1) / resident;
+
+    const double avgIssue =
+        static_cast<double>(sumIssue) / dims.gridDim;
+    const double avgLat = static_cast<double>(sumLat) / dims.gridDim;
+    const double waveCycles =
+        std::max(resident * avgIssue / dev.issueWidth, avgLat);
+    const double cycles = static_cast<double>(waves) * waveCycles;
+
+    result.stats.occupancyBlocks = resident;
+    result.stats.cycles = static_cast<std::uint64_t>(cycles);
+    result.stats.ms = cycles / (static_cast<double>(dev.clockMhz) * 1e3);
+    return result;
+}
+
+} // namespace gevo::sim

@@ -1,0 +1,107 @@
+/// \file
+/// SIMT functional + timing execution of decoded kernels.
+///
+/// Functional model: warps of 32 lanes execute in lock-step under an active
+/// mask with an immediate-post-dominator reconvergence stack (the classic
+/// GPGPU-Sim discipline). Warps within a block run round-robin between
+/// barriers in warp-index order; lanes apply side effects in lane order —
+/// the simulator is fully deterministic, which stands in for the paper's
+/// fixed-seed validation methodology.
+///
+/// Timing model (DESIGN.md §6): per-warp in-order issue with a register
+/// scoreboard (load-use stalls, fillable by independent instructions —
+/// which mechanistically reproduces the paper's Sec VI-E curiosity),
+/// shared-memory bank conflicts, global-memory 32B-sector coalescing,
+/// divergence both-paths costs, barrier costs, and an occupancy-based wave
+/// model that turns per-block cycles into kernel time.
+
+#ifndef GEVO_SIM_EXECUTOR_H
+#define GEVO_SIM_EXECUTOR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/device_config.h"
+#include "sim/device_memory.h"
+#include "sim/program.h"
+
+namespace gevo::sim {
+
+/// Reasons a launch can fail. A faulting variant is an invalid individual
+/// in the evolutionary search (paper Sec III-E: individuals that fail any
+/// test case are excluded).
+enum class FaultKind : std::uint8_t {
+    None,
+    MemOobGlobal,      ///< Unmapped global access (the Sec VI-D segfault).
+    MemOobShared,      ///< Shared access outside the static allocation.
+    MemOobLocal,       ///< Local scratch access out of range.
+    BarrierDivergence, ///< bar.sync under a partial warp mask.
+    IllegalWarpSync,   ///< Volta-only: shfl/ballot mask names inactive lanes.
+    Timeout,           ///< Per-warp instruction budget exceeded.
+    InvalidProgram,    ///< Structural verification failed upstream.
+};
+
+/// Human-readable fault-kind name.
+std::string_view faultKindName(FaultKind kind);
+
+/// Fault descriptor.
+struct Fault {
+    FaultKind kind = FaultKind::None;
+    std::string detail;
+
+    bool ok() const { return kind == FaultKind::None; }
+};
+
+/// Aggregate timing/profiling output of one launch.
+struct LaunchStats {
+    double ms = 0.0;            ///< Simulated kernel time.
+    std::uint64_t cycles = 0;   ///< Simulated kernel cycles (wave model).
+    std::uint64_t warpInstrs = 0;  ///< Warp-instruction issues.
+    std::uint64_t laneInstrs = 0;  ///< Per-lane executed instructions.
+    std::uint64_t issueCycles = 0; ///< Sum of issue slots over all warps.
+    std::uint64_t divergences = 0; ///< Divergent-branch events.
+    std::uint64_t barriers = 0;    ///< Barrier releases.
+    std::uint64_t sharedConflictWays = 0; ///< Extra bank-conflict ways.
+    std::uint64_t globalSectors = 0;      ///< 32B sectors transferred.
+    std::uint64_t occupancyBlocks = 0;    ///< Resident blocks per SM.
+    /// Warp-instruction issues per interned source location (only filled
+    /// when profiling is requested — this is the nvprof stand-in behind
+    /// the "31% boundary instructions" analysis).
+    std::unordered_map<std::uint32_t, std::uint64_t> locIssues;
+};
+
+/// Result of a launch.
+struct LaunchResult {
+    Fault fault;
+    LaunchStats stats;
+
+    bool ok() const { return fault.ok(); }
+};
+
+/// Launch configuration.
+struct LaunchDims {
+    std::uint32_t gridDim = 1;  ///< Blocks (functionally executed).
+    std::uint32_t blockDim = 1; ///< Threads per block (<= 1024).
+    /// Timing-model grid multiplier: the wave model prices the launch as
+    /// if `gridDim * oversubscribe` statistically-identical blocks were
+    /// submitted. Drivers use this to evaluate a small functional sample
+    /// (e.g. tens of alignment pairs) in the saturated-device regime of
+    /// the paper's production batches (30,000 pairs), where SM issue
+    /// throughput — not per-warp latency — bounds kernel time.
+    std::uint32_t oversubscribe = 1;
+};
+
+/// Execute \p prog on \p dev over \p mem.
+///
+/// \p args are the kernel parameters preloaded into r0..r(numParams-1).
+/// \p profileLocs enables per-source-location issue counting.
+LaunchResult launchKernel(const DeviceConfig& dev, DeviceMemory& mem,
+                          const Program& prog, LaunchDims dims,
+                          const std::vector<std::uint64_t>& args,
+                          bool profileLocs = false);
+
+} // namespace gevo::sim
+
+#endif // GEVO_SIM_EXECUTOR_H

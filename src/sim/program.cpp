@@ -1,0 +1,60 @@
+#include "sim/program.h"
+
+#include "ir/cfg.h"
+#include "support/logging.h"
+
+namespace gevo::sim {
+
+Program
+Program::decode(const ir::Function& fn)
+{
+    Program prog;
+    prog.name = fn.name;
+    prog.numParams = fn.numParams;
+    prog.numRegs = fn.numRegs;
+    prog.sharedBytes = fn.sharedBytes;
+    prog.localBytes = fn.localBytes;
+
+    prog.blockStart.reserve(fn.blocks.size());
+    std::int32_t pc = 0;
+    for (const auto& bb : fn.blocks) {
+        prog.blockStart.push_back(pc);
+        pc += static_cast<std::int32_t>(bb.instrs.size());
+    }
+
+    const ir::Cfg cfg(fn);
+
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const auto ip = cfg.ipdom(static_cast<std::int32_t>(b));
+        const std::int32_t reconv =
+            ip >= 0 ? prog.blockStart[static_cast<std::size_t>(ip)]
+                    : kExitPc;
+        for (const auto& in : fn.blocks[b].instrs) {
+            DecodedInstr d;
+            d.op = in.op;
+            d.dest = in.dest;
+            d.nops = in.nops;
+            for (int i = 0; i < in.nops; ++i)
+                d.ops[i] = in.ops[i];
+            d.space = in.space;
+            d.width = in.width;
+            d.atom = in.atom;
+            d.loc = in.loc;
+            d.reconvPc = reconv;
+            if (in.op == ir::Opcode::Br) {
+                d.target0 = prog.blockStart[
+                    static_cast<std::size_t>(in.ops[0].value)];
+            } else if (in.op == ir::Opcode::CondBr) {
+                d.target0 = prog.blockStart[
+                    static_cast<std::size_t>(in.ops[1].value)];
+                d.target1 = prog.blockStart[
+                    static_cast<std::size_t>(in.ops[2].value)];
+            }
+            prog.code.push_back(d);
+        }
+    }
+    GEVO_ASSERT(!prog.code.empty(), "decoding empty kernel");
+    return prog;
+}
+
+} // namespace gevo::sim

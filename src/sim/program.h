@@ -1,0 +1,53 @@
+/// \file
+/// Decoded, execution-ready form of a verified kernel.
+///
+/// Blocks are flattened into one instruction array; label operands become
+/// flat PCs; each block's divergent-branch reconvergence PC (the start of
+/// its immediate post-dominator) is precomputed from the CFG.
+
+#ifndef GEVO_SIM_PROGRAM_H
+#define GEVO_SIM_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace gevo::sim {
+
+/// Flat-PC sentinel for "reconverge only at kernel exit".
+constexpr std::int32_t kExitPc = -1;
+
+/// One decoded instruction (label operands resolved to flat PCs).
+struct DecodedInstr {
+    ir::Opcode op = ir::Opcode::Nop;
+    std::int32_t dest = -1;
+    std::uint8_t nops = 0;
+    ir::Operand ops[ir::kMaxOperands];
+    ir::MemSpace space = ir::MemSpace::None;
+    ir::MemWidth width = ir::MemWidth::None;
+    ir::AtomicOp atom = ir::AtomicOp::None;
+    std::uint32_t loc = 0;
+    std::int32_t target0 = kExitPc; ///< Br target / CondBr true target (PC).
+    std::int32_t target1 = kExitPc; ///< CondBr false target (PC).
+    std::int32_t reconvPc = kExitPc; ///< Reconvergence PC when divergent.
+};
+
+/// A decoded kernel.
+struct Program {
+    std::string name;
+    std::uint32_t numParams = 0;
+    std::uint32_t numRegs = 0;
+    std::uint32_t sharedBytes = 0;
+    std::uint32_t localBytes = 0;
+    std::vector<DecodedInstr> code;
+    std::vector<std::int32_t> blockStart; ///< Block index -> first PC.
+
+    /// Decode a kernel. \pre verifyFunction(fn).ok().
+    static Program decode(const ir::Function& fn);
+};
+
+} // namespace gevo::sim
+
+#endif // GEVO_SIM_PROGRAM_H

@@ -1,0 +1,74 @@
+#include "support/flags.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/strings.h"
+
+namespace gevo {
+
+Flags::Flags(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--"))
+            continue;
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            values_[arg] = "1";
+        } else {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+}
+
+bool
+Flags::lookup(const std::string& name, std::string* out) const
+{
+    const auto it = values_.find(name);
+    if (it != values_.end()) {
+        *out = it->second;
+        return true;
+    }
+    std::string env = "GEVO_";
+    for (char ch : name)
+        env += ch == '-' ? '_' : static_cast<char>(std::toupper(ch));
+    if (const char* v = std::getenv(env.c_str())) {
+        *out = v;
+        return true;
+    }
+    return false;
+}
+
+std::int64_t
+Flags::getInt(const std::string& name, std::int64_t def) const
+{
+    std::string v;
+    return lookup(name, &v) ? std::strtoll(v.c_str(), nullptr, 0) : def;
+}
+
+double
+Flags::getDouble(const std::string& name, double def) const
+{
+    std::string v;
+    return lookup(name, &v) ? std::strtod(v.c_str(), nullptr) : def;
+}
+
+std::string
+Flags::getString(const std::string& name, const std::string& def) const
+{
+    std::string v;
+    return lookup(name, &v) ? v : def;
+}
+
+bool
+Flags::getBool(const std::string& name, bool def) const
+{
+    std::string v;
+    if (!lookup(name, &v))
+        return def;
+    return !(v == "0" || v == "false" || v == "no");
+}
+
+} // namespace gevo

@@ -1,0 +1,40 @@
+/// \file
+/// Tiny flag parser for benches and examples: `--name=value` arguments plus
+/// `GEVO_<NAME>` environment-variable fallbacks, so `for b in bench/*; do $b;
+/// done` runs with scaled defaults while full-paper runs stay reachable.
+
+#ifndef GEVO_SUPPORT_FLAGS_H
+#define GEVO_SUPPORT_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gevo {
+
+/// Parsed command-line/environment options.
+class Flags {
+  public:
+    /// Parse argv; unknown arguments are recorded verbatim.
+    Flags(int argc, char** argv);
+
+    /// Look up an integer flag (falls back to GEVO_<NAME> env, then def).
+    std::int64_t getInt(const std::string& name, std::int64_t def) const;
+    /// Look up a floating-point flag.
+    double getDouble(const std::string& name, double def) const;
+    /// Look up a string flag.
+    std::string getString(const std::string& name,
+                          const std::string& def) const;
+    /// Look up a boolean flag (`--name`, `--name=0/1/true/false`).
+    bool getBool(const std::string& name, bool def) const;
+
+  private:
+    /// Flag value or env fallback; empty optional when absent.
+    bool lookup(const std::string& name, std::string* out) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_FLAGS_H

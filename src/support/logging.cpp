@@ -1,0 +1,112 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gevo {
+namespace support {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Warn;
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+vlog(LogLevel level, const char* fmt, va_list args)
+{
+    std::fprintf(stderr, "[gevo:%s] ", levelName(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+void
+logMessage(LogLevel level, const char* fmt, ...)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog(level, fmt, args);
+    va_end(args);
+}
+
+void
+panicImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::fprintf(stderr, "[gevo:panic] %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::fprintf(stderr, "[gevo:fatal] %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+} // namespace support
+
+void
+inform(const char* fmt, ...)
+{
+    if (static_cast<int>(LogLevel::Info) <
+        static_cast<int>(support::logThreshold()))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[gevo:info] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+}
+
+void
+warn(const char* fmt, ...)
+{
+    if (static_cast<int>(LogLevel::Warn) <
+        static_cast<int>(support::logThreshold()))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[gevo:warn] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+}
+
+} // namespace gevo

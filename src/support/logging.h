@@ -1,0 +1,74 @@
+/// \file
+/// Diagnostic logging and termination helpers.
+///
+/// Follows the gem5 discipline: GEVO_PANIC is for conditions that indicate a
+/// bug in this library (aborts, core-dumpable); GEVO_FATAL is for user error
+/// (bad configuration, malformed input) and exits cleanly with status 1.
+/// warn()/inform() report non-fatal conditions.
+
+#ifndef GEVO_SUPPORT_LOGGING_H
+#define GEVO_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace gevo {
+
+/// Severity levels for runtime log messages.
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+namespace support {
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel logThreshold();
+
+/// Set the global log threshold (e.g. from GEVO_LOG_LEVEL env var).
+void setLogThreshold(LogLevel level);
+
+/// printf-style message at the given level to stderr.
+void logMessage(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Internal: report and abort. Used by GEVO_PANIC.
+[[noreturn]] void panicImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/// Internal: report and exit(1). Used by GEVO_FATAL.
+[[noreturn]] void fatalImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace support
+
+/// Informational message (suppressed below LogLevel::Info).
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Warning message (suppressed below LogLevel::Warn).
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace gevo
+
+/// Library-bug termination: something happened that should never happen
+/// regardless of user input.
+#define GEVO_PANIC(...) \
+    ::gevo::support::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/// User-error termination: the run cannot continue due to caller input.
+#define GEVO_FATAL(...) \
+    ::gevo::support::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/// Assert an internal invariant; compiled in all build types because the
+/// mutation engine intentionally produces hostile inputs.
+#define GEVO_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::gevo::support::panicImpl(__FILE__, __LINE__,              \
+                                       "assertion failed: %s", #cond);  \
+        }                                                               \
+    } while (false)
+
+#endif // GEVO_SUPPORT_LOGGING_H

@@ -1,0 +1,121 @@
+/// \file
+/// Deterministic pseudo-random number generation.
+///
+/// The whole reproduction depends on run-to-run determinism: fitness is a
+/// deterministic simulation, so every stochastic choice (mutation sampling,
+/// crossover points, SIMCoV agent behaviour) must flow from explicit seeds.
+/// We use xoshiro256** (public domain, Blackman & Vigna) rather than
+/// std::mt19937 so that streams are cheap to fork and stable across
+/// standard-library implementations.
+
+#ifndef GEVO_SUPPORT_RNG_H
+#define GEVO_SUPPORT_RNG_H
+
+#include <cstdint>
+
+#include "support/logging.h"
+
+namespace gevo {
+
+/// xoshiro256** generator with splitmix64 seeding.
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    /// Construct from a 64-bit seed; equal seeds yield equal streams.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /// Reset the stream from a 64-bit seed.
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the four-word state.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /// Raw 64-bit draw.
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// UniformRandomBitGenerator interface.
+    std::uint64_t operator()() { return next(); }
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /// Uniform integer in [0, bound). \pre bound > 0.
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        GEVO_ASSERT(bound > 0, "below(0)");
+        // Lemire's debiased multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        GEVO_ASSERT(lo <= hi, "range(lo > hi)");
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /// Uniform double in [0, 1).
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli draw with probability p of true.
+    bool chance(double p) { return uniform() < p; }
+
+    /// Fork an independent child stream; deterministic in (parent state, tag).
+    Rng
+    fork(std::uint64_t tag)
+    {
+        return Rng(next() ^ (tag * 0x9e3779b97f4a7c15ULL));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_RNG_H

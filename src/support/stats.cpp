@@ -1,0 +1,29 @@
+#include "support/stats.h"
+
+#include <algorithm>
+
+namespace gevo {
+
+Summary
+summarize(const std::vector<double>& samples)
+{
+    Summary s;
+    RunningStat rs;
+    for (double x : samples)
+        rs.push(x);
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.min();
+    s.max = rs.max();
+    s.count = rs.count();
+    return s;
+}
+
+double
+relativeDiff(double a, double b, double eps)
+{
+    const double denom = std::max(std::abs(b), eps);
+    return std::abs(a - b) / denom;
+}
+
+} // namespace gevo

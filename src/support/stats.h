@@ -1,0 +1,72 @@
+/// \file
+/// Small numeric statistics helpers used by the fitness evaluator, the
+/// SIMCoV per-value tolerance validator (paper Sec III-C) and the benches.
+
+#ifndef GEVO_SUPPORT_STATS_H
+#define GEVO_SUPPORT_STATS_H
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace gevo {
+
+/// Welford single-pass running mean/variance accumulator.
+class RunningStat {
+  public:
+    /// Add one observation.
+    void
+    push(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1 || x < min_) min_ = x;
+        if (n_ == 1 || x > max_) max_ = x;
+    }
+
+    /// Number of observations so far.
+    std::size_t count() const { return n_; }
+    /// Sample mean; 0 when empty.
+    double mean() const { return mean_; }
+    /// Population variance; 0 with fewer than 2 observations.
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+    /// Population standard deviation.
+    double stddev() const { return std::sqrt(variance()); }
+    /// Smallest observation; 0 when empty.
+    double min() const { return n_ ? min_ : 0.0; }
+    /// Largest observation; 0 when empty.
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Summary of a vector of samples (used in bench reports).
+struct Summary {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t count = 0;
+};
+
+/// Compute a Summary over the given samples.
+Summary summarize(const std::vector<double>& samples);
+
+/// Relative difference |a-b| / max(|b|, eps); the weak-edit 1% threshold of
+/// paper Algorithm 1 is expressed with this.
+double relativeDiff(double a, double b, double eps = 1e-12);
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_STATS_H

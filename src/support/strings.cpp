@@ -1,0 +1,59 @@
+#include "support/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace gevo {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    const char* ws = " \t\r\n";
+    const auto first = text.find_first_not_of(ws);
+    if (first == std::string_view::npos)
+        return {};
+    const auto last = text.find_last_not_of(ws);
+    return text.substr(first, last - first + 1);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+strformat(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    va_end(args);
+    return out;
+}
+
+} // namespace gevo

@@ -1,0 +1,28 @@
+/// \file
+/// Minimal string helpers shared by the IR parser and report writers.
+
+#ifndef GEVO_SUPPORT_STRINGS_H
+#define GEVO_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gevo {
+
+/// Split \p text on \p sep, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True when \p text begins with \p prefix.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style std::string formatting.
+std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_STRINGS_H

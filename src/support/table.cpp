@@ -1,0 +1,117 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/logging.h"
+
+namespace gevo {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table&
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table&
+Table::cell(std::string value)
+{
+    GEVO_ASSERT(!rows_.empty(), "cell() before row()");
+    rows_.back().push_back(std::move(value));
+    return *this;
+}
+
+Table&
+Table::cell(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return cell(std::string(buf));
+}
+
+Table&
+Table::cell(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return cell(std::string(buf));
+}
+
+void
+Table::print(std::FILE* out) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emitRow = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : std::string();
+            std::fprintf(out, "%-*s", static_cast<int>(widths[c]) + 2,
+                         v.c_str());
+        }
+        std::fputc('\n', out);
+    };
+
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    for (std::size_t i = 0; i < total; ++i)
+        std::fputc('-', out);
+    std::fputc('\n', out);
+    for (const auto& r : rows_)
+        emitRow(r);
+}
+
+std::string
+Table::toCsv() const
+{
+    auto escape = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::string out;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            out += ',';
+        out += escape(headers_[c]);
+    }
+    out += '\n';
+    for (const auto& r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                out += ',';
+            out += escape(r[c]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+const std::string&
+Table::at(std::size_t row, std::size_t col) const
+{
+    GEVO_ASSERT(row < rows_.size() && col < rows_[row].size(),
+                "Table::at out of range");
+    return rows_[row][col];
+}
+
+} // namespace gevo

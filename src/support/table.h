@@ -1,0 +1,52 @@
+/// \file
+/// Aligned-text and CSV table emission for the benchmark harness.
+///
+/// Every bench binary regenerates one of the paper's tables/figures; this
+/// class renders the same rows both as human-readable aligned text (stdout)
+/// and optionally as CSV (for plotting).
+
+#ifndef GEVO_SUPPORT_TABLE_H
+#define GEVO_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gevo {
+
+/// Column-aligned table builder.
+class Table {
+  public:
+    /// Create a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Begin a new row; subsequent cell() calls fill it left to right.
+    Table& row();
+
+    /// Append a string cell to the current row.
+    Table& cell(std::string value);
+    /// Append a formatted double cell (\p digits decimal places).
+    Table& cell(double value, int digits = 2);
+    /// Append an integer cell.
+    Table& cell(long long value);
+
+    /// Render as aligned text (with a header underline) to \p out.
+    void print(std::FILE* out = stdout) const;
+
+    /// Render as CSV.
+    std::string toCsv() const;
+
+    /// Number of data rows so far.
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /// Access a cell (row-major) for testing.
+    const std::string& at(std::size_t row, std::size_t col) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_TABLE_H

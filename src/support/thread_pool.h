@@ -1,0 +1,55 @@
+/// \file
+/// Fixed-size thread pool used to evaluate population fitness in parallel
+/// (paper Sec III-E evaluates 256 individuals per generation; we parallelize
+/// across host cores since each evaluation is an independent simulation).
+
+#ifndef GEVO_SUPPORT_THREAD_POOL_H
+#define GEVO_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gevo {
+
+/// Simple task-queue thread pool with a blocking drain.
+class ThreadPool {
+  public:
+    /// Spawn \p workers threads (defaults to hardware concurrency, min 1).
+    explicit ThreadPool(std::size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a task for asynchronous execution.
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished.
+    void drain();
+
+    /// Number of worker threads.
+    std::size_t workerCount() const { return threads_.size(); }
+
+    /// Run \p fn(i) for i in [0, n) across the pool and wait for completion.
+    void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::size_t inFlight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_THREAD_POOL_H

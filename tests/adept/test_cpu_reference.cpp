@@ -1,0 +1,153 @@
+#include "apps/adept/cpu_reference.h"
+
+#include <gtest/gtest.h>
+
+namespace gevo::adept {
+namespace {
+
+TEST(CpuReference, PaperFigure2Example)
+{
+    // Figure 2: aligning ATGCT and AGCT under match +2 / mismatch -2 /
+    // gap -1 gives score 7 at the full-length corner.
+    const auto r = alignForwardCpu("ATGCT", "AGCT", figure2Scoring());
+    EXPECT_EQ(r.score, 7);
+    EXPECT_EQ(r.endA, 4);
+    EXPECT_EQ(r.endB, 3);
+}
+
+TEST(CpuReference, PerfectMatch)
+{
+    ScoringParams sc;
+    const auto r = alignForwardCpu("ACGTACGT", "ACGTACGT", sc);
+    EXPECT_EQ(r.score, 8 * sc.match);
+    EXPECT_EQ(r.endA, 7);
+    EXPECT_EQ(r.endB, 7);
+    const auto full = alignFullCpu("ACGTACGT", "ACGTACGT", sc);
+    EXPECT_EQ(full.startA, 0);
+    EXPECT_EQ(full.startB, 0);
+}
+
+TEST(CpuReference, NoAlignment)
+{
+    ScoringParams sc;
+    const auto r = alignFullCpu("AAAA", "GGGG", sc);
+    EXPECT_EQ(r.score, 0);
+    EXPECT_EQ(r.endA, -1);
+    EXPECT_EQ(r.endB, -1);
+    EXPECT_EQ(r.startA, -1);
+    EXPECT_EQ(r.startB, -1);
+}
+
+TEST(CpuReference, EmbeddedLocalMatch)
+{
+    ScoringParams sc;
+    const auto r = alignFullCpu("TTTTACGTACGTTTTT", "CCACGTACGTCC", sc);
+    EXPECT_EQ(r.score, 8 * sc.match);
+    EXPECT_EQ(r.startA, 4);
+    EXPECT_EQ(r.endA, 11);
+    EXPECT_EQ(r.startB, 2);
+    EXPECT_EQ(r.endB, 9);
+}
+
+TEST(CpuReference, AffineGapBridgesDeletion)
+{
+    // B deletes "AA" from A; both flanks are long enough that bridging
+    // the 2-base gap (open + one extend) beats either flank alone.
+    ScoringParams sc;
+    const auto r =
+        alignForwardCpu("ACGTACGTAACCGG", "ACGTACGTCCGG", sc);
+    EXPECT_EQ(r.score, 12 * sc.match - sc.gapOpen - sc.gapExtend);
+    EXPECT_EQ(r.endA, 13);
+    EXPECT_EQ(r.endB, 11);
+}
+
+TEST(CpuReference, MismatchVsGapTradeoff)
+{
+    // A single substitution: keeping the mismatch (-3) beats opening gaps.
+    ScoringParams sc;
+    const auto r = alignForwardCpu("ACGTACGT", "ACGAACGT", sc);
+    EXPECT_EQ(r.score, 7 * sc.match + sc.mismatch);
+}
+
+TEST(CpuReference, TieBreakPrefersSmallestEndB)
+{
+    // Two disjoint equal-scoring 2-base matches ("GG" ending at j=1 and
+    // "AA" ending at j=3); B's reversed order prevents any combined
+    // alignment, and the column-major scan keeps the smaller endB.
+    ScoringParams sc;
+    const auto r = alignForwardCpu("TTAATTGGTT", "GGAA", sc);
+    EXPECT_EQ(r.score, 2 * sc.match);
+    EXPECT_EQ(r.endB, 1);
+    EXPECT_EQ(r.endA, 7);
+}
+
+TEST(CpuReference, ReversePassRecoversStartAfterGaps)
+{
+    ScoringParams sc;
+    const auto r = alignFullCpu("GGGACGTTTACGGG", "ACGTACG", sc);
+    EXPECT_GE(r.startA, 0);
+    EXPECT_LE(r.startA, r.endA);
+    EXPECT_GE(r.startB, 0);
+    EXPECT_LE(r.startB, r.endB);
+}
+
+TEST(CpuReference, ScoresAreSymmetricUnderSwap)
+{
+    ScoringParams sc;
+    const auto ab = alignForwardCpu("ACGGTCA", "TACGGT", sc);
+    const auto ba = alignForwardCpu("TACGGT", "ACGGTCA", sc);
+    EXPECT_EQ(ab.score, ba.score);
+}
+
+TEST(CpuReference, AlignAllMatchesSingleCalls)
+{
+    ScoringParams sc;
+    SequenceSetConfig cfg;
+    cfg.numPairs = 6;
+    cfg.seed = 9;
+    const auto pairs = generatePairs(cfg);
+    const auto all = alignAllCpu(pairs, sc, true);
+    ASSERT_EQ(all.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto single = alignFullCpu(pairs[i].a, pairs[i].b, sc);
+        EXPECT_TRUE(all[i] == single) << "pair " << i;
+    }
+}
+
+TEST(Sequences, GeneratorIsDeterministicAndBounded)
+{
+    SequenceSetConfig cfg;
+    cfg.numPairs = 10;
+    cfg.minLen = 20;
+    cfg.maxLen = 40;
+    cfg.seed = 123;
+    const auto a = generatePairs(cfg);
+    const auto b = generatePairs(cfg);
+    ASSERT_EQ(a.size(), 10u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].a, b[i].a);
+        EXPECT_EQ(a[i].b, b[i].b);
+        EXPECT_GE(a[i].a.size(), 20u);
+        EXPECT_LE(a[i].a.size(), 40u);
+        EXPECT_GE(a[i].b.size(), 20u);
+        EXPECT_LE(a[i].b.size(), 40u);
+    }
+}
+
+TEST(Sequences, PairsAreRelated)
+{
+    // Derived pairs must align far better than random ones.
+    SequenceSetConfig cfg;
+    cfg.numPairs = 8;
+    cfg.seed = 7;
+    ScoringParams sc;
+    const auto pairs = generatePairs(cfg);
+    for (const auto& p : pairs) {
+        const auto r = alignForwardCpu(p.a, p.b, sc);
+        EXPECT_GT(r.score,
+                  static_cast<std::int32_t>(p.a.size()) * sc.match / 3);
+    }
+}
+
+} // namespace
+} // namespace gevo::adept

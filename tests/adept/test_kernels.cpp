@@ -1,0 +1,157 @@
+#include "apps/adept/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/adept/driver.h"
+#include "ir/verifier.h"
+#include "sim/device_config.h"
+
+namespace gevo::adept {
+namespace {
+
+TEST(AdeptKernels, V0ModuleVerifies)
+{
+    const auto built = buildAdeptV0(ScoringParams{}, 64);
+    const auto res = ir::verifyModule(built.module);
+    EXPECT_TRUE(res.ok()) << res.message();
+    EXPECT_EQ(built.module.numFunctions(), 1u);
+}
+
+TEST(AdeptKernels, V1ModuleVerifies)
+{
+    const auto built = buildAdeptV1(ScoringParams{}, 64);
+    const auto res = ir::verifyModule(built.module);
+    EXPECT_TRUE(res.ok()) << res.message();
+    EXPECT_EQ(built.module.numFunctions(), 2u);
+    EXPECT_NE(built.module.findFunction("sw_fwd_v1"), nullptr);
+    EXPECT_NE(built.module.findFunction("sw_rev_v1"), nullptr);
+}
+
+TEST(AdeptKernels, AnchorsResolve)
+{
+    const auto v0 = buildAdeptV0(ScoringParams{}, 64);
+    for (const auto& name :
+         {"v0.memset.brc", "v0.memset.bar", "v0.achar.load",
+          "v0.bounds.brc", "v0.dup.rowptr2", "v0.redundant.finit"}) {
+        EXPECT_TRUE(v0.module.function(0).findUid(v0.uidOf(name)).valid())
+            << name;
+    }
+    const auto v1 = buildAdeptV1(ScoringParams{}, 64);
+    for (const auto& name :
+         {"v1f.lane31.cmp", "v1f.localwrite.sel", "v1f.read_eh.brc",
+          "v1f.read_hh.brc", "v1f.ballot", "v1f.shfl.e", "v1f.extrabar",
+          "v1f.eh_shfl.movE", "v1r.localwrite.sel", "v1r.read_eh.brc"}) {
+        bool found = false;
+        for (std::size_t f = 0; f < v1.module.numFunctions(); ++f)
+            found = found ||
+                    v1.module.function(f).findUid(v1.uidOf(name)).valid();
+        EXPECT_TRUE(found) << name;
+    }
+}
+
+class AdeptEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {
+};
+
+TEST_P(AdeptEquivalence, GpuMatchesCpuOracle)
+{
+    const int version = std::get<0>(GetParam());
+    const std::uint64_t seed = std::get<1>(GetParam());
+    const int lenBucket = std::get<2>(GetParam());
+
+    SequenceSetConfig cfg;
+    cfg.numPairs = 6;
+    cfg.minLen = lenBucket == 0 ? 12 : 33;
+    cfg.maxLen = lenBucket == 0 ? 30 : 62;
+    cfg.seed = seed;
+    const ScoringParams sc;
+    const auto pairs = generatePairs(cfg);
+    const auto built = buildAdept(version, sc, 64);
+    const AdeptDriver driver(pairs, sc, version, 64);
+
+    const auto out = driver.run(built.module, sim::p100());
+    ASSERT_TRUE(out.ok()) << out.fault.detail;
+    ASSERT_EQ(out.results.size(), pairs.size());
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+        EXPECT_TRUE(out.results[p] == driver.expected()[p])
+            << "pair " << p << ": got score " << out.results[p].score
+            << " end (" << out.results[p].endA << ","
+            << out.results[p].endB << ") start ("
+            << out.results[p].startA << "," << out.results[p].startB
+            << "), want score " << driver.expected()[p].score << " end ("
+            << driver.expected()[p].endA << ","
+            << driver.expected()[p].endB << ") start ("
+            << driver.expected()[p].startA << ","
+            << driver.expected()[p].startB << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdeptEquivalence,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(11u, 22u, 33u, 44u),
+                       ::testing::Values(0, 1)));
+
+TEST(AdeptKernels, EquivalenceHoldsOnAllDevices)
+{
+    SequenceSetConfig cfg;
+    cfg.numPairs = 4;
+    cfg.seed = 5;
+    const ScoringParams sc;
+    const auto pairs = generatePairs(cfg);
+    for (const int version : {0, 1}) {
+        const auto built = buildAdept(version, sc, 64);
+        const AdeptDriver driver(pairs, sc, version, 64);
+        for (const auto& dev : sim::allDevices()) {
+            const auto out = driver.run(built.module, dev);
+            ASSERT_TRUE(out.ok())
+                << dev.name << " v" << version << ": " << out.fault.detail;
+            for (std::size_t p = 0; p < pairs.size(); ++p)
+                EXPECT_TRUE(out.results[p] == driver.expected()[p])
+                    << dev.name << " v" << version << " pair " << p;
+        }
+    }
+}
+
+TEST(AdeptKernels, V1FasterThanV0)
+{
+    SequenceSetConfig cfg;
+    cfg.numPairs = 6;
+    cfg.seed = 3;
+    const ScoringParams sc;
+    const auto pairs = generatePairs(cfg);
+    const auto v0 = buildAdeptV0(sc, 64);
+    const auto v1 = buildAdeptV1(sc, 64);
+    const AdeptDriver d0(pairs, sc, 0, 64);
+    const AdeptDriver d1(pairs, sc, 1, 64);
+    const auto r0 = d0.run(v0.module, sim::p100());
+    const auto r1 = d1.run(v1.module, sim::p100());
+    ASSERT_TRUE(r0.ok());
+    ASSERT_TRUE(r1.ok());
+    // Paper Sec III-B reports ~20-30x; our reverse kernel weighs as much
+    // as the forward one, so the simulated gap lands lower (documented in
+    // EXPERIMENTS.md) but must stay a large multiple.
+    EXPECT_GT(r0.totalMs / r1.totalMs, 6.0)
+        << "V0 " << r0.totalMs << " ms vs V1 " << r1.totalMs << " ms";
+}
+
+TEST(AdeptKernels, RunIsDeterministic)
+{
+    SequenceSetConfig cfg;
+    cfg.numPairs = 3;
+    cfg.seed = 8;
+    const ScoringParams sc;
+    const auto pairs = generatePairs(cfg);
+    const auto built = buildAdeptV1(sc, 64);
+    const AdeptDriver driver(pairs, sc, 1, 64);
+    const auto a = driver.run(built.module, sim::p100());
+    const auto b = driver.run(built.module, sim::p100());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a.totalMs, b.totalMs);
+    for (std::size_t p = 0; p < pairs.size(); ++p)
+        EXPECT_TRUE(a.results[p] == b.results[p]);
+}
+
+} // namespace
+} // namespace gevo::adept

@@ -1,0 +1,181 @@
+#include "analysis/edit_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace gevo::analysis {
+namespace {
+
+using mut::Edit;
+using mut::EditKind;
+
+/// Synthetic fitness over edit IDs: lets us test the algorithms against
+/// known interaction structure without running the simulator.
+///
+/// Edits are identified by srcUid:
+///   1  -> independent, -10 ms
+///   2  -> independent, -5 ms
+///   3  -> weak, -0.05 ms
+///   10 -> stepping stone, 0 ms alone
+///   11 -> INVALID unless 10 present; with 10: -20 ms together
+class SyntheticFitness {
+  public:
+    core::FitnessResult
+    operator()(const std::vector<Edit>& edits) const
+    {
+        std::set<std::uint64_t> ids;
+        for (const auto& e : edits)
+            ids.insert(e.srcUid);
+        double ms = 100.0;
+        if (ids.count(1))
+            ms -= 10.0;
+        if (ids.count(2))
+            ms -= 5.0;
+        if (ids.count(3))
+            ms -= 0.05;
+        if (ids.count(11)) {
+            if (!ids.count(10))
+                return core::FitnessResult::fail("11 without 10");
+            ms -= 20.0;
+        }
+        return core::FitnessResult::pass(ms);
+    }
+};
+
+Edit
+editWithId(std::uint64_t id)
+{
+    Edit e;
+    e.kind = EditKind::InstrDelete;
+    e.srcUid = id;
+    return e;
+}
+
+std::vector<Edit>
+allEdits()
+{
+    return {editWithId(1), editWithId(2), editWithId(3), editWithId(10),
+            editWithId(11)};
+}
+
+TEST(Minimize, DropsWeakKeepsStrong)
+{
+    SyntheticFitness fit;
+    const auto result = minimizeEdits(allEdits(), fit, 0.01);
+    std::set<std::uint64_t> kept;
+    for (const auto& e : result.kept)
+        kept.insert(e.srcUid);
+    EXPECT_TRUE(kept.count(1));
+    EXPECT_TRUE(kept.count(2));
+    EXPECT_TRUE(kept.count(11));
+    EXPECT_TRUE(kept.count(10)); // removing 10 breaks 11: must be kept
+    EXPECT_FALSE(kept.count(3)); // weak
+    EXPECT_NEAR(result.keptMs, 65.0, 1e-9);
+}
+
+TEST(Minimize, RedundantSteppingStonesCollapse)
+{
+    // Two identical weak edits: the cumulative weak-set logic drops both.
+    SyntheticFitness fit;
+    auto edits = allEdits();
+    edits.push_back(editWithId(3));
+    const auto result = minimizeEdits(edits, fit, 0.01);
+    int weakCount = 0;
+    for (const auto& e : result.dropped)
+        weakCount += e.srcUid == 3 ? 1 : 0;
+    EXPECT_EQ(weakCount, 2);
+}
+
+TEST(Epistasis, SeparatesIndependentFromCoupled)
+{
+    SyntheticFitness fit;
+    const auto result =
+        separateEpistasis({editWithId(1), editWithId(2), editWithId(10),
+                           editWithId(11)},
+                          fit);
+    std::set<std::uint64_t> indep;
+    for (const auto& e : result.independent)
+        indep.insert(e.srcUid);
+    std::set<std::uint64_t> epi;
+    for (const auto& e : result.epistatic)
+        epi.insert(e.srcUid);
+    EXPECT_TRUE(indep.count(1));
+    EXPECT_TRUE(indep.count(2));
+    EXPECT_TRUE(epi.count(11)); // invalid alone -> epistatic
+    EXPECT_TRUE(epi.count(10)); // no solo gain but enables 11
+    EXPECT_NEAR(result.baselineMs, 100.0, 1e-9);
+    EXPECT_NEAR(result.independentMs, 85.0, 1e-9);
+    EXPECT_NEAR(result.epistaticMs, 80.0, 1e-9);
+}
+
+TEST(Subsets, ExhaustiveSearchFindsInteractionStructure)
+{
+    SyntheticFitness fit;
+    const std::vector<Edit> epi = {editWithId(10), editWithId(11)};
+    const auto subsets = searchSubsets(epi, fit);
+    ASSERT_EQ(subsets.size(), 4u);
+    EXPECT_TRUE(subsets[0].valid);                 // {}
+    EXPECT_TRUE(subsets[1].valid);                 // {10}
+    EXPECT_FALSE(subsets[2].valid);                // {11} alone fails
+    EXPECT_TRUE(subsets[3].valid);                 // {10, 11}
+    EXPECT_NEAR(subsets[3].improvement, 0.20, 1e-9);
+    EXPECT_NEAR(subsets[1].improvement, 0.0, 1e-9);
+}
+
+TEST(Subsets, DependencyGraphRecoversTheEdge)
+{
+    SyntheticFitness fit;
+    const std::vector<Edit> epi = {editWithId(10), editWithId(11)};
+    const auto subsets = searchSubsets(epi, fit);
+    const auto edges = dependencyGraph(2, subsets);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0].from, 1u); // edit 11 (index 1)...
+    EXPECT_EQ(edges[0].to, 0u);   // ...depends on edit 10 (index 0)
+}
+
+TEST(Subsets, DotOutputNamesFailuresAndPercentages)
+{
+    SyntheticFitness fit;
+    const std::vector<Edit> epi = {editWithId(10), editWithId(11)};
+    const auto subsets = searchSubsets(epi, fit);
+    const auto edges = dependencyGraph(2, subsets);
+    const auto dot = toDot(2, subsets, edges, {"e10", "e11"});
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("e10"), std::string::npos);
+    EXPECT_NE(dot.find("exec failed"), std::string::npos);
+    EXPECT_NE(dot.find("n1 -> n0"), std::string::npos);
+}
+
+TEST(Discovery, TraceFindsFirstGeneration)
+{
+    std::vector<core::GenerationLog> history(5);
+    for (std::size_t g = 0; g < history.size(); ++g)
+        history[g].generation = static_cast<std::uint32_t>(g + 1);
+    history[1].bestEdits = {editWithId(10)};
+    history[2].bestEdits = {editWithId(10)};
+    history[3].bestEdits = {editWithId(10), editWithId(11)};
+    history[4].bestEdits = {editWithId(10), editWithId(11)};
+
+    const auto gens = discoveryGenerations(
+        history, {editWithId(10), editWithId(11), editWithId(99)});
+    ASSERT_EQ(gens.size(), 3u);
+    EXPECT_EQ(gens[0].value(), 2u);
+    EXPECT_EQ(gens[1].value(), 4u);
+    EXPECT_FALSE(gens[2].has_value());
+}
+
+TEST(Discovery, MatchingIgnoresNewUid)
+{
+    std::vector<core::GenerationLog> history(1);
+    history[0].generation = 1;
+    Edit found = editWithId(10);
+    found.newUid = 0xdeadbeef;
+    history[0].bestEdits = {found};
+    const auto gens = discoveryGenerations(history, {editWithId(10)});
+    EXPECT_TRUE(gens[0].has_value());
+}
+
+} // namespace
+} // namespace gevo::analysis

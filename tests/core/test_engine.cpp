@@ -1,0 +1,220 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "sim/device_config.h"
+#include "sim/device_memory.h"
+#include "sim/executor.h"
+#include "sim/program.h"
+
+namespace gevo::core {
+namespace {
+
+/// Toy optimization target: computes out[tid] = tid*2 but wastes most of
+/// its time in a pointless scratch-zeroing loop (a miniature of the
+/// ADEPT-V0 Sec VI-C bottleneck). The fitness function validates the
+/// output array exactly, so only edits that keep the result intact pass.
+constexpr const char* kToyKernel = R"(
+kernel @toy params 1 regs 24 shared 512 local 0 {
+entry:
+    r1 = tid
+    r2 = mov 0
+    br memset
+memset:
+    r3 = mul.i32 r2, 4
+    r4 = cvt.i32.i64 r3
+    st.i32.shared r4, 0
+    r2 = add.i32 r2, 1
+    r5 = cmp.lt.i32 r2, 96
+    brc r5, memset, work
+work:
+    r6 = mul.i32 r1, 2
+    r7 = cvt.i32.i64 r1
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    st.i32.global r9, r6
+    ret
+}
+)";
+
+class ToyFitness : public FitnessFunction {
+  public:
+    FitnessResult
+    evaluate(const ir::Module& variant) const override
+    {
+        const auto* fn = variant.findFunction("toy");
+        if (fn == nullptr)
+            return FitnessResult::fail("kernel missing");
+        sim::DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(64 * 4);
+        const auto prog = sim::Program::decode(*fn);
+        const auto res = sim::launchKernel(
+            sim::p100(), mem, prog, {1, 64},
+            {static_cast<std::uint64_t>(out)});
+        if (!res.ok())
+            return FitnessResult::fail(res.fault.detail);
+        for (int t = 0; t < 64; ++t) {
+            if (mem.read<std::int32_t>(out + t * 4) != t * 2)
+                return FitnessResult::fail("wrong output");
+        }
+        return FitnessResult::pass(res.stats.ms);
+    }
+
+    std::string name() const override { return "toy"; }
+};
+
+ir::Module
+toyModule()
+{
+    auto res = ir::parseModule(kToyKernel);
+    EXPECT_TRUE(res.ok) << res.error;
+    return std::move(res.module);
+}
+
+TEST(Fitness, BaselinePasses)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    const auto result = evaluateVariant(mod, {}, fitness);
+    EXPECT_TRUE(result.valid) << result.failReason;
+    EXPECT_GT(result.ms, 0.0);
+}
+
+TEST(Fitness, BreakingEditIsInvalid)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    // Replace the work-loop multiplier: output becomes wrong.
+    const auto& instrs = mod.function(0).blocks[2].instrs;
+    mut::Edit e;
+    e.kind = mut::EditKind::OperandReplace;
+    e.srcUid = instrs[0].uid; // r6 = mul.i32 r1, 2
+    e.opIndex = 1;
+    e.newOperand = ir::Operand::imm(3);
+    const auto result = evaluateVariant(mod, {e}, fitness);
+    EXPECT_FALSE(result.valid);
+    EXPECT_EQ(result.failReason, "wrong output");
+}
+
+TEST(Fitness, LoopRemovalEditIsValidAndFaster)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    const auto baseline = evaluateVariant(mod, {}, fitness);
+    // The golden edit: loop branch condition <- 0.
+    mut::Edit e;
+    e.kind = mut::EditKind::OperandReplace;
+    e.srcUid = mod.function(0).blocks[1].instrs.back().uid;
+    e.opIndex = 0;
+    e.newOperand = ir::Operand::imm(0);
+    const auto result = evaluateVariant(mod, {e}, fitness);
+    ASSERT_TRUE(result.valid) << result.failReason;
+    EXPECT_LT(result.ms, baseline.ms * 0.3);
+}
+
+TEST(Engine, FindsTheLoopRemoval)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 24;
+    params.generations = 25;
+    params.elitism = 2;
+    params.seed = 5;
+    EvolutionEngine engine(mod, fitness, params);
+    const auto result = engine.run();
+    EXPECT_TRUE(result.best.fitness.valid);
+    // The memset loop dominates; the search must find a large win.
+    EXPECT_GT(result.speedup(), 2.0)
+        << "best " << result.best.fitness.ms << " baseline "
+        << result.baselineMs;
+}
+
+TEST(Engine, HistoryIsMonotoneAndComplete)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 12;
+    params.generations = 8;
+    params.seed = 11;
+    EvolutionEngine engine(mod, fitness, params);
+    const auto result = engine.run();
+    ASSERT_EQ(result.history.size(), 8u);
+    for (std::size_t g = 1; g < result.history.size(); ++g) {
+        EXPECT_LE(result.history[g].bestMs, result.history[g - 1].bestMs);
+        EXPECT_EQ(result.history[g].generation,
+                  static_cast<std::uint32_t>(g + 1));
+    }
+}
+
+TEST(Engine, DeterministicForEqualSeeds)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 10;
+    params.generations = 5;
+    params.seed = 77;
+    const auto a = EvolutionEngine(mod, fitness, params).run();
+    const auto b = EvolutionEngine(mod, fitness, params).run();
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        EXPECT_DOUBLE_EQ(a.history[g].bestMs, b.history[g].bestMs);
+        EXPECT_DOUBLE_EQ(a.history[g].meanMs, b.history[g].meanMs);
+    }
+    EXPECT_EQ(a.best.edits.size(), b.best.edits.size());
+}
+
+TEST(Engine, DifferentSeedsExploreDifferently)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 10;
+    params.generations = 4;
+    params.seed = 1;
+    const auto a = EvolutionEngine(mod, fitness, params).run();
+    params.seed = 2;
+    const auto b = EvolutionEngine(mod, fitness, params).run();
+    bool anyDiff = a.best.edits.size() != b.best.edits.size();
+    for (std::size_t g = 0; !anyDiff && g < a.history.size(); ++g)
+        anyDiff = a.history[g].meanMs != b.history[g].meanMs;
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Engine, CallbackSeesEveryGeneration)
+{
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 8;
+    params.generations = 6;
+    params.seed = 3;
+    EvolutionEngine engine(mod, fitness, params);
+    int calls = 0;
+    engine.run([&](const GenerationLog& log, const SearchResult&) {
+        ++calls;
+        EXPECT_EQ(log.generation, static_cast<std::uint32_t>(calls));
+    });
+    EXPECT_EQ(calls, 6);
+}
+
+TEST(Engine, SpeedupIsOneWhenNothingImproves)
+{
+    // Zero generations: best == baseline.
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 4;
+    params.elitism = 1;
+    params.generations = 0;
+    params.seed = 9;
+    const auto result = EvolutionEngine(mod, fitness, params).run();
+    EXPECT_DOUBLE_EQ(result.speedup(), 1.0);
+    EXPECT_TRUE(result.history.empty());
+}
+
+} // namespace
+} // namespace gevo::core

@@ -1,0 +1,121 @@
+/// Mutation robustness fuzzing: the evolutionary search throws thousands
+/// of random patches at the real application kernels. Whatever the patch,
+/// the system must never crash — every variant either verifies and runs
+/// to a deterministic result/fault, or is cleanly rejected.
+///
+/// This is the paper's implicit contract (Sec V-A finds 1394-edit
+/// individuals that still run) exercised end to end.
+
+#include <gtest/gtest.h>
+
+#include "apps/adept/driver.h"
+#include "apps/adept/fitness.h"
+#include "apps/simcov/driver.h"
+#include "apps/simcov/fitness.h"
+#include "core/fitness.h"
+#include "mutation/patch.h"
+#include "mutation/sampler.h"
+#include "support/rng.h"
+
+namespace gevo {
+namespace {
+
+class AdeptFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdeptFuzz, RandomPatchesNeverCrashAndStayDeterministic)
+{
+    adept::SequenceSetConfig cfg;
+    cfg.numPairs = 3;
+    cfg.minLen = 24;
+    cfg.maxLen = 48;
+    cfg.seed = 5;
+    const auto pairs = adept::generatePairs(cfg);
+    const auto built = adept::buildAdeptV1(adept::ScoringParams{}, 64);
+    const adept::AdeptDriver driver(pairs, adept::ScoringParams{}, 1, 64);
+    adept::AdeptFitness fitness(driver, sim::p100());
+
+    Rng rng(GetParam());
+    int valid = 0;
+    for (int trial = 0; trial < 25; ++trial) {
+        // Build a random patch of 1-6 stacked edits.
+        std::vector<mut::Edit> edits;
+        const int n = 1 + static_cast<int>(rng.below(6));
+        for (int i = 0; i < n; ++i) {
+            const auto patched = mut::applyPatch(built.module, edits);
+            const auto e = mut::sampleEdit(patched, rng);
+            if (e)
+                edits.push_back(*e);
+        }
+        const auto a = core::evaluateVariant(built.module, edits, fitness);
+        const auto b = core::evaluateVariant(built.module, edits, fitness);
+        EXPECT_EQ(a.valid, b.valid);
+        if (a.valid) {
+            EXPECT_DOUBLE_EQ(a.ms, b.ms);
+            ++valid;
+        } else {
+            EXPECT_FALSE(a.failReason.empty());
+        }
+    }
+    // Mutational robustness (paper Sec VIII cites 20-40% neutral edits):
+    // a healthy fraction of random patches must still pass everything.
+    EXPECT_GT(valid, 2) << "suspiciously fragile under seed "
+                        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdeptFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+class SimcovFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimcovFuzz, RandomPatchesNeverCrash)
+{
+    simcov::SimcovConfig cfg;
+    cfg.gridW = 16;
+    cfg.steps = 6;
+    const auto built = simcov::buildSimcov(cfg);
+    const simcov::SimcovDriver driver(cfg);
+    simcov::SimcovFitness fitness(driver, sim::p100());
+
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 12; ++trial) {
+        std::vector<mut::Edit> edits;
+        const int n = 1 + static_cast<int>(rng.below(4));
+        for (int i = 0; i < n; ++i) {
+            const auto patched = mut::applyPatch(built.module, edits);
+            const auto e = mut::sampleEdit(patched, rng);
+            if (e)
+                edits.push_back(*e);
+        }
+        const auto r = core::evaluateVariant(built.module, edits, fitness);
+        if (!r.valid)
+            EXPECT_FALSE(r.failReason.empty());
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimcovFuzz, ::testing::Values(7u, 17u, 27u));
+
+TEST(OversubscribeModel, TimingScalesWithBatchWhileFunctionStaysFixed)
+{
+    // The saturated-regime wave model: more logical blocks means
+    // proportionally more simulated time, identical results.
+    adept::SequenceSetConfig cfg;
+    cfg.numPairs = 4;
+    cfg.seed = 3;
+    const auto pairs = adept::generatePairs(cfg);
+    const auto built = adept::buildAdeptV0(adept::ScoringParams{}, 64);
+    adept::AdeptDriver driver(pairs, adept::ScoringParams{}, 0, 64);
+
+    driver.setOversubscribe(64);
+    const auto small = driver.run(built.module, sim::p100());
+    driver.setOversubscribe(256);
+    const auto big = driver.run(built.module, sim::p100());
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(big.ok());
+    for (std::size_t i = 0; i < small.results.size(); ++i)
+        EXPECT_TRUE(small.results[i] == big.results[i]);
+    EXPECT_NEAR(big.totalMs / small.totalMs, 4.0, 0.5);
+}
+
+} // namespace
+} // namespace gevo

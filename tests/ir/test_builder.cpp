@@ -1,0 +1,168 @@
+#include "ir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.h"
+
+namespace gevo::ir {
+namespace {
+
+TEST(Builder, BuildsVerifiableKernel)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 2);
+    const auto entry = b.block("entry");
+    (void)entry;
+    const auto t = b.tid();
+    const auto sum = b.iadd(t, b.param(0));
+    const auto addr = b.sext64(sum);
+    b.st(MemSpace::Global, MemWidth::I32, addr, sum);
+    b.ret();
+
+    EXPECT_TRUE(verifyModule(mod).ok()) << verifyModule(mod).message();
+    EXPECT_EQ(mod.function(0).instrCount(), 5u);
+}
+
+TEST(Builder, FreshRegistersDoNotCollideWithParams)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 3);
+    b.block("entry");
+    const auto r = b.tid();
+    EXPECT_GE(r.value, 3);
+    b.ret();
+}
+
+TEST(Builder, UidsAreUniqueAndMonotonic)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 0);
+    b.block("entry");
+    b.tid();
+    b.tid();
+    b.ret();
+    const auto& instrs = mod.function(0).blocks[0].instrs;
+    EXPECT_LT(instrs[0].uid, instrs[1].uid);
+    EXPECT_LT(instrs[1].uid, instrs[2].uid);
+    EXPECT_EQ(mod.uidCounter(), instrs[2].uid);
+}
+
+TEST(Builder, EmitToOverwritesRegister)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 0);
+    b.block("entry");
+    const auto counter = b.mov(b.imm(0));
+    b.iaddTo(counter, counter, b.imm(1));
+    b.ret();
+    const auto& instrs = mod.function(0).blocks[0].instrs;
+    EXPECT_EQ(instrs[1].dest, static_cast<std::int32_t>(counter.value));
+}
+
+TEST(Builder, BranchTargetsRecorded)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 0);
+    const auto entry = b.block("entry");
+    // Forward declaration pattern: create blocks first, then fill.
+    const auto thenB = b.block("then");
+    const auto exitB = b.block("exit");
+    b.setInsert(entry);
+    const auto c = b.ieq(b.tid(), b.imm(0));
+    b.brc(c, thenB, exitB);
+    b.setInsert(thenB);
+    b.br(exitB);
+    b.setInsert(exitB);
+    b.ret();
+
+    EXPECT_TRUE(verifyModule(mod).ok()) << verifyModule(mod).message();
+    const auto& term = mod.function(0).blocks[entry].terminator();
+    EXPECT_EQ(term.op, Opcode::CondBr);
+    EXPECT_EQ(term.ops[1].value, thenB);
+    EXPECT_EQ(term.ops[2].value, exitB);
+}
+
+TEST(Builder, SourceLocationsIntern)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 0);
+    b.block("entry");
+    b.setLoc("adept.cu:17");
+    const auto x = b.tid();
+    (void)x;
+    b.setLoc("adept.cu:18");
+    b.tid();
+    b.setLoc("adept.cu:17");
+    b.tid();
+    b.ret();
+    const auto& instrs = mod.function(0).blocks[0].instrs;
+    EXPECT_EQ(mod.locString(instrs[0].loc), "adept.cu:17");
+    EXPECT_EQ(mod.locString(instrs[1].loc), "adept.cu:18");
+    EXPECT_EQ(instrs[0].loc, instrs[2].loc);
+}
+
+TEST(Builder, MemoryAttributesSet)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 1, /*sharedBytes=*/256, /*localBytes=*/64);
+    b.block("entry");
+    const auto v = b.ld(MemSpace::Shared, MemWidth::F32, b.imm(4));
+    b.st(MemSpace::Local, MemWidth::I16, b.imm(0), v);
+    const auto old = b.atomic(AtomicOp::AddI32, MemSpace::Global,
+                              b.param(0), b.imm(1));
+    (void)old;
+    b.ret();
+
+    const auto& fn = mod.function(0);
+    EXPECT_EQ(fn.sharedBytes, 256u);
+    EXPECT_EQ(fn.localBytes, 64u);
+    const auto& instrs = fn.blocks[0].instrs;
+    EXPECT_EQ(instrs[0].space, MemSpace::Shared);
+    EXPECT_EQ(instrs[0].width, MemWidth::F32);
+    EXPECT_EQ(instrs[1].space, MemSpace::Local);
+    EXPECT_EQ(instrs[2].atom, AtomicOp::AddI32);
+    EXPECT_TRUE(verifyModule(mod).ok());
+}
+
+TEST(Function, FindUid)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 0);
+    b.block("entry");
+    const auto a = b.tid();
+    (void)a;
+    b.ret();
+    const auto& fn = mod.function(0);
+    const auto uid = fn.blocks[0].instrs[0].uid;
+    const auto pos = fn.findUid(uid);
+    ASSERT_TRUE(pos.valid());
+    EXPECT_EQ(fn.at(pos).uid, uid);
+    EXPECT_FALSE(fn.findUid(999999).valid());
+}
+
+TEST(Module, CloneIsDeepAndPreservesUids)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 0);
+    b.block("entry");
+    b.tid();
+    b.ret();
+
+    Module copy = mod.clone();
+    EXPECT_EQ(copy.uidCounter(), mod.uidCounter());
+    copy.function(0).blocks[0].instrs[0].dest = 99;
+    EXPECT_NE(copy.function(0).blocks[0].instrs[0].dest,
+              mod.function(0).blocks[0].instrs[0].dest);
+}
+
+} // namespace
+} // namespace gevo::ir

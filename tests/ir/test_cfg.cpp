@@ -1,0 +1,178 @@
+#include "ir/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+
+namespace gevo::ir {
+namespace {
+
+Function
+parseFn(const char* text)
+{
+    auto res = parseModule(text);
+    EXPECT_TRUE(res.ok) << res.error;
+    return res.module.function(0);
+}
+
+// Diamond:      entry -> {left, right} -> join -> exit(ret)
+constexpr const char* kDiamond = R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    r0 = tid
+    r1 = cmp.lt.i32 r0, 16
+    brc r1, left, right
+left:
+    r2 = mov 1
+    br join
+right:
+    r3 = mov 2
+    br join
+join:
+    ret
+}
+)";
+
+TEST(Cfg, DiamondSuccessorsAndPreds)
+{
+    const auto fn = parseFn(kDiamond);
+    const Cfg cfg(fn);
+    ASSERT_EQ(cfg.size(), 4u);
+    EXPECT_EQ(cfg.succs(0).size(), 2u);
+    EXPECT_EQ(cfg.succs(1).size(), 1u);
+    EXPECT_EQ(cfg.preds(3).size(), 2u);
+    EXPECT_TRUE(cfg.succs(3).empty());
+}
+
+TEST(Cfg, DiamondDominators)
+{
+    const auto fn = parseFn(kDiamond);
+    const Cfg cfg(fn);
+    EXPECT_EQ(cfg.idom(0), 0);
+    EXPECT_EQ(cfg.idom(1), 0);
+    EXPECT_EQ(cfg.idom(2), 0);
+    EXPECT_EQ(cfg.idom(3), 0);
+    EXPECT_TRUE(cfg.dominates(0, 3));
+    EXPECT_FALSE(cfg.dominates(1, 3));
+    EXPECT_TRUE(cfg.dominates(2, 2));
+}
+
+TEST(Cfg, DiamondPostDominators)
+{
+    const auto fn = parseFn(kDiamond);
+    const Cfg cfg(fn);
+    // The reconvergence point of the entry branch is the join block.
+    EXPECT_EQ(cfg.ipdom(0), 3);
+    EXPECT_EQ(cfg.ipdom(1), 3);
+    EXPECT_EQ(cfg.ipdom(2), 3);
+    EXPECT_EQ(cfg.ipdom(3), Cfg::kExit);
+}
+
+constexpr const char* kLoop = R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    r0 = mov 0
+    br header
+header:
+    r1 = cmp.lt.i32 r0, 10
+    brc r1, body, exit
+body:
+    r0 = add.i32 r0, 1
+    br header
+exit:
+    ret
+}
+)";
+
+TEST(Cfg, LoopStructure)
+{
+    const auto fn = parseFn(kLoop);
+    const Cfg cfg(fn);
+    // entry=0 header=1 body=2 exit=3
+    EXPECT_EQ(cfg.idom(1), 0);
+    EXPECT_EQ(cfg.idom(2), 1);
+    EXPECT_EQ(cfg.idom(3), 1);
+    EXPECT_EQ(cfg.ipdom(1), 3);
+    EXPECT_EQ(cfg.ipdom(2), 1);
+    EXPECT_TRUE(cfg.dominates(1, 2));
+    EXPECT_FALSE(cfg.dominates(2, 3));
+}
+
+TEST(Cfg, RpoStartsAtEntryAndCoversReachable)
+{
+    const auto fn = parseFn(kLoop);
+    const Cfg cfg(fn);
+    ASSERT_FALSE(cfg.rpo().empty());
+    EXPECT_EQ(cfg.rpo().front(), 0);
+    EXPECT_EQ(cfg.rpo().size(), 4u);
+}
+
+constexpr const char* kUnreachable = R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    br exit
+orphan:
+    r0 = mov 7
+    br exit
+exit:
+    ret
+}
+)";
+
+TEST(Cfg, UnreachableBlockDetected)
+{
+    const auto fn = parseFn(kUnreachable);
+    const Cfg cfg(fn);
+    EXPECT_TRUE(cfg.reachable(0));
+    EXPECT_FALSE(cfg.reachable(1));
+    EXPECT_TRUE(cfg.reachable(2));
+    EXPECT_EQ(cfg.idom(1), -2);
+}
+
+constexpr const char* kInfinite = R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    br spin
+spin:
+    r0 = add.i32 r0, 1
+    br spin
+}
+)";
+
+TEST(Cfg, InfiniteLoopGetsExitIpdom)
+{
+    const auto fn = parseFn(kInfinite);
+    const Cfg cfg(fn);
+    // No path to exit: reconvergence degenerates to the virtual exit.
+    EXPECT_EQ(cfg.ipdom(0), Cfg::kExit);
+    EXPECT_EQ(cfg.ipdom(1), Cfg::kExit);
+}
+
+constexpr const char* kNested = R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    brc r0, outerT, join
+outerT:
+    brc r1, innerT, innerJ
+innerT:
+    br innerJ
+innerJ:
+    br join
+join:
+    ret
+}
+)";
+
+TEST(Cfg, NestedBranchesHaveNestedReconvergence)
+{
+    const auto fn = parseFn(kNested);
+    const Cfg cfg(fn);
+    // entry=0 outerT=1 innerT=2 innerJ=3 join=4
+    EXPECT_EQ(cfg.ipdom(0), 4);
+    EXPECT_EQ(cfg.ipdom(1), 3);
+    EXPECT_EQ(cfg.ipdom(2), 3);
+    EXPECT_EQ(cfg.ipdom(3), 4);
+}
+
+} // namespace
+} // namespace gevo::ir

@@ -1,0 +1,208 @@
+#include "ir/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace gevo::ir {
+namespace {
+
+constexpr const char* kSample = R"(
+; simple saxpy-like kernel
+kernel @saxpy params 3 regs 16 shared 0 local 0 {
+entry:
+    r3 = tid
+    r4 = cvt.i32.i64 r3
+    r5 = mul.i64 r4, 4
+    r6 = add.i64 r0, r5
+    r7 = ld.f32.global r6
+    r8 = mul.f32 r7, 2.0f
+    r9 = add.i64 r1, r5
+    st.f32.global r9, r8
+    r10 = cmp.lt.i32 r3, r2
+    brc r10, body, done
+body:
+    br done
+done:
+    ret
+}
+)";
+
+TEST(Parser, ParsesValidKernel)
+{
+    const auto res = parseModule(kSample);
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto* fn = res.module.findFunction("saxpy");
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->numParams, 3u);
+    EXPECT_EQ(fn->numRegs, 16u);
+    EXPECT_EQ(fn->blocks.size(), 3u);
+    EXPECT_TRUE(verifyModule(res.module).ok())
+        << verifyModule(res.module).message();
+}
+
+TEST(Parser, ResolvesForwardLabels)
+{
+    const auto res = parseModule(kSample);
+    ASSERT_TRUE(res.ok);
+    const auto& fn = *res.module.findFunction("saxpy");
+    const auto& brc = fn.blocks[0].terminator();
+    EXPECT_EQ(brc.op, Opcode::CondBr);
+    EXPECT_EQ(brc.ops[1].value, fn.blockIndexOf("body"));
+    EXPECT_EQ(brc.ops[2].value, fn.blockIndexOf("done"));
+}
+
+TEST(Parser, FloatImmediatesBecomeF32Bits)
+{
+    const auto res = parseModule(kSample);
+    ASSERT_TRUE(res.ok);
+    const auto& fn = *res.module.findFunction("saxpy");
+    const auto& mul = fn.blocks[0].instrs[5];
+    EXPECT_EQ(mul.op, Opcode::MulF32);
+    EXPECT_EQ(mul.ops[1], Operand::immF32(2.0f));
+}
+
+TEST(Parser, RoundTripsThroughPrinter)
+{
+    const auto first = parseModule(kSample);
+    ASSERT_TRUE(first.ok);
+    const auto text = printModule(first.module);
+    const auto second = parseModule(text);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(printModule(second.module), text);
+}
+
+TEST(Parser, RoundTripsBuilderOutput)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 2, 128, 16);
+    const auto entry = b.block("entry");
+    const auto loop = b.block("loop");
+    const auto done = b.block("done");
+    b.setInsert(entry);
+    b.setLoc("test.cu:1");
+    const auto i = b.mov(b.imm(0));
+    b.br(loop);
+    b.setInsert(loop);
+    b.iaddTo(i, i, b.imm(1));
+    const auto v =
+        b.atomicCas(MemSpace::Shared, b.imm(0), b.imm(0), b.imm(7));
+    (void)v;
+    const auto c = b.ilt(i, b.imm(10));
+    b.brc(c, loop, done);
+    b.setInsert(done);
+    b.barrier();
+    b.ret();
+
+    const auto text = printModule(mod);
+    const auto res = parseModule(text);
+    ASSERT_TRUE(res.ok) << res.error << "\n" << text;
+    EXPECT_EQ(printModule(res.module), text);
+}
+
+TEST(Parser, PreservesSourceLocations)
+{
+    const char* text = R"(
+kernel @k params 0 regs 4 shared 0 local 0 {
+entry:
+    r0 = tid @"file.cu:42"
+    ret
+}
+)";
+    const auto res = parseModule(text);
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto& in = res.module.function(0).blocks[0].instrs[0];
+    EXPECT_EQ(res.module.locString(in.loc), "file.cu:42");
+}
+
+TEST(Parser, AtomicMnemonics)
+{
+    const char* text = R"(
+kernel @k params 1 regs 8 shared 64 local 0 {
+entry:
+    r1 = atom.add.f32.global r0, r0
+    r2 = atom.cas.i32.shared r1, r1, r1
+    ret
+}
+)";
+    const auto res = parseModule(text);
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto& instrs = res.module.function(0).blocks[0].instrs;
+    EXPECT_EQ(instrs[0].atom, AtomicOp::AddF32);
+    EXPECT_EQ(instrs[0].space, MemSpace::Global);
+    EXPECT_EQ(instrs[1].atom, AtomicOp::Cas);
+    EXPECT_EQ(instrs[1].nops, 3);
+}
+
+TEST(Parser, RejectsUnknownMnemonic)
+{
+    const auto res = parseModule(
+        "kernel @k params 0 regs 2 shared 0 local 0 {\nentry:\n"
+        "    r0 = frobnicate r1\n    ret\n}\n");
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownLabel)
+{
+    const auto res = parseModule(
+        "kernel @k params 0 regs 2 shared 0 local 0 {\nentry:\n"
+        "    br nowhere\n}\n");
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("nowhere"), std::string::npos);
+}
+
+TEST(Parser, RejectsWrongOperandCount)
+{
+    const auto res = parseModule(
+        "kernel @k params 0 regs 4 shared 0 local 0 {\nentry:\n"
+        "    r0 = add.i32 r1\n    ret\n}\n");
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Parser, RejectsMissingDest)
+{
+    const auto res = parseModule(
+        "kernel @k params 0 regs 4 shared 0 local 0 {\nentry:\n"
+        "    add.i32 r1, r2\n    ret\n}\n");
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Parser, RejectsMissingBrace)
+{
+    const auto res = parseModule(
+        "kernel @k params 0 regs 4 shared 0 local 0 {\nentry:\n    ret\n");
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Parser, RejectsInstructionOutsideKernel)
+{
+    const auto res = parseModule("    r0 = tid\n");
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Parser, ErrorsIncludeLineNumbers)
+{
+    const auto res = parseModule(
+        "kernel @k params 0 regs 4 shared 0 local 0 {\nentry:\n"
+        "    r0 = bogus\n    ret\n}\n");
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("line 3"), std::string::npos) << res.error;
+}
+
+TEST(Parser, NegativeAndHexImmediates)
+{
+    const auto res = parseModule(
+        "kernel @k params 0 regs 8 shared 0 local 0 {\nentry:\n"
+        "    r0 = mov -5\n    r1 = mov 0xff\n    ret\n}\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto& instrs = res.module.function(0).blocks[0].instrs;
+    EXPECT_EQ(instrs[0].ops[0].value, -5);
+    EXPECT_EQ(instrs[1].ops[0].value, 255);
+}
+
+} // namespace
+} // namespace gevo::ir

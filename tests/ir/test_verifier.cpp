@@ -1,0 +1,153 @@
+#include "ir/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace gevo::ir {
+namespace {
+
+Module
+validModule()
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 1);
+    const auto entry = b.block("entry");
+    const auto exit = b.block("exit");
+    b.setInsert(entry);
+    const auto t = b.tid();
+    const auto c = b.ilt(t, b.imm(4));
+    b.brc(c, exit, exit);
+    b.setInsert(exit);
+    b.ret();
+    return mod;
+}
+
+TEST(Verifier, AcceptsValidModule)
+{
+    const auto mod = validModule();
+    EXPECT_TRUE(verifyModule(mod).ok()) << verifyModule(mod).message();
+}
+
+TEST(Verifier, RejectsEmptyFunction)
+{
+    Module mod;
+    Function fn;
+    fn.name = "empty";
+    mod.addFunction(std::move(fn));
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsEmptyBlock)
+{
+    auto mod = validModule();
+    mod.function(0).blocks.push_back(BasicBlock{"orphan", {}});
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsMissingTerminator)
+{
+    auto mod = validModule();
+    mod.function(0).blocks[1].instrs.pop_back(); // remove ret
+    // Block now empty -> also caught; add a non-terminator to be precise.
+    Instr in;
+    in.op = Opcode::Tid;
+    in.dest = 0;
+    mod.function(0).blocks[1].instrs.push_back(in);
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock)
+{
+    auto mod = validModule();
+    auto& instrs = mod.function(0).blocks[0].instrs;
+    Instr retIn;
+    retIn.op = Opcode::Ret;
+    instrs.insert(instrs.begin(), retIn);
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsBadRegisterIndex)
+{
+    auto mod = validModule();
+    mod.function(0).blocks[0].instrs[1].ops[0] = Operand::reg(9999);
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsBadDestination)
+{
+    auto mod = validModule();
+    mod.function(0).blocks[0].instrs[0].dest = 12345;
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsBadLabel)
+{
+    auto mod = validModule();
+    auto& brc = mod.function(0).blocks[0].instrs.back();
+    brc.ops[1] = Operand::label(42);
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsLabelInValueSlot)
+{
+    auto mod = validModule();
+    mod.function(0).blocks[0].instrs[1].ops[0] = Operand::label(0);
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsMemoryOpWithoutSpace)
+{
+    auto mod = validModule();
+    auto& instrs = mod.function(0).blocks[0].instrs;
+    Instr ld;
+    ld.op = Opcode::Load;
+    ld.dest = 0;
+    ld.nops = 1;
+    ld.ops[0] = Operand::imm(0);
+    ld.width = MemWidth::I32; // space deliberately missing
+    instrs.insert(instrs.begin(), ld);
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsMemoryAttributesOnAluOp)
+{
+    auto mod = validModule();
+    mod.function(0).blocks[0].instrs[0].space = MemSpace::Shared;
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, RejectsWrongOperandCount)
+{
+    auto mod = validModule();
+    mod.function(0).blocks[0].instrs[1].nops = 1;
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, CasRequiresThreeOperands)
+{
+    Module mod;
+    IRBuilder b(mod);
+    b.startKernel("k", 1, 64);
+    b.block("entry");
+    b.atomicCas(MemSpace::Shared, b.imm(0), b.imm(0), b.imm(1));
+    b.ret();
+    EXPECT_TRUE(verifyModule(mod).ok());
+    mod.function(0).blocks[0].instrs[0].nops = 2;
+    EXPECT_FALSE(verifyModule(mod).ok());
+}
+
+TEST(Verifier, MessageJoinsErrors)
+{
+    auto mod = validModule();
+    mod.function(0).blocks[0].instrs[0].dest = 12345;
+    mod.function(0).blocks[1].instrs.clear();
+    const auto res = verifyModule(mod);
+    EXPECT_FALSE(res.ok());
+    EXPECT_GE(res.errors.size(), 2u);
+    EXPECT_FALSE(res.message().empty());
+}
+
+} // namespace
+} // namespace gevo::ir

@@ -1,0 +1,95 @@
+#include "mutation/edit.h"
+
+#include <gtest/gtest.h>
+
+namespace gevo::mut {
+namespace {
+
+Edit
+sampleOpRepl()
+{
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = 12;
+    e.opIndex = 1;
+    e.newOperand = ir::Operand::reg(7);
+    return e;
+}
+
+TEST(Edit, EqualityIgnoresNewUid)
+{
+    Edit a = sampleOpRepl();
+    Edit b = sampleOpRepl();
+    b.newUid = 999;
+    EXPECT_EQ(a, b);
+    b.opIndex = 0;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Edit, ToStringNamesKind)
+{
+    EXPECT_NE(sampleOpRepl().toString().find("oprepl"), std::string::npos);
+    Edit d;
+    d.kind = EditKind::InstrDelete;
+    d.srcUid = 5;
+    EXPECT_EQ(d.toString(), "delete(#5)");
+}
+
+TEST(Edit, SerializeDeserializeRoundTrip)
+{
+    std::vector<Edit> edits;
+    {
+        Edit e;
+        e.kind = EditKind::InstrDelete;
+        e.srcUid = 3;
+        edits.push_back(e);
+    }
+    {
+        Edit e;
+        e.kind = EditKind::InstrCopy;
+        e.srcUid = 4;
+        e.dstUid = 9;
+        e.newUid = (1ull << 63) | 77;
+        edits.push_back(e);
+    }
+    {
+        Edit e = sampleOpRepl();
+        e.newOperand = ir::Operand::imm(-42);
+        edits.push_back(e);
+    }
+    {
+        Edit e;
+        e.kind = EditKind::InstrSwap;
+        e.srcUid = 11;
+        e.dstUid = 13;
+        edits.push_back(e);
+    }
+
+    const auto text = serializeEdits(edits);
+    std::vector<Edit> parsed;
+    ASSERT_TRUE(deserializeEdits(text, &parsed));
+    ASSERT_EQ(parsed.size(), edits.size());
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+        EXPECT_EQ(parsed[i], edits[i]) << "edit " << i;
+        EXPECT_EQ(parsed[i].newUid, edits[i].newUid);
+    }
+}
+
+TEST(Edit, DeserializeRejectsGarbage)
+{
+    std::vector<Edit> out;
+    EXPECT_FALSE(deserializeEdits("not an edit line\n", &out));
+    EXPECT_FALSE(deserializeEdits("frobnicate 1 2 3 r 4 5\n", &out));
+}
+
+TEST(Edit, DeserializeEmptyIsEmpty)
+{
+    std::vector<Edit> out;
+    EXPECT_TRUE(deserializeEdits("", &out));
+    EXPECT_TRUE(out.empty());
+    EXPECT_TRUE(deserializeEdits("\n\n", &out));
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace gevo::mut

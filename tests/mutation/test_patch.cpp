@@ -1,0 +1,266 @@
+#include "mutation/patch.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace gevo::mut {
+namespace {
+
+using ir::Module;
+using ir::Opcode;
+using ir::Operand;
+
+Module
+baseModule()
+{
+    auto res = ir::parseModule(R"(
+kernel @k params 1 regs 16 shared 64 local 0 {
+entry:
+    r1 = tid
+    r2 = add.i32 r1, 1
+    r3 = mul.i32 r2, 2
+    st.i32.global r0, r3
+    br next
+next:
+    r4 = sub.i32 r3, 1
+    st.i32.global r0, r4
+    ret
+}
+)");
+    EXPECT_TRUE(res.ok) << res.error;
+    return std::move(res.module);
+}
+
+std::uint64_t
+uidAt(const Module& mod, std::size_t block, std::size_t idx)
+{
+    return mod.function(0).blocks[block].instrs[idx].uid;
+}
+
+TEST(Patch, DeleteRemovesInstruction)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::InstrDelete;
+    e.srcUid = uidAt(base, 0, 1); // the add
+    PatchStats stats;
+    const auto out = applyPatch(base, {e}, &stats);
+    EXPECT_EQ(stats.applied, 1u);
+    EXPECT_EQ(out.function(0).blocks[0].instrs.size(), 4u);
+    EXPECT_FALSE(out.function(0).findUid(e.srcUid).valid());
+}
+
+TEST(Patch, DeleteTerminatorIsSkipped)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::InstrDelete;
+    e.srcUid = uidAt(base, 0, 4); // the br
+    PatchStats stats;
+    const auto out = applyPatch(base, {e}, &stats);
+    EXPECT_EQ(stats.applied, 0u);
+    EXPECT_EQ(stats.skipped, 1u);
+    EXPECT_EQ(out.instrCount(), base.instrCount());
+}
+
+TEST(Patch, DanglingUidIsSkippedSilently)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::InstrDelete;
+    e.srcUid = 987654;
+    PatchStats stats;
+    const auto out = applyPatch(base, {e}, &stats);
+    EXPECT_EQ(stats.skipped, 1u);
+    EXPECT_EQ(out.instrCount(), base.instrCount());
+}
+
+TEST(Patch, CopyInsertsCloneWithNewUid)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::InstrCopy;
+    e.srcUid = uidAt(base, 0, 1);
+    e.dstUid = uidAt(base, 1, 0);
+    e.newUid = (1ull << 63) | 42;
+    const auto out = applyPatch(base, {e});
+    const auto pos = out.function(0).findUid(e.newUid);
+    ASSERT_TRUE(pos.valid());
+    EXPECT_EQ(pos.block, 1);
+    EXPECT_EQ(pos.index, 0);
+    EXPECT_EQ(out.function(0).at(pos).op, Opcode::AddI32);
+    // Original still present.
+    EXPECT_TRUE(out.function(0).findUid(e.srcUid).valid());
+}
+
+TEST(Patch, MoveRelocatesInstruction)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::InstrMove;
+    e.srcUid = uidAt(base, 0, 2); // mul
+    e.dstUid = uidAt(base, 1, 1); // store in next
+    const auto out = applyPatch(base, {e});
+    EXPECT_EQ(out.instrCount(), base.instrCount());
+    const auto pos = out.function(0).findUid(e.srcUid);
+    ASSERT_TRUE(pos.valid());
+    EXPECT_EQ(pos.block, 1);
+}
+
+TEST(Patch, ReplaceOverwritesOperationKeepsPosition)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::InstrReplace;
+    e.srcUid = uidAt(base, 0, 1); // add
+    e.dstUid = uidAt(base, 1, 0); // sub
+    e.newUid = (1ull << 63) | 7;
+    const auto out = applyPatch(base, {e});
+    EXPECT_EQ(out.function(0).blocks[1].instrs[0].op, Opcode::AddI32);
+    EXPECT_EQ(out.function(0).blocks[1].instrs[0].uid, e.newUid);
+}
+
+TEST(Patch, SwapExchangesOperations)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::InstrSwap;
+    e.srcUid = uidAt(base, 0, 1); // add
+    e.dstUid = uidAt(base, 0, 2); // mul
+    const auto out = applyPatch(base, {e});
+    EXPECT_EQ(out.function(0).blocks[0].instrs[1].op, Opcode::MulI32);
+    EXPECT_EQ(out.function(0).blocks[0].instrs[2].op, Opcode::AddI32);
+}
+
+TEST(Patch, OperandReplaceValueSlot)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = uidAt(base, 0, 1);
+    e.opIndex = 1;
+    e.newOperand = Operand::imm(99);
+    const auto out = applyPatch(base, {e});
+    EXPECT_EQ(out.function(0).blocks[0].instrs[1].ops[1].value, 99);
+}
+
+TEST(Patch, OperandReplaceRejectsLabelInValueSlot)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = uidAt(base, 0, 1);
+    e.opIndex = 1;
+    e.newOperand = Operand::label(1);
+    PatchStats stats;
+    applyPatch(base, {e}, &stats);
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(Patch, OperandReplaceRejectsOutOfRangeRegister)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = uidAt(base, 0, 1);
+    e.opIndex = 0;
+    e.newOperand = Operand::reg(500);
+    PatchStats stats;
+    applyPatch(base, {e}, &stats);
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(Patch, OperandReplaceBranchLabel)
+{
+    const auto base = baseModule();
+    Edit e;
+    e.kind = EditKind::OperandReplace;
+    e.srcUid = uidAt(base, 0, 4); // br next
+    e.opIndex = 0;
+    e.newOperand = Operand::label(0); // self loop
+    const auto out = applyPatch(base, {e});
+    EXPECT_EQ(out.function(0).blocks[0].terminator().ops[0].value, 0);
+    EXPECT_TRUE(ir::verifyModule(out).ok());
+}
+
+TEST(Patch, EditsComposeAndLaterEditsSeeEarlierClones)
+{
+    const auto base = baseModule();
+    Edit copy;
+    copy.kind = EditKind::InstrCopy;
+    copy.srcUid = uidAt(base, 0, 1);
+    copy.dstUid = uidAt(base, 1, 0);
+    copy.newUid = (1ull << 63) | 5;
+    Edit tweak;
+    tweak.kind = EditKind::OperandReplace;
+    tweak.srcUid = copy.newUid; // references the clone
+    tweak.opIndex = 1;
+    tweak.newOperand = Operand::imm(123);
+    PatchStats stats;
+    const auto out = applyPatch(base, {copy, tweak}, &stats);
+    EXPECT_EQ(stats.applied, 2u);
+    const auto pos = out.function(0).findUid(copy.newUid);
+    ASSERT_TRUE(pos.valid());
+    EXPECT_EQ(out.function(0).at(pos).ops[1].value, 123);
+}
+
+TEST(Patch, DeleteThenReferenceBecomesNoOp)
+{
+    const auto base = baseModule();
+    Edit del;
+    del.kind = EditKind::InstrDelete;
+    del.srcUid = uidAt(base, 0, 1);
+    Edit tweak;
+    tweak.kind = EditKind::OperandReplace;
+    tweak.srcUid = del.srcUid;
+    tweak.opIndex = 0;
+    tweak.newOperand = Operand::imm(7);
+    PatchStats stats;
+    applyPatch(base, {del, tweak}, &stats);
+    EXPECT_EQ(stats.applied, 1u);
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(Patch, BaseModuleIsNeverModified)
+{
+    const auto base = baseModule();
+    const auto before = ir::printModule(base);
+    Edit e;
+    e.kind = EditKind::InstrDelete;
+    e.srcUid = uidAt(base, 0, 1);
+    applyPatch(base, {e});
+    EXPECT_EQ(ir::printModule(base), before);
+}
+
+TEST(Patch, StructuralEditsStayWithinOneKernel)
+{
+    auto res = ir::parseModule(R"(
+kernel @a params 0 regs 4 shared 0 local 0 {
+entry:
+    r0 = tid
+    ret
+}
+
+kernel @b params 0 regs 4 shared 0 local 0 {
+entry:
+    r0 = laneid
+    ret
+}
+)");
+    ASSERT_TRUE(res.ok);
+    const auto& modBase = res.module;
+    Edit e;
+    e.kind = EditKind::InstrCopy;
+    e.srcUid = modBase.function(0).blocks[0].instrs[0].uid;
+    e.dstUid = modBase.function(1).blocks[0].instrs[0].uid;
+    e.newUid = (1ull << 63) | 9;
+    PatchStats stats;
+    applyPatch(modBase, {e}, &stats);
+    EXPECT_EQ(stats.skipped, 1u);
+}
+
+} // namespace
+} // namespace gevo::mut

@@ -1,0 +1,180 @@
+#include "mutation/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "mutation/patch.h"
+
+namespace gevo::mut {
+namespace {
+
+ir::Module
+baseModule()
+{
+    auto res = ir::parseModule(R"(
+kernel @k params 2 regs 24 shared 128 local 0 {
+entry:
+    r2 = tid
+    r3 = add.i32 r2, 1
+    r4 = mul.i32 r3, 2
+    r5 = cmp.lt.i32 r4, r1
+    brc r5, body, done
+body:
+    r6 = cvt.i32.i64 r4
+    r7 = mul.i64 r6, 4
+    r8 = add.i64 r0, r7
+    st.i32.global r8, r4
+    br done
+done:
+    ret
+}
+)");
+    EXPECT_TRUE(res.ok) << res.error;
+    return std::move(res.module);
+}
+
+TEST(Sampler, ProducesApplicableEdits)
+{
+    const auto base = baseModule();
+    Rng rng(7);
+    int applied = 0;
+    for (int i = 0; i < 300; ++i) {
+        const auto edit = sampleEdit(base, rng);
+        ASSERT_TRUE(edit.has_value());
+        ir::Module variant = base.clone();
+        if (applyEdit(variant, *edit))
+            ++applied;
+    }
+    // Nearly all sampled edits must be applicable (the sampler samples
+    // from the live module; only no-op operand replacements may skip).
+    EXPECT_GT(applied, 250);
+}
+
+TEST(Sampler, PatchedVariantsAreStructurallyValid)
+{
+    const auto base = baseModule();
+    Rng rng(21);
+    for (int i = 0; i < 300; ++i) {
+        const auto edit = sampleEdit(base, rng);
+        ASSERT_TRUE(edit.has_value());
+        const auto variant = applyPatch(base, {*edit});
+        EXPECT_TRUE(ir::verifyModule(variant).ok())
+            << edit->toString() << "\n"
+            << ir::verifyModule(variant).message();
+    }
+}
+
+TEST(Sampler, CoversAllEditKinds)
+{
+    const auto base = baseModule();
+    Rng rng(3);
+    std::map<EditKind, int> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto edit = sampleEdit(base, rng);
+        ASSERT_TRUE(edit.has_value());
+        ++seen[edit->kind];
+    }
+    EXPECT_EQ(seen.size(), 6u);
+    for (const auto& [kind, count] : seen)
+        EXPECT_GT(count, 20) << editKindName(kind);
+}
+
+TEST(Sampler, DeterministicGivenSeed)
+{
+    const auto base = baseModule();
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 100; ++i) {
+        const auto ea = sampleEdit(base, a);
+        const auto eb = sampleEdit(base, b);
+        ASSERT_TRUE(ea.has_value());
+        ASSERT_TRUE(eb.has_value());
+        EXPECT_TRUE(*ea == *eb) << i;
+        EXPECT_EQ(ea->newUid, eb->newUid);
+    }
+}
+
+TEST(Sampler, StructuralEditsNeverTargetTerminators)
+{
+    const auto base = baseModule();
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const auto edit = sampleEdit(base, rng);
+        ASSERT_TRUE(edit.has_value());
+        if (edit->kind == EditKind::OperandReplace)
+            continue;
+        const auto pos = base.function(0).findUid(edit->srcUid);
+        if (pos.valid())
+            EXPECT_FALSE(base.function(0).at(pos).isTerminator())
+                << edit->toString();
+    }
+}
+
+TEST(Sampler, OperandReplaceRespectsSlotKinds)
+{
+    const auto base = baseModule();
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto edit = sampleEdit(base, rng);
+        ASSERT_TRUE(edit.has_value());
+        if (edit->kind != EditKind::OperandReplace)
+            continue;
+        const auto pos = base.function(0).findUid(edit->srcUid);
+        ASSERT_TRUE(pos.valid());
+        const auto& in = base.function(0).at(pos);
+        const bool labelSlot =
+            (in.op == ir::Opcode::Br && edit->opIndex == 0) ||
+            (in.op == ir::Opcode::CondBr &&
+             (edit->opIndex == 1 || edit->opIndex == 2));
+        EXPECT_EQ(labelSlot, edit->newOperand.isLabel())
+            << edit->toString();
+    }
+}
+
+TEST(Crossover, PreservesTotalEditCount)
+{
+    Rng rng(11);
+    std::vector<Edit> a(5);
+    std::vector<Edit> b(3);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i].srcUid = 100 + i;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i].srcUid = 200 + i;
+    const auto [c1, c2] = crossoverEdits(a, b, rng);
+    EXPECT_EQ(c1.size() + c2.size(), a.size() + b.size());
+}
+
+TEST(Crossover, ChildrenArePrefixSuffixCombinations)
+{
+    Rng rng(13);
+    std::vector<Edit> a(4);
+    std::vector<Edit> b(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        a[i].srcUid = 100 + i;
+        b[i].srcUid = 200 + i;
+    }
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto [c1, c2] = crossoverEdits(a, b, rng);
+        // c1 must be a (possibly empty) prefix of a followed by a suffix
+        // of b.
+        std::size_t k = 0;
+        while (k < c1.size() && c1[k].srcUid >= 100 && c1[k].srcUid < 200)
+            ++k;
+        for (std::size_t m = k; m < c1.size(); ++m)
+            EXPECT_GE(c1[m].srcUid, 200u);
+    }
+}
+
+TEST(Crossover, EmptyParentsYieldEmptyChildren)
+{
+    Rng rng(1);
+    const auto [c1, c2] = crossoverEdits({}, {}, rng);
+    EXPECT_TRUE(c1.empty());
+    EXPECT_TRUE(c2.empty());
+}
+
+} // namespace
+} // namespace gevo::mut

@@ -1,0 +1,394 @@
+#include "opt/passes.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace gevo::opt {
+namespace {
+
+using ir::MemSpace;
+using ir::MemWidth;
+using ir::Module;
+using ir::Opcode;
+using ir::Operand;
+using ir::parseModule;
+
+ir::Function
+parseFn(const char* text)
+{
+    auto res = parseModule(text);
+    EXPECT_TRUE(res.ok) << res.error;
+    return res.module.function(0);
+}
+
+// ---------------- DCE ----------------
+
+TEST(Dce, RemovesUnusedPureInstr)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = add.i32 r0, 1
+    r2 = mul.i32 r0, 3
+    st.i32.global r0, r2
+    ret
+}
+)");
+    EXPECT_TRUE(runDce(fn));
+    EXPECT_EQ(fn.instrCount(), 3u); // the add is gone
+    EXPECT_TRUE(verifyFunction(fn).ok());
+}
+
+TEST(Dce, KeepsStoresAndBarriers)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 64 local 0 {
+entry:
+    st.i32.shared r0, 5
+    bar.sync
+    ret
+}
+)");
+    EXPECT_FALSE(runDce(fn));
+    EXPECT_EQ(fn.instrCount(), 3u);
+}
+
+TEST(Dce, RemovesDeadLoadButNotItsStoreSibling)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = ld.i32.global r0
+    st.i32.global r0, 7
+    ret
+}
+)");
+    EXPECT_TRUE(runDce(fn));
+    EXPECT_EQ(fn.instrCount(), 2u);
+}
+
+TEST(Dce, CascadesThroughChains)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = add.i32 r0, 1
+    r2 = add.i32 r1, 1
+    r3 = add.i32 r2, 1
+    ret
+}
+)");
+    EXPECT_TRUE(runDce(fn));
+    EXPECT_EQ(fn.instrCount(), 1u); // only ret remains
+}
+
+TEST(Dce, KeepsValueFeedingBranch)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = cmp.lt.i32 r0, 5
+    brc r1, a, b
+a:
+    br b
+b:
+    ret
+}
+)");
+    EXPECT_FALSE(runDce(fn));
+}
+
+TEST(Dce, RemovesDeadShuffleAndBallot)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = activemask
+    r2 = shfl.up r1, r0, 1
+    r3 = ballot r1, r0
+    st.i32.global r0, r0
+    ret
+}
+)");
+    EXPECT_TRUE(runDce(fn));
+    EXPECT_EQ(fn.instrCount(), 2u);
+}
+
+// ---------------- constant folding ----------------
+
+TEST(ConstantFold, FoldsAllImmediateAlu)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = add.i32 2, 3
+    st.i32.global r0, r1
+    ret
+}
+)");
+    EXPECT_TRUE(runConstantFold(fn));
+    const auto& in = fn.blocks[0].instrs[0];
+    EXPECT_EQ(in.op, Opcode::Mov);
+    EXPECT_EQ(in.ops[0].value, 5);
+}
+
+TEST(ConstantFold, FoldsCondBrOnImmediate)
+{
+    auto fn = parseFn(R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    brc 0, a, b
+a:
+    br b
+b:
+    ret
+}
+)");
+    EXPECT_TRUE(runConstantFold(fn));
+    const auto& term = fn.blocks[0].terminator();
+    EXPECT_EQ(term.op, Opcode::Br);
+    EXPECT_EQ(term.ops[0].value, 2); // the false target (block b)
+}
+
+TEST(ConstantFold, FoldsSelectOnImmediate)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = select 1, r0, 99
+    st.i32.global r0, r1
+    ret
+}
+)");
+    EXPECT_TRUE(runConstantFold(fn));
+    const auto& in = fn.blocks[0].instrs[0];
+    EXPECT_EQ(in.op, Opcode::Mov);
+    EXPECT_TRUE(in.ops[0].isReg());
+}
+
+TEST(ConstantFold, LeavesRegisterOpsAlone)
+{
+    auto fn = parseFn(R"(
+kernel @k params 2 regs 8 shared 0 local 0 {
+entry:
+    r2 = add.i32 r0, r1
+    st.i32.global r0, r2
+    ret
+}
+)");
+    EXPECT_FALSE(runConstantFold(fn));
+}
+
+TEST(ConstantFold, MatchesInterpreterSemantics)
+{
+    // div-by-zero folds to 0, exactly like the executor's evalScalar.
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = div.i32 7, 0
+    st.i32.global r0, r1
+    ret
+}
+)");
+    EXPECT_TRUE(runConstantFold(fn));
+    EXPECT_EQ(fn.blocks[0].instrs[0].ops[0].value, 0);
+}
+
+// ---------------- simplify-cfg ----------------
+
+TEST(SimplifyCfg, CollapsesSameTargetCondBr)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = cmp.lt.i32 r0, 5
+    brc r1, join, join
+join:
+    ret
+}
+)");
+    EXPECT_TRUE(runSimplifyCfg(fn));
+    // The CondBr becomes a Br, which then merges the two blocks into one
+    // straight line ending in ret; no conditional branch survives.
+    EXPECT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].terminator().op, Opcode::Ret);
+    for (const auto& in : fn.blocks[0].instrs)
+        EXPECT_NE(in.op, Opcode::CondBr);
+}
+
+TEST(SimplifyCfg, RemovesUnreachableBlocks)
+{
+    auto fn = parseFn(R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    br exit
+orphan:
+    r0 = mov 7
+    br exit
+exit:
+    ret
+}
+)");
+    EXPECT_TRUE(runSimplifyCfg(fn));
+    EXPECT_EQ(fn.blocks.size(), 1u); // orphan removed, exit merged in
+    EXPECT_TRUE(verifyFunction(fn).ok()) << verifyFunction(fn).message();
+}
+
+TEST(SimplifyCfg, MergesStraightLineBlocks)
+{
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = add.i32 r0, 1
+    br mid
+mid:
+    r2 = add.i32 r1, 1
+    br tail
+tail:
+    st.i32.global r0, r2
+    ret
+}
+)");
+    EXPECT_TRUE(runSimplifyCfg(fn));
+    EXPECT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.instrCount(), 4u);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+}
+
+TEST(SimplifyCfg, KeepsLoops)
+{
+    auto fn = parseFn(R"(
+kernel @k params 0 regs 8 shared 0 local 0 {
+entry:
+    r0 = mov 0
+    br header
+header:
+    r0 = add.i32 r0, 1
+    r1 = cmp.lt.i32 r0, 10
+    brc r1, header, exit
+exit:
+    ret
+}
+)");
+    runSimplifyCfg(fn);
+    // Loop header has two predecessors; it must survive.
+    EXPECT_GE(fn.blocks.size(), 2u);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+}
+
+// ---------------- full pipeline ----------------
+
+TEST(Pipeline, BranchConditionReplacementKillsWholeCheckChain)
+{
+    // This is the Sec VI-D shape: a chain of compares feeding a branch.
+    // Replacing the branch condition with an immediate (one OperandReplace
+    // edit) must let the pipeline delete the compares, the branch, and the
+    // skipped block.
+    auto fn = parseFn(R"(
+kernel @k params 2 regs 16 shared 0 local 0 {
+entry:
+    r2 = cmp.ge.i32 r0, 0
+    r3 = cmp.lt.i32 r0, 100
+    r4 = and r2, r3
+    brc r4, inbounds, skip
+inbounds:
+    st.i32.global r1, 42
+    br skip
+skip:
+    ret
+}
+)");
+    // Simulate the OperandReplace edit: branch condition <- imm 1.
+    fn.blocks[0].instrs.back().ops[0] = Operand::imm(1);
+    runCleanupPipeline(fn);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+    // One straight-line block: store + ret; compare chain gone.
+    EXPECT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.instrCount(), 2u);
+}
+
+TEST(Pipeline, LoopBranchConditionZeroRemovesLoop)
+{
+    // The ADEPT-V0 Sec VI-C shape: replacing the memset-loop branch
+    // condition with false must erase the whole loop body.
+    auto fn = parseFn(R"(
+kernel @k params 1 regs 16 shared 256 local 0 {
+entry:
+    r1 = mov 0
+    br header
+header:
+    r2 = cmp.lt.i32 r1, 64
+    brc r2, body, exit
+body:
+    r3 = mul.i32 r1, 4
+    st.i32.shared r3, 0
+    r1 = add.i32 r1, 1
+    br header
+exit:
+    st.i32.global r0, r1
+    ret
+}
+)");
+    // Simulate the OperandReplace edit on the loop branch.
+    fn.blocks[1].instrs.back().ops[0] = Operand::imm(0);
+    runCleanupPipeline(fn);
+    EXPECT_TRUE(verifyFunction(fn).ok());
+    bool hasSharedStore = false;
+    for (const auto& bb : fn.blocks)
+        for (const auto& in : bb.instrs)
+            hasSharedStore =
+                hasSharedStore || (in.op == Opcode::Store &&
+                                   in.space == MemSpace::Shared);
+    EXPECT_FALSE(hasSharedStore);
+    EXPECT_LE(fn.blocks.size(), 2u);
+}
+
+TEST(Pipeline, IdempotentOnCleanCode)
+{
+    auto fn = parseFn(R"(
+kernel @k params 2 regs 16 shared 0 local 0 {
+entry:
+    r2 = tid
+    r3 = cvt.i32.i64 r2
+    r4 = mul.i64 r3, 4
+    r5 = add.i64 r0, r4
+    r6 = ld.f32.global r5
+    r7 = add.f32 r6, 1.0f
+    st.f32.global r5, r7
+    ret
+}
+)");
+    const auto before = ir::printFunction(fn);
+    runCleanupPipeline(fn);
+    EXPECT_EQ(ir::printFunction(fn), before);
+}
+
+TEST(Pipeline, ModuleOverloadTouchesAllKernels)
+{
+    auto res = parseModule(R"(
+kernel @a params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = add.i32 1, 2
+    st.i32.global r0, r1
+    ret
+}
+
+kernel @b params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = add.i32 3, 4
+    st.i32.global r0, r1
+    ret
+}
+)");
+    ASSERT_TRUE(res.ok) << res.error;
+    runCleanupPipeline(res.module);
+    EXPECT_EQ(res.module.function(0).blocks[0].instrs[0].op, Opcode::Mov);
+    EXPECT_EQ(res.module.function(1).blocks[0].instrs[0].op, Opcode::Mov);
+}
+
+} // namespace
+} // namespace gevo::opt

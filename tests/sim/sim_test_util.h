@@ -1,0 +1,56 @@
+/// \file
+/// Helpers shared by the simulator test suites: parse a kernel, run it on a
+/// device, and inspect memory.
+
+#ifndef GEVO_TESTS_SIM_TEST_UTIL_H
+#define GEVO_TESTS_SIM_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "sim/device_config.h"
+#include "sim/device_memory.h"
+#include "sim/executor.h"
+#include "sim/program.h"
+
+namespace gevo::sim::testutil {
+
+/// Parse one kernel from text, verifying structure.
+inline Program
+compile(const char* text)
+{
+    auto res = ir::parseModule(text);
+    EXPECT_TRUE(res.ok) << res.error;
+    const auto verify = ir::verifyModule(res.module);
+    EXPECT_TRUE(verify.ok()) << verify.message();
+    return Program::decode(res.module.function(0));
+}
+
+/// Run a kernel and expect success.
+inline LaunchResult
+run(const Program& prog, DeviceMemory& mem, LaunchDims dims,
+    std::vector<std::uint64_t> args = {},
+    const DeviceConfig& dev = p100(), bool profile = false)
+{
+    auto result = launchKernel(dev, mem, prog, dims, args, profile);
+    EXPECT_TRUE(result.ok()) << result.fault.detail;
+    return result;
+}
+
+/// Run a kernel and expect a specific fault kind.
+inline LaunchResult
+runExpectFault(const Program& prog, DeviceMemory& mem, LaunchDims dims,
+               FaultKind kind, std::vector<std::uint64_t> args = {},
+               const DeviceConfig& dev = p100())
+{
+    auto result = launchKernel(dev, mem, prog, dims, args);
+    EXPECT_EQ(result.fault.kind, kind) << result.fault.detail;
+    return result;
+}
+
+} // namespace gevo::sim::testutil
+
+#endif // GEVO_TESTS_SIM_TEST_UTIL_H

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace gevo::sim {
+namespace {
+
+using testutil::compile;
+using testutil::run;
+
+// Each thread writes tid*3+5 to out[tid].
+constexpr const char* kAluKernel = R"(
+kernel @alu params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mul.i32 r1, 3
+    r3 = add.i32 r2, 5
+    r4 = cvt.i32.i64 r1
+    r5 = mul.i64 r4, 4
+    r6 = add.i64 r0, r5
+    st.i32.global r6, r3
+    ret
+}
+)";
+
+TEST(ExecutorAlu, PerLaneArithmetic)
+{
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(kAluKernel);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 64; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), t * 3 + 5);
+}
+
+TEST(ExecutorAlu, GridOfBlocksGetsDistinctBids)
+{
+    constexpr const char* text = R"(
+kernel @bids params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = bid
+    r2 = tid
+    r3 = ntid
+    r4 = mul.i32 r1, r3
+    r5 = add.i32 r4, r2
+    r6 = cvt.i32.i64 r5
+    r7 = mul.i64 r6, 4
+    r8 = add.i64 r0, r7
+    st.i32.global r8, r1
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(8 * 32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {8, 32}, {static_cast<std::uint64_t>(out)});
+    for (int b = 0; b < 8; ++b)
+        for (int t = 0; t < 32; ++t)
+            EXPECT_EQ(mem.read<std::int32_t>(out + (b * 32 + t) * 4), b);
+}
+
+TEST(ExecutorAlu, SpecialRegisters)
+{
+    constexpr const char* text = R"(
+kernel @sregs params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = laneid
+    r3 = warpid
+    r4 = nbid
+    r5 = mul.i32 r3, 1000
+    r6 = add.i32 r5, r2
+    r7 = mul.i32 r4, 100000
+    r8 = add.i32 r6, r7
+    r9 = cvt.i32.i64 r1
+    r10 = mul.i64 r9, 4
+    r11 = add.i64 r0, r10
+    st.i32.global r11, r8
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(96 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {2, 96}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 96; ++t) {
+        const int expect = (t / 32) * 1000 + (t % 32) + 2 * 100000;
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), expect);
+    }
+}
+
+TEST(ExecutorAlu, FloatPipeline)
+{
+    constexpr const char* text = R"(
+kernel @fp params 2 regs 16 shared 0 local 0 {
+entry:
+    r2 = tid
+    r3 = cvt.i32.i64 r2
+    r4 = mul.i64 r3, 4
+    r5 = add.i64 r0, r4
+    r6 = ld.f32.global r5
+    r7 = mul.f32 r6, 2.0f
+    r8 = add.f32 r7, 0.5f
+    r9 = add.i64 r1, r4
+    st.f32.global r9, r8
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto in = mem.alloc(32 * 4);
+    const auto out = mem.alloc(32 * 4);
+    for (int i = 0; i < 32; ++i)
+        mem.write<float>(in + i * 4, static_cast<float>(i) * 0.25f);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32},
+        {static_cast<std::uint64_t>(in), static_cast<std::uint64_t>(out)});
+    for (int i = 0; i < 32; ++i)
+        EXPECT_FLOAT_EQ(mem.read<float>(out + i * 4), i * 0.5f + 0.5f);
+}
+
+TEST(ExecutorAlu, RegistersStartAtZero)
+{
+    constexpr const char* text = R"(
+kernel @zero params 1 regs 16 shared 0 local 0 {
+entry:
+    r2 = tid
+    r3 = cvt.i32.i64 r2
+    r4 = mul.i64 r3, 4
+    r5 = add.i64 r0, r4
+    st.i32.global r5, r9   ; r9 never written: must read as 0
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    mem.write<std::int32_t>(out, -1);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    EXPECT_EQ(mem.read<std::int32_t>(out), 0);
+}
+
+TEST(ExecutorAlu, PartialLastWarpOnlyRunsLiveLanes)
+{
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(kAluKernel);
+    run(prog, mem, {1, 40}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 40; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), t * 3 + 5);
+    for (int t = 40; t < 64; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), 0);
+}
+
+TEST(ExecutorAlu, SelectPerLane)
+{
+    constexpr const char* text = R"(
+kernel @sel params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = rem.i32 r1, 2
+    r3 = cmp.eq.i32 r2, 0
+    r4 = select r3, 100, 200
+    r5 = cvt.i32.i64 r1
+    r6 = mul.i64 r5, 4
+    r7 = add.i64 r0, r6
+    st.i32.global r7, r4
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4),
+                  t % 2 == 0 ? 100 : 200);
+}
+
+} // namespace
+} // namespace gevo::sim

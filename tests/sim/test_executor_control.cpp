@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace gevo::sim {
+namespace {
+
+using testutil::compile;
+using testutil::run;
+
+TEST(ExecutorControl, DivergentIfElseBothPathsApply)
+{
+    // Even lanes write 1, odd lanes write 2; reconvergence then writes a
+    // +10 for everyone.
+    constexpr const char* text = R"(
+kernel @diverge params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = rem.i32 r1, 2
+    r3 = cmp.eq.i32 r2, 0
+    r4 = cvt.i32.i64 r1
+    r5 = mul.i64 r4, 4
+    r6 = add.i64 r0, r5
+    brc r3, even, odd
+even:
+    st.i32.global r6, 1
+    br join
+odd:
+    st.i32.global r6, 2
+    br join
+join:
+    r7 = ld.i32.global r6
+    r8 = add.i32 r7, 10
+    st.i32.global r6, r8
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(text);
+    const auto res = run(prog, mem, {1, 64},
+                         {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 64; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4),
+                  t % 2 == 0 ? 11 : 12);
+    EXPECT_GT(res.stats.divergences, 0u);
+}
+
+TEST(ExecutorControl, UniformBranchDoesNotDiverge)
+{
+    constexpr const char* text = R"(
+kernel @uniform params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = cmp.ge.i32 r1, 0
+    brc r2, yes, no
+yes:
+    br join
+no:
+    br join
+join:
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto prog = compile(text);
+    const auto res = run(prog, mem, {1, 64}, {0});
+    EXPECT_EQ(res.stats.divergences, 0u);
+}
+
+TEST(ExecutorControl, LoopWithPerLaneTripCounts)
+{
+    // Lane t iterates t+1 times, accumulating. Divergent loop exit.
+    constexpr const char* text = R"(
+kernel @loop params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mov 0
+    r3 = mov 0
+    br header
+header:
+    r4 = cmp.le.i32 r2, r1
+    brc r4, body, exit
+body:
+    r3 = add.i32 r3, 2
+    r2 = add.i32 r2, 1
+    br header
+exit:
+    r5 = cvt.i32.i64 r1
+    r6 = mul.i64 r5, 4
+    r7 = add.i64 r0, r6
+    st.i32.global r7, r3
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 48}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 48; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), 2 * (t + 1));
+}
+
+TEST(ExecutorControl, NestedDivergenceReconverges)
+{
+    constexpr const char* text = R"(
+kernel @nested params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = rem.i32 r1, 4
+    r3 = cmp.lt.i32 r2, 2
+    r4 = cvt.i32.i64 r1
+    r5 = mul.i64 r4, 4
+    r6 = add.i64 r0, r5
+    brc r3, low, high
+low:
+    r7 = cmp.eq.i32 r2, 0
+    brc r7, lowA, lowB
+lowA:
+    st.i32.global r6, 100
+    br lowJ
+lowB:
+    st.i32.global r6, 101
+    br lowJ
+lowJ:
+    br join
+high:
+    st.i32.global r6, 200
+    br join
+join:
+    r8 = ld.i32.global r6
+    r9 = add.i32 r8, 1
+    st.i32.global r6, r9
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t) {
+        const int m = t % 4;
+        const int expect = m == 0 ? 101 : m == 1 ? 102 : 201;
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), expect)
+            << "thread " << t;
+    }
+}
+
+TEST(ExecutorControl, EarlyRetUnderDivergence)
+{
+    // Half the warp returns early; the rest still complete.
+    constexpr const char* text = R"(
+kernel @earlyret params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = cmp.lt.i32 r1, 16
+    brc r2, quit, work
+quit:
+    ret
+work:
+    r3 = cvt.i32.i64 r1
+    r4 = mul.i64 r3, 4
+    r5 = add.i64 r0, r4
+    st.i32.global r5, 7
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), t < 16 ? 0 : 7);
+}
+
+TEST(ExecutorControl, WavefrontPattern)
+{
+    // A two-phase pattern as in Smith-Waterman: threads wait for their
+    // left neighbour's value via shared memory across barriers.
+    constexpr const char* text = R"(
+kernel @wave params 2 regs 24 shared 512 local 0 {
+entry:
+    r2 = tid
+    r3 = mov 0
+    r4 = mov 0
+    br diag
+diag:
+    ; value = left neighbour's previous value + 1 when tid <= diag
+    r5 = cmp.le.i32 r2, r3
+    brc r5, active, skip
+active:
+    r6 = sub.i32 r2, 1
+    r7 = mul.i32 r6, 4
+    r8 = cvt.i32.i64 r7
+    r9 = cmp.eq.i32 r2, 0
+    brc r9, base, readleft
+base:
+    r4 = mov 1
+    br wrote
+readleft:
+    r10 = ld.i32.shared r8
+    r4 = add.i32 r10, 1
+    br wrote
+wrote:
+    br skip
+skip:
+    bar.sync
+    r11 = mul.i32 r2, 4
+    r12 = cvt.i32.i64 r11
+    st.i32.shared r12, r4
+    bar.sync
+    r3 = add.i32 r3, 1
+    r13 = cmp.lt.i32 r3, 64
+    brc r13, diag, done
+done:
+    r14 = cvt.i32.i64 r2
+    r15 = mul.i64 r14, 4
+    r16 = add.i64 r0, r15
+    st.i32.global r16, r4
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(out), 0});
+    // After 64 diagonals thread t has value t+1 (prefix chain).
+    for (int t = 0; t < 64; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), t + 1)
+            << "thread " << t;
+}
+
+} // namespace
+} // namespace gevo::sim

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace gevo::sim {
+namespace {
+
+using testutil::compile;
+using testutil::run;
+
+TEST(ExecutorMemory, WidthsAndExtensions)
+{
+    constexpr const char* text = R"(
+kernel @widths params 2 regs 24 shared 0 local 0 {
+entry:
+    r2 = ld.i8.global r0      ; sign-extended
+    r3 = ld.u8.global r0      ; zero-extended
+    r4 = add.i64 r0, 2
+    r5 = ld.i16.global r4
+    r6 = ld.u16.global r4
+    r7 = add.i64 r0, 4
+    r8 = ld.i32.global r7
+    r9 = ld.u32.global r7
+    r10 = add.i64 r0, 8
+    r11 = ld.i64.global r10
+    st.i64.global r1, r2
+    r12 = add.i64 r1, 8
+    st.i64.global r12, r3
+    r13 = add.i64 r1, 16
+    st.i64.global r13, r5
+    r14 = add.i64 r1, 24
+    st.i64.global r14, r6
+    r15 = add.i64 r1, 32
+    st.i64.global r15, r8
+    r16 = add.i64 r1, 40
+    st.i64.global r16, r9
+    r17 = add.i64 r1, 48
+    st.i64.global r17, r11
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto in = mem.alloc(16);
+    const auto out = mem.alloc(64);
+    mem.write<std::uint8_t>(in, 0xff);       // -1 as i8
+    mem.write<std::uint16_t>(in + 2, 0x8001); // negative as i16
+    mem.write<std::uint32_t>(in + 4, 0x80000001u);
+    mem.write<std::uint64_t>(in + 8, 0x1122334455667788ull);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 1},
+        {static_cast<std::uint64_t>(in), static_cast<std::uint64_t>(out)});
+
+    EXPECT_EQ(mem.read<std::int64_t>(out), -1);
+    EXPECT_EQ(mem.read<std::int64_t>(out + 8), 0xff);
+    EXPECT_EQ(mem.read<std::int64_t>(out + 16),
+              static_cast<std::int64_t>(static_cast<std::int16_t>(0x8001)));
+    EXPECT_EQ(mem.read<std::int64_t>(out + 24), 0x8001);
+    EXPECT_EQ(mem.read<std::int64_t>(out + 32),
+              static_cast<std::int64_t>(
+                  static_cast<std::int32_t>(0x80000001u)));
+    EXPECT_EQ(mem.read<std::int64_t>(out + 40), 0x80000001ll);
+    EXPECT_EQ(mem.read<std::int64_t>(out + 48), 0x1122334455667788ll);
+}
+
+TEST(ExecutorMemory, SharedMemoryIsPerBlock)
+{
+    // Each block writes its bid into shared[0], syncs, and every thread
+    // reads it back out to global. Blocks must not see each other's value.
+    constexpr const char* text = R"(
+kernel @shared params 1 regs 16 shared 64 local 0 {
+entry:
+    r1 = tid
+    r2 = bid
+    r3 = cmp.eq.i32 r1, 0
+    brc r3, store, sync
+store:
+    st.i32.shared 0, r2
+    br sync
+sync:
+    bar.sync
+    r4 = ld.i32.shared 0
+    r5 = ntid
+    r6 = mul.i32 r2, r5
+    r7 = add.i32 r6, r1
+    r8 = cvt.i32.i64 r7
+    r9 = mul.i64 r8, 4
+    r10 = add.i64 r0, r9
+    st.i32.global r10, r4
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(4 * 64 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {4, 64}, {static_cast<std::uint64_t>(out)});
+    for (int b = 0; b < 4; ++b)
+        for (int t = 0; t < 64; ++t)
+            EXPECT_EQ(mem.read<std::int32_t>(out + (b * 64 + t) * 4), b)
+                << "block " << b << " thread " << t;
+}
+
+TEST(ExecutorMemory, SharedMemoryZeroInitialized)
+{
+    constexpr const char* text = R"(
+kernel @szero params 1 regs 8 shared 32 local 0 {
+entry:
+    r1 = ld.i32.shared 16
+    st.i32.global r0, r1
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(4);
+    mem.write<std::int32_t>(out, 77);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 1}, {static_cast<std::uint64_t>(out)});
+    EXPECT_EQ(mem.read<std::int32_t>(out), 0);
+}
+
+TEST(ExecutorMemory, LocalMemoryIsPerThread)
+{
+    // Every thread spills tid into the same local offset then reads back.
+    constexpr const char* text = R"(
+kernel @local params 1 regs 16 shared 0 local 16 {
+entry:
+    r1 = tid
+    st.i32.local 4, r1
+    bar.sync
+    r2 = ld.i32.local 4
+    r3 = cvt.i32.i64 r1
+    r4 = mul.i64 r3, 4
+    r5 = add.i64 r0, r4
+    st.i32.global r5, r2
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 64; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), t);
+}
+
+TEST(ExecutorMemory, AtomicAddAccumulatesAcrossWholeGrid)
+{
+    constexpr const char* text = R"(
+kernel @atom params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = atom.add.i32.global r0, 1
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto counter = mem.alloc(4);
+    const auto prog = compile(text);
+    run(prog, mem, {4, 96}, {static_cast<std::uint64_t>(counter)});
+    EXPECT_EQ(mem.read<std::int32_t>(counter), 4 * 96);
+}
+
+TEST(ExecutorMemory, AtomicAddF32)
+{
+    constexpr const char* text = R"(
+kernel @atomf params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = atom.add.f32.global r0, 0.5f
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto acc = mem.alloc(4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(acc)});
+    EXPECT_FLOAT_EQ(mem.read<float>(acc), 32.0f);
+}
+
+TEST(ExecutorMemory, AtomicCasClaimsExactlyOnce)
+{
+    // All 64 threads try to CAS 0 -> tid+1. Exactly one wins; the
+    // deterministic winner is lane 0 of warp 0.
+    constexpr const char* text = R"(
+kernel @cas params 2 regs 12 shared 0 local 0 {
+entry:
+    r2 = tid
+    r3 = add.i32 r2, 1
+    r4 = atom.cas.i32.global r0, 0, r3
+    r5 = cmp.eq.i32 r4, 0
+    brc r5, winner, done
+winner:
+    st.i32.global r1, r2
+    br done
+done:
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto slot = mem.alloc(4);
+    const auto who = mem.alloc(4);
+    mem.write<std::int32_t>(who, -1);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64},
+        {static_cast<std::uint64_t>(slot), static_cast<std::uint64_t>(who)});
+    EXPECT_EQ(mem.read<std::int32_t>(slot), 1); // lane 0 won with tid+1=1
+    EXPECT_EQ(mem.read<std::int32_t>(who), 0);
+}
+
+TEST(ExecutorMemory, AtomicMaxMin)
+{
+    constexpr const char* text = R"(
+kernel @amax params 2 regs 12 shared 0 local 0 {
+entry:
+    r2 = tid
+    r3 = sub.i32 r2, 16
+    r4 = atom.max.i32.global r0, r3
+    r5 = atom.min.i32.global r1, r3
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto maxSlot = mem.alloc(4);
+    const auto minSlot = mem.alloc(4);
+    mem.write<std::int32_t>(maxSlot, -1000);
+    mem.write<std::int32_t>(minSlot, 1000);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32},
+        {static_cast<std::uint64_t>(maxSlot),
+         static_cast<std::uint64_t>(minSlot)});
+    EXPECT_EQ(mem.read<std::int32_t>(maxSlot), 15);
+    EXPECT_EQ(mem.read<std::int32_t>(minSlot), -16);
+}
+
+TEST(ExecutorMemory, SharedAtomicsWork)
+{
+    constexpr const char* text = R"(
+kernel @satom params 1 regs 8 shared 16 local 0 {
+entry:
+    r1 = atom.add.i32.shared 0, 2
+    bar.sync
+    r2 = tid
+    r3 = cmp.eq.i32 r2, 0
+    brc r3, out, done
+out:
+    r4 = ld.i32.shared 0
+    st.i32.global r0, r4
+    br done
+done:
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(out)});
+    EXPECT_EQ(mem.read<std::int32_t>(out), 128);
+}
+
+TEST(ExecutorMemory, SameAddressStoreResolvesToHighestLane)
+{
+    // All lanes store tid to the same address; the deterministic rule is
+    // lane order, so the last (highest) lane wins.
+    constexpr const char* text = R"(
+kernel @race params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = tid
+    st.i32.global r0, r1
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    EXPECT_EQ(mem.read<std::int32_t>(out), 31);
+}
+
+} // namespace
+} // namespace gevo::sim

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace gevo::sim {
+namespace {
+
+using testutil::compile;
+using testutil::run;
+using testutil::runExpectFault;
+
+TEST(ExecutorSync, ShflUpShiftsValuesWithinWarp)
+{
+    constexpr const char* text = R"(
+kernel @shfl params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mul.i32 r1, 10
+    r3 = activemask
+    r4 = shfl.up r3, r2, 1
+    r5 = cvt.i32.i64 r1
+    r6 = mul.i64 r5, 4
+    r7 = add.i64 r0, r6
+    st.i32.global r7, r4
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 64; ++t) {
+        // Lane 0 of each warp keeps its own value; others get lane-1's.
+        const int lane = t % 32;
+        const int expect = lane == 0 ? t * 10 : (t - 1) * 10;
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), expect)
+            << "thread " << t;
+    }
+}
+
+TEST(ExecutorSync, ShflIdxBroadcastsFromLane)
+{
+    constexpr const char* text = R"(
+kernel @bcast params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mul.i32 r1, 3
+    r3 = activemask
+    r4 = shfl.idx r3, r2, 5
+    r5 = cvt.i32.i64 r1
+    r6 = mul.i64 r5, 4
+    r7 = add.i64 r0, r6
+    st.i32.global r7, r4
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + t * 4), 15);
+}
+
+TEST(ExecutorSync, BallotCollectsPredicates)
+{
+    constexpr const char* text = R"(
+kernel @ballot params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = rem.i32 r1, 2
+    r3 = cmp.eq.i32 r2, 0
+    r4 = activemask
+    r5 = ballot r4, r3
+    r6 = tid
+    r7 = cvt.i32.i64 r6
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    st.u32.global r9, r5
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t)
+        EXPECT_EQ(mem.read<std::uint32_t>(out + t * 4), 0x55555555u);
+}
+
+TEST(ExecutorSync, ActiveMaskReflectsDivergence)
+{
+    constexpr const char* text = R"(
+kernel @amask params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = cmp.lt.i32 r1, 8
+    r3 = tid
+    r4 = cvt.i32.i64 r3
+    r5 = mul.i64 r4, 4
+    r6 = add.i64 r0, r5
+    brc r2, low, high
+low:
+    r7 = activemask
+    st.u32.global r6, r7
+    br join
+high:
+    r8 = activemask
+    st.u32.global r6, r8
+    br join
+join:
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t) {
+        const std::uint32_t expect = t < 8 ? 0x000000ffu : 0xffffff00u;
+        EXPECT_EQ(mem.read<std::uint32_t>(out + t * 4), expect)
+            << "lane " << t;
+    }
+}
+
+TEST(ExecutorSync, PartialWarpActiveMask)
+{
+    constexpr const char* text = R"(
+kernel @partial params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = activemask
+    st.u32.global r0, r1
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 20}, {static_cast<std::uint64_t>(out)});
+    EXPECT_EQ(mem.read<std::uint32_t>(out), (1u << 20) - 1);
+}
+
+TEST(ExecutorSync, VoltaShflWithStaleMaskFaults)
+{
+    // Take activemask before divergence, use it inside a divergent branch:
+    // legal on Pascal's lock-step model, IllegalWarpSync on Volta
+    // (this is the paper's Sec IV "portability trap" for ADEPT-V1).
+    constexpr const char* text = R"(
+kernel @stale params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = activemask        ; full warp
+    r3 = cmp.lt.i32 r1, 16
+    brc r3, low, join
+low:
+    r4 = shfl.up r2, r1, 1 ; mask names lanes 16..31, now inactive
+    st.i32.global r0, r4
+    br join
+join:
+    ret
+}
+)";
+    const auto prog = compile(text);
+    {
+        DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(4);
+        run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)}, p100());
+    }
+    {
+        DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(4);
+        runExpectFault(prog, mem, {1, 32}, FaultKind::IllegalWarpSync,
+                       {static_cast<std::uint64_t>(out)}, v100());
+    }
+}
+
+TEST(ExecutorSync, VoltaShflWithFreshMaskIsLegal)
+{
+    constexpr const char* text = R"(
+kernel @fresh params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r3 = cmp.lt.i32 r1, 16
+    brc r3, low, join
+low:
+    r2 = activemask        ; taken inside the branch: only active lanes
+    r4 = shfl.up r2, r1, 1
+    st.i32.global r0, r4
+    br join
+join:
+    ret
+}
+)";
+    const auto prog = compile(text);
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(4);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)}, v100());
+}
+
+TEST(ExecutorSync, VoltaBallotWithStaleMaskFaults)
+{
+    constexpr const char* text = R"(
+kernel @bstale params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = activemask
+    r3 = cmp.lt.i32 r1, 4
+    brc r3, low, join
+low:
+    r4 = ballot r2, r3
+    st.u32.global r0, r4
+    br join
+join:
+    ret
+}
+)";
+    const auto prog = compile(text);
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(4);
+    runExpectFault(prog, mem, {1, 32}, FaultKind::IllegalWarpSync,
+                   {static_cast<std::uint64_t>(out)}, v100());
+}
+
+TEST(ExecutorSync, BarrierOrdersProducerConsumerAcrossWarps)
+{
+    // Warp 1 consumes what warp 0 produced before the barrier.
+    constexpr const char* text = R"(
+kernel @prodcons params 1 regs 16 shared 256 local 0 {
+entry:
+    r1 = tid
+    r2 = warpid
+    r3 = cmp.eq.i32 r2, 0
+    brc r3, produce, wait
+produce:
+    r4 = mul.i32 r1, 4
+    r5 = cvt.i32.i64 r4
+    r6 = add.i32 r1, 100
+    st.i32.shared r5, r6
+    br wait
+wait:
+    bar.sync
+    r7 = cmp.eq.i32 r2, 1
+    brc r7, consume, done
+consume:
+    r8 = sub.i32 r1, 32
+    r9 = mul.i32 r8, 4
+    r10 = cvt.i32.i64 r9
+    r11 = ld.i32.shared r10
+    r12 = cvt.i32.i64 r8
+    r13 = mul.i64 r12, 4
+    r14 = add.i64 r0, r13
+    st.i32.global r14, r11
+    br done
+done:
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(out)});
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(mem.read<std::int32_t>(out + i * 4), i + 100);
+}
+
+TEST(ExecutorSync, ShflFromInactiveSourceKeepsOwnValueWhenMaskExcludesIt)
+{
+    // shfl.up with a mask that excludes the source lane: the reader keeps
+    // its own value (both architectures).
+    constexpr const char* text = R"(
+kernel @nosrc params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = mul.i32 r1, 7
+    r3 = shfl.up 0xfffffffe, r2, 1   ; mask excludes lane 0
+    r4 = tid
+    r5 = cvt.i32.i64 r4
+    r6 = mul.i64 r5, 4
+    r7 = add.i64 r0, r6
+    st.i32.global r7, r3
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    // Mask must cover the executing lanes on Volta; lane 0 is executing
+    // but excluded, so run on Pascal only.
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)}, p100());
+    // Lane 1 reads lane 0? No: lane 0 not in mask -> keeps own 7.
+    EXPECT_EQ(mem.read<std::int32_t>(out + 1 * 4), 7);
+    // Lane 2 reads lane 1's value 7*1=7... source in mask -> gets it.
+    EXPECT_EQ(mem.read<std::int32_t>(out + 2 * 4), 7);
+    EXPECT_EQ(mem.read<std::int32_t>(out + 3 * 4), 14);
+}
+
+} // namespace
+} // namespace gevo::sim

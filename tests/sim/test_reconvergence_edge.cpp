@@ -1,0 +1,222 @@
+/// Hard SIMT reconvergence cases: loops nested inside divergent branches,
+/// divergent trip counts inside divergent regions, and branches whose
+/// reconvergence point is the kernel exit. Mutated CFGs reach these
+/// shapes routinely, so the stack discipline must be exact.
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace gevo::sim {
+namespace {
+
+using testutil::compile;
+using testutil::run;
+
+TEST(ReconvergenceEdge, LoopInsideDivergentBranch)
+{
+    // Odd lanes run a loop (lane-dependent trips), even lanes skip it;
+    // everyone must still reconverge and write the epilogue value.
+    constexpr const char* text = R"(
+kernel @loopdiv params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = rem.i32 r1, 2
+    r3 = cmp.eq.i32 r2, 1
+    r4 = mov 0
+    brc r3, looper, join
+looper:
+    r5 = mov 0
+    br header
+header:
+    r4 = add.i32 r4, r1
+    r5 = add.i32 r5, 1
+    r6 = rem.i32 r1, 4
+    r7 = add.i32 r6, 1
+    r8 = cmp.lt.i32 r5, r7
+    brc r8, header, join
+join:
+    r9 = add.i32 r4, 1000
+    r10 = cvt.i32.i64 r1
+    r11 = mul.i64 r10, 4
+    r12 = add.i64 r0, r11
+    st.i32.global r12, r9
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 64}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 64; ++t) {
+        const int trips = t % 2 == 1 ? t % 4 + 1 : 0;
+        EXPECT_EQ(mem.read<std::int32_t>(out + 4 * t), t * trips + 1000)
+            << "thread " << t;
+    }
+}
+
+TEST(ReconvergenceEdge, DivergentBranchInsideLoop)
+{
+    // Per-iteration divergence inside a uniform loop: accumulators per
+    // path must interleave correctly across iterations.
+    constexpr const char* text = R"(
+kernel @divinloop params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mov 0
+    r3 = mov 0
+    br header
+header:
+    r4 = add.i32 r3, r1
+    r5 = rem.i32 r4, 2
+    r6 = cmp.eq.i32 r5, 0
+    brc r6, evenp, oddp
+evenp:
+    r2 = add.i32 r2, 2
+    br cont
+oddp:
+    r2 = add.i32 r2, 5
+    br cont
+cont:
+    r3 = add.i32 r3, 1
+    r7 = cmp.lt.i32 r3, 6
+    brc r7, header, exit
+exit:
+    r8 = cvt.i32.i64 r1
+    r9 = mul.i64 r8, 4
+    r10 = add.i64 r0, r9
+    st.i32.global r10, r2
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t) {
+        int acc = 0;
+        for (int i = 0; i < 6; ++i)
+            acc += (t + i) % 2 == 0 ? 2 : 5;
+        EXPECT_EQ(mem.read<std::int32_t>(out + 4 * t), acc)
+            << "thread " << t;
+    }
+}
+
+TEST(ReconvergenceEdge, BranchReconvergingOnlyAtExit)
+{
+    // Both sides of the branch return without a join block: the
+    // reconvergence point is the virtual exit.
+    constexpr const char* text = R"(
+kernel @noexitjoin params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = cmp.lt.i32 r1, 10
+    r3 = cvt.i32.i64 r1
+    r4 = mul.i64 r3, 4
+    r5 = add.i64 r0, r4
+    brc r2, low, high
+low:
+    st.i32.global r5, 111
+    ret
+high:
+    st.i32.global r5, 222
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + 4 * t),
+                  t < 10 ? 111 : 222);
+}
+
+TEST(ReconvergenceEdge, TripleNestedDivergence)
+{
+    constexpr const char* text = R"(
+kernel @deep params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = rem.i32 r1, 2
+    r3 = rem.i32 r1, 4
+    r4 = rem.i32 r1, 8
+    r5 = cmp.eq.i32 r2, 0
+    r10 = mov 0
+    brc r5, l1t, l1f
+l1t:
+    r6 = cmp.eq.i32 r3, 0
+    brc r6, l2t, l2f
+l2t:
+    r7 = cmp.eq.i32 r4, 0
+    brc r7, l3t, l3f
+l3t:
+    r10 = mov 8
+    br j2
+l3f:
+    r10 = mov 4
+    br j2
+j2:
+    br j1
+l2f:
+    r10 = mov 2
+    br j1
+j1:
+    br join
+l1f:
+    r10 = mov 1
+    br join
+join:
+    r11 = cvt.i32.i64 r1
+    r12 = mul.i64 r11, 4
+    r13 = add.i64 r0, r12
+    st.i32.global r13, r10
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(32 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 32}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 32; ++t) {
+        int expect = 1;
+        if (t % 2 == 0)
+            expect = t % 4 == 0 ? (t % 8 == 0 ? 8 : 4) : 2;
+        EXPECT_EQ(mem.read<std::int32_t>(out + 4 * t), expect)
+            << "lane " << t;
+    }
+}
+
+TEST(ReconvergenceEdge, SelfLoopBranchTargets)
+{
+    // A conditional branch whose taken target is its own block (produced
+    // by mutations rewriting labels). Must terminate and compute.
+    constexpr const char* text = R"(
+kernel @selfloop params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mov 0
+    br spin
+spin:
+    r2 = add.i32 r2, 1
+    r3 = cmp.lt.i32 r2, r1
+    brc r3, spin, done
+done:
+    r4 = cvt.i32.i64 r1
+    r5 = mul.i64 r4, 4
+    r6 = add.i64 r0, r5
+    st.i32.global r6, r2
+    ret
+}
+)";
+    DeviceMemory mem(1 << 16);
+    const auto out = mem.alloc(64 * 4);
+    const auto prog = compile(text);
+    run(prog, mem, {1, 48}, {static_cast<std::uint64_t>(out)});
+    for (int t = 0; t < 48; ++t)
+        EXPECT_EQ(mem.read<std::int32_t>(out + 4 * t), std::max(1, t))
+            << "thread " << t;
+}
+
+} // namespace
+} // namespace gevo::sim

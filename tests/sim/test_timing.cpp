@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim_test_util.h"
+
+namespace gevo::sim {
+namespace {
+
+using testutil::compile;
+using testutil::run;
+
+/// Run and return simulated milliseconds.
+double
+simMs(const char* text, LaunchDims dims, const DeviceConfig& dev,
+      std::int64_t bytes = 1 << 20)
+{
+    DeviceMemory mem(bytes);
+    mem.alloc(1 << 18);
+    const auto prog = compile(text);
+    const auto res = launchKernel(dev, mem, prog, dims, {0});
+    EXPECT_TRUE(res.ok()) << res.fault.detail;
+    return res.stats.ms;
+}
+
+// Coalesced: lane i touches word i. Strided: lane i touches word 32*i.
+constexpr const char* kCoalesced = R"(
+kernel @co params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = cvt.i32.i64 r1
+    r3 = mul.i64 r2, 4
+    r4 = add.i64 r0, r3
+    r5 = ld.i32.global r4
+    st.i32.global r4, r5
+    ret
+}
+)";
+
+constexpr const char* kStrided = R"(
+kernel @str params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = cvt.i32.i64 r1
+    r3 = mul.i64 r2, 128
+    r4 = add.i64 r0, r3
+    r5 = ld.i32.global r4
+    st.i32.global r4, r5
+    ret
+}
+)";
+
+TEST(Timing, StridedGlobalAccessIsSlower)
+{
+    const auto dev = p100();
+    const double co = simMs(kCoalesced, {64, 256}, dev);
+    const double str = simMs(kStrided, {64, 256}, dev);
+    EXPECT_GT(str, co * 2.0);
+}
+
+TEST(Timing, GlobalSectorCountsReflectCoalescing)
+{
+    DeviceMemory mem(1 << 22);
+    mem.alloc(1 << 20);
+    const auto prog = compile(kStrided);
+    const auto res = launchKernel(p100(), mem, prog, {1, 32}, {0});
+    ASSERT_TRUE(res.ok());
+    // 32 lanes x 128B stride: every lane its own sector, ld + st.
+    EXPECT_EQ(res.stats.globalSectors, 64u);
+
+    DeviceMemory mem2(1 << 22);
+    mem2.alloc(1 << 20);
+    const auto prog2 = compile(kCoalesced);
+    const auto res2 = launchKernel(p100(), mem2, prog2, {1, 32}, {0});
+    // 32 lanes x 4B: 4 sectors per access.
+    EXPECT_EQ(res2.stats.globalSectors, 8u);
+}
+
+// Bank conflicts: stride-32 words hit the same bank.
+constexpr const char* kBankConflict = R"(
+kernel @bank params 1 regs 16 shared 8192 local 0 {
+entry:
+    r1 = tid
+    r2 = mul.i32 r1, 128
+    r3 = cvt.i32.i64 r2
+    r4 = ld.i32.shared r3
+    st.i32.global r0, r4
+    ret
+}
+)";
+
+constexpr const char* kBankClean = R"(
+kernel @clean params 1 regs 16 shared 8192 local 0 {
+entry:
+    r1 = tid
+    r2 = mul.i32 r1, 4
+    r3 = cvt.i32.i64 r2
+    r4 = ld.i32.shared r3
+    st.i32.global r0, r4
+    ret
+}
+)";
+
+TEST(Timing, SharedBankConflictsCostMore)
+{
+    DeviceMemory memA(1 << 20);
+    memA.alloc(1024);
+    const auto resA = launchKernel(p100(), memA, compile(kBankConflict),
+                                   {1, 32}, {0});
+    DeviceMemory memB(1 << 20);
+    memB.alloc(1024);
+    const auto resB = launchKernel(p100(), memB, compile(kBankClean),
+                                   {1, 32}, {0});
+    ASSERT_TRUE(resA.ok());
+    ASSERT_TRUE(resB.ok());
+    EXPECT_GT(resA.stats.sharedConflictWays,
+              resB.stats.sharedConflictWays);
+    EXPECT_GT(resA.stats.issueCycles, resB.stats.issueCycles);
+}
+
+// Same-address stores from the whole warp serialize (the ADEPT-V0 memset
+// pathology).
+constexpr const char* kSameAddrStore = R"(
+kernel @same params 1 regs 16 shared 4096 local 0 {
+entry:
+    r1 = mov 0
+    br loop
+loop:
+    st.i32.shared 64, r1
+    r1 = add.i32 r1, 1
+    r2 = cmp.lt.i32 r1, 64
+    brc r2, loop, done
+done:
+    ret
+}
+)";
+
+constexpr const char* kSpreadStore = R"(
+kernel @spread params 1 regs 16 shared 4096 local 0 {
+entry:
+    r1 = mov 0
+    r3 = tid
+    r4 = mul.i32 r3, 4
+    r5 = cvt.i32.i64 r4
+    br loop
+loop:
+    st.i32.shared r5, r1
+    r1 = add.i32 r1, 1
+    r2 = cmp.lt.i32 r1, 64
+    brc r2, loop, done
+done:
+    ret
+}
+)";
+
+TEST(Timing, SameAddressStoresSerialize)
+{
+    DeviceMemory memA(1 << 20);
+    memA.alloc(64);
+    const auto resA = launchKernel(p100(), memA, compile(kSameAddrStore),
+                                   {1, 32}, {0});
+    DeviceMemory memB(1 << 20);
+    memB.alloc(64);
+    const auto resB = launchKernel(p100(), memB, compile(kSpreadStore),
+                                   {1, 32}, {0});
+    ASSERT_TRUE(resA.ok());
+    ASSERT_TRUE(resB.ok());
+    // The loop-carried ALU chain is a fixed cost in both kernels, so the
+    // observable ratio is below the raw 32x conflict factor.
+    EXPECT_GT(resA.stats.ms, resB.stats.ms * 3);
+    EXPECT_GT(resA.stats.sharedConflictWays,
+              resB.stats.sharedConflictWays + 1000);
+}
+
+// Scoreboard: dependent use right after a load stalls; padding the gap
+// with independent work hides the latency (Sec VI-E's mechanism).
+constexpr const char* kLoadUseTight = R"(
+kernel @tight params 1 regs 24 shared 0 local 0 {
+entry:
+    r5 = ld.i32.global r0
+    r6 = add.i32 r5, 1
+    st.i32.global r0, r6
+    ret
+}
+)";
+
+constexpr const char* kLoadUsePadded = R"(
+kernel @padded params 1 regs 24 shared 0 local 0 {
+entry:
+    r5 = ld.i32.global r0
+    r10 = mov 1
+    r11 = add.i32 r10, 2
+    r12 = add.i32 r11, 3
+    st.i32.global r0, r12   ; also keeps the fillers live
+    r6 = add.i32 r5, 1
+    st.i32.global r0, r6
+    ret
+}
+)";
+
+TEST(Timing, IndependentWorkHidesLoadLatency)
+{
+    DeviceMemory memA(1 << 20);
+    memA.alloc(64);
+    const auto a = launchKernel(p100(), memA, compile(kLoadUseTight),
+                                {1, 32}, {0});
+    DeviceMemory memB(1 << 20);
+    memB.alloc(64);
+    const auto b = launchKernel(p100(), memB, compile(kLoadUsePadded),
+                                {1, 32}, {0});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // The padded kernel issues more instructions yet takes no longer:
+    // the fill work hides the load latency.
+    EXPECT_GT(b.stats.warpInstrs, a.stats.warpInstrs);
+    EXPECT_LE(b.stats.ms, a.stats.ms * 1.02);
+}
+
+TEST(Timing, VoltaBallotCostsMoreThanPascal)
+{
+    constexpr const char* text = R"(
+kernel @bal params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = mov 0
+    br loop
+loop:
+    r2 = activemask
+    r3 = ballot r2, 1
+    r1 = add.i32 r1, 1
+    r4 = cmp.lt.i32 r1, 256
+    brc r4, loop, done
+done:
+    st.u32.global r0, r3
+    ret
+}
+)";
+    // Compare against the identical loop without the ballot.
+    constexpr const char* noBallot = R"(
+kernel @nobal params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = mov 0
+    br loop
+loop:
+    r2 = activemask
+    r3 = mov r2
+    r1 = add.i32 r1, 1
+    r4 = cmp.lt.i32 r1, 256
+    brc r4, loop, done
+done:
+    st.u32.global r0, r3
+    ret
+}
+)";
+    auto cyclesOn = [&](const DeviceConfig& dev, const char* t) {
+        DeviceMemory mem(1 << 20);
+        mem.alloc(64);
+        const auto res = launchKernel(dev, mem, compile(t), {1, 32}, {0});
+        EXPECT_TRUE(res.ok());
+        return static_cast<double>(res.stats.cycles);
+    };
+    const double pascalPenalty =
+        cyclesOn(p100(), text) / cyclesOn(p100(), noBallot);
+    const double voltaPenalty =
+        cyclesOn(v100(), text) / cyclesOn(v100(), noBallot);
+    EXPECT_GT(voltaPenalty, pascalPenalty * 1.5);
+}
+
+TEST(Timing, DivergenceCostsCycles)
+{
+    constexpr const char* divergent = R"(
+kernel @div params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = rem.i32 r1, 2
+    r3 = cmp.eq.i32 r2, 0
+    r5 = mov 0
+    br loop
+loop:
+    brc r3, a, b
+a:
+    r6 = add.i32 r5, 1
+    br j
+b:
+    r6 = add.i32 r5, 2
+    br j
+j:
+    r5 = add.i32 r5, 1
+    r7 = cmp.lt.i32 r5, 200
+    brc r7, loop, done
+done:
+    st.i32.global r0, r6
+    ret
+}
+)";
+    constexpr const char* uniform = R"(
+kernel @uni params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r3 = cmp.ge.i32 r1, 0
+    r5 = mov 0
+    br loop
+loop:
+    brc r3, a, b
+a:
+    r6 = add.i32 r5, 1
+    br j
+b:
+    r6 = add.i32 r5, 2
+    br j
+j:
+    r5 = add.i32 r5, 1
+    r7 = cmp.lt.i32 r5, 200
+    brc r7, loop, done
+done:
+    st.i32.global r0, r6
+    ret
+}
+)";
+    DeviceMemory memA(1 << 20);
+    memA.alloc(64);
+    const auto a = launchKernel(p100(), memA, compile(divergent), {1, 32},
+                                {0});
+    DeviceMemory memB(1 << 20);
+    memB.alloc(64);
+    const auto b = launchKernel(p100(), memB, compile(uniform), {1, 32},
+                                {0});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_GT(a.stats.divergences, 100u);
+    EXPECT_EQ(b.stats.divergences, 0u);
+    EXPECT_GT(a.stats.cycles, b.stats.cycles);
+}
+
+TEST(Timing, MoreBlocksMoreTime)
+{
+    const auto dev = p100();
+    const double t1 = simMs(kCoalesced, {dev.smCount, 256}, dev);
+    const double t4 = simMs(kCoalesced, {dev.smCount * 16, 256}, dev);
+    EXPECT_GT(t4, t1 * 4);
+}
+
+TEST(Timing, ProfilerCountsPerSourceLocation)
+{
+    ir::Module mod;
+    ir::IRBuilder b(mod);
+    b.startKernel("k", 1);
+    b.block("entry");
+    b.setLoc("app.cu:1");
+    const auto t = b.tid();
+    b.setLoc("app.cu:2");
+    const auto x = b.iadd(t, b.imm(1));
+    const auto y = b.iadd(x, b.imm(2));
+    b.setLoc("");
+    b.st(ir::MemSpace::Global, ir::MemWidth::I32, b.param(0), y);
+    b.ret();
+
+    DeviceMemory mem(1 << 16);
+    mem.alloc(64);
+    const auto prog = Program::decode(mod.function(0));
+    const auto res = launchKernel(p100(), mem, prog, {2, 32}, {0}, true);
+    ASSERT_TRUE(res.ok());
+    const auto loc1 = mod.internLoc("app.cu:1");
+    const auto loc2 = mod.internLoc("app.cu:2");
+    EXPECT_EQ(res.stats.locIssues.at(loc1), 2u); // tid x 2 blocks
+    EXPECT_EQ(res.stats.locIssues.at(loc2), 4u); // 2 adds x 2 blocks
+}
+
+TEST(Timing, DeterministicAcrossRuns)
+{
+    DeviceMemory memA(1 << 20);
+    memA.alloc(1 << 16);
+    DeviceMemory memB(1 << 20);
+    memB.alloc(1 << 16);
+    const auto prog = compile(kCoalesced);
+    const auto a = launchKernel(p100(), memA, prog, {16, 128}, {0});
+    const auto b = launchKernel(p100(), memB, prog, {16, 128}, {0});
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.warpInstrs, b.stats.warpInstrs);
+}
+
+} // namespace
+} // namespace gevo::sim

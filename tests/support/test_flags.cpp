@@ -1,0 +1,69 @@
+#include "support/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gevo {
+namespace {
+
+Flags
+makeFlags(std::vector<std::string> args)
+{
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    static std::vector<char*> argv;
+    argv.clear();
+    for (auto& s : storage)
+        argv.push_back(s.data());
+    return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, IntParsing)
+{
+    const auto f = makeFlags({"--gens=42"});
+    EXPECT_EQ(f.getInt("gens", 7), 42);
+    EXPECT_EQ(f.getInt("missing", 7), 7);
+}
+
+TEST(Flags, DoubleParsing)
+{
+    const auto f = makeFlags({"--rate=0.25"});
+    EXPECT_DOUBLE_EQ(f.getDouble("rate", 1.0), 0.25);
+}
+
+TEST(Flags, StringParsing)
+{
+    const auto f = makeFlags({"--device=V100"});
+    EXPECT_EQ(f.getString("device", "P100"), "V100");
+    EXPECT_EQ(f.getString("other", "P100"), "P100");
+}
+
+TEST(Flags, BoolForms)
+{
+    const auto f = makeFlags({"--full", "--quiet=false", "--loud=1"});
+    EXPECT_TRUE(f.getBool("full", false));
+    EXPECT_FALSE(f.getBool("quiet", true));
+    EXPECT_TRUE(f.getBool("loud", false));
+    EXPECT_TRUE(f.getBool("absent", true));
+}
+
+TEST(Flags, EnvFallback)
+{
+    ::setenv("GEVO_FROM_ENV", "99", 1);
+    const auto f = makeFlags({});
+    EXPECT_EQ(f.getInt("from-env", 0), 99);
+    ::unsetenv("GEVO_FROM_ENV");
+}
+
+TEST(Flags, CommandLineBeatsEnv)
+{
+    ::setenv("GEVO_PICK", "1", 1);
+    const auto f = makeFlags({"--pick=2"});
+    EXPECT_EQ(f.getInt("pick", 0), 2);
+    ::unsetenv("GEVO_PICK");
+}
+
+} // namespace
+} // namespace gevo

@@ -1,0 +1,118 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gevo {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int bound : {1, 2, 3, 7, 100, 1'000'000}) {
+        for (int i = 0; i < 200; ++i) {
+            const auto v = r.below(static_cast<std::uint64_t>(bound));
+            EXPECT_LT(v, static_cast<std::uint64_t>(bound));
+        }
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(5);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo = sawLo || v == -3;
+        sawHi = sawHi || v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependentButDeterministic)
+{
+    Rng parent1(21);
+    Rng parent2(21);
+    Rng childA = parent1.fork(1);
+    Rng childB = parent2.fork(1);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(childA.next(), childB.next());
+
+    Rng parent3(21);
+    Rng other = parent3.fork(2);
+    Rng childC = Rng(21).fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += other.next() == childC.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace gevo

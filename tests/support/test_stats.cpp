@@ -1,0 +1,93 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gevo {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.push(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic population-variance set
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.push(-10.0);
+    s.push(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Summarize, MatchesRunningStat)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const Summary s = summarize(xs);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summarize, Empty)
+{
+    const Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(RelativeDiff, Basics)
+{
+    EXPECT_DOUBLE_EQ(relativeDiff(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeDiff(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeDiff(5.0, 5.0), 0.0);
+}
+
+TEST(RelativeDiff, ZeroDenominatorUsesEps)
+{
+    // Does not divide by zero; huge but finite.
+    const double d = relativeDiff(1.0, 0.0);
+    EXPECT_GT(d, 1e9);
+    EXPECT_TRUE(std::isfinite(d));
+}
+
+// The paper's Algorithm 1 uses a 1% relative threshold; make sure the
+// helper expresses that cleanly.
+TEST(RelativeDiff, OnePercentThresholdSemantics)
+{
+    EXPECT_LT(relativeDiff(100.4, 100.0), 0.01);
+    EXPECT_GT(relativeDiff(101.5, 100.0), 0.01);
+}
+
+} // namespace
+} // namespace gevo

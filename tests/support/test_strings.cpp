@@ -1,0 +1,61 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace gevo {
+namespace {
+
+TEST(Split, Basic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields)
+{
+    const auto parts = split("a,,c,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, Whitespace)
+{
+    EXPECT_EQ(trim("  hello \t\r\n"), "hello");
+    EXPECT_EQ(trim("hello"), "hello");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basic)
+{
+    EXPECT_TRUE(startsWith("kernel @foo", "kernel "));
+    EXPECT_FALSE(startsWith("kern", "kernel"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Strformat, FormatsLikePrintf)
+{
+    EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strformat("%.2f", 1.235), "1.24");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(Strformat, LongStrings)
+{
+    const std::string big(500, 'a');
+    EXPECT_EQ(strformat("%s", big.c_str()).size(), 500u);
+}
+
+} // namespace
+} // namespace gevo

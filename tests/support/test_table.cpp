@@ -1,0 +1,44 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gevo {
+namespace {
+
+TEST(Table, CellAccess)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 1);
+    t.row().cell("beta").cell(static_cast<long long>(7));
+    ASSERT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.at(0, 0), "alpha");
+    EXPECT_EQ(t.at(0, 1), "1.5");
+    EXPECT_EQ(t.at(1, 1), "7");
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.row().cell("x").cell("y");
+    EXPECT_EQ(t.toCsv(), "a,b\nx,y\n");
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table t({"a"});
+    t.row().cell("has,comma");
+    t.row().cell("has\"quote");
+    const auto csv = t.toCsv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting)
+{
+    Table t({"v"});
+    t.row().cell(3.14159, 3);
+    EXPECT_EQ(t.at(0, 0), "3.142");
+}
+
+} // namespace
+} // namespace gevo

@@ -1,0 +1,58 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gevo {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.drain();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DrainIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.drain();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.drain();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(3);
+    std::vector<int> hits(257, 0);
+    pool.parallelFor(hits.size(),
+                     [&hits](std::size_t i) { hits[i] = 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 257);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsPositive)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(ThreadPool, DrainOnEmptyPoolReturns)
+{
+    ThreadPool pool(1);
+    pool.drain(); // must not hang
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gevo
