@@ -30,7 +30,10 @@ main(int argc, char** argv)
         std::uint64_t boundary = 0;
         std::uint64_t diffusion = 0;
         std::uint64_t total = 0;
-        for (const auto& [loc, n] : out.aggregate.locIssues) {
+        // Slot 0 is no-loc code; the share is over located instructions.
+        for (std::uint32_t loc = 1; loc < out.aggregate.locIssues.size();
+             ++loc) {
+            const auto n = out.aggregate.locIssues[loc];
             const auto& name = built.module.locString(loc);
             total += n;
             if (name.find("boundary") != std::string::npos)

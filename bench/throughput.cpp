@@ -1,0 +1,164 @@
+/// Evaluation-pipeline throughput: the perf-trajectory anchor.
+///
+/// The search loop's cost is fitness evaluation — population 256 x 300
+/// generations is ~77k variant evaluations per full-scale run — so
+/// variants/sec is the metric every future optimization PR moves. This
+/// bench runs the same seeded mini-search twice on each app:
+///
+///   uncached — the literal compile-per-call reference path: every
+///              individual is patched, cleaned, verified, decoded and
+///              simulated every generation, with no memo of any kind
+///              (strictly less caching than even the seed engine's
+///              per-individual evaluated flag), and
+///   cached   — the two-stage pipeline with the per-individual memo and
+///              the two-level content-addressed variant cache
+///              (within-generation dedup + cross-generation reuse).
+///
+/// It reports variants/sec for both modes, the cache hit rate, and
+/// verifies that both modes discover the identical best edit list (the
+/// cache must be trajectory-neutral).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mutation/edit.h"
+
+namespace {
+
+using namespace gevo;
+
+/// One mode's measurements.
+struct RunStats {
+    double seconds = 0.0;
+    std::size_t requests = 0;    ///< Individuals scored (pop x gens).
+    std::size_t simulations = 0; ///< Requests that cost pipeline work.
+    double speedup = 0.0;        ///< Search result (baseline / best).
+    std::string bestEdits;       ///< Serialized best edit list.
+
+    double
+    variantsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(requests) / seconds
+                             : 0.0;
+    }
+};
+
+RunStats
+runSearch(const ir::Module& base, const core::FitnessFunction& fitness,
+          core::EvolutionParams params, bool useCache)
+{
+    params.useCache = useCache;
+    core::EvolutionEngine engine(base, fitness, params);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = engine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunStats s;
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    // Every individual needs a fitness every generation; the pipeline
+    // either simulates it or serves it from a memo/cache level.
+    s.requests = static_cast<std::size_t>(params.populationSize) *
+                 params.generations;
+    for (const auto& log : result.history)
+        s.simulations += log.cacheMisses;
+    s.speedup = result.speedup();
+    s.bestEdits = mut::serializeEdits(result.best.edits);
+    return s;
+}
+
+/// Run both modes on one app and emit a table section. Returns the
+/// cached-over-uncached variants/sec ratio (0 when the best edit lists
+/// disagree, which would invalidate the comparison).
+double
+benchApp(const char* app, const ir::Module& base,
+         const core::FitnessFunction& fitness,
+         const core::EvolutionParams& params)
+{
+    const RunStats uncached = runSearch(base, fitness, params, false);
+    const RunStats cached = runSearch(base, fitness, params, true);
+
+    const double hitRate =
+        cached.requests
+            ? static_cast<double>(cached.requests - cached.simulations) /
+                  static_cast<double>(cached.requests)
+            : 0.0;
+    const double ratio = cached.seconds > 0.0
+                             ? cached.variantsPerSec() /
+                                   uncached.variantsPerSec()
+                             : 0.0;
+
+    Table t({"app", "mode", "variants", "evaluated", "wall s",
+             "variants/s", "hit rate", "ratio"});
+    t.row().cell(app).cell("compile-per-call")
+        .cell(static_cast<long long>(uncached.requests))
+        .cell(static_cast<long long>(uncached.simulations))
+        .cell(uncached.seconds, 2).cell(uncached.variantsPerSec(), 1)
+        .cell("-").cell(1.0, 2);
+    t.row().cell(app).cell("two-stage+cache")
+        .cell(static_cast<long long>(cached.requests))
+        .cell(static_cast<long long>(cached.simulations))
+        .cell(cached.seconds, 2).cell(cached.variantsPerSec(), 1)
+        .cell(hitRate, 2).cell(ratio, 2);
+    t.print();
+
+    const bool sameBest = uncached.bestEdits == cached.bestEdits;
+    std::printf("best edit list identical across modes: %s "
+                "(search speedup %.2fx vs %.2fx)\n\n",
+                sameBest ? "yes" : "NO — CACHE CHANGED THE TRAJECTORY",
+                uncached.speedup, cached.speedup);
+    return sameBest ? ratio : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Flags flags(argc, argv);
+    bench::banner("Evaluation-pipeline throughput (variants/sec, cache "
+                  "hit rate)",
+                  "the GEVO fitness-caching recipe, Liou et al. TACO 2020");
+
+    // ---- ADEPT-V0 mini-search (the acceptance-gate configuration) ----
+    const adept::ScoringParams scoring;
+    const auto adeptPairs = bench::adeptPairs(flags, 4);
+    const auto v0 = adept::buildAdeptV0(scoring, 64);
+    const adept::AdeptDriver adeptDriver(adeptPairs, scoring, 0, 64);
+    const adept::AdeptFitness adeptFitness(adeptDriver, sim::p100());
+
+    core::EvolutionParams params;
+    params.populationSize =
+        static_cast<std::uint32_t>(flags.getInt("pop", 12));
+    params.generations =
+        static_cast<std::uint32_t>(flags.getInt("gens", 20));
+    params.elitism = 2;
+    params.seed = static_cast<std::uint64_t>(flags.getInt("seed", 3));
+    params.threads =
+        static_cast<std::uint32_t>(flags.getInt("threads", 0));
+
+    const double adeptRatio =
+        benchApp("adept-v0", v0.module, adeptFitness, params);
+
+    // ---- SIMCoV mini-search ----
+    simcov::SimcovConfig cfg;
+    cfg.gridW = static_cast<std::int32_t>(flags.getInt("grid", 16));
+    cfg.steps = static_cast<std::int32_t>(flags.getInt("steps", 6));
+    const auto sc = simcov::buildSimcov(cfg);
+    const simcov::SimcovDriver simcovDriver(cfg);
+    const simcov::SimcovFitness simcovFitness(simcovDriver, sim::p100());
+
+    core::EvolutionParams scParams = params;
+    scParams.populationSize =
+        static_cast<std::uint32_t>(flags.getInt("sc-pop", 12));
+    scParams.generations =
+        static_cast<std::uint32_t>(flags.getInt("sc-gens", 8));
+
+    const double simcovRatio =
+        benchApp("simcov", sc.module, simcovFitness, scParams);
+
+    std::printf("acceptance gate (adept >= 3x): %s (%.2fx; simcov %.2fx)\n",
+                adeptRatio >= 3.0 ? "PASS" : "FAIL", adeptRatio,
+                simcovRatio);
+    return adeptRatio >= 3.0 ? 0 : 1;
+}

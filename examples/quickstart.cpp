@@ -57,15 +57,15 @@ done:
 class SquareFitness : public core::FitnessFunction {
   public:
     core::FitnessResult
-    evaluate(const ir::Module& variant) const override
+    evaluate(const core::CompiledVariant& variant) const override
     {
-        const auto* fn = variant.findFunction("square");
-        if (fn == nullptr)
+        const auto* prog = variant.programs.find("square");
+        if (prog == nullptr)
             return core::FitnessResult::fail("kernel missing");
         sim::DeviceMemory mem(1 << 16);
         const auto out = mem.alloc(64 * 4);
         const auto res = sim::launchKernel(
-            sim::p100(), mem, sim::Program::decode(*fn), {1, 64},
+            sim::p100(), mem, *prog, {1, 64},
             {static_cast<std::uint64_t>(out)});
         if (!res.ok())
             return core::FitnessResult::fail(res.fault.detail);

@@ -29,6 +29,13 @@ AdeptRunOutput
 AdeptDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
                  bool profile) const
 {
+    return run(sim::ProgramSet::decodeModule(module), dev, profile);
+}
+
+AdeptRunOutput
+AdeptDriver::run(const sim::ProgramSet& programs,
+                 const sim::DeviceConfig& dev, bool profile) const
+{
     AdeptRunOutput out;
     const auto n = static_cast<std::uint32_t>(pairs_.size());
     const std::int64_t stride = maxThreads_;
@@ -61,14 +68,13 @@ AdeptDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
                                 static_cast<std::int32_t>(pair.b.size()));
     }
 
-    const auto* fwdFn =
-        module.findFunction(version_ == 0 ? "sw_fwd_v0" : "sw_fwd_v1");
-    if (fwdFn == nullptr) {
+    const auto* fwdProg =
+        programs.find(version_ == 0 ? "sw_fwd_v0" : "sw_fwd_v1");
+    if (fwdProg == nullptr) {
         out.fault.kind = sim::FaultKind::InvalidProgram;
         out.fault.detail = "forward kernel missing from module";
         return out;
     }
-    const auto fwdProg = sim::Program::decode(*fwdFn);
     const sim::LaunchDims dims{n, maxThreads_, oversubscribe_};
     const std::vector<std::uint64_t> fwdArgs = {
         static_cast<std::uint64_t>(seqA),
@@ -81,7 +87,7 @@ AdeptDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
         static_cast<std::uint64_t>(stride),
     };
     const auto fwdRes =
-        sim::launchKernel(dev, mem, fwdProg, dims, fwdArgs, profile);
+        sim::launchKernel(dev, mem, *fwdProg, dims, fwdArgs, profile);
     out.fwdStats = fwdRes.stats;
     out.totalMs += fwdRes.stats.ms;
     if (!fwdRes.ok()) {
@@ -90,13 +96,12 @@ AdeptDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
     }
 
     if (version_ == 1) {
-        const auto* revFn = module.findFunction("sw_rev_v1");
-        if (revFn == nullptr) {
+        const auto* revProg = programs.find("sw_rev_v1");
+        if (revProg == nullptr) {
             out.fault.kind = sim::FaultKind::InvalidProgram;
             out.fault.detail = "reverse kernel missing from module";
             return out;
         }
-        const auto revProg = sim::Program::decode(*revFn);
         const std::vector<std::uint64_t> revArgs = {
             static_cast<std::uint64_t>(seqA),
             static_cast<std::uint64_t>(seqB),
@@ -107,7 +112,7 @@ AdeptDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
             static_cast<std::uint64_t>(stride),
         };
         const auto revRes =
-            sim::launchKernel(dev, mem, revProg, dims, revArgs, profile);
+            sim::launchKernel(dev, mem, *revProg, dims, revArgs, profile);
         out.revStats = revRes.stats;
         out.totalMs += revRes.stats.ms;
         if (!revRes.ok()) {

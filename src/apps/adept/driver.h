@@ -35,7 +35,15 @@ class AdeptDriver {
     AdeptDriver(std::vector<SequencePair> pairs, ScoringParams scoring,
                 int version, std::uint32_t maxThreads);
 
-    /// Execute the kernels in \p module over the dataset on \p dev.
+    /// Execute the pre-decoded kernels over the dataset on \p dev. This is
+    /// the scoring stage of the two-stage pipeline: no IR access, no
+    /// decoding — just launches against an already-compiled variant.
+    AdeptRunOutput run(const sim::ProgramSet& programs,
+                       const sim::DeviceConfig& dev,
+                       bool profile = false) const;
+
+    /// Convenience: decode \p module's kernels and run them (one-off
+    /// callers; the hot path compiles once and uses the overload above).
     AdeptRunOutput run(const ir::Module& module,
                        const sim::DeviceConfig& dev,
                        bool profile = false) const;

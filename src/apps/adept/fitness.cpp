@@ -5,9 +5,9 @@
 namespace gevo::adept {
 
 core::FitnessResult
-AdeptFitness::evaluate(const ir::Module& variant) const
+AdeptFitness::evaluate(const core::CompiledVariant& variant) const
 {
-    const auto out = driver_.run(variant, dev_);
+    const auto out = driver_.run(variant.programs, dev_);
     if (!out.ok())
         return core::FitnessResult::fail(out.fault.detail);
     const auto& expected = driver_.expected();

@@ -20,7 +20,8 @@ class AdeptFitness : public core::FitnessFunction {
     {
     }
 
-    core::FitnessResult evaluate(const ir::Module& variant) const override;
+    core::FitnessResult
+    evaluate(const core::CompiledVariant& variant) const override;
 
     std::string name() const override;
 

@@ -29,8 +29,10 @@ addStats(sim::LaunchStats* agg, const sim::LaunchStats& s)
     agg->barriers += s.barriers;
     agg->sharedConflictWays += s.sharedConflictWays;
     agg->globalSectors += s.globalSectors;
-    for (const auto& [loc, n] : s.locIssues)
-        agg->locIssues[loc] += n;
+    if (agg->locIssues.size() < s.locIssues.size())
+        agg->locIssues.resize(s.locIssues.size(), 0);
+    for (std::size_t loc = 0; loc < s.locIssues.size(); ++loc)
+        agg->locIssues[loc] += s.locIssues[loc];
 }
 
 } // namespace
@@ -38,6 +40,13 @@ addStats(sim::LaunchStats* agg, const sim::LaunchStats& s)
 SimcovRunOutput
 SimcovDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
                   bool profile) const
+{
+    return run(sim::ProgramSet::decodeModule(module), dev, profile);
+}
+
+SimcovRunOutput
+SimcovDriver::run(const sim::ProgramSet& programs,
+                  const sim::DeviceConfig& dev, bool profile) const
 {
     SimcovRunOutput out;
     const std::int32_t w = config_.gridW;
@@ -68,26 +77,22 @@ SimcovDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
         config_.cells() / static_cast<std::int32_t>(config_.blockDim));
     const sim::LaunchDims dims{blocks, config_.blockDim, oversubscribe_};
 
-    // Decode all kernels up front.
-    struct Decoded {
-        const char* name;
-        sim::Program prog;
-    };
-    std::vector<Decoded> kernels;
+    // Look up all pre-decoded kernels up front.
+    std::vector<const sim::Program*> kernels;
     for (const char* name :
          {"sc_setup", "sc_vdiff", "sc_cdiff", "sc_epicell", "sc_tgen",
           "sc_tmove", "sc_tbind", "sc_stats"}) {
-        const auto* fn = module.findFunction(name);
-        if (fn == nullptr) {
+        const auto* prog = programs.find(name);
+        if (prog == nullptr) {
             out.fault.kind = sim::FaultKind::InvalidProgram;
             out.fault.detail = std::string(name) + " missing from module";
             return out;
         }
-        kernels.push_back({name, sim::Program::decode(*fn)});
+        kernels.push_back(prog);
     }
     auto launch = [&](std::size_t idx,
                       const std::vector<std::uint64_t>& args) {
-        const auto res = sim::launchKernel(dev, mem, kernels[idx].prog,
+        const auto res = sim::launchKernel(dev, mem, *kernels[idx],
                                            dims, args, profile);
         out.totalMs += res.stats.ms;
         addStats(&out.aggregate, res.stats);

@@ -38,7 +38,14 @@ class SimcovDriver {
     SimcovDriver(SimcovConfig config, bool padded = false,
                  bool tightArena = false);
 
-    /// Execute the module's kernels over the configured run.
+    /// Execute the pre-decoded kernels over the configured run (scoring
+    /// stage of the two-stage pipeline; no IR access, no decoding).
+    SimcovRunOutput run(const sim::ProgramSet& programs,
+                        const sim::DeviceConfig& dev,
+                        bool profile = false) const;
+
+    /// Convenience: decode \p module's kernels and run them (one-off
+    /// callers; the hot path compiles once and uses the overload above).
     SimcovRunOutput run(const ir::Module& module,
                         const sim::DeviceConfig& dev,
                         bool profile = false) const;

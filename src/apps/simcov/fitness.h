@@ -21,9 +21,9 @@ class SimcovFitness : public core::FitnessFunction {
     }
 
     core::FitnessResult
-    evaluate(const ir::Module& variant) const override
+    evaluate(const core::CompiledVariant& variant) const override
     {
-        const auto out = driver_.run(variant, dev_);
+        const auto out = driver_.run(variant.programs, dev_);
         if (!out.ok())
             return core::FitnessResult::fail(out.fault.detail);
         const auto diag =

@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <unordered_map>
 
 #include "mutation/patch.h"
 #include "support/logging.h"
@@ -32,17 +35,104 @@ EvolutionEngine::makeSeedIndividual(Rng& rng)
 
 void
 EvolutionEngine::evaluatePopulation(ThreadPool& pool,
-                                    std::vector<Individual>* pop)
+                                    std::vector<Individual>* pop,
+                                    GenerationLog* log)
 {
+    if (!params_.useCache) {
+        // Reference path: literal compile-per-call — every individual is
+        // re-patched, re-cleaned, re-verified, re-decoded and re-simulated
+        // every generation, with no memo of any kind. Deterministic
+        // fitness makes this trajectory-identical to the cached path.
+        pool.parallelFor(pop->size(), [&](std::size_t i) {
+            Individual& ind = (*pop)[i];
+            ind.fitness = evaluateVariant(base_, ind.edits, fitness_);
+            ind.evaluated = true;
+        });
+        log->evaluations += pop->size();
+        log->cacheMisses += pop->size();
+        return;
+    }
+
     std::vector<Individual*> todo;
     for (auto& ind : *pop) {
         if (!ind.evaluated)
             todo.push_back(&ind);
     }
-    pool.parallelFor(todo.size(), [&](std::size_t i) {
-        todo[i]->fitness = evaluateVariant(base_, todo[i]->edits, fitness_);
-        todo[i]->evaluated = true;
+    log->evaluations += todo.size();
+
+    // Group identical offspring by canonical key; the first occurrence is
+    // the group's representative. Iteration order (population order) keeps
+    // this deterministic regardless of thread count.
+    std::vector<std::string> keys(todo.size());
+    std::unordered_map<std::string, std::size_t> firstOf;
+    std::vector<std::size_t> owner(todo.size());
+    std::vector<std::size_t> reps;
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+        keys[i] = VariantCache::keyOf(todo[i]->edits);
+        const auto [it, inserted] = firstOf.try_emplace(keys[i], i);
+        owner[i] = it->second;
+        if (inserted)
+            reps.push_back(i);
+    }
+
+    // Serve representatives from the cross-generation cache.
+    std::vector<std::size_t> missing;
+    for (const std::size_t rep : reps) {
+        FitnessResult cached;
+        if (cache_.lookup(keys[rep], &cached)) {
+            todo[rep]->fitness = cached;
+            todo[rep]->evaluated = true;
+        } else {
+            missing.push_back(rep);
+        }
+    }
+
+    // Compile each unique miss once, in parallel. Simulation — the
+    // expensive stage — only runs when the compiled program itself is
+    // novel: distinct edit lists routinely clean up to identical programs,
+    // which the program-content cache collapses. Results go into both
+    // cache levels from the worker threads.
+    std::atomic<std::size_t> simulations{0};
+    std::atomic<std::size_t> rejected{0};
+    pool.parallelFor(missing.size(), [&](std::size_t i) {
+        const std::size_t rep = missing[i];
+        Individual* ind = todo[rep];
+        const CompiledVariant cv = compileVariant(base_, ind->edits);
+        if (!cv.ok) {
+            ind->fitness = FitnessResult::fail(cv.failReason);
+            rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            const std::string programKey = cv.programs.contentKey();
+            FitnessResult cached;
+            if (programCache_.lookup(programKey, &cached)) {
+                ind->fitness = cached;
+            } else {
+                ind->fitness = fitness_.evaluate(cv);
+                simulations.fetch_add(1, std::memory_order_relaxed);
+                programCache_.insert(programKey, ind->fitness);
+            }
+        }
+        ind->evaluated = true;
+        cache_.insert(keys[rep], ind->fitness);
     });
+
+    // Fan representative results out to within-generation duplicates.
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+        if (!todo[i]->evaluated) {
+            todo[i]->fitness = todo[owner[i]]->fitness;
+            todo[i]->evaluated = true;
+        }
+    }
+    // A miss is a request that cost real pipeline work: a simulation, or
+    // a compile the verifier rejected. Everything else was served from a
+    // memo/cache level. (Under concurrency two workers can race to
+    // first-simulate the same novel program; the values are deterministic
+    // either way, only these counters can wobble by the overlap.)
+    const std::size_t worked =
+        simulations.load(std::memory_order_relaxed) +
+        rejected.load(std::memory_order_relaxed);
+    log->cacheMisses += worked;
+    log->cacheHits += todo.size() - worked;
 }
 
 const Individual&
@@ -85,13 +175,24 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
     SearchResult result;
     ThreadPool pool(params_.threads);
 
-    const auto baseline = evaluateVariant(base_, {}, fitness_);
+    const auto baselineCv = compileVariant(base_, {});
+    if (!baselineCv.ok)
+        GEVO_FATAL("baseline program fails its own tests: %s",
+                   baselineCv.failReason.c_str());
+    const auto baseline = fitness_.evaluate(baselineCv);
     if (!baseline.valid)
         GEVO_FATAL("baseline program fails its own tests: %s",
                    baseline.failReason.c_str());
     result.baselineMs = baseline.ms;
     result.best.fitness = baseline;
     result.best.evaluated = true;
+    if (params_.useCache) {
+        // Crossover routinely produces empty edit lists, and edits often
+        // cancel back to the baseline program; serve both from the
+        // baseline evaluation instead of re-simulating.
+        cache_.insert(VariantCache::keyOf({}), baseline);
+        programCache_.insert(baselineCv.programs.contentKey(), baseline);
+    }
 
     std::vector<Individual> pop;
     pop.reserve(params_.populationSize);
@@ -99,19 +200,26 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         pop.push_back(makeSeedIndividual(rng));
 
     for (std::uint32_t gen = 1; gen <= params_.generations; ++gen) {
-        std::size_t evals = 0;
-        for (const auto& ind : pop)
-            evals += ind.evaluated ? 0 : 1;
-        evaluatePopulation(pool, &pop);
-
-        std::sort(pop.begin(), pop.end(),
-                  [](const Individual& a, const Individual& b) {
-                      return a.fitness.ms < b.fitness.ms;
-                  });
-
         GenerationLog log;
         log.generation = gen;
-        log.evaluations = evals;
+        evaluatePopulation(pool, &pop, &log);
+
+        // Sort index proxies, not Individuals: comparing doubles is cheap,
+        // but std::sort on the structs themselves copies whole edit
+        // vectors and fail-reason strings on every swap. Apply the
+        // permutation afterwards so each Individual moves exactly once.
+        std::vector<std::uint32_t> order(pop.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&pop](std::uint32_t a, std::uint32_t b) {
+                             return pop[a].fitness.ms < pop[b].fitness.ms;
+                         });
+        std::vector<Individual> sorted;
+        sorted.reserve(pop.size());
+        for (const std::uint32_t i : order)
+            sorted.push_back(std::move(pop[i]));
+        pop = std::move(sorted);
+
         double sum = 0.0;
         for (const auto& ind : pop) {
             if (ind.fitness.valid) {
@@ -162,6 +270,12 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         }
         pop = std::move(next);
     }
+    for (const auto& log : result.history) {
+        result.cacheSummary.served += log.cacheHits;
+        result.cacheSummary.evaluated += log.cacheMisses;
+    }
+    result.cacheSummary.entries =
+        cache_.stats().entries + programCache_.stats().entries;
     return result;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/fitness.h"
+#include "core/variant_cache.h"
 #include "mutation/sampler.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
@@ -43,6 +44,15 @@ struct EvolutionParams {
     std::uint32_t tournamentSize = 2;
     std::uint64_t seed = 1;
     std::uint32_t threads = 0; ///< 0 = hardware concurrency.
+    /// true: full evaluation pipeline — per-individual memo, within-
+    /// generation dedup, and the two-level content-addressed variant cache
+    /// (edit-list key, then compiled-program key).
+    /// false: the un-cached compile-per-call reference path — every
+    /// individual is patched, cleaned, verified, decoded and simulated
+    /// every generation. Fitness is deterministic in the edit list, so the
+    /// search trajectory is identical either way; the reference path
+    /// exists to benchmark the pipeline against (bench/throughput.cpp).
+    bool useCache = true;
     mut::SamplerConfig sampler;
 };
 
@@ -52,8 +62,24 @@ struct GenerationLog {
     double bestMs = 0.0;     ///< Best (lowest) valid fitness so far.
     double meanMs = 0.0;     ///< Mean over valid individuals this gen.
     std::size_t validCount = 0;
-    std::size_t evaluations = 0; ///< Fitness calls this generation.
+    std::size_t evaluations = 0; ///< Fitness requests this generation.
+    /// Requests served from a memo/cache level (within-generation
+    /// duplicates, edit-list hits, compiled-program hits) with no
+    /// simulation and no rejected compile. Zero when the cache is off.
+    std::size_t cacheHits = 0;
+    /// Requests that cost real pipeline work this generation: simulated,
+    /// or compiled and rejected by the verifier.
+    std::size_t cacheMisses = 0;
     std::vector<mut::Edit> bestEdits; ///< Edit list of the generation best.
+};
+
+/// Whole-run cache accounting, aggregated from the GenerationLogs (the
+/// VariantCache's own lookup counters see only a subset of traffic —
+/// duplicate fan-outs and program-level hits never call lookup()).
+struct CacheSummary {
+    std::size_t served = 0;    ///< Requests served from memo/cache.
+    std::size_t evaluated = 0; ///< Requests that cost pipeline work.
+    std::size_t entries = 0;   ///< Entries across both cache levels.
 };
 
 /// Result of a full search.
@@ -61,6 +87,7 @@ struct SearchResult {
     double baselineMs = 0.0;  ///< Fitness of the unmodified program.
     Individual best;          ///< Best individual over the whole run.
     std::vector<GenerationLog> history;
+    CacheSummary cacheSummary;
 
     /// Final speedup (baseline / best), 1.0 when nothing improved.
     double speedup() const
@@ -88,8 +115,8 @@ class EvolutionEngine {
 
   private:
     Individual makeSeedIndividual(Rng& rng);
-    void evaluatePopulation(ThreadPool& pool,
-                            std::vector<Individual>* pop);
+    void evaluatePopulation(ThreadPool& pool, std::vector<Individual>* pop,
+                            GenerationLog* log);
     const Individual& tournament(const std::vector<Individual>& pop,
                                  Rng& rng) const;
     void mutate(Individual* ind, Rng& rng);
@@ -97,6 +124,15 @@ class EvolutionEngine {
     const ir::Module& base_;
     const FitnessFunction& fitness_;
     EvolutionParams params_;
+    /// Level 1: canonical edit-list key -> fitness (skips even the
+    /// compile stage for genotypes seen before).
+    VariantCache cache_;
+    /// Level 2: compiled-program content key -> fitness. Distinct edit
+    /// lists very often clean up to the identical program (dangling edits
+    /// skip, DCE strips dead inserts — paper Sec V-A: 1394 edits, 17
+    /// matter), so novel genotypes usually need only the cheap compile
+    /// stage, not a simulation.
+    VariantCache programCache_;
 };
 
 } // namespace gevo::core

@@ -6,19 +6,35 @@
 
 namespace gevo::core {
 
+CompiledVariant
+compileVariant(const ir::Module& base, const std::vector<mut::Edit>& edits)
+{
+    CompiledVariant cv;
+    cv.module = mut::applyPatch(base, edits);
+    const auto verify = ir::verifyModule(cv.module);
+    if (!verify.ok()) {
+        cv.failReason = "verify: " + verify.message();
+        return cv;
+    }
+    opt::runCleanupPipeline(cv.module);
+    const auto reVerify = ir::verifyModule(cv.module);
+    if (!reVerify.ok()) {
+        cv.failReason = "post-opt verify: " + reVerify.message();
+        return cv;
+    }
+    cv.programs = sim::ProgramSet::decodeModule(cv.module);
+    cv.ok = true;
+    return cv;
+}
+
 FitnessResult
 evaluateVariant(const ir::Module& base, const std::vector<mut::Edit>& edits,
                 const FitnessFunction& fitness)
 {
-    ir::Module variant = mut::applyPatch(base, edits);
-    const auto verify = ir::verifyModule(variant);
-    if (!verify.ok())
-        return FitnessResult::fail("verify: " + verify.message());
-    opt::runCleanupPipeline(variant);
-    const auto reVerify = ir::verifyModule(variant);
-    if (!reVerify.ok())
-        return FitnessResult::fail("post-opt verify: " + reVerify.message());
-    return fitness.evaluate(variant);
+    const CompiledVariant cv = compileVariant(base, edits);
+    if (!cv.ok)
+        return FitnessResult::fail(cv.failReason);
+    return fitness.evaluate(cv);
 }
 
 } // namespace gevo::core

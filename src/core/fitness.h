@@ -6,6 +6,18 @@
 /// not part of the calculation." Applications implement FitnessFunction
 /// (ADEPT: exact score/position match; SIMCoV: per-value mean/variance
 /// tolerance against the fixed-seed ground truth).
+///
+/// Evaluation is an explicit two-stage pipeline:
+///
+///   1. compile — patch the base module, run the cleanup pipeline (the
+///      NVPTX-codegen stand-in), verify, and decode every kernel into an
+///      execution-ready sim::ProgramSet. This happens once per variant.
+///   2. score — the FitnessFunction launches the pre-decoded programs over
+///      all test cases. This is the only stage that touches device state.
+///
+/// Splitting the stages lets the evolution engine cache CompiledVariants
+/// and fitness results content-addressed by edit list (see variant_cache.h)
+/// instead of re-patching/re-verifying/re-decoding per individual.
 
 #ifndef GEVO_CORE_FITNESS_H
 #define GEVO_CORE_FITNESS_H
@@ -16,6 +28,7 @@
 
 #include "ir/function.h"
 #include "mutation/edit.h"
+#include "sim/program.h"
 
 namespace gevo::core {
 
@@ -39,26 +52,42 @@ struct FitnessResult {
     }
 };
 
-/// Application-supplied evaluation of a fully-patched, cleaned module.
+/// Output of the compile stage: a patched, cleaned, verified module with
+/// every kernel decoded once. Move-only (owns the module).
+struct CompiledVariant {
+    bool ok = false;         ///< Compile stage succeeded.
+    std::string failReason;  ///< Verifier diagnostic when !ok.
+    ir::Module module;       ///< Patched + cleanup-pipeline output.
+    sim::ProgramSet programs; ///< Every kernel decoded (empty when !ok).
+};
+
+/// Compile stage: apply \p edits to \p base, run the post-mutation cleanup
+/// pipeline (constant folding / CFG simplification / DCE), verify, and
+/// decode every kernel. Returns !ok with a diagnostic when verification
+/// rejects the patched module.
+CompiledVariant compileVariant(const ir::Module& base,
+                               const std::vector<mut::Edit>& edits);
+
+/// Application-supplied scoring of a compiled variant.
 ///
 /// Implementations must be safe to call concurrently from multiple threads
-/// (each call creates its own device memory / launch state).
+/// (each call creates its own device memory / launch state), and must not
+/// re-decode: launch the pre-decoded `variant.programs`.
 class FitnessFunction {
   public:
     virtual ~FitnessFunction() = default;
 
-    /// Evaluate a structurally valid module variant.
-    virtual FitnessResult evaluate(const ir::Module& variant) const = 0;
+    /// Score a successfully compiled variant. \pre variant.ok.
+    virtual FitnessResult evaluate(const CompiledVariant& variant) const = 0;
 
     /// Short description for logs.
     virtual std::string name() const = 0;
 };
 
-/// Apply \p edits to \p base, run the post-mutation cleanup pipeline
-/// (constant folding / CFG simplification / DCE — the NVPTX-codegen
-/// stand-in), verify, and score. This is THE entry point used by the
-/// evolution engine, the analysis algorithms, and the benches, so every
-/// consumer sees identical semantics.
+/// Both pipeline stages in one call: compile \p edits against \p base and
+/// score the result. This is THE entry point used by the evolution engine,
+/// the analysis algorithms, and the benches, so every consumer sees
+/// identical semantics.
 FitnessResult evaluateVariant(const ir::Module& base,
                               const std::vector<mut::Edit>& edits,
                               const FitnessFunction& fitness);

@@ -1,0 +1,117 @@
+#include "core/variant_cache.h"
+
+#include "support/bytes.h"
+
+namespace gevo::core {
+
+namespace {
+
+/// Round up to the next power of two (min 1).
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+VariantCache::VariantCache(std::size_t shardCount)
+    : shards_(roundUpPow2(shardCount == 0 ? 1 : shardCount)),
+      shardMask_(shards_.size() - 1)
+{
+}
+
+std::string
+VariantCache::keyOf(const std::vector<mut::Edit>& edits)
+{
+    // 27 bytes per edit: kind, opIndex, operand kind, then three u64s.
+    std::string key;
+    key.reserve(edits.size() * 27);
+    for (const auto& e : edits) {
+        key.push_back(static_cast<char>(e.kind));
+        key.push_back(static_cast<char>(e.opIndex));
+        key.push_back(static_cast<char>(e.newOperand.kind));
+        appendLeU64(&key, e.srcUid);
+        appendLeU64(&key, e.dstUid);
+        appendLeI64(&key, e.newOperand.value);
+        // newUid matters: clone uids are anchor targets for later edits,
+        // so lists differing only in newUid can patch differently.
+        appendLeU64(&key, e.newUid);
+    }
+    return key;
+}
+
+std::uint64_t
+VariantCache::hashKey(const std::string& key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+VariantCache::Shard&
+VariantCache::shardFor(const std::string& key)
+{
+    return shards_[hashKey(key) & shardMask_];
+}
+
+const VariantCache::Shard&
+VariantCache::shardFor(const std::string& key) const
+{
+    return shards_[hashKey(key) & shardMask_];
+}
+
+bool
+VariantCache::lookup(const std::string& key, FitnessResult* out) const
+{
+    const Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second;
+    return true;
+}
+
+void
+VariantCache::insert(const std::string& key, const FitnessResult& result)
+{
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.try_emplace(key, result);
+}
+
+VariantCache::Stats
+VariantCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        s.entries += shard.map.size();
+    }
+    return s;
+}
+
+void
+VariantCache::clear()
+{
+    for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace gevo::core

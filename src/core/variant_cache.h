@@ -1,0 +1,97 @@
+/// \file
+/// Content-addressed fitness cache over edit lists.
+///
+/// The evolutionary search re-creates identical genotypes constantly:
+/// crossover of converged parents clones edit lists, elites reappear, and
+/// dropped-then-resampled edits recreate earlier individuals. GEVO (Liou et
+/// al., TACO 2020) reports that fitness caching is what makes 256x300
+/// searches tractable; this cache is our equivalent. Keys are a canonical
+/// byte encoding of the edit list — injective, so two distinct lists can
+/// never collide, and order-preserving, so reordered-but-distinct lists map
+/// to distinct keys (edit application is order-sensitive).
+///
+/// The cache is sharded: each shard owns a mutex plus an open hash map, so
+/// concurrent inserts from the evaluation thread pool contend only when
+/// they land on the same shard. Results are immutable once inserted —
+/// fitness is a deterministic function of the edit list — which is what
+/// makes serving cached results trajectory-neutral (same seed, same best
+/// edit list, cache on or off).
+
+#ifndef GEVO_CORE_VARIANT_CACHE_H
+#define GEVO_CORE_VARIANT_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fitness.h"
+#include "mutation/edit.h"
+
+namespace gevo::core {
+
+/// Thread-safe, sharded fitness cache keyed by canonical edit-list bytes.
+class VariantCache {
+  public:
+    /// \p shardCount is rounded up to a power of two (min 1).
+    explicit VariantCache(std::size_t shardCount = 16);
+
+    VariantCache(const VariantCache&) = delete;
+    VariantCache& operator=(const VariantCache&) = delete;
+
+    /// Canonical content key of \p edits: a byte string encoding every
+    /// semantic field of every edit in order (kind, srcUid, dstUid,
+    /// opIndex, operand, newUid). Injective — distinct lists (including
+    /// reorderings of the same edits) always yield distinct keys.
+    static std::string keyOf(const std::vector<mut::Edit>& edits);
+
+    /// 64-bit FNV-1a of a canonical key (shard selection, diagnostics).
+    static std::uint64_t hashKey(const std::string& key);
+
+    /// Look up a previously inserted result. Counts a hit or miss.
+    bool lookup(const std::string& key, FitnessResult* out) const;
+
+    /// Insert (idempotent: re-inserting an existing key is a no-op, which
+    /// is safe because fitness is deterministic in the key).
+    void insert(const std::string& key, const FitnessResult& result);
+
+    /// Aggregate counters since construction / clear().
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t entries = 0;
+
+        double
+        hitRate() const
+        {
+            const auto total = hits + misses;
+            return total ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+        }
+    };
+    Stats stats() const;
+
+    /// Drop every entry and reset the counters.
+    void clear();
+
+  private:
+    struct Shard {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, FitnessResult> map;
+    };
+
+    Shard& shardFor(const std::string& key);
+    const Shard& shardFor(const std::string& key) const;
+
+    std::vector<Shard> shards_;
+    std::uint64_t shardMask_ = 0;
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_VARIANT_CACHE_H

@@ -62,49 +62,76 @@ struct WarpState {
     int index = 0;
 };
 
-/// Executes one thread block.
+/// Reusable execution context: allocates warp/lane state once per launch
+/// and replays it for every block. Blocks of one launch are identical in
+/// shape (same program, same blockDim), so per-block construction only
+/// needs to reset state — re-allocating register files and reconvergence
+/// stacks per block dominated launch cost for small kernels.
 class BlockRunner {
   public:
     BlockRunner(const DeviceConfig& dev, DeviceMemory& mem,
-                const Program& prog, LaunchDims dims, std::uint32_t blockIdx,
+                const Program& prog, LaunchDims dims,
                 const std::vector<std::uint64_t>& args, LaunchStats* stats,
                 bool profileLocs)
-        : dev_(dev), mem_(mem), prog_(prog), dims_(dims),
-          blockIdx_(blockIdx), stats_(stats), profileLocs_(profileLocs)
+        : dev_(dev), mem_(mem), prog_(prog), dims_(dims), args_(args),
+          stats_(stats), profileLocs_(profileLocs)
     {
-        shared_.assign(prog.sharedBytes, 0);
-        local_.assign(static_cast<std::size_t>(prog.localBytes) *
-                          dims.blockDim,
-                      0);
+        shared_.resize(prog.sharedBytes);
+        local_.resize(static_cast<std::size_t>(prog.localBytes) *
+                      dims.blockDim);
         const std::uint32_t numWarps =
             (dims.blockDim + kWarpSize - 1) / kWarpSize;
         warps_.resize(numWarps);
         for (std::uint32_t w = 0; w < numWarps; ++w) {
             WarpState& warp = warps_[w];
             warp.index = static_cast<int>(w);
+            warp.regs.resize(
+                static_cast<std::size_t>(kWarpSize) * prog.numRegs);
+            warp.ready.resize(prog.numRegs);
+            warp.stack.reserve(8);
+        }
+    }
+
+    /// Reset all mutable per-block state for \p blockIdx.
+    void
+    resetBlock(std::uint32_t blockIdx)
+    {
+        blockIdx_ = blockIdx;
+        fault_ = Fault{};
+        std::fill(shared_.begin(), shared_.end(), 0);
+        std::fill(local_.begin(), local_.end(), 0);
+        for (auto& warp : warps_) {
+            const auto w = static_cast<std::uint32_t>(warp.index);
             const std::uint32_t lanes =
                 std::min<std::uint32_t>(kWarpSize,
-                                        dims.blockDim - w * kWarpSize);
+                                        dims_.blockDim - w * kWarpSize);
             warp.aliveMask = lanes == kWarpSize ? kFullMask
                                                 : ((1u << lanes) - 1);
+            warp.stack.clear();
             warp.stack.push_back({0, kExitPc, warp.aliveMask});
-            warp.regs.assign(
-                static_cast<std::size_t>(kWarpSize) * prog.numRegs, 0);
-            warp.ready.assign(prog.numRegs, 0);
+            warp.done = false;
+            warp.atBarrier = false;
+            warp.cycle = 0;
+            warp.issueCycles = 0;
+            warp.issuedInstrs = 0;
+            std::fill(warp.regs.begin(), warp.regs.end(), 0);
+            std::fill(warp.ready.begin(), warp.ready.end(), 0);
             for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
                 for (std::uint32_t p = 0;
-                     p < prog.numParams && p < args.size(); ++p) {
-                    warp.regs[lane * prog.numRegs + p] = args[p];
+                     p < prog_.numParams && p < args_.size(); ++p) {
+                    warp.regs[lane * prog_.numRegs + p] = args_[p];
                 }
             }
         }
     }
 
-    /// Run the block to completion. Returns the fault (None on success)
+    /// Run one block to completion. Returns the fault (None on success)
     /// and per-block timing via issueSum/latMax.
     Fault
-    run(std::uint64_t* issueSum, std::uint64_t* latMax)
+    runBlock(std::uint32_t blockIdx, std::uint64_t* issueSum,
+             std::uint64_t* latMax)
     {
+        resetBlock(blockIdx);
         while (true) {
             bool allDone = true;
             for (auto& warp : warps_) {
@@ -352,7 +379,9 @@ class BlockRunner {
         warp.issueCycles += slots;
         ++warp.issuedInstrs;
         ++stats_->warpInstrs;
-        if (profileLocs_ && in.loc != 0)
+        // locIssues is preallocated to maxLoc + 1 slots when profiling, so
+        // this is a plain indexed increment (slot 0 catches no-loc code).
+        if (profileLocs_)
             ++stats_->locIssues[in.loc];
     }
 
@@ -372,7 +401,8 @@ class BlockRunner {
     DeviceMemory& mem_;
     const Program& prog_;
     LaunchDims dims_;
-    std::uint32_t blockIdx_;
+    const std::vector<std::uint64_t>& args_;
+    std::uint32_t blockIdx_ = 0;
     LaunchStats* stats_;
     bool profileLocs_;
 
@@ -435,8 +465,9 @@ BlockRunner::step(WarpState& warp)
     stats_->laneInstrs += std::popcount(mask);
 
     const std::uint32_t numRegs = prog_.numRegs;
-    auto laneRegs = [&](int lane) {
-        return warp.regs.data() + static_cast<std::size_t>(lane) * numRegs;
+    std::uint64_t* const regs0 = warp.regs.data();
+    auto laneRegs = [regs0, numRegs](int lane) {
+        return regs0 + static_cast<std::size_t>(lane) * numRegs;
     };
     auto readOp = [&](const Operand& op, int lane) -> std::uint64_t {
         return op.isReg()
@@ -450,17 +481,27 @@ BlockRunner::step(WarpState& warp)
       case ir::OpKind::Alu:
       case ir::OpKind::Cmp: {
         issue(warp, in, 1);
-        for (int lane = 0; lane < kWarpSize; ++lane) {
+        // Unused operand slots hold Kind::None with value 0, so reading
+        // them unconditionally yields the 0 the evaluator expects — no
+        // per-lane nops branching.
+        const Operand op0 = in.ops[0];
+        const Operand op1 = in.ops[1];
+        const Operand op2 = in.ops[2];
+        const auto dest = static_cast<std::size_t>(in.dest);
+        std::uint64_t* lr = regs0;
+        for (int lane = 0; lane < kWarpSize; ++lane, lr += numRegs) {
             if (!(mask & (1u << lane)))
                 continue;
             const std::uint64_t a =
-                in.nops > 0 ? readOp(in.ops[0], lane) : 0;
+                op0.isReg() ? lr[static_cast<std::size_t>(op0.value)]
+                            : static_cast<std::uint64_t>(op0.value);
             const std::uint64_t b =
-                in.nops > 1 ? readOp(in.ops[1], lane) : 0;
+                op1.isReg() ? lr[static_cast<std::size_t>(op1.value)]
+                            : static_cast<std::uint64_t>(op1.value);
             const std::uint64_t c =
-                in.nops > 2 ? readOp(in.ops[2], lane) : 0;
-            laneRegs(lane)[static_cast<std::size_t>(in.dest)] =
-                ir::evalScalar(in.op, a, b, c);
+                op2.isReg() ? lr[static_cast<std::size_t>(op2.value)]
+                            : static_cast<std::uint64_t>(op2.value);
+            lr[dest] = ir::evalScalar(in.op, a, b, c);
         }
         setReady(warp, in.dest, dev_.aluLat);
         ++top.pc;
@@ -771,14 +812,17 @@ launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
         return result;
     }
 
+    if (profileLocs)
+        result.stats.locIssues.assign(prog.maxLoc + 1, 0);
+
     std::uint64_t sumIssue = 0;
     std::uint64_t sumLat = 0;
+    BlockRunner runner(dev, mem, prog, dims, args, &result.stats,
+                       profileLocs);
     for (std::uint32_t b = 0; b < dims.gridDim; ++b) {
-        BlockRunner runner(dev, mem, prog, dims, b, args, &result.stats,
-                           profileLocs);
         std::uint64_t issue = 0;
         std::uint64_t lat = 0;
-        const Fault fault = runner.run(&issue, &lat);
+        const Fault fault = runner.runBlock(b, &issue, &lat);
         if (!fault.ok()) {
             result.fault = fault;
             return result;

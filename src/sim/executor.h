@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/device_config.h"
@@ -66,10 +65,13 @@ struct LaunchStats {
     std::uint64_t sharedConflictWays = 0; ///< Extra bank-conflict ways.
     std::uint64_t globalSectors = 0;      ///< 32B sectors transferred.
     std::uint64_t occupancyBlocks = 0;    ///< Resident blocks per SM.
-    /// Warp-instruction issues per interned source location (only filled
-    /// when profiling is requested — this is the nvprof stand-in behind
-    /// the "31% boundary instructions" analysis).
-    std::unordered_map<std::uint32_t, std::uint64_t> locIssues;
+    /// Warp-instruction issues per interned source location, indexed by
+    /// loc id (slot 0 aggregates instructions without a location). Sized
+    /// Program::maxLoc + 1 when profiling is requested, empty otherwise —
+    /// a flat array so the interpreter's issue path is a single indexed
+    /// increment, not a hash-map probe. This is the nvprof stand-in behind
+    /// the "31% boundary instructions" analysis.
+    std::vector<std::uint64_t> locIssues;
 };
 
 /// Result of a launch.

@@ -1,6 +1,9 @@
 #include "sim/program.h"
 
+#include <algorithm>
+
 #include "ir/cfg.h"
+#include "support/bytes.h"
 #include "support/logging.h"
 
 namespace gevo::sim {
@@ -40,6 +43,7 @@ Program::decode(const ir::Function& fn)
             d.width = in.width;
             d.atom = in.atom;
             d.loc = in.loc;
+            prog.maxLoc = std::max(prog.maxLoc, in.loc);
             d.reconvPc = reconv;
             if (in.op == ir::Opcode::Br) {
                 d.target0 = prog.blockStart[
@@ -55,6 +59,60 @@ Program::decode(const ir::Function& fn)
     }
     GEVO_ASSERT(!prog.code.empty(), "decoding empty kernel");
     return prog;
+}
+
+ProgramSet
+ProgramSet::decodeModule(const ir::Module& module)
+{
+    ProgramSet set;
+    set.programs_.reserve(module.numFunctions());
+    for (std::size_t i = 0; i < module.numFunctions(); ++i)
+        set.programs_.push_back(Program::decode(module.function(i)));
+    return set;
+}
+
+const Program*
+ProgramSet::find(std::string_view name) const
+{
+    for (const auto& prog : programs_) {
+        if (prog.name == name)
+            return &prog;
+    }
+    return nullptr;
+}
+
+std::string
+ProgramSet::contentKey() const
+{
+    std::string key;
+    for (const auto& prog : programs_) {
+        key += prog.name;
+        key.push_back('\0');
+        appendLeU32(&key, prog.numParams);
+        appendLeU32(&key, prog.numRegs);
+        appendLeU32(&key, prog.sharedBytes);
+        appendLeU32(&key, prog.localBytes);
+        appendLeU32(&key, static_cast<std::uint32_t>(prog.code.size()));
+        for (const auto& in : prog.code) {
+            key.push_back(static_cast<char>(
+                static_cast<std::uint16_t>(in.op) & 0xff));
+            key.push_back(static_cast<char>(
+                (static_cast<std::uint16_t>(in.op) >> 8) & 0xff));
+            key.push_back(static_cast<char>(in.nops));
+            key.push_back(static_cast<char>(in.space));
+            key.push_back(static_cast<char>(in.width));
+            key.push_back(static_cast<char>(in.atom));
+            appendLeI64(&key, in.dest);
+            for (int i = 0; i < in.nops; ++i) {
+                key.push_back(static_cast<char>(in.ops[i].kind));
+                appendLeI64(&key, in.ops[i].value);
+            }
+            appendLeI64(&key, in.target0);
+            appendLeI64(&key, in.target1);
+            appendLeI64(&key, in.reconvPc);
+        }
+    }
+    return key;
 }
 
 } // namespace gevo::sim

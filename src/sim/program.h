@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/function.h"
@@ -41,11 +42,46 @@ struct Program {
     std::uint32_t numRegs = 0;
     std::uint32_t sharedBytes = 0;
     std::uint32_t localBytes = 0;
+    std::uint32_t maxLoc = 0; ///< Highest interned source-loc id in code.
     std::vector<DecodedInstr> code;
     std::vector<std::int32_t> blockStart; ///< Block index -> first PC.
 
     /// Decode a kernel. \pre verifyFunction(fn).ok().
     static Program decode(const ir::Function& fn);
+};
+
+/// Every kernel of a module decoded once, for repeated launches.
+///
+/// This is the reusable artifact of the two-stage compile/score pipeline:
+/// the compile stage (patch + cleanup + verify + decode) produces a
+/// ProgramSet, and the scoring stage launches its programs over every test
+/// case without touching the IR again. Lookup is a linear scan — modules
+/// hold a handful of kernels (ADEPT: 2, SIMCoV: 8).
+class ProgramSet {
+  public:
+    ProgramSet() = default;
+
+    /// Decode every kernel in \p module. \pre verifyModule(module).ok().
+    static ProgramSet decodeModule(const ir::Module& module);
+
+    /// Program for the kernel named \p name; nullptr when absent.
+    const Program* find(std::string_view name) const;
+
+    /// Canonical byte encoding of every execution-relevant field of every
+    /// program (names, shapes, decoded instructions, branch targets).
+    /// Interned source-location ids are deliberately excluded: they do not
+    /// affect functional results or timing, only profiling attribution —
+    /// so two variants whose cleaned kernels differ only in loc metadata
+    /// score identically and share a content key. This is what lets the
+    /// fitness cache collapse the (very common) mutants whose edits are
+    /// dangling or optimized away.
+    std::string contentKey() const;
+
+    std::size_t size() const { return programs_.size(); }
+    const Program& at(std::size_t i) const { return programs_[i]; }
+
+  private:
+    std::vector<Program> programs_;
 };
 
 } // namespace gevo::sim

@@ -1,0 +1,39 @@
+/// \file
+/// Little-endian byte-append helpers for canonical content keys.
+///
+/// Both cache-key encoders (mutation edit lists in core::VariantCache,
+/// decoded programs in sim::ProgramSet::contentKey) must keep byte-exact,
+/// platform-independent encodings; sharing the primitives keeps them from
+/// drifting apart.
+
+#ifndef GEVO_SUPPORT_BYTES_H
+#define GEVO_SUPPORT_BYTES_H
+
+#include <cstdint>
+#include <string>
+
+namespace gevo {
+
+inline void
+appendLeU32(std::string* out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+appendLeU64(std::string* out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+appendLeI64(std::string* out, std::int64_t v)
+{
+    appendLeU64(out, static_cast<std::uint64_t>(v));
+}
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_BYTES_H

@@ -41,16 +41,15 @@ work:
 class ToyFitness : public FitnessFunction {
   public:
     FitnessResult
-    evaluate(const ir::Module& variant) const override
+    evaluate(const CompiledVariant& variant) const override
     {
-        const auto* fn = variant.findFunction("toy");
-        if (fn == nullptr)
+        const auto* prog = variant.programs.find("toy");
+        if (prog == nullptr)
             return FitnessResult::fail("kernel missing");
         sim::DeviceMemory mem(1 << 16);
         const auto out = mem.alloc(64 * 4);
-        const auto prog = sim::Program::decode(*fn);
         const auto res = sim::launchKernel(
-            sim::p100(), mem, prog, {1, 64},
+            sim::p100(), mem, *prog, {1, 64},
             {static_cast<std::uint64_t>(out)});
         if (!res.ok())
             return FitnessResult::fail(res.fault.detail);

@@ -1,0 +1,287 @@
+#include "core/variant_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "ir/parser.h"
+#include "sim/device_config.h"
+#include "sim/device_memory.h"
+#include "sim/executor.h"
+#include "sim/program.h"
+#include "support/thread_pool.h"
+
+namespace gevo::core {
+namespace {
+
+mut::Edit
+operandReplace(std::uint64_t srcUid, std::int8_t slot, std::int64_t imm)
+{
+    mut::Edit e;
+    e.kind = mut::EditKind::OperandReplace;
+    e.srcUid = srcUid;
+    e.opIndex = slot;
+    e.newOperand = ir::Operand::imm(imm);
+    return e;
+}
+
+mut::Edit
+instrCopy(std::uint64_t srcUid, std::uint64_t dstUid, std::uint64_t newUid)
+{
+    mut::Edit e;
+    e.kind = mut::EditKind::InstrCopy;
+    e.srcUid = srcUid;
+    e.dstUid = dstUid;
+    e.newUid = newUid;
+    return e;
+}
+
+TEST(VariantCacheKey, EqualListsShareAKey)
+{
+    const std::vector<mut::Edit> a = {operandReplace(3, 0, 7),
+                                      instrCopy(4, 5, 99)};
+    const std::vector<mut::Edit> b = {operandReplace(3, 0, 7),
+                                      instrCopy(4, 5, 99)};
+    EXPECT_EQ(VariantCache::keyOf(a), VariantCache::keyOf(b));
+    EXPECT_EQ(VariantCache::hashKey(VariantCache::keyOf(a)),
+              VariantCache::hashKey(VariantCache::keyOf(b)));
+}
+
+TEST(VariantCacheKey, ReorderedListsAreDistinct)
+{
+    // Edit application is order-sensitive; a reordered list is a different
+    // variant and must never collide with the original.
+    const mut::Edit e1 = operandReplace(3, 0, 7);
+    const mut::Edit e2 = instrCopy(4, 5, 99);
+    EXPECT_NE(VariantCache::keyOf({e1, e2}), VariantCache::keyOf({e2, e1}));
+}
+
+TEST(VariantCacheKey, EveryFieldIsSignificant)
+{
+    const auto base = VariantCache::keyOf({operandReplace(3, 0, 7)});
+    EXPECT_NE(base, VariantCache::keyOf({operandReplace(4, 0, 7)}));
+    EXPECT_NE(base, VariantCache::keyOf({operandReplace(3, 1, 7)}));
+    EXPECT_NE(base, VariantCache::keyOf({operandReplace(3, 0, 8)}));
+    // Register operand vs equal-valued immediate.
+    mut::Edit reg = operandReplace(3, 0, 7);
+    reg.newOperand = ir::Operand::reg(7);
+    EXPECT_NE(base, VariantCache::keyOf({reg}));
+    // newUid is an anchor for later edits, so it is part of the content.
+    EXPECT_NE(VariantCache::keyOf({instrCopy(4, 5, 99)}),
+              VariantCache::keyOf({instrCopy(4, 5, 100)}));
+    // Prefix/extension.
+    EXPECT_NE(base, VariantCache::keyOf({}));
+    EXPECT_NE(base, VariantCache::keyOf(
+                        {operandReplace(3, 0, 7), operandReplace(3, 0, 7)}));
+}
+
+TEST(VariantCache, LookupInsertAndStats)
+{
+    VariantCache cache(4);
+    const auto key = VariantCache::keyOf({operandReplace(1, 0, 2)});
+
+    FitnessResult out;
+    EXPECT_FALSE(cache.lookup(key, &out));
+    cache.insert(key, FitnessResult::pass(1.5));
+    ASSERT_TRUE(cache.lookup(key, &out));
+    EXPECT_TRUE(out.valid);
+    EXPECT_DOUBLE_EQ(out.ms, 1.5);
+
+    // Re-insertion is a no-op (results are immutable).
+    cache.insert(key, FitnessResult::pass(9.0));
+    ASSERT_TRUE(cache.lookup(key, &out));
+    EXPECT_DOUBLE_EQ(out.ms, 1.5);
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_NEAR(stats.hitRate(), 2.0 / 3.0, 1e-12);
+
+    cache.clear();
+    EXPECT_FALSE(cache.lookup(key, &out));
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(VariantCache, ConcurrentInsertLookup)
+{
+    VariantCache cache(8);
+    ThreadPool pool(4);
+    constexpr int kKeys = 64;
+    constexpr int kRounds = 50;
+    pool.parallelFor(4 * kKeys, [&](std::size_t task) {
+        const auto k = static_cast<std::uint64_t>(task % kKeys);
+        const auto key =
+            VariantCache::keyOf({operandReplace(k, 0, 1)});
+        for (int r = 0; r < kRounds; ++r) {
+            cache.insert(key, FitnessResult::pass(static_cast<double>(k)));
+            FitnessResult out;
+            ASSERT_TRUE(cache.lookup(key, &out));
+            ASSERT_DOUBLE_EQ(out.ms, static_cast<double>(k));
+        }
+    });
+    EXPECT_EQ(cache.stats().entries, static_cast<std::uint64_t>(kKeys));
+}
+
+// ---- program-content keys (cache level 2) ----
+
+TEST(ProgramContentKey, LocMetadataIsInsignificant)
+{
+    // Identical code, different source-location annotations: same key —
+    // locs affect profiling attribution only, never scoring.
+    const char* kWithLocs = R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = tid @"a.cu:1"
+    r2 = mul.i32 r1, 2 @"a.cu:2"
+    ret
+}
+)";
+    const char* kOtherLocs = R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = tid @"b.cu:9"
+    r2 = mul.i32 r1, 2
+    ret
+}
+)";
+    auto a = ir::parseModule(kWithLocs);
+    auto b = ir::parseModule(kOtherLocs);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(sim::ProgramSet::decodeModule(a.module).contentKey(),
+              sim::ProgramSet::decodeModule(b.module).contentKey());
+}
+
+TEST(ProgramContentKey, CodeChangesAreSignificant)
+{
+    const char* kA = R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mul.i32 r1, 2
+    ret
+}
+)";
+    const char* kB = R"(
+kernel @k params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = mul.i32 r1, 3
+    ret
+}
+)";
+    auto a = ir::parseModule(kA);
+    auto b = ir::parseModule(kB);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_NE(sim::ProgramSet::decodeModule(a.module).contentKey(),
+              sim::ProgramSet::decodeModule(b.module).contentKey());
+}
+
+// ---- determinism regression: the cache must be trajectory-neutral ----
+
+constexpr const char* kToyKernel = R"(
+kernel @toy params 1 regs 24 shared 512 local 0 {
+entry:
+    r1 = tid
+    r2 = mov 0
+    br memset
+memset:
+    r3 = mul.i32 r2, 4
+    r4 = cvt.i32.i64 r3
+    st.i32.shared r4, 0
+    r2 = add.i32 r2, 1
+    r5 = cmp.lt.i32 r2, 96
+    brc r5, memset, work
+work:
+    r6 = mul.i32 r1, 2
+    r7 = cvt.i32.i64 r1
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    st.i32.global r9, r6
+    ret
+}
+)";
+
+class ToyFitness : public FitnessFunction {
+  public:
+    FitnessResult
+    evaluate(const CompiledVariant& variant) const override
+    {
+        const auto* prog = variant.programs.find("toy");
+        if (prog == nullptr)
+            return FitnessResult::fail("kernel missing");
+        sim::DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(64 * 4);
+        const auto res = sim::launchKernel(
+            sim::p100(), mem, *prog, {1, 64},
+            {static_cast<std::uint64_t>(out)});
+        if (!res.ok())
+            return FitnessResult::fail(res.fault.detail);
+        for (int t = 0; t < 64; ++t) {
+            if (mem.read<std::int32_t>(out + t * 4) != t * 2)
+                return FitnessResult::fail("wrong output");
+        }
+        return FitnessResult::pass(res.stats.ms);
+    }
+
+    std::string name() const override { return "toy"; }
+};
+
+SearchResult
+runToySearch(const ir::Module& mod, bool useCache, std::uint32_t threads)
+{
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 14;
+    params.generations = 12;
+    params.elitism = 2;
+    params.seed = 21;
+    params.useCache = useCache;
+    params.threads = threads;
+    return EvolutionEngine(mod, fitness, params).run();
+}
+
+void
+expectSameTrajectory(const SearchResult& a, const SearchResult& b)
+{
+    EXPECT_EQ(mut::serializeEdits(a.best.edits),
+              mut::serializeEdits(b.best.edits));
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        EXPECT_DOUBLE_EQ(a.history[g].bestMs, b.history[g].bestMs);
+        EXPECT_DOUBLE_EQ(a.history[g].meanMs, b.history[g].meanMs);
+        EXPECT_EQ(a.history[g].validCount, b.history[g].validCount);
+        EXPECT_EQ(mut::serializeEdits(a.history[g].bestEdits),
+                  mut::serializeEdits(b.history[g].bestEdits));
+    }
+}
+
+TEST(VariantCacheDeterminism, CacheOnEqualsCacheOff)
+{
+    auto parsed = ir::parseModule(kToyKernel);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const auto cached = runToySearch(parsed.module, true, 1);
+    const auto uncached = runToySearch(parsed.module, false, 1);
+    expectSameTrajectory(cached, uncached);
+    // The cached run must actually have exercised the cache.
+    EXPECT_GT(cached.cacheSummary.served, 0u);
+    EXPECT_GT(cached.cacheSummary.entries, 0u);
+    EXPECT_LT(cached.cacheSummary.evaluated,
+              uncached.cacheSummary.evaluated);
+}
+
+TEST(VariantCacheDeterminism, SingleThreadEqualsMultiThread)
+{
+    auto parsed = ir::parseModule(kToyKernel);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const auto one = runToySearch(parsed.module, true, 1);
+    const auto four = runToySearch(parsed.module, true, 4);
+    expectSameTrajectory(one, four);
+
+    const auto oneOff = runToySearch(parsed.module, false, 1);
+    const auto fourOff = runToySearch(parsed.module, false, 4);
+    expectSameTrajectory(oneOff, fourOff);
+}
+
+} // namespace
+} // namespace gevo::core

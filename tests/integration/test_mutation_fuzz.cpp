@@ -87,8 +87,9 @@ TEST_P(SimcovFuzz, RandomPatchesNeverCrash)
                 edits.push_back(*e);
         }
         const auto r = core::evaluateVariant(built.module, edits, fitness);
-        if (!r.valid)
+        if (!r.valid) {
             EXPECT_FALSE(r.failReason.empty());
+        }
     }
     SUCCEED();
 }

@@ -107,9 +107,10 @@ TEST(Sampler, StructuralEditsNeverTargetTerminators)
         if (edit->kind == EditKind::OperandReplace)
             continue;
         const auto pos = base.function(0).findUid(edit->srcUid);
-        if (pos.valid())
+        if (pos.valid()) {
             EXPECT_FALSE(base.function(0).at(pos).isTerminator())
                 << edit->toString();
+        }
     }
 }
 
