@@ -20,6 +20,7 @@
 #include "apps/simcov/golden_edits.h"
 #include "core/engine.h"
 #include "core/fitness.h"
+#include "core/workload.h"
 #include "support/flags.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -50,6 +51,18 @@ simcovConfig(const Flags& flags)
     cfg.steps = static_cast<std::int32_t>(flags.getInt("steps", 30));
     cfg.seed = static_cast<std::uint64_t>(flags.getInt("sim-seed", 1337));
     return cfg;
+}
+
+/// Parse and validate a `--workloads=a,b,c` list against the registry
+/// (fatal on unknown names). \p def is the bench's default set.
+inline std::vector<std::string>
+workloadList(const Flags& flags, const core::WorkloadRegistry& registry,
+             const std::string& def)
+{
+    const auto names = split(flags.getString("workloads", def), ',');
+    for (const auto& name : names)
+        registry.get(name); // fatal, listing what is registered
+    return names;
 }
 
 /// Evaluate an edit set; fatal when unexpectedly invalid.

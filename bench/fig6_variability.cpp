@@ -1,51 +1,71 @@
 /// Regenerates paper Figure 6: distribution of speedups across
-/// independent GEVO runs for ADEPT-V1 and SIMCoV on the P100.
+/// independent GEVO runs, for every requested registry workload.
 ///
 /// The paper runs 10 searches of 300/130 generations over days of GPU
-/// time; the scaled default here is --runs=3 x --gens=12 with small
-/// populations (see EXPERIMENTS.md for the scaling notes). Expect the
-/// discovered speedups to sit below the golden-edit ceiling at this
-/// budget — the figure's point is the run-to-run spread.
+/// time; each workload carries scaled per-run defaults (runs x gens x
+/// pop, flag-overridable — see EXPERIMENTS.md for the scaling notes).
+/// Expect the discovered speedups to sit below the golden-edit ceiling
+/// at this budget — the figure's point is the run-to-run spread.
+/// --islands exercises the island orchestrator across the same seeds.
 
+#include "apps/registry.h"
 #include "bench_util.h"
+#include "core/workload.h"
 #include "support/stats.h"
 
 int
 main(int argc, char** argv)
 {
     using namespace gevo;
+    apps::registerBuiltinWorkloads();
+    auto& registry = core::WorkloadRegistry::instance();
     const Flags flags(argc, argv);
     bench::banner(
         "Figure 6: speedup distribution across independent GEVO runs",
         "paper Fig. 6");
 
-    const auto runs = static_cast<std::uint32_t>(flags.getInt("runs", 3));
-    const auto gens = static_cast<std::uint32_t>(flags.getInt("gens", 12));
-    const auto pop = static_cast<std::uint32_t>(flags.getInt("pop", 16));
     const auto dev = sim::deviceByName(flags.getString("device", "P100"));
+    const auto names =
+        bench::workloadList(flags, registry, "adept-v1,simcov");
 
-    // ---- (a) ADEPT-V1 ----
-    {
-        const adept::ScoringParams sc;
-        auto pairs = bench::adeptPairs(flags, 4);
-        const auto v1 = adept::buildAdeptV1(sc, 64);
-        const adept::AdeptDriver driver(pairs, sc, 1, 64);
-        adept::AdeptFitness fitness(driver, dev);
+    std::uint64_t seedBase = 100;
+    char label = 'a';
+    for (const auto& name : names) {
+        const auto& workload = registry.get(name);
+        core::WorkloadConfig config;
+        config.device = dev;
+        config.flags = &flags;
+        // The figure's historical scale (4 ADEPT pairs; SIMCoV at its
+        // full 32x32 fitness grid) — not the throughput bench's knobs.
+        config.defaults = workload.variabilityKnobs;
+        const auto instance = workload.make(config);
 
-        std::printf("\n(a) ADEPT-V1 on %s: %u runs x %u generations, "
-                    "population %u\n",
-                    dev.name.c_str(), runs, gens, pop);
-        std::printf("paper: best 1.33x, mean 1.20x, worst 1.10x over 303 "
-                    "generations\n\n");
+        const auto runs = static_cast<std::uint32_t>(
+            flags.getInt("runs", workload.variabilityRuns));
+        const auto gens = static_cast<std::uint32_t>(
+            flags.getInt("gens", workload.variabilityGens));
+        const auto pop = static_cast<std::uint32_t>(
+            flags.getInt("pop", workload.variabilityPop));
+        const auto islands = static_cast<std::uint32_t>(
+            flags.getInt("islands", 1));
+
+        std::printf("\n(%c) %s on %s: %u runs x %u generations, "
+                    "population %u%s\n",
+                    label++, workload.name.c_str(), dev.name.c_str(), runs,
+                    gens, pop,
+                    islands > 1 ? strformat(", %u islands", islands).c_str()
+                                : "");
         Table t({"run", "seed", "final speedup", "best-gen trajectory"});
         RunningStat stat;
         for (std::uint32_t r = 0; r < runs; ++r) {
-            core::EvolutionParams params;
+            core::EvolutionParams params = workload.searchDefaults;
             params.populationSize = pop;
             params.generations = gens;
             params.elitism = 2;
-            params.seed = 100 + r;
-            core::EvolutionEngine engine(v1.module, fitness, params);
+            params.seed = seedBase + r;
+            params.islands = islands;
+            core::EvolutionEngine engine(instance->module(),
+                                         instance->fitness(), params);
             const auto result = engine.run();
             stat.push(result.speedup());
             std::string traj;
@@ -61,43 +81,7 @@ main(int argc, char** argv)
         t.print();
         std::printf("distribution: min %.3fx mean %.3fx max %.3fx\n",
                     stat.min(), stat.mean(), stat.max());
-    }
-
-    // ---- (b) SIMCoV ----
-    {
-        auto cfg = bench::simcovConfig(flags);
-        cfg.steps = static_cast<std::int32_t>(flags.getInt("steps", 16));
-        const auto built = simcov::buildSimcov(cfg);
-        const simcov::SimcovDriver driver(cfg);
-        simcov::SimcovFitness fitness(driver, dev);
-
-        const auto simRuns =
-            static_cast<std::uint32_t>(flags.getInt("sim-runs", 2));
-        const auto simGens =
-            static_cast<std::uint32_t>(flags.getInt("sim-gens", 6));
-        std::printf("\n(b) SIMCoV on %s: %u runs x %u generations\n",
-                    dev.name.c_str(), simRuns, simGens);
-        std::printf("paper: best 1.35x, mean 1.28x, worst 1.18x over 130 "
-                    "generations\n\n");
-        Table t({"run", "seed", "final speedup"});
-        RunningStat stat;
-        for (std::uint32_t r = 0; r < simRuns; ++r) {
-            core::EvolutionParams params;
-            params.populationSize =
-                static_cast<std::uint32_t>(flags.getInt("sim-pop", 10));
-            params.generations = simGens;
-            params.elitism = 2;
-            params.seed = 500 + r;
-            core::EvolutionEngine engine(built.module, fitness, params);
-            const auto result = engine.run();
-            stat.push(result.speedup());
-            t.row().cell(static_cast<long long>(r))
-                .cell(static_cast<long long>(params.seed))
-                .cell(result.speedup(), 3);
-        }
-        t.print();
-        std::printf("distribution: min %.3fx mean %.3fx max %.3fx\n",
-                    stat.min(), stat.mean(), stat.max());
+        seedBase += 400; // Distinct seed block per workload.
     }
     return 0;
 }

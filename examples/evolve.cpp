@@ -1,0 +1,177 @@
+/// Registry-driven evolution driver: one binary for every workload.
+///
+/// Replaces the per-app evolve_adept/evolve_simcov drivers. Pick a
+/// workload with --workload (see --help for the registered set and each
+/// workload's scale knobs), a search topology with --islands /
+/// --migration-interval / --migration-count, and the usual GA knobs. The
+/// flow is the paper's (Sec III-E, Fig. 1): build the app's kernels in
+/// IR, validate against the CPU oracle, evolve edit lists, then map the
+/// best edits back to source locations (Sec VI methodology) and compare
+/// against the golden-edit ceiling.
+
+#include <cstdio>
+
+#include "apps/registry.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "support/flags.h"
+
+using namespace gevo;
+
+namespace {
+
+void
+printHelp(const core::WorkloadRegistry& registry)
+{
+    FlagUsage usage("evolve", "evolutionary search over any registered "
+                              "workload");
+    usage.section("search")
+        .flag("workload", "<name>", "workload to evolve (default adept-v1)")
+        .flag("device", "<gpu>", "device model, e.g. P100/V100 (default "
+                                 "P100)")
+        .flag("pop", "<n>", "population size per island")
+        .flag("gens", "<n>", "generations")
+        .flag("elitism", "<n>", "elites preserved per generation")
+        .flag("seed", "<n>", "search seed")
+        .flag("threads", "<n>", "evaluation threads (0 = hardware)")
+        .flag("cache", "<bool>", "two-level variant cache (default on)")
+        .flag("cache-max", "<n>", "cache entry bound, 0 = unbounded");
+    usage.section("islands")
+        .flag("islands", "<n>", "island count (1 = panmictic, the paper's "
+                                "configuration)")
+        .flag("migration-interval", "<n>",
+              "generations between ring migrations (0 = isolated)")
+        .flag("migration-count", "<n>", "individuals migrated per edge");
+    usage.section("registered workloads");
+    for (const auto& name : registry.names()) {
+        const auto& w = registry.get(name);
+        usage.item(name, w.summary);
+        for (const auto& knob : w.knobs)
+            usage.item("  --" + knob.name,
+                       knob.help + " (default " +
+                           std::to_string(knob.defaultValue) + ")");
+    }
+    usage.print();
+}
+
+/// Map an edit's anchor back to a source location (paper Sec VI: "we
+/// trace each relevant code edit in the LLVM-IR level back to its
+/// corresponding CUDA source code").
+std::string
+locateEdit(const ir::Module& module, const mut::Edit& e)
+{
+    for (std::size_t f = 0; f < module.numFunctions(); ++f) {
+        const auto pos = module.function(f).findUid(e.srcUid);
+        if (pos.valid()) {
+            const auto& in = module.function(f).at(pos);
+            auto locName = module.locString(in.loc);
+            return locName.empty() ? module.function(f).name : locName;
+        }
+    }
+    return "(location unknown)";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    apps::registerBuiltinWorkloads();
+    auto& registry = core::WorkloadRegistry::instance();
+    const Flags flags(argc, argv);
+    if (flags.helpRequested() || flags.getBool("list", false)) {
+        printHelp(registry);
+        return 0;
+    }
+
+    const auto name =
+        flags.getChoice("workload", registry.names(), "adept-v1");
+    const auto& workload = registry.get(name);
+
+    core::WorkloadConfig config;
+    config.device = sim::deviceByName(flags.getString("device", "P100"));
+    config.flags = &flags;
+    const auto instance = workload.make(config);
+
+    core::EvolutionParams params = workload.searchDefaults;
+    params.populationSize = static_cast<std::uint32_t>(
+        flags.getInt("pop", params.populationSize));
+    params.generations = static_cast<std::uint32_t>(
+        flags.getInt("gens", params.generations));
+    params.elitism =
+        static_cast<std::uint32_t>(flags.getInt("elitism", params.elitism));
+    params.seed = static_cast<std::uint64_t>(
+        flags.getInt("seed", static_cast<std::int64_t>(params.seed)));
+    params.threads =
+        static_cast<std::uint32_t>(flags.getInt("threads", params.threads));
+    params.useCache = flags.getBool("cache", params.useCache);
+    params.cacheMaxEntries = static_cast<std::size_t>(
+        flags.getInt("cache-max", 0));
+    params.islands =
+        static_cast<std::uint32_t>(flags.getInt("islands", params.islands));
+    params.migrationInterval = static_cast<std::uint32_t>(
+        flags.getInt("migration-interval", params.migrationInterval));
+    params.migrationCount = static_cast<std::uint32_t>(
+        flags.getInt("migration-count", params.migrationCount));
+
+    const auto topology = core::makeTopology(params);
+    std::printf("%s: %s\n", workload.name.c_str(),
+                instance->banner().c_str());
+    std::printf("search: %s, population %u x %u generations, seed %llu, "
+                "fitness %s\n\n",
+                topology->describe().c_str(), params.populationSize,
+                params.generations,
+                static_cast<unsigned long long>(params.seed),
+                instance->fitness().name().c_str());
+
+    core::EvolutionEngine engine(instance->module(), instance->fitness(),
+                                 params);
+    const std::uint32_t stride = params.generations <= 12 ? 1 : 5;
+    const auto result = engine.run(
+        [&](const core::GenerationLog& log, const core::SearchResult& r) {
+            if (log.generation % stride != 0 && log.generation != 1)
+                return;
+            std::printf("gen %3u: %.3fx (%zu valid", log.generation,
+                        r.baselineMs / log.bestMs, log.validCount);
+            if (log.islandBestMs.size() > 1) {
+                std::printf("; islands");
+                for (const double ms : log.islandBestMs)
+                    std::printf(" %.3fx", r.baselineMs / ms);
+            }
+            std::printf(")\n");
+        });
+
+    std::printf("\nbest: %.3fx with %zu edits\n", result.speedup(),
+                result.best.edits.size());
+    std::printf("cache: %zu served, %zu evaluated, %zu entries, %zu "
+                "evicted\n",
+                result.cacheSummary.served, result.cacheSummary.evaluated,
+                result.cacheSummary.entries,
+                result.cacheSummary.evictions);
+
+    std::printf("\nedit -> source mapping:\n");
+    for (const auto& e : result.best.edits)
+        std::printf("  %-40s @ %s\n", e.toString().c_str(),
+                    locateEdit(instance->module(), e).c_str());
+
+    const auto heldOut = instance->validateBest(result.best.edits);
+    std::printf("\nheld-out validation: %s\n",
+                heldOut.empty() ? "passes" : heldOut.c_str());
+
+    const auto golden = instance->goldenEdits();
+    if (!golden.empty()) {
+        const auto ceiling = core::evaluateVariant(
+            instance->module(), golden, instance->fitness());
+        if (ceiling.valid && ceiling.ms > 0.0) {
+            std::printf("golden-edit ceiling: %.3fx",
+                        result.baselineMs / ceiling.ms);
+            if (instance->paperCeiling() > 0.0)
+                std::printf(" (paper: %.2fx)", instance->paperCeiling());
+            std::printf("\n");
+        } else {
+            std::printf("golden-edit ceiling: INVALID (%s)\n",
+                        ceiling.failReason.c_str());
+        }
+    }
+    return 0;
+}

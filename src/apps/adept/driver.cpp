@@ -75,7 +75,8 @@ AdeptDriver::run(const sim::ProgramSet& programs,
         out.fault.detail = "forward kernel missing from module";
         return out;
     }
-    const sim::LaunchDims dims{n, maxThreads_, oversubscribe_};
+    const sim::LaunchDims dims{n, maxThreads_, oversubscribe_,
+                               blockThreads_};
     const std::vector<std::uint64_t> fwdArgs = {
         static_cast<std::uint64_t>(seqA),
         static_cast<std::uint64_t>(seqB),

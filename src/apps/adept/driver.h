@@ -64,6 +64,15 @@ class AdeptDriver {
     void setOversubscribe(std::uint32_t factor) { oversubscribe_ = factor; }
     std::uint32_t oversubscribe() const { return oversubscribe_; }
 
+    /// Host threads to partition blocks across per launch (see
+    /// sim::LaunchDims::blockThreads; 0/1 = serial). Safe for the ADEPT
+    /// kernels: each block aligns one pair and writes only its own output
+    /// slots — blocks never communicate. Meant for single large
+    /// evaluations (held-out checks, profiling) where the evolution
+    /// engine's population-level thread pool sits idle.
+    void setBlockThreads(std::uint32_t threads) { blockThreads_ = threads; }
+    std::uint32_t blockThreads() const { return blockThreads_; }
+
   private:
     std::vector<SequencePair> pairs_;
     ScoringParams scoring_;
@@ -71,6 +80,7 @@ class AdeptDriver {
     std::uint32_t maxThreads_;
     std::uint32_t maxLen_;
     std::uint32_t oversubscribe_ = 512;
+    std::uint32_t blockThreads_ = 1;
     std::vector<AlignmentResult> expected_;
 };
 

@@ -1,0 +1,15 @@
+/// \file
+/// Registry entries for the ADEPT workloads ("adept-v0", "adept-v1").
+
+#ifndef GEVO_APPS_ADEPT_WORKLOAD_H
+#define GEVO_APPS_ADEPT_WORKLOAD_H
+
+namespace gevo::adept {
+
+/// Register adept-v0 and adept-v1 with the core::WorkloadRegistry.
+/// Call through apps::registerBuiltinWorkloads(), which is idempotent.
+void registerWorkloads();
+
+} // namespace gevo::adept
+
+#endif // GEVO_APPS_ADEPT_WORKLOAD_H

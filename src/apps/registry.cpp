@@ -1,0 +1,19 @@
+#include "apps/registry.h"
+
+#include "apps/adept/workload.h"
+#include "apps/simcov/workload.h"
+
+namespace gevo::apps {
+
+void
+registerBuiltinWorkloads()
+{
+    static const bool once = [] {
+        adept::registerWorkloads();
+        simcov::registerWorkloads();
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace gevo::apps

@@ -1,0 +1,20 @@
+/// \file
+/// One-call registration of every built-in workload.
+///
+/// gevo is a static library, so self-registration via static initializers
+/// would be linker-stripped; instead every registry consumer (the evolve
+/// example, the benches, the tests) makes this explicit, idempotent call
+/// before touching core::WorkloadRegistry.
+
+#ifndef GEVO_APPS_REGISTRY_H
+#define GEVO_APPS_REGISTRY_H
+
+namespace gevo::apps {
+
+/// Register the built-in workloads (adept-v0, adept-v1, simcov) with
+/// core::WorkloadRegistry::instance(). Safe to call any number of times.
+void registerBuiltinWorkloads();
+
+} // namespace gevo::apps
+
+#endif // GEVO_APPS_REGISTRY_H

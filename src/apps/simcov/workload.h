@@ -1,0 +1,15 @@
+/// \file
+/// Registry entry for the SIMCoV workload ("simcov").
+
+#ifndef GEVO_APPS_SIMCOV_WORKLOAD_H
+#define GEVO_APPS_SIMCOV_WORKLOAD_H
+
+namespace gevo::simcov {
+
+/// Register simcov with the core::WorkloadRegistry.
+/// Call through apps::registerBuiltinWorkloads(), which is idempotent.
+void registerWorkloads();
+
+} // namespace gevo::simcov
+
+#endif // GEVO_APPS_SIMCOV_WORKLOAD_H

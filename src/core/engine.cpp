@@ -2,67 +2,91 @@
 
 #include <algorithm>
 #include <atomic>
-#include <numeric>
 #include <unordered_map>
 
-#include "mutation/patch.h"
 #include "support/logging.h"
-#include "support/thread_pool.h"
 
 namespace gevo::core {
 
-EvolutionEngine::EvolutionEngine(const ir::Module& base,
-                                 const FitnessFunction& fitness,
-                                 EvolutionParams params)
-    : base_(base), fitness_(fitness), params_(params)
+namespace {
+
+/// Seed for island \p island's private stream. Island 0 uses the search
+/// seed verbatim — a 1-island run is bit-for-bit the pre-island engine —
+/// and higher islands decorrelate through a golden-ratio multiple (the
+/// Rng constructor splitmixes whatever it is given, so nearby values
+/// still yield independent streams).
+std::uint64_t
+islandSeed(std::uint64_t seed, std::uint32_t island)
 {
-    GEVO_ASSERT(params_.populationSize >= 2, "population too small");
-    GEVO_ASSERT(params_.elitism < params_.populationSize,
-                "elitism exceeds population");
+    return seed ^ (0x9e3779b97f4a7c15ULL * island);
 }
 
-Individual
-EvolutionEngine::makeSeedIndividual(Rng& rng)
+} // namespace
+
+EvolutionEngine::EvolutionEngine(const ir::Module& base,
+                                 const FitnessFunction& fitness,
+                                 EvolutionParams params,
+                                 std::unique_ptr<SearchTopology> topology)
+    : base_(base), fitness_(fitness), params_(params),
+      topology_(topology ? std::move(topology) : makeTopology(params_)),
+      cache_(16, params_.cacheMaxEntries),
+      programCache_(16, params_.cacheMaxEntries)
 {
-    // GEVO seeds the population with single-mutation variants of the
-    // original program.
-    Individual ind;
-    const auto edit = mut::sampleEdit(base_, rng, params_.sampler);
-    if (edit)
-        ind.edits.push_back(*edit);
-    return ind;
+    // User-facing parameter validation (these arrive straight from
+    // flags, so they are fatal user errors, not internal invariants).
+    if (params_.populationSize < 2)
+        GEVO_FATAL("populationSize must be >= 2 (got %u)",
+                   params_.populationSize);
+    if (params_.elitism >= params_.populationSize)
+        GEVO_FATAL("elitism (%u) must be below populationSize (%u)",
+                   params_.elitism, params_.populationSize);
+    if (params_.migrationCount >= params_.populationSize)
+        GEVO_FATAL("migrationCount (%u) must be below populationSize (%u)",
+                   params_.migrationCount, params_.populationSize);
+    GEVO_ASSERT(topology_->islandCount() >= 1, "no islands");
 }
 
 void
-EvolutionEngine::evaluatePopulation(ThreadPool& pool,
-                                    std::vector<Individual>* pop,
-                                    GenerationLog* log)
+EvolutionEngine::evaluateIslands(ThreadPool& pool,
+                                 std::vector<Island>* islands,
+                                 GenerationLog* log)
 {
     if (!params_.useCache) {
-        // Reference path: literal compile-per-call — every individual is
-        // re-patched, re-cleaned, re-verified, re-decoded and re-simulated
-        // every generation, with no memo of any kind. Deterministic
-        // fitness makes this trajectory-identical to the cached path.
-        pool.parallelFor(pop->size(), [&](std::size_t i) {
-            Individual& ind = (*pop)[i];
-            ind.fitness = evaluateVariant(base_, ind.edits, fitness_);
-            ind.evaluated = true;
+        // Reference path: literal compile-per-call — every individual of
+        // every island is re-patched, re-cleaned, re-verified, re-decoded
+        // and re-simulated every generation, with no memo of any kind.
+        // Deterministic fitness makes this trajectory-identical to the
+        // cached path.
+        std::vector<Individual*> all;
+        for (auto& island : *islands) {
+            for (auto& ind : island.pop.members())
+                all.push_back(&ind);
+        }
+        pool.parallelFor(all.size(), [&](std::size_t i) {
+            Individual* ind = all[i];
+            ind->fitness = evaluateVariant(base_, ind->edits, fitness_);
+            ind->evaluated = true;
         });
-        log->evaluations += pop->size();
-        log->cacheMisses += pop->size();
+        log->evaluations += all.size();
+        log->cacheMisses += all.size();
         return;
     }
 
+    // Whole-generation batching: the unevaluated individuals of every
+    // island go into one work list (island order, then population order —
+    // deterministic regardless of thread count), deduplicated globally so
+    // identical offspring on different islands compile at most once.
     std::vector<Individual*> todo;
-    for (auto& ind : *pop) {
-        if (!ind.evaluated)
-            todo.push_back(&ind);
+    for (auto& island : *islands) {
+        for (auto& ind : island.pop.members()) {
+            if (!ind.evaluated)
+                todo.push_back(&ind);
+        }
     }
     log->evaluations += todo.size();
 
     // Group identical offspring by canonical key; the first occurrence is
-    // the group's representative. Iteration order (population order) keeps
-    // this deterministic regardless of thread count.
+    // the group's representative.
     std::vector<std::string> keys(todo.size());
     std::unordered_map<std::string, std::size_t> firstOf;
     std::vector<std::size_t> owner(todo.size());
@@ -135,43 +159,9 @@ EvolutionEngine::evaluatePopulation(ThreadPool& pool,
     log->cacheHits += todo.size() - worked;
 }
 
-const Individual&
-EvolutionEngine::tournament(const std::vector<Individual>& pop,
-                            Rng& rng) const
-{
-    const Individual* best = nullptr;
-    for (std::uint32_t i = 0; i < params_.tournamentSize; ++i) {
-        const Individual& c = pop[rng.below(pop.size())];
-        if (best == nullptr || c.fitness.ms < best->fitness.ms)
-            best = &c;
-    }
-    return *best;
-}
-
-void
-EvolutionEngine::mutate(Individual* ind, Rng& rng)
-{
-    if (!ind->edits.empty() && !rng.chance(params_.mutationAppendProb)) {
-        ind->edits.erase(ind->edits.begin() +
-                         static_cast<std::ptrdiff_t>(
-                             rng.below(ind->edits.size())));
-        ind->evaluated = false;
-        return;
-    }
-    // Sample against the patched variant so new edits can build on
-    // previously inserted instructions.
-    const ir::Module patched = mut::applyPatch(base_, ind->edits);
-    const auto edit = mut::sampleEdit(patched, rng, params_.sampler);
-    if (edit) {
-        ind->edits.push_back(*edit);
-        ind->evaluated = false;
-    }
-}
-
 SearchResult
 EvolutionEngine::run(const GenerationCallback& onGeneration)
 {
-    Rng rng(params_.seed);
     SearchResult result;
     ThreadPool pool(params_.threads);
 
@@ -194,88 +184,74 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         programCache_.insert(baselineCv.programs.contentKey(), baseline);
     }
 
-    std::vector<Individual> pop;
-    pop.reserve(params_.populationSize);
-    for (std::uint32_t i = 0; i < params_.populationSize; ++i)
-        pop.push_back(makeSeedIndividual(rng));
+    const std::uint32_t numIslands = topology_->islandCount();
+    std::vector<Island> islands;
+    islands.reserve(numIslands);
+    for (std::uint32_t i = 0; i < numIslands; ++i) {
+        islands.push_back({Population(base_, params_),
+                           Rng(islandSeed(params_.seed, i)),
+                           baseline.ms});
+        islands.back().pop.seed(islands.back().rng);
+    }
 
     for (std::uint32_t gen = 1; gen <= params_.generations; ++gen) {
         GenerationLog log;
         log.generation = gen;
-        evaluatePopulation(pool, &pop, &log);
-
-        // Sort index proxies, not Individuals: comparing doubles is cheap,
-        // but std::sort on the structs themselves copies whole edit
-        // vectors and fail-reason strings on every swap. Apply the
-        // permutation afterwards so each Individual moves exactly once.
-        std::vector<std::uint32_t> order(pop.size());
-        std::iota(order.begin(), order.end(), 0u);
-        std::stable_sort(order.begin(), order.end(),
-                         [&pop](std::uint32_t a, std::uint32_t b) {
-                             return pop[a].fitness.ms < pop[b].fitness.ms;
-                         });
-        std::vector<Individual> sorted;
-        sorted.reserve(pop.size());
-        for (const std::uint32_t i : order)
-            sorted.push_back(std::move(pop[i]));
-        pop = std::move(sorted);
+        evaluateIslands(pool, &islands, &log);
 
         double sum = 0.0;
-        for (const auto& ind : pop) {
-            if (ind.fitness.valid) {
-                sum += ind.fitness.ms;
-                ++log.validCount;
+        for (auto& island : islands) {
+            island.pop.sortByFitness();
+            for (const auto& ind : island.pop.members()) {
+                if (ind.fitness.valid) {
+                    sum += ind.fitness.ms;
+                    ++log.validCount;
+                }
             }
+            const Individual& front = island.pop.best();
+            if (front.fitness.valid) {
+                island.bestMs = std::min(island.bestMs, front.fitness.ms);
+                if (front.fitness.ms < result.best.fitness.ms)
+                    result.best = front;
+            }
+            log.islandBestMs.push_back(island.bestMs);
         }
         log.meanMs = log.validCount
                          ? sum / static_cast<double>(log.validCount)
                          : 0.0;
-        if (pop.front().fitness.valid &&
-            pop.front().fitness.ms < result.best.fitness.ms) {
-            result.best = pop.front();
-        }
         log.bestMs = result.best.fitness.ms;
         log.bestEdits = result.best.edits;
         result.history.push_back(log);
         if (onGeneration)
             onGeneration(result.history.back(), result);
 
-        // ---- breed the next generation ----
-        std::vector<Individual> next;
-        next.reserve(params_.populationSize);
-        for (std::uint32_t e = 0;
-             e < params_.elitism && e < pop.size(); ++e)
-            next.push_back(pop[e]);
-
-        while (next.size() < params_.populationSize) {
-            const Individual& a = tournament(pop, rng);
-            const Individual& b = tournament(pop, rng);
-            Individual child;
-            if (rng.chance(params_.crossoverProb)) {
-                auto [c1, c2] = mut::crossoverEdits(a.edits, b.edits, rng);
-                child.edits = std::move(c1);
-                if (next.size() + 1 < params_.populationSize) {
-                    Individual sibling;
-                    sibling.edits = std::move(c2);
-                    if (rng.chance(params_.mutationProb))
-                        mutate(&sibling, rng);
-                    next.push_back(std::move(sibling));
-                }
-            } else {
-                child = a;
+        // ---- migration (simultaneous: all outboxes snapshot first) ----
+        const auto edges = topology_->migrationsAfter(gen);
+        if (!edges.empty() && params_.migrationCount > 0) {
+            std::vector<std::vector<Individual>> outbox(islands.size());
+            for (const auto& e : edges) {
+                GEVO_ASSERT(e.from < islands.size() && e.to < islands.size(),
+                            "migration edge out of range");
+                if (outbox[e.from].empty())
+                    outbox[e.from] =
+                        islands[e.from].pop.emigrants(params_.migrationCount);
             }
-            if (rng.chance(params_.mutationProb))
-                mutate(&child, rng);
-            next.push_back(std::move(child));
+            for (const auto& e : edges)
+                islands[e.to].pop.receiveMigrants(outbox[e.from]);
         }
-        pop = std::move(next);
+
+        // ---- breed the next generation on every island ----
+        for (auto& island : islands)
+            island.pop.breedNext(island.rng);
     }
     for (const auto& log : result.history) {
         result.cacheSummary.served += log.cacheHits;
         result.cacheSummary.evaluated += log.cacheMisses;
     }
-    result.cacheSummary.entries =
-        cache_.stats().entries + programCache_.stats().entries;
+    const auto cs = cache_.stats();
+    const auto ps = programCache_.stats();
+    result.cacheSummary.entries = cs.entries + ps.entries;
+    result.cacheSummary.evictions = cs.evictions + ps.evictions;
     return result;
 }
 

@@ -1,62 +1,40 @@
 /// \file
-/// The GEVO evolutionary search engine.
+/// The GEVO evolutionary search orchestrator.
 ///
-/// Generational GA over edit lists with the paper's Sec III-E parameters as
-/// defaults: population 256, elitism 4, crossover probability 0.8, mutation
-/// probability 0.3 per individual per generation. Fitness evaluations run
-/// on a thread pool; every stochastic decision flows from the single seed,
-/// so (seed, base module, fitness) fully determines the search trajectory —
-/// which is what lets the Figure 8 discovery-sequence analysis recapitulate
-/// a run.
+/// Runs N islands (core/population.h) under a search topology
+/// (core/topology.h): per-island RNG streams, periodic migration, and a
+/// shared two-level variant cache. Fitness evaluations from every island
+/// are batched into one thread-pool dispatch per generation, so the pool
+/// sees the whole generation's work at once regardless of island count.
+///
+/// islands = 1 is the paper's Sec III-E configuration (population 256,
+/// elitism 4, crossover 0.8, mutation 0.3) and reproduces the pre-island
+/// engine bit-for-bit: island 0's RNG stream is seeded with the search
+/// seed directly and every operator draws in the same order, so (seed,
+/// base module, fitness) fully determines the trajectory — which is what
+/// lets the Figure 8 discovery-sequence analysis recapitulate a run.
 
 #ifndef GEVO_CORE_ENGINE_H
 #define GEVO_CORE_ENGINE_H
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/fitness.h"
+#include "core/params.h"
+#include "core/population.h"
+#include "core/topology.h"
 #include "core/variant_cache.h"
-#include "mutation/sampler.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 
 namespace gevo::core {
 
-/// One member of the population: an edit list plus its cached fitness.
-struct Individual {
-    std::vector<mut::Edit> edits;
-    FitnessResult fitness;
-    bool evaluated = false;
-};
-
-/// Search hyper-parameters (paper defaults).
-struct EvolutionParams {
-    std::uint32_t populationSize = 256;
-    std::uint32_t generations = 300;
-    std::uint32_t elitism = 4;
-    double crossoverProb = 0.8;
-    double mutationProb = 0.3;
-    /// Within a mutation event: probability the edit list grows (vs. a
-    /// random existing edit being dropped).
-    double mutationAppendProb = 0.85;
-    std::uint32_t tournamentSize = 2;
-    std::uint64_t seed = 1;
-    std::uint32_t threads = 0; ///< 0 = hardware concurrency.
-    /// true: full evaluation pipeline — per-individual memo, within-
-    /// generation dedup, and the two-level content-addressed variant cache
-    /// (edit-list key, then compiled-program key).
-    /// false: the un-cached compile-per-call reference path — every
-    /// individual is patched, cleaned, verified, decoded and simulated
-    /// every generation. Fitness is deterministic in the edit list, so the
-    /// search trajectory is identical either way; the reference path
-    /// exists to benchmark the pipeline against (bench/throughput.cpp).
-    bool useCache = true;
-    mut::SamplerConfig sampler;
-};
-
-/// Per-generation record (drives Figures 6 and 8).
+/// Per-generation record (drives Figures 6 and 8). With islands > 1 the
+/// scalar fields aggregate across islands (bestMs/bestEdits are global,
+/// meanMs/validCount/evaluations are summed over all islands).
 struct GenerationLog {
     std::uint32_t generation = 0;
     double bestMs = 0.0;     ///< Best (lowest) valid fitness so far.
@@ -70,7 +48,11 @@ struct GenerationLog {
     /// Requests that cost real pipeline work this generation: simulated,
     /// or compiled and rejected by the verifier.
     std::size_t cacheMisses = 0;
-    std::vector<mut::Edit> bestEdits; ///< Edit list of the generation best.
+    std::vector<mut::Edit> bestEdits; ///< Edit list of the run best.
+    /// Per-island best-so-far fitness (one entry per island). Island 0 of
+    /// a migration-free run evolves exactly like a single-island search
+    /// with the same seed.
+    std::vector<double> islandBestMs;
 };
 
 /// Whole-run cache accounting, aggregated from the GenerationLogs (the
@@ -80,6 +62,7 @@ struct CacheSummary {
     std::size_t served = 0;    ///< Requests served from memo/cache.
     std::size_t evaluated = 0; ///< Requests that cost pipeline work.
     std::size_t entries = 0;   ///< Entries across both cache levels.
+    std::size_t evictions = 0; ///< LRU evictions across both levels.
 };
 
 /// Result of a full search.
@@ -98,7 +81,8 @@ struct SearchResult {
     }
 };
 
-/// Evolutionary search driver.
+/// Evolutionary search driver: owns the islands, the evaluation pipeline
+/// and the caches; delegates population structure to a SearchTopology.
 class EvolutionEngine {
   public:
     /// Observer invoked after each generation (progress reporting).
@@ -106,24 +90,34 @@ class EvolutionEngine {
         std::function<void(const GenerationLog&, const SearchResult&)>;
 
     /// \p base must evaluate as valid under \p fitness (fatal otherwise —
-    /// a broken baseline means the test suite itself is wrong).
+    /// a broken baseline means the test suite itself is wrong). When
+    /// \p topology is null, one is derived from \p params (panmictic for
+    /// islands <= 1, ring otherwise).
     EvolutionEngine(const ir::Module& base, const FitnessFunction& fitness,
-                    EvolutionParams params);
+                    EvolutionParams params,
+                    std::unique_ptr<SearchTopology> topology = nullptr);
 
     /// Run the configured number of generations.
     SearchResult run(const GenerationCallback& onGeneration = {});
 
   private:
-    Individual makeSeedIndividual(Rng& rng);
-    void evaluatePopulation(ThreadPool& pool, std::vector<Individual>* pop,
-                            GenerationLog* log);
-    const Individual& tournament(const std::vector<Individual>& pop,
-                                 Rng& rng) const;
-    void mutate(Individual* ind, Rng& rng);
+    /// One island: a population plus its private RNG stream.
+    struct Island {
+        Population pop;
+        Rng rng;
+        double bestMs;
+    };
+
+    /// Evaluate every unevaluated individual across all islands as one
+    /// batched thread-pool dispatch, deduplicated globally and served
+    /// from the shared caches.
+    void evaluateIslands(ThreadPool& pool, std::vector<Island>* islands,
+                         GenerationLog* log);
 
     const ir::Module& base_;
     const FitnessFunction& fitness_;
     EvolutionParams params_;
+    std::unique_ptr<SearchTopology> topology_;
     /// Level 1: canonical edit-list key -> fitness (skips even the
     /// compile stage for genotypes seen before).
     VariantCache cache_;

@@ -1,0 +1,64 @@
+/// \file
+/// Search hyper-parameters, shared by the population and orchestrator
+/// layers (paper Sec III-E defaults, plus the island-model and cache
+/// extensions this reproduction adds on top).
+
+#ifndef GEVO_CORE_PARAMS_H
+#define GEVO_CORE_PARAMS_H
+
+#include <cstdint>
+
+#include "mutation/sampler.h"
+
+namespace gevo::core {
+
+/// Search hyper-parameters (paper defaults).
+struct EvolutionParams {
+    std::uint32_t populationSize = 256; ///< Per island.
+    std::uint32_t generations = 300;
+    std::uint32_t elitism = 4;
+    double crossoverProb = 0.8;
+    double mutationProb = 0.3;
+    /// Within a mutation event: probability the edit list grows (vs. a
+    /// random existing edit being dropped).
+    double mutationAppendProb = 0.85;
+    std::uint32_t tournamentSize = 2;
+    std::uint64_t seed = 1;
+    std::uint32_t threads = 0; ///< 0 = hardware concurrency.
+
+    // ---- population structure (island model) ----
+    /// Number of islands. 1 is the paper's single panmictic population and
+    /// reproduces the pre-island engine bit-for-bit (island 0's RNG stream
+    /// is seeded with `seed` directly). Islands evolve independently
+    /// except for migration; their fitness evaluations are batched into
+    /// one thread-pool dispatch per generation.
+    std::uint32_t islands = 1;
+    /// Ring migration period in generations (0 = never migrate). Only
+    /// meaningful when islands > 1.
+    std::uint32_t migrationInterval = 10;
+    /// Individuals copied island i -> (i+1) % islands at each migration
+    /// (the receiver's worst are replaced). Clamped below populationSize.
+    std::uint32_t migrationCount = 2;
+
+    // ---- evaluation pipeline ----
+    /// true: full evaluation pipeline — per-individual memo, within-
+    /// generation dedup across all islands, and the two-level content-
+    /// addressed variant cache (edit-list key, then compiled-program key).
+    /// false: the un-cached compile-per-call reference path — every
+    /// individual is patched, cleaned, verified, decoded and simulated
+    /// every generation. Fitness is deterministic in the edit list, so the
+    /// search trajectory is identical either way; the reference path
+    /// exists to benchmark the pipeline against (bench/throughput.cpp).
+    bool useCache = true;
+    /// Per-level entry bound for the variant caches (0 = unbounded). When
+    /// set, each cache evicts least-recently-used entries beyond the
+    /// bound; eviction is trajectory-neutral because evicted results are
+    /// deterministically recomputed on the next miss.
+    std::size_t cacheMaxEntries = 0;
+
+    mut::SamplerConfig sampler;
+};
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_PARAMS_H

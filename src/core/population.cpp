@@ -1,0 +1,135 @@
+#include "core/population.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mutation/patch.h"
+#include "support/logging.h"
+
+namespace gevo::core {
+
+Population::Population(const ir::Module& base, const EvolutionParams& params)
+    : base_(base), params_(params)
+{
+    GEVO_ASSERT(params_.populationSize >= 2, "population too small");
+    GEVO_ASSERT(params_.elitism < params_.populationSize,
+                "elitism exceeds population");
+}
+
+void
+Population::seed(Rng& rng)
+{
+    members_.clear();
+    members_.reserve(params_.populationSize);
+    for (std::uint32_t i = 0; i < params_.populationSize; ++i) {
+        // GEVO seeds the population with single-mutation variants of the
+        // original program.
+        Individual ind;
+        const auto edit = mut::sampleEdit(base_, rng, params_.sampler);
+        if (edit)
+            ind.edits.push_back(*edit);
+        members_.push_back(std::move(ind));
+    }
+}
+
+void
+Population::sortByFitness()
+{
+    std::vector<std::uint32_t> order(members_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return members_[a].fitness.ms <
+                                members_[b].fitness.ms;
+                     });
+    std::vector<Individual> sorted;
+    sorted.reserve(members_.size());
+    for (const std::uint32_t i : order)
+        sorted.push_back(std::move(members_[i]));
+    members_ = std::move(sorted);
+}
+
+const Individual&
+Population::tournament(Rng& rng) const
+{
+    const Individual* best = nullptr;
+    for (std::uint32_t i = 0; i < params_.tournamentSize; ++i) {
+        const Individual& c = members_[rng.below(members_.size())];
+        if (best == nullptr || c.fitness.ms < best->fitness.ms)
+            best = &c;
+    }
+    return *best;
+}
+
+void
+Population::mutate(Individual* ind, Rng& rng)
+{
+    if (!ind->edits.empty() && !rng.chance(params_.mutationAppendProb)) {
+        ind->edits.erase(ind->edits.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             rng.below(ind->edits.size())));
+        ind->evaluated = false;
+        return;
+    }
+    // Sample against the patched variant so new edits can build on
+    // previously inserted instructions.
+    const ir::Module patched = mut::applyPatch(base_, ind->edits);
+    const auto edit = mut::sampleEdit(patched, rng, params_.sampler);
+    if (edit) {
+        ind->edits.push_back(*edit);
+        ind->evaluated = false;
+    }
+}
+
+void
+Population::breedNext(Rng& rng)
+{
+    std::vector<Individual> next;
+    next.reserve(params_.populationSize);
+    for (std::uint32_t e = 0; e < params_.elitism && e < members_.size();
+         ++e)
+        next.push_back(members_[e]);
+
+    while (next.size() < params_.populationSize) {
+        const Individual& a = tournament(rng);
+        const Individual& b = tournament(rng);
+        Individual child;
+        if (rng.chance(params_.crossoverProb)) {
+            auto [c1, c2] = mut::crossoverEdits(a.edits, b.edits, rng);
+            child.edits = std::move(c1);
+            if (next.size() + 1 < params_.populationSize) {
+                Individual sibling;
+                sibling.edits = std::move(c2);
+                if (rng.chance(params_.mutationProb))
+                    mutate(&sibling, rng);
+                next.push_back(std::move(sibling));
+            }
+        } else {
+            child = a;
+        }
+        if (rng.chance(params_.mutationProb))
+            mutate(&child, rng);
+        next.push_back(std::move(child));
+    }
+    members_ = std::move(next);
+}
+
+std::vector<Individual>
+Population::emigrants(std::uint32_t count) const
+{
+    const auto n = std::min<std::size_t>(count, members_.size());
+    return {members_.begin(),
+            members_.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+void
+Population::receiveMigrants(const std::vector<Individual>& migrants)
+{
+    GEVO_ASSERT(migrants.size() < members_.size(),
+                "migration would replace the whole population");
+    std::copy(migrants.begin(), migrants.end(),
+              members_.end() - static_cast<std::ptrdiff_t>(migrants.size()));
+    sortByFitness();
+}
+
+} // namespace gevo::core

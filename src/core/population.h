@@ -1,0 +1,79 @@
+/// \file
+/// One GA population: individuals plus the paper's Sec III-E breeding
+/// operators (tournament selection, one-point crossover, append/drop
+/// mutation, elitism).
+///
+/// Extracted from the pre-island EvolutionEngine so the orchestrator can
+/// run N of these side by side. The operator implementations and their
+/// RNG draw order are preserved verbatim: a single Population driven by
+/// one Rng stream reproduces the pre-island engine's trajectory exactly.
+/// Fitness evaluation is NOT here — the engine owns it, so that
+/// evaluations from every island can be batched into one thread-pool
+/// dispatch and share the variant caches.
+
+#ifndef GEVO_CORE_POPULATION_H
+#define GEVO_CORE_POPULATION_H
+
+#include <vector>
+
+#include "core/fitness.h"
+#include "core/params.h"
+#include "mutation/edit.h"
+#include "support/rng.h"
+
+namespace gevo::core {
+
+/// One member of the population: an edit list plus its cached fitness.
+struct Individual {
+    std::vector<mut::Edit> edits;
+    FitnessResult fitness;
+    bool evaluated = false;
+};
+
+/// A population with the GA operators; all stochastic decisions flow from
+/// the Rng the caller passes in (one stream per island).
+class Population {
+  public:
+    /// \p base and \p params must outlive the population.
+    Population(const ir::Module& base, const EvolutionParams& params);
+
+    /// Fill with populationSize single-mutation variants of the base
+    /// program (GEVO's seeding recipe).
+    void seed(Rng& rng);
+
+    std::vector<Individual>& members() { return members_; }
+    const std::vector<Individual>& members() const { return members_; }
+    std::size_t size() const { return members_.size(); }
+
+    /// Stable sort ascending by fitness.ms (invalid = +inf sinks to the
+    /// back). Sorts index proxies, then applies the permutation, so each
+    /// Individual moves exactly once instead of being copied per swap.
+    void sortByFitness();
+
+    /// Best member. \pre sorted.
+    const Individual& best() const { return members_.front(); }
+
+    /// Replace the members with the next generation: elitism, tournament
+    /// selection, one-point crossover, append/drop mutation. \pre sorted.
+    void breedNext(Rng& rng);
+
+    /// Copies of the top \p count members (migration outbox). \pre sorted.
+    std::vector<Individual> emigrants(std::uint32_t count) const;
+
+    /// Replace the worst members with \p migrants (already evaluated on
+    /// the sending island; fitness is island-independent so it transfers).
+    /// Leaves the population sorted.
+    void receiveMigrants(const std::vector<Individual>& migrants);
+
+  private:
+    const Individual& tournament(Rng& rng) const;
+    void mutate(Individual* ind, Rng& rng);
+
+    const ir::Module& base_;
+    const EvolutionParams& params_;
+    std::vector<Individual> members_;
+};
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_POPULATION_H

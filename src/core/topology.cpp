@@ -1,0 +1,44 @@
+#include "core/topology.h"
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace gevo::core {
+
+RingTopology::RingTopology(std::uint32_t islands, std::uint32_t interval)
+    : islands_(islands), interval_(interval)
+{
+    GEVO_ASSERT(islands_ >= 1, "ring needs at least one island");
+}
+
+std::vector<MigrationEdge>
+RingTopology::migrationsAfter(std::uint32_t gen) const
+{
+    if (islands_ < 2 || interval_ == 0 || gen % interval_ != 0)
+        return {};
+    std::vector<MigrationEdge> edges;
+    edges.reserve(islands_);
+    for (std::uint32_t i = 0; i < islands_; ++i)
+        edges.push_back({i, (i + 1) % islands_});
+    return edges;
+}
+
+std::string
+RingTopology::describe() const
+{
+    if (interval_ == 0)
+        return strformat("%u isolated islands", islands_);
+    return strformat("%u-island ring, migration every %u generations",
+                     islands_, interval_);
+}
+
+std::unique_ptr<SearchTopology>
+makeTopology(const EvolutionParams& params)
+{
+    if (params.islands <= 1)
+        return std::make_unique<PanmicticTopology>();
+    return std::make_unique<RingTopology>(params.islands,
+                                          params.migrationInterval);
+}
+
+} // namespace gevo::core

@@ -1,0 +1,85 @@
+/// \file
+/// Population structure of the search: how many islands evolve in
+/// parallel and when/where individuals migrate between them.
+///
+/// The seam exists so search topologies can vary without touching the
+/// orchestrator: the engine asks the topology for the island count and,
+/// after each generation, for the migration edges to apply. Both built-in
+/// topologies are deterministic — migration needs no RNG draws, which
+/// keeps per-island streams independent of the topology choice.
+
+#ifndef GEVO_CORE_TOPOLOGY_H
+#define GEVO_CORE_TOPOLOGY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+
+namespace gevo::core {
+
+/// One directed migrant transfer: copies of islands[from]'s best replace
+/// islands[to]'s worst.
+struct MigrationEdge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+};
+
+/// Interface the orchestrator runs against.
+class SearchTopology {
+  public:
+    virtual ~SearchTopology() = default;
+
+    /// Number of islands (>= 1).
+    virtual std::uint32_t islandCount() const = 0;
+
+    /// Migration edges to apply after generation \p gen has been evaluated
+    /// and sorted (empty = no migration this generation). All edges of one
+    /// generation are applied from pre-migration snapshots, so transfer
+    /// order never matters.
+    virtual std::vector<MigrationEdge>
+    migrationsAfter(std::uint32_t gen) const = 0;
+
+    /// Short description for logs/banners.
+    virtual std::string describe() const = 0;
+};
+
+/// The paper's topology: one panmictic population, no migration.
+class PanmicticTopology : public SearchTopology {
+  public:
+    std::uint32_t islandCount() const override { return 1; }
+    std::vector<MigrationEdge>
+    migrationsAfter(std::uint32_t) const override
+    {
+        return {};
+    }
+    std::string describe() const override { return "panmictic"; }
+};
+
+/// N islands in a directed ring: every `interval` generations island i
+/// sends its best to island (i+1) % N. interval 0 disables migration
+/// (fully isolated islands — equivalent to N independent runs sharing the
+/// evaluation pipeline and caches).
+class RingTopology : public SearchTopology {
+  public:
+    RingTopology(std::uint32_t islands, std::uint32_t interval);
+
+    std::uint32_t islandCount() const override { return islands_; }
+    std::vector<MigrationEdge>
+    migrationsAfter(std::uint32_t gen) const override;
+    std::string describe() const override;
+
+  private:
+    std::uint32_t islands_;
+    std::uint32_t interval_;
+};
+
+/// Topology implied by \p params: panmictic when islands <= 1, else a
+/// ring with params.migrationInterval.
+std::unique_ptr<SearchTopology> makeTopology(const EvolutionParams& params);
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_TOPOLOGY_H

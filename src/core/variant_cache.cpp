@@ -1,6 +1,9 @@
 #include "core/variant_cache.h"
 
+#include <algorithm>
+
 #include "support/bytes.h"
+#include "support/logging.h"
 
 namespace gevo::core {
 
@@ -16,12 +19,37 @@ roundUpPow2(std::size_t n)
     return p;
 }
 
+/// Largest power of two <= n (n >= 1).
+std::size_t
+roundDownPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p * 2 <= n)
+        p <<= 1;
+    return p;
+}
+
+/// Shard count for the given request: a power of two, clamped so that a
+/// bounded cache can give every shard a capacity of at least one without
+/// the per-shard sum exceeding maxEntries.
+std::size_t
+effectiveShards(std::size_t shardCount, std::size_t maxEntries)
+{
+    std::size_t shards = roundUpPow2(shardCount == 0 ? 1 : shardCount);
+    if (maxEntries > 0)
+        shards = std::min(shards, roundDownPow2(maxEntries));
+    return shards;
+}
+
 } // namespace
 
-VariantCache::VariantCache(std::size_t shardCount)
-    : shards_(roundUpPow2(shardCount == 0 ? 1 : shardCount)),
-      shardMask_(shards_.size() - 1)
+VariantCache::VariantCache(std::size_t shardCount, std::size_t maxEntries)
+    : shards_(effectiveShards(shardCount, maxEntries)),
+      shardMask_(shards_.size() - 1), maxEntries_(maxEntries),
+      shardCapacity_(maxEntries == 0 ? 0 : maxEntries / shards_.size())
 {
+    GEVO_ASSERT(maxEntries == 0 || shardCapacity_ >= 1,
+                "bounded cache with zero-capacity shards");
 }
 
 std::string
@@ -77,8 +105,13 @@ VariantCache::lookup(const std::string& key, FitnessResult* out) const
         misses_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
+    if (shardCapacity_ > 0) {
+        // Refresh recency: splice the entry's node to the front.
+        shard.order.splice(shard.order.begin(), shard.order,
+                           it->second.where);
+    }
     hits_.fetch_add(1, std::memory_order_relaxed);
-    *out = it->second;
+    *out = it->second.result;
     return true;
 }
 
@@ -87,7 +120,17 @@ VariantCache::insert(const std::string& key, const FitnessResult& result)
 {
     Shard& shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map.try_emplace(key, result);
+    const auto [it, inserted] =
+        shard.map.try_emplace(key, Shard::Entry{result, shard.order.end()});
+    if (!inserted || shardCapacity_ == 0)
+        return;
+    shard.order.push_front(key);
+    it->second.where = shard.order.begin();
+    if (shard.map.size() > shardCapacity_) {
+        shard.map.erase(shard.order.back());
+        shard.order.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 VariantCache::Stats
@@ -96,6 +139,7 @@ VariantCache::stats() const
     Stats s;
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
     for (const auto& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mu);
         s.entries += shard.map.size();
@@ -109,9 +153,11 @@ VariantCache::clear()
     for (auto& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mu);
         shard.map.clear();
+        shard.order.clear();
     }
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace gevo::core

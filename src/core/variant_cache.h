@@ -16,12 +16,21 @@
 /// fitness is a deterministic function of the edit list — which is what
 /// makes serving cached results trajectory-neutral (same seed, same best
 /// edit list, cache on or off).
+///
+/// By default the cache is unbounded (fine for 77k-evaluation runs). For
+/// multi-day searches a `maxEntries` bound enables per-shard LRU
+/// eviction: each shard keeps a recency list and drops its
+/// least-recently-touched entry when full. Eviction is trajectory-neutral
+/// too — an evicted result is deterministically recomputed on the next
+/// miss — it only costs throughput, which the evict counter makes
+/// visible.
 
 #ifndef GEVO_CORE_VARIANT_CACHE_H
 #define GEVO_CORE_VARIANT_CACHE_H
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -36,7 +45,13 @@ namespace gevo::core {
 class VariantCache {
   public:
     /// \p shardCount is rounded up to a power of two (min 1).
-    explicit VariantCache(std::size_t shardCount = 16);
+    /// \p maxEntries of 0 keeps the cache unbounded; otherwise entries
+    /// beyond the bound are evicted least-recently-used. The bound is
+    /// enforced per shard (shard capacity = maxEntries / shards), so the
+    /// total entry count never exceeds maxEntries; the shard count is
+    /// clamped down when maxEntries is smaller than the shard count.
+    explicit VariantCache(std::size_t shardCount = 16,
+                          std::size_t maxEntries = 0);
 
     VariantCache(const VariantCache&) = delete;
     VariantCache& operator=(const VariantCache&) = delete;
@@ -50,11 +65,13 @@ class VariantCache {
     /// 64-bit FNV-1a of a canonical key (shard selection, diagnostics).
     static std::uint64_t hashKey(const std::string& key);
 
-    /// Look up a previously inserted result. Counts a hit or miss.
+    /// Look up a previously inserted result. Counts a hit or miss; a hit
+    /// refreshes the entry's recency when the cache is bounded.
     bool lookup(const std::string& key, FitnessResult* out) const;
 
     /// Insert (idempotent: re-inserting an existing key is a no-op, which
-    /// is safe because fitness is deterministic in the key).
+    /// is safe because fitness is deterministic in the key). May evict the
+    /// shard's least-recently-used entry when bounded and full.
     void insert(const std::string& key, const FitnessResult& result);
 
     /// Aggregate counters since construction / clear().
@@ -62,6 +79,7 @@ class VariantCache {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t entries = 0;
+        std::uint64_t evictions = 0;
 
         double
         hitRate() const
@@ -74,13 +92,23 @@ class VariantCache {
     };
     Stats stats() const;
 
+    /// Entry bound this cache was built with (0 = unbounded).
+    std::size_t maxEntries() const { return maxEntries_; }
+
     /// Drop every entry and reset the counters.
     void clear();
 
   private:
     struct Shard {
         mutable std::mutex mu;
-        std::unordered_map<std::string, FitnessResult> map;
+        /// Recency list, most-recent first; only maintained when bounded.
+        mutable std::list<std::string> order;
+        /// Value plus its position in `order` (order.end() if unbounded).
+        struct Entry {
+            FitnessResult result;
+            std::list<std::string>::iterator where;
+        };
+        std::unordered_map<std::string, Entry> map;
     };
 
     Shard& shardFor(const std::string& key);
@@ -88,8 +116,11 @@ class VariantCache {
 
     std::vector<Shard> shards_;
     std::uint64_t shardMask_ = 0;
+    std::size_t maxEntries_ = 0;
+    std::size_t shardCapacity_ = 0; ///< 0 = unbounded.
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 } // namespace gevo::core

@@ -1,0 +1,79 @@
+#include "core/workload.h"
+
+#include <cstdlib>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace gevo::core {
+
+std::int64_t
+WorkloadConfig::knobInt(const std::string& name, std::int64_t fallback) const
+{
+    if (flags != nullptr && flags->has(name))
+        return flags->getInt(name, fallback);
+    const auto it = defaults.find(name);
+    if (it != defaults.end()) {
+        char* end = nullptr;
+        const auto v = std::strtoll(it->second.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0' || end == it->second.c_str())
+            GEVO_FATAL("workload knob %s: malformed default '%s'",
+                       name.c_str(), it->second.c_str());
+        return v;
+    }
+    return fallback;
+}
+
+WorkloadRegistry&
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(Workload workload)
+{
+    GEVO_ASSERT(!workload.name.empty(), "unnamed workload");
+    GEVO_ASSERT(static_cast<bool>(workload.make),
+                "workload without a factory");
+    if (find(workload.name) != nullptr)
+        GEVO_FATAL("workload '%s' registered twice", workload.name.c_str());
+    entries_.push_back(std::move(workload));
+}
+
+const Workload*
+WorkloadRegistry::find(const std::string& name) const
+{
+    for (const auto& w : entries_) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+const Workload&
+WorkloadRegistry::get(const std::string& name) const
+{
+    const Workload* w = find(name);
+    if (w == nullptr) {
+        std::string known;
+        for (const auto& n : names())
+            known += (known.empty() ? "" : ", ") + n;
+        GEVO_FATAL("unknown workload '%s' (registered: %s)", name.c_str(),
+                   known.c_str());
+    }
+    return *w;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& w : entries_)
+        out.push_back(w.name);
+    return out;
+}
+
+} // namespace gevo::core

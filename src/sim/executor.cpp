@@ -1,8 +1,10 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
+#include <thread>
 
 #include "ir/eval.h"
 #include "support/strings.h"
@@ -817,18 +819,103 @@ launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
 
     std::uint64_t sumIssue = 0;
     std::uint64_t sumLat = 0;
-    BlockRunner runner(dev, mem, prog, dims, args, &result.stats,
-                       profileLocs);
-    for (std::uint32_t b = 0; b < dims.gridDim; ++b) {
-        std::uint64_t issue = 0;
-        std::uint64_t lat = 0;
-        const Fault fault = runner.runBlock(b, &issue, &lat);
-        if (!fault.ok()) {
-            result.fault = fault;
+    const std::uint32_t blockThreads =
+        std::min(std::max(1u, dims.blockThreads), dims.gridDim);
+    if (blockThreads <= 1) {
+        BlockRunner runner(dev, mem, prog, dims, args, &result.stats,
+                           profileLocs);
+        for (std::uint32_t b = 0; b < dims.gridDim; ++b) {
+            std::uint64_t issue = 0;
+            std::uint64_t lat = 0;
+            const Fault fault = runner.runBlock(b, &issue, &lat);
+            if (!fault.ok()) {
+                result.fault = fault;
+                return result;
+            }
+            sumIssue += issue;
+            sumLat += lat;
+        }
+    } else {
+        // Opt-in block-level parallelism: contiguous block ranges per
+        // host thread, each with a private BlockRunner and stats
+        // accumulator (see LaunchDims::blockThreads for the contract).
+        struct Part {
+            LaunchStats stats;
+            std::uint64_t sumIssue = 0;
+            std::uint64_t sumLat = 0;
+            Fault fault;
+            std::uint32_t faultBlock = 0;
+        };
+        std::vector<Part> parts(blockThreads);
+        // Lowest faulting block seen so far: threads skip blocks at or
+        // beyond it (any block below it still runs, so the minimum
+        // faulting block — the one a serial launch would report — is
+        // always executed and recorded).
+        std::atomic<std::uint32_t> stopAt{dims.gridDim};
+        const std::uint32_t chunk =
+            (dims.gridDim + blockThreads - 1) / blockThreads;
+        std::vector<std::thread> threads;
+        threads.reserve(blockThreads);
+        for (std::uint32_t t = 0; t < blockThreads; ++t) {
+            threads.emplace_back([&, t]() {
+                Part& part = parts[t];
+                if (profileLocs)
+                    part.stats.locIssues.assign(prog.maxLoc + 1, 0);
+                BlockRunner runner(dev, mem, prog, dims, args, &part.stats,
+                                   profileLocs);
+                const std::uint32_t begin = t * chunk;
+                const std::uint32_t end =
+                    std::min(dims.gridDim, begin + chunk);
+                for (std::uint32_t b = begin; b < end; ++b) {
+                    if (b >= stopAt.load(std::memory_order_relaxed))
+                        break;
+                    std::uint64_t issue = 0;
+                    std::uint64_t lat = 0;
+                    const Fault fault = runner.runBlock(b, &issue, &lat);
+                    if (!fault.ok()) {
+                        part.fault = fault;
+                        part.faultBlock = b;
+                        std::uint32_t cur =
+                            stopAt.load(std::memory_order_relaxed);
+                        while (b < cur &&
+                               !stopAt.compare_exchange_weak(
+                                   cur, b, std::memory_order_relaxed))
+                            ;
+                        break;
+                    }
+                    part.sumIssue += issue;
+                    part.sumLat += lat;
+                }
+            });
+        }
+        for (auto& th : threads)
+            th.join();
+
+        // Deterministic reduction: thread-index order, all counters
+        // integral. Pick the fault from the lowest faulting block.
+        const Part* faulted = nullptr;
+        for (const Part& part : parts) {
+            if (!part.fault.ok() &&
+                (faulted == nullptr ||
+                 part.faultBlock < faulted->faultBlock))
+                faulted = &part;
+            sumIssue += part.sumIssue;
+            sumLat += part.sumLat;
+            result.stats.warpInstrs += part.stats.warpInstrs;
+            result.stats.laneInstrs += part.stats.laneInstrs;
+            result.stats.divergences += part.stats.divergences;
+            result.stats.barriers += part.stats.barriers;
+            result.stats.sharedConflictWays +=
+                part.stats.sharedConflictWays;
+            result.stats.globalSectors += part.stats.globalSectors;
+            for (std::size_t loc = 0; loc < part.stats.locIssues.size();
+                 ++loc)
+                result.stats.locIssues[loc] += part.stats.locIssues[loc];
+        }
+        if (faulted != nullptr) {
+            result.fault = faulted->fault;
             return result;
         }
-        sumIssue += issue;
-        sumLat += lat;
     }
     result.stats.issueCycles = sumIssue;
 

@@ -93,6 +93,20 @@ struct LaunchDims {
     /// the paper's production batches (30,000 pairs), where SM issue
     /// throughput — not per-warp latency — bounds kernel time.
     std::uint32_t oversubscribe = 1;
+    /// Opt-in host-side parallelism: partition the grid's blocks across
+    /// this many host threads (0/1 = serial). Each thread owns a private
+    /// execution context and stats accumulator; per-thread results are
+    /// reduced in thread-index order, and every counter is integral, so a
+    /// fault-free parallel launch is bit-for-bit identical to a serial
+    /// one. ONLY valid for kernels whose blocks do not communicate
+    /// (no cross-block atomics/stores to shared addresses): real GPUs
+    /// make no cross-block ordering guarantees, but this simulator's
+    /// serial block order otherwise resolves such races deterministically
+    /// and parallel execution would not. On a fault, the reported fault
+    /// is deterministically the one from the lowest faulting block index,
+    /// but the partial stats may include work from blocks a serial launch
+    /// would never have reached.
+    std::uint32_t blockThreads = 1;
 };
 
 /// Execute \p prog on \p dev over \p mem.

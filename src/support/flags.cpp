@@ -1,8 +1,11 @@
 #include "support/flags.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
+#include "support/logging.h"
 #include "support/strings.h"
 
 namespace gevo {
@@ -11,12 +14,16 @@ Flags::Flags(int argc, char** argv)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            help_ = true;
+            continue;
+        }
         if (!startsWith(arg, "--"))
             continue;
         arg = arg.substr(2);
         const auto eq = arg.find('=');
         if (eq == std::string::npos) {
-            values_[arg] = "1";
+            values_[arg] = "";
         } else {
             values_[arg.substr(0, eq)] = arg.substr(eq + 1);
         }
@@ -41,18 +48,39 @@ Flags::lookup(const std::string& name, std::string* out) const
     return false;
 }
 
+bool
+Flags::has(const std::string& name) const
+{
+    std::string ignored;
+    return lookup(name, &ignored);
+}
+
 std::int64_t
 Flags::getInt(const std::string& name, std::int64_t def) const
 {
     std::string v;
-    return lookup(name, &v) ? std::strtoll(v.c_str(), nullptr, 0) : def;
+    if (!lookup(name, &v))
+        return def;
+    char* end = nullptr;
+    const auto parsed = std::strtoll(v.c_str(), &end, 0);
+    if (v.empty() || end == nullptr || *end != '\0')
+        GEVO_FATAL("flag --%s expects an integer, got '%s'", name.c_str(),
+                   v.c_str());
+    return parsed;
 }
 
 double
 Flags::getDouble(const std::string& name, double def) const
 {
     std::string v;
-    return lookup(name, &v) ? std::strtod(v.c_str(), nullptr) : def;
+    if (!lookup(name, &v))
+        return def;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0')
+        GEVO_FATAL("flag --%s expects a number, got '%s'", name.c_str(),
+                   v.c_str());
+    return parsed;
 }
 
 std::string
@@ -68,7 +96,89 @@ Flags::getBool(const std::string& name, bool def) const
     std::string v;
     if (!lookup(name, &v))
         return def;
-    return !(v == "0" || v == "false" || v == "no");
+    // A bare `--name` stores the empty string and means true.
+    if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    GEVO_FATAL("flag --%s expects a boolean (0/1/true/false/yes/no/on/off),"
+               " got '%s'",
+               name.c_str(), v.c_str());
+}
+
+std::string
+Flags::getChoice(const std::string& name,
+                 const std::vector<std::string>& allowed,
+                 const std::string& def) const
+{
+    std::string v;
+    if (!lookup(name, &v))
+        v = def;
+    for (const auto& a : allowed) {
+        if (v == a)
+            return v;
+    }
+    std::string list;
+    for (const auto& a : allowed)
+        list += (list.empty() ? "" : ", ") + a;
+    GEVO_FATAL("flag --%s: '%s' is not one of {%s}", name.c_str(), v.c_str(),
+               list.c_str());
+}
+
+FlagUsage::FlagUsage(std::string tool, std::string synopsis)
+    : tool_(std::move(tool)), synopsis_(std::move(synopsis))
+{
+}
+
+FlagUsage&
+FlagUsage::flag(const std::string& name, const std::string& value,
+                const std::string& help)
+{
+    Row row;
+    row.left = "--" + name + (value.empty() ? "" : "=" + value);
+    row.right = help;
+    rows_.push_back(std::move(row));
+    return *this;
+}
+
+FlagUsage&
+FlagUsage::section(const std::string& title)
+{
+    Row row;
+    row.isSection = true;
+    row.left = title;
+    rows_.push_back(std::move(row));
+    return *this;
+}
+
+FlagUsage&
+FlagUsage::item(const std::string& name, const std::string& help)
+{
+    Row row;
+    row.left = name;
+    row.right = help;
+    rows_.push_back(std::move(row));
+    return *this;
+}
+
+void
+FlagUsage::print() const
+{
+    std::printf("%s — %s\n", tool_.c_str(), synopsis_.c_str());
+    std::size_t width = 0;
+    for (const auto& row : rows_) {
+        if (!row.isSection)
+            width = std::max(width, row.left.size());
+    }
+    for (const auto& row : rows_) {
+        if (row.isSection)
+            std::printf("\n%s:\n", row.left.c_str());
+        else
+            std::printf("  %-*s  %s\n", static_cast<int>(width),
+                        row.left.c_str(), row.right.c_str());
+    }
+    std::printf("\nEvery flag also reads a GEVO_<NAME> environment "
+                "variable (dashes become underscores).\n");
 }
 
 } // namespace gevo

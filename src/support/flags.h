@@ -2,6 +2,12 @@
 /// Tiny flag parser for benches and examples: `--name=value` arguments plus
 /// `GEVO_<NAME>` environment-variable fallbacks, so `for b in bench/*; do $b;
 /// done` runs with scaled defaults while full-paper runs stay reachable.
+///
+/// Parsing is strict: a flag value that does not parse as the requested
+/// type, or a choice flag outside its allowed set, is a fatal user error —
+/// never silently coerced (a mistyped `--gens=3O` used to run 0
+/// generations without a word). `--help`/`-h` are recognised so binaries
+/// can print a FlagUsage listing and exit.
 
 #ifndef GEVO_SUPPORT_FLAGS_H
 #define GEVO_SUPPORT_FLAGS_H
@@ -9,30 +15,78 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace gevo {
 
 /// Parsed command-line/environment options.
 class Flags {
   public:
-    /// Parse argv; unknown arguments are recorded verbatim.
+    /// Parse argv; non-flag arguments are ignored.
     Flags(int argc, char** argv);
 
+    /// True when the flag was given explicitly (argv or GEVO_<NAME> env).
+    bool has(const std::string& name) const;
+
+    /// True when --help or -h was given.
+    bool helpRequested() const { return help_; }
+
     /// Look up an integer flag (falls back to GEVO_<NAME> env, then def).
+    /// Fatal when the value is not a valid integer.
     std::int64_t getInt(const std::string& name, std::int64_t def) const;
-    /// Look up a floating-point flag.
+    /// Look up a floating-point flag. Fatal when malformed.
     double getDouble(const std::string& name, double def) const;
     /// Look up a string flag.
     std::string getString(const std::string& name,
                           const std::string& def) const;
-    /// Look up a boolean flag (`--name`, `--name=0/1/true/false`).
+    /// Look up a boolean flag (`--name`, `--name=0/1/true/false/yes/no/
+    /// on/off`). Fatal on any other value.
     bool getBool(const std::string& name, bool def) const;
+    /// Look up an enumerated flag: the value (or \p def when absent) must
+    /// be one of \p allowed, else fatal with the allowed set listed.
+    std::string getChoice(const std::string& name,
+                          const std::vector<std::string>& allowed,
+                          const std::string& def) const;
 
   private:
-    /// Flag value or env fallback; empty optional when absent.
+    /// Flag value or env fallback; false when absent.
     bool lookup(const std::string& name, std::string* out) const;
 
     std::map<std::string, std::string> values_;
+    bool help_ = false;
+};
+
+/// Builder for an aligned `--help` listing. Binaries declare their flags
+/// (and any extra sections, e.g. the registered-workload table) and print
+/// the result when Flags::helpRequested().
+class FlagUsage {
+  public:
+    /// \p tool is the binary name, \p synopsis a one-line description.
+    FlagUsage(std::string tool, std::string synopsis);
+
+    /// Document a flag: name without dashes, a value placeholder (empty
+    /// for booleans), and help text which may mention the default.
+    FlagUsage& flag(const std::string& name, const std::string& value,
+                    const std::string& help);
+
+    /// Start a titled section (subsequent flag()/item() rows go under it).
+    FlagUsage& section(const std::string& title);
+
+    /// A non-flag row (e.g. a workload name + summary).
+    FlagUsage& item(const std::string& name, const std::string& help);
+
+    /// Render to stdout.
+    void print() const;
+
+  private:
+    struct Row {
+        bool isSection = false;
+        std::string left;
+        std::string right;
+    };
+    std::string tool_;
+    std::string synopsis_;
+    std::vector<Row> rows_;
 };
 
 } // namespace gevo

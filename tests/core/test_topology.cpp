@@ -1,0 +1,64 @@
+/// SearchTopology: island counts, ring migration schedules, and the
+/// params -> topology derivation.
+
+#include "core/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace gevo::core {
+namespace {
+
+TEST(Topology, PanmicticHasOneIslandAndNoMigration)
+{
+    PanmicticTopology t;
+    EXPECT_EQ(t.islandCount(), 1u);
+    for (std::uint32_t gen = 1; gen <= 50; ++gen)
+        EXPECT_TRUE(t.migrationsAfter(gen).empty());
+}
+
+TEST(Topology, RingEdgesFormADirectedCycle)
+{
+    RingTopology t(4, 5);
+    EXPECT_EQ(t.islandCount(), 4u);
+    EXPECT_TRUE(t.migrationsAfter(1).empty());
+    EXPECT_TRUE(t.migrationsAfter(4).empty());
+    const auto edges = t.migrationsAfter(5);
+    ASSERT_EQ(edges.size(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(edges[i].from, i);
+        EXPECT_EQ(edges[i].to, (i + 1) % 4);
+    }
+    EXPECT_FALSE(t.migrationsAfter(10).empty());
+    EXPECT_TRUE(t.migrationsAfter(11).empty());
+}
+
+TEST(Topology, RingIntervalZeroNeverMigrates)
+{
+    RingTopology t(3, 0);
+    for (std::uint32_t gen = 1; gen <= 30; ++gen)
+        EXPECT_TRUE(t.migrationsAfter(gen).empty());
+}
+
+TEST(Topology, SingleIslandRingNeverMigrates)
+{
+    RingTopology t(1, 1);
+    EXPECT_TRUE(t.migrationsAfter(1).empty());
+}
+
+TEST(Topology, MakeTopologyDerivesFromParams)
+{
+    EvolutionParams params;
+    params.islands = 1;
+    EXPECT_EQ(makeTopology(params)->islandCount(), 1u);
+    EXPECT_EQ(makeTopology(params)->describe(), "panmictic");
+
+    params.islands = 6;
+    params.migrationInterval = 7;
+    const auto ring = makeTopology(params);
+    EXPECT_EQ(ring->islandCount(), 6u);
+    EXPECT_EQ(ring->migrationsAfter(7).size(), 6u);
+    EXPECT_TRUE(ring->migrationsAfter(8).empty());
+}
+
+} // namespace
+} // namespace gevo::core

@@ -1,0 +1,112 @@
+/// Workload registry: lookup semantics, knob precedence, and a round-trip
+/// that evolves every registered workload for two tiny generations.
+
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "core/engine.h"
+
+namespace gevo::core {
+namespace {
+
+class WorkloadRegistryTest : public ::testing::Test {
+  protected:
+    void SetUp() override { apps::registerBuiltinWorkloads(); }
+};
+
+TEST_F(WorkloadRegistryTest, BuiltinsAreRegisteredOnce)
+{
+    auto& registry = WorkloadRegistry::instance();
+    // Registration is idempotent even when called again.
+    apps::registerBuiltinWorkloads();
+    const auto names = registry.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "adept-v0");
+    EXPECT_EQ(names[1], "adept-v1");
+    EXPECT_EQ(names[2], "simcov");
+    EXPECT_NE(registry.find("simcov"), nullptr);
+    EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+TEST_F(WorkloadRegistryTest, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(WorkloadRegistry::instance().get("nope"),
+                ::testing::ExitedWithCode(1), "unknown workload 'nope'");
+}
+
+TEST_F(WorkloadRegistryTest, DuplicateRegistrationIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Workload w;
+            w.name = "simcov";
+            w.make = [](const WorkloadConfig&) {
+                return std::unique_ptr<WorkloadInstance>();
+            };
+            WorkloadRegistry::instance().add(std::move(w));
+        },
+        ::testing::ExitedWithCode(1), "registered twice");
+}
+
+TEST_F(WorkloadRegistryTest, KnobPrecedenceIsFlagThenDefaultThenFallback)
+{
+    WorkloadConfig config;
+    EXPECT_EQ(config.knobInt("pairs", 9), 9);
+    config.defaults["pairs"] = "5";
+    EXPECT_EQ(config.knobInt("pairs", 9), 5);
+
+    std::vector<std::string> storage = {"prog", "--pairs=3"};
+    std::vector<char*> argv;
+    for (auto& s : storage)
+        argv.push_back(s.data());
+    const Flags flags(static_cast<int>(argv.size()), argv.data());
+    config.flags = &flags;
+    EXPECT_EQ(config.knobInt("pairs", 9), 3);
+}
+
+/// Every registered workload must build at tiny scale and survive a
+/// 2-generation search through the shared engine — the registry is only
+/// useful if its entries are uniformly drivable.
+TEST_F(WorkloadRegistryTest, EveryWorkloadEvolvesTwoTinyGenerations)
+{
+    auto& registry = WorkloadRegistry::instance();
+    for (const auto& name : registry.names()) {
+        const auto& workload = registry.get(name);
+        WorkloadConfig config;
+        // Tiny scale: the smallest grid the SIMCoV block size allows and
+        // a couple of alignment pairs.
+        config.defaults = {{"pairs", "2"}, {"grid", "16"}, {"steps", "2"}};
+        const auto instance = workload.make(config);
+        ASSERT_NE(instance, nullptr) << name;
+        EXPECT_GT(instance->module().numFunctions(), 0u) << name;
+
+        EvolutionParams params = workload.searchDefaults;
+        params.populationSize = 6;
+        params.generations = 2;
+        params.elitism = 1;
+        params.seed = 19;
+        EvolutionEngine engine(instance->module(), instance->fitness(),
+                               params);
+        const auto result = engine.run();
+        EXPECT_GT(result.baselineMs, 0.0) << name;
+        EXPECT_TRUE(result.best.fitness.valid) << name;
+        ASSERT_EQ(result.history.size(), 2u) << name;
+        EXPECT_GT(result.history.back().evaluations, 0u) << name;
+
+        // The golden-edit ceiling (when present) must compile and pass —
+        // it is the paper's known-good configuration.
+        const auto golden = instance->goldenEdits();
+        if (!golden.empty()) {
+            const auto ceiling = evaluateVariant(instance->module(), golden,
+                                                 instance->fitness());
+            EXPECT_TRUE(ceiling.valid) << name << ": "
+                                       << ceiling.failReason;
+            EXPECT_LT(ceiling.ms, result.baselineMs) << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace gevo::core

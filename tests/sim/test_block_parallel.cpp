@@ -1,0 +1,178 @@
+/// Opt-in block-level parallelism (LaunchDims::blockThreads): a fault-free
+/// parallel launch must be bit-for-bit identical to the serial one —
+/// memory effects, timing, and every stats counter — and a faulting one
+/// must report the same (lowest-block) fault.
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace gevo::sim {
+namespace {
+
+using testutil::compile;
+
+/// Each thread writes f(global tid) to its own slot; blocks also diverge
+/// on lane parity and loop a little so the divergence/latency counters
+/// are non-trivial.
+constexpr const char* kDisjointKernel = R"(
+kernel @par params 1 regs 24 shared 256 local 0 {
+entry:
+    r1 = tid
+    r2 = bid
+    r3 = ntid
+    r4 = mul.i32 r2, r3
+    r5 = add.i32 r4, r1
+    r6 = and r1, 1
+    brc r6, odd, even
+odd:
+    r7 = mul.i32 r5, 3
+    br store
+even:
+    r7 = mul.i32 r5, 5
+    br store
+store:
+    r8 = mov 0
+    br loop
+loop:
+    r9 = mul.i32 r8, 4
+    r10 = cvt.i32.i64 r9
+    st.i32.shared r10, 0
+    r8 = add.i32 r8, 1
+    r11 = cmp.lt.i32 r8, 8
+    brc r11, loop, out
+out:
+    r12 = cvt.i32.i64 r5
+    r13 = mul.i64 r12, 4
+    r14 = add.i64 r0, r13
+    st.i32.global r14, r7
+    ret
+}
+)";
+
+/// Blocks at index >= 5 store to an unmapped address (the fault block is
+/// data-dependent on bid, like the Sec VI-D held-out segfault).
+constexpr const char* kFaultyKernel = R"(
+kernel @faulty params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = bid
+    r2 = cmp.lt.i32 r1, 5
+    brc r2, good, bad
+bad:
+    r3 = mov 1
+    r4 = cvt.i32.i64 r3
+    r5 = mul.i64 r4, 1073741824
+    st.i32.global r5, 7
+    ret
+good:
+    r6 = tid
+    r7 = cvt.i32.i64 r6
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    st.i32.global r9, r6
+    ret
+}
+)";
+
+void
+expectSameStats(const LaunchResult& serial, const LaunchResult& parallel)
+{
+    EXPECT_DOUBLE_EQ(serial.stats.ms, parallel.stats.ms);
+    EXPECT_EQ(serial.stats.cycles, parallel.stats.cycles);
+    EXPECT_EQ(serial.stats.warpInstrs, parallel.stats.warpInstrs);
+    EXPECT_EQ(serial.stats.laneInstrs, parallel.stats.laneInstrs);
+    EXPECT_EQ(serial.stats.issueCycles, parallel.stats.issueCycles);
+    EXPECT_EQ(serial.stats.divergences, parallel.stats.divergences);
+    EXPECT_EQ(serial.stats.barriers, parallel.stats.barriers);
+    EXPECT_EQ(serial.stats.sharedConflictWays,
+              parallel.stats.sharedConflictWays);
+    EXPECT_EQ(serial.stats.globalSectors, parallel.stats.globalSectors);
+    EXPECT_EQ(serial.stats.occupancyBlocks, parallel.stats.occupancyBlocks);
+    ASSERT_EQ(serial.stats.locIssues.size(), parallel.stats.locIssues.size());
+    for (std::size_t i = 0; i < serial.stats.locIssues.size(); ++i)
+        EXPECT_EQ(serial.stats.locIssues[i], parallel.stats.locIssues[i]);
+}
+
+TEST(BlockParallel, MatchesSerialBitForBit)
+{
+    const auto prog = compile(kDisjointKernel);
+    constexpr std::uint32_t kGrid = 16;
+    constexpr std::uint32_t kBlock = 64;
+
+    for (const bool profile : {false, true}) {
+        DeviceMemory serialMem(1 << 20);
+        const auto serialOut = serialMem.alloc(4ll * kGrid * kBlock);
+        const auto serial = launchKernel(
+            p100(), serialMem, prog, {kGrid, kBlock, 4, 1},
+            {static_cast<std::uint64_t>(serialOut)}, profile);
+        ASSERT_TRUE(serial.ok()) << serial.fault.detail;
+
+        for (const std::uint32_t threads : {2u, 3u, 8u, 64u}) {
+            DeviceMemory parMem(1 << 20);
+            const auto parOut = parMem.alloc(4ll * kGrid * kBlock);
+            const auto parallel = launchKernel(
+                p100(), parMem, prog, {kGrid, kBlock, 4, threads},
+                {static_cast<std::uint64_t>(parOut)}, profile);
+            ASSERT_TRUE(parallel.ok()) << parallel.fault.detail;
+            expectSameStats(serial, parallel);
+            for (std::uint32_t i = 0; i < kGrid * kBlock; ++i) {
+                ASSERT_EQ(serialMem.read<std::int32_t>(serialOut + 4ll * i),
+                          parMem.read<std::int32_t>(parOut + 4ll * i))
+                    << "slot " << i;
+            }
+        }
+    }
+}
+
+TEST(BlockParallel, FunctionalResultsAreCorrect)
+{
+    const auto prog = compile(kDisjointKernel);
+    DeviceMemory mem(1 << 20);
+    const auto out = mem.alloc(4ll * 8 * 32);
+    const auto res = launchKernel(p100(), mem, prog, {8, 32, 1, 4},
+                                  {static_cast<std::uint64_t>(out)});
+    ASSERT_TRUE(res.ok()) << res.fault.detail;
+    for (std::int32_t i = 0; i < 8 * 32; ++i) {
+        const std::int32_t want = (i % 2) ? i * 3 : i * 5;
+        EXPECT_EQ(mem.read<std::int32_t>(out + 4ll * i), want);
+    }
+}
+
+TEST(BlockParallel, ReportsTheLowestFaultingBlock)
+{
+    const auto prog = compile(kFaultyKernel);
+
+    DeviceMemory serialMem(1 << 16);
+    const auto serialOut = serialMem.alloc(4 * 32);
+    const auto serial =
+        launchKernel(p100(), serialMem, prog, {12, 32, 1, 1},
+                     {static_cast<std::uint64_t>(serialOut)});
+    ASSERT_FALSE(serial.ok());
+    EXPECT_EQ(serial.fault.kind, FaultKind::MemOobGlobal);
+
+    for (const std::uint32_t threads : {2u, 4u, 12u}) {
+        DeviceMemory parMem(1 << 16);
+        const auto parOut = parMem.alloc(4 * 32);
+        const auto parallel =
+            launchKernel(p100(), parMem, prog, {12, 32, 1, threads},
+                         {static_cast<std::uint64_t>(parOut)});
+        ASSERT_FALSE(parallel.ok());
+        // Identical fault, including the "block 5" in the detail text —
+        // the lowest faulting block wins regardless of scheduling.
+        EXPECT_EQ(parallel.fault.kind, serial.fault.kind);
+        EXPECT_EQ(parallel.fault.detail, serial.fault.detail);
+    }
+}
+
+TEST(BlockParallel, MoreThreadsThanBlocksIsFine)
+{
+    const auto prog = compile(kDisjointKernel);
+    DeviceMemory mem(1 << 20);
+    const auto out = mem.alloc(4ll * 2 * 32);
+    const auto res = launchKernel(p100(), mem, prog, {2, 32, 1, 16},
+                                  {static_cast<std::uint64_t>(out)});
+    EXPECT_TRUE(res.ok()) << res.fault.detail;
+}
+
+} // namespace
+} // namespace gevo::sim

@@ -65,5 +65,88 @@ TEST(Flags, CommandLineBeatsEnv)
     ::unsetenv("GEVO_PICK");
 }
 
+TEST(Flags, HasDetectsExplicitFlagsAndEnv)
+{
+    const auto f = makeFlags({"--gens=5", "--full"});
+    EXPECT_TRUE(f.has("gens"));
+    EXPECT_TRUE(f.has("full"));
+    EXPECT_FALSE(f.has("pop"));
+    ::setenv("GEVO_POP", "9", 1);
+    EXPECT_TRUE(f.has("pop"));
+    ::unsetenv("GEVO_POP");
+}
+
+TEST(Flags, HelpRequested)
+{
+    EXPECT_TRUE(makeFlags({"--help"}).helpRequested());
+    EXPECT_TRUE(makeFlags({"-h"}).helpRequested());
+    EXPECT_FALSE(makeFlags({"--gens=3"}).helpRequested());
+}
+
+// ---- strict parsing: malformed values are fatal, never coerced ----
+
+TEST(FlagsDeath, MalformedIntIsFatal)
+{
+    // `--gens=3O` (letter O) used to silently run 3 generations.
+    EXPECT_EXIT(makeFlags({"--gens=3O"}).getInt("gens", 1),
+                ::testing::ExitedWithCode(1), "expects an integer");
+    EXPECT_EXIT(makeFlags({"--gens"}).getInt("gens", 1),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(FlagsDeath, MalformedDoubleIsFatal)
+{
+    EXPECT_EXIT(makeFlags({"--rate=fast"}).getDouble("rate", 1.0),
+                ::testing::ExitedWithCode(1), "expects a number");
+}
+
+TEST(FlagsDeath, UnknownBoolFormIsFatal)
+{
+    // Anything that was not 0/false/no used to silently mean true.
+    EXPECT_EXIT(makeFlags({"--quiet=maybe"}).getBool("quiet", false),
+                ::testing::ExitedWithCode(1), "expects a boolean");
+}
+
+TEST(Flags, IntAcceptsHexAndNegative)
+{
+    EXPECT_EQ(makeFlags({"--mask=0x10"}).getInt("mask", 0), 16);
+    EXPECT_EQ(makeFlags({"--delta=-3"}).getInt("delta", 0), -3);
+}
+
+// ---- enum/choice flags ----
+
+TEST(Flags, ChoiceAcceptsAllowedValuesAndDefault)
+{
+    const std::vector<std::string> allowed = {"adept-v0", "adept-v1",
+                                              "simcov"};
+    EXPECT_EQ(makeFlags({"--workload=simcov"})
+                  .getChoice("workload", allowed, "adept-v0"),
+              "simcov");
+    EXPECT_EQ(makeFlags({}).getChoice("workload", allowed, "adept-v0"),
+              "adept-v0");
+}
+
+TEST(FlagsDeath, ChoiceRejectsUnknownValue)
+{
+    const std::vector<std::string> allowed = {"a", "b"};
+    EXPECT_EXIT(makeFlags({"--mode=c"}).getChoice("mode", allowed, "a"),
+                ::testing::ExitedWithCode(1), "not one of \\{a, b\\}");
+}
+
+TEST(Flags, UsagePrintsFlagsAndSections)
+{
+    FlagUsage usage("tool", "does things");
+    usage.flag("gens", "<n>", "generations")
+        .section("workloads")
+        .item("simcov", "epidemic simulation");
+    ::testing::internal::CaptureStdout();
+    usage.print();
+    const auto out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("--gens=<n>"), std::string::npos);
+    EXPECT_NE(out.find("workloads:"), std::string::npos);
+    EXPECT_NE(out.find("simcov"), std::string::npos);
+    EXPECT_NE(out.find("GEVO_<NAME>"), std::string::npos);
+}
+
 } // namespace
 } // namespace gevo
