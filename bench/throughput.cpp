@@ -19,6 +19,14 @@
 /// It reports variants/sec for both modes, the cache hit rate, and
 /// verifies that both modes discover the identical best edit list (the
 /// cache must be trajectory-neutral).
+///
+/// With `--cache-path=<dir>` the bench also measures warm starts
+/// (core/cache_store.h): a third run persists its caches to
+/// <dir>/<workload>.gevocache from a cold start, and a fourth loads them
+/// back, reporting cold vs warm variants/sec and hit rate. The warm run
+/// must preload entries, beat the cold hit rate, and land on the
+/// identical best edit list — persistence has to be trajectory-neutral
+/// too.
 
 #include <chrono>
 #include <cstdio>
@@ -37,6 +45,7 @@ struct RunStats {
     double seconds = 0.0;
     std::size_t requests = 0;    ///< Individuals scored (pop x gens).
     std::size_t simulations = 0; ///< Requests that cost pipeline work.
+    std::size_t preloaded = 0;   ///< Entries loaded from a cache file.
     double speedup = 0.0;        ///< Search result (baseline / best).
     std::string bestEdits;       ///< Serialized best edit list.
 
@@ -45,6 +54,14 @@ struct RunStats {
     {
         return seconds > 0.0 ? static_cast<double>(requests) / seconds
                              : 0.0;
+    }
+
+    double
+    hitRate() const
+    {
+        return requests ? static_cast<double>(requests - simulations) /
+                              static_cast<double>(requests)
+                        : 0.0;
     }
 };
 
@@ -67,6 +84,7 @@ runSearch(const core::WorkloadInstance& instance,
                  params.generations * params.islands;
     for (const auto& log : result.history)
         s.simulations += log.cacheMisses;
+    s.preloaded = result.cacheSummary.preloaded;
     s.speedup = result.speedup();
     s.bestEdits = mut::serializeEdits(result.best.edits);
     return s;
@@ -74,9 +92,12 @@ runSearch(const core::WorkloadInstance& instance,
 
 /// Run both modes on one workload and emit a table section. Returns the
 /// cached-over-uncached variants/sec ratio (0 when the best edit lists
-/// disagree, which would invalidate the comparison).
+/// disagree, which would invalidate the comparison). With --cache-path
+/// also runs the cold-persist + warm-start pair; \p warmStartOk is
+/// cleared when the warm run fails any of its invariants.
 double
-benchWorkload(const core::Workload& workload, const Flags& flags)
+benchWorkload(const core::Workload& workload, const Flags& flags,
+              bool* warmStartOk)
 {
     core::WorkloadConfig config;
     config.flags = &flags;
@@ -98,11 +119,6 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
     const RunStats uncached = runSearch(*instance, params, false);
     const RunStats cached = runSearch(*instance, params, true);
 
-    const double hitRate =
-        cached.requests
-            ? static_cast<double>(cached.requests - cached.simulations) /
-                  static_cast<double>(cached.requests)
-            : 0.0;
     const double ratio = cached.seconds > 0.0
                              ? cached.variantsPerSec() /
                                    uncached.variantsPerSec()
@@ -119,14 +135,54 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
         .cell(static_cast<long long>(cached.requests))
         .cell(static_cast<long long>(cached.simulations))
         .cell(cached.seconds, 2).cell(cached.variantsPerSec(), 1)
-        .cell(hitRate, 2).cell(ratio, 2);
+        .cell(cached.hitRate(), 2).cell(ratio, 2);
+
+    // Warm-start pair: cold run persists its caches, warm run reuses
+    // them. Both are full searches — only the file differs.
+    const std::string cacheDir = flags.getString("cache-path", "");
+    RunStats cold;
+    RunStats warm;
+    if (!cacheDir.empty()) {
+        const std::string path =
+            cacheDir + "/" + workload.name + ".gevocache";
+        std::remove(path.c_str()); // A genuine cold start.
+        params.cachePath = path;
+        cold = runSearch(*instance, params, true);
+        warm = runSearch(*instance, params, true);
+        t.row().cell(workload.name).cell("cold+persist")
+            .cell(static_cast<long long>(cold.requests))
+            .cell(static_cast<long long>(cold.simulations))
+            .cell(cold.seconds, 2).cell(cold.variantsPerSec(), 1)
+            .cell(cold.hitRate(), 2)
+            .cell(cold.variantsPerSec() / uncached.variantsPerSec(), 2);
+        t.row().cell(workload.name).cell("warm-start")
+            .cell(static_cast<long long>(warm.requests))
+            .cell(static_cast<long long>(warm.simulations))
+            .cell(warm.seconds, 2).cell(warm.variantsPerSec(), 1)
+            .cell(warm.hitRate(), 2)
+            .cell(warm.variantsPerSec() / uncached.variantsPerSec(), 2);
+    }
     t.print();
 
     const bool sameBest = uncached.bestEdits == cached.bestEdits;
     std::printf("best edit list identical across modes: %s "
-                "(search speedup %.2fx vs %.2fx)\n\n",
+                "(search speedup %.2fx vs %.2fx)\n",
                 sameBest ? "yes" : "NO — CACHE CHANGED THE TRAJECTORY",
                 uncached.speedup, cached.speedup);
+    if (!cacheDir.empty()) {
+        const bool warmSame = cold.bestEdits == uncached.bestEdits &&
+                              warm.bestEdits == uncached.bestEdits;
+        const bool ok = warmSame && warm.preloaded > 0 &&
+                        warm.hitRate() > cold.hitRate();
+        std::printf("warm start: %s (preloaded %zu entries, hit rate "
+                    "%.2f cold -> %.2f warm, trajectory %s)\n",
+                    ok ? "PASS" : "FAIL", warm.preloaded, cold.hitRate(),
+                    warm.hitRate(),
+                    warmSame ? "identical" : "DIVERGED");
+        if (!ok && warmStartOk)
+            *warmStartOk = false;
+    }
+    std::printf("\n");
     return sameBest ? ratio : 0.0;
 }
 
@@ -148,10 +204,12 @@ main(int argc, char** argv)
         flags, registry, "adept-v0,simcov");
 
     bool gateRan = false;
+    bool warmStartOk = true;
     double adeptRatio = 0.0;
     double otherMin = -1.0;
     for (const auto& name : names) {
-        const double ratio = benchWorkload(registry.get(name), flags);
+        const double ratio =
+            benchWorkload(registry.get(name), flags, &warmStartOk);
         if (name == "adept-v0") {
             gateRan = true;
             adeptRatio = ratio;
@@ -160,17 +218,20 @@ main(int argc, char** argv)
         }
     }
 
+    if (!warmStartOk)
+        std::printf("warm-start check: FAIL (see per-workload lines "
+                    "above)\n");
     if (!gateRan) {
         // A narrowed --workloads list without adept-v0 is a valid probe
         // run; only the gate configuration can pass/fail the gate.
         std::printf("acceptance gate (adept-v0 >= 3x): not run (adept-v0 "
                     "not in --workloads; min measured ratio %.2fx)\n",
                     otherMin < 0.0 ? 0.0 : otherMin);
-        return 0;
+        return warmStartOk ? 0 : 1;
     }
     std::printf("acceptance gate (adept-v0 >= 3x): %s (%.2fx; others min "
                 "%.2fx)\n",
                 adeptRatio >= 3.0 ? "PASS" : "FAIL", adeptRatio,
                 otherMin < 0.0 ? 0.0 : otherMin);
-    return adeptRatio >= 3.0 ? 0 : 1;
+    return adeptRatio >= 3.0 && warmStartOk ? 0 : 1;
 }

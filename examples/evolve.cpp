@@ -35,7 +35,12 @@ printHelp(const core::WorkloadRegistry& registry)
         .flag("seed", "<n>", "search seed")
         .flag("threads", "<n>", "evaluation threads (0 = hardware)")
         .flag("cache", "<bool>", "two-level variant cache (default on)")
-        .flag("cache-max", "<n>", "cache entry bound, 0 = unbounded");
+        .flag("cache-max", "<n>", "cache entry bound, 0 = unbounded")
+        .flag("cache-path", "<file>",
+              "persist the caches across runs: load before gen 1, save on "
+              "completion (default off)")
+        .flag("cache-save-interval", "<n>",
+              "also save every n generations, 0 = only on completion");
     usage.section("islands")
         .flag("islands", "<n>", "island count (1 = panmictic, the paper's "
                                 "configuration)")
@@ -107,6 +112,9 @@ main(int argc, char** argv)
     params.useCache = flags.getBool("cache", params.useCache);
     params.cacheMaxEntries = static_cast<std::size_t>(
         flags.getInt("cache-max", 0));
+    params.cachePath = flags.getString("cache-path", params.cachePath);
+    params.cacheSaveInterval = static_cast<std::uint32_t>(flags.getInt(
+        "cache-save-interval", params.cacheSaveInterval));
     params.islands =
         static_cast<std::uint32_t>(flags.getInt("islands", params.islands));
     params.migrationInterval = static_cast<std::uint32_t>(
@@ -143,10 +151,11 @@ main(int argc, char** argv)
 
     std::printf("\nbest: %.3fx with %zu edits\n", result.speedup(),
                 result.best.edits.size());
-    std::printf("cache: %zu served, %zu evaluated, %zu entries, %zu "
-                "evicted\n",
+    std::printf("cache: %zu served, %zu evaluated, %zu entries (%zu "
+                "preloaded), %zu evicted\n",
                 result.cacheSummary.served, result.cacheSummary.evaluated,
                 result.cacheSummary.entries,
+                result.cacheSummary.preloaded,
                 result.cacheSummary.evictions);
 
     std::printf("\nedit -> source mapping:\n");

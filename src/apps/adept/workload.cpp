@@ -106,6 +106,9 @@ makeWorkload(int version)
     w.searchDefaults.generations = 25;
     w.searchDefaults.elitism = 2;
     w.searchDefaults.seed = 7;
+    // Inert without --cache-path; with one, a killed long run still
+    // warm-starts from its last interval.
+    w.searchDefaults.cacheSaveInterval = 10;
     // The ROADMAP perf-anchor configuration (bench/throughput.cpp).
     w.benchDefaults.populationSize = 12;
     w.benchDefaults.generations = 20;

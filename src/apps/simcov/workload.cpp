@@ -109,6 +109,9 @@ registerWorkloads()
     w.searchDefaults.generations = 8;
     w.searchDefaults.elitism = 2;
     w.searchDefaults.seed = 3;
+    // Inert without --cache-path; with one, a killed long run still
+    // warm-starts from its last interval.
+    w.searchDefaults.cacheSaveInterval = 10;
     // The ROADMAP perf-anchor configuration (bench/throughput.cpp).
     w.benchDefaults.populationSize = 12;
     w.benchDefaults.generations = 8;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <unordered_map>
 
+#include "core/cache_store.h"
 #include "support/logging.h"
 
 namespace gevo::core {
@@ -159,6 +160,55 @@ EvolutionEngine::evaluateIslands(ThreadPool& pool,
     log->cacheHits += todo.size() - worked;
 }
 
+std::size_t
+EvolutionEngine::loadPersistentCaches()
+{
+    const auto load = loadCacheStore(params_.cachePath, cacheScope_);
+    using Status = CacheLoadResult::Status;
+    switch (load.status) {
+    case Status::Missing:
+        return 0; // Normal first run: cold start, nothing to say.
+    case Status::BadHeader:
+    case Status::VersionMismatch:
+    case Status::ScopeMismatch:
+        warn("ignoring cache file '%s' (%s): cold start",
+             params_.cachePath.c_str(), load.message.c_str());
+        return 0;
+    case Status::Ok:
+        break;
+    }
+    if (load.truncated)
+        warn("cache file '%s': %s", params_.cachePath.c_str(),
+             load.message.c_str());
+    // Split records by level, preserving file order so bounded caches
+    // re-enter LRU order deterministically. Unknown levels (from a future
+    // writer of the same format version) are ignored, not an error.
+    std::vector<std::pair<std::string, FitnessResult>> level0;
+    std::vector<std::pair<std::string, FitnessResult>> level1;
+    for (const auto& rec : load.records) {
+        if (rec.level == 0)
+            level0.emplace_back(rec.key, rec.result);
+        else if (rec.level == 1)
+            level1.emplace_back(rec.key, rec.result);
+    }
+    return cache_.preload(level0) + programCache_.preload(level1);
+}
+
+void
+EvolutionEngine::savePersistentCaches() const
+{
+    std::vector<CacheStoreRecord> records;
+    for (auto& [key, fitnessResult] : cache_.snapshot())
+        records.push_back({0, std::move(key), fitnessResult});
+    for (auto& [key, fitnessResult] : programCache_.snapshot())
+        records.push_back({1, std::move(key), fitnessResult});
+    std::string error;
+    if (!saveCacheStore(params_.cachePath, cacheScope_, records, &error))
+        warn("cache save to '%s' failed (%s); continuing without "
+             "persistence",
+             params_.cachePath.c_str(), error.c_str());
+}
+
 SearchResult
 EvolutionEngine::run(const GenerationCallback& onGeneration)
 {
@@ -173,6 +223,20 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
     if (!baseline.valid)
         GEVO_FATAL("baseline program fails its own tests: %s",
                    baseline.failReason.c_str());
+
+    // Persistence is scoped to (compiled baseline content, fitness
+    // description): level-0 keys are pure edit-list bytes, identical
+    // across workloads, so an unscoped file from another workload (or
+    // the same one at another dataset scale/device — the fitness name
+    // carries those) would serve wrong fitness values with no error.
+    const bool persist = params_.useCache && !params_.cachePath.empty();
+    if (persist) {
+        cacheScope_ = VariantCache::hashKey(
+            baselineCv.programs.contentKey() + '\n' + fitness_.name());
+        if (cacheScope_ == 0) // 0 means "don't check" to the loader
+            cacheScope_ = 1;
+        result.cacheSummary.preloaded = loadPersistentCaches();
+    }
     result.baselineMs = baseline.ms;
     result.best.fitness = baseline;
     result.best.evaluated = true;
@@ -243,7 +307,18 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         // ---- breed the next generation on every island ----
         for (auto& island : islands)
             island.pop.breedNext(island.rng);
+
+        // Periodic persistence: a long campaign killed mid-run still
+        // warm-starts from its last interval. The save runs between
+        // evaluation dispatches (no worker is touching the caches), but
+        // snapshot() tolerates concurrent inserts regardless.
+        if (persist && params_.cacheSaveInterval > 0 &&
+            gen % params_.cacheSaveInterval == 0 &&
+            gen != params_.generations)
+            savePersistentCaches();
     }
+    if (persist)
+        savePersistentCaches();
     for (const auto& log : result.history) {
         result.cacheSummary.served += log.cacheHits;
         result.cacheSummary.evaluated += log.cacheMisses;

@@ -63,6 +63,9 @@ struct CacheSummary {
     std::size_t evaluated = 0; ///< Requests that cost pipeline work.
     std::size_t entries = 0;   ///< Entries across both cache levels.
     std::size_t evictions = 0; ///< LRU evictions across both levels.
+    /// Entries loaded from EvolutionParams::cachePath before generation 1
+    /// (0 on a cold start or when persistence is off).
+    std::size_t preloaded = 0;
 };
 
 /// Result of a full search.
@@ -113,6 +116,19 @@ class EvolutionEngine {
     /// from the shared caches.
     void evaluateIslands(ThreadPool& pool, std::vector<Island>* islands,
                          GenerationLog* log);
+
+    /// Load params_.cachePath into both cache levels (cold start on any
+    /// failure, with a warning). Returns the number of entries loaded.
+    std::size_t loadPersistentCaches();
+
+    /// Snapshot both cache levels to params_.cachePath (atomic rename;
+    /// failure warns and continues — persistence never fails a search).
+    void savePersistentCaches() const;
+
+    /// Scope fingerprint binding cache files to this search (compiled
+    /// baseline content + fitness description — covers app, dataset
+    /// scale and device). Computed once per run().
+    std::uint64_t cacheScope_ = 0;
 
     const ir::Module& base_;
     const FitnessFunction& fitness_;

@@ -7,6 +7,7 @@
 #define GEVO_CORE_PARAMS_H
 
 #include <cstdint>
+#include <string>
 
 #include "mutation/sampler.h"
 
@@ -55,6 +56,21 @@ struct EvolutionParams {
     /// bound; eviction is trajectory-neutral because evicted results are
     /// deterministically recomputed on the next miss.
     std::size_t cacheMaxEntries = 0;
+    /// Cross-run persistence (core/cache_store.h): when non-empty, both
+    /// cache levels are loaded from this file before generation 1 and
+    /// saved back on completion (and every `cacheSaveInterval`
+    /// generations). A missing, version-mismatched or corrupted file
+    /// degrades to a cold start — it never fails the run. Persistence is
+    /// trajectory-neutral for the same reason the cache itself is:
+    /// entries are values of a deterministic function of their key.
+    /// Ignored when useCache is false.
+    std::string cachePath;
+    /// Generations between periodic cache saves while the search runs
+    /// (0 = save only on completion). Only meaningful with a cachePath.
+    /// Saves are atomic (rename-over), so a run warm-starting from a
+    /// file another process is still appending to sees a complete
+    /// snapshot either way.
+    std::uint32_t cacheSaveInterval = 0;
 
     mut::SamplerConfig sampler;
 };

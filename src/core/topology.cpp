@@ -14,7 +14,12 @@ RingTopology::RingTopology(std::uint32_t islands, std::uint32_t interval)
 std::vector<MigrationEdge>
 RingTopology::migrationsAfter(std::uint32_t gen) const
 {
-    if (islands_ < 2 || interval_ == 0 || gen % interval_ != 0)
+    // gen 0 is the seed population: `gen % interval_ == 0` alone would
+    // fire a migration there, one full interval before the documented
+    // "every N generations" (first at gen == interval). The engine counts
+    // generations from 1, but this is a public seam — callers stepping
+    // from 0 must see the same schedule.
+    if (islands_ < 2 || interval_ == 0 || gen == 0 || gen % interval_ != 0)
         return {};
     std::vector<MigrationEdge> edges;
     edges.reserve(islands_);

@@ -59,9 +59,11 @@ class PanmicticTopology : public SearchTopology {
 };
 
 /// N islands in a directed ring: every `interval` generations island i
-/// sends its best to island (i+1) % N. interval 0 disables migration
-/// (fully isolated islands — equivalent to N independent runs sharing the
-/// evaluation pipeline and caches).
+/// sends its best to island (i+1) % N — the first migration fires after
+/// generation `interval`, never after generation 0 (the seed population
+/// has not evolved yet). interval 0 disables migration (fully isolated
+/// islands — equivalent to N independent runs sharing the evaluation
+/// pipeline and caches).
 class RingTopology : public SearchTopology {
   public:
     RingTopology(std::uint32_t islands, std::uint32_t interval);

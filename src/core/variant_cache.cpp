@@ -118,12 +118,26 @@ VariantCache::lookup(const std::string& key, FitnessResult* out) const
 void
 VariantCache::insert(const std::string& key, const FitnessResult& result)
 {
+    insertImpl(key, result);
+}
+
+bool
+VariantCache::insertImpl(const std::string& key, const FitnessResult& result)
+{
     Shard& shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto [it, inserted] =
         shard.map.try_emplace(key, Shard::Entry{result, shard.order.end()});
-    if (!inserted || shardCapacity_ == 0)
-        return;
+    if (shardCapacity_ == 0)
+        return inserted;
+    if (!inserted) {
+        // Existing key: keep the first value (fitness is deterministic in
+        // the key) but refresh recency — a re-inserted entry is as hot as
+        // a looked-up one, and must not be evicted as if cold.
+        shard.order.splice(shard.order.begin(), shard.order,
+                           it->second.where);
+        return false;
+    }
     shard.order.push_front(key);
     it->second.where = shard.order.begin();
     if (shard.map.size() > shardCapacity_) {
@@ -131,6 +145,47 @@ VariantCache::insert(const std::string& key, const FitnessResult& result)
         shard.order.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+    return true;
+}
+
+std::vector<std::pair<std::string, FitnessResult>>
+VariantCache::snapshot() const
+{
+    std::vector<std::pair<std::string, FitnessResult>> out;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shardCapacity_ > 0) {
+            // Bounded: emit in recency order, least recent first, so an
+            // in-order preload() reproduces the eviction order.
+            for (auto it = shard.order.rbegin(); it != shard.order.rend();
+                 ++it) {
+                const auto entry = shard.map.find(*it);
+                out.emplace_back(*it, entry->second.result);
+            }
+        } else {
+            // Unbounded: no recency list; sort keys so the snapshot (and
+            // therefore the persisted file) is deterministic.
+            const std::size_t first = out.size();
+            for (const auto& [key, entry] : shard.map)
+                out.emplace_back(key, entry.result);
+            std::sort(out.begin() + static_cast<std::ptrdiff_t>(first),
+                      out.end(),
+                      [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                      });
+        }
+    }
+    return out;
+}
+
+std::size_t
+VariantCache::preload(
+    const std::vector<std::pair<std::string, FitnessResult>>& entries)
+{
+    std::size_t added = 0;
+    for (const auto& [key, result] : entries)
+        added += insertImpl(key, result) ? 1 : 0;
+    return added;
 }
 
 VariantCache::Stats

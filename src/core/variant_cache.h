@@ -34,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/fitness.h"
@@ -69,10 +70,29 @@ class VariantCache {
     /// refreshes the entry's recency when the cache is bounded.
     bool lookup(const std::string& key, FitnessResult* out) const;
 
-    /// Insert (idempotent: re-inserting an existing key is a no-op, which
-    /// is safe because fitness is deterministic in the key). May evict the
-    /// shard's least-recently-used entry when bounded and full.
+    /// Insert (idempotent: re-inserting an existing key keeps the first
+    /// value, which is safe because fitness is deterministic in the key,
+    /// but still refreshes the entry's recency — a re-inserted key is a
+    /// hot key). May evict the shard's least-recently-used entry when
+    /// bounded and full.
     void insert(const std::string& key, const FitnessResult& result);
+
+    /// Deterministic snapshot of every entry, least-recently-used first
+    /// within each shard (insertion order by sorted key when unbounded —
+    /// recency is not tracked then). Feeding a snapshot back through
+    /// insert() in order reproduces both the contents and the LRU
+    /// eviction order, which is what makes persisted caches re-enter
+    /// recency deterministically (core/cache_store.h). Safe to call
+    /// concurrently with lookups/inserts: shards are locked one at a
+    /// time, so the result is a per-shard-consistent view.
+    std::vector<std::pair<std::string, FitnessResult>> snapshot() const;
+
+    /// Bulk insert() of \p entries in order (preserves LRU order of a
+    /// snapshot). Returns the number of keys actually added (existing
+    /// keys refresh recency but do not count). Does not touch the
+    /// hit/miss counters.
+    std::size_t
+    preload(const std::vector<std::pair<std::string, FitnessResult>>& entries);
 
     /// Aggregate counters since construction / clear().
     struct Stats {
@@ -113,6 +133,9 @@ class VariantCache {
 
     Shard& shardFor(const std::string& key);
     const Shard& shardFor(const std::string& key) const;
+
+    /// insert() body; returns true when the key was new to the cache.
+    bool insertImpl(const std::string& key, const FitnessResult& result);
 
     std::vector<Shard> shards_;
     std::uint64_t shardMask_ = 0;

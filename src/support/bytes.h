@@ -34,6 +34,26 @@ appendLeI64(std::string* out, std::int64_t v)
     appendLeU64(out, static_cast<std::uint64_t>(v));
 }
 
+/// Decoders mirroring the appenders above (core/cache_store.cpp reads
+/// back what it wrote with them). \pre at least 4/8 readable bytes at \p p.
+inline std::uint32_t
+readLeU32(const char* p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+    return v;
+}
+
+inline std::uint64_t
+readLeU64(const char* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+    return v;
+}
+
 } // namespace gevo
 
 #endif // GEVO_SUPPORT_BYTES_H

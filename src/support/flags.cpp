@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "support/logging.h"
 #include "support/strings.h"
@@ -61,12 +63,42 @@ Flags::getInt(const std::string& name, std::int64_t def) const
     std::string v;
     if (!lookup(name, &v))
         return def;
-    char* end = nullptr;
-    const auto parsed = std::strtoll(v.c_str(), &end, 0);
-    if (v.empty() || end == nullptr || *end != '\0')
+    // std::from_chars, not strtoll: locale-independent by definition, and
+    // overflow is reported instead of saturating (strtoll clamps to
+    // INT64_MAX with errno — easy to miss, and a silently clamped budget
+    // flag is exactly the class of bug strict parsing exists to stop).
+    // Values are decimal or 0x-prefixed hex; a leading zero is plain
+    // decimal, NOT octal (strtoll's base-0 "010" == 8 surprise is gone).
+    const char* p = v.data();
+    const char* end = p + v.size();
+    bool negative = false;
+    if (p != end && (*p == '+' || *p == '-')) {
+        negative = *p == '-';
+        ++p;
+    }
+    int base = 10;
+    if (end - p > 2 && p[0] == '0' && (p[1] == 'x' || p[1] == 'X')) {
+        base = 16;
+        p += 2;
+    }
+    std::uint64_t magnitude = 0;
+    const auto [ptr, ec] = std::from_chars(p, end, magnitude, base);
+    if (ec == std::errc() && (ptr != end || p == end))
         GEVO_FATAL("flag --%s expects an integer, got '%s'", name.c_str(),
                    v.c_str());
-    return parsed;
+    constexpr auto kMax =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+    if (ec == std::errc::result_out_of_range ||
+        (ec == std::errc() && magnitude > kMax + (negative ? 1 : 0)))
+        GEVO_FATAL("flag --%s: integer out of range, got '%s'", name.c_str(),
+                   v.c_str());
+    if (ec != std::errc())
+        GEVO_FATAL("flag --%s expects an integer, got '%s'", name.c_str(),
+                   v.c_str());
+    if (negative && magnitude == kMax + 1)
+        return std::numeric_limits<std::int64_t>::min();
+    const auto parsed = static_cast<std::int64_t>(magnitude);
+    return negative ? -parsed : parsed;
 }
 
 double
@@ -75,9 +107,20 @@ Flags::getDouble(const std::string& name, double def) const
     std::string v;
     if (!lookup(name, &v))
         return def;
-    char* end = nullptr;
-    const double parsed = std::strtod(v.c_str(), &end);
-    if (v.empty() || end == nullptr || *end != '\0')
+    // std::from_chars, not strtod: strtod honors LC_NUMERIC, so under a
+    // comma-decimal locale (de_DE, fr_FR, ...) "--flag=1.5" stops parsing
+    // at the '.' and strict parsing rejects a perfectly good value.
+    // from_chars always uses the C-locale format, regardless of what the
+    // host application set.
+    const char* p = v.data();
+    const char* end = p + v.size();
+    // from_chars accepts '-' but not '+'; skip one leading '+' unless a
+    // sign follows it ("+-1" must stay malformed, not parse as -1).
+    if (end - p >= 2 && p[0] == '+' && p[1] != '-' && p[1] != '+')
+        ++p;
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(p, end, parsed);
+    if (ec != std::errc() || ptr != end || p == end)
         GEVO_FATAL("flag --%s expects a number, got '%s'", name.c_str(),
                    v.c_str());
     return parsed;

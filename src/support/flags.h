@@ -32,9 +32,11 @@ class Flags {
     bool helpRequested() const { return help_; }
 
     /// Look up an integer flag (falls back to GEVO_<NAME> env, then def).
-    /// Fatal when the value is not a valid integer.
+    /// Decimal or 0x-prefixed hex; leading zeros are decimal, never
+    /// octal. Fatal when the value is malformed or overflows int64.
     std::int64_t getInt(const std::string& name, std::int64_t def) const;
-    /// Look up a floating-point flag. Fatal when malformed.
+    /// Look up a floating-point flag (C-locale format, regardless of the
+    /// host's LC_NUMERIC). Fatal when malformed.
     double getDouble(const std::string& name, double def) const;
     /// Look up a string flag.
     std::string getString(const std::string& name,

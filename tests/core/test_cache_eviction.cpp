@@ -77,13 +77,37 @@ TEST(CacheEviction, ReinsertDoesNotDuplicateOrEvict)
 {
     VariantCache cache(1, 2);
     cache.insert(keyN(1), FitnessResult::pass(1.0));
-    cache.insert(keyN(1), FitnessResult::pass(9.0)); // no-op
+    cache.insert(keyN(1), FitnessResult::pass(9.0)); // value no-op
     cache.insert(keyN(2), FitnessResult::pass(2.0));
     EXPECT_EQ(cache.stats().entries, 2u);
     EXPECT_EQ(cache.stats().evictions, 0u);
     FitnessResult out;
     ASSERT_TRUE(cache.lookup(keyN(1), &out));
     EXPECT_DOUBLE_EQ(out.ms, 1.0); // first value wins
+}
+
+TEST(CacheEviction, ReinsertRefreshesRecency)
+{
+    // Regression: insert() used to return early on an existing key
+    // without touching the recency list, so a re-inserted hot entry kept
+    // its stale position and could be evicted as if cold.
+    VariantCache cache(1, 3);
+    cache.insert(keyN(1), FitnessResult::pass(1.0));
+    cache.insert(keyN(2), FitnessResult::pass(2.0));
+    cache.insert(keyN(3), FitnessResult::pass(3.0));
+
+    // Re-insert 1: recency must become [1, 3, 2], exactly as a lookup
+    // would have made it.
+    cache.insert(keyN(1), FitnessResult::pass(1.0));
+
+    // Inserting 4 must evict 2 (least recently used), not the hot 1.
+    cache.insert(keyN(4), FitnessResult::pass(4.0));
+    FitnessResult out;
+    EXPECT_TRUE(cache.lookup(keyN(1), &out));
+    EXPECT_FALSE(cache.lookup(keyN(2), &out));
+    EXPECT_TRUE(cache.lookup(keyN(3), &out));
+    EXPECT_TRUE(cache.lookup(keyN(4), &out));
+    EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
 TEST(CacheEviction, TinyBoundClampsShardCount)

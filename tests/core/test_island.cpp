@@ -173,6 +173,23 @@ TEST(Island, RingMigrationPropagatesBest)
     }
 }
 
+TEST(Island, FirstMigrationWaitsAFullInterval)
+{
+    // "Migration every N generations" means the first transfer happens
+    // after generation N — never after generation 0's seed population
+    // (RingTopology guards gen 0 explicitly). With the interval equal to
+    // the run length, the only migration fires after the final
+    // generation's history entry, so the recorded history must be
+    // identical to a fully isolated run; any earlier firing would couple
+    // the islands and show up as a divergence.
+    const auto mod = toyModule();
+    const auto lastGenOnly =
+        runSearch(mod, 2, 1, true, /*interval=*/8, /*count=*/2);
+    const auto isolated =
+        runSearch(mod, 2, 1, true, /*interval=*/0, /*count=*/2);
+    expectSameTrajectory(lastGenOnly, isolated);
+}
+
 TEST(Island, MigrationChangesTheSearch)
 {
     // Sanity: migration is actually happening — the coupled run diverges

@@ -22,6 +22,10 @@ TEST(Topology, RingEdgesFormADirectedCycle)
     EXPECT_EQ(t.islandCount(), 4u);
     EXPECT_TRUE(t.migrationsAfter(1).empty());
     EXPECT_TRUE(t.migrationsAfter(4).empty());
+    // Regression: `gen % interval == 0` alone fired after generation 0 —
+    // the seed population — one full interval before the documented
+    // schedule. The first migration is after generation `interval`.
+    EXPECT_TRUE(t.migrationsAfter(0).empty());
     const auto edges = t.migrationsAfter(5);
     ASSERT_EQ(edges.size(), 4u);
     for (std::uint32_t i = 0; i < 4; ++i) {
@@ -35,8 +39,19 @@ TEST(Topology, RingEdgesFormADirectedCycle)
 TEST(Topology, RingIntervalZeroNeverMigrates)
 {
     RingTopology t(3, 0);
-    for (std::uint32_t gen = 1; gen <= 30; ++gen)
+    for (std::uint32_t gen = 0; gen <= 30; ++gen)
         EXPECT_TRUE(t.migrationsAfter(gen).empty());
+}
+
+TEST(Topology, RingIntervalOneFiresEveryGenerationExceptZero)
+{
+    // interval 1 is the tightest schedule: migration after every evolved
+    // generation — but still not after generation 0, which has only the
+    // seed population.
+    RingTopology t(2, 1);
+    EXPECT_TRUE(t.migrationsAfter(0).empty());
+    for (std::uint32_t gen = 1; gen <= 10; ++gen)
+        EXPECT_EQ(t.migrationsAfter(gen).size(), 2u) << gen;
 }
 
 TEST(Topology, SingleIslandRingNeverMigrates)

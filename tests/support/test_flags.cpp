@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cstdint>
 #include <cstdlib>
 
 namespace gevo {
@@ -111,6 +113,89 @@ TEST(Flags, IntAcceptsHexAndNegative)
 {
     EXPECT_EQ(makeFlags({"--mask=0x10"}).getInt("mask", 0), 16);
     EXPECT_EQ(makeFlags({"--delta=-3"}).getInt("delta", 0), -3);
+    EXPECT_EQ(makeFlags({"--delta=+3"}).getInt("delta", 0), 3);
+    EXPECT_EQ(makeFlags({"--mask=-0x10"}).getInt("mask", 0), -16);
+}
+
+TEST(Flags, IntRoundTripsTheFullRange)
+{
+    // The extremes parse exactly — strtoll-style silent saturation would
+    // also pass these, which is why the overflow death tests below pin
+    // the values just past them.
+    EXPECT_EQ(makeFlags({"--v=9223372036854775807"}).getInt("v", 0),
+              INT64_MAX);
+    EXPECT_EQ(makeFlags({"--v=-9223372036854775808"}).getInt("v", 0),
+              INT64_MIN);
+    EXPECT_EQ(makeFlags({"--v=0"}).getInt("v", 7), 0);
+}
+
+TEST(FlagsDeath, IntOverflowIsFatalNotSaturated)
+{
+    // strtoll would clamp these to INT64_MAX/MIN with only errno to tell;
+    // a silently clamped value is exactly what strict parsing exists to
+    // stop.
+    EXPECT_EXIT(makeFlags({"--v=9223372036854775808"}).getInt("v", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(makeFlags({"--v=-9223372036854775809"}).getInt("v", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(
+        makeFlags({"--v=99999999999999999999999999"}).getInt("v", 0),
+        ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Flags, NumericParsingIgnoresTheGlobalLocale)
+{
+    // std::strtod honors LC_NUMERIC, so under a comma-decimal locale
+    // (de_DE, fr_FR, ...) "--rate=1.5" used to stop parsing at the '.'
+    // and die as malformed. Parsing must be locale-independent: '.' is
+    // the decimal separator, always, and ',' is never accepted.
+    const char* prev = nullptr;
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+        prev = std::setlocale(LC_NUMERIC, name);
+        if (prev != nullptr)
+            break;
+    }
+    if (prev == nullptr)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    EXPECT_DOUBLE_EQ(makeFlags({"--rate=1.5"}).getDouble("rate", 0.0), 1.5);
+    EXPECT_DOUBLE_EQ(makeFlags({"--rate=-0.25"}).getDouble("rate", 0.0),
+                     -0.25);
+    std::setlocale(LC_NUMERIC, "C");
+}
+
+TEST(Flags, DoubleRoundTripsCommonForms)
+{
+    EXPECT_DOUBLE_EQ(makeFlags({"--v=1e-3"}).getDouble("v", 0.0), 1e-3);
+    EXPECT_DOUBLE_EQ(makeFlags({"--v=+2.5"}).getDouble("v", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(makeFlags({"--v=-4"}).getDouble("v", 0.0), -4.0);
+}
+
+TEST(Flags, LeadingZeroIsDecimalNotOctal)
+{
+    // strtoll base 0 parsed "010" as octal 8; a flag value with a padded
+    // zero now means what it looks like.
+    EXPECT_EQ(makeFlags({"--v=010"}).getInt("v", 0), 10);
+    EXPECT_EQ(makeFlags({"--v=007"}).getInt("v", 0), 7);
+}
+
+TEST(FlagsDeath, DoubledSignsAreMalformed)
+{
+    // The manual '+' skip must not open a hole: "+-1" is not -1.
+    EXPECT_EXIT(makeFlags({"--v=+-1"}).getDouble("v", 0.0),
+                ::testing::ExitedWithCode(1), "expects a number");
+    EXPECT_EXIT(makeFlags({"--v=++1"}).getDouble("v", 0.0),
+                ::testing::ExitedWithCode(1), "expects a number");
+    EXPECT_EXIT(makeFlags({"--v=+-1"}).getInt("v", 0),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(FlagsDeath, CommaDecimalIsAlwaysRejected)
+{
+    // Uniform behavior on every host: "1,5" is malformed no matter what
+    // LC_NUMERIC says.
+    EXPECT_EXIT(makeFlags({"--rate=1,5"}).getDouble("rate", 0.0),
+                ::testing::ExitedWithCode(1), "expects a number");
 }
 
 // ---- enum/choice flags ----
