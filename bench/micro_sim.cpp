@@ -64,6 +64,74 @@ BM_SimulatorLaneThroughput(benchmark::State& state)
 }
 BENCHMARK(BM_SimulatorLaneThroughput);
 
+// Per-lane divergent accumulation: the trace interpreter's span machinery
+// helps, scalarization mostly cannot (lane-dependent operands).
+constexpr const char* kDivergentKernel = R"(
+kernel @divg params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = rem.i32 r1, 7
+    r3 = mov 0
+    r4 = mov 0
+    br header
+header:
+    r4 = add.i32 r4, r1
+    r5 = mul.i32 r4, 3
+    r3 = add.i32 r3, 1
+    r6 = cmp.le.i32 r3, r2
+    brc r6, header, exit
+exit:
+    r7 = cvt.i32.i64 r1
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    st.i32.global r9, r5
+    ret
+}
+)";
+
+/// Shared body of the trace-vs-reference comparisons (arg 0 = trace,
+/// 1 = reference); saves and restores the ambient interpreter mode so a
+/// GEVO_SIM_REFPATH run keeps its selection for later benchmarks.
+void
+runInterpComparison(benchmark::State& state, const char* kernelText)
+{
+    const sim::InterpMode previous = sim::interpreterMode();
+    sim::setInterpreterMode(state.range(0) != 0
+                                ? sim::InterpMode::Reference
+                                : sim::InterpMode::Trace);
+    auto parsed = ir::parseModule(kernelText);
+    const auto prog = sim::Program::decode(parsed.module.function(0));
+    std::uint64_t lanes = 0;
+    for (auto _ : state) {
+        sim::DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(256 * 4);
+        const auto res = sim::launchKernel(
+            sim::p100(), mem, prog, {4, 64},
+            {static_cast<std::uint64_t>(out)});
+        benchmark::DoNotOptimize(res.stats.cycles);
+        lanes += res.stats.laneInstrs;
+    }
+    sim::setInterpreterMode(previous);
+    state.counters["lane_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(lanes), benchmark::Counter::kIsRate);
+}
+
+/// The headline number for the span + warp-uniform-scalarization rework.
+void
+BM_SimulatorInterpUniformLoop(benchmark::State& state)
+{
+    runInterpComparison(state, kLoopKernel);
+}
+BENCHMARK(BM_SimulatorInterpUniformLoop)->Arg(0)->Arg(1);
+
+/// The fast path's worst case (partial masks defeat most scalarization).
+void
+BM_SimulatorInterpDivergent(benchmark::State& state)
+{
+    runInterpComparison(state, kDivergentKernel);
+}
+BENCHMARK(BM_SimulatorInterpDivergent)->Arg(0)->Arg(1);
+
 void
 BM_PatchApplication(benchmark::State& state)
 {

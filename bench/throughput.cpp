@@ -20,6 +20,12 @@
 /// verifies that both modes discover the identical best edit list (the
 /// cache must be trajectory-neutral).
 ///
+/// With `--json=<path>` the same measurements are additionally written as
+/// a machine-readable JSON artifact (per-workload uncached/cached and,
+/// with --cache-path, cold/warm variants/sec, hit rates, trajectory
+/// checks, and the gate verdict) so CI tracks the perf trajectory as a
+/// build artifact instead of prose.
+///
 /// With `--cache-path=<dir>` the bench also measures warm starts
 /// (core/cache_store.h): a third run persists its caches to
 /// <dir>/<workload>.gevocache from a cold start, and a fourth loads them
@@ -90,14 +96,33 @@ runSearch(const core::WorkloadInstance& instance,
     return s;
 }
 
-/// Run both modes on one workload and emit a table section. Returns the
-/// cached-over-uncached variants/sec ratio (0 when the best edit lists
-/// disagree, which would invalidate the comparison). With --cache-path
-/// also runs the cold-persist + warm-start pair; \p warmStartOk is
-/// cleared when the warm run fails any of its invariants.
-double
-benchWorkload(const core::Workload& workload, const Flags& flags,
-              bool* warmStartOk)
+/// Everything measured for one workload, for both the table and the JSON
+/// artifact.
+struct WorkloadReport {
+    std::string name;
+    RunStats uncached;
+    RunStats cached;
+    RunStats cold;
+    RunStats warm;
+    bool haveWarm = false;      ///< --cache-path rows were run.
+    bool trajectoryIdentical = false;
+    bool warmOk = true;         ///< Warm-start invariants held.
+
+    /// Cached-over-uncached variants/sec ratio; 0 when the best edit
+    /// lists disagree, which would invalidate the comparison.
+    double
+    gateRatio() const
+    {
+        if (!trajectoryIdentical || cached.seconds <= 0.0)
+            return 0.0;
+        return cached.variantsPerSec() / uncached.variantsPerSec();
+    }
+};
+
+/// Run both modes on one workload and emit a table section. With
+/// --cache-path also runs the cold-persist + warm-start pair.
+WorkloadReport
+benchWorkload(const core::Workload& workload, const Flags& flags)
 {
     core::WorkloadConfig config;
     config.flags = &flags;
@@ -116,8 +141,12 @@ benchWorkload(const core::Workload& workload, const Flags& flags,
     params.islands =
         static_cast<std::uint32_t>(flags.getInt("islands", params.islands));
 
-    const RunStats uncached = runSearch(*instance, params, false);
-    const RunStats cached = runSearch(*instance, params, true);
+    WorkloadReport report;
+    report.name = workload.name;
+    report.uncached = runSearch(*instance, params, false);
+    report.cached = runSearch(*instance, params, true);
+    const RunStats& uncached = report.uncached;
+    const RunStats& cached = report.cached;
 
     const double ratio = cached.seconds > 0.0
                              ? cached.variantsPerSec() /
@@ -140,9 +169,10 @@ benchWorkload(const core::Workload& workload, const Flags& flags,
     // Warm-start pair: cold run persists its caches, warm run reuses
     // them. Both are full searches — only the file differs.
     const std::string cacheDir = flags.getString("cache-path", "");
-    RunStats cold;
-    RunStats warm;
+    RunStats& cold = report.cold;
+    RunStats& warm = report.warm;
     if (!cacheDir.empty()) {
+        report.haveWarm = true;
         const std::string path =
             cacheDir + "/" + workload.name + ".gevocache";
         std::remove(path.c_str()); // A genuine cold start.
@@ -165,6 +195,7 @@ benchWorkload(const core::Workload& workload, const Flags& flags,
     t.print();
 
     const bool sameBest = uncached.bestEdits == cached.bestEdits;
+    report.trajectoryIdentical = sameBest;
     std::printf("best edit list identical across modes: %s "
                 "(search speedup %.2fx vs %.2fx)\n",
                 sameBest ? "yes" : "NO — CACHE CHANGED THE TRAJECTORY",
@@ -174,16 +205,79 @@ benchWorkload(const core::Workload& workload, const Flags& flags,
                               warm.bestEdits == uncached.bestEdits;
         const bool ok = warmSame && warm.preloaded > 0 &&
                         warm.hitRate() > cold.hitRate();
+        report.warmOk = ok;
         std::printf("warm start: %s (preloaded %zu entries, hit rate "
                     "%.2f cold -> %.2f warm, trajectory %s)\n",
                     ok ? "PASS" : "FAIL", warm.preloaded, cold.hitRate(),
                     warm.hitRate(),
                     warmSame ? "identical" : "DIVERGED");
-        if (!ok && warmStartOk)
-            *warmStartOk = false;
     }
     std::printf("\n");
-    return sameBest ? ratio : 0.0;
+    return report;
+}
+
+// ---- JSON artifact ----
+
+void
+jsonMode(std::FILE* f, const char* name, const RunStats& s, bool last)
+{
+    std::fprintf(f,
+                 "        \"%s\": {\"variants_per_s\": %.2f, "
+                 "\"hit_rate\": %.4f, \"requests\": %zu, "
+                 "\"evaluated\": %zu, \"preloaded\": %zu, "
+                 "\"wall_s\": %.4f}%s\n",
+                 name, s.variantsPerSec(), s.hitRate(), s.requests,
+                 s.simulations, s.preloaded, s.seconds,
+                 last ? "" : ",");
+}
+
+/// Write the machine-readable artifact. Workload names come from the
+/// registry (no exotic characters), so plain printf emission is safe.
+bool
+writeJson(const std::string& path,
+          const std::vector<WorkloadReport>& reports, bool gateRan,
+          double adeptRatio, double otherMin, bool warmStartOk,
+          bool gatePass)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write JSON artifact %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+    std::fprintf(f, "  \"gate\": {\"name\": \"adept-v0 cached/uncached "
+                    ">= 3x\", \"ran\": %s, \"pass\": %s, "
+                    "\"ratio\": %.3f, \"others_min_ratio\": %.3f},\n",
+                 gateRan ? "true" : "false", gatePass ? "true" : "false",
+                 adeptRatio, otherMin < 0.0 ? 0.0 : otherMin);
+    std::fprintf(f, "  \"warm_start_ok\": %s,\n",
+                 warmStartOk ? "true" : "false");
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const WorkloadReport& r = reports[i];
+        std::fprintf(f, "    {\n      \"name\": \"%s\",\n",
+                     r.name.c_str());
+        std::fprintf(f, "      \"trajectory_identical\": %s,\n",
+                     r.trajectoryIdentical ? "true" : "false");
+        std::fprintf(f, "      \"ratio_cached_over_uncached\": %.3f,\n",
+                     r.gateRatio());
+        std::fprintf(f, "      \"warm_ok\": %s,\n",
+                     r.warmOk ? "true" : "false");
+        std::fprintf(f, "      \"modes\": {\n");
+        jsonMode(f, "uncached", r.uncached, false);
+        jsonMode(f, "cached", r.cached, !r.haveWarm);
+        if (r.haveWarm) {
+            jsonMode(f, "cold_persist", r.cold, false);
+            jsonMode(f, "warm_start", r.warm, true);
+        }
+        std::fprintf(f, "      }\n    }%s\n",
+                     i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote JSON artifact: %s\n", path.c_str());
+    return true;
 }
 
 } // namespace
@@ -207,9 +301,13 @@ main(int argc, char** argv)
     bool warmStartOk = true;
     double adeptRatio = 0.0;
     double otherMin = -1.0;
+    std::vector<WorkloadReport> reports;
     for (const auto& name : names) {
-        const double ratio =
-            benchWorkload(registry.get(name), flags, &warmStartOk);
+        reports.push_back(benchWorkload(registry.get(name), flags));
+        const WorkloadReport& report = reports.back();
+        if (!report.warmOk)
+            warmStartOk = false;
+        const double ratio = report.gateRatio();
         if (name == "adept-v0") {
             gateRan = true;
             adeptRatio = ratio;
@@ -221,17 +319,23 @@ main(int argc, char** argv)
     if (!warmStartOk)
         std::printf("warm-start check: FAIL (see per-workload lines "
                     "above)\n");
+    const bool gatePass = gateRan && adeptRatio >= 3.0;
+    const std::string jsonPath = flags.getString("json", "");
+    bool jsonOk = true;
+    if (!jsonPath.empty())
+        jsonOk = writeJson(jsonPath, reports, gateRan, adeptRatio,
+                           otherMin, warmStartOk, gatePass);
     if (!gateRan) {
         // A narrowed --workloads list without adept-v0 is a valid probe
         // run; only the gate configuration can pass/fail the gate.
         std::printf("acceptance gate (adept-v0 >= 3x): not run (adept-v0 "
                     "not in --workloads; min measured ratio %.2fx)\n",
                     otherMin < 0.0 ? 0.0 : otherMin);
-        return warmStartOk ? 0 : 1;
+        return warmStartOk && jsonOk ? 0 : 1;
     }
     std::printf("acceptance gate (adept-v0 >= 3x): %s (%.2fx; others min "
                 "%.2fx)\n",
-                adeptRatio >= 3.0 ? "PASS" : "FAIL", adeptRatio,
+                gatePass ? "PASS" : "FAIL", adeptRatio,
                 otherMin < 0.0 ? 0.0 : otherMin);
-    return adeptRatio >= 3.0 && warmStartOk ? 0 : 1;
+    return gatePass && warmStartOk && jsonOk ? 0 : 1;
 }

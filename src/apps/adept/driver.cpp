@@ -40,8 +40,14 @@ AdeptDriver::run(const sim::ProgramSet& programs,
     const auto n = static_cast<std::uint32_t>(pairs_.size());
     const std::int64_t stride = maxThreads_;
 
+    // Size the arena to the actual allocation plan (sequences, lengths,
+    // outputs, plus page-rounding slack): the arena is zeroed on
+    // construction once per evaluation, so an oversized fixed floor is
+    // pure memset overhead on the hot path. Capacity has no fault
+    // semantics — OOB detection keys on the page-rounded allocated
+    // extent, not the arena size.
     sim::DeviceMemory mem(std::max<std::int64_t>(
-        8ll << 20, 16ll * stride * n + (1 << 16)));
+        1 << 20, 16ll * stride * n + (1 << 17)));
     const auto seqA = mem.alloc(stride * n);
     const auto seqB = mem.alloc(stride * n);
     const auto lenA = mem.alloc(4ll * n);

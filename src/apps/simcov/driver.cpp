@@ -58,9 +58,10 @@ SimcovDriver::run(const sim::ProgramSet& programs,
     const std::int64_t statsBytes = 256;
     const std::int64_t total = statsBytes + 9 * ((gridBytes + 255) / 256)
                                    * 256;
-    sim::DeviceMemory mem(tightArena_ ? total
-                                      : std::max<std::int64_t>(
-                                            total + (1 << 20), 8 << 20));
+    // Arena sized to the allocation plan plus fixed slack (zeroed once
+    // per evaluation — see the ADEPT driver note); capacity never
+    // affects the OOB mapping rule, only page rounding of used() does.
+    sim::DeviceMemory mem(tightArena_ ? total : total + (1 << 20));
 
     const auto stats = mem.alloc(statsBytes);
     const auto rng = mem.alloc(gridBytes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -25,6 +26,36 @@ faultKindName(FaultKind kind)
       case FaultKind::InvalidProgram: return "invalid-program";
     }
     return "?";
+}
+
+namespace {
+
+/// Resolved interpreter mode: -1 until first query, then the InterpMode
+/// value. setInterpreterMode() stores directly; otherwise the
+/// GEVO_SIM_REFPATH environment variable decides on first use.
+std::atomic<int> gInterpMode{-1};
+
+} // namespace
+
+InterpMode
+interpreterMode()
+{
+    int mode = gInterpMode.load(std::memory_order_relaxed);
+    if (mode < 0) {
+        const char* env = std::getenv("GEVO_SIM_REFPATH");
+        const bool ref = env != nullptr && env[0] != '\0' &&
+                         !(env[0] == '0' && env[1] == '\0');
+        mode = static_cast<int>(ref ? InterpMode::Reference
+                                    : InterpMode::Trace);
+        gInterpMode.store(mode, std::memory_order_relaxed);
+    }
+    return static_cast<InterpMode>(mode);
+}
+
+void
+setInterpreterMode(InterpMode mode)
+{
+    gInterpMode.store(static_cast<int>(mode), std::memory_order_relaxed);
 }
 
 namespace {
@@ -61,6 +92,14 @@ struct WarpState {
     std::uint64_t issuedInstrs = 0;
     std::vector<std::uint64_t> regs;  ///< lane-major: [lane*numRegs + r].
     std::vector<std::uint64_t> ready; ///< per-register ready cycle.
+    /// Warp-uniform register tracking (trace path only). Bit r of
+    /// uniBits set means every one of the 32 lanes holds uniVal[r] in
+    /// register r — the lane-major array may then be stale and is
+    /// materialized (all 32 lanes rewritten) before the bit is cleared.
+    /// Uniformity is defined over all 32 lanes, not just live ones,
+    /// because shuffles read source values from inactive lanes too.
+    std::vector<std::uint64_t> uniBits;
+    std::vector<std::uint64_t> uniVal;
     int index = 0;
 };
 
@@ -74,9 +113,9 @@ class BlockRunner {
     BlockRunner(const DeviceConfig& dev, DeviceMemory& mem,
                 const Program& prog, LaunchDims dims,
                 const std::vector<std::uint64_t>& args, LaunchStats* stats,
-                bool profileLocs)
+                bool profileLocs, bool trace)
         : dev_(dev), mem_(mem), prog_(prog), dims_(dims), args_(args),
-          stats_(stats), profileLocs_(profileLocs)
+          stats_(stats), profileLocs_(profileLocs), trace_(trace)
     {
         shared_.resize(prog.sharedBytes);
         local_.resize(static_cast<std::size_t>(prog.localBytes) *
@@ -90,6 +129,8 @@ class BlockRunner {
             warp.regs.resize(
                 static_cast<std::size_t>(kWarpSize) * prog.numRegs);
             warp.ready.resize(prog.numRegs);
+            warp.uniBits.resize((prog.numRegs + 63) / 64);
+            warp.uniVal.resize(prog.numRegs);
             warp.stack.reserve(8);
         }
     }
@@ -116,8 +157,21 @@ class BlockRunner {
             warp.cycle = 0;
             warp.issueCycles = 0;
             warp.issuedInstrs = 0;
-            std::fill(warp.regs.begin(), warp.regs.end(), 0);
             std::fill(warp.ready.begin(), warp.ready.end(), 0);
+            if (trace_) {
+                // Every register starts uniform (zero, or the broadcast
+                // kernel argument), so the lane-major array need not be
+                // touched at all: a uniform register is materialized
+                // before its first per-lane use.
+                std::fill(warp.uniBits.begin(), warp.uniBits.end(),
+                          ~std::uint64_t{0});
+                std::fill(warp.uniVal.begin(), warp.uniVal.end(), 0);
+                for (std::uint32_t p = 0;
+                     p < prog_.numParams && p < args_.size(); ++p)
+                    warp.uniVal[p] = args_[p];
+                continue;
+            }
+            std::fill(warp.regs.begin(), warp.regs.end(), 0);
             for (std::uint32_t lane = 0; lane < kWarpSize; ++lane) {
                 for (std::uint32_t p = 0;
                      p < prog_.numParams && p < args_.size(); ++p) {
@@ -139,7 +193,8 @@ class BlockRunner {
             for (auto& warp : warps_) {
                 if (warp.done || warp.atBarrier)
                     continue;
-                const WarpStop stop = runWarp(warp);
+                const WarpStop stop =
+                    trace_ ? runWarpTrace(warp) : runWarpRef(warp);
                 if (stop == WarpStop::Faulted)
                     return fault_;
                 allDone = false;
@@ -348,35 +403,86 @@ class BlockRunner {
         return ways;
     }
 
-    /// Global coalescing: distinct 32B sectors touched by active lanes.
+    /// Global coalescing: distinct 32B sectors touched by active lanes
+    /// (sort the <=32 sector ids, count runs — the duplicate scan used to
+    /// be quadratic in the active-lane count).
     std::uint32_t
     globalSectors(const std::int64_t* addrs, std::uint32_t mask)
     {
         std::int64_t sectors[kWarpSize];
         int n = 0;
         for (int lane = 0; lane < kWarpSize; ++lane) {
-            if (!(mask & (1u << lane)))
-                continue;
-            const std::int64_t s = addrs[lane] >> 5;
-            bool dup = false;
-            for (int i = 0; i < n; ++i)
-                dup = dup || sectors[i] == s;
-            if (!dup)
-                sectors[n++] = s;
+            if (mask & (1u << lane))
+                sectors[n++] = addrs[lane] >> 5;
         }
-        return static_cast<std::uint32_t>(std::max(1, n));
+        std::sort(sectors, sectors + n);
+        int distinct = 0;
+        for (int i = 0; i < n; ++i) {
+            if (i == 0 || sectors[i] != sectors[i - 1])
+                ++distinct;
+        }
+        return static_cast<std::uint32_t>(std::max(1, distinct));
+    }
+
+    /// Issue slots and result latency of one memory instruction, shared
+    /// verbatim by the reference and trace interpreters (including the
+    /// bank-conflict / sector-coalescing stats side effects).
+    void
+    memTiming(const DecodedInstr& in, const std::int64_t* addrs,
+              std::uint32_t mask, std::uint64_t* slots, std::uint64_t* lat)
+    {
+        *slots = 1;
+        *lat = dev_.aluLat;
+        if (in.space == MemSpace::Shared) {
+            const bool isStore = in.op == Opcode::Store;
+            std::uint32_t ways =
+                in.op == Opcode::AtomicRMW
+                    ? std::popcount(mask)
+                    : sharedConflictWays(addrs, mask, isStore);
+            if (isStore)
+                ways = std::min(ways, dev_.storeWaysCap);
+            stats_->sharedConflictWays += ways - 1;
+            *slots = static_cast<std::uint64_t>(dev_.sharedIssue) * ways;
+            *lat = dev_.sharedLat;
+            if (isStore) {
+                // Store-completion skew: the store retires with its last
+                // participating sub-warp transaction, so a lone store from
+                // a high lane pays almost a full warp's scheduling slots
+                // while a full-warp store amortizes them (this models the
+                // effect behind paper edit 5, Sec VI-A).
+                const int hi = 31 - std::countl_zero(mask);
+                *slots += static_cast<std::uint64_t>(
+                    dev_.storeLaneSkew * (hi + 1) /
+                    std::popcount(mask));
+            }
+        } else if (in.space == MemSpace::Global) {
+            const std::uint32_t sectors = globalSectors(addrs, mask);
+            stats_->globalSectors += sectors;
+            if (in.op == Opcode::AtomicRMW) {
+                *slots = static_cast<std::uint64_t>(dev_.atomicIssue) *
+                         std::popcount(mask);
+                *lat = dev_.atomicLat;
+            } else {
+                *slots = static_cast<std::uint64_t>(dev_.globalSectorIssue) *
+                         sectors;
+                *lat = dev_.globalLat;
+            }
+        } else { // Local
+            *slots = dev_.sharedIssue;
+            *lat = dev_.sharedLat;
+        }
     }
 
     /// Stall until source registers are ready, then consume issue slots.
+    /// The stall set is the decode-time srcRegs list — identical to
+    /// re-testing Operand::kind per slot, without the per-step branches.
     void
     issue(WarpState& warp, const DecodedInstr& in, std::uint64_t slots)
     {
-        for (int i = 0; i < in.nops; ++i) {
-            if (in.ops[i].isReg())
-                warp.cycle = std::max(
-                    warp.cycle,
-                    warp.ready[static_cast<std::size_t>(in.ops[i].value)]);
-        }
+        for (int i = 0; i < in.numSrcRegs; ++i)
+            warp.cycle = std::max(
+                warp.cycle,
+                warp.ready[static_cast<std::size_t>(in.srcRegs[i])]);
         warp.cycle += slots;
         warp.issueCycles += slots;
         ++warp.issuedInstrs;
@@ -394,10 +500,134 @@ class BlockRunner {
             warp.ready[static_cast<std::size_t>(dest)] = warp.cycle + lat;
     }
 
-    // ---- the interpreter ----
+    // ---- warp-uniform register tracking (trace path) ----
 
-    WarpStop runWarp(WarpState& warp);
-    WarpStop step(WarpState& warp);
+    static bool
+    uniTest(const WarpState& warp, std::size_t r)
+    {
+        return (warp.uniBits[r >> 6] >> (r & 63)) & 1u;
+    }
+
+    static void
+    uniSet(WarpState& warp, std::size_t r)
+    {
+        warp.uniBits[r >> 6] |= std::uint64_t{1} << (r & 63);
+    }
+
+    static void
+    uniClear(WarpState& warp, std::size_t r)
+    {
+        warp.uniBits[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
+    }
+
+    /// Resolved read view of one operand: either a lane-major base
+    /// pointer (stride numRegs) or a scalar (immediate / uniform value).
+    struct SrcView {
+        const std::uint64_t* base = nullptr;
+        std::uint64_t scalar = 0;
+    };
+
+    SrcView
+    viewOf(const WarpState& warp, const Operand& op) const
+    {
+        if (!op.isReg())
+            return {nullptr, static_cast<std::uint64_t>(op.value)};
+        const auto r = static_cast<std::size_t>(op.value);
+        if (uniTest(warp, r))
+            return {nullptr, warp.uniVal[r]};
+        return {warp.regs.data() + r, 0};
+    }
+
+    /// Rewrite all 32 lanes of a uniform register from uniVal and drop
+    /// the uniform bit — called before any per-lane write of that
+    /// register so lanes outside the active mask keep the right value.
+    void
+    materializeReg(WarpState& warp, std::int32_t dest)
+    {
+        const auto r = static_cast<std::size_t>(dest);
+        if (!uniTest(warp, r))
+            return;
+        const std::uint64_t w = warp.uniVal[r];
+        std::uint64_t* p = warp.regs.data() + r;
+        for (int lane = 0; lane < kWarpSize; ++lane, p += prog_.numRegs)
+            *p = w;
+        uniClear(warp, r);
+    }
+
+    /// Commit a warp-invariant result \p v to \p dest under \p mask,
+    /// preserving the uniformity invariant. The common cases (value
+    /// unchanged, or a full-warp overwrite) touch no lane storage at all.
+    void
+    writeScalarResult(WarpState& warp, std::int32_t dest,
+                      std::uint32_t mask, std::uint64_t v)
+    {
+        const auto r = static_cast<std::size_t>(dest);
+        if (uniTest(warp, r)) {
+            const std::uint64_t w = warp.uniVal[r];
+            if (w == v)
+                return;
+            if (mask == kFullMask) {
+                warp.uniVal[r] = v;
+                return;
+            }
+            std::uint64_t* p = warp.regs.data() + r;
+            for (int lane = 0; lane < kWarpSize; ++lane,
+                     p += prog_.numRegs)
+                *p = (mask >> lane) & 1u ? v : w;
+            uniClear(warp, r);
+            return;
+        }
+        if (mask == kFullMask) {
+            warp.uniVal[r] = v;
+            uniSet(warp, r);
+            return;
+        }
+        std::uint64_t* p = warp.regs.data() + r;
+        for (int lane = 0; lane < kWarpSize; ++lane, p += prog_.numRegs) {
+            if ((mask >> lane) & 1u)
+                *p = v;
+        }
+    }
+
+    // ---- the interpreters ----
+
+    /// Pop dead/reconverged stack entries and retire implicit exits.
+    /// Returns false when the warp is done (stack empty or no lanes
+    /// alive) — shared bookkeeping of both interpreters, so the
+    /// retirement rules can never diverge between them.
+    static bool
+    resolveStack(WarpState& warp)
+    {
+        while (!warp.stack.empty()) {
+            StackEntry& top = warp.stack.back();
+            if ((top.mask & warp.aliveMask) == 0) {
+                warp.stack.pop_back();
+                continue;
+            }
+            if (top.pc == kExitPc) {
+                // Implicit exit: retire these lanes.
+                warp.aliveMask &= ~top.mask;
+                warp.stack.pop_back();
+                continue;
+            }
+            if (top.pc == top.reconvPc) {
+                warp.stack.pop_back();
+                continue;
+            }
+            break;
+        }
+        if (warp.stack.empty() || warp.aliveMask == 0) {
+            warp.done = true;
+            return false;
+        }
+        return true;
+    }
+
+    WarpStop runWarpRef(WarpState& warp);
+    WarpStop stepRef(WarpState& warp);
+    WarpStop runWarpTrace(WarpState& warp);
+    WarpStop execInstr(WarpState& warp, const DecodedInstr& in,
+                       std::uint32_t mask);
 
     const DeviceConfig& dev_;
     DeviceMemory& mem_;
@@ -407,6 +637,7 @@ class BlockRunner {
     std::uint32_t blockIdx_ = 0;
     LaunchStats* stats_;
     bool profileLocs_;
+    bool trace_;
 
     std::vector<std::uint8_t> shared_;
     std::vector<std::uint8_t> local_;
@@ -414,11 +645,15 @@ class BlockRunner {
     Fault fault_;
 };
 
+/// Reference interpreter: the original per-instruction loop. Kept alive
+/// behind GEVO_SIM_REFPATH as the differential-testing oracle for the
+/// trace interpreter — it re-resolves the reconvergence stack and
+/// re-dispatches per instruction, with no span or uniformity machinery.
 WarpStop
-BlockRunner::runWarp(WarpState& warp)
+BlockRunner::runWarpRef(WarpState& warp)
 {
     while (true) {
-        const WarpStop result = step(warp);
+        const WarpStop result = stepRef(warp);
         if (result == WarpStop::Faulted || result == WarpStop::AtBarrier)
             return result;
         if (warp.done)
@@ -428,31 +663,11 @@ BlockRunner::runWarp(WarpState& warp)
 
 /// Executes exactly one warp instruction (or resolves stack bookkeeping).
 WarpStop
-BlockRunner::step(WarpState& warp)
+BlockRunner::stepRef(WarpState& warp)
 {
     // Resolve reconvergence and dead entries before fetching.
-    while (!warp.stack.empty()) {
-        StackEntry& top = warp.stack.back();
-        if ((top.mask & warp.aliveMask) == 0) {
-            warp.stack.pop_back();
-            continue;
-        }
-        if (top.pc == kExitPc) {
-            // Implicit exit: retire these lanes.
-            warp.aliveMask &= ~top.mask;
-            warp.stack.pop_back();
-            continue;
-        }
-        if (top.pc == top.reconvPc) {
-            warp.stack.pop_back();
-            continue;
-        }
-        break;
-    }
-    if (warp.stack.empty() || warp.aliveMask == 0) {
-        warp.done = true;
+    if (!resolveStack(warp))
         return WarpStop::Done;
-    }
 
     if (warp.issuedInstrs > dev_.maxInstrPerThread)
         return plainFault(FaultKind::Timeout, "instruction budget exceeded");
@@ -512,26 +727,29 @@ BlockRunner::step(WarpState& warp)
 
       case ir::OpKind::Sreg: {
         issue(warp, in, 1);
+        // Lane-invariant base computed once outside the lane loop; only
+        // Tid/LaneId add the per-lane term.
+        std::uint64_t base = 0;
+        bool addLane = false;
+        switch (in.op) {
+          case Opcode::Tid:
+            base = static_cast<std::uint64_t>(warp.index) * kWarpSize;
+            addLane = true;
+            break;
+          case Opcode::Bid: base = blockIdx_; break;
+          case Opcode::BlockDim: base = dims_.blockDim; break;
+          case Opcode::GridDim: base = dims_.gridDim; break;
+          case Opcode::LaneId: addLane = true; break;
+          case Opcode::WarpId:
+            base = static_cast<std::uint64_t>(warp.index);
+            break;
+          default: break;
+        }
         for (int lane = 0; lane < kWarpSize; ++lane) {
             if (!(mask & (1u << lane)))
                 continue;
-            std::uint64_t v = 0;
-            switch (in.op) {
-              case Opcode::Tid:
-                v = static_cast<std::uint64_t>(warp.index) * kWarpSize +
-                    static_cast<std::uint64_t>(lane);
-                break;
-              case Opcode::Bid: v = blockIdx_; break;
-              case Opcode::BlockDim: v = dims_.blockDim; break;
-              case Opcode::GridDim: v = dims_.gridDim; break;
-              case Opcode::LaneId: v = static_cast<std::uint64_t>(lane);
-                break;
-              case Opcode::WarpId:
-                v = static_cast<std::uint64_t>(warp.index);
-                break;
-              default: break;
-            }
-            laneRegs(lane)[static_cast<std::size_t>(in.dest)] = v;
+            laneRegs(lane)[static_cast<std::size_t>(in.dest)] =
+                base + (addLane ? static_cast<std::uint64_t>(lane) : 0);
         }
         setReady(warp, in.dest, 1);
         ++top.pc;
@@ -549,44 +767,7 @@ BlockRunner::step(WarpState& warp)
 
         std::uint64_t slots = 1;
         std::uint64_t lat = dev_.aluLat;
-        if (in.space == MemSpace::Shared) {
-            const bool isStore = in.op == Opcode::Store;
-            std::uint32_t ways =
-                in.op == Opcode::AtomicRMW
-                    ? std::popcount(mask)
-                    : sharedConflictWays(addrs, mask, isStore);
-            if (isStore)
-                ways = std::min(ways, dev_.storeWaysCap);
-            stats_->sharedConflictWays += ways - 1;
-            slots = static_cast<std::uint64_t>(dev_.sharedIssue) * ways;
-            lat = dev_.sharedLat;
-            if (isStore) {
-                // Store-completion skew: the store retires with its last
-                // participating sub-warp transaction, so a lone store from
-                // a high lane pays almost a full warp's scheduling slots
-                // while a full-warp store amortizes them (this models the
-                // effect behind paper edit 5, Sec VI-A).
-                const int hi = 31 - std::countl_zero(mask);
-                slots += static_cast<std::uint64_t>(
-                    dev_.storeLaneSkew * (hi + 1) /
-                    std::popcount(mask));
-            }
-        } else if (in.space == MemSpace::Global) {
-            const std::uint32_t sectors = globalSectors(addrs, mask);
-            stats_->globalSectors += sectors;
-            if (in.op == Opcode::AtomicRMW) {
-                slots = static_cast<std::uint64_t>(dev_.atomicIssue) *
-                        std::popcount(mask);
-                lat = dev_.atomicLat;
-            } else {
-                slots = static_cast<std::uint64_t>(dev_.globalSectorIssue) *
-                        sectors;
-                lat = dev_.globalLat;
-            }
-        } else { // Local
-            slots = dev_.sharedIssue;
-            lat = dev_.sharedLat;
-        }
+        memTiming(in, addrs, mask, &slots, &lat);
         issue(warp, in, slots);
 
         FaultKind fk = FaultKind::None;
@@ -795,6 +976,465 @@ BlockRunner::step(WarpState& warp)
     return plainFault(FaultKind::InvalidProgram, "unhandled opcode");
 }
 
+/// Trace interpreter: resolves the reconvergence stack once per span,
+/// then executes the whole straight-line span in a tight loop before
+/// handling the boundary instruction (branch/barrier) with full stack
+/// bookkeeping. Mid-span PCs are never block starts, so no stack entry
+/// can die or reconverge inside a span, and the active mask is constant
+/// over it. Produces bit-identical results and stats to runWarpRef.
+WarpStop
+BlockRunner::runWarpTrace(WarpState& warp)
+{
+    while (true) {
+        // Resolve reconvergence and dead entries (needed at span
+        // boundaries only: mid-span PCs are never block starts, so no
+        // entry can die or reconverge inside a span).
+        if (!resolveStack(warp))
+            return WarpStop::Done;
+
+        StackEntry& top = warp.stack.back();
+        const std::uint32_t mask = top.mask & warp.aliveMask;
+        std::int32_t pc = top.pc;
+        if (static_cast<std::size_t>(pc) >= prog_.code.size())
+            return plainFault(FaultKind::InvalidProgram, "pc out of range");
+        const auto popMask =
+            static_cast<std::uint32_t>(std::popcount(mask));
+        const std::int32_t spanEnd =
+            prog_.code[static_cast<std::size_t>(pc)].spanEnd;
+
+        // ---- straight-line span: no stack or PC bookkeeping ----
+        for (; pc < spanEnd; ++pc) {
+            if (warp.issuedInstrs > dev_.maxInstrPerThread)
+                return plainFault(FaultKind::Timeout,
+                                  "instruction budget exceeded");
+            const DecodedInstr& in =
+                prog_.code[static_cast<std::size_t>(pc)];
+            stats_->laneInstrs += popMask;
+            if (execInstr(warp, in, mask) == WarpStop::Faulted)
+                return WarpStop::Faulted;
+        }
+
+        // ---- boundary instruction: control flow or barrier ----
+        if (warp.issuedInstrs > dev_.maxInstrPerThread)
+            return plainFault(FaultKind::Timeout,
+                              "instruction budget exceeded");
+        const DecodedInstr& in = prog_.code[static_cast<std::size_t>(pc)];
+        stats_->laneInstrs += popMask;
+
+        if (in.op == Opcode::Barrier) {
+            if (mask != warp.aliveMask)
+                return plainFault(FaultKind::BarrierDivergence,
+                                  "bar.sync under divergence");
+            issue(warp, in, 1 + dev_.barrierIssue);
+            top.pc = pc + 1;
+            warp.atBarrier = true;
+            return WarpStop::AtBarrier;
+        }
+        if (in.op == Opcode::Ret) {
+            issue(warp, in, 1);
+            warp.aliveMask &= ~mask;
+            warp.stack.pop_back();
+            continue;
+        }
+        if (in.op == Opcode::Br) {
+            issue(warp, in, 1);
+            top.pc = in.target0;
+            continue;
+        }
+        // CondBr. A uniform condition register decides the whole warp in
+        // one scalar test — the dominant case for loop back-edges.
+        const SrcView cond = viewOf(warp, in.ops[0]);
+        std::uint32_t takenMask = 0;
+        if (cond.base == nullptr) {
+            takenMask = cond.scalar != 0 ? mask : 0;
+        } else {
+            const std::uint64_t* p = cond.base;
+            for (int lane = 0; lane < kWarpSize;
+                 ++lane, p += prog_.numRegs) {
+                if ((mask & (1u << lane)) && *p != 0)
+                    takenMask |= 1u << lane;
+            }
+        }
+        const std::uint32_t fallMask = mask & ~takenMask;
+        if (in.target0 == in.target1 || fallMask == 0) {
+            issue(warp, in, 1);
+            top.pc = in.target0;
+            continue;
+        }
+        if (takenMask == 0) {
+            issue(warp, in, 1);
+            top.pc = in.target1;
+            continue;
+        }
+        // Divergence: the reconvergence-stack management occupies issue
+        // slots (both sides will each issue their path on top of this).
+        ++stats_->divergences;
+        issue(warp, in, 1 + dev_.divergeOverhead);
+        const std::int32_t reconv = in.reconvPc;
+        top.pc = reconv;
+        warp.stack.push_back({in.target1, reconv, fallMask});
+        warp.stack.push_back({in.target0, reconv, takenMask});
+    }
+}
+
+/// One non-boundary instruction under the trace interpreter: ALU/Cmp with
+/// warp-uniform scalarization, Sreg broadcast, memory, and the
+/// non-barrier warp intrinsics. Never touches the reconvergence stack.
+WarpStop
+BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
+                       std::uint32_t mask)
+{
+    const std::uint32_t numRegs = prog_.numRegs;
+    std::uint64_t* const regs0 = warp.regs.data();
+
+    switch (in.kind) {
+      case ir::OpKind::Alu:
+      case ir::OpKind::Cmp: {
+        issue(warp, in, 1);
+        // Unused operand slots hold Kind::None with value 0, so viewing
+        // them unconditionally yields the scalar 0 the evaluator expects.
+        const SrcView a = viewOf(warp, in.ops[0]);
+        const SrcView b = viewOf(warp, in.ops[1]);
+        const SrcView c = viewOf(warp, in.ops[2]);
+        if (a.base == nullptr && b.base == nullptr && c.base == nullptr) {
+            // All operands warp-invariant: evaluate once, broadcast.
+            writeScalarResult(
+                warp, in.dest, mask,
+                ir::evalScalar(in.op, a.scalar, b.scalar, c.scalar));
+        } else {
+            materializeReg(warp, in.dest);
+            const auto dest = static_cast<std::size_t>(in.dest);
+            std::uint64_t* lr = regs0;
+            for (int lane = 0; lane < kWarpSize; ++lane, lr += numRegs) {
+                if (!(mask & (1u << lane)))
+                    continue;
+                const std::uint64_t av =
+                    a.base ? a.base[static_cast<std::size_t>(lane) *
+                                    numRegs]
+                           : a.scalar;
+                const std::uint64_t bv =
+                    b.base ? b.base[static_cast<std::size_t>(lane) *
+                                    numRegs]
+                           : b.scalar;
+                const std::uint64_t cv =
+                    c.base ? c.base[static_cast<std::size_t>(lane) *
+                                    numRegs]
+                           : c.scalar;
+                lr[dest] = ir::evalScalar(in.op, av, bv, cv);
+            }
+        }
+        setReady(warp, in.dest, dev_.aluLat);
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Sreg: {
+        issue(warp, in, 1);
+        switch (in.op) {
+          case Opcode::Tid:
+          case Opcode::LaneId: {
+            materializeReg(warp, in.dest);
+            const std::uint64_t base =
+                in.op == Opcode::Tid
+                    ? static_cast<std::uint64_t>(warp.index) * kWarpSize
+                    : 0;
+            const auto dest = static_cast<std::size_t>(in.dest);
+            std::uint64_t* lr = regs0;
+            for (int lane = 0; lane < kWarpSize; ++lane, lr += numRegs) {
+                if (mask & (1u << lane))
+                    lr[dest] = base + static_cast<std::uint64_t>(lane);
+            }
+            break;
+          }
+          default: { // Bid / BlockDim / GridDim / WarpId: warp-invariant.
+            std::uint64_t v = 0;
+            switch (in.op) {
+              case Opcode::Bid: v = blockIdx_; break;
+              case Opcode::BlockDim: v = dims_.blockDim; break;
+              case Opcode::GridDim: v = dims_.gridDim; break;
+              case Opcode::WarpId:
+                v = static_cast<std::uint64_t>(warp.index);
+                break;
+              default: break;
+            }
+            writeScalarResult(warp, in.dest, mask, v);
+            break;
+          }
+        }
+        setReady(warp, in.dest, 1);
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Mem: {
+        const SrcView av = viewOf(warp, in.ops[0]);
+        std::int64_t addrs[kWarpSize] = {};
+        if (av.base == nullptr) {
+            const auto addr = static_cast<std::int64_t>(av.scalar);
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                if (mask & (1u << lane))
+                    addrs[lane] = addr;
+            }
+        } else {
+            const std::uint64_t* p = av.base;
+            for (int lane = 0; lane < kWarpSize;
+                 ++lane, p += numRegs) {
+                if (mask & (1u << lane))
+                    addrs[lane] = static_cast<std::int64_t>(*p);
+            }
+        }
+        std::uint64_t slots = 1;
+        std::uint64_t lat = dev_.aluLat;
+        memTiming(in, addrs, mask, &slots, &lat);
+        issue(warp, in, slots);
+
+        FaultKind fk = FaultKind::None;
+        if (in.op == Opcode::Load) {
+            if (av.base == nullptr && in.space != MemSpace::Local) {
+                // Uniform address, shared backing store: one access
+                // serves the whole warp (a broadcast on real hardware).
+                const auto addr = static_cast<std::int64_t>(av.scalar);
+                std::uint64_t v = 0;
+                if (!loadValue(in.space, in.width, addr, 0, &v, &fk))
+                    return memFault(fk, addr);
+                writeScalarResult(warp, in.dest, mask, v);
+            } else {
+                materializeReg(warp, in.dest);
+                const auto dest = static_cast<std::size_t>(in.dest);
+                for (int lane = 0; lane < kWarpSize; ++lane) {
+                    if (!(mask & (1u << lane)))
+                        continue;
+                    const auto thread =
+                        static_cast<std::uint32_t>(warp.index) *
+                            kWarpSize +
+                        static_cast<std::uint32_t>(lane);
+                    std::uint64_t v = 0;
+                    if (!loadValue(in.space, in.width, addrs[lane],
+                                   thread, &v, &fk))
+                        return memFault(fk, addrs[lane]);
+                    regs0[static_cast<std::size_t>(lane) * numRegs +
+                          dest] = v;
+                }
+            }
+            setReady(warp, in.dest, lat);
+            return WarpStop::Done;
+        }
+        if (in.op == Opcode::Store) {
+            const SrcView sv = viewOf(warp, in.ops[1]);
+            if (av.base == nullptr && sv.base == nullptr &&
+                in.space != MemSpace::Local) {
+                // Uniform address and value: the lanes' stores are
+                // byte-identical, one commit suffices.
+                const auto addr = static_cast<std::int64_t>(av.scalar);
+                if (!storeValue(in.space, in.width, addr, 0, sv.scalar,
+                                &fk))
+                    return memFault(fk, addr);
+                return WarpStop::Done;
+            }
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+                if (!(mask & (1u << lane)))
+                    continue;
+                const auto thread =
+                    static_cast<std::uint32_t>(warp.index) * kWarpSize +
+                    static_cast<std::uint32_t>(lane);
+                const std::uint64_t v =
+                    sv.base ? sv.base[static_cast<std::size_t>(lane) *
+                                      numRegs]
+                            : sv.scalar;
+                if (!storeValue(in.space, in.width, addrs[lane], thread,
+                                v, &fk))
+                    return memFault(fk, addrs[lane]);
+            }
+            return WarpStop::Done;
+        }
+        // AtomicRMW: lane order is the deterministic resolution order, so
+        // this path stays per-lane; operand reads still use the views.
+        const SrcView bv = viewOf(warp, in.ops[1]);
+        const SrcView cv = viewOf(warp, in.ops[2]);
+        materializeReg(warp, in.dest);
+        const auto dest = static_cast<std::size_t>(in.dest);
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            const auto thread =
+                static_cast<std::uint32_t>(warp.index) * kWarpSize +
+                static_cast<std::uint32_t>(lane);
+            const std::int64_t addr = addrs[lane];
+            std::uint64_t old = 0;
+            if (!loadValue(in.space,
+                           in.atom == ir::AtomicOp::AddF32 ? MemWidth::U32
+                                                           : MemWidth::I32,
+                           addr, thread, &old, &fk))
+                return memFault(fk, addr);
+            const std::uint64_t b =
+                bv.base
+                    ? bv.base[static_cast<std::size_t>(lane) * numRegs]
+                    : bv.scalar;
+            std::uint64_t next = old;
+            bool doStore = true;
+            switch (in.atom) {
+              case ir::AtomicOp::AddI32:
+                next = ir::evalScalar(Opcode::AddI32, old, b);
+                break;
+              case ir::AtomicOp::AddF32:
+                next = ir::evalScalar(Opcode::AddF32, old, b);
+                break;
+              case ir::AtomicOp::MaxI32:
+                next = ir::evalScalar(Opcode::MaxI32, old, b);
+                break;
+              case ir::AtomicOp::MinI32:
+                next = ir::evalScalar(Opcode::MinI32, old, b);
+                break;
+              case ir::AtomicOp::Exch:
+                next = b;
+                break;
+              case ir::AtomicOp::Cas: {
+                const std::uint64_t newv =
+                    cv.base ? cv.base[static_cast<std::size_t>(lane) *
+                                      numRegs]
+                            : cv.scalar;
+                if (ir::asI32(old) == ir::asI32(b)) {
+                    next = newv;
+                } else {
+                    doStore = false;
+                }
+                break;
+              }
+              default:
+                doStore = false;
+                break;
+            }
+            if (doStore &&
+                !storeValue(in.space, MemWidth::I32, addr, thread, next,
+                            &fk))
+                return memFault(fk, addr);
+            regs0[static_cast<std::size_t>(lane) * numRegs + dest] = old;
+        }
+        setReady(warp, in.dest, lat);
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Sync: {
+        if (in.op == Opcode::ActiveMask) {
+            issue(warp, in, 1);
+            writeScalarResult(warp, in.dest, mask, mask);
+            setReady(warp, in.dest, 1);
+            return WarpStop::Done;
+        }
+        if (in.op == Opcode::Ballot) {
+            issue(warp, in, dev_.ballotIssue + dev_.ballotResync);
+            const SrcView mv = viewOf(warp, in.ops[0]);
+            const SrcView pv = viewOf(warp, in.ops[1]);
+            std::uint32_t result = 0;
+            std::uint32_t syncMask = 0;
+            if (mv.base == nullptr && pv.base == nullptr) {
+                syncMask = static_cast<std::uint32_t>(mv.scalar);
+                result = pv.scalar != 0 ? mask : 0;
+            } else {
+                for (int lane = 0; lane < kWarpSize; ++lane) {
+                    if (!(mask & (1u << lane)))
+                        continue;
+                    const std::size_t off =
+                        static_cast<std::size_t>(lane) * numRegs;
+                    syncMask = static_cast<std::uint32_t>(
+                        mv.base ? mv.base[off] : mv.scalar);
+                    const std::uint64_t pred =
+                        pv.base ? pv.base[off] : pv.scalar;
+                    if (pred != 0)
+                        result |= 1u << lane;
+                }
+            }
+            if (dev_.independentThreadScheduling() &&
+                (syncMask & ~mask) != 0)
+                return plainFault(FaultKind::IllegalWarpSync,
+                                  "ballot mask names inactive lanes");
+            result &= syncMask;
+            writeScalarResult(warp, in.dest, mask, result);
+            setReady(warp, in.dest, dev_.shflLat);
+            return WarpStop::Done;
+        }
+        // ShflUp / ShflIdx.
+        issue(warp, in, dev_.shflIssue);
+        const SrcView mv = viewOf(warp, in.ops[0]);
+        const SrcView vv = viewOf(warp, in.ops[1]);
+        const SrcView iv = viewOf(warp, in.ops[2]);
+        if (vv.base == nullptr) {
+            // Uniform source value: every lane shuffles in the same
+            // value whatever the source-lane indices and per-lane masks
+            // resolve to. The fault check sees the last active lane's
+            // mask read, exactly as the reference loop leaves it.
+            std::uint32_t syncMask = 0;
+            if (mv.base == nullptr) {
+                syncMask = static_cast<std::uint32_t>(mv.scalar);
+            } else {
+                const int hi = 31 - std::countl_zero(mask);
+                syncMask = static_cast<std::uint32_t>(
+                    mv.base[static_cast<std::size_t>(hi) * numRegs]);
+            }
+            if (dev_.independentThreadScheduling() &&
+                (syncMask & ~mask) != 0)
+                return plainFault(FaultKind::IllegalWarpSync,
+                                  "shfl mask names inactive lanes");
+            writeScalarResult(warp, in.dest, mask, vv.scalar);
+            setReady(warp, in.dest, dev_.shflLat);
+            return WarpStop::Done;
+        }
+        std::uint64_t srcVals[kWarpSize];
+        for (int lane = 0; lane < kWarpSize; ++lane)
+            srcVals[lane] =
+                vv.base[static_cast<std::size_t>(lane) * numRegs];
+        std::uint64_t results[kWarpSize] = {};
+        // Each lane's source-validity test uses that lane's own mask
+        // read; the post-loop fault check then sees the last active
+        // lane's value — both exactly as in the reference loop.
+        std::uint32_t syncMask = 0;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!(mask & (1u << lane)))
+                continue;
+            const std::size_t off =
+                static_cast<std::size_t>(lane) * numRegs;
+            syncMask = static_cast<std::uint32_t>(
+                mv.base ? mv.base[off] : mv.scalar);
+            const auto arg = static_cast<std::int64_t>(
+                iv.base ? iv.base[off] : iv.scalar);
+            int src = lane;
+            if (in.op == Opcode::ShflUp) {
+                src = lane - static_cast<int>(arg);
+            } else {
+                src = static_cast<int>(arg);
+            }
+            if (src >= 0 && src < kWarpSize &&
+                (syncMask & (1u << src)) != 0) {
+                results[lane] = srcVals[src];
+            } else {
+                results[lane] = srcVals[lane];
+            }
+        }
+        if (dev_.independentThreadScheduling() && (syncMask & ~mask) != 0)
+            return plainFault(FaultKind::IllegalWarpSync,
+                              "shfl mask names inactive lanes");
+        materializeReg(warp, in.dest);
+        {
+            const auto dest = static_cast<std::size_t>(in.dest);
+            std::uint64_t* lr = regs0;
+            for (int lane = 0; lane < kWarpSize; ++lane, lr += numRegs) {
+                if (mask & (1u << lane))
+                    lr[dest] = results[lane];
+            }
+        }
+        setReady(warp, in.dest, dev_.shflLat);
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Misc: {
+        issue(warp, in, 1);
+        return WarpStop::Done;
+      }
+
+      case ir::OpKind::Ctrl:
+        break; // Boundary instructions never reach execInstr.
+    }
+    return plainFault(FaultKind::InvalidProgram, "unhandled opcode");
+}
+
 } // namespace
 
 LaunchResult
@@ -817,13 +1457,17 @@ launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
     if (profileLocs)
         result.stats.locIssues.assign(prog.maxLoc + 1, 0);
 
+    // Sampled once per launch so every block (and every worker thread of
+    // a parallel launch) runs the same interpreter.
+    const bool trace = interpreterMode() == InterpMode::Trace;
+
     std::uint64_t sumIssue = 0;
     std::uint64_t sumLat = 0;
     const std::uint32_t blockThreads =
         std::min(std::max(1u, dims.blockThreads), dims.gridDim);
     if (blockThreads <= 1) {
         BlockRunner runner(dev, mem, prog, dims, args, &result.stats,
-                           profileLocs);
+                           profileLocs, trace);
         for (std::uint32_t b = 0; b < dims.gridDim; ++b) {
             std::uint64_t issue = 0;
             std::uint64_t lat = 0;
@@ -862,7 +1506,7 @@ launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
                 if (profileLocs)
                     part.stats.locIssues.assign(prog.maxLoc + 1, 0);
                 BlockRunner runner(dev, mem, prog, dims, args, &part.stats,
-                                   profileLocs);
+                                   profileLocs, trace);
                 const std::uint32_t begin = t * chunk;
                 const std::uint32_t end =
                     std::min(dims.gridDim, begin + chunk);

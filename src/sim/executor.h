@@ -109,6 +109,26 @@ struct LaunchDims {
     std::uint32_t blockThreads = 1;
 };
 
+/// Interpreter selection. `Trace` is the production path: pre-decoded
+/// spans executed in a tight loop with warp-uniform scalarization.
+/// `Reference` is the original per-instruction interpreter, kept alive as
+/// the differential-testing oracle — both paths must produce bit-identical
+/// LaunchStats, memory contents and faults.
+enum class InterpMode : std::uint8_t {
+    Trace,
+    Reference,
+};
+
+/// The active interpreter. Resolved once from the `GEVO_SIM_REFPATH`
+/// environment variable (set and not "0" selects Reference) unless
+/// overridden by setInterpreterMode().
+InterpMode interpreterMode();
+
+/// Override the interpreter (tests and differential harnesses). Takes
+/// effect for launches that start after the call; per-launch the mode is
+/// sampled once, so in-flight launches are unaffected.
+void setInterpreterMode(InterpMode mode);
+
 /// Execute \p prog on \p dev over \p mem.
 ///
 /// \p args are the kernel parameters preloaded into r0..r(numParams-1).

@@ -35,10 +35,15 @@ Program::decode(const ir::Function& fn)
         for (const auto& in : fn.blocks[b].instrs) {
             DecodedInstr d;
             d.op = in.op;
+            d.kind = ir::opInfo(in.op).kind;
             d.dest = in.dest;
             d.nops = in.nops;
-            for (int i = 0; i < in.nops; ++i)
+            for (int i = 0; i < in.nops; ++i) {
                 d.ops[i] = in.ops[i];
+                if (in.ops[i].isReg())
+                    d.srcRegs[d.numSrcRegs++] =
+                        static_cast<std::int32_t>(in.ops[i].value);
+            }
             d.space = in.space;
             d.width = in.width;
             d.atom = in.atom;
@@ -58,6 +63,27 @@ Program::decode(const ir::Function& fn)
         }
     }
     GEVO_ASSERT(!prog.code.empty(), "decoding empty kernel");
+
+    // Span computation: walk each block backwards propagating the nearest
+    // boundary (control flow or barrier) PC. Blocks always end in a
+    // terminator, so every instruction sees a boundary within its block.
+    for (std::size_t b = 0; b < prog.blockStart.size(); ++b) {
+        const std::int32_t begin = prog.blockStart[b];
+        const std::int32_t end =
+            b + 1 < prog.blockStart.size()
+                ? prog.blockStart[b + 1]
+                : static_cast<std::int32_t>(prog.code.size());
+        std::int32_t boundary = kExitPc;
+        for (std::int32_t pc = end - 1; pc >= begin; --pc) {
+            DecodedInstr& d = prog.code[static_cast<std::size_t>(pc)];
+            if (d.kind == ir::OpKind::Ctrl ||
+                d.op == ir::Opcode::Barrier)
+                boundary = pc;
+            GEVO_ASSERT(boundary != kExitPc,
+                        "block without terminator survived decode");
+            d.spanEnd = boundary;
+        }
+    }
     return prog;
 }
 

@@ -4,6 +4,17 @@
 /// Blocks are flattened into one instruction array; label operands become
 /// flat PCs; each block's divergent-branch reconvergence PC (the start of
 /// its immediate post-dominator) is precomputed from the CFG.
+///
+/// Decoding also bakes everything the interpreter would otherwise derive
+/// per step into the instruction itself: the opcode's behavioural class
+/// (no opInfo() table probe on the hot path; the warp-uniform fast path
+/// keys on Alu/Cmp, all of which evaluate through ir::evalScalar), the
+/// source-register list the scoreboard stalls on, and the straight-line
+/// *span* each instruction belongs to. A span is a maximal run of
+/// non-boundary instructions — it ends at the first control-flow or
+/// barrier instruction — so the trace interpreter can execute a whole
+/// span in a tight loop and touch the reconvergence stack only at span
+/// boundaries.
 
 #ifndef GEVO_SIM_PROGRAM_H
 #define GEVO_SIM_PROGRAM_H
@@ -23,8 +34,14 @@ constexpr std::int32_t kExitPc = -1;
 /// One decoded instruction (label operands resolved to flat PCs).
 struct DecodedInstr {
     ir::Opcode op = ir::Opcode::Nop;
+    ir::OpKind kind = ir::OpKind::Misc; ///< Baked opInfo(op).kind.
     std::int32_t dest = -1;
     std::uint8_t nops = 0;
+    /// Source-register operand classes, baked at decode so the hot path
+    /// never re-tests Operand::kind: `numSrcRegs` register operands with
+    /// indices `srcRegs[0..numSrcRegs)` (the scoreboard stall set).
+    std::uint8_t numSrcRegs = 0;
+    std::int32_t srcRegs[ir::kMaxOperands] = {0, 0, 0};
     ir::Operand ops[ir::kMaxOperands];
     ir::MemSpace space = ir::MemSpace::None;
     ir::MemWidth width = ir::MemWidth::None;
@@ -33,6 +50,12 @@ struct DecodedInstr {
     std::int32_t target0 = kExitPc; ///< Br target / CondBr true target (PC).
     std::int32_t target1 = kExitPc; ///< CondBr false target (PC).
     std::int32_t reconvPc = kExitPc; ///< Reconvergence PC when divergent.
+    /// PC of the first span-boundary instruction (Ctrl or Barrier) at or
+    /// after this one. Every block ends in a terminator, so this is always
+    /// a valid PC within the same block: the trace interpreter runs
+    /// [pc, spanEnd) in a tight loop, then handles code[spanEnd] with full
+    /// reconvergence-stack bookkeeping.
+    std::int32_t spanEnd = 0;
 };
 
 /// A decoded kernel.

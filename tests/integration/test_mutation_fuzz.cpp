@@ -15,10 +15,42 @@
 #include "core/fitness.h"
 #include "mutation/patch.h"
 #include "mutation/sampler.h"
+#include "sim/executor.h"
 #include "support/rng.h"
+
+#include "../sim/sim_test_util.h"
 
 namespace gevo {
 namespace {
+
+using ModeGuard = sim::testutil::InterpModeGuard;
+
+/// Evaluate the same variant under both interpreters and require
+/// identical validity, bit-identical fitness, and identical failure
+/// text — random mutants are the adversarial corpus for the trace
+/// interpreter's fast paths.
+void
+expectModesAgree(const ir::Module& base,
+                 const std::vector<mut::Edit>& edits,
+                 const core::FitnessFunction& fitness)
+{
+    core::FitnessResult trace;
+    core::FitnessResult ref;
+    {
+        ModeGuard g(sim::InterpMode::Trace);
+        trace = core::evaluateVariant(base, edits, fitness);
+    }
+    {
+        ModeGuard g(sim::InterpMode::Reference);
+        ref = core::evaluateVariant(base, edits, fitness);
+    }
+    EXPECT_EQ(trace.valid, ref.valid) << mut::serializeEdits(edits);
+    if (trace.valid && ref.valid)
+        EXPECT_EQ(trace.ms, ref.ms) << mut::serializeEdits(edits);
+    else
+        EXPECT_EQ(trace.failReason, ref.failReason)
+            << mut::serializeEdits(edits);
+}
 
 class AdeptFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -55,6 +87,7 @@ TEST_P(AdeptFuzz, RandomPatchesNeverCrashAndStayDeterministic)
         } else {
             EXPECT_FALSE(a.failReason.empty());
         }
+        expectModesAgree(built.module, edits, fitness);
     }
     // Mutational robustness (paper Sec VIII cites 20-40% neutral edits):
     // a healthy fraction of random patches must still pass everything.
@@ -90,6 +123,7 @@ TEST_P(SimcovFuzz, RandomPatchesNeverCrash)
         if (!r.valid) {
             EXPECT_FALSE(r.failReason.empty());
         }
+        expectModesAgree(built.module, edits, fitness);
     }
     SUCCEED();
 }

@@ -18,6 +18,24 @@
 
 namespace gevo::sim::testutil {
 
+/// RAII interpreter-mode override; restores the previous mode on exit
+/// (so a GEVO_SIM_REFPATH=1 suite run keeps its selection outside the
+/// guarded regions). Shared by the differential suites.
+class InterpModeGuard {
+  public:
+    explicit InterpModeGuard(InterpMode mode) : previous_(interpreterMode())
+    {
+        setInterpreterMode(mode);
+    }
+    ~InterpModeGuard() { setInterpreterMode(previous_); }
+
+    InterpModeGuard(const InterpModeGuard&) = delete;
+    InterpModeGuard& operator=(const InterpModeGuard&) = delete;
+
+  private:
+    InterpMode previous_;
+};
+
 /// Parse one kernel from text, verifying structure.
 inline Program
 compile(const char* text)
