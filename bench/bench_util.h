@@ -54,15 +54,19 @@ simcovConfig(const Flags& flags)
 }
 
 /// Parse and validate a `--workloads=a,b,c` list against the registry
-/// (fatal on unknown names). \p def is the bench's default set.
+/// (fatal — with the registered set listed — on unknown names, empty
+/// entries, or an empty list). \p def is the bench's default set; when
+/// empty, the default is every registered workload.
 inline std::vector<std::string>
 workloadList(const Flags& flags, const core::WorkloadRegistry& registry,
-             const std::string& def)
+             const std::string& def = {})
 {
-    const auto names = split(flags.getString("workloads", def), ',');
-    for (const auto& name : names)
-        registry.get(name); // fatal, listing what is registered
-    return names;
+    std::string fallback = def;
+    if (fallback.empty()) {
+        for (const auto& name : registry.names())
+            fallback += (fallback.empty() ? "" : ",") + name;
+    }
+    return registry.resolveList(flags.getString("workloads", fallback));
 }
 
 /// Evaluate an edit set; fatal when unexpectedly invalid.

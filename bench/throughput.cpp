@@ -3,8 +3,8 @@
 /// The search loop's cost is fitness evaluation — population 256 x 300
 /// generations is ~77k variant evaluations per full-scale run — so
 /// variants/sec is the metric every future optimization PR moves. This
-/// bench iterates the workload registry (default: the gate set adept-v0 +
-/// simcov; --workloads widens it) and runs each workload's bench-scale
+/// bench iterates the workload registry (default: every registered
+/// workload; --workloads narrows it) and runs each workload's bench-scale
 /// seeded mini-search twice:
 ///
 ///   uncached — the literal compile-per-call reference path: every
@@ -292,10 +292,9 @@ main(int argc, char** argv)
                   "hit rate)",
                   "the GEVO fitness-caching recipe, Liou et al. TACO 2020");
 
-    // Default set pins the ROADMAP perf-anchor configurations; the gate
-    // is keyed on adept-v0.
-    const auto names = bench::workloadList(
-        flags, registry, "adept-v0,simcov");
+    // Default set: every registered workload at its bench-scale
+    // perf-anchor configuration; the gate is keyed on adept-v0.
+    const auto names = bench::workloadList(flags, registry);
 
     bool gateRan = false;
     bool warmStartOk = true;

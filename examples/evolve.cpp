@@ -27,6 +27,9 @@ printHelp(const core::WorkloadRegistry& registry)
                               "workload");
     usage.section("search")
         .flag("workload", "<name>", "workload to evolve (default adept-v1)")
+        .flag("list-workloads", "",
+              "print registered workload names, one per line, and exit "
+              "(machine-readable; drives the CI smoke matrix)")
         .flag("device", "<gpu>", "device model, e.g. P100/V100 (default "
                                  "P100)")
         .flag("pop", "<n>", "population size per island")
@@ -86,6 +89,13 @@ main(int argc, char** argv)
     const Flags flags(argc, argv);
     if (flags.helpRequested() || flags.getBool("list", false)) {
         printHelp(registry);
+        return 0;
+    }
+    if (flags.getBool("list-workloads", false)) {
+        // Machine-readable registry dump: exactly one name per line,
+        // nothing else — CI enumerates the smoke matrix from this.
+        for (const auto& name : registry.names())
+            std::printf("%s\n", name.c_str());
         return 0;
     }
 

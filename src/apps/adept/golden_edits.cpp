@@ -57,16 +57,6 @@ appendCommonIndependents(const AdeptModule& m, const std::string& p,
 
 } // namespace
 
-std::vector<mut::Edit>
-editsOf(const std::vector<NamedEdit>& named)
-{
-    std::vector<mut::Edit> out;
-    out.reserve(named.size());
-    for (const auto& n : named)
-        out.push_back(n.edit);
-    return out;
-}
-
 std::vector<NamedEdit>
 v0GoldenEdits(const AdeptModule& built)
 {

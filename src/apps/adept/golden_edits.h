@@ -9,22 +9,18 @@
 #ifndef GEVO_APPS_ADEPT_GOLDEN_EDITS_H
 #define GEVO_APPS_ADEPT_GOLDEN_EDITS_H
 
-#include <string>
 #include <vector>
 
 #include "apps/adept/kernels.h"
+#include "apps/golden_edit.h"
 #include "mutation/edit.h"
 
 namespace gevo::adept {
 
-/// An edit with the paper's name for it.
-struct NamedEdit {
-    std::string name; ///< e.g. "e6", "v0-memset", "ballot".
-    mut::Edit edit;
-};
-
-/// Strip names.
-std::vector<mut::Edit> editsOf(const std::vector<NamedEdit>& named);
+/// An edit with the paper's name for it (e.g. "e6", "v0-memset",
+/// "ballot"); shared shape, see apps/golden_edit.h.
+using NamedEdit = apps::NamedEdit;
+using apps::editsOf;
 
 /// ADEPT-V0 golden set: the Sec VI-C memset-loop kill (branch condition ->
 /// false), the redundant barrier delete, and the small independents.

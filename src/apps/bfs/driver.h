@@ -1,0 +1,107 @@
+/// \file
+/// Host-side BFS driver: uploads the CSR graph, seeds the distance array
+/// with `bfs_init`, then launches `bfs_level` once per level until a
+/// launch discovers nothing (the level-synchronous loop), reading the
+/// discovery counter back between launches. The level loop is capped at
+/// the node count so a mutated kernel that keeps "discovering" cannot
+/// hang an evaluation. The arena is sized to the allocation plan;
+/// \p tightArena drops the slack (held-out regime).
+
+#ifndef GEVO_APPS_BFS_DRIVER_H
+#define GEVO_APPS_BFS_DRIVER_H
+
+#include <vector>
+
+#include "apps/bfs/kernels.h"
+#include "core/fitness.h"
+#include "sim/device_config.h"
+#include "sim/executor.h"
+#include "support/strings.h"
+
+namespace gevo::bfs {
+
+/// Output of a full traversal.
+struct BfsRunOutput {
+    sim::Fault fault;
+    std::vector<std::int32_t> dist; ///< Final distances (empty on fault).
+    std::int32_t levels = 0;        ///< Frontier launches that ran.
+    double totalMs = 0.0;           ///< Simulated time across launches.
+    sim::LaunchStats aggregate;     ///< Counters summed over launches.
+
+    bool ok() const { return fault.ok(); }
+};
+
+/// Immutable graph + launch configuration; thread-safe (each run() owns
+/// its memory).
+class BfsDriver {
+  public:
+    explicit BfsDriver(BfsConfig config, bool tightArena = false);
+
+    /// Execute the pre-decoded kernels (scoring stage of the two-stage
+    /// pipeline; no IR access, no decoding).
+    BfsRunOutput run(const sim::ProgramSet& programs,
+                     const sim::DeviceConfig& dev,
+                     bool profile = false) const;
+
+    /// Convenience: decode \p module and run it (one-off callers).
+    BfsRunOutput run(const ir::Module& module,
+                     const sim::DeviceConfig& dev,
+                     bool profile = false) const;
+
+    /// CPU ground-truth distances (computed once).
+    const std::vector<std::int32_t>& expected() const { return expected_; }
+    const CsrGraph& graph() const { return graph_; }
+    const BfsConfig& config() const { return config_; }
+
+    /// Timing-grid multiplier (saturated-device regime).
+    void setOversubscribe(std::uint32_t f) { oversubscribe_ = f; }
+
+  private:
+    BfsConfig config_;
+    bool tightArena_;
+    std::uint32_t oversubscribe_ = 512;
+    CsrGraph graph_;
+    std::vector<std::int32_t> expected_;
+};
+
+/// Scores a variant by total simulated kernel time; any fault or any
+/// distance mismatch against the CPU BFS invalidates it.
+class BfsFitness : public core::FitnessFunction {
+  public:
+    BfsFitness(const BfsDriver& driver, sim::DeviceConfig dev)
+        : driver_(driver), dev_(std::move(dev))
+    {
+    }
+
+    core::FitnessResult
+    evaluate(const core::CompiledVariant& variant) const override
+    {
+        const auto out = driver_.run(variant.programs, dev_);
+        if (!out.ok())
+            return core::FitnessResult::fail(out.fault.detail);
+        const auto& expected = driver_.expected();
+        for (std::size_t v = 0; v < expected.size(); ++v) {
+            if (out.dist[v] != expected[v])
+                return core::FitnessResult::fail(strformat(
+                    "node %zu: got distance %d, want %d", v, out.dist[v],
+                    expected[v]));
+        }
+        return core::FitnessResult::pass(out.totalMs);
+    }
+
+    std::string
+    name() const override
+    {
+        return strformat("bfs(%d nodes, degree %d, %s)",
+                         driver_.config().nodes, driver_.config().degree,
+                         dev_.name.c_str());
+    }
+
+  private:
+    const BfsDriver& driver_;
+    sim::DeviceConfig dev_;
+};
+
+} // namespace gevo::bfs
+
+#endif // GEVO_APPS_BFS_DRIVER_H

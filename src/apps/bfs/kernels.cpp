@@ -1,0 +1,271 @@
+#include "apps/bfs/kernels.h"
+
+#include <deque>
+
+#include "ir/builder.h"
+#include "support/logging.h"
+
+namespace gevo::bfs {
+
+using ir::IRBuilder;
+using ir::MemSpace;
+using ir::MemWidth;
+using ir::Operand;
+
+std::uint64_t
+BfsModule::uidOf(const std::string& name) const
+{
+    const auto it = anchors.find(name);
+    if (it == anchors.end())
+        GEVO_FATAL("unknown bfs anchor '%s'", name.c_str());
+    return it->second;
+}
+
+namespace {
+
+/// Emits both BFS kernels.
+class BfsEmitter {
+  public:
+    explicit BfsEmitter(BfsModule& out) : out_(out), b_(out.module) {}
+
+    void
+    emitAll()
+    {
+        emitInit();
+        emitLevel();
+    }
+
+  private:
+    static Operand imm(std::int64_t v) { return Operand::imm(v); }
+
+    void
+    anchor(const std::string& name)
+    {
+        auto& fn = b_.kernel();
+        out_.anchors[name] =
+            fn.blocks[b_.insertBlock()].instrs.back().uid;
+    }
+    void
+    regAnchor(const std::string& name, Operand r)
+    {
+        out_.regs[name] = r.value;
+    }
+
+    /// i32 element address: base + 4 * index.
+    Operand
+    emitElemAddr(Operand base, Operand index)
+    {
+        return b_.ladd(base, b_.lmul(b_.sext64(index), imm(4)));
+    }
+
+    Operand
+    emitNodeIndex()
+    {
+        return b_.iadd(b_.imul(b_.bid(), b_.ntid()), b_.tid());
+    }
+
+    /// dist[node] = node == source ? 0 : -1.
+    void
+    emitInit()
+    {
+        // p0 dist p1 source
+        b_.startKernel("bfs_init", 2);
+        b_.block("entry");
+        b_.setLoc("bfs.cu:init");
+        const auto node = emitNodeIndex();
+        const auto isSrc = b_.ieq(node, b_.param(1));
+        b_.st(MemSpace::Global, MemWidth::I32,
+              emitElemAddr(b_.param(0), node),
+              b_.sel(isSrc, imm(0), imm(-1)));
+        b_.ret();
+        b_.setLoc("");
+    }
+
+    /// Frontier expansion for one level.
+    void
+    emitLevel()
+    {
+        // p0 rowPtr p1 colIdx p2 dist p3 changed p4 level
+        b_.startKernel("bfs_level", 5);
+        const auto entry = b_.block("entry");
+        b_.setLoc("bfs.cu:frontier");
+        const auto node = emitNodeIndex();
+        const auto d = b_.ld(MemSpace::Global, MemWidth::I32,
+                             emitElemAddr(b_.param(2), node));
+        const auto onFrontier = b_.ieq(d, b_.param(4));
+
+        const auto bbCheck = b_.block("range_check");
+        const auto bbExpand = b_.block("expand");
+        const auto bbHead = b_.block("loop_head");
+        const auto bbBody = b_.block("loop_body");
+        const auto bbVisit = b_.block("visit");
+        const auto bbClaim = b_.block("claim");
+        const auto bbNext = b_.block("loop_next");
+        const auto bbDone = b_.block("done");
+
+        b_.setInsert(entry);
+        b_.brc(onFrontier, bbCheck, bbDone);
+
+        // Planted dominated guard (node ids are tiny by construction).
+        b_.setInsert(bbCheck);
+        b_.brc(b_.ilt(node, imm(1 << 22)), bbExpand, bbDone);
+        anchor("bfs.bounds.brc");
+
+        b_.setInsert(bbExpand);
+        const auto start = b_.ld(MemSpace::Global, MemWidth::I32,
+                                 emitElemAddr(b_.param(0), node));
+        // Adjacency-run end address, then a planted duplicate chain
+        // (fresh special-register reads) actually feeding the load; the
+        // golden edit reroutes the load to `endAddr` and the duplicate
+        // folds away as dead code.
+        const auto endAddr =
+            emitElemAddr(b_.param(0), b_.iadd(node, imm(1)));
+        regAnchor("bfs.reg.endaddr", endAddr);
+        const auto nodeB = emitNodeIndex();
+        const auto endAddrB =
+            emitElemAddr(b_.param(0), b_.iadd(nodeB, imm(1)));
+        const auto end = b_.ld(MemSpace::Global, MemWidth::I32, endAddrB);
+        anchor("bfs.end.load");
+        const auto nextLevel = b_.iadd(b_.param(4), imm(1));
+        const auto e = b_.mov(start);
+        b_.br(bbHead);
+
+        b_.setInsert(bbHead);
+        b_.setLoc("bfs.cu:edges");
+        b_.brc(b_.ilt(e, end), bbBody, bbDone);
+
+        b_.setInsert(bbBody);
+        const auto nbr = b_.ld(MemSpace::Global, MemWidth::I32,
+                               emitElemAddr(b_.param(1), e));
+        // Planted per-edge guard (full bounds check, the verbose Sec VI-D
+        // idiom): CSR targets are valid node ids by construction, so a
+        // range analysis would prove this true on every traversed edge —
+        // the highest-frequency planted branch in the kernel.
+        const auto nbrOk = b_.band(b_.ige(nbr, imm(0)),
+                                   b_.ilt(nbr, imm(out_.config.nodes)));
+        b_.brc(nbrOk, bbVisit, bbNext);
+        anchor("bfs.edge.brc");
+
+        b_.setInsert(bbVisit);
+        const auto nbrAddr = emitElemAddr(b_.param(2), nbr);
+        const auto dn = b_.ld(MemSpace::Global, MemWidth::I32, nbrAddr);
+        b_.brc(b_.ieq(dn, imm(-1)), bbClaim, bbNext);
+        anchor("bfs.unseen.brc"); // not a golden edit — a test handle for
+                                  // the frontier-spin mutant
+
+        b_.setInsert(bbClaim);
+        b_.st(MemSpace::Global, MemWidth::I32, nbrAddr, nextLevel);
+        b_.atomic(ir::AtomicOp::AddI32, MemSpace::Global, b_.param(3),
+                  imm(1));
+        b_.br(bbNext);
+
+        b_.setInsert(bbNext);
+        b_.iaddTo(e, e, imm(1));
+        b_.br(bbHead);
+
+        b_.setInsert(bbDone);
+        b_.ret();
+        b_.setLoc("");
+    }
+
+    BfsModule& out_;
+    IRBuilder b_;
+};
+
+} // namespace
+
+BfsModule
+buildBfs(const BfsConfig& config)
+{
+    GEVO_ASSERT(config.nodes > 0 &&
+                    config.nodes %
+                            static_cast<std::int32_t>(config.blockDim) ==
+                        0,
+                "bfs nodes must be a positive multiple of blockDim");
+    GEVO_ASSERT(config.degree > 0, "bfs degree must be positive");
+    GEVO_ASSERT(config.source >= 0 && config.source < config.nodes,
+                "bfs source out of range");
+    BfsModule out;
+    out.config = config;
+    BfsEmitter emitter(out);
+    emitter.emitAll();
+    return out;
+}
+
+CsrGraph
+makeGraph(const BfsConfig& config)
+{
+    CsrGraph g;
+    g.rowPtr.reserve(static_cast<std::size_t>(config.nodes) + 1);
+    g.colIdx.reserve(static_cast<std::size_t>(config.edges()));
+    std::uint32_t s = static_cast<std::uint32_t>(config.seed) * 2654435761u +
+                      0x1234567u;
+    const auto draw = [&s]() {
+        s ^= s << 13;
+        s ^= s >> 17;
+        s ^= s << 5;
+        return s;
+    };
+    g.rowPtr.push_back(0);
+    for (std::int32_t u = 0; u < config.nodes; ++u) {
+        for (std::int32_t k = 0; k < config.degree; ++k) {
+            auto v = static_cast<std::int32_t>(
+                draw() % static_cast<std::uint32_t>(config.nodes));
+            if (v == u)
+                v = (v + 1) % config.nodes;
+            g.colIdx.push_back(v);
+        }
+        g.rowPtr.push_back(static_cast<std::int32_t>(g.colIdx.size()));
+    }
+    return g;
+}
+
+std::vector<std::int32_t>
+runCpuBfs(const BfsConfig& config, const CsrGraph& graph)
+{
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(config.nodes),
+                                   -1);
+    dist[static_cast<std::size_t>(config.source)] = 0;
+    std::deque<std::int32_t> frontier = {config.source};
+    while (!frontier.empty()) {
+        const auto u = frontier.front();
+        frontier.pop_front();
+        const auto du = dist[static_cast<std::size_t>(u)];
+        for (auto e = graph.rowPtr[static_cast<std::size_t>(u)];
+             e < graph.rowPtr[static_cast<std::size_t>(u) + 1]; ++e) {
+            const auto v = graph.colIdx[static_cast<std::size_t>(e)];
+            if (dist[static_cast<std::size_t>(v)] == -1) {
+                dist[static_cast<std::size_t>(v)] = du + 1;
+                frontier.push_back(v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<NamedEdit>
+allGoldenEdits(const BfsModule& built)
+{
+    using mut::Edit;
+    using mut::EditKind;
+    std::vector<NamedEdit> out;
+    for (const char* name : {"bfs.bounds.brc", "bfs.edge.brc"}) {
+        Edit e;
+        e.kind = EditKind::OperandReplace;
+        e.srcUid = built.uidOf(name);
+        e.opIndex = 0;
+        e.newOperand = ir::Operand::imm(1);
+        out.push_back({name, e});
+    }
+    {
+        Edit e;
+        e.kind = EditKind::OperandReplace;
+        e.srcUid = built.uidOf("bfs.end.load");
+        e.opIndex = 0;
+        e.newOperand = ir::Operand::reg(built.regs.at("bfs.reg.endaddr"));
+        out.push_back({"dup-row-index", e});
+    }
+    return out;
+}
+
+} // namespace gevo::bfs

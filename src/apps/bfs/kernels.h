@@ -1,0 +1,91 @@
+/// \file
+/// Level-synchronous frontier BFS over a fixed CSR graph, built in IR.
+///
+/// The divergent, data-dependent member of the new workload family — the
+/// irregular-kernel line of related work stresses that mutation payoff on
+/// traversal codes differs sharply from regular stencils/reductions, and
+/// the per-node neighbour loop (trip count = node degree) is exactly the
+/// per-lane divergent region the ROADMAP names as the trace interpreter's
+/// weak spot.
+///
+/// Two kernels: `bfs_init` seeds the distance array (source 0, everything
+/// else -1), and `bfs_level` expands the current frontier — one thread
+/// per node, nodes whose distance equals the level walk their CSR
+/// adjacency run, claim unvisited neighbours at level+1, and bump a
+/// global discovery counter the host polls for termination.
+///
+/// Planted inefficiencies (the golden-edit targets):
+///   * a dominated `node < 2^22` guard in front of the expansion,
+///   * a duplicate index chain (fresh tid/bid/ntid reads) feeding the
+///     adjacency-run end load, and
+///   * a per-edge `neighbour >= 0` guard inside the divergent loop that
+///     CSR construction makes always-true (the highest-payoff fold: it
+///     executes once per traversed edge).
+
+#ifndef GEVO_APPS_BFS_KERNELS_H
+#define GEVO_APPS_BFS_KERNELS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/golden_edit.h"
+#include "ir/function.h"
+#include "mutation/edit.h"
+
+namespace gevo::bfs {
+
+/// Scale/configuration constants embedded in the kernels.
+struct BfsConfig {
+    std::int32_t nodes = 256;  ///< Node count; multiple of 64.
+    std::int32_t degree = 8;   ///< Out-degree per node.
+    std::uint64_t seed = 11;   ///< Graph generation seed.
+    std::int32_t source = 0;   ///< BFS root.
+    std::uint32_t blockDim = 64;
+
+    std::int32_t edges() const { return nodes * degree; }
+};
+
+/// A fixed CSR graph.
+struct CsrGraph {
+    std::vector<std::int32_t> rowPtr; ///< nodes + 1 entries.
+    std::vector<std::int32_t> colIdx; ///< rowPtr.back() entries.
+};
+
+/// A built BFS module plus anchors for the golden edits.
+struct BfsModule {
+    ir::Module module;
+    BfsConfig config;
+    std::map<std::string, std::uint64_t> anchors;
+    std::map<std::string, std::int64_t> regs;
+
+    /// Anchor lookup; fatal when missing.
+    std::uint64_t uidOf(const std::string& name) const;
+};
+
+/// Build both kernels (`bfs_init(dist, source)`,
+/// `bfs_level(rowPtr, colIdx, dist, changed, level)`).
+BfsModule buildBfs(const BfsConfig& config);
+
+/// Deterministic pseudo-random graph (uniform targets, self-loops
+/// skipped; duplicate edges kept — irregularity is the point).
+CsrGraph makeGraph(const BfsConfig& config);
+
+/// CPU reference: per-node BFS distance from the source (-1 when
+/// unreachable).
+std::vector<std::int32_t> runCpuBfs(const BfsConfig& config,
+                                    const CsrGraph& graph);
+
+/// A named golden edit (shared shape, see apps/golden_edit.h).
+using NamedEdit = apps::NamedEdit;
+using apps::editsOf;
+
+/// All planted optimizations: fold the dominated node guard, fold the
+/// per-edge neighbour guard, reroute the run-end load to the first index
+/// chain (the duplicate chain then folds away as dead code).
+std::vector<NamedEdit> allGoldenEdits(const BfsModule& built);
+
+} // namespace gevo::bfs
+
+#endif // GEVO_APPS_BFS_KERNELS_H

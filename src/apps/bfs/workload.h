@@ -1,0 +1,14 @@
+/// \file
+/// Registry hookup for the frontier-BFS workload.
+
+#ifndef GEVO_APPS_BFS_WORKLOAD_H
+#define GEVO_APPS_BFS_WORKLOAD_H
+
+namespace gevo::bfs {
+
+/// Register the "bfs" workload (see apps/registry.h for when).
+void registerWorkloads();
+
+} // namespace gevo::bfs
+
+#endif // GEVO_APPS_BFS_WORKLOAD_H

@@ -1,0 +1,38 @@
+/// \file
+/// The one shared shape of a "golden" (known-good) edit: every app
+/// package expresses its planted/paper optimizations as named edits
+/// against its module's anchors, and every consumer (benches, tests, the
+/// workload instances) strips the names with editsOf() when applying
+/// them. One definition here instead of a copy per app.
+
+#ifndef GEVO_APPS_GOLDEN_EDIT_H
+#define GEVO_APPS_GOLDEN_EDIT_H
+
+#include <string>
+#include <vector>
+
+#include "mutation/edit.h"
+
+namespace gevo::apps {
+
+/// An edit with a human-readable name (the paper's, e.g. "e6", or the
+/// planted inefficiency's, e.g. "vdiff-nb3").
+struct NamedEdit {
+    std::string name;
+    mut::Edit edit;
+};
+
+/// Strip names.
+inline std::vector<mut::Edit>
+editsOf(const std::vector<NamedEdit>& named)
+{
+    std::vector<mut::Edit> out;
+    out.reserve(named.size());
+    for (const auto& n : named)
+        out.push_back(n.edit);
+    return out;
+}
+
+} // namespace gevo::apps
+
+#endif // GEVO_APPS_GOLDEN_EDIT_H

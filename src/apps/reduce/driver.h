@@ -1,0 +1,117 @@
+/// \file
+/// Host-side reduction driver: uploads each dataset, launches the
+/// per-block partial kernel then the single-block final kernel, and reads
+/// back both the partial sums and the total. The arena is sized to the
+/// allocation plan; \p tightArena drops the slack (held-out regime).
+
+#ifndef GEVO_APPS_REDUCE_DRIVER_H
+#define GEVO_APPS_REDUCE_DRIVER_H
+
+#include <vector>
+
+#include "apps/reduce/kernels.h"
+#include "core/fitness.h"
+#include "sim/device_config.h"
+#include "sim/executor.h"
+#include "support/strings.h"
+
+namespace gevo::reduce {
+
+/// Output of one full run (all datasets).
+struct ReduceRunOutput {
+    sim::Fault fault;
+    /// Per-dataset per-block partial sums (as `rd_partial` left them).
+    std::vector<std::vector<std::uint32_t>> partials;
+    std::vector<std::uint32_t> totals; ///< Per-dataset final sums.
+    double totalMs = 0.0;              ///< Simulated time, all launches.
+    sim::LaunchStats aggregate;        ///< Counters summed over launches.
+
+    bool ok() const { return fault.ok(); }
+};
+
+/// Immutable datasets + launch configuration; thread-safe (each run()
+/// owns its memory).
+class ReduceDriver {
+  public:
+    explicit ReduceDriver(ReduceConfig config, bool tightArena = false);
+
+    /// Execute the pre-decoded kernels over every dataset (scoring stage
+    /// of the two-stage pipeline; no IR access, no decoding).
+    ReduceRunOutput run(const sim::ProgramSet& programs,
+                        const sim::DeviceConfig& dev,
+                        bool profile = false) const;
+
+    /// Convenience: decode \p module and run it (one-off callers).
+    ReduceRunOutput run(const ir::Module& module,
+                        const sim::DeviceConfig& dev,
+                        bool profile = false) const;
+
+    /// CPU ground truth, computed once.
+    const std::vector<std::vector<std::uint32_t>>& expectedPartials() const
+    {
+        return expectedPartials_;
+    }
+    const std::vector<std::uint32_t>& expectedTotals() const
+    {
+        return expectedTotals_;
+    }
+    const ReduceConfig& config() const { return config_; }
+
+    /// Timing-grid multiplier (saturated-device regime).
+    void setOversubscribe(std::uint32_t f) { oversubscribe_ = f; }
+
+  private:
+    ReduceConfig config_;
+    bool tightArena_;
+    std::uint32_t oversubscribe_ = 512;
+    std::vector<std::vector<std::uint32_t>> inputs_;
+    std::vector<std::vector<std::uint32_t>> expectedPartials_;
+    std::vector<std::uint32_t> expectedTotals_;
+};
+
+/// Scores a variant by total simulated kernel time; any fault, any wrong
+/// partial sum, or any wrong total invalidates it (integer sums — exact
+/// equality, no tolerance).
+class ReduceFitness : public core::FitnessFunction {
+  public:
+    ReduceFitness(const ReduceDriver& driver, sim::DeviceConfig dev)
+        : driver_(driver), dev_(std::move(dev))
+    {
+    }
+
+    core::FitnessResult
+    evaluate(const core::CompiledVariant& variant) const override
+    {
+        const auto out = driver_.run(variant.programs, dev_);
+        if (!out.ok())
+            return core::FitnessResult::fail(out.fault.detail);
+        for (std::size_t d = 0; d < out.totals.size(); ++d) {
+            if (out.partials[d] != driver_.expectedPartials()[d])
+                return core::FitnessResult::fail(strformat(
+                    "dataset %zu: partial sums diverge from the CPU "
+                    "reference",
+                    d));
+            if (out.totals[d] != driver_.expectedTotals()[d])
+                return core::FitnessResult::fail(strformat(
+                    "dataset %zu: got total %u, want %u", d,
+                    out.totals[d], driver_.expectedTotals()[d]));
+        }
+        return core::FitnessResult::pass(out.totalMs);
+    }
+
+    std::string
+    name() const override
+    {
+        return strformat("reduce(%d elems x %d inputs, %s)",
+                         driver_.config().elems, driver_.config().inputs,
+                         dev_.name.c_str());
+    }
+
+  private:
+    const ReduceDriver& driver_;
+    sim::DeviceConfig dev_;
+};
+
+} // namespace gevo::reduce
+
+#endif // GEVO_APPS_REDUCE_DRIVER_H

@@ -1,0 +1,228 @@
+#include "apps/reduce/kernels.h"
+
+#include "ir/builder.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace gevo::reduce {
+
+using ir::IRBuilder;
+using ir::MemSpace;
+using ir::MemWidth;
+using ir::Operand;
+
+std::uint64_t
+ReduceModule::uidOf(const std::string& name) const
+{
+    const auto it = anchors.find(name);
+    if (it == anchors.end())
+        GEVO_FATAL("unknown reduce anchor '%s'", name.c_str());
+    return it->second;
+}
+
+namespace {
+
+/// Emits one reduction kernel; called twice with distinct names and
+/// anchor prefixes so `rd_partial` and `rd_final` carry independent
+/// golden-edit targets.
+class ReduceEmitter {
+  public:
+    ReduceEmitter(ReduceModule& out) : out_(out), b_(out.module) {}
+
+    void
+    emitKernel(const std::string& name, const std::string& prefix)
+    {
+        // p0 in p1 out; shared staging = blockDim i32 slots.
+        b_.startKernel(name, 2, out_.config.blockDim * 4);
+        const auto entry = b_.block("entry");
+        b_.setLoc("reduce.cu:load");
+        const auto tid = b_.tid();
+        const auto ntid = b_.ntid();
+        const auto bid = b_.bid();
+        const auto base = b_.imul(bid, b_.imul(ntid, imm(2)));
+        const auto i0 = b_.iadd(base, tid);
+        const auto a = b_.ld(MemSpace::Global, MemWidth::U32,
+                             emitElemAddr(b_.param(0), i0));
+
+        // Second element address, then a planted duplicate chain (fresh
+        // special-register reads, full recomputation) actually feeding
+        // the load; the golden edit reroutes the load to `addr1` and the
+        // duplicate folds away as dead code.
+        const auto addr1 =
+            emitElemAddr(b_.param(0), b_.iadd(i0, ntid));
+        regAnchor(prefix + ".reg.addr1", addr1);
+        const auto tidB = b_.tid();
+        const auto ntidB = b_.ntid();
+        const auto bidB = b_.bid();
+        const auto baseB = b_.imul(bidB, b_.imul(ntidB, imm(2)));
+        const auto i1b = b_.iadd(b_.iadd(baseB, tidB), ntidB);
+        const auto a2 = b_.ld(MemSpace::Global, MemWidth::U32,
+                              emitElemAddr(b_.param(0), i1b));
+        anchor(prefix + ".second.load");
+        const auto s = b_.iadd(a, a2);
+
+        b_.st(MemSpace::Shared, MemWidth::I32,
+              b_.lmul(b_.sext64(tid), imm(4)), s);
+        b_.barrier();
+        b_.barrier(); // planted: redundant double sync
+        anchor(prefix + ".extrabar");
+
+        const auto bbWarp = b_.block("warp_fold");
+        const auto bbStore = b_.block("store");
+        const auto bbStore2 = b_.block("store2");
+        const auto bbDone = b_.block("done");
+        b_.setInsert(entry);
+        b_.brc(b_.ilt(tid, imm(32)), bbWarp, bbDone);
+
+        // Warp 0: fold the two warps' staging slots, then a shfl tree.
+        b_.setInsert(bbWarp);
+        b_.setLoc("reduce.cu:warp");
+        const auto lo = b_.ld(MemSpace::Shared, MemWidth::U32,
+                              b_.lmul(b_.sext64(tid), imm(4)));
+        const auto hi = b_.ld(MemSpace::Shared, MemWidth::U32,
+                              b_.lmul(b_.sext64(b_.iadd(tid, imm(32))),
+                                      imm(4)));
+        Operand x = b_.iadd(lo, hi);
+        const auto m = b_.activemask();
+        // Ballot identity: when no lane holds a nonzero value the select
+        // short-circuits to the constant — semantically a no-op on this
+        // data, but it keeps the vote ops on the hot path.
+        const auto nz = b_.ballot(m, b_.ine(x, imm(0)));
+        x = b_.sel(b_.ieq(nz, imm(0)), imm(0), x);
+        const auto lane = b_.lane();
+        for (const int off : {16, 8, 4, 2, 1}) {
+            const auto y = b_.shflIdx(m, x, b_.iadd(lane, imm(off)));
+            x = b_.iadd(x, y);
+        }
+        b_.brc(b_.ieq(tid, imm(0)), bbStore, bbDone);
+
+        // Planted dominated guard in front of the result store.
+        b_.setInsert(bbStore);
+        b_.brc(b_.ilt(bid, imm(1 << 22)), bbStore2, bbDone);
+        anchor(prefix + ".bounds.brc");
+        b_.setInsert(bbStore2);
+        b_.st(MemSpace::Global, MemWidth::I32,
+              emitElemAddr(b_.param(1), bid), x);
+        b_.br(bbDone);
+
+        b_.setInsert(bbDone);
+        b_.ret();
+        b_.setLoc("");
+    }
+
+  private:
+    static Operand imm(std::int64_t v) { return Operand::imm(v); }
+
+    void
+    anchor(const std::string& name)
+    {
+        auto& fn = b_.kernel();
+        out_.anchors[name] =
+            fn.blocks[b_.insertBlock()].instrs.back().uid;
+    }
+    void
+    regAnchor(const std::string& name, Operand r)
+    {
+        out_.regs[name] = r.value;
+    }
+
+    /// Element address: base + 4 * index.
+    Operand
+    emitElemAddr(Operand base, Operand index)
+    {
+        return b_.ladd(base, b_.lmul(b_.sext64(index), imm(4)));
+    }
+
+    ReduceModule& out_;
+    IRBuilder b_;
+};
+
+} // namespace
+
+ReduceModule
+buildReduce(const ReduceConfig& config)
+{
+    GEVO_ASSERT(config.elems > 0 &&
+                    config.elems % config.perBlock() == 0,
+                "reduce elems must be a positive multiple of 2*blockDim");
+    GEVO_ASSERT(config.numBlocks() <= config.finalSlots(),
+                "reduce partial count exceeds the final kernel's block");
+    ReduceModule out;
+    out.config = config;
+    ReduceEmitter emitter(out);
+    emitter.emitKernel("rd_partial", "rdp");
+    emitter.emitKernel("rd_final", "rdf");
+    return out;
+}
+
+std::vector<std::uint32_t>
+makeInput(const ReduceConfig& config, std::int32_t index)
+{
+    std::vector<std::uint32_t> in(static_cast<std::size_t>(config.elems));
+    std::uint32_t s = static_cast<std::uint32_t>(config.seed) +
+                      0x9e3779b9u * static_cast<std::uint32_t>(index + 1);
+    for (auto& v : in) {
+        s ^= s << 13;
+        s ^= s >> 17;
+        s ^= s << 5;
+        v = s & 0xffu;
+    }
+    return in;
+}
+
+std::vector<std::uint32_t>
+cpuPartials(const ReduceConfig& config, const std::vector<std::uint32_t>& in)
+{
+    const auto per = static_cast<std::size_t>(config.perBlock());
+    std::vector<std::uint32_t> partials(
+        static_cast<std::size_t>(config.numBlocks()), 0);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        partials[i / per] += in[i];
+    return partials;
+}
+
+std::uint32_t
+cpuTotal(const std::vector<std::uint32_t>& in)
+{
+    std::uint32_t total = 0;
+    for (const auto v : in)
+        total += v;
+    return total;
+}
+
+std::vector<NamedEdit>
+allGoldenEdits(const ReduceModule& built)
+{
+    using mut::Edit;
+    using mut::EditKind;
+    std::vector<NamedEdit> out;
+    for (const char* prefix : {"rdp", "rdf"}) {
+        const std::string p = prefix;
+        {
+            Edit e;
+            e.kind = EditKind::InstrDelete;
+            e.srcUid = built.uidOf(p + ".extrabar");
+            out.push_back({p + "-extra-barrier", e});
+        }
+        {
+            Edit e;
+            e.kind = EditKind::OperandReplace;
+            e.srcUid = built.uidOf(p + ".second.load");
+            e.opIndex = 0;
+            e.newOperand =
+                ir::Operand::reg(built.regs.at(p + ".reg.addr1"));
+            out.push_back({p + "-dup-index", e});
+        }
+        {
+            Edit e;
+            e.kind = EditKind::OperandReplace;
+            e.srcUid = built.uidOf(p + ".bounds.brc");
+            e.opIndex = 0;
+            e.newOperand = ir::Operand::imm(1);
+            out.push_back({p + "-store-bounds", e});
+        }
+    }
+    return out;
+}
+
+} // namespace gevo::reduce

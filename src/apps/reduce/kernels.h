@@ -1,0 +1,87 @@
+/// \file
+/// Tree reduction (sum) with shared-memory and warp-shuffle stages, built
+/// in IR.
+///
+/// Two kernels with the same shape: `rd_partial` reduces the input array
+/// to one partial sum per block (each thread folds two elements, a
+/// shared-memory stage folds the block's two warps together, and a
+/// shfl-based tree folds warp 0 — exercising the ballot/shfl/activemask
+/// ops the trace interpreter scalarizes), and `rd_final` runs the same
+/// body over the zero-padded partial array with a single block.
+///
+/// Planted inefficiencies (the golden-edit targets, one set per kernel):
+///   * a redundant second barrier after the shared-memory stores,
+///   * a duplicate index chain (fresh tid/bid/ntid reads) feeding the
+///     second element load, and
+///   * a dominated `bid < 2^22` guard in front of the result store.
+
+#ifndef GEVO_APPS_REDUCE_KERNELS_H
+#define GEVO_APPS_REDUCE_KERNELS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/golden_edit.h"
+#include "ir/function.h"
+#include "mutation/edit.h"
+
+namespace gevo::reduce {
+
+/// Scale/configuration constants embedded in the kernels.
+struct ReduceConfig {
+    std::int32_t elems = 8192;  ///< Input length; multiple of 128, <= 16384.
+    std::int32_t inputs = 2;    ///< Independent datasets per evaluation.
+    std::uint64_t seed = 21;    ///< Dataset generation seed.
+    std::uint32_t blockDim = 64;
+
+    /// Elements folded per block (two per thread).
+    std::int32_t perBlock() const
+    {
+        return 2 * static_cast<std::int32_t>(blockDim);
+    }
+    std::int32_t numBlocks() const { return elems / perBlock(); }
+    /// Zero-padded partial-array length `rd_final` reduces (one block's
+    /// coverage).
+    std::int32_t finalSlots() const { return perBlock(); }
+};
+
+/// A built reduction module plus anchors for the golden edits.
+struct ReduceModule {
+    ir::Module module;
+    ReduceConfig config;
+    std::map<std::string, std::uint64_t> anchors;
+    std::map<std::string, std::int64_t> regs;
+
+    /// Anchor lookup; fatal when missing.
+    std::uint64_t uidOf(const std::string& name) const;
+};
+
+/// Build both kernels (`rd_partial(in, out)`, `rd_final(in, out)`).
+ReduceModule buildReduce(const ReduceConfig& config);
+
+/// Deterministic dataset \p index (xorshift values masked to a byte so
+/// sums stay far from 32-bit wraparound at every supported scale).
+std::vector<std::uint32_t> makeInput(const ReduceConfig& config,
+                                     std::int32_t index);
+
+/// CPU reference partial sums for one dataset (one entry per block).
+std::vector<std::uint32_t> cpuPartials(const ReduceConfig& config,
+                                       const std::vector<std::uint32_t>& in);
+
+/// CPU reference total for one dataset.
+std::uint32_t cpuTotal(const std::vector<std::uint32_t>& in);
+
+/// A named golden edit (shared shape, see apps/golden_edit.h).
+using NamedEdit = apps::NamedEdit;
+using apps::editsOf;
+
+/// All planted optimizations (both kernels): delete the redundant
+/// barriers, reroute the second loads to the first index chain, fold the
+/// dominated store guards.
+std::vector<NamedEdit> allGoldenEdits(const ReduceModule& built);
+
+} // namespace gevo::reduce
+
+#endif // GEVO_APPS_REDUCE_KERNELS_H

@@ -1,0 +1,120 @@
+#include "apps/reduce/workload.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/reduce/driver.h"
+#include "core/workload.h"
+#include "mutation/patch.h"
+#include "opt/passes.h"
+#include "support/strings.h"
+
+namespace gevo::reduce {
+
+namespace {
+
+class ReduceWorkloadInstance : public core::WorkloadInstance {
+  public:
+    explicit ReduceWorkloadInstance(const core::WorkloadConfig& config)
+        : built_(buildReduce(makeConfig(config))), driver_(built_.config),
+          fitness_(driver_, config.device), device_(config.device)
+    {
+    }
+
+    const ir::Module& module() const override { return built_.module; }
+    const core::FitnessFunction& fitness() const override
+    {
+        return fitness_;
+    }
+
+    std::string
+    banner() const override
+    {
+        return strformat("%d elements x %d datasets, %d partial blocks, "
+                         "shared-memory + warp-shuffle tree",
+                         built_.config.elems, built_.config.inputs,
+                         built_.config.numBlocks());
+    }
+
+    std::vector<mut::Edit>
+    goldenEdits() const override
+    {
+        return editsOf(allGoldenEdits(built_));
+    }
+
+    /// Held-out validation at a larger input with a tightly sized arena.
+    std::string
+    validateBest(const std::vector<mut::Edit>& edits) const override
+    {
+        // Double the configured input (the kernel structure caps the
+        // supported length, so a maxed-out fitness scale degrades to a
+        // tight-arena re-run at the same size).
+        ReduceConfig big = built_.config;
+        big.elems = std::min(built_.config.elems * 2, 16384);
+        big.inputs = 1;
+        const auto bigBuilt = buildReduce(big);
+        const ReduceDriver bigDriver(big, /*tightArena=*/true);
+        auto variant = mut::applyPatch(bigBuilt.module, edits);
+        opt::runCleanupPipeline(variant);
+        const auto heldOut = bigDriver.run(variant, device_);
+        if (!heldOut.ok())
+            return strformat("held-out %d-element check: %s", big.elems,
+                             heldOut.fault.detail.c_str());
+        return {};
+    }
+
+  private:
+    static ReduceConfig
+    makeConfig(const core::WorkloadConfig& config)
+    {
+        ReduceConfig cfg;
+        cfg.elems =
+            static_cast<std::int32_t>(config.knobInt("elems", 8192));
+        cfg.inputs =
+            static_cast<std::int32_t>(config.knobInt("inputs", 2));
+        cfg.seed =
+            static_cast<std::uint64_t>(config.knobInt("data-seed", 21));
+        return cfg;
+    }
+
+    ReduceModule built_;
+    ReduceDriver driver_;
+    ReduceFitness fitness_;
+    sim::DeviceConfig device_;
+};
+
+} // namespace
+
+void
+registerWorkloads()
+{
+    core::Workload w;
+    w.name = "reduce";
+    w.summary = "tree reduction, shared-memory stage + warp-shuffle "
+                "finish (ballot/shfl/activemask on the hot path)";
+    w.knobs = {
+        {"elems", 8192, "input length; multiple of 128, at most 16384"},
+        {"inputs", 2, "independent datasets per evaluation"},
+        {"data-seed", 21, "dataset generation seed"},
+    };
+    w.searchDefaults.populationSize = 12;
+    w.searchDefaults.generations = 8;
+    w.searchDefaults.elitism = 2;
+    w.searchDefaults.seed = 9;
+    w.searchDefaults.cacheSaveInterval = 10;
+    w.benchDefaults.populationSize = 12;
+    w.benchDefaults.generations = 8;
+    w.benchDefaults.elitism = 2;
+    w.benchDefaults.seed = 3;
+    w.benchKnobs = {{"elems", "2048"}, {"inputs", "1"}};
+    w.variabilityRuns = 2;
+    w.variabilityGens = 6;
+    w.variabilityPop = 10;
+    w.make = [](const core::WorkloadConfig& config) {
+        return std::unique_ptr<core::WorkloadInstance>(
+            new ReduceWorkloadInstance(config));
+    };
+    core::WorkloadRegistry::instance().add(std::move(w));
+}
+
+} // namespace gevo::reduce

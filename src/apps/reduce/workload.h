@@ -1,0 +1,14 @@
+/// \file
+/// Registry hookup for the tree-reduction workload.
+
+#ifndef GEVO_APPS_REDUCE_WORKLOAD_H
+#define GEVO_APPS_REDUCE_WORKLOAD_H
+
+namespace gevo::reduce {
+
+/// Register the "reduce" workload (see apps/registry.h for when).
+void registerWorkloads();
+
+} // namespace gevo::reduce
+
+#endif // GEVO_APPS_REDUCE_WORKLOAD_H

@@ -1,7 +1,10 @@
 #include "apps/registry.h"
 
 #include "apps/adept/workload.h"
+#include "apps/bfs/workload.h"
+#include "apps/reduce/workload.h"
 #include "apps/simcov/workload.h"
+#include "apps/stencil/workload.h"
 
 namespace gevo::apps {
 
@@ -11,6 +14,9 @@ registerBuiltinWorkloads()
     static const bool once = [] {
         adept::registerWorkloads();
         simcov::registerWorkloads();
+        stencil::registerWorkloads();
+        reduce::registerWorkloads();
+        bfs::registerWorkloads();
         return true;
     }();
     (void)once;

@@ -16,27 +16,6 @@ SimcovDriver::SimcovDriver(SimcovConfig config, bool padded,
 {
 }
 
-namespace {
-
-/// Accumulate launch counters into the aggregate.
-void
-addStats(sim::LaunchStats* agg, const sim::LaunchStats& s)
-{
-    agg->warpInstrs += s.warpInstrs;
-    agg->laneInstrs += s.laneInstrs;
-    agg->issueCycles += s.issueCycles;
-    agg->divergences += s.divergences;
-    agg->barriers += s.barriers;
-    agg->sharedConflictWays += s.sharedConflictWays;
-    agg->globalSectors += s.globalSectors;
-    if (agg->locIssues.size() < s.locIssues.size())
-        agg->locIssues.resize(s.locIssues.size(), 0);
-    for (std::size_t loc = 0; loc < s.locIssues.size(); ++loc)
-        agg->locIssues[loc] += s.locIssues[loc];
-}
-
-} // namespace
-
 SimcovRunOutput
 SimcovDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
                   bool profile) const
@@ -96,7 +75,7 @@ SimcovDriver::run(const sim::ProgramSet& programs,
         const auto res = sim::launchKernel(dev, mem, *kernels[idx],
                                            dims, args, profile);
         out.totalMs += res.stats.ms;
-        addStats(&out.aggregate, res.stats);
+        out.aggregate.accumulate(res.stats);
         return res;
     };
     auto u64 = [](sim::DevPtr p) { return static_cast<std::uint64_t>(p); };

@@ -22,16 +22,6 @@ condReplace(std::uint64_t uid, ir::Operand newCond)
 
 } // namespace
 
-std::vector<mut::Edit>
-editsOf(const std::vector<NamedEdit>& named)
-{
-    std::vector<mut::Edit> out;
-    out.reserve(named.size());
-    for (const auto& n : named)
-        out.push_back(n.edit);
-    return out;
-}
-
 std::vector<NamedEdit>
 boundaryCheckEdits(const SimcovModule& built)
 {

@@ -4,22 +4,17 @@
 #ifndef GEVO_APPS_SIMCOV_GOLDEN_EDITS_H
 #define GEVO_APPS_SIMCOV_GOLDEN_EDITS_H
 
-#include <string>
 #include <vector>
 
+#include "apps/golden_edit.h"
 #include "apps/simcov/kernels.h"
 #include "mutation/edit.h"
 
 namespace gevo::simcov {
 
-/// A named golden edit.
-struct NamedEdit {
-    std::string name;
-    mut::Edit edit;
-};
-
-/// Strip names.
-std::vector<mut::Edit> editsOf(const std::vector<NamedEdit>& named);
+/// A named golden edit (shared shape, see apps/golden_edit.h).
+using NamedEdit = apps::NamedEdit;
+using apps::editsOf;
 
 /// The Sec VI-D boundary-check removals: the 16 per-neighbour guard
 /// conditions of the two diffusion stencils rewritten to `true` (the

@@ -1,0 +1,70 @@
+#include "apps/stencil/driver.h"
+
+#include "sim/device_memory.h"
+#include "sim/program.h"
+
+namespace gevo::stencil {
+
+StencilDriver::StencilDriver(StencilConfig config, bool tightArena)
+    : config_(config), tightArena_(tightArena),
+      initial_(initialGrid(config)), expected_(runCpuStencil(config))
+{
+}
+
+StencilRunOutput
+StencilDriver::run(const ir::Module& module, const sim::DeviceConfig& dev,
+                   bool profile) const
+{
+    return run(sim::ProgramSet::decodeModule(module), dev, profile);
+}
+
+StencilRunOutput
+StencilDriver::run(const sim::ProgramSet& programs,
+                   const sim::DeviceConfig& dev, bool profile) const
+{
+    StencilRunOutput out;
+    const std::int64_t gridBytes = 4ll * config_.cells();
+
+    // Allocation plan: two ping-pong grids. The arena is sized to the
+    // plan (capacity has no fault semantics — OOB keys on the
+    // page-rounded allocated extent), so the per-evaluation zeroing cost
+    // tracks the problem, not a fixed floor.
+    const std::int64_t total = 2 * ((gridBytes + 255) / 256) * 256;
+    sim::DeviceMemory mem(tightArena_ ? total : total + (1 << 18));
+    const auto bufA = mem.alloc(gridBytes);
+    const auto bufB = mem.alloc(gridBytes);
+    mem.copyIn(bufA, initial_.data(), gridBytes);
+
+    const auto* prog = programs.find("st_jacobi");
+    if (prog == nullptr) {
+        out.fault.kind = sim::FaultKind::InvalidProgram;
+        out.fault.detail = "st_jacobi missing from module";
+        return out;
+    }
+    const auto blocks = static_cast<std::uint32_t>(
+        config_.cells() / static_cast<std::int32_t>(config_.blockDim));
+    const sim::LaunchDims dims{blocks, config_.blockDim, oversubscribe_};
+
+    sim::DevPtr src = bufA;
+    sim::DevPtr dst = bufB;
+    for (std::int32_t step = 0; step < config_.steps; ++step) {
+        const auto res = sim::launchKernel(
+            dev, mem, *prog, dims,
+            {static_cast<std::uint64_t>(src),
+             static_cast<std::uint64_t>(dst)},
+            profile);
+        out.totalMs += res.stats.ms;
+        out.aggregate.accumulate(res.stats);
+        if (!res.ok()) {
+            out.fault = res.fault;
+            return out;
+        }
+        std::swap(src, dst);
+    }
+
+    out.grid.resize(static_cast<std::size_t>(config_.cells()));
+    mem.copyOut(out.grid.data(), src, gridBytes);
+    return out;
+}
+
+} // namespace gevo::stencil

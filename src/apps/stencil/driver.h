@@ -1,0 +1,108 @@
+/// \file
+/// Host-side stencil driver: uploads the initial grid, runs the Jacobi
+/// kernel for the configured number of steps over ping-pong buffers, and
+/// reads back the final grid. The arena is sized to the allocation plan
+/// (two grids plus fixed slack); \p tightArena drops the slack — the
+/// held-out regime where a variant that reads past its arrays faults
+/// instead of seeing page slack.
+
+#ifndef GEVO_APPS_STENCIL_DRIVER_H
+#define GEVO_APPS_STENCIL_DRIVER_H
+
+#include <vector>
+
+#include "apps/stencil/kernels.h"
+#include "core/fitness.h"
+#include "sim/device_config.h"
+#include "sim/executor.h"
+#include "support/strings.h"
+
+namespace gevo::stencil {
+
+/// Output of a full multi-step run.
+struct StencilRunOutput {
+    sim::Fault fault;
+    std::vector<float> grid;    ///< Final grid (empty on fault).
+    double totalMs = 0.0;       ///< Simulated time across all steps.
+    sim::LaunchStats aggregate; ///< Counters summed over launches.
+
+    bool ok() const { return fault.ok(); }
+};
+
+/// Immutable run configuration; thread-safe (each run() owns its memory).
+class StencilDriver {
+  public:
+    explicit StencilDriver(StencilConfig config, bool tightArena = false);
+
+    /// Execute the pre-decoded kernel over the configured run (scoring
+    /// stage of the two-stage pipeline; no IR access, no decoding).
+    StencilRunOutput run(const sim::ProgramSet& programs,
+                         const sim::DeviceConfig& dev,
+                         bool profile = false) const;
+
+    /// Convenience: decode \p module and run it (one-off callers).
+    StencilRunOutput run(const ir::Module& module,
+                         const sim::DeviceConfig& dev,
+                         bool profile = false) const;
+
+    /// CPU ground-truth final grid (computed once).
+    const std::vector<float>& expected() const { return expected_; }
+    const StencilConfig& config() const { return config_; }
+
+    /// Timing-grid multiplier (saturated-device regime).
+    void setOversubscribe(std::uint32_t f) { oversubscribe_ = f; }
+
+  private:
+    StencilConfig config_;
+    bool tightArena_;
+    std::uint32_t oversubscribe_ = 512;
+    std::vector<float> initial_;
+    std::vector<float> expected_;
+};
+
+/// Scores a variant by total simulated kernel time; any fault or any
+/// final-grid value mismatch (bit-exact — the kernel's float order is
+/// replicated by the CPU reference) invalidates it.
+class StencilFitness : public core::FitnessFunction {
+  public:
+    StencilFitness(const StencilDriver& driver, sim::DeviceConfig dev)
+        : driver_(driver), dev_(std::move(dev))
+    {
+    }
+
+    core::FitnessResult
+    evaluate(const core::CompiledVariant& variant) const override
+    {
+        const auto out = driver_.run(variant.programs, dev_);
+        if (!out.ok())
+            return core::FitnessResult::fail(out.fault.detail);
+        const auto& expected = driver_.expected();
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            if (out.grid[i] != expected[i]) {
+                const auto W = driver_.config().gridW;
+                return core::FitnessResult::fail(strformat(
+                    "cell (%d,%d): got %.9g, want %.9g",
+                    static_cast<int>(i) % W, static_cast<int>(i) / W,
+                    static_cast<double>(out.grid[i]),
+                    static_cast<double>(expected[i])));
+            }
+        }
+        return core::FitnessResult::pass(out.totalMs);
+    }
+
+    std::string
+    name() const override
+    {
+        return strformat("stencil(%dx%d, %d steps, %s)",
+                         driver_.config().gridW, driver_.config().gridW,
+                         driver_.config().steps, dev_.name.c_str());
+    }
+
+  private:
+    const StencilDriver& driver_;
+    sim::DeviceConfig dev_;
+};
+
+} // namespace gevo::stencil
+
+#endif // GEVO_APPS_STENCIL_DRIVER_H

@@ -1,0 +1,297 @@
+#include "apps/stencil/kernels.h"
+
+#include "ir/builder.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace gevo::stencil {
+
+using ir::IRBuilder;
+using ir::MemSpace;
+using ir::MemWidth;
+using ir::Operand;
+
+std::uint64_t
+StencilModule::uidOf(const std::string& name) const
+{
+    const auto it = anchors.find(name);
+    if (it == anchors.end())
+        GEVO_FATAL("unknown stencil anchor '%s'", name.c_str());
+    return it->second;
+}
+
+namespace {
+
+/// Emits the block-tiled Jacobi kernel.
+class StencilEmitter {
+  public:
+    explicit StencilEmitter(StencilModule& out) : out_(out), b_(out.module)
+    {
+    }
+
+    void
+    emit()
+    {
+        const std::int32_t W = out_.config.gridW;
+        // p0 src p1 dst; shared tile = blockDim + 2 halo floats.
+        b_.startKernel("st_jacobi", 2, (out_.config.blockDim + 2) * 4);
+        const auto entry = b_.block("entry");
+        b_.setLoc("stencil.cu:tile");
+        const auto tid = b_.tid();
+        const auto ntid = b_.ntid();
+        const auto c = b_.iadd(b_.imul(b_.bid(), ntid), tid);
+        const auto y = b_.idiv(c, imm(W));
+        const auto x = b_.irem(c, imm(W));
+
+        // Centre value. Planted duplicate coordinate chain: the load's
+        // address comes from a second div/rem recomputation; rerouting it
+        // to `cAddr1` (the golden edit) makes the duplicate chain dead.
+        const auto cAddr1 = emitCellAddr(b_.param(0), c);
+        regAnchor("st.reg.caddr1", cAddr1);
+        const auto y2 = b_.idiv(c, imm(W));
+        const auto x2 = b_.irem(c, imm(W));
+        const auto idx2 = b_.iadd(b_.imul(y2, imm(W)), x2);
+        const auto cAddr2 = emitCellAddr(b_.param(0), idx2);
+        const auto v = b_.ld(MemSpace::Global, MemWidth::F32, cAddr2);
+        anchor("st.center.load");
+
+        // Tile load: own cell at shared slot tid+1; the first/last thread
+        // of the block also fills the halo (clamped to the grid, so the
+        // loads are in bounds even at the corners — halo values feeding
+        // boundary cells are never consumed).
+        const auto slot =
+            b_.lmul(b_.sext64(b_.iadd(tid, imm(1))), imm(4));
+        b_.st(MemSpace::Shared, MemWidth::F32, slot, v);
+
+        const auto bbLeft = b_.block("halo_left");
+        const auto bbLeftDone = b_.block("halo_left_done");
+        b_.setInsert(entry);
+        b_.brc(b_.ieq(tid, imm(0)), bbLeft, bbLeftDone);
+        b_.setInsert(bbLeft);
+        const auto lc = b_.imax(b_.isub(c, imm(1)), imm(0));
+        const auto lv = b_.ld(MemSpace::Global, MemWidth::F32,
+                              emitCellAddr(b_.param(0), lc));
+        b_.st(MemSpace::Shared, MemWidth::F32, imm(0), lv);
+        b_.br(bbLeftDone);
+        b_.setInsert(bbLeftDone);
+
+        const auto bbRight = b_.block("halo_right");
+        const auto bbRightDone = b_.block("halo_right_done");
+        b_.setInsert(bbLeftDone);
+        const auto lastTid = b_.isub(ntid, imm(1));
+        b_.brc(b_.ieq(tid, lastTid), bbRight, bbRightDone);
+        b_.setInsert(bbRight);
+        const auto rc = b_.imin(b_.iadd(c, imm(1)),
+                                imm(out_.config.cells() - 1));
+        const auto rv = b_.ld(MemSpace::Global, MemWidth::F32,
+                              emitCellAddr(b_.param(0), rc));
+        const auto haloSlot = b_.lmul(
+            b_.sext64(b_.iadd(ntid, imm(1))), imm(4));
+        b_.st(MemSpace::Shared, MemWidth::F32, haloSlot, rv);
+        b_.br(bbRightDone);
+        b_.setInsert(bbRightDone);
+
+        b_.barrier();
+        b_.barrier(); // planted: redundant double sync
+        anchor("st.extrabar");
+
+        // Dirichlet boundary: edge cells copy through unchanged.
+        const auto bbInterior = b_.block("interior");
+        const auto bbCopy = b_.block("boundary_copy");
+        const auto bbDone = b_.block("done");
+        b_.setInsert(bbRightDone);
+        const auto inX = b_.band(b_.ige(x, imm(1)), b_.ile(x, imm(W - 2)));
+        const auto inY = b_.band(b_.ige(y, imm(1)), b_.ile(y, imm(W - 2)));
+        b_.brc(b_.band(inX, inY), bbInterior, bbCopy);
+
+        b_.setInsert(bbCopy);
+        b_.st(MemSpace::Global, MemWidth::F32,
+              emitCellAddr(b_.param(1), c), v);
+        b_.br(bbDone);
+
+        // Interior: 4-neighbour accumulation, each tap behind a guard a
+        // range analysis would prove always-true here (the golden edits
+        // fold them). Left/right from the shared tile, up/down global.
+        b_.setInsert(bbInterior);
+        b_.setLoc("stencil.cu:update");
+        const auto acc = b_.mov(immf(0.0f));
+        emitGuardedTap(0, b_.ige(b_.isub(x, imm(1)), imm(0)), [&] {
+            const auto tileSlot = b_.lmul(b_.sext64(tid), imm(4));
+            return b_.ld(MemSpace::Shared, MemWidth::F32, tileSlot);
+        }, acc);
+        emitGuardedTap(1, b_.ile(b_.iadd(x, imm(1)), imm(W - 1)), [&] {
+            const auto tileSlot =
+                b_.lmul(b_.sext64(b_.iadd(tid, imm(2))), imm(4));
+            return b_.ld(MemSpace::Shared, MemWidth::F32, tileSlot);
+        }, acc);
+        emitGuardedTap(2, b_.ige(b_.isub(y, imm(1)), imm(0)), [&] {
+            return b_.ld(MemSpace::Global, MemWidth::F32,
+                         emitCellAddr(b_.param(0), b_.isub(c, imm(W))));
+        }, acc);
+        emitGuardedTap(3, b_.ile(b_.iadd(y, imm(1)), imm(W - 1)), [&] {
+            return b_.ld(MemSpace::Global, MemWidth::F32,
+                         emitCellAddr(b_.param(0), b_.iadd(c, imm(W))));
+        }, acc);
+
+        const auto lap = b_.fsub(acc, b_.fmul(v, immf(4.0f)));
+        const auto delta = b_.fmul(lap, immf(out_.config.rate));
+        const auto next = b_.fadd(v, delta);
+        b_.st(MemSpace::Global, MemWidth::F32,
+              emitCellAddr(b_.param(1), c), next);
+        b_.br(bbDone);
+
+        b_.setInsert(bbDone);
+        b_.ret();
+        b_.setLoc("");
+    }
+
+  private:
+    static Operand imm(std::int64_t v) { return Operand::imm(v); }
+    static Operand immf(float v) { return Operand::immF32(v); }
+
+    void
+    anchor(const std::string& name)
+    {
+        auto& fn = b_.kernel();
+        out_.anchors[name] =
+            fn.blocks[b_.insertBlock()].instrs.back().uid;
+    }
+    void
+    regAnchor(const std::string& name, Operand r)
+    {
+        out_.regs[name] = r.value;
+    }
+
+    /// Element address: base + 4 * cell.
+    Operand
+    emitCellAddr(Operand base, Operand cell)
+    {
+        return b_.ladd(base, b_.lmul(b_.sext64(cell), imm(4)));
+    }
+
+    /// One guarded neighbour tap: `if (cond) acc += load()`. The guard
+    /// branch is anchored as "st.nb<k>.brc" for the fold edit.
+    template <typename LoadFn>
+    void
+    emitGuardedTap(int k, Operand cond, LoadFn load, Operand acc)
+    {
+        const auto cur = b_.insertBlock();
+        const auto bbTap = b_.block(strformat("tap%d", k));
+        const auto bbSkip = b_.block(strformat("skip%d", k));
+        b_.setInsert(cur);
+        b_.setLoc("stencil.cu:guard");
+        b_.brc(cond, bbTap, bbSkip);
+        anchor(strformat("st.nb%d.brc", k));
+        b_.setInsert(bbTap);
+        b_.setLoc("stencil.cu:update");
+        b_.faddTo(acc, acc, load());
+        b_.br(bbSkip);
+        b_.setInsert(bbSkip);
+    }
+
+    StencilModule& out_;
+    IRBuilder b_;
+};
+
+} // namespace
+
+StencilModule
+buildStencil(const StencilConfig& config)
+{
+    GEVO_ASSERT(config.gridW >= 4, "stencil grid too small");
+    GEVO_ASSERT(config.cells() %
+                        static_cast<std::int32_t>(config.blockDim) ==
+                    0,
+                "stencil cells must be a multiple of blockDim");
+    StencilModule out;
+    out.config = config;
+    StencilEmitter emitter(out);
+    emitter.emit();
+    return out;
+}
+
+std::vector<float>
+initialGrid(const StencilConfig& config)
+{
+    const std::int32_t W = config.gridW;
+    std::vector<float> grid(static_cast<std::size_t>(config.cells()));
+    for (std::int32_t y = 0; y < W; ++y) {
+        for (std::int32_t x = 0; x < W; ++x) {
+            // Hot left edge, cold right edge, a deterministic ripple in
+            // between — enough structure that every cell's trajectory is
+            // distinct and a wrong neighbour tap shows up immediately.
+            const std::int32_t h = (x * 31 + y * 17 + x * y) % 97;
+            float v = static_cast<float>(h) / 97.0f;
+            if (x == 0)
+                v = 1.0f;
+            if (x == W - 1)
+                v = 0.0f;
+            grid[static_cast<std::size_t>(y * W + x)] = v;
+        }
+    }
+    return grid;
+}
+
+std::vector<float>
+runCpuStencil(const StencilConfig& config)
+{
+    const std::int32_t W = config.gridW;
+    std::vector<float> cur = initialGrid(config);
+    std::vector<float> next(cur.size());
+    for (std::int32_t step = 0; step < config.steps; ++step) {
+        for (std::int32_t y = 0; y < W; ++y) {
+            for (std::int32_t x = 0; x < W; ++x) {
+                const auto i = static_cast<std::size_t>(y * W + x);
+                const float v = cur[i];
+                if (x == 0 || x == W - 1 || y == 0 || y == W - 1) {
+                    next[i] = v;
+                    continue;
+                }
+                // Same accumulation order as the kernel: left, right,
+                // up, down — float addition is not associative.
+                float acc = 0.0f;
+                acc += cur[i - 1];
+                acc += cur[i + 1];
+                acc += cur[i - static_cast<std::size_t>(W)];
+                acc += cur[i + static_cast<std::size_t>(W)];
+                const float lap = acc - v * 4.0f;
+                next[i] = v + lap * config.rate;
+            }
+        }
+        std::swap(cur, next);
+    }
+    return cur;
+}
+
+std::vector<NamedEdit>
+allGoldenEdits(const StencilModule& built)
+{
+    using mut::Edit;
+    using mut::EditKind;
+    std::vector<NamedEdit> out;
+    for (int k = 0; k < 4; ++k) {
+        Edit e;
+        e.kind = EditKind::OperandReplace;
+        e.srcUid = built.uidOf(strformat("st.nb%d.brc", k));
+        e.opIndex = 0;
+        e.newOperand = ir::Operand::imm(1);
+        out.push_back({strformat("guard-nb%d", k), e});
+    }
+    {
+        Edit e;
+        e.kind = EditKind::InstrDelete;
+        e.srcUid = built.uidOf("st.extrabar");
+        out.push_back({"extra-barrier", e});
+    }
+    {
+        Edit e;
+        e.kind = EditKind::OperandReplace;
+        e.srcUid = built.uidOf("st.center.load");
+        e.opIndex = 0;
+        e.newOperand = ir::Operand::reg(built.regs.at("st.reg.caddr1"));
+        out.push_back({"dup-coords", e});
+    }
+    return out;
+}
+
+} // namespace gevo::stencil

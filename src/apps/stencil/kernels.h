@@ -1,0 +1,78 @@
+/// \file
+/// 2D 5-point Jacobi heat-step stencil, built in IR.
+///
+/// The regular memory-bound member of the new workload family (the GEVO
+/// line of related work stresses that mutation payoff differs sharply
+/// between regular stencil/reduction kernels and data-dependent
+/// traversal): one kernel, one thread per cell, block-tiled — each block
+/// caches its contiguous run of cells plus a one-element halo in shared
+/// memory, so the left/right neighbour taps are shared-memory reads and
+/// only the up/down taps go to global memory.
+///
+/// Planted inefficiencies (the golden-edit targets, mirroring the
+/// ADEPT/SIMCoV recipe):
+///   * a redundant second barrier after the tile load,
+///   * a duplicate div/rem coordinate chain feeding the centre load, and
+///   * four per-neighbour guard branches inside the interior path that a
+///     range analysis would prove always-true (a condition -> `true`
+///     operand edit folds each away).
+
+#ifndef GEVO_APPS_STENCIL_KERNELS_H
+#define GEVO_APPS_STENCIL_KERNELS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/golden_edit.h"
+#include "ir/function.h"
+#include "mutation/edit.h"
+
+namespace gevo::stencil {
+
+/// Scale/configuration constants embedded in the kernel.
+struct StencilConfig {
+    std::int32_t gridW = 32;    ///< Square grid side (>= 4, W*W % 64 == 0).
+    std::int32_t steps = 4;     ///< Jacobi iterations (ping-pong buffers).
+    float rate = 0.20f;         ///< Diffusion rate.
+    std::uint32_t blockDim = 64;
+
+    std::int32_t cells() const { return gridW * gridW; }
+};
+
+/// A built stencil module plus anchors for the golden edits.
+struct StencilModule {
+    ir::Module module;
+    StencilConfig config;
+    std::map<std::string, std::uint64_t> anchors;
+    std::map<std::string, std::int64_t> regs;
+
+    /// Anchor lookup; fatal when missing.
+    std::uint64_t uidOf(const std::string& name) const;
+};
+
+/// Build the kernel (`st_jacobi(src, dst)`).
+StencilModule buildStencil(const StencilConfig& config);
+
+/// Deterministic initial grid (boundary + interior pattern, bit-exact
+/// between the CPU reference and the device buffers).
+std::vector<float> initialGrid(const StencilConfig& config);
+
+/// CPU reference: run \p steps Jacobi iterations over initialGrid(),
+/// replicating the kernel's float operation order exactly. Returns the
+/// final grid.
+std::vector<float> runCpuStencil(const StencilConfig& config);
+
+/// A named golden edit (shared shape, see apps/golden_edit.h).
+using NamedEdit = apps::NamedEdit;
+using apps::editsOf;
+
+/// All planted optimizations: fold the four interior neighbour guards,
+/// delete the redundant barrier, reroute the centre load to the first
+/// coordinate chain (the duplicate chain then folds away as dead code).
+std::vector<NamedEdit> allGoldenEdits(const StencilModule& built);
+
+} // namespace gevo::stencil
+
+#endif // GEVO_APPS_STENCIL_KERNELS_H

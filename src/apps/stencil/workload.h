@@ -1,0 +1,14 @@
+/// \file
+/// Registry hookup for the Jacobi stencil workload.
+
+#ifndef GEVO_APPS_STENCIL_WORKLOAD_H
+#define GEVO_APPS_STENCIL_WORKLOAD_H
+
+namespace gevo::stencil {
+
+/// Register the "stencil" workload (see apps/registry.h for when).
+void registerWorkloads();
+
+} // namespace gevo::stencil
+
+#endif // GEVO_APPS_STENCIL_WORKLOAD_H

@@ -76,4 +76,25 @@ WorkloadRegistry::names() const
     return out;
 }
 
+std::vector<std::string>
+WorkloadRegistry::resolveList(const std::string& csv) const
+{
+    std::string known;
+    for (const auto& n : names())
+        known += (known.empty() ? "" : ", ") + n;
+    // split() yields at least one entry even for an empty csv, so the
+    // per-entry emptiness check also covers the empty-list case.
+    std::vector<std::string> out;
+    for (const auto& raw : split(csv, ',')) {
+        const auto name = std::string(trim(raw));
+        if (name.empty())
+            GEVO_FATAL("empty workload name in list '%s' (registered: "
+                       "%s)",
+                       csv.c_str(), known.c_str());
+        get(name); // fatal on unknown, listing what is registered
+        out.push_back(name);
+    }
+    return out;
+}
+
 } // namespace gevo::core

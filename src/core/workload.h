@@ -130,6 +130,13 @@ class WorkloadRegistry {
     /// Registered names, in registration order.
     std::vector<std::string> names() const;
 
+    /// Resolve a `--workloads=a,b,c` list: entries are trimmed and must
+    /// each name a registered workload. Fatal — listing what is
+    /// registered — on an unknown name, an empty entry (`a,,b`, a
+    /// trailing comma) or an empty list, so a typo can never silently
+    /// skip a workload a bench or CI gate was asked to cover.
+    std::vector<std::string> resolveList(const std::string& csv) const;
+
     std::size_t size() const { return entries_.size(); }
 
   private:

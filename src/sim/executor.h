@@ -72,6 +72,26 @@ struct LaunchStats {
     /// increment, not a hash-map probe. This is the nvprof stand-in behind
     /// the "31% boundary instructions" analysis.
     std::vector<std::uint64_t> locIssues;
+
+    /// Fold another launch's counters into this aggregate (drivers sum
+    /// their per-launch stats with this; `ms`, `cycles` and
+    /// `occupancyBlocks` are per-launch quantities and deliberately not
+    /// accumulated).
+    void
+    accumulate(const LaunchStats& s)
+    {
+        warpInstrs += s.warpInstrs;
+        laneInstrs += s.laneInstrs;
+        issueCycles += s.issueCycles;
+        divergences += s.divergences;
+        barriers += s.barriers;
+        sharedConflictWays += s.sharedConflictWays;
+        globalSectors += s.globalSectors;
+        if (locIssues.size() < s.locIssues.size())
+            locIssues.resize(s.locIssues.size(), 0);
+        for (std::size_t loc = 0; loc < s.locIssues.size(); ++loc)
+            locIssues[loc] += s.locIssues[loc];
+    }
 };
 
 /// Result of a launch.

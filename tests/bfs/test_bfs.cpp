@@ -1,0 +1,182 @@
+/// BFS workload: CPU reference properties, kernel-vs-reference
+/// differential over a divergent data-dependent traversal (the ROADMAP's
+/// noted trace-interpreter weak spot), golden-edit expectations, held-out
+/// OOB detection, and trace-vs-refpath interpreter agreement.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "apps/bfs/driver.h"
+#include "apps/bfs/kernels.h"
+#include "core/fitness.h"
+#include "ir/verifier.h"
+#include "mutation/patch.h"
+#include "sim/device_config.h"
+
+#include "../sim/sim_test_util.h"
+
+namespace gevo::bfs {
+namespace {
+
+BfsConfig
+smallConfig()
+{
+    BfsConfig cfg;
+    cfg.nodes = 128;
+    cfg.degree = 6;
+    return cfg;
+}
+
+TEST(BfsCpu, GraphAndDistancesAreWellFormed)
+{
+    const auto cfg = smallConfig();
+    const auto graph = makeGraph(cfg);
+    ASSERT_EQ(graph.rowPtr.size(),
+              static_cast<std::size_t>(cfg.nodes) + 1);
+    ASSERT_EQ(graph.colIdx.size(),
+              static_cast<std::size_t>(cfg.edges()));
+    for (std::int32_t u = 0; u < cfg.nodes; ++u) {
+        EXPECT_EQ(graph.rowPtr[static_cast<std::size_t>(u) + 1] -
+                      graph.rowPtr[static_cast<std::size_t>(u)],
+                  cfg.degree);
+        for (auto e = graph.rowPtr[static_cast<std::size_t>(u)];
+             e < graph.rowPtr[static_cast<std::size_t>(u) + 1]; ++e) {
+            const auto v = graph.colIdx[static_cast<std::size_t>(e)];
+            EXPECT_GE(v, 0);
+            EXPECT_LT(v, cfg.nodes);
+            EXPECT_NE(v, u); // no self-loops
+        }
+    }
+
+    const auto dist = runCpuBfs(cfg, graph);
+    EXPECT_EQ(dist[static_cast<std::size_t>(cfg.source)], 0);
+    // Every distance is consistent: a node at distance d > 0 has some
+    // in-neighbour at distance d - 1.
+    std::int32_t reached = 0;
+    for (std::int32_t v = 0; v < cfg.nodes; ++v) {
+        const auto dv = dist[static_cast<std::size_t>(v)];
+        if (dv < 0)
+            continue;
+        ++reached;
+        if (dv == 0)
+            continue;
+        bool hasParent = false;
+        for (std::int32_t u = 0; u < cfg.nodes && !hasParent; ++u) {
+            if (dist[static_cast<std::size_t>(u)] != dv - 1)
+                continue;
+            for (auto e = graph.rowPtr[static_cast<std::size_t>(u)];
+                 e < graph.rowPtr[static_cast<std::size_t>(u) + 1]; ++e)
+                if (graph.colIdx[static_cast<std::size_t>(e)] == v) {
+                    hasParent = true;
+                    break;
+                }
+        }
+        EXPECT_TRUE(hasParent) << "node " << v;
+    }
+    // Degree-6 uniform graph: essentially everything is reachable.
+    EXPECT_GT(reached, cfg.nodes / 2);
+}
+
+TEST(BfsKernels, ModuleVerifies)
+{
+    const auto built = buildBfs(smallConfig());
+    const auto res = ir::verifyModule(built.module);
+    EXPECT_TRUE(res.ok()) << res.message();
+    EXPECT_EQ(built.module.numFunctions(), 2u);
+}
+
+TEST(BfsKernels, GpuMatchesCpuExactly)
+{
+    const auto cfg = smallConfig();
+    const auto built = buildBfs(cfg);
+    const BfsDriver driver(cfg);
+    const auto out = driver.run(built.module, sim::p100());
+    ASSERT_TRUE(out.ok()) << out.fault.detail;
+    ASSERT_EQ(out.dist.size(), driver.expected().size());
+    for (std::size_t v = 0; v < out.dist.size(); ++v)
+        EXPECT_EQ(out.dist[v], driver.expected()[v]) << "node " << v;
+
+    // Level-synchronous loop: depth + 1 launches (the last discovers
+    // nothing and terminates the loop).
+    const auto depth =
+        *std::max_element(driver.expected().begin(),
+                          driver.expected().end());
+    EXPECT_EQ(out.levels, depth + 1);
+}
+
+TEST(BfsGolden, AllEditsPassAndSpeedUp)
+{
+    const auto cfg = smallConfig();
+    const auto built = buildBfs(cfg);
+    const BfsDriver driver(cfg);
+    const BfsFitness fitness(driver, sim::p100());
+
+    const auto baseline =
+        core::evaluateVariant(built.module, {}, fitness);
+    ASSERT_TRUE(baseline.valid) << baseline.failReason;
+
+    const auto golden = core::evaluateVariant(
+        built.module, editsOf(allGoldenEdits(built)), fitness);
+    ASSERT_TRUE(golden.valid) << golden.failReason;
+    EXPECT_LT(golden.ms, baseline.ms);
+
+    for (const auto& named : allGoldenEdits(built)) {
+        const auto one =
+            core::evaluateVariant(built.module, {named.edit}, fitness);
+        EXPECT_TRUE(one.valid) << named.name << ": " << one.failReason;
+        EXPECT_LE(one.ms, baseline.ms) << named.name;
+    }
+}
+
+/// A mutant that forces the unvisited test true re-claims every
+/// neighbour every level: the frontier never drains, so the driver's
+/// level cap must terminate the run (no host hang) and the distance
+/// check must reject the variant (no false accept).
+TEST(BfsGolden, FrontierSpinIsCappedAndInvalid)
+{
+    const auto cfg = smallConfig();
+    const auto built = buildBfs(cfg);
+    const BfsDriver driver(cfg);
+    const BfsFitness fitness(driver, sim::p100());
+
+    mut::Edit e;
+    e.kind = mut::EditKind::OperandReplace;
+    e.srcUid = built.uidOf("bfs.unseen.brc");
+    e.opIndex = 0;
+    e.newOperand = ir::Operand::imm(1);
+    const auto r = core::evaluateVariant(built.module, {e}, fitness);
+    EXPECT_FALSE(r.valid);
+
+    // And the capped run is observable at the driver level.
+    const auto patched = mut::applyPatch(built.module, {e});
+    const auto out = driver.run(patched, sim::p100());
+    if (out.ok()) {
+        EXPECT_EQ(out.levels, cfg.nodes);
+    }
+}
+
+TEST(BfsSim, TraceAndReferenceInterpretersAgree)
+{
+    const auto cfg = smallConfig();
+    const auto built = buildBfs(cfg);
+    const BfsDriver driver(cfg);
+    BfsRunOutput trace;
+    BfsRunOutput ref;
+    {
+        sim::testutil::InterpModeGuard g(sim::InterpMode::Trace);
+        trace = driver.run(built.module, sim::p100(), true);
+    }
+    {
+        sim::testutil::InterpModeGuard g(sim::InterpMode::Reference);
+        ref = driver.run(built.module, sim::p100(), true);
+    }
+    ASSERT_TRUE(trace.ok());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(trace.totalMs, ref.totalMs);
+    EXPECT_EQ(trace.dist, ref.dist);
+    EXPECT_EQ(trace.levels, ref.levels);
+    sim::testutil::expectStatsEqual(trace.aggregate, ref.aggregate);
+}
+
+} // namespace
+} // namespace gevo::bfs

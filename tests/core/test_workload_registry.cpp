@@ -1,15 +1,29 @@
-/// Workload registry: lookup semantics, knob precedence, and a round-trip
-/// that evolves every registered workload for two tiny generations.
+/// Workload registry: lookup semantics, knob precedence, strict
+/// `--workloads` list resolution, and a round-trip that evolves every
+/// registered workload for two tiny generations — plus a determinism
+/// matrix (threads 1/4, cache on/off, two islands) over the three
+/// non-paper workload families.
 
 #include "core/workload.h"
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "apps/registry.h"
 #include "core/engine.h"
+#include "mutation/edit.h"
 
 namespace gevo::core {
 namespace {
+
+/// Tiny build scale for every registered workload: the smallest grid the
+/// SIMCoV block size allows, a couple of alignment pairs, and scaled-down
+/// stencil/reduce/bfs instances.
+const std::map<std::string, std::string> kTinyKnobs = {
+    {"pairs", "2"},  {"grid", "16"},   {"steps", "2"}, {"elems", "1024"},
+    {"inputs", "1"}, {"nodes", "128"}, {"degree", "4"},
+};
 
 class WorkloadRegistryTest : public ::testing::Test {
   protected:
@@ -22,10 +36,16 @@ TEST_F(WorkloadRegistryTest, BuiltinsAreRegisteredOnce)
     // Registration is idempotent even when called again.
     apps::registerBuiltinWorkloads();
     const auto names = registry.names();
-    ASSERT_EQ(names.size(), 3u);
+    // The CI island smoke enumerates this set via --list-workloads and
+    // asserts at least five entries; keep the floor in lockstep.
+    ASSERT_GE(names.size(), 5u);
+    ASSERT_EQ(names.size(), 6u);
     EXPECT_EQ(names[0], "adept-v0");
     EXPECT_EQ(names[1], "adept-v1");
     EXPECT_EQ(names[2], "simcov");
+    EXPECT_EQ(names[3], "stencil");
+    EXPECT_EQ(names[4], "reduce");
+    EXPECT_EQ(names[5], "bfs");
     EXPECT_NE(registry.find("simcov"), nullptr);
     EXPECT_EQ(registry.find("nope"), nullptr);
 }
@@ -50,6 +70,34 @@ TEST_F(WorkloadRegistryTest, DuplicateRegistrationIsFatal)
         ::testing::ExitedWithCode(1), "registered twice");
 }
 
+TEST_F(WorkloadRegistryTest, ResolveListAcceptsKnownNamesAndTrims)
+{
+    const auto names = WorkloadRegistry::instance().resolveList(
+        "adept-v0, simcov ,bfs");
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "adept-v0");
+    EXPECT_EQ(names[1], "simcov");
+    EXPECT_EQ(names[2], "bfs");
+}
+
+/// Regression for the silent-skip class of bug: a bench asked to cover a
+/// workload list must die loudly — with the registered set printed — on
+/// a typo, a stray comma, or an empty list, never run a subset.
+TEST_F(WorkloadRegistryTest, ResolveListRejectsUnknownEmptyAndTrailing)
+{
+    auto& registry = WorkloadRegistry::instance();
+    EXPECT_EXIT(registry.resolveList("adept-v0,typo"),
+                ::testing::ExitedWithCode(1),
+                "unknown workload 'typo' \\(registered: adept-v0, "
+                "adept-v1, simcov, stencil, reduce, bfs\\)");
+    EXPECT_EXIT(registry.resolveList("adept-v0,"),
+                ::testing::ExitedWithCode(1), "empty workload name");
+    EXPECT_EXIT(registry.resolveList(""), ::testing::ExitedWithCode(1),
+                "empty workload name");
+    EXPECT_EXIT(registry.resolveList("adept-v0,,simcov"),
+                ::testing::ExitedWithCode(1), "empty workload name");
+}
+
 TEST_F(WorkloadRegistryTest, KnobPrecedenceIsFlagThenDefaultThenFallback)
 {
     WorkloadConfig config;
@@ -68,16 +116,16 @@ TEST_F(WorkloadRegistryTest, KnobPrecedenceIsFlagThenDefaultThenFallback)
 
 /// Every registered workload must build at tiny scale and survive a
 /// 2-generation search through the shared engine — the registry is only
-/// useful if its entries are uniformly drivable.
+/// useful if its entries are uniformly drivable. Also checks the
+/// golden-edit ceiling and its held-out validation for each.
 TEST_F(WorkloadRegistryTest, EveryWorkloadEvolvesTwoTinyGenerations)
 {
     auto& registry = WorkloadRegistry::instance();
+    ASSERT_GE(registry.size(), 5u);
     for (const auto& name : registry.names()) {
         const auto& workload = registry.get(name);
         WorkloadConfig config;
-        // Tiny scale: the smallest grid the SIMCoV block size allows and
-        // a couple of alignment pairs.
-        config.defaults = {{"pairs", "2"}, {"grid", "16"}, {"steps", "2"}};
+        config.defaults = kTinyKnobs;
         const auto instance = workload.make(config);
         ASSERT_NE(instance, nullptr) << name;
         EXPECT_GT(instance->module().numFunctions(), 0u) << name;
@@ -95,8 +143,8 @@ TEST_F(WorkloadRegistryTest, EveryWorkloadEvolvesTwoTinyGenerations)
         ASSERT_EQ(result.history.size(), 2u) << name;
         EXPECT_GT(result.history.back().evaluations, 0u) << name;
 
-        // The golden-edit ceiling (when present) must compile and pass —
-        // it is the paper's known-good configuration.
+        // The golden-edit ceiling (when present) must compile, pass and
+        // beat the baseline — it is the paper's known-good configuration.
         const auto golden = instance->goldenEdits();
         if (!golden.empty()) {
             const auto ceiling = evaluateVariant(instance->module(), golden,
@@ -104,6 +152,54 @@ TEST_F(WorkloadRegistryTest, EveryWorkloadEvolvesTwoTinyGenerations)
             EXPECT_TRUE(ceiling.valid) << name << ": "
                                        << ceiling.failReason;
             EXPECT_LT(ceiling.ms, result.baselineMs) << name;
+            // The new families' planted edits are dominated-guard folds
+            // and duplicate-chain reroutes: correct at every scale, so
+            // they must also survive held-out validation. (SIMCoV's
+            // golden set deliberately fails it — the Sec VI-D segfault.)
+            if (name == "stencil" || name == "reduce" || name == "bfs") {
+                EXPECT_EQ(instance->validateBest(golden), "") << name;
+            }
+        }
+    }
+}
+
+/// The acceptance bar for every new workload family: a 2-generation
+/// two-island search lands on the identical best edit list no matter the
+/// evaluation thread count or cache mode. (ADEPT and SIMCoV have the
+/// same property asserted at larger scale in core/test_island and
+/// sim/test_trace_interp.)
+TEST_F(WorkloadRegistryTest, NewFamiliesSearchDeterministically)
+{
+    auto& registry = WorkloadRegistry::instance();
+    for (const auto& name : {"stencil", "reduce", "bfs"}) {
+        const auto& workload = registry.get(name);
+        WorkloadConfig config;
+        config.defaults = kTinyKnobs;
+        const auto instance = workload.make(config);
+
+        std::optional<std::string> reference;
+        for (const std::uint32_t threads : {1u, 4u}) {
+            for (const bool useCache : {true, false}) {
+                EvolutionParams params = workload.searchDefaults;
+                params.populationSize = 6;
+                params.generations = 2;
+                params.elitism = 1;
+                params.seed = 23;
+                params.islands = 2;
+                params.migrationInterval = 1;
+                params.migrationCount = 1;
+                params.threads = threads;
+                params.useCache = useCache;
+                EvolutionEngine engine(instance->module(),
+                                       instance->fitness(), params);
+                const auto result = engine.run();
+                const auto key = mut::serializeEdits(result.best.edits);
+                if (!reference)
+                    reference = key;
+                EXPECT_EQ(key, *reference)
+                    << name << " threads=" << threads
+                    << " cache=" << useCache;
+            }
         }
     }
 }

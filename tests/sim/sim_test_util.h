@@ -36,6 +36,25 @@ class InterpModeGuard {
     InterpMode previous_;
 };
 
+/// Bit-identical LaunchStats comparison — shared by every differential
+/// suite (trace-vs-reference micro-kernels, app drivers, workload tests)
+/// so a new counter only has to be added here, not in each copy.
+inline void
+expectStatsEqual(const LaunchStats& a, const LaunchStats& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ms, b.ms); // bit-identical, not approximately
+    EXPECT_EQ(a.warpInstrs, b.warpInstrs);
+    EXPECT_EQ(a.laneInstrs, b.laneInstrs);
+    EXPECT_EQ(a.issueCycles, b.issueCycles);
+    EXPECT_EQ(a.divergences, b.divergences);
+    EXPECT_EQ(a.barriers, b.barriers);
+    EXPECT_EQ(a.sharedConflictWays, b.sharedConflictWays);
+    EXPECT_EQ(a.globalSectors, b.globalSectors);
+    EXPECT_EQ(a.occupancyBlocks, b.occupancyBlocks);
+    EXPECT_EQ(a.locIssues, b.locIssues);
+}
+
 /// Parse one kernel from text, verifying structure.
 inline Program
 compile(const char* text)

@@ -27,22 +27,7 @@ namespace {
 
 using ModeGuard = testutil::InterpModeGuard;
 using testutil::compile;
-
-void
-expectStatsEqual(const LaunchStats& a, const LaunchStats& b)
-{
-    EXPECT_EQ(a.cycles, b.cycles);
-    EXPECT_EQ(a.ms, b.ms); // bit-identical, not approximately
-    EXPECT_EQ(a.warpInstrs, b.warpInstrs);
-    EXPECT_EQ(a.laneInstrs, b.laneInstrs);
-    EXPECT_EQ(a.issueCycles, b.issueCycles);
-    EXPECT_EQ(a.divergences, b.divergences);
-    EXPECT_EQ(a.barriers, b.barriers);
-    EXPECT_EQ(a.sharedConflictWays, b.sharedConflictWays);
-    EXPECT_EQ(a.globalSectors, b.globalSectors);
-    EXPECT_EQ(a.occupancyBlocks, b.occupancyBlocks);
-    EXPECT_EQ(a.locIssues, b.locIssues);
-}
+using testutil::expectStatsEqual;
 
 /// Run \p prog under both interpreters on identically-prepared memory and
 /// assert bit-identical results, stats, faults, and final memory images.

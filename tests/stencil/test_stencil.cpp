@@ -1,0 +1,119 @@
+/// Stencil workload: CPU reference properties, kernel-vs-reference
+/// differential (bit-exact floats), golden-edit expectations, and
+/// trace-vs-refpath interpreter agreement.
+
+#include <gtest/gtest.h>
+
+#include "apps/stencil/driver.h"
+#include "apps/stencil/kernels.h"
+#include "core/fitness.h"
+#include "ir/verifier.h"
+#include "sim/device_config.h"
+
+#include "../sim/sim_test_util.h"
+
+namespace gevo::stencil {
+namespace {
+
+StencilConfig
+smallConfig()
+{
+    StencilConfig cfg;
+    cfg.gridW = 16;
+    cfg.steps = 3;
+    return cfg;
+}
+
+TEST(StencilCpu, DeterministicAndBoundaryHeld)
+{
+    const auto cfg = smallConfig();
+    const auto a = runCpuStencil(cfg);
+    const auto b = runCpuStencil(cfg);
+    EXPECT_EQ(a, b);
+
+    // Dirichlet boundary: edge cells never change.
+    const auto init = initialGrid(cfg);
+    const auto W = cfg.gridW;
+    for (std::int32_t i = 0; i < cfg.cells(); ++i) {
+        const auto x = i % W;
+        const auto y = i / W;
+        if (x == 0 || x == W - 1 || y == 0 || y == W - 1) {
+            EXPECT_EQ(a[static_cast<std::size_t>(i)],
+                      init[static_cast<std::size_t>(i)])
+                << i;
+        }
+    }
+
+    // And the interior actually diffuses (the kernel is not a no-op).
+    EXPECT_NE(a, init);
+}
+
+TEST(StencilKernels, ModuleVerifies)
+{
+    const auto built = buildStencil(smallConfig());
+    const auto res = ir::verifyModule(built.module);
+    EXPECT_TRUE(res.ok()) << res.message();
+    EXPECT_EQ(built.module.numFunctions(), 1u);
+}
+
+TEST(StencilKernels, GpuMatchesCpuExactly)
+{
+    const auto cfg = smallConfig();
+    const auto built = buildStencil(cfg);
+    const StencilDriver driver(cfg);
+    const auto out = driver.run(built.module, sim::p100());
+    ASSERT_TRUE(out.ok()) << out.fault.detail;
+    ASSERT_EQ(out.grid.size(), driver.expected().size());
+    for (std::size_t i = 0; i < out.grid.size(); ++i)
+        EXPECT_EQ(out.grid[i], driver.expected()[i]) << "cell " << i;
+}
+
+TEST(StencilGolden, AllEditsPassAndSpeedUp)
+{
+    const auto cfg = smallConfig();
+    const auto built = buildStencil(cfg);
+    const StencilDriver driver(cfg);
+    const StencilFitness fitness(driver, sim::p100());
+
+    const auto baseline =
+        core::evaluateVariant(built.module, {}, fitness);
+    ASSERT_TRUE(baseline.valid) << baseline.failReason;
+
+    const auto golden = core::evaluateVariant(
+        built.module, editsOf(allGoldenEdits(built)), fitness);
+    ASSERT_TRUE(golden.valid) << golden.failReason;
+    EXPECT_LT(golden.ms, baseline.ms);
+
+    // Each planted edit is independently valid and non-degrading.
+    for (const auto& named : allGoldenEdits(built)) {
+        const auto one =
+            core::evaluateVariant(built.module, {named.edit}, fitness);
+        EXPECT_TRUE(one.valid) << named.name << ": " << one.failReason;
+        EXPECT_LE(one.ms, baseline.ms) << named.name;
+    }
+}
+
+TEST(StencilSim, TraceAndReferenceInterpretersAgree)
+{
+    const auto cfg = smallConfig();
+    const auto built = buildStencil(cfg);
+    const StencilDriver driver(cfg);
+    StencilRunOutput trace;
+    StencilRunOutput ref;
+    {
+        sim::testutil::InterpModeGuard g(sim::InterpMode::Trace);
+        trace = driver.run(built.module, sim::p100(), true);
+    }
+    {
+        sim::testutil::InterpModeGuard g(sim::InterpMode::Reference);
+        ref = driver.run(built.module, sim::p100(), true);
+    }
+    ASSERT_TRUE(trace.ok());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(trace.totalMs, ref.totalMs);
+    EXPECT_EQ(trace.grid, ref.grid);
+    sim::testutil::expectStatsEqual(trace.aggregate, ref.aggregate);
+}
+
+} // namespace
+} // namespace gevo::stencil
