@@ -52,6 +52,10 @@ struct RunStats {
     std::size_t requests = 0;    ///< Individuals scored (pop x gens).
     std::size_t simulations = 0; ///< Requests that cost pipeline work.
     std::size_t preloaded = 0;   ///< Entries loaded from a cache file.
+    /// Evaluations that killed/wedged their worker (isolated backend;
+    /// always 0 in-process unless a fault is injected).
+    std::size_t evalFailures = 0;
+    std::size_t quarantined = 0; ///< Quarantined genotypes at run end.
     double speedup = 0.0;        ///< Search result (baseline / best).
     std::string bestEdits;       ///< Serialized best edit list.
 
@@ -91,6 +95,8 @@ runSearch(const core::WorkloadInstance& instance,
     for (const auto& log : result.history)
         s.simulations += log.cacheMisses;
     s.preloaded = result.cacheSummary.preloaded;
+    s.evalFailures = result.evalFailures;
+    s.quarantined = result.quarantined;
     s.speedup = result.speedup();
     s.bestEdits = mut::serializeEdits(result.best.edits);
     return s;
@@ -225,10 +231,11 @@ jsonMode(std::FILE* f, const char* name, const RunStats& s, bool last)
                  "        \"%s\": {\"variants_per_s\": %.2f, "
                  "\"hit_rate\": %.4f, \"requests\": %zu, "
                  "\"evaluated\": %zu, \"preloaded\": %zu, "
+                 "\"evalFailures\": %zu, \"quarantined\": %zu, "
                  "\"wall_s\": %.4f}%s\n",
                  name, s.variantsPerSec(), s.hitRate(), s.requests,
-                 s.simulations, s.preloaded, s.seconds,
-                 last ? "" : ",");
+                 s.simulations, s.preloaded, s.evalFailures,
+                 s.quarantined, s.seconds, last ? "" : ",");
 }
 
 /// Write the machine-readable artifact. Workload names come from the

@@ -9,16 +9,33 @@
 /// best edits back to source locations (Sec VI methodology) and compare
 /// against the golden-edit ceiling.
 
+#include <csignal>
 #include <cstdio>
 
 #include "apps/registry.h"
 #include "core/engine.h"
 #include "core/workload.h"
+#include "mutation/edit.h"
 #include "support/flags.h"
+#include "support/logging.h"
 
 using namespace gevo;
 
 namespace {
+
+/// Engine behind the SIGINT/SIGTERM handlers. A signal asks the engine
+/// to finish the in-flight generation, write the final checkpoint and
+/// cache saves, and return normally — no state is torn down from inside
+/// the handler (requestStop is one lock-free atomic store, the only
+/// thing that is async-signal-safe to do here).
+core::EvolutionEngine* g_engine = nullptr;
+
+void
+onStopSignal(int)
+{
+    if (g_engine != nullptr)
+        g_engine->requestStop();
+}
 
 void
 printHelp(const core::WorkloadRegistry& registry)
@@ -50,6 +67,30 @@ printHelp(const core::WorkloadRegistry& registry)
         .flag("migration-interval", "<n>",
               "generations between ring migrations (0 = isolated)")
         .flag("migration-count", "<n>", "individuals migrated per edge");
+    usage.section("robustness")
+        .flag("backend", "<kind>",
+              "evaluation backend: inprocess (default, fastest) or "
+              "isolated (fork-per-batch workers; a crashing/hanging "
+              "variant is penalized and quarantined instead of killing "
+              "the search)")
+        .flag("eval-timeout-ms", "<n>",
+              "isolated-backend watchdog budget per evaluation (default "
+              "30000)")
+        .flag("checkpoint-path", "<file>",
+              "durable search-state snapshots: save every "
+              "checkpoint-interval generations and on completion or "
+              "SIGINT/SIGTERM (default off)")
+        .flag("checkpoint-interval", "<n>",
+              "generations between periodic checkpoints (default 10, 0 = "
+              "only on completion/interruption)")
+        .flag("resume", "",
+              "restore search state from --checkpoint-path and continue; "
+              "the resumed trajectory is bit-identical to an "
+              "uninterrupted run")
+        .flag("dump-history", "<file>",
+              "write the per-generation history (deterministic fields "
+              "only, exact float bits) to a file — resumed and "
+              "uninterrupted runs produce byte-identical dumps");
     usage.section("registered workloads");
     for (const auto& name : registry.names()) {
         const auto& w = registry.get(name);
@@ -77,6 +118,38 @@ locateEdit(const ir::Module& module, const mut::Edit& e)
         }
     }
     return "(location unknown)";
+}
+
+/// Write the per-generation history restricted to its deterministic
+/// fields — %a renders exact float bits; cacheHits/cacheMisses are
+/// deliberately excluded (they wobble under threads > 1 and across a
+/// resume's cold cache, the trajectory does not). A resumed run and an
+/// uninterrupted run of the same search produce byte-identical dumps,
+/// which is exactly what the CI crash-resilience smoke diffs.
+void
+dumpHistory(const std::string& path, const core::SearchResult& result)
+{
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        GEVO_FATAL("cannot open '%s' for writing", path.c_str());
+    for (const auto& log : result.history) {
+        std::string edits = mut::serializeEdits(log.bestEdits);
+        for (auto& c : edits) {
+            if (c == '\n')
+                c = '|';
+        }
+        std::fprintf(f,
+                     "gen %u best %a mean %a valid %zu evals %zu qhits "
+                     "%zu crash %zu timeout %zu protocol %zu islands",
+                     log.generation, log.bestMs, log.meanMs,
+                     log.validCount, log.evaluations, log.quarantineHits,
+                     log.workerCrashes, log.workerTimeouts,
+                     log.protocolErrors);
+        for (const double ms : log.islandBestMs)
+            std::fprintf(f, " %a", ms);
+        std::fprintf(f, " edits %s\n", edits.c_str());
+    }
+    std::fclose(f);
 }
 
 } // namespace
@@ -131,6 +204,21 @@ main(int argc, char** argv)
         flags.getInt("migration-interval", params.migrationInterval));
     params.migrationCount = static_cast<std::uint32_t>(
         flags.getInt("migration-count", params.migrationCount));
+    const auto backendName = flags.getChoice(
+        "backend", {"inprocess", "isolated"},
+        params.backend == core::EvalBackendKind::Isolated ? "isolated"
+                                                          : "inprocess");
+    params.backend = backendName == "isolated"
+                         ? core::EvalBackendKind::Isolated
+                         : core::EvalBackendKind::InProcess;
+    params.evalTimeoutMs = static_cast<std::uint32_t>(
+        flags.getInt("eval-timeout-ms", params.evalTimeoutMs));
+    params.checkpointPath =
+        flags.getString("checkpoint-path", params.checkpointPath);
+    params.checkpointInterval = static_cast<std::uint32_t>(
+        flags.getInt("checkpoint-interval", params.checkpointInterval));
+    params.resume = flags.getBool("resume", params.resume);
+    const auto dumpPath = flags.getString("dump-history", "");
 
     const auto topology = core::makeTopology(params);
     std::printf("%s: %s\n", workload.name.c_str(),
@@ -144,6 +232,13 @@ main(int argc, char** argv)
 
     core::EvolutionEngine engine(instance->module(), instance->fitness(),
                                  params);
+    // A Ctrl-C (or a scheduler's SIGTERM) ends the run gracefully: the
+    // in-flight generation completes, the final checkpoint and cache
+    // saves are written, and the summary below still prints — so a
+    // multi-hour campaign never loses work to an interactive stop.
+    g_engine = &engine;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
     const std::uint32_t stride = params.generations <= 12 ? 1 : 5;
     const auto result = engine.run(
         [&](const core::GenerationLog& log, const core::SearchResult& r) {
@@ -159,6 +254,23 @@ main(int argc, char** argv)
             std::printf(")\n");
         });
 
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_engine = nullptr;
+    if (!dumpPath.empty())
+        dumpHistory(dumpPath, result);
+
+    if (result.interrupted)
+        std::printf("\ninterrupted: stopped after generation %zu of %u; "
+                    "state saved%s — re-run with --resume to continue\n",
+                    result.history.size() ? result.history.back().generation
+                                          : std::size_t{0},
+                    params.generations,
+                    params.checkpointPath.empty()
+                        ? " (no --checkpoint-path: progress is in the "
+                          "cache only)"
+                        : "");
+
     std::printf("\nbest: %.3fx with %zu edits\n", result.speedup(),
                 result.best.edits.size());
     std::printf("cache: %zu served, %zu evaluated, %zu entries (%zu "
@@ -167,6 +279,11 @@ main(int argc, char** argv)
                 result.cacheSummary.entries,
                 result.cacheSummary.preloaded,
                 result.cacheSummary.evictions);
+    std::printf("robustness: %zu eval failures, %zu quarantined\n",
+                result.evalFailures, result.quarantined);
+    if (result.interrupted)
+        return 0; // Partial run: skip validation/ceiling of a mid-search
+                  // best (the summary above is the deliverable).
 
     std::printf("\nedit -> source mapping:\n");
     for (const auto& e : result.best.edits)

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <unordered_set>
 
 #include <unistd.h>
 
@@ -217,6 +218,35 @@ saveCacheStore(const std::string& path, std::uint64_t scope,
         return false;
     }
     return true;
+}
+
+bool
+mergeSaveCacheStore(const std::string& path, std::uint64_t scope,
+                    const std::vector<CacheStoreRecord>& records,
+                    std::string* error)
+{
+    // Read-merge-write is not atomic as a whole — a save landing between
+    // our load and our rename wins the rename race and its entries are
+    // picked up by OUR next merge instead. Every published file is still
+    // complete and self-consistent; interleaving only delays union, it
+    // never corrupts.
+    const CacheLoadResult existing = loadCacheStore(path, scope);
+    if (!existing.usable() || existing.records.empty())
+        return saveCacheStore(path, scope, records, error);
+
+    std::unordered_set<std::string> fresh;
+    fresh.reserve(records.size());
+    for (const auto& rec : records)
+        fresh.insert(static_cast<char>(rec.level) + rec.key);
+
+    std::vector<CacheStoreRecord> merged;
+    merged.reserve(existing.records.size() + records.size());
+    for (const auto& rec : existing.records) {
+        if (!fresh.count(static_cast<char>(rec.level) + rec.key))
+            merged.push_back(rec);
+    }
+    merged.insert(merged.end(), records.begin(), records.end());
+    return saveCacheStore(path, scope, merged, error);
 }
 
 } // namespace gevo::core

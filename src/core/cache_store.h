@@ -114,6 +114,22 @@ bool saveCacheStore(const std::string& path, std::uint64_t scope,
                     const std::vector<CacheStoreRecord>& records,
                     std::string* error = nullptr);
 
+/// saveCacheStore, but first union \p records with whatever a same-scope
+/// file at \p path already holds ((level, key) identity; \p records win
+/// on collision — harmless, since both sides of a collision are values of
+/// the same deterministic function). Two searches sharing a cache path
+/// interleave their saves without clobbering each other's entries: each
+/// save preserves everything the other has published so far, instead of
+/// last-writer-wins discarding it. Disk-only entries are emitted first,
+/// in file order, so they re-enter LRU older than this process's own
+/// (fresher) snapshot. A missing, mismatched or damaged existing file
+/// contributes nothing (its good prefix still merges when only the tail
+/// is damaged). Returns false with \p error set only when the final
+/// write fails.
+bool mergeSaveCacheStore(const std::string& path, std::uint64_t scope,
+                         const std::vector<CacheStoreRecord>& records,
+                         std::string* error = nullptr);
+
 } // namespace gevo::core
 
 #endif // GEVO_CORE_CACHE_STORE_H

@@ -1,0 +1,118 @@
+/// \file
+/// Durable search-state snapshots: kill -9 a long campaign, `--resume`,
+/// and replay to the bit-identical trajectory of an uninterrupted run.
+///
+/// A checkpoint captures everything the next generation depends on —
+/// per-island populations with their evaluated fitness, per-island RNG
+/// streams mid-sequence (support/rng.h state()/setState()), the
+/// generation counter, the full GenerationLog history, the incumbent
+/// best, and the quarantine set (core/eval_backend.h). It deliberately
+/// captures NOTHING the trajectory does not depend on: cache contents are
+/// trajectory-neutral (every entry is a deterministic function of its
+/// key) and already have their own persistence (core/cache_store.h), so a
+/// resumed run may re-simulate work a warm cache would have served —
+/// cacheHits/cacheMisses wobble, the trajectory does not.
+///
+/// File format (all integers little-endian), following the cache-store
+/// discipline — magic + version + scope header, CRC-32 framed records,
+/// atomic temp+rename saves — with one deliberate difference: any damage
+/// anywhere rejects the WHOLE file. The cache keeps its good prefix
+/// because records are independent; a checkpoint is one consistent state,
+/// and resuming from half of it would silently fork the trajectory.
+///
+///   header   "GEVOCKPT" magic (8 bytes) + u32 format version
+///            + u64 scope fingerprint
+///   record*  u32 payloadLen | u32 crc32(payload) | payload
+///   records  meta, best individual, islands[i]..., history[g]...,
+///            quarantine (exact count and order fixed by meta)
+///
+/// The scope fingerprint binds a checkpoint to the search that wrote it:
+/// compiled-baseline content + fitness name + every trajectory-relevant
+/// parameter (population size, operator probabilities, seed, island
+/// layout, sampler weights). Trajectory-NEUTRAL knobs — thread count,
+/// cache settings, backend, generation budget — are excluded on purpose:
+/// resuming with more threads, a different backend, or a raised
+/// `--gens` (extending a finished search) is sound and supported.
+
+#ifndef GEVO_CORE_CHECKPOINT_H
+#define GEVO_CORE_CHECKPOINT_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/population.h"
+
+namespace gevo::core {
+
+/// Current checkpoint format version. Bump on any layout change: the
+/// loader rejects other versions wholesale.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One island's durable state.
+struct CheckpointIsland {
+    /// The island's xoshiro256** stream, captured mid-sequence.
+    std::array<std::uint64_t, 4> rngState{};
+    double bestMs = 0.0; ///< Island best-so-far fitness.
+    /// The population as bred for the next generation (fitness and
+    /// evaluated flags included, so elites and migrants skip
+    /// re-evaluation exactly as they would have in the original run).
+    std::vector<Individual> members;
+};
+
+/// Full durable search state.
+struct CheckpointState {
+    /// Last fully completed generation (its log is in `history`; the
+    /// islands are already bred for generation + 1).
+    std::uint32_t generation = 0;
+    /// The run completed its generation budget (as opposed to being
+    /// checkpointed mid-search or interrupted). Informational: resume
+    /// decides what to do from `generation` alone.
+    bool finished = false;
+    double baselineMs = 0.0;
+    Individual best; ///< Incumbent best over the whole run.
+    std::vector<GenerationLog> history;
+    std::vector<CheckpointIsland> islands;
+    /// Canonical edit-list keys of quarantined genotypes, sorted.
+    std::vector<std::string> quarantine;
+};
+
+/// Outcome of reading a checkpoint file.
+struct CheckpointLoadResult {
+    enum class Status {
+        Ok,              ///< `state` holds the complete snapshot.
+        Missing,         ///< No file at the path.
+        BadHeader,       ///< Too short / wrong magic.
+        VersionMismatch, ///< Another format version.
+        ScopeMismatch,   ///< Saved by a trajectory-incompatible search.
+        Corrupt,         ///< Damaged anywhere — whole file rejected.
+    };
+
+    Status status = Status::Missing;
+    CheckpointState state;
+    /// Human-readable detail for warnings (empty when Ok).
+    std::string message;
+
+    bool usable() const { return status == Status::Ok; }
+};
+
+/// Read a checkpoint. \p expectedScope must match the fingerprint the
+/// file was saved with; 0 skips the check (diagnostic tooling). Never
+/// throws and never terminates: every failure mode maps to a status the
+/// caller can warn about and degrade to a cold start.
+CheckpointLoadResult loadCheckpoint(const std::string& path,
+                                    std::uint64_t expectedScope = 0);
+
+/// Atomically replace \p path with a snapshot of \p state under \p scope
+/// (process-unique temp + rename, same discipline as saveCacheStore).
+/// Returns false with \p error set on I/O failure; the previous file, if
+/// any, is left intact.
+bool saveCheckpoint(const std::string& path, std::uint64_t scope,
+                    const CheckpointState& state,
+                    std::string* error = nullptr);
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_CHECKPOINT_H

@@ -1,11 +1,13 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <unordered_map>
 
 #include "core/cache_store.h"
+#include "core/checkpoint.h"
+#include "core/eval_backend.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace gevo::core {
 
@@ -20,6 +22,63 @@ std::uint64_t
 islandSeed(std::uint64_t seed, std::uint32_t island)
 {
     return seed ^ (0x9e3779b97f4a7c15ULL * island);
+}
+
+/// The deterministic score served for quarantined genotypes. Same
+/// valid/ms as every evaluation-failure penalty (invalid, +inf), so a
+/// resumed run that serves this from the restored quarantine set sorts
+/// and breeds exactly like the uninterrupted run that saw the original
+/// failure.
+FitnessResult
+quarantinePenalty()
+{
+    return FitnessResult::fail("quarantined: evaluating this genotype "
+                               "previously killed its worker");
+}
+
+void
+countFailure(GenerationLog* log, EvalFailure failure)
+{
+    switch (failure) {
+      case EvalFailure::WorkerCrash:
+        ++log->workerCrashes;
+        break;
+      case EvalFailure::WorkerTimeout:
+        ++log->workerTimeouts;
+        break;
+      case EvalFailure::ProtocolError:
+        ++log->protocolErrors;
+        break;
+      case EvalFailure::None:
+        break;
+    }
+}
+
+/// Checkpoint scope fingerprint: the cache-scope inputs (compiled
+/// baseline content + fitness name) plus every trajectory-relevant
+/// parameter. Doubles are rendered with %a so the fingerprint is exact.
+/// Trajectory-neutral knobs (threads, cache settings, backend, the
+/// generation budget) are excluded on purpose — see core/checkpoint.h.
+std::uint64_t
+checkpointScopeOf(const CompiledVariant& baselineCv,
+                  const FitnessFunction& fitness,
+                  const EvolutionParams& p)
+{
+    const auto& w = p.sampler;
+    const std::string fingerprint = strformat(
+        "pop=%u eli=%u xov=%a mut=%a app=%a tour=%u seed=%llu isl=%u "
+        "mig=%u,%u w=%a,%a,%a,%a,%a,%a",
+        p.populationSize, p.elitism, p.crossoverProb, p.mutationProb,
+        p.mutationAppendProb, p.tournamentSize,
+        static_cast<unsigned long long>(p.seed), p.islands,
+        p.migrationInterval, p.migrationCount, w.wDelete, w.wCopy, w.wMove,
+        w.wReplace, w.wSwap, w.wOperand);
+    std::uint64_t scope =
+        VariantCache::hashKey(baselineCv.programs.contentKey() + '\n' +
+                              fitness.name() + '\n' + fingerprint);
+    if (scope == 0) // 0 means "don't check" to the loader.
+        scope = 1;
+    return scope;
 }
 
 } // namespace
@@ -44,32 +103,74 @@ EvolutionEngine::EvolutionEngine(const ir::Module& base,
     if (params_.migrationCount >= params_.populationSize)
         GEVO_FATAL("migrationCount (%u) must be below populationSize (%u)",
                    params_.migrationCount, params_.populationSize);
+    if (params_.backend == EvalBackendKind::Isolated &&
+        params_.evalTimeoutMs == 0)
+        GEVO_FATAL("evalTimeoutMs must be > 0 with the isolated backend "
+                   "(the watchdog needs a budget)");
+    if (params_.resume && params_.checkpointPath.empty())
+        GEVO_FATAL("resume requires a checkpointPath");
     GEVO_ASSERT(topology_->islandCount() >= 1, "no islands");
 }
 
 void
-EvolutionEngine::evaluateIslands(ThreadPool& pool,
+EvolutionEngine::evaluateIslands(EvaluationBackend& backend,
                                  std::vector<Island>* islands,
                                  GenerationLog* log)
 {
     if (!params_.useCache) {
         // Reference path: literal compile-per-call — every individual of
         // every island is re-patched, re-cleaned, re-verified, re-decoded
-        // and re-simulated every generation, with no memo of any kind.
-        // Deterministic fitness makes this trajectory-identical to the
-        // cached path.
+        // and re-simulated every generation, with no memo of any kind
+        // (the null programCache keeps the backend from even computing
+        // content keys). Deterministic fitness makes this trajectory-
+        // identical to the cached path.
         std::vector<Individual*> all;
         for (auto& island : *islands) {
             for (auto& ind : island.pop.members())
                 all.push_back(&ind);
         }
-        pool.parallelFor(all.size(), [&](std::size_t i) {
-            Individual* ind = all[i];
-            ind->fitness = evaluateVariant(base_, ind->edits, fitness_);
-            ind->evaluated = true;
-        });
         log->evaluations += all.size();
-        log->cacheMisses += all.size();
+
+        // Quarantine screen. Only taken once something is quarantined:
+        // until then the reference path computes no canonical keys at
+        // all, exactly as before the backend seam existed.
+        std::vector<Individual*> todo;
+        std::vector<std::string> todoKeys;
+        if (quarantine_.empty()) {
+            todo = std::move(all);
+        } else {
+            todoKeys.reserve(all.size());
+            for (auto* ind : all) {
+                std::string key = VariantCache::keyOf(ind->edits);
+                if (quarantine_.count(key) != 0) {
+                    ind->fitness = quarantinePenalty();
+                    ind->evaluated = true;
+                    ++log->quarantineHits;
+                } else {
+                    todo.push_back(ind);
+                    todoKeys.push_back(std::move(key));
+                }
+            }
+        }
+
+        std::vector<const std::vector<mut::Edit>*> batch;
+        batch.reserve(todo.size());
+        for (const auto* ind : todo)
+            batch.push_back(&ind->edits);
+        std::vector<EvalOutcome> outcomes;
+        backend.evaluateBatch(batch, nullptr, &outcomes);
+        for (std::size_t i = 0; i < todo.size(); ++i) {
+            todo[i]->fitness = outcomes[i].result;
+            todo[i]->evaluated = true;
+            if (outcomes[i].failure != EvalFailure::None) {
+                countFailure(log, outcomes[i].failure);
+                quarantine_.insert(
+                    todoKeys.empty() ? VariantCache::keyOf(todo[i]->edits)
+                                     : todoKeys[i]);
+            }
+        }
+        log->cacheMisses += batch.size();
+        log->cacheHits += log->quarantineHits;
         return;
     }
 
@@ -100,9 +201,16 @@ EvolutionEngine::evaluateIslands(ThreadPool& pool,
             reps.push_back(i);
     }
 
-    // Serve representatives from the cross-generation cache.
+    // Serve representatives from the quarantine set and the
+    // cross-generation cache.
     std::vector<std::size_t> missing;
     for (const std::size_t rep : reps) {
+        if (!quarantine_.empty() && quarantine_.count(keys[rep]) != 0) {
+            todo[rep]->fitness = quarantinePenalty();
+            todo[rep]->evaluated = true;
+            ++log->quarantineHits;
+            continue;
+        }
         FitnessResult cached;
         if (cache_.lookup(keys[rep], &cached)) {
             todo[rep]->fitness = cached;
@@ -112,34 +220,39 @@ EvolutionEngine::evaluateIslands(ThreadPool& pool,
         }
     }
 
-    // Compile each unique miss once, in parallel. Simulation — the
-    // expensive stage — only runs when the compiled program itself is
-    // novel: distinct edit lists routinely clean up to identical programs,
-    // which the program-content cache collapses. Results go into both
-    // cache levels from the worker threads.
-    std::atomic<std::size_t> simulations{0};
-    std::atomic<std::size_t> rejected{0};
-    pool.parallelFor(missing.size(), [&](std::size_t i) {
+    // Dispatch each unique miss to the backend (compile once; simulation
+    // — the expensive stage — only runs when the compiled program itself
+    // is novel: distinct edit lists routinely clean up to identical
+    // programs, which the program-content cache collapses).
+    std::vector<const std::vector<mut::Edit>*> batch;
+    batch.reserve(missing.size());
+    for (const std::size_t rep : missing)
+        batch.push_back(&todo[rep]->edits);
+    std::vector<EvalOutcome> outcomes;
+    backend.evaluateBatch(batch, &programCache_, &outcomes);
+
+    // Settle outcomes in deterministic representative order. The level-0
+    // insert happens here, parent-side, because the backend may have run
+    // the evaluation in another process; failures go to quarantine
+    // instead of the cache (the caches hold values of the deterministic
+    // fitness function — a dead worker is not one).
+    std::size_t worked = 0;
+    for (std::size_t i = 0; i < missing.size(); ++i) {
         const std::size_t rep = missing[i];
         Individual* ind = todo[rep];
-        const CompiledVariant cv = compileVariant(base_, ind->edits);
-        if (!cv.ok) {
-            ind->fitness = FitnessResult::fail(cv.failReason);
-            rejected.fetch_add(1, std::memory_order_relaxed);
-        } else {
-            const std::string programKey = cv.programs.contentKey();
-            FitnessResult cached;
-            if (programCache_.lookup(programKey, &cached)) {
-                ind->fitness = cached;
-            } else {
-                ind->fitness = fitness_.evaluate(cv);
-                simulations.fetch_add(1, std::memory_order_relaxed);
-                programCache_.insert(programKey, ind->fitness);
-            }
-        }
+        const EvalOutcome& outcome = outcomes[i];
+        ind->fitness = outcome.result;
         ind->evaluated = true;
+        if (outcome.failure != EvalFailure::None) {
+            countFailure(log, outcome.failure);
+            quarantine_.insert(keys[rep]);
+            ++worked; // It cost (and killed) a worker's pipeline attempt.
+            continue;
+        }
         cache_.insert(keys[rep], ind->fitness);
-    });
+        if (outcome.simulated || outcome.rejected)
+            ++worked;
+    }
 
     // Fan representative results out to within-generation duplicates.
     for (std::size_t i = 0; i < todo.size(); ++i) {
@@ -148,14 +261,13 @@ EvolutionEngine::evaluateIslands(ThreadPool& pool,
             todo[i]->evaluated = true;
         }
     }
-    // A miss is a request that cost real pipeline work: a simulation, or
-    // a compile the verifier rejected. Everything else was served from a
-    // memo/cache level. (Under concurrency two workers can race to
-    // first-simulate the same novel program; the values are deterministic
-    // either way, only these counters can wobble by the overlap.)
-    const std::size_t worked =
-        simulations.load(std::memory_order_relaxed) +
-        rejected.load(std::memory_order_relaxed);
+    // A miss is a request that cost real pipeline work: a simulation, a
+    // compile the verifier rejected, or an evaluation that took its
+    // worker down. Everything else was served from a memo/cache level —
+    // the quarantine set included. (Under concurrency two workers can
+    // race to first-simulate the same novel program; the values are
+    // deterministic either way, only these counters can wobble by the
+    // overlap.)
     log->cacheMisses += worked;
     log->cacheHits += todo.size() - worked;
 }
@@ -202,18 +314,52 @@ EvolutionEngine::savePersistentCaches() const
         records.push_back({0, std::move(key), fitnessResult});
     for (auto& [key, fitnessResult] : programCache_.snapshot())
         records.push_back({1, std::move(key), fitnessResult});
+    // Merge-on-save: concurrent searches sharing this cache path union
+    // their snapshots instead of last-writer-wins clobbering each other.
     std::string error;
-    if (!saveCacheStore(params_.cachePath, cacheScope_, records, &error))
+    if (!mergeSaveCacheStore(params_.cachePath, cacheScope_, records,
+                             &error))
         warn("cache save to '%s' failed (%s); continuing without "
              "persistence",
              params_.cachePath.c_str(), error.c_str());
+}
+
+void
+EvolutionEngine::saveSearchCheckpoint(const std::vector<Island>& islands,
+                                      const SearchResult& result,
+                                      std::uint32_t lastGen,
+                                      bool finished) const
+{
+    CheckpointState st;
+    st.generation = lastGen;
+    st.finished = finished;
+    st.baselineMs = result.baselineMs;
+    st.best = result.best;
+    st.history = result.history;
+    st.islands.reserve(islands.size());
+    for (const auto& island : islands) {
+        CheckpointIsland ci;
+        ci.rngState = island.rng.state();
+        ci.bestMs = island.bestMs;
+        ci.members = island.pop.members();
+        st.islands.push_back(std::move(ci));
+    }
+    st.quarantine.assign(quarantine_.begin(), quarantine_.end());
+    std::sort(st.quarantine.begin(), st.quarantine.end());
+    std::string error;
+    if (!saveCheckpoint(params_.checkpointPath, checkpointScope_, st,
+                        &error))
+        warn("checkpoint save to '%s' failed (%s); continuing without "
+             "durability",
+             params_.checkpointPath.c_str(), error.c_str());
 }
 
 SearchResult
 EvolutionEngine::run(const GenerationCallback& onGeneration)
 {
     SearchResult result;
-    ThreadPool pool(params_.threads);
+    stopRequested_.store(false, std::memory_order_relaxed);
+    quarantine_.clear();
 
     const auto baselineCv = compileVariant(base_, {});
     if (!baselineCv.ok)
@@ -248,20 +394,74 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         programCache_.insert(baselineCv.programs.contentKey(), baseline);
     }
 
+    const auto backend = makeBackend(base_, fitness_, params_);
+
     const std::uint32_t numIslands = topology_->islandCount();
     std::vector<Island> islands;
     islands.reserve(numIslands);
-    for (std::uint32_t i = 0; i < numIslands; ++i) {
-        islands.push_back({Population(base_, params_),
-                           Rng(islandSeed(params_.seed, i)),
-                           baseline.ms});
-        islands.back().pop.seed(islands.back().rng);
+
+    // ---- checkpoint restore (or cold start) ----
+    const bool checkpointing = !params_.checkpointPath.empty();
+    if (checkpointing)
+        checkpointScope_ = checkpointScopeOf(baselineCv, fitness_, params_);
+    std::uint32_t startGen = 1;
+    bool restored = false;
+    if (checkpointing && params_.resume) {
+        const auto load =
+            loadCheckpoint(params_.checkpointPath, checkpointScope_);
+        using Status = CheckpointLoadResult::Status;
+        switch (load.status) {
+        case Status::Missing:
+            inform("no checkpoint at '%s': starting fresh",
+                   params_.checkpointPath.c_str());
+            break;
+        case Status::BadHeader:
+        case Status::VersionMismatch:
+        case Status::ScopeMismatch:
+        case Status::Corrupt:
+            warn("ignoring checkpoint '%s' (%s): starting fresh",
+                 params_.checkpointPath.c_str(), load.message.c_str());
+            break;
+        case Status::Ok: {
+            const CheckpointState& st = load.state;
+            // The scope fingerprint pins the island layout, so a
+            // mismatch here means the file lied about its scope.
+            GEVO_ASSERT(st.islands.size() == numIslands,
+                        "checkpoint island count mismatch");
+            for (std::uint32_t i = 0; i < numIslands; ++i) {
+                islands.push_back(
+                    {Population(base_, params_), Rng(0),
+                     st.islands[i].bestMs});
+                islands.back().pop.members() = st.islands[i].members;
+                islands.back().rng.setState(st.islands[i].rngState);
+            }
+            result.history = st.history;
+            result.best = st.best;
+            quarantine_.insert(st.quarantine.begin(),
+                               st.quarantine.end());
+            startGen = st.generation + 1;
+            restored = true;
+            inform("resumed '%s' after generation %u (%s)",
+                   params_.checkpointPath.c_str(), st.generation,
+                   st.finished ? "a finished run" : "mid-search");
+            break;
+        }
+        }
+    }
+    if (!restored) {
+        for (std::uint32_t i = 0; i < numIslands; ++i) {
+            islands.push_back({Population(base_, params_),
+                               Rng(islandSeed(params_.seed, i)),
+                               baseline.ms});
+            islands.back().pop.seed(islands.back().rng);
+        }
     }
 
-    for (std::uint32_t gen = 1; gen <= params_.generations; ++gen) {
+    std::uint32_t lastGen = startGen - 1;
+    for (std::uint32_t gen = startGen; gen <= params_.generations; ++gen) {
         GenerationLog log;
         log.generation = gen;
-        evaluateIslands(pool, &islands, &log);
+        evaluateIslands(*backend, &islands, &log);
 
         double sum = 0.0;
         for (auto& island : islands) {
@@ -307,22 +507,46 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         // ---- breed the next generation on every island ----
         for (auto& island : islands)
             island.pop.breedNext(island.rng);
+        lastGen = gen;
+
+        // A stop request (SIGINT/SIGTERM) finishes the in-flight
+        // generation — evaluate, log, migrate, breed, exactly as above —
+        // then leaves the loop so the final saves below capture a state
+        // any later --resume continues bit-identically.
+        if (stopRequested_.load(std::memory_order_relaxed)) {
+            result.interrupted = true;
+            break;
+        }
 
         // Periodic persistence: a long campaign killed mid-run still
         // warm-starts from its last interval. The save runs between
         // evaluation dispatches (no worker is touching the caches), but
-        // snapshot() tolerates concurrent inserts regardless.
-        if (persist && params_.cacheSaveInterval > 0 &&
-            gen % params_.cacheSaveInterval == 0 &&
-            gen != params_.generations)
-            savePersistentCaches();
+        // snapshot() tolerates concurrent inserts regardless. The
+        // checkpoint is written after breedNext on purpose: populations
+        // are already bred for gen + 1 and the RNG streams sit exactly
+        // where the next generation's draws begin.
+        if (gen != params_.generations) {
+            if (persist && params_.cacheSaveInterval > 0 &&
+                gen % params_.cacheSaveInterval == 0)
+                savePersistentCaches();
+            if (checkpointing && params_.checkpointInterval > 0 &&
+                gen % params_.checkpointInterval == 0)
+                saveSearchCheckpoint(islands, result, gen, false);
+        }
     }
     if (persist)
         savePersistentCaches();
+    if (checkpointing)
+        saveSearchCheckpoint(islands, result, lastGen,
+                             !result.interrupted &&
+                                 lastGen >= params_.generations);
     for (const auto& log : result.history) {
         result.cacheSummary.served += log.cacheHits;
         result.cacheSummary.evaluated += log.cacheMisses;
+        result.evalFailures += log.workerCrashes + log.workerTimeouts +
+                               log.protocolErrors;
     }
+    result.quarantined = quarantine_.size();
     const auto cs = cache_.stats();
     const auto ps = programCache_.stats();
     result.cacheSummary.entries = cs.entries + ps.entries;

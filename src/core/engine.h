@@ -4,8 +4,10 @@
 /// Runs N islands (core/population.h) under a search topology
 /// (core/topology.h): per-island RNG streams, periodic migration, and a
 /// shared two-level variant cache. Fitness evaluations from every island
-/// are batched into one thread-pool dispatch per generation, so the pool
-/// sees the whole generation's work at once regardless of island count.
+/// are batched into one EvaluationBackend dispatch per generation
+/// (core/eval_backend.h — in-process thread pool or crash-isolated
+/// worker processes), so the backend sees the whole generation's work at
+/// once regardless of island count.
 ///
 /// islands = 1 is the paper's Sec III-E configuration (population 256,
 /// elitism 4, crossover 0.8, mutation 0.3) and reproduces the pre-island
@@ -17,9 +19,12 @@
 #ifndef GEVO_CORE_ENGINE_H
 #define GEVO_CORE_ENGINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/fitness.h"
@@ -28,9 +33,10 @@
 #include "core/topology.h"
 #include "core/variant_cache.h"
 #include "support/rng.h"
-#include "support/thread_pool.h"
 
 namespace gevo::core {
+
+class EvaluationBackend;
 
 /// Per-generation record (drives Figures 6 and 8). With islands > 1 the
 /// scalar fields aggregate across islands (bestMs/bestEdits are global,
@@ -42,8 +48,10 @@ struct GenerationLog {
     std::size_t validCount = 0;
     std::size_t evaluations = 0; ///< Fitness requests this generation.
     /// Requests served from a memo/cache level (within-generation
-    /// duplicates, edit-list hits, compiled-program hits) with no
-    /// simulation and no rejected compile. Zero when the cache is off.
+    /// duplicates, edit-list hits, compiled-program hits, quarantine
+    /// serves) with no simulation and no rejected compile. Zero when the
+    /// cache is off, except for quarantine serves — those exist on the
+    /// reference path too.
     std::size_t cacheHits = 0;
     /// Requests that cost real pipeline work this generation: simulated,
     /// or compiled and rejected by the verifier.
@@ -53,6 +61,19 @@ struct GenerationLog {
     /// a migration-free run evolves exactly like a single-island search
     /// with the same seed.
     std::vector<double> islandBestMs;
+
+    // ---- robustness accounting (core/eval_backend.h) ----
+    /// Evaluations whose worker died (segfault/abort/OOM) this generation.
+    std::size_t workerCrashes = 0;
+    /// Evaluations the wall-clock watchdog killed this generation.
+    std::size_t workerTimeouts = 0;
+    /// Evaluations whose worker returned an undecodable response.
+    std::size_t protocolErrors = 0;
+    /// Requests served from the quarantine set this generation: genotypes
+    /// that previously took a worker down are scored as the deterministic
+    /// failure penalty without being dispatched again. Counted inside
+    /// cacheHits (they are served from a memo level), broken out here.
+    std::size_t quarantineHits = 0;
 };
 
 /// Whole-run cache accounting, aggregated from the GenerationLogs (the
@@ -74,6 +95,15 @@ struct SearchResult {
     Individual best;          ///< Best individual over the whole run.
     std::vector<GenerationLog> history;
     CacheSummary cacheSummary;
+    /// Evaluation failures over the whole run (worker crashes + watchdog
+    /// timeouts + protocol errors, summed from the history).
+    std::size_t evalFailures = 0;
+    /// Genotypes in the quarantine set when the run ended.
+    std::size_t quarantined = 0;
+    /// The run stopped early via requestStop() (SIGINT/SIGTERM): history
+    /// covers only the completed generations, and the final checkpoint /
+    /// cache saves have already been written.
+    bool interrupted = false;
 
     /// Final speedup (baseline / best), 1.0 when nothing improved.
     double speedup() const
@@ -103,6 +133,16 @@ class EvolutionEngine {
     /// Run the configured number of generations.
     SearchResult run(const GenerationCallback& onGeneration = {});
 
+    /// Ask a running search to stop after the in-flight generation
+    /// completes (breed, checkpoint and cache saves included). Safe to
+    /// call from a signal handler (a lock-free atomic store) or another
+    /// thread; the result comes back with `interrupted = true`.
+    void
+    requestStop()
+    {
+        stopRequested_.store(true, std::memory_order_relaxed);
+    }
+
   private:
     /// One island: a population plus its private RNG stream.
     struct Island {
@@ -112,10 +152,16 @@ class EvolutionEngine {
     };
 
     /// Evaluate every unevaluated individual across all islands as one
-    /// batched thread-pool dispatch, deduplicated globally and served
-    /// from the shared caches.
-    void evaluateIslands(ThreadPool& pool, std::vector<Island>* islands,
-                         GenerationLog* log);
+    /// batched backend dispatch, deduplicated globally and served from
+    /// the shared caches and the quarantine set.
+    void evaluateIslands(EvaluationBackend& backend,
+                         std::vector<Island>* islands, GenerationLog* log);
+
+    /// Snapshot the full search state to params_.checkpointPath
+    /// (failure warns and continues — durability never fails a search).
+    void saveSearchCheckpoint(const std::vector<Island>& islands,
+                              const SearchResult& result,
+                              std::uint32_t lastGen, bool finished) const;
 
     /// Load params_.cachePath into both cache levels (cold start on any
     /// failure, with a warning). Returns the number of entries loaded.
@@ -129,6 +175,10 @@ class EvolutionEngine {
     /// baseline content + fitness description — covers app, dataset
     /// scale and device). Computed once per run().
     std::uint64_t cacheScope_ = 0;
+    /// Scope fingerprint binding checkpoint files to this search: the
+    /// cache scope inputs PLUS every trajectory-relevant parameter (see
+    /// core/checkpoint.h). Computed once per run().
+    std::uint64_t checkpointScope_ = 0;
 
     const ir::Module& base_;
     const FitnessFunction& fitness_;
@@ -143,6 +193,18 @@ class EvolutionEngine {
     /// matter), so novel genotypes usually need only the cheap compile
     /// stage, not a simulation.
     VariantCache programCache_;
+    /// Canonical edit-list keys of genotypes whose evaluation took a
+    /// worker down (crash/hang/garbage). Never dispatched again: they are
+    /// served the deterministic failure penalty, which keeps the resumed
+    /// and the uninterrupted trajectory identical — and keeps a
+    /// crash-variant from killing a fresh worker every generation it
+    /// reappears. Deliberately NOT a cache entry: the caches hold values
+    /// of the deterministic fitness function, and a worker death is a
+    /// property of the evaluation machinery, not of the variant's
+    /// fitness.
+    std::unordered_set<std::string> quarantine_;
+    /// Set by requestStop(); polled once per generation.
+    std::atomic<bool> stopRequested_{false};
 };
 
 } // namespace gevo::core

@@ -1,0 +1,731 @@
+#include "core/eval_backend.h"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "core/cache_store.h" // crc32 — the pipe frames reuse it.
+#include "support/bytes.h"
+#include "support/logging.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
+
+namespace gevo::core {
+
+std::string_view
+evalFailureName(EvalFailure failure)
+{
+    switch (failure) {
+      case EvalFailure::None: return "none";
+      case EvalFailure::WorkerCrash: return "crash";
+      case EvalFailure::WorkerTimeout: return "timeout";
+      case EvalFailure::ProtocolError: return "protocol";
+    }
+    return "?";
+}
+
+namespace {
+
+// ---- fault injection (GEVO_FAULT_INJECT) ----
+
+enum class FaultKind : std::uint8_t { Crash, Hang, Garbage };
+
+/// One injected fault: fire when the global evaluation sequence number
+/// equals `at` (or any later number, with the "+" suffix).
+struct FaultSpec {
+    FaultKind kind = FaultKind::Crash;
+    std::uint64_t at = 0;
+    bool fromHere = false;
+};
+
+/// Parse GEVO_FAULT_INJECT ("crash@12,hang@3,garbage@7+"). Malformed
+/// specs are fatal user errors — a silently ignored fault spec would make
+/// a crash test vacuously green.
+std::vector<FaultSpec>
+parseFaultSpecs()
+{
+    std::vector<FaultSpec> specs;
+    const char* env = std::getenv("GEVO_FAULT_INJECT");
+    if (env == nullptr || *env == '\0')
+        return specs;
+    for (const auto& part : split(env, ',')) {
+        const auto text = trim(part);
+        if (text.empty())
+            GEVO_FATAL("GEVO_FAULT_INJECT: empty spec in '%s'", env);
+        const auto sep = text.find('@');
+        if (sep == std::string_view::npos)
+            GEVO_FATAL("GEVO_FAULT_INJECT: expected kind@index, got '%s'",
+                       std::string(text).c_str());
+        const auto kindName = text.substr(0, sep);
+        FaultSpec spec;
+        if (kindName == "crash") {
+            spec.kind = FaultKind::Crash;
+        } else if (kindName == "hang") {
+            spec.kind = FaultKind::Hang;
+        } else if (kindName == "garbage") {
+            spec.kind = FaultKind::Garbage;
+        } else {
+            GEVO_FATAL("GEVO_FAULT_INJECT: unknown kind '%s' (want "
+                       "crash/hang/garbage)",
+                       std::string(kindName).c_str());
+        }
+        auto index = text.substr(sep + 1);
+        if (!index.empty() && index.back() == '+') {
+            spec.fromHere = true;
+            index.remove_suffix(1);
+        }
+        if (index.empty() ||
+            index.find_first_not_of("0123456789") != std::string_view::npos)
+            GEVO_FATAL("GEVO_FAULT_INJECT: bad index in '%s'",
+                       std::string(text).c_str());
+        spec.at = std::strtoull(std::string(index).c_str(), nullptr, 10);
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::optional<FaultKind>
+faultFor(const std::vector<FaultSpec>& specs, std::uint64_t seq)
+{
+    for (const auto& spec : specs) {
+        if (spec.fromHere ? seq >= spec.at : seq == spec.at)
+            return spec.kind;
+    }
+    return std::nullopt;
+}
+
+/// A genuine invalid-access death, not a tidy abort(): the reaping path
+/// under test is the one a wild pointer in a hostile mutant would take.
+[[noreturn]] void
+faultCrash()
+{
+    std::raise(SIGSEGV);
+    std::_Exit(139); // Not reached unless SIGSEGV is blocked.
+}
+
+/// Sleep until something kills us (the isolated watchdog — or nothing,
+/// when injected into the in-process backend: hanging the host is the
+/// failure mode this file exists to contain).
+void
+faultHang()
+{
+    for (;;) {
+        struct timespec ts = {1, 0};
+        nanosleep(&ts, nullptr);
+    }
+}
+
+// ---- shared single-task evaluation ----
+
+/// Evaluate one edit list through the two-stage pipeline. With a
+/// \p programCache this is the cached-path body the engine used to inline
+/// (compile, serve repeat programs from the cache, simulate + insert
+/// otherwise); without one it is the literal compile-per-call reference
+/// path. \p programKeyOut, when non-null, receives the program content
+/// key of a fresh simulation (isolated workers ship it to the parent so
+/// the live cache learns the result; their own insert dies with the
+/// forked address space).
+EvalOutcome
+evaluateTask(const ir::Module& base, const FitnessFunction& fitness,
+             const std::vector<mut::Edit>& edits, VariantCache* programCache,
+             std::string* programKeyOut)
+{
+    EvalOutcome out;
+    if (programCache == nullptr) {
+        out.result = evaluateVariant(base, edits, fitness);
+        out.simulated = true;
+        return out;
+    }
+    const CompiledVariant cv = compileVariant(base, edits);
+    if (!cv.ok) {
+        out.result = FitnessResult::fail(cv.failReason);
+        out.rejected = true;
+        return out;
+    }
+    const std::string programKey = cv.programs.contentKey();
+    FitnessResult cached;
+    if (programCache->lookup(programKey, &cached)) {
+        out.result = cached;
+        return out;
+    }
+    out.result = fitness.evaluate(cv);
+    out.simulated = true;
+    programCache->insert(programKey, out.result);
+    if (programKeyOut != nullptr)
+        *programKeyOut = programKey;
+    return out;
+}
+
+// ---- in-process backend ----
+
+class InProcessBackend final : public EvaluationBackend {
+  public:
+    InProcessBackend(const ir::Module& base, const FitnessFunction& fitness,
+                     std::uint32_t threads)
+        : base_(base), fitness_(fitness), pool_(threads),
+          faults_(parseFaultSpecs())
+    {
+    }
+
+    void
+    evaluateBatch(const std::vector<const std::vector<mut::Edit>*>& batch,
+                  VariantCache* programCache,
+                  std::vector<EvalOutcome>* out) override
+    {
+        out->assign(batch.size(), EvalOutcome{});
+        // Sequence numbers are assigned by batch position, not dispatch
+        // order, so the fault schedule is thread-count independent.
+        const std::uint64_t seqBase = nextSeq_;
+        nextSeq_ += batch.size();
+        pool_.parallelFor(batch.size(), [&](std::size_t i) {
+            if (const auto fault = faultFor(faults_, seqBase + i)) {
+                if (*fault == FaultKind::Crash)
+                    faultCrash();
+                if (*fault == FaultKind::Hang)
+                    faultHang();
+                // Garbage has no in-process meaning: there is no pipe to
+                // corrupt. Ignored, so one spec can drive both backends.
+            }
+            (*out)[i] =
+                evaluateTask(base_, fitness_, *batch[i], programCache,
+                             nullptr);
+        });
+    }
+
+    std::string
+    describe() const override
+    {
+        return strformat("in-process x%zu", pool_.workerCount());
+    }
+
+  private:
+    const ir::Module& base_;
+    const FitnessFunction& fitness_;
+    ThreadPool pool_;
+    std::vector<FaultSpec> faults_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+// ---- isolated (fork-per-batch) backend ----
+
+/// Response-frame header: u32 magic | u32 payloadLen | u32 crc32(payload).
+constexpr std::uint32_t kFrameMagic = 0x52564547u; // "GEVR"
+constexpr std::size_t kFrameHeader = 12;
+/// Sanity bound on one response payload (fail reasons and program keys
+/// are at most tens of KB); anything larger is protocol corruption.
+constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
+/// Request task index meaning "exit cleanly".
+constexpr std::uint32_t kShutdownTask = 0xffffffffu;
+/// Request message: u32 taskIndex | u64 sequence number.
+constexpr std::size_t kRequestSize = 12;
+
+bool
+writeAll(int fd, const char* p, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+readFull(int fd, char* p, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t r = ::read(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false; // EOF mid-message.
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+class IsolatedBackend final : public EvaluationBackend {
+  public:
+    IsolatedBackend(const ir::Module& base, const FitnessFunction& fitness,
+                    std::size_t workers, std::uint32_t timeoutMs)
+        : base_(base), fitness_(fitness), workers_(std::max<std::size_t>(
+                                              workers, 1)),
+          timeoutMs_(timeoutMs), faults_(parseFaultSpecs())
+    {
+        GEVO_ASSERT(timeoutMs_ > 0, "isolated watchdog needs a budget");
+        // Requests may race a worker's death; that must surface as a
+        // write error on the pipe, not a process-killing SIGPIPE.
+        std::signal(SIGPIPE, SIG_IGN);
+    }
+
+    void
+    evaluateBatch(const std::vector<const std::vector<mut::Edit>*>& batch,
+                  VariantCache* programCache,
+                  std::vector<EvalOutcome>* out) override
+    {
+        out->assign(batch.size(), EvalOutcome{});
+        if (batch.empty())
+            return;
+        const std::uint64_t seqBase = nextSeq_;
+        nextSeq_ += batch.size();
+
+        // Fork the workers up front: they inherit the batch, the base
+        // module, the fitness function and a copy-on-write snapshot of
+        // the program cache — no serialization, and the parent does not
+        // touch the cache until the batch completes, so respawned
+        // workers see the identical snapshot.
+        std::vector<Worker> ws(std::min(workers_, batch.size()));
+        for (auto& w : ws)
+            spawn(&w, ws, batch, programCache);
+
+        std::size_t nextTask = 0;
+        std::size_t done = 0;
+        while (done < batch.size()) {
+            dispatchIdle(ws, batch, programCache, &nextTask, &done, seqBase,
+                         out);
+            awaitResponses(ws, batch, programCache, &done, out);
+        }
+        for (auto& w : ws)
+            shutdownWorker(&w);
+    }
+
+    std::string
+    describe() const override
+    {
+        return strformat("isolated x%zu (watchdog %u ms)", workers_,
+                         timeoutMs_);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Worker {
+        pid_t pid = -1;
+        int reqFd = -1;  ///< Parent write end.
+        int respFd = -1; ///< Parent read end.
+        bool busy = false;
+        std::uint32_t task = 0;
+        Clock::time_point deadline{};
+        std::string buf; ///< Partially received response bytes.
+    };
+
+    [[noreturn]] void
+    workerLoop(int reqFd, int respFd,
+               const std::vector<const std::vector<mut::Edit>*>& batch,
+               VariantCache* programCache) const
+    {
+        for (;;) {
+            char req[kRequestSize];
+            if (!readFull(reqFd, req, sizeof(req)))
+                std::_Exit(0); // Parent closed the pipe: shutdown.
+            const std::uint32_t task = readLeU32(req);
+            const std::uint64_t seq = readLeU64(req + 4);
+            if (task == kShutdownTask)
+                std::_Exit(0);
+            if (task >= batch.size())
+                std::_Exit(3); // Corrupt request; parent reaps us.
+            if (const auto fault = faultFor(faults_, seq)) {
+                switch (*fault) {
+                  case FaultKind::Crash:
+                    faultCrash();
+                  case FaultKind::Hang:
+                    faultHang();
+                    break;
+                  case FaultKind::Garbage: {
+                    static constexpr char junk[] = "these bytes are not a "
+                                                   "response frame";
+                    writeAll(respFd, junk, sizeof(junk));
+                    std::_Exit(0);
+                  }
+                }
+            }
+            std::string programKey;
+            const EvalOutcome outcome = evaluateTask(
+                base_, fitness_, *batch[task], programCache, &programKey);
+
+            std::string payload;
+            appendLeU32(&payload, task);
+            payload.push_back(outcome.result.valid ? 1 : 0);
+            appendLeU64(&payload,
+                        std::bit_cast<std::uint64_t>(outcome.result.ms));
+            appendLeU32(&payload, static_cast<std::uint32_t>(
+                                      outcome.result.failReason.size()));
+            payload.append(outcome.result.failReason);
+            payload.push_back(outcome.simulated ? 1 : 0);
+            payload.push_back(outcome.rejected ? 1 : 0);
+            appendLeU32(&payload,
+                        static_cast<std::uint32_t>(programKey.size()));
+            payload.append(programKey);
+
+            std::string frame;
+            appendLeU32(&frame, kFrameMagic);
+            appendLeU32(&frame,
+                        static_cast<std::uint32_t>(payload.size()));
+            appendLeU32(&frame, crc32(payload.data(), payload.size()));
+            frame.append(payload);
+            if (!writeAll(respFd, frame.data(), frame.size()))
+                std::_Exit(4); // Parent went away.
+        }
+    }
+
+    void
+    spawn(Worker* w, const std::vector<Worker>& all,
+          const std::vector<const std::vector<mut::Edit>*>& batch,
+          VariantCache* programCache) const
+    {
+        int req[2];
+        int resp[2];
+        if (::pipe(req) != 0 || ::pipe(resp) != 0)
+            GEVO_FATAL("isolated backend: pipe failed: %s",
+                       std::strerror(errno));
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            GEVO_FATAL("isolated backend: fork failed: %s",
+                       std::strerror(errno));
+        if (pid == 0) {
+            // Child. Close the parent-side ends — including the other
+            // workers' pipes: a sibling holding a crashed worker's
+            // response write-end open would mask its EOF from the parent.
+            ::close(req[1]);
+            ::close(resp[0]);
+            for (const auto& other : all) {
+                if (other.reqFd >= 0)
+                    ::close(other.reqFd);
+                if (other.respFd >= 0)
+                    ::close(other.respFd);
+            }
+            workerLoop(req[0], resp[1], batch, programCache);
+        }
+        ::close(req[0]);
+        ::close(resp[1]);
+        w->pid = pid;
+        w->reqFd = req[1];
+        w->respFd = resp[0];
+        w->busy = false;
+        w->buf.clear();
+    }
+
+    /// Close the parent-side pipes and collect the exit status. Safe on a
+    /// worker that is already gone.
+    void
+    reapWorker(Worker* w) const
+    {
+        if (w->reqFd >= 0)
+            ::close(w->reqFd);
+        if (w->respFd >= 0)
+            ::close(w->respFd);
+        w->reqFd = w->respFd = -1;
+        if (w->pid > 0) {
+            int status = 0;
+            while (::waitpid(w->pid, &status, 0) < 0 && errno == EINTR) {
+            }
+        }
+        w->pid = -1;
+        w->busy = false;
+        w->buf.clear();
+    }
+
+    void
+    killWorker(Worker* w) const
+    {
+        if (w->pid > 0)
+            ::kill(w->pid, SIGKILL);
+        reapWorker(w);
+    }
+
+    void
+    shutdownWorker(Worker* w) const
+    {
+        if (w->pid > 0 && w->reqFd >= 0) {
+            std::string msg;
+            appendLeU32(&msg, kShutdownTask);
+            appendLeU64(&msg, 0);
+            writeAll(w->reqFd, msg.data(), msg.size()); // Best effort.
+        }
+        reapWorker(w);
+    }
+
+    bool
+    dispatch(Worker* w, std::uint32_t task, std::uint64_t seq) const
+    {
+        std::string msg;
+        appendLeU32(&msg, task);
+        appendLeU64(&msg, seq);
+        if (!writeAll(w->reqFd, msg.data(), msg.size()))
+            return false;
+        w->busy = true;
+        w->task = task;
+        w->deadline =
+            Clock::now() + std::chrono::milliseconds(timeoutMs_);
+        return true;
+    }
+
+    /// The deterministic invalid-individual penalty for a failed
+    /// evaluation (no pids, no timestamps: the same variant scores the
+    /// same penalty on every run).
+    EvalOutcome
+    failureOutcome(EvalFailure failure) const
+    {
+        EvalOutcome out;
+        out.failure = failure;
+        switch (failure) {
+          case EvalFailure::WorkerCrash:
+            out.result = FitnessResult::fail("evaluation worker crashed");
+            break;
+          case EvalFailure::WorkerTimeout:
+            out.result = FitnessResult::fail(
+                strformat("evaluation exceeded the %u ms watchdog",
+                          timeoutMs_));
+            break;
+          case EvalFailure::ProtocolError:
+            out.result =
+                FitnessResult::fail("evaluation worker protocol error");
+            break;
+          case EvalFailure::None:
+            GEVO_PANIC("failureOutcome(None)");
+        }
+        return out;
+    }
+
+    void
+    dispatchIdle(std::vector<Worker>& ws,
+                 const std::vector<const std::vector<mut::Edit>*>& batch,
+                 VariantCache* programCache, std::size_t* nextTask,
+                 std::size_t* done, std::uint64_t seqBase,
+                 std::vector<EvalOutcome>* out) const
+    {
+        for (auto& w : ws) {
+            if (w.busy || *nextTask >= batch.size())
+                continue;
+            const auto task = static_cast<std::uint32_t>(*nextTask);
+            const std::uint64_t seq = seqBase + *nextTask;
+            if (w.pid < 0)
+                spawn(&w, ws, batch, programCache);
+            if (!dispatch(&w, task, seq)) {
+                // Died while idle; one fresh worker gets a second try. A
+                // second failure means forking itself is broken — score
+                // the task as a crash so the search still completes.
+                reapWorker(&w);
+                spawn(&w, ws, batch, programCache);
+                if (!dispatch(&w, task, seq)) {
+                    reapWorker(&w);
+                    (*out)[task] = failureOutcome(EvalFailure::WorkerCrash);
+                    ++*done;
+                }
+            }
+            ++*nextTask;
+        }
+    }
+
+    /// Block until a busy worker responds, dies, or times out; settle
+    /// every event observed.
+    void
+    awaitResponses(std::vector<Worker>& ws,
+                   const std::vector<const std::vector<mut::Edit>*>& batch,
+                   VariantCache* programCache, std::size_t* done,
+                   std::vector<EvalOutcome>* out) const
+    {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> owner;
+        auto earliest = Clock::time_point::max();
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            if (!ws[i].busy)
+                continue;
+            fds.push_back({ws[i].respFd, POLLIN, 0});
+            owner.push_back(i);
+            earliest = std::min(earliest, ws[i].deadline);
+        }
+        if (fds.empty())
+            return; // Nothing in flight (everything settled at dispatch).
+
+        const auto now = Clock::now();
+        const auto budget = std::chrono::duration_cast<
+            std::chrono::milliseconds>(earliest - now);
+        const int timeout = earliest <= now
+                                ? 0
+                                : static_cast<int>(std::min<long long>(
+                                      budget.count() + 1, 1 << 30));
+        const int rc = ::poll(fds.data(),
+                              static_cast<nfds_t>(fds.size()), timeout);
+        if (rc < 0) {
+            if (errno == EINTR)
+                return; // E.g. SIGINT while stopping: just re-loop.
+            GEVO_PANIC("isolated backend: poll failed: %s",
+                       std::strerror(errno));
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (fds[k].revents & (POLLIN | POLLHUP | POLLERR))
+                drainWorker(&ws[owner[k]], programCache, done, out);
+        }
+        // Watchdog: reap anyone past deadline (workers are respawned
+        // lazily at the next dispatch).
+        const auto after = Clock::now();
+        for (auto& w : ws) {
+            if (!w.busy || after < w.deadline)
+                continue;
+            const std::uint32_t task = w.task;
+            killWorker(&w);
+            (*out)[task] = failureOutcome(EvalFailure::WorkerTimeout);
+            ++*done;
+        }
+        (void)batch;
+    }
+
+    /// Read whatever the worker has written and settle complete frames.
+    void
+    drainWorker(Worker* w, VariantCache* programCache, std::size_t* done,
+                std::vector<EvalOutcome>* out) const
+    {
+        char tmp[4096];
+        const ssize_t r = ::read(w->respFd, tmp, sizeof(tmp));
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                return;
+            // Unreadable pipe: treat like a death.
+        }
+        if (r <= 0) {
+            // EOF: the worker died (segfault, abort, OOM kill, or a
+            // garbage-then-exit) with a task still in flight.
+            const bool hadTask = w->busy;
+            const std::uint32_t task = w->task;
+            reapWorker(w);
+            if (hadTask) {
+                (*out)[task] = failureOutcome(EvalFailure::WorkerCrash);
+                ++*done;
+            }
+            return;
+        }
+        w->buf.append(tmp, static_cast<std::size_t>(r));
+
+        while (w->busy && w->buf.size() >= kFrameHeader) {
+            const std::uint32_t magic = readLeU32(w->buf.data());
+            const std::uint32_t len = readLeU32(w->buf.data() + 4);
+            const std::uint32_t crc = readLeU32(w->buf.data() + 8);
+            if (magic != kFrameMagic || len > kMaxFramePayload) {
+                settleProtocolError(w, done, out);
+                return;
+            }
+            if (w->buf.size() - kFrameHeader < len)
+                return; // Frame still in flight.
+            const char* payload = w->buf.data() + kFrameHeader;
+            EvalOutcome outcome;
+            std::string programKey;
+            std::uint32_t task = 0;
+            if (crc32(payload, len) != crc ||
+                !parsePayload(payload, len, &task, &outcome, &programKey) ||
+                task != w->task) {
+                settleProtocolError(w, done, out);
+                return;
+            }
+            // The worker's own program-cache insert died with its address
+            // space; replay it against the live cache.
+            if (programCache != nullptr && !programKey.empty())
+                programCache->insert(programKey, outcome.result);
+            (*out)[task] = outcome;
+            ++*done;
+            w->busy = false;
+            w->buf.erase(0, kFrameHeader + len);
+        }
+        if (!w->busy && !w->buf.empty()) {
+            // Bytes with no request in flight: the worker is confused.
+            // Nothing to score; just replace it.
+            killWorker(w);
+        }
+    }
+
+    void
+    settleProtocolError(Worker* w, std::size_t* done,
+                        std::vector<EvalOutcome>* out) const
+    {
+        const std::uint32_t task = w->task;
+        killWorker(w);
+        (*out)[task] = failureOutcome(EvalFailure::ProtocolError);
+        ++*done;
+    }
+
+    static bool
+    parsePayload(const char* p, std::size_t size, std::uint32_t* task,
+                 EvalOutcome* out, std::string* programKey)
+    {
+        std::size_t pos = 0;
+        auto need = [&](std::size_t n) { return pos + n <= size; };
+        if (!need(4 + 1 + 8 + 4))
+            return false;
+        *task = readLeU32(p + pos);
+        pos += 4;
+        out->result.valid = p[pos] != 0;
+        pos += 1;
+        out->result.ms = std::bit_cast<double>(readLeU64(p + pos));
+        pos += 8;
+        const std::uint32_t reasonLen = readLeU32(p + pos);
+        pos += 4;
+        if (!need(reasonLen))
+            return false;
+        out->result.failReason.assign(p + pos, reasonLen);
+        pos += reasonLen;
+        if (!need(1 + 1 + 4))
+            return false;
+        out->simulated = p[pos] != 0;
+        pos += 1;
+        out->rejected = p[pos] != 0;
+        pos += 1;
+        const std::uint32_t keyLen = readLeU32(p + pos);
+        pos += 4;
+        if (!need(keyLen))
+            return false;
+        programKey->assign(p + pos, keyLen);
+        pos += keyLen;
+        return pos == size;
+    }
+
+    const ir::Module& base_;
+    const FitnessFunction& fitness_;
+    std::size_t workers_;
+    std::uint32_t timeoutMs_;
+    std::vector<FaultSpec> faults_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<EvaluationBackend>
+makeBackend(const ir::Module& base, const FitnessFunction& fitness,
+            const EvolutionParams& params)
+{
+    switch (params.backend) {
+      case EvalBackendKind::InProcess:
+        return std::make_unique<InProcessBackend>(base, fitness,
+                                                  params.threads);
+      case EvalBackendKind::Isolated: {
+        const std::size_t workers =
+            params.threads != 0
+                ? params.threads
+                : std::max(1u, std::thread::hardware_concurrency());
+        return std::make_unique<IsolatedBackend>(base, fitness, workers,
+                                                 params.evalTimeoutMs);
+      }
+    }
+    GEVO_PANIC("unknown evaluation backend kind");
+}
+
+} // namespace gevo::core

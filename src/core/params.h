@@ -13,6 +13,21 @@
 
 namespace gevo::core {
 
+/// Which evaluation backend executes a generation's batch of fitness
+/// evaluations (core/eval_backend.h).
+enum class EvalBackendKind : std::uint8_t {
+    /// Today's thread pool: every evaluation runs in the engine's own
+    /// address space. Fastest; a variant that crashes or hangs the
+    /// simulator takes the whole search down with it.
+    InProcess,
+    /// Fork-per-batch worker processes on a pipe protocol with a
+    /// per-evaluation wall-clock watchdog: a variant that segfaults,
+    /// aborts, OOMs or hangs kills only its worker. The failure is scored
+    /// as a deterministic invalid-individual penalty and the genotype is
+    /// quarantined so it is never dispatched again.
+    Isolated,
+};
+
 /// Search hyper-parameters (paper defaults).
 struct EvolutionParams {
     std::uint32_t populationSize = 256; ///< Per island.
@@ -71,6 +86,31 @@ struct EvolutionParams {
     /// file another process is still appending to sees a complete
     /// snapshot either way.
     std::uint32_t cacheSaveInterval = 0;
+
+    // ---- robustness (crash isolation + durable search state) ----
+    /// Evaluation backend. InProcess is trajectory-identical to the
+    /// pre-backend engine; Isolated survives worker crashes/hangs at the
+    /// cost of fork/pipe overhead per generation.
+    EvalBackendKind backend = EvalBackendKind::InProcess;
+    /// Isolated-backend watchdog: wall-clock budget per evaluation, after
+    /// which the worker is killed and the variant scored as a
+    /// WorkerTimeout penalty. Ignored by the in-process backend.
+    std::uint32_t evalTimeoutMs = 30000;
+    /// Durable search-state snapshots (core/checkpoint.h): when
+    /// non-empty, full search state (populations, fitness, RNG streams,
+    /// generation counter, history, quarantine set) is written here every
+    /// `checkpointInterval` generations and on completion/interruption. A
+    /// run killed mid-search resumes from the last snapshot with
+    /// `resume = true` and replays to the bit-identical trajectory of an
+    /// uninterrupted run.
+    std::string checkpointPath;
+    /// Generations between periodic checkpoint saves (0 = only on
+    /// completion/interruption). Only meaningful with a checkpointPath.
+    std::uint32_t checkpointInterval = 10;
+    /// Restore search state from checkpointPath before running. A
+    /// missing, corrupted, version- or scope-mismatched checkpoint
+    /// degrades to a cold start with a warning — it never fails the run.
+    bool resume = false;
 
     mut::SamplerConfig sampler;
 };

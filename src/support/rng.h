@@ -11,6 +11,7 @@
 #ifndef GEVO_SUPPORT_RNG_H
 #define GEVO_SUPPORT_RNG_H
 
+#include <array>
 #include <cstdint>
 
 #include "support/logging.h"
@@ -104,6 +105,24 @@ class Rng {
     fork(std::uint64_t tag)
     {
         return Rng(next() ^ (tag * 0x9e3779b97f4a7c15ULL));
+    }
+
+    /// The full four-word generator state. Together with setState this is
+    /// what lets a checkpointed search resume mid-stream bit-for-bit
+    /// (core/checkpoint.h): a restored Rng produces exactly the draws the
+    /// interrupted run would have produced next.
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /// Restore a state previously captured with state().
+    void
+    setState(const std::array<std::uint64_t, 4>& s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[static_cast<std::size_t>(i)];
     }
 
   private:

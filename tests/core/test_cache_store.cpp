@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <thread>
 
 #include "apps/registry.h"
@@ -253,6 +254,110 @@ TEST(CacheStore, UnwritablePathFailsWithoutClobbering)
     EXPECT_FALSE(error.empty());
     // The earlier file is untouched.
     EXPECT_EQ(loadCacheStore(path, kTestScope).status, CacheLoadResult::Status::Ok);
+}
+
+// ---- merge-on-save: two writers against one cache file ----
+
+TEST(CacheStore, MergeSavePreservesTheOtherWriterEntries)
+{
+    // Two searches sharing one cache file, the last-writer-wins hazard:
+    // writer A saves {a}, writer B (which loaded before A saved) merge-
+    // saves {b} — the file must end with {a, b}, not just {b}.
+    const auto path = tmpPath("merge");
+    const std::vector<CacheStoreRecord> fromA = {
+        {0, "key-a", FitnessResult::pass(1.0)}};
+    const std::vector<CacheStoreRecord> fromB = {
+        {0, "key-b", FitnessResult::pass(2.0)},
+        {1, "prog-b", FitnessResult::pass(2.5)}};
+    ASSERT_TRUE(saveCacheStore(path, kTestScope, fromA));
+    ASSERT_TRUE(mergeSaveCacheStore(path, kTestScope, fromB));
+
+    const auto load = loadCacheStore(path, kTestScope);
+    ASSERT_EQ(load.status, CacheLoadResult::Status::Ok);
+    // Disk-only entries come first (older in LRU recency), then ours.
+    std::vector<CacheStoreRecord> expected = fromA;
+    expected.insert(expected.end(), fromB.begin(), fromB.end());
+    expectRecordsEqual(expected, load.records);
+}
+
+TEST(CacheStore, MergeSaveFreshRecordsWinKeyCollisions)
+{
+    const auto path = tmpPath("merge_collide");
+    ASSERT_TRUE(saveCacheStore(
+        path, kTestScope,
+        {{0, "shared", FitnessResult::pass(9.0)},
+         {1, "shared", FitnessResult::pass(8.0)}, // same key, other level
+         {0, "theirs", FitnessResult::pass(7.0)}}));
+    ASSERT_TRUE(mergeSaveCacheStore(
+        path, kTestScope, {{0, "shared", FitnessResult::pass(1.0)}}));
+
+    const auto load = loadCacheStore(path, kTestScope);
+    ASSERT_EQ(load.status, CacheLoadResult::Status::Ok);
+    // Level-1 "shared" is a different cache level: it must survive.
+    expectRecordsEqual({{1, "shared", FitnessResult::pass(8.0)},
+                        {0, "theirs", FitnessResult::pass(7.0)},
+                        {0, "shared", FitnessResult::pass(1.0)}},
+                       load.records);
+}
+
+TEST(CacheStore, MergeSaveIgnoresForeignAndDamagedFiles)
+{
+    // A wrong-scope file must not leak entries into our save; a damaged
+    // file contributes only its good prefix (same policy as load).
+    const auto path = tmpPath("merge_foreign");
+    ASSERT_TRUE(saveCacheStore(path, kTestScope + 1,
+                               {{0, "foreign", FitnessResult::pass(1.0)}}));
+    const std::vector<CacheStoreRecord> mine = {
+        {0, "mine", FitnessResult::pass(2.0)}};
+    ASSERT_TRUE(mergeSaveCacheStore(path, kTestScope, mine));
+    const auto load = loadCacheStore(path, kTestScope);
+    ASSERT_EQ(load.status, CacheLoadResult::Status::Ok);
+    expectRecordsEqual(mine, load.records);
+
+    // Damaged existing file: truncate mid-record, then merge-save.
+    const auto damaged = tmpPath("merge_damaged");
+    ASSERT_TRUE(saveCacheStore(path, kTestScope, sampleRecords()));
+    const auto full = readFile(path);
+    writeFile(damaged, full.substr(0, full.size() - 5));
+    ASSERT_TRUE(mergeSaveCacheStore(damaged, kTestScope, mine));
+    const auto merged = loadCacheStore(damaged, kTestScope);
+    ASSERT_EQ(merged.status, CacheLoadResult::Status::Ok);
+    auto expected = sampleRecords();
+    expected.pop_back(); // The truncated final record is gone.
+    expected.insert(expected.end(), mine.begin(), mine.end());
+    expectRecordsEqual(expected, merged.records);
+}
+
+TEST(CacheStore, TwoWriterInterleavingConvergesToTheUnion)
+{
+    // The full two-writer dance from the engine's perspective: A and B
+    // both start from the same file, evolve disjoint entries, and merge-
+    // save in either order. Whoever saves second sees the first's save on
+    // disk, so the union survives regardless of order.
+    for (const bool aFirst : {true, false}) {
+        const auto path = tmpPath(aFirst ? "union_ab" : "union_ba");
+        ASSERT_TRUE(saveCacheStore(
+            path, kTestScope, {{0, "seed", FitnessResult::pass(5.0)}}));
+        const std::vector<CacheStoreRecord> fromA = {
+            {0, "seed", FitnessResult::pass(5.0)},
+            {0, "a-only", FitnessResult::pass(1.0)}};
+        const std::vector<CacheStoreRecord> fromB = {
+            {0, "seed", FitnessResult::pass(5.0)},
+            {0, "b-only", FitnessResult::pass(2.0)}};
+        ASSERT_TRUE(mergeSaveCacheStore(path, kTestScope,
+                                        aFirst ? fromA : fromB));
+        ASSERT_TRUE(mergeSaveCacheStore(path, kTestScope,
+                                        aFirst ? fromB : fromA));
+
+        const auto load = loadCacheStore(path, kTestScope);
+        ASSERT_EQ(load.status, CacheLoadResult::Status::Ok);
+        std::set<std::string> keys;
+        for (const auto& rec : load.records)
+            keys.insert(rec.key);
+        EXPECT_EQ(keys,
+                  (std::set<std::string>{"seed", "a-only", "b-only"}));
+        ASSERT_EQ(load.records.size(), 3u);
+    }
 }
 
 // ---- LRU interaction: persisted entries re-enter recency order ----
