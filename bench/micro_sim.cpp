@@ -132,6 +132,71 @@ BM_SimulatorInterpDivergent(benchmark::State& state)
 }
 BENCHMARK(BM_SimulatorInterpDivergent)->Arg(0)->Arg(1);
 
+/// Sparse-mask divergence: only the first N lanes of each warp run a
+/// long per-lane loop (lane-dependent operands defeat scalarization), so
+/// the span mask stays at popcount N for the whole hot region. Sweeping
+/// N = 1/3/8/32 against dense packing on/off (args {N, dense}) shows
+/// exactly what the active-lane gather buys at each sparsity, with the
+/// full-mask N=32 row as the no-regression control.
+void
+BM_SimulatorInterpSparseMask(benchmark::State& state)
+{
+    const sim::InterpMode prevMode = sim::interpreterMode();
+    const bool prevDense = sim::denseLaneMode();
+    sim::setInterpreterMode(sim::InterpMode::Trace);
+    sim::setDenseLaneMode(state.range(1) != 0);
+
+    char text[640];
+    std::snprintf(text, sizeof(text), R"(
+kernel @sparse params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = rem.i32 r1, 32
+    r3 = cmp.lt.i32 r2, %lld
+    r4 = mov 0
+    r5 = mov 0
+    brc r3, header, exit
+header:
+    r5 = add.i32 r5, r1
+    r6 = mul.i32 r5, 3
+    r7 = add.i32 r6, r2
+    r4 = add.i32 r4, 1
+    r8 = cmp.lt.i32 r4, 64
+    brc r8, header, exit
+exit:
+    r9 = cvt.i32.i64 r1
+    r10 = mul.i64 r9, 4
+    r11 = add.i64 r0, r10
+    st.i32.global r11, r7
+    ret
+}
+)",
+                  static_cast<long long>(state.range(0)));
+
+    auto parsed = ir::parseModule(text);
+    const auto prog = sim::Program::decode(parsed.module.function(0));
+    std::uint64_t lanes = 0;
+    for (auto _ : state) {
+        sim::DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(256 * 4);
+        const auto res = sim::launchKernel(
+            sim::p100(), mem, prog, {4, 64},
+            {static_cast<std::uint64_t>(out)});
+        benchmark::DoNotOptimize(res.stats.cycles);
+        lanes += res.stats.laneInstrs;
+    }
+    sim::setDenseLaneMode(prevDense);
+    sim::setInterpreterMode(prevMode);
+    state.counters["lane_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(lanes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorInterpSparseMask)
+    ->ArgNames({"active", "dense"})
+    ->Args({1, 1})->Args({1, 0})
+    ->Args({3, 1})->Args({3, 0})
+    ->Args({8, 1})->Args({8, 0})
+    ->Args({32, 1})->Args({32, 0});
+
 void
 BM_PatchApplication(benchmark::State& state)
 {

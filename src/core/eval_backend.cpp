@@ -128,26 +128,47 @@ faultHang()
 
 // ---- shared single-task evaluation ----
 
+using StageClock = std::chrono::steady_clock;
+
+std::uint64_t
+stageNsSince(StageClock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            StageClock::now() - start)
+            .count());
+}
+
 /// Evaluate one edit list through the two-stage pipeline. With a
 /// \p programCache this is the cached-path body the engine used to inline
 /// (compile, serve repeat programs from the cache, simulate + insert
-/// otherwise); without one it is the literal compile-per-call reference
-/// path. \p programKeyOut, when non-null, receives the program content
-/// key of a fresh simulation (isolated workers ship it to the parent so
-/// the live cache learns the result; their own insert dies with the
-/// forked address space).
+/// otherwise); without one it is the compile-per-call reference path
+/// (every task simulated, no cache lookups). Both stages run through the
+/// backend's precompiled VariantCompiler and record into the process-wide
+/// stage timers. \p programKeyOut, when non-null, receives the program
+/// content key of a fresh simulation (isolated workers ship it to the
+/// parent so the live cache learns the result; their own insert dies with
+/// the forked address space).
 EvalOutcome
-evaluateTask(const ir::Module& base, const FitnessFunction& fitness,
+evaluateTask(const VariantCompiler& compiler, const FitnessFunction& fitness,
              const std::vector<mut::Edit>& edits, VariantCache* programCache,
              std::string* programKeyOut)
 {
     EvalOutcome out;
+    const auto compileStart = StageClock::now();
+    const CompiledVariant cv = compiler.compile(edits);
+    recordCompileNs(stageNsSince(compileStart));
     if (programCache == nullptr) {
-        out.result = evaluateVariant(base, edits, fitness);
+        if (!cv.ok) {
+            out.result = FitnessResult::fail(cv.failReason);
+        } else {
+            const auto simStart = StageClock::now();
+            out.result = fitness.evaluate(cv);
+            recordSimulateNs(stageNsSince(simStart));
+        }
         out.simulated = true;
         return out;
     }
-    const CompiledVariant cv = compileVariant(base, edits);
     if (!cv.ok) {
         out.result = FitnessResult::fail(cv.failReason);
         out.rejected = true;
@@ -159,7 +180,9 @@ evaluateTask(const ir::Module& base, const FitnessFunction& fitness,
         out.result = cached;
         return out;
     }
+    const auto simStart = StageClock::now();
     out.result = fitness.evaluate(cv);
+    recordSimulateNs(stageNsSince(simStart));
     out.simulated = true;
     programCache->insert(programKey, out.result);
     if (programKeyOut != nullptr)
@@ -173,7 +196,7 @@ class InProcessBackend final : public EvaluationBackend {
   public:
     InProcessBackend(const ir::Module& base, const FitnessFunction& fitness,
                      std::uint32_t threads)
-        : base_(base), fitness_(fitness), pool_(threads),
+        : compiler_(base), fitness_(fitness), pool_(threads),
           faults_(parseFaultSpecs())
     {
     }
@@ -198,7 +221,7 @@ class InProcessBackend final : public EvaluationBackend {
                 // corrupt. Ignored, so one spec can drive both backends.
             }
             (*out)[i] =
-                evaluateTask(base_, fitness_, *batch[i], programCache,
+                evaluateTask(compiler_, fitness_, *batch[i], programCache,
                              nullptr);
         });
     }
@@ -210,7 +233,7 @@ class InProcessBackend final : public EvaluationBackend {
     }
 
   private:
-    const ir::Module& base_;
+    VariantCompiler compiler_;
     const FitnessFunction& fitness_;
     ThreadPool pool_;
     std::vector<FaultSpec> faults_;
@@ -268,8 +291,8 @@ class IsolatedBackend final : public EvaluationBackend {
   public:
     IsolatedBackend(const ir::Module& base, const FitnessFunction& fitness,
                     std::size_t workers, std::uint32_t timeoutMs)
-        : base_(base), fitness_(fitness), workers_(std::max<std::size_t>(
-                                              workers, 1)),
+        : compiler_(base), fitness_(fitness), workers_(std::max<std::size_t>(
+                                                  workers, 1)),
           timeoutMs_(timeoutMs), faults_(parseFaultSpecs())
     {
         GEVO_ASSERT(timeoutMs_ > 0, "isolated watchdog needs a budget");
@@ -361,7 +384,7 @@ class IsolatedBackend final : public EvaluationBackend {
             }
             std::string programKey;
             const EvalOutcome outcome = evaluateTask(
-                base_, fitness_, *batch[task], programCache, &programKey);
+                compiler_, fitness_, *batch[task], programCache, &programKey);
 
             std::string payload;
             appendLeU32(&payload, task);
@@ -698,7 +721,10 @@ class IsolatedBackend final : public EvaluationBackend {
         return pos == size;
     }
 
-    const ir::Module& base_;
+    /// Precompiled before any fork: workers inherit the cleaned base and
+    /// decoded base programs by process copy-on-write, so the incremental
+    /// pipeline costs each worker nothing to set up.
+    VariantCompiler compiler_;
     const FitnessFunction& fitness_;
     std::size_t workers_;
     std::uint32_t timeoutMs_;

@@ -92,8 +92,8 @@ class EvaluationBackend {
     /// into (*out)[i]. \p programCache, when non-null, is the shared
     /// compiled-program-content cache: backends serve repeat programs
     /// from it and insert fresh simulation results into it. Null selects
-    /// the literal compile-per-call reference path (no content keys are
-    /// even computed).
+    /// the compile-per-call reference path (every task compiled and
+    /// simulated, no cache lookups).
     virtual void
     evaluateBatch(const std::vector<const std::vector<mut::Edit>*>& batch,
                   VariantCache* programCache,

@@ -68,6 +68,57 @@ struct CompiledVariant {
 CompiledVariant compileVariant(const ir::Module& base,
                                const std::vector<mut::Edit>& edits);
 
+/// Which compile-stage implementation VariantCompiler::compile uses.
+enum class CompileMode {
+    Incremental, ///< Touched-function pipeline over COW-shared modules.
+    Reference,   ///< Full-module pipeline (the original compileVariant).
+};
+
+/// Process-wide compile mode. Defaults to Incremental; setting
+/// GEVO_COMPILE_REF=1 (anything but "0"/"") selects Reference — the
+/// differential oracle for the incremental path, exactly like
+/// GEVO_SIM_REFPATH gates the trace interpreter.
+CompileMode compileMode();
+/// Override the compile mode (tests; call before spawning evaluators).
+void setCompileMode(CompileMode mode);
+
+/// Incremental compile stage bound to one base module.
+///
+/// Construction runs the full pipeline once on the unedited base (cleanup
+/// a COW clone, verify, decode every kernel). compile(edits) then pays
+/// only for the functions the edit list actually touched: applyPatch over
+/// the COW-shared base detaches just those, so the touched set falls out
+/// of a pointer comparison per function; verification, the cleanup
+/// pipeline and program decode run on touched functions only, and the
+/// result's module/ProgramSet alias the precompiled base for everything
+/// else. This is byte-identical to compileVariant because the verifier
+/// has no module-level checks (a module diagnostic is the index-ordered
+/// concatenation of per-function diagnostics) and the cleanup pipeline
+/// and decoder are per-function pure.
+///
+/// Thread-safe: compile() only reads the immutable base state
+/// (shared_ptr refcounts are atomic), so evaluator threads share one
+/// compiler.
+class VariantCompiler {
+  public:
+    /// \p base must outlive the compiler. Falls back to the reference
+    /// pipeline when the base itself fails verification (tests exercise
+    /// that path; searches never do).
+    explicit VariantCompiler(const ir::Module& base);
+
+    /// Compile \p edits against the bound base. Honours compileMode().
+    CompiledVariant compile(const std::vector<mut::Edit>& edits) const;
+
+    /// The bound base module.
+    const ir::Module& base() const { return base_; }
+
+  private:
+    const ir::Module& base_;
+    bool incremental_ = false;
+    ir::Module cleanedBase_;       ///< Base after the cleanup pipeline.
+    sim::ProgramSet basePrograms_; ///< cleanedBase_ decoded once.
+};
+
 /// Application-supplied scoring of a compiled variant.
 ///
 /// Implementations must be safe to call concurrently from multiple threads
@@ -91,6 +142,25 @@ class FitnessFunction {
 FitnessResult evaluateVariant(const ir::Module& base,
                               const std::vector<mut::Edit>& edits,
                               const FitnessFunction& fitness);
+
+/// Cumulative wall-clock spent in each pipeline stage since the last
+/// reset, summed across evaluator threads.
+struct StageTimes {
+    double compileMs = 0.0;  ///< VariantCompiler::compile / compileVariant.
+    double simulateMs = 0.0; ///< FitnessFunction::evaluate.
+};
+
+/// Per-stage attribution of evaluation cost. The evaluation backends
+/// record around both stages; bench/throughput resets before a search and
+/// reads after, so the --json rows can split uncached cost between
+/// compile and simulate. Relaxed atomics — totals, not ordering. Caveat:
+/// the isolated backend's forked workers accumulate in their own address
+/// spaces, so only in-process evaluation (the bench default) is
+/// attributed.
+StageTimes stageTimes();
+void resetStageTimes();
+void recordCompileNs(std::uint64_t ns);
+void recordSimulateNs(std::uint64_t ns);
 
 } // namespace gevo::core
 

@@ -1,11 +1,19 @@
 #include "ir/function.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "support/logging.h"
 
 namespace gevo::ir {
+
+namespace {
+
+// Deep copies triggered by writes to shared kernels, process-wide.
+std::atomic<std::uint64_t> gCowDetaches{0};
+
+} // namespace
 
 std::size_t
 Function::instrCount() const
@@ -72,16 +80,23 @@ Module::clone() const
 std::size_t
 Module::addFunction(Function fn)
 {
-    functions_.push_back(std::move(fn));
+    functions_.push_back(std::make_shared<Function>(std::move(fn)));
     return functions_.size() - 1;
+}
+
+void
+Module::detachFunction(std::size_t i)
+{
+    functions_[i] = std::make_shared<Function>(*functions_[i]);
+    gCowDetaches.fetch_add(1, std::memory_order_relaxed);
 }
 
 Function*
 Module::findFunction(std::string_view name)
 {
-    for (auto& f : functions_) {
-        if (f.name == name)
-            return &f;
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+        if (functions_[i]->name == name)
+            return &function(i);
     }
     return nullptr;
 }
@@ -89,7 +104,23 @@ Module::findFunction(std::string_view name)
 const Function*
 Module::findFunction(std::string_view name) const
 {
-    return const_cast<Module*>(this)->findFunction(name);
+    for (const auto& f : functions_) {
+        if (f->name == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+std::uint64_t
+Module::cowDetachCount()
+{
+    return gCowDetaches.load(std::memory_order_relaxed);
+}
+
+void
+Module::resetCowDetachCount()
+{
+    gCowDetaches.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -103,21 +134,29 @@ Module::internLoc(const std::string& loc)
 {
     if (loc.empty())
         return 0;
-    for (std::size_t i = 1; i < locs_.size(); ++i) {
-        if (locs_[i] == loc)
-            return static_cast<std::uint32_t>(i);
+    if (locs_ != nullptr) {
+        for (std::size_t i = 1; i < locs_->size(); ++i) {
+            if ((*locs_)[i] == loc)
+                return static_cast<std::uint32_t>(i);
+        }
     }
-    locs_.push_back(loc);
-    return static_cast<std::uint32_t>(locs_.size() - 1);
+    // Growing the table: detach when shared (or allocate the reserved
+    // id-0 slot on first use).
+    if (locs_ == nullptr)
+        locs_ = std::make_shared<std::vector<std::string>>(1);
+    else if (locs_.use_count() != 1)
+        locs_ = std::make_shared<std::vector<std::string>>(*locs_);
+    locs_->push_back(loc);
+    return static_cast<std::uint32_t>(locs_->size() - 1);
 }
 
 const std::string&
 Module::locString(std::uint32_t id) const
 {
     static const std::string kEmpty;
-    if (id >= locs_.size())
+    if (locs_ == nullptr || id >= locs_->size())
         return kEmpty;
-    return locs_[id];
+    return (*locs_)[id];
 }
 
 std::size_t
@@ -125,7 +164,7 @@ Module::instrCount() const
 {
     std::size_t n = 0;
     for (const auto& f : functions_)
-        n += f.instrCount();
+        n += f->instrCount();
     return n;
 }
 

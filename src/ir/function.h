@@ -70,6 +70,15 @@ struct Function {
 /// Modules own the uid counter: every instruction created through the
 /// builder/parser obtains a fresh uid, and mutation-inserted clones draw
 /// from the same counter so anchors never collide.
+///
+/// Storage is copy-on-write per function: clone() shares every kernel (a
+/// refcount bump per function, no instruction copies), and the non-const
+/// accessors detach a private copy of just the touched kernel the first
+/// time it is written. Edit lists touch one or two kernels of a module,
+/// so variant materialization is O(touched functions), not O(module) —
+/// the shared base is never mutated, and shared_ptr refcounts are atomic,
+/// so concurrent clones of an immutable base from evaluator threads are
+/// safe. Interned source locations are shared the same way.
 class Module {
   public:
     Module() = default;
@@ -80,7 +89,9 @@ class Module {
     Module(Module&&) = default;
     Module& operator=(Module&&) = default;
 
-    /// Deep copy (preserves uids and the uid counter).
+    /// Copy-on-write copy: shares every function and the loc table
+    /// (preserves uids and the uid counter). Equivalent to a deep copy
+    /// for every observer; detaching happens lazily on first write.
     Module clone() const;
 
     /// Append an empty function, returning a stable index.
@@ -89,11 +100,33 @@ class Module {
     /// Number of kernels.
     std::size_t numFunctions() const { return functions_.size(); }
 
-    /// Kernel accessors.
-    Function& function(std::size_t i) { return functions_[i]; }
-    const Function& function(std::size_t i) const { return functions_[i]; }
+    /// Kernel accessors. The non-const form detaches a private copy when
+    /// the function is still shared with another module.
+    Function& function(std::size_t i)
+    {
+        if (functions_[i].use_count() != 1)
+            detachFunction(i);
+        return *functions_[i];
+    }
+    const Function& function(std::size_t i) const { return *functions_[i]; }
 
-    /// Find a kernel by name; nullptr when absent.
+    /// The shared handle for kernel \p i — identity comparison against
+    /// another module's handle answers "was this kernel ever written?"
+    /// without content comparison (the incremental compiler's touched-set
+    /// probe).
+    const std::shared_ptr<Function>& functionPtr(std::size_t i) const
+    {
+        return functions_[i];
+    }
+
+    /// Install \p fn as kernel \p i, sharing it with its current owners.
+    void setFunction(std::size_t i, std::shared_ptr<Function> fn)
+    {
+        functions_[i] = std::move(fn);
+    }
+
+    /// Find a kernel by name; nullptr when absent. The non-const form
+    /// detaches the found kernel (callers take it to write).
     Function* findFunction(std::string_view name);
     const Function* findFunction(std::string_view name) const;
 
@@ -113,9 +146,18 @@ class Module {
     /// Total instructions across all kernels.
     std::size_t instrCount() const;
 
+    /// Process-wide count of function detaches (deep copies triggered by
+    /// a write to a shared kernel). Test/bench instrumentation for the
+    /// copy-on-write contract: a generation's patch traffic must detach
+    /// O(touched kernels), not O(offspring x kernels).
+    static std::uint64_t cowDetachCount();
+    static void resetCowDetachCount();
+
   private:
-    std::vector<Function> functions_;
-    std::vector<std::string> locs_ = {""};
+    void detachFunction(std::size_t i);
+
+    std::vector<std::shared_ptr<Function>> functions_;
+    std::shared_ptr<std::vector<std::string>> locs_;
     std::uint64_t uidCounter_ = 0;
 };
 

@@ -11,32 +11,44 @@ using ir::Instr;
 using ir::InstrPos;
 using ir::Module;
 
-/// Locate (function, position) of an instruction uid; fn == nullptr when
-/// not found.
+/// Locate (function index, position) of an instruction uid without
+/// touching the module: variants share their functions copy-on-write
+/// with the base, so every skip-check below reads through const access
+/// and only a committed edit detaches (deep-copies) the one function it
+/// writes — via the non-const Module::function(fnIdx) at the last
+/// possible moment.
 struct Located {
-    Function* fn = nullptr;
+    std::int32_t fnIdx = -1;
     InstrPos pos;
+
+    bool found() const { return fnIdx >= 0; }
 };
 
 Located
-locate(Module& mod, std::uint64_t uid)
+locate(const Module& mod, std::uint64_t uid)
 {
     for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
-        auto& fn = mod.function(f);
-        const auto pos = fn.findUid(uid);
+        const auto pos = mod.function(f).findUid(uid);
         if (pos.valid())
-            return {&fn, pos};
+            return {static_cast<std::int32_t>(f), pos};
     }
     return {};
+}
+
+/// Const view of a located function (no detach).
+const Function&
+peek(const Module& mod, const Located& loc)
+{
+    return mod.function(loc.fnIdx);
 }
 
 bool
 applyDelete(Module& mod, const Edit& e)
 {
     const auto loc = locate(mod, e.srcUid);
-    if (loc.fn == nullptr || loc.fn->at(loc.pos).isTerminator())
+    if (!loc.found() || peek(mod, loc).at(loc.pos).isTerminator())
         return false;
-    auto& instrs = loc.fn->blocks[loc.pos.block].instrs;
+    auto& instrs = mod.function(loc.fnIdx).blocks[loc.pos.block].instrs;
     instrs.erase(instrs.begin() + loc.pos.index);
     return true;
 }
@@ -46,13 +58,13 @@ applyCopy(Module& mod, const Edit& e)
 {
     const auto src = locate(mod, e.srcUid);
     const auto dst = locate(mod, e.dstUid);
-    if (src.fn == nullptr || dst.fn == nullptr || src.fn != dst.fn)
+    if (!src.found() || !dst.found() || src.fnIdx != dst.fnIdx)
         return false;
-    if (src.fn->at(src.pos).isTerminator())
+    if (peek(mod, src).at(src.pos).isTerminator())
         return false;
-    Instr clone = src.fn->at(src.pos);
+    Instr clone = peek(mod, src).at(src.pos);
     clone.uid = e.newUid;
-    auto& instrs = dst.fn->blocks[dst.pos.block].instrs;
+    auto& instrs = mod.function(dst.fnIdx).blocks[dst.pos.block].instrs;
     instrs.insert(instrs.begin() + dst.pos.index, clone);
     mod.bumpUidCounter(e.newUid);
     return true;
@@ -63,25 +75,27 @@ applyMove(Module& mod, const Edit& e)
 {
     const auto src = locate(mod, e.srcUid);
     const auto dst = locate(mod, e.dstUid);
-    if (src.fn == nullptr || dst.fn == nullptr || src.fn != dst.fn)
+    if (!src.found() || !dst.found() || src.fnIdx != dst.fnIdx)
         return false;
-    if (src.fn->at(src.pos).isTerminator())
+    if (peek(mod, src).at(src.pos).isTerminator())
         return false;
     if (e.srcUid == e.dstUid)
         return false;
-    const Instr moved = src.fn->at(src.pos);
-    auto& srcInstrs = src.fn->blocks[src.pos.block].instrs;
+    Function& fn = mod.function(src.fnIdx);
+    const Instr moved = fn.at(src.pos);
+    auto& srcInstrs = fn.blocks[src.pos.block].instrs;
     srcInstrs.erase(srcInstrs.begin() + src.pos.index);
-    // Re-locate the destination: indices may have shifted.
-    const auto dst2 = locate(mod, e.dstUid);
-    if (dst2.fn == nullptr) {
+    // Re-locate the destination: indices may have shifted (both ends live
+    // in the now-detached function).
+    const auto pos2 = fn.findUid(e.dstUid);
+    if (!pos2.valid()) {
         // Destination vanished (was the moved instruction's neighbour in a
         // degenerate way); restore by appending back where it was.
         srcInstrs.insert(srcInstrs.begin() + src.pos.index, moved);
         return false;
     }
-    auto& dstInstrs = dst2.fn->blocks[dst2.pos.block].instrs;
-    dstInstrs.insert(dstInstrs.begin() + dst2.pos.index, moved);
+    auto& dstInstrs = fn.blocks[pos2.block].instrs;
+    dstInstrs.insert(dstInstrs.begin() + pos2.index, moved);
     return true;
 }
 
@@ -90,16 +104,16 @@ applyReplace(Module& mod, const Edit& e)
 {
     const auto src = locate(mod, e.srcUid);
     const auto dst = locate(mod, e.dstUid);
-    if (src.fn == nullptr || dst.fn == nullptr || src.fn != dst.fn)
+    if (!src.found() || !dst.found() || src.fnIdx != dst.fnIdx)
         return false;
-    if (src.fn->at(src.pos).isTerminator() ||
-        dst.fn->at(dst.pos).isTerminator())
+    if (peek(mod, src).at(src.pos).isTerminator() ||
+        peek(mod, dst).at(dst.pos).isTerminator())
         return false;
     if (e.srcUid == e.dstUid)
         return false;
-    Instr clone = src.fn->at(src.pos);
+    Instr clone = peek(mod, src).at(src.pos);
     clone.uid = e.newUid;
-    dst.fn->at(dst.pos) = clone;
+    mod.function(dst.fnIdx).at(dst.pos) = clone;
     mod.bumpUidCounter(e.newUid);
     return true;
 }
@@ -109,13 +123,15 @@ applySwap(Module& mod, const Edit& e)
 {
     const auto a = locate(mod, e.srcUid);
     const auto b = locate(mod, e.dstUid);
-    if (a.fn == nullptr || b.fn == nullptr || a.fn != b.fn)
+    if (!a.found() || !b.found() || a.fnIdx != b.fnIdx)
         return false;
-    if (a.fn->at(a.pos).isTerminator() || b.fn->at(b.pos).isTerminator())
+    if (peek(mod, a).at(a.pos).isTerminator() ||
+        peek(mod, b).at(b.pos).isTerminator())
         return false;
     if (e.srcUid == e.dstUid)
         return false;
-    std::swap(a.fn->at(a.pos), b.fn->at(b.pos));
+    Function& fn = mod.function(a.fnIdx);
+    std::swap(fn.at(a.pos), fn.at(b.pos));
     return true;
 }
 
@@ -123,9 +139,10 @@ bool
 applyOperandReplace(Module& mod, const Edit& e)
 {
     const auto loc = locate(mod, e.srcUid);
-    if (loc.fn == nullptr)
+    if (!loc.found())
         return false;
-    Instr& in = loc.fn->at(loc.pos);
+    const Function& fn = peek(mod, loc);
+    const Instr& in = fn.at(loc.pos);
     if (e.opIndex < 0 || e.opIndex >= in.nops)
         return false;
     const bool labelSlot =
@@ -133,23 +150,21 @@ applyOperandReplace(Module& mod, const Edit& e)
         (in.op == ir::Opcode::CondBr && (e.opIndex == 1 || e.opIndex == 2));
     if (labelSlot) {
         if (!e.newOperand.isLabel() ||
-            static_cast<std::size_t>(e.newOperand.value) >=
-                loc.fn->blocks.size())
+            static_cast<std::size_t>(e.newOperand.value) >= fn.blocks.size())
             return false;
     } else {
         if (e.newOperand.isLabel())
             return false;
         if (e.newOperand.isReg() &&
             (e.newOperand.value < 0 ||
-             static_cast<std::uint32_t>(e.newOperand.value) >=
-                 loc.fn->numRegs))
+             static_cast<std::uint32_t>(e.newOperand.value) >= fn.numRegs))
             return false;
         if (e.newOperand.kind == ir::Operand::Kind::None)
             return false;
     }
     if (in.ops[e.opIndex] == e.newOperand)
         return false; // no-op
-    in.ops[e.opIndex] = e.newOperand;
+    mod.function(loc.fnIdx).at(loc.pos).ops[e.opIndex] = e.newOperand;
     return true;
 }
 

@@ -60,6 +60,33 @@ setInterpreterMode(InterpMode mode)
 
 namespace {
 
+/// Dense-lane packing: -1 until first query, then 0/1. GEVO_SIM_DENSE=0
+/// disables; the default is on.
+std::atomic<int> gDenseMode{-1};
+
+} // namespace
+
+bool
+denseLaneMode()
+{
+    int mode = gDenseMode.load(std::memory_order_relaxed);
+    if (mode < 0) {
+        const char* env = std::getenv("GEVO_SIM_DENSE");
+        const bool off = env != nullptr && env[0] == '0' && env[1] == '\0';
+        mode = off ? 0 : 1;
+        gDenseMode.store(mode, std::memory_order_relaxed);
+    }
+    return mode != 0;
+}
+
+void
+setDenseLaneMode(bool on)
+{
+    gDenseMode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
 constexpr int kWarpSize = 32;
 constexpr std::uint32_t kFullMask = 0xffffffffu;
 
@@ -80,6 +107,28 @@ enum class WarpStop : std::uint8_t {
     Done,
     AtBarrier,
     Faulted,
+};
+
+/// Active lanes of a span's (constant) mask, gathered once per span in
+/// ascending lane order. Per-lane loops iterate these slots instead of
+/// testing all 32 mask bits — the dense-lane fast path for sparse
+/// divergent regions. nullptr (legacy mode, or a full mask) means "loop
+/// over all 32 lanes with a mask test". Ascending order keeps every
+/// order-sensitive site (atomic resolution, ballot/shfl last-active-lane
+/// mask reads) identical to the 32-slot loops.
+struct ActiveSet {
+    int n = 0;
+    std::uint8_t lanes[kWarpSize];
+
+    void
+    gather(std::uint32_t mask)
+    {
+        n = 0;
+        while (mask != 0) {
+            lanes[n++] = static_cast<std::uint8_t>(std::countr_zero(mask));
+            mask &= mask - 1;
+        }
+    }
 };
 
 struct WarpState {
@@ -113,9 +162,10 @@ class BlockRunner {
     BlockRunner(const DeviceConfig& dev, DeviceMemory& mem,
                 const Program& prog, LaunchDims dims,
                 const std::vector<std::uint64_t>& args, LaunchStats* stats,
-                bool profileLocs, bool trace)
+                bool profileLocs, bool trace, bool dense)
         : dev_(dev), mem_(mem), prog_(prog), dims_(dims), args_(args),
-          stats_(stats), profileLocs_(profileLocs), trace_(trace)
+          stats_(stats), profileLocs_(profileLocs), trace_(trace),
+          dense_(dense)
     {
         shared_.resize(prog.sharedBytes);
         local_.resize(static_cast<std::size_t>(prog.localBytes) *
@@ -626,8 +676,13 @@ class BlockRunner {
     WarpStop runWarpRef(WarpState& warp);
     WarpStop stepRef(WarpState& warp);
     WarpStop runWarpTrace(WarpState& warp);
+    // Templated on the packing mode so the full-width instantiation keeps
+    // the original straight masked loops (no per-lane indirection) while
+    // the dense one iterates the gathered slots; \p act is only read when
+    // kDense.
+    template <bool kDense>
     WarpStop execInstr(WarpState& warp, const DecodedInstr& in,
-                       std::uint32_t mask);
+                       std::uint32_t mask, const ActiveSet* act);
 
     const DeviceConfig& dev_;
     DeviceMemory& mem_;
@@ -638,6 +693,7 @@ class BlockRunner {
     LaunchStats* stats_;
     bool profileLocs_;
     bool trace_;
+    bool dense_;
 
     std::vector<std::uint8_t> shared_;
     std::vector<std::uint8_t> local_;
@@ -1002,16 +1058,44 @@ BlockRunner::runWarpTrace(WarpState& warp)
         const std::int32_t spanEnd =
             prog_.code[static_cast<std::size_t>(pc)].spanEnd;
 
+        // Dense-lane packing: the mask is constant over the span, so the
+        // active lane list is gathered once and every per-lane loop in
+        // execInstr runs over just those slots. A full mask stays on the
+        // legacy all-lanes loops (no indirection on the uniform path).
+        ActiveSet activeSet;
+        const ActiveSet* act = nullptr;
+        if (dense_ && mask != kFullMask) {
+            activeSet.gather(mask);
+            act = &activeSet;
+        }
+
         // ---- straight-line span: no stack or PC bookkeeping ----
-        for (; pc < spanEnd; ++pc) {
-            if (warp.issuedInstrs > dev_.maxInstrPerThread)
-                return plainFault(FaultKind::Timeout,
-                                  "instruction budget exceeded");
-            const DecodedInstr& in =
-                prog_.code[static_cast<std::size_t>(pc)];
-            stats_->laneInstrs += popMask;
-            if (execInstr(warp, in, mask) == WarpStop::Faulted)
-                return WarpStop::Faulted;
+        // The packing mode is span-constant, so each span commits to one
+        // execInstr instantiation up front.
+        if (act != nullptr) {
+            for (; pc < spanEnd; ++pc) {
+                if (warp.issuedInstrs > dev_.maxInstrPerThread)
+                    return plainFault(FaultKind::Timeout,
+                                      "instruction budget exceeded");
+                const DecodedInstr& in =
+                    prog_.code[static_cast<std::size_t>(pc)];
+                stats_->laneInstrs += popMask;
+                if (execInstr<true>(warp, in, mask, act) ==
+                    WarpStop::Faulted)
+                    return WarpStop::Faulted;
+            }
+        } else {
+            for (; pc < spanEnd; ++pc) {
+                if (warp.issuedInstrs > dev_.maxInstrPerThread)
+                    return plainFault(FaultKind::Timeout,
+                                      "instruction budget exceeded");
+                const DecodedInstr& in =
+                    prog_.code[static_cast<std::size_t>(pc)];
+                stats_->laneInstrs += popMask;
+                if (execInstr<false>(warp, in, mask, nullptr) ==
+                    WarpStop::Faulted)
+                    return WarpStop::Faulted;
+            }
         }
 
         // ---- boundary instruction: control flow or barrier ----
@@ -1047,6 +1131,15 @@ BlockRunner::runWarpTrace(WarpState& warp)
         std::uint32_t takenMask = 0;
         if (cond.base == nullptr) {
             takenMask = cond.scalar != 0 ? mask : 0;
+        } else if (act != nullptr) {
+            // The boundary executes under the span's mask, so the span's
+            // active set is still exact here.
+            for (int k = 0; k < act->n; ++k) {
+                const int lane = act->lanes[k];
+                if (cond.base[static_cast<std::size_t>(lane) *
+                              prog_.numRegs] != 0)
+                    takenMask |= 1u << lane;
+            }
         } else {
             const std::uint64_t* p = cond.base;
             for (int lane = 0; lane < kWarpSize;
@@ -1080,12 +1173,27 @@ BlockRunner::runWarpTrace(WarpState& warp)
 /// One non-boundary instruction under the trace interpreter: ALU/Cmp with
 /// warp-uniform scalarization, Sreg broadcast, memory, and the
 /// non-barrier warp intrinsics. Never touches the reconvergence stack.
+///
+/// When \p kDense, \p act is the span's gathered active-lane list (the
+/// dense-lane fast path); every per-lane loop below iterates either the
+/// dense slots or all 32 lanes with a mask test, through one shared body,
+/// in the same ascending lane order — so values, stats and fault order
+/// are bit-identical in both modes. kDense is a template parameter so
+/// the full-width instantiation compiles to the original masked loops
+/// with no per-lane indirection.
+template <bool kDense>
 WarpStop
 BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
-                       std::uint32_t mask)
+                       std::uint32_t mask, const ActiveSet* act)
 {
     const std::uint32_t numRegs = prog_.numRegs;
     std::uint64_t* const regs0 = warp.regs.data();
+    const int laneLimit = kDense ? act->n : kWarpSize;
+    // One shared iteration header for every per-lane loop: slot k maps to
+    // a dense lane (active by construction) or to lane k (masked test).
+    const auto laneAt = [act](int k) {
+        return kDense ? static_cast<int>(act->lanes[k]) : k;
+    };
 
     switch (in.kind) {
       case ir::OpKind::Alu:
@@ -1104,23 +1212,16 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
         } else {
             materializeReg(warp, in.dest);
             const auto dest = static_cast<std::size_t>(in.dest);
-            std::uint64_t* lr = regs0;
-            for (int lane = 0; lane < kWarpSize; ++lane, lr += numRegs) {
-                if (!(mask & (1u << lane)))
+            for (int k = 0; k < laneLimit; ++k) {
+                const int lane = laneAt(k);
+                if (!kDense && !(mask & (1u << lane)))
                     continue;
-                const std::uint64_t av =
-                    a.base ? a.base[static_cast<std::size_t>(lane) *
-                                    numRegs]
-                           : a.scalar;
-                const std::uint64_t bv =
-                    b.base ? b.base[static_cast<std::size_t>(lane) *
-                                    numRegs]
-                           : b.scalar;
-                const std::uint64_t cv =
-                    c.base ? c.base[static_cast<std::size_t>(lane) *
-                                    numRegs]
-                           : c.scalar;
-                lr[dest] = ir::evalScalar(in.op, av, bv, cv);
+                const std::size_t off =
+                    static_cast<std::size_t>(lane) * numRegs;
+                const std::uint64_t av = a.base ? a.base[off] : a.scalar;
+                const std::uint64_t bv = b.base ? b.base[off] : b.scalar;
+                const std::uint64_t cv = c.base ? c.base[off] : c.scalar;
+                regs0[off + dest] = ir::evalScalar(in.op, av, bv, cv);
             }
         }
         setReady(warp, in.dest, dev_.aluLat);
@@ -1138,10 +1239,12 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
                     ? static_cast<std::uint64_t>(warp.index) * kWarpSize
                     : 0;
             const auto dest = static_cast<std::size_t>(in.dest);
-            std::uint64_t* lr = regs0;
-            for (int lane = 0; lane < kWarpSize; ++lane, lr += numRegs) {
-                if (mask & (1u << lane))
-                    lr[dest] = base + static_cast<std::uint64_t>(lane);
+            for (int k = 0; k < laneLimit; ++k) {
+                const int lane = laneAt(k);
+                if (!kDense && !(mask & (1u << lane)))
+                    continue;
+                regs0[static_cast<std::size_t>(lane) * numRegs + dest] =
+                    base + static_cast<std::uint64_t>(lane);
             }
             break;
           }
@@ -1169,16 +1272,19 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
         std::int64_t addrs[kWarpSize] = {};
         if (av.base == nullptr) {
             const auto addr = static_cast<std::int64_t>(av.scalar);
-            for (int lane = 0; lane < kWarpSize; ++lane) {
-                if (mask & (1u << lane))
-                    addrs[lane] = addr;
+            for (int k = 0; k < laneLimit; ++k) {
+                const int lane = laneAt(k);
+                if (!kDense && !(mask & (1u << lane)))
+                    continue;
+                addrs[lane] = addr;
             }
         } else {
-            const std::uint64_t* p = av.base;
-            for (int lane = 0; lane < kWarpSize;
-                 ++lane, p += numRegs) {
-                if (mask & (1u << lane))
-                    addrs[lane] = static_cast<std::int64_t>(*p);
+            for (int k = 0; k < laneLimit; ++k) {
+                const int lane = laneAt(k);
+                if (!kDense && !(mask & (1u << lane)))
+                    continue;
+                addrs[lane] = static_cast<std::int64_t>(
+                    av.base[static_cast<std::size_t>(lane) * numRegs]);
             }
         }
         std::uint64_t slots = 1;
@@ -1199,8 +1305,9 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
             } else {
                 materializeReg(warp, in.dest);
                 const auto dest = static_cast<std::size_t>(in.dest);
-                for (int lane = 0; lane < kWarpSize; ++lane) {
-                    if (!(mask & (1u << lane)))
+                for (int k = 0; k < laneLimit; ++k) {
+                    const int lane = laneAt(k);
+                    if (!kDense && !(mask & (1u << lane)))
                         continue;
                     const auto thread =
                         static_cast<std::uint32_t>(warp.index) *
@@ -1229,8 +1336,9 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
                     return memFault(fk, addr);
                 return WarpStop::Done;
             }
-            for (int lane = 0; lane < kWarpSize; ++lane) {
-                if (!(mask & (1u << lane)))
+            for (int k = 0; k < laneLimit; ++k) {
+                const int lane = laneAt(k);
+                if (!kDense && !(mask & (1u << lane)))
                     continue;
                 const auto thread =
                     static_cast<std::uint32_t>(warp.index) * kWarpSize +
@@ -1246,13 +1354,15 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
             return WarpStop::Done;
         }
         // AtomicRMW: lane order is the deterministic resolution order, so
-        // this path stays per-lane; operand reads still use the views.
+        // this path stays per-lane (dense slots preserve ascending lane
+        // order); operand reads still use the views.
         const SrcView bv = viewOf(warp, in.ops[1]);
         const SrcView cv = viewOf(warp, in.ops[2]);
         materializeReg(warp, in.dest);
         const auto dest = static_cast<std::size_t>(in.dest);
-        for (int lane = 0; lane < kWarpSize; ++lane) {
-            if (!(mask & (1u << lane)))
+        for (int k = 0; k < laneLimit; ++k) {
+            const int lane = laneAt(k);
+            if (!kDense && !(mask & (1u << lane)))
                 continue;
             const auto thread =
                 static_cast<std::uint32_t>(warp.index) * kWarpSize +
@@ -1329,8 +1439,11 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
                 syncMask = static_cast<std::uint32_t>(mv.scalar);
                 result = pv.scalar != 0 ? mask : 0;
             } else {
-                for (int lane = 0; lane < kWarpSize; ++lane) {
-                    if (!(mask & (1u << lane)))
+                // Ascending order matters: the fault check below reads
+                // the last active lane's mask value.
+                for (int k = 0; k < laneLimit; ++k) {
+                    const int lane = laneAt(k);
+                    if (!kDense && !(mask & (1u << lane)))
                         continue;
                     const std::size_t off =
                         static_cast<std::size_t>(lane) * numRegs;
@@ -1377,6 +1490,9 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
             setReady(warp, in.dest, dev_.shflLat);
             return WarpStop::Done;
         }
+        // Source values are gathered from ALL 32 lanes — inactive lanes
+        // are legal shuffle sources — so this gather stays full-width
+        // even under dense packing.
         std::uint64_t srcVals[kWarpSize];
         for (int lane = 0; lane < kWarpSize; ++lane)
             srcVals[lane] =
@@ -1386,8 +1502,9 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
         // read; the post-loop fault check then sees the last active
         // lane's value — both exactly as in the reference loop.
         std::uint32_t syncMask = 0;
-        for (int lane = 0; lane < kWarpSize; ++lane) {
-            if (!(mask & (1u << lane)))
+        for (int k = 0; k < laneLimit; ++k) {
+            const int lane = laneAt(k);
+            if (!kDense && !(mask & (1u << lane)))
                 continue;
             const std::size_t off =
                 static_cast<std::size_t>(lane) * numRegs;
@@ -1414,10 +1531,12 @@ BlockRunner::execInstr(WarpState& warp, const DecodedInstr& in,
         materializeReg(warp, in.dest);
         {
             const auto dest = static_cast<std::size_t>(in.dest);
-            std::uint64_t* lr = regs0;
-            for (int lane = 0; lane < kWarpSize; ++lane, lr += numRegs) {
-                if (mask & (1u << lane))
-                    lr[dest] = results[lane];
+            for (int k = 0; k < laneLimit; ++k) {
+                const int lane = laneAt(k);
+                if (!kDense && !(mask & (1u << lane)))
+                    continue;
+                regs0[static_cast<std::size_t>(lane) * numRegs + dest] =
+                    results[lane];
             }
         }
         setReady(warp, in.dest, dev_.shflLat);
@@ -1460,6 +1579,7 @@ launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
     // Sampled once per launch so every block (and every worker thread of
     // a parallel launch) runs the same interpreter.
     const bool trace = interpreterMode() == InterpMode::Trace;
+    const bool dense = trace && denseLaneMode();
 
     std::uint64_t sumIssue = 0;
     std::uint64_t sumLat = 0;
@@ -1467,7 +1587,7 @@ launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
         std::min(std::max(1u, dims.blockThreads), dims.gridDim);
     if (blockThreads <= 1) {
         BlockRunner runner(dev, mem, prog, dims, args, &result.stats,
-                           profileLocs, trace);
+                           profileLocs, trace, dense);
         for (std::uint32_t b = 0; b < dims.gridDim; ++b) {
             std::uint64_t issue = 0;
             std::uint64_t lat = 0;
@@ -1506,7 +1626,7 @@ launchKernel(const DeviceConfig& dev, DeviceMemory& mem, const Program& prog,
                 if (profileLocs)
                     part.stats.locIssues.assign(prog.maxLoc + 1, 0);
                 BlockRunner runner(dev, mem, prog, dims, args, &part.stats,
-                                   profileLocs, trace);
+                                   profileLocs, trace, dense);
                 const std::uint32_t begin = t * chunk;
                 const std::uint32_t end =
                     std::min(dims.gridDim, begin + chunk);

@@ -149,6 +149,17 @@ InterpMode interpreterMode();
 /// sampled once, so in-flight launches are unaffected.
 void setInterpreterMode(InterpMode mode);
 
+/// Dense active-lane packing in the trace interpreter: when a span's
+/// (constant) active mask is not full, gather the active lane indices
+/// once and run every per-lane loop over just those slots — divergent
+/// regions stop paying 32-wide cost for 3-wide masks. Bit-identical to
+/// the 32-slot loops (inactive-lane register values, stats, timing and
+/// fault order are untouched). Resolved once from GEVO_SIM_DENSE
+/// (default on; "0" disables) unless overridden by setDenseLaneMode();
+/// sampled once per launch like the interpreter mode.
+bool denseLaneMode();
+void setDenseLaneMode(bool on);
+
 /// Execute \p prog on \p dev over \p mem.
 ///
 /// \p args are the kernel parameters preloaded into r0..r(numParams-1).

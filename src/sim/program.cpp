@@ -84,6 +84,38 @@ Program::decode(const ir::Function& fn)
             d.spanEnd = boundary;
         }
     }
+
+    // Content-key fragment: canonical bytes of every execution-relevant
+    // field. Interned source-location ids are deliberately excluded: they
+    // do not affect functional results or timing, only profiling
+    // attribution — so variants differing only in loc metadata share a
+    // cache key.
+    std::string& key = prog.keyFragment;
+    key += prog.name;
+    key.push_back('\0');
+    appendLeU32(&key, prog.numParams);
+    appendLeU32(&key, prog.numRegs);
+    appendLeU32(&key, prog.sharedBytes);
+    appendLeU32(&key, prog.localBytes);
+    appendLeU32(&key, static_cast<std::uint32_t>(prog.code.size()));
+    for (const auto& in : prog.code) {
+        key.push_back(static_cast<char>(
+            static_cast<std::uint16_t>(in.op) & 0xff));
+        key.push_back(static_cast<char>(
+            (static_cast<std::uint16_t>(in.op) >> 8) & 0xff));
+        key.push_back(static_cast<char>(in.nops));
+        key.push_back(static_cast<char>(in.space));
+        key.push_back(static_cast<char>(in.width));
+        key.push_back(static_cast<char>(in.atom));
+        appendLeI64(&key, in.dest);
+        for (int i = 0; i < in.nops; ++i) {
+            key.push_back(static_cast<char>(in.ops[i].kind));
+            appendLeI64(&key, in.ops[i].value);
+        }
+        appendLeI64(&key, in.target0);
+        appendLeI64(&key, in.target1);
+        appendLeI64(&key, in.reconvPc);
+    }
     return prog;
 }
 
@@ -93,7 +125,8 @@ ProgramSet::decodeModule(const ir::Module& module)
     ProgramSet set;
     set.programs_.reserve(module.numFunctions());
     for (std::size_t i = 0; i < module.numFunctions(); ++i)
-        set.programs_.push_back(Program::decode(module.function(i)));
+        set.programs_.push_back(std::make_shared<const Program>(
+            Program::decode(module.function(i))));
     return set;
 }
 
@@ -101,8 +134,8 @@ const Program*
 ProgramSet::find(std::string_view name) const
 {
     for (const auto& prog : programs_) {
-        if (prog.name == name)
-            return &prog;
+        if (prog->name == name)
+            return prog.get();
     }
     return nullptr;
 }
@@ -111,33 +144,8 @@ std::string
 ProgramSet::contentKey() const
 {
     std::string key;
-    for (const auto& prog : programs_) {
-        key += prog.name;
-        key.push_back('\0');
-        appendLeU32(&key, prog.numParams);
-        appendLeU32(&key, prog.numRegs);
-        appendLeU32(&key, prog.sharedBytes);
-        appendLeU32(&key, prog.localBytes);
-        appendLeU32(&key, static_cast<std::uint32_t>(prog.code.size()));
-        for (const auto& in : prog.code) {
-            key.push_back(static_cast<char>(
-                static_cast<std::uint16_t>(in.op) & 0xff));
-            key.push_back(static_cast<char>(
-                (static_cast<std::uint16_t>(in.op) >> 8) & 0xff));
-            key.push_back(static_cast<char>(in.nops));
-            key.push_back(static_cast<char>(in.space));
-            key.push_back(static_cast<char>(in.width));
-            key.push_back(static_cast<char>(in.atom));
-            appendLeI64(&key, in.dest);
-            for (int i = 0; i < in.nops; ++i) {
-                key.push_back(static_cast<char>(in.ops[i].kind));
-                appendLeI64(&key, in.ops[i].value);
-            }
-            appendLeI64(&key, in.target0);
-            appendLeI64(&key, in.target1);
-            appendLeI64(&key, in.reconvPc);
-        }
-    }
+    for (const auto& prog : programs_)
+        key += prog->keyFragment;
     return key;
 }
 

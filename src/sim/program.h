@@ -20,6 +20,7 @@
 #define GEVO_SIM_PROGRAM_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,6 +69,12 @@ struct Program {
     std::uint32_t maxLoc = 0; ///< Highest interned source-loc id in code.
     std::vector<DecodedInstr> code;
     std::vector<std::int32_t> blockStart; ///< Block index -> first PC.
+    /// This program's slice of ProgramSet::contentKey(), baked at decode.
+    /// Per-program fragments are self-contained (no cross-program state),
+    /// so the incremental compiler can assemble a variant's content key
+    /// from shared base programs plus freshly decoded touched ones and
+    /// land on bytes identical to a full decode.
+    std::string keyFragment;
 
     /// Decode a kernel. \pre verifyFunction(fn).ok().
     static Program decode(const ir::Function& fn);
@@ -101,10 +108,24 @@ class ProgramSet {
     std::string contentKey() const;
 
     std::size_t size() const { return programs_.size(); }
-    const Program& at(std::size_t i) const { return programs_[i]; }
+    const Program& at(std::size_t i) const { return *programs_[i]; }
+
+    /// Append a program (shared: no copy). Programs are immutable once
+    /// decoded, so a variant's set can alias the base compiler's programs
+    /// for every untouched kernel.
+    void add(std::shared_ptr<const Program> prog)
+    {
+        programs_.push_back(std::move(prog));
+    }
+
+    /// Shared handle to program \p i, for aliasing into another set.
+    const std::shared_ptr<const Program>& share(std::size_t i) const
+    {
+        return programs_[i];
+    }
 
   private:
-    std::vector<Program> programs_;
+    std::vector<std::shared_ptr<const Program>> programs_;
 };
 
 } // namespace gevo::sim

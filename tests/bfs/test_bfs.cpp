@@ -178,5 +178,32 @@ TEST(BfsSim, TraceAndReferenceInterpretersAgree)
     sim::testutil::expectStatsEqual(trace.aggregate, ref.aggregate);
 }
 
+TEST(BfsSim, DensePackingPreservesProfiledCounters)
+{
+    // Frontier checks leave most lanes idle on most levels, so BFS runs
+    // almost entirely on the dense path. Profiled counters must be
+    // identical with packing on and off.
+    const auto cfg = smallConfig();
+    const auto built = buildBfs(cfg);
+    const BfsDriver driver(cfg);
+    sim::testutil::InterpModeGuard m(sim::InterpMode::Trace);
+    BfsRunOutput dense;
+    BfsRunOutput legacy;
+    {
+        sim::testutil::DenseLaneGuard g(true);
+        dense = driver.run(built.module, sim::p100(), true);
+    }
+    {
+        sim::testutil::DenseLaneGuard g(false);
+        legacy = driver.run(built.module, sim::p100(), true);
+    }
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_EQ(dense.totalMs, legacy.totalMs);
+    EXPECT_EQ(dense.dist, legacy.dist);
+    EXPECT_EQ(dense.levels, legacy.levels);
+    sim::testutil::expectStatsEqual(dense.aggregate, legacy.aggregate);
+}
+
 } // namespace
 } // namespace gevo::bfs

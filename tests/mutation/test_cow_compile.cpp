@@ -1,0 +1,256 @@
+/// Copy-on-write variant compilation: detach accounting (a breeding
+/// generation must clone O(touched functions), not O(offspring ×
+/// functions)), and differential fuzz of the incremental VariantCompiler
+/// against the full-copy reference pipeline (the GEVO_COMPILE_REF
+/// oracle) — random edit lists must yield byte-identical modules and
+/// identical ProgramSet content keys.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fitness.h"
+#include "core/params.h"
+#include "core/population.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "mutation/patch.h"
+#include "mutation/sampler.h"
+#include "support/rng.h"
+
+namespace gevo {
+namespace {
+
+/// Four kernels so the COW win is visible: an edit list touching one
+/// function must leave the other three shared with the base.
+constexpr const char* kFleet = R"(
+kernel @alpha params 1 regs 16 shared 64 local 0 {
+entry:
+    r1 = tid
+    r2 = add.i32 r1, 1
+    r3 = mul.i32 r2, 2
+    st.i32.global r0, r3
+    br next
+next:
+    r4 = sub.i32 r3, 1
+    st.i32.global r0, r4
+    ret
+}
+
+kernel @beta params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = mul.i32 r1, 3
+    r3 = add.i32 r2, 7
+    r4 = cvt.i32.i64 r3
+    st.i32.global r0, r3
+    ret
+}
+
+kernel @gamma params 1 regs 16 shared 128 local 0 {
+entry:
+    r1 = tid
+    r2 = and r1, 15
+    r3 = mov 0
+    br loop
+loop:
+    r3 = add.i32 r3, r2
+    r4 = cmp.lt.i32 r3, 40
+    brc r4, loop, done
+done:
+    st.i32.global r0, r3
+    ret
+}
+
+kernel @delta params 1 regs 16 shared 0 local 0 {
+entry:
+    r1 = bid
+    r2 = ntid
+    r3 = mul.i32 r1, r2
+    r4 = add.i32 r3, 5
+    st.i32.global r0, r4
+    ret
+}
+)";
+
+ir::Module
+fleet()
+{
+    auto res = ir::parseModule(kFleet);
+    EXPECT_TRUE(res.ok) << res.error;
+    return std::move(res.module);
+}
+
+/// RAII compile-mode override so a GEVO_COMPILE_REF suite run keeps its
+/// selection outside the guarded regions.
+class CompileModeGuard {
+  public:
+    explicit CompileModeGuard(core::CompileMode mode)
+        : previous_(core::compileMode())
+    {
+        core::setCompileMode(mode);
+    }
+    ~CompileModeGuard() { core::setCompileMode(previous_); }
+
+  private:
+    core::CompileMode previous_;
+};
+
+TEST(CowCompile, GenerationDetachesScaleWithTouchedNotOffspring)
+{
+    // Population::mutate reapplies each individual's full patch to sample
+    // the next edit against the current variant. Pre-COW that deep-copied
+    // every function for every offspring; now applyPatch may only detach
+    // the functions its applied edits actually touch.
+    const auto base = fleet();
+    core::EvolutionParams params;
+    params.populationSize = 16;
+    params.generations = 1;
+    core::Population pop(base, params);
+    Rng rng(77);
+    pop.seed(rng);
+
+    std::size_t detaches = 0;
+    std::size_t editBudget = 0;
+    const int generations = 4;
+    for (int g = 0; g < generations; ++g) {
+        // Fake deterministic fitness so selection has something to sort.
+        double ms = 1.0;
+        for (auto& m : pop.members()) {
+            m.fitness = core::FitnessResult::pass(ms);
+            m.evaluated = true;
+            ms += 1.0;
+        }
+        pop.sortByFitness();
+        ir::Module::resetCowDetachCount();
+        pop.breedNext(rng);
+        detaches += ir::Module::cowDetachCount();
+        // Each offspring is mutated at most once, and a patch detaches at
+        // most one function per applied edit — so the per-generation edit
+        // mass bounds the clone count.
+        for (const auto& m : pop.members())
+            editBudget += m.edits.size();
+    }
+    EXPECT_LE(detaches, editBudget);
+    // And far under the old full-copy cost: every breed used to clone
+    // every function of every reapplied patch.
+    EXPECT_LT(detaches,
+              static_cast<std::size_t>(generations) * pop.size() *
+                  base.numFunctions());
+}
+
+TEST(CowCompile, ApplyPatchSharesLocTableWithBase)
+{
+    // Edits never intern new source locations, so the variant must share
+    // the base's loc storage and the strings must read through.
+    auto base = fleet();
+    const auto id = base.internLoc("fleet.cu:1");
+    mut::Edit e;
+    e.kind = mut::EditKind::InstrDelete;
+    e.srcUid = base.function(0).blocks[0].instrs[1].uid;
+    const auto out = mut::applyPatch(base, {e});
+    EXPECT_EQ(out.locString(id), "fleet.cu:1");
+}
+
+TEST(CowCompile, IncrementalMatchesReferenceOnRandomEditLists)
+{
+    // The fuzz oracle: for random edit lists (sampled against the
+    // progressively patched module, exactly like Population::mutate), the
+    // incremental COW pipeline and the full-copy reference pipeline must
+    // agree on ok/failReason, produce byte-identical printed modules,
+    // matching uid counters, and identical program content keys.
+    const auto base = fleet();
+    const core::VariantCompiler compiler(base);
+    CompileModeGuard guard(core::CompileMode::Incremental);
+    Rng rng(20260808);
+
+    int nonEmpty = 0;
+    for (int iter = 0; iter < 150; ++iter) {
+        std::vector<mut::Edit> edits;
+        const auto len = rng.below(5);
+        for (std::uint64_t k = 0; k < len; ++k) {
+            const auto cur = mut::applyPatch(base, edits);
+            const auto e = mut::sampleEdit(cur, rng);
+            if (!e)
+                break;
+            edits.push_back(*e);
+        }
+        if (!edits.empty())
+            ++nonEmpty;
+
+        const auto inc = compiler.compile(edits);
+        const auto ref = core::compileVariant(base, edits);
+        ASSERT_EQ(inc.ok, ref.ok) << "iter " << iter;
+        EXPECT_EQ(inc.failReason, ref.failReason) << "iter " << iter;
+        if (!inc.ok)
+            continue;
+        EXPECT_EQ(ir::printModule(inc.module), ir::printModule(ref.module))
+            << "iter " << iter;
+        EXPECT_EQ(inc.module.uidCounter(), ref.module.uidCounter())
+            << "iter " << iter;
+        EXPECT_EQ(inc.programs.contentKey(), ref.programs.contentKey())
+            << "iter " << iter;
+    }
+    // The sweep must actually exercise edits, not degenerate to 150
+    // empty lists.
+    EXPECT_GT(nonEmpty, 90);
+}
+
+TEST(CowCompile, ReferenceModeFallsBackToFullPipeline)
+{
+    // GEVO_COMPILE_REF flips VariantCompiler::compile to the full-copy
+    // oracle; the result must be indistinguishable either way.
+    const auto base = fleet();
+    const core::VariantCompiler compiler(base);
+    Rng rng(5);
+    std::vector<mut::Edit> edits;
+    const auto e = mut::sampleEdit(base, rng);
+    ASSERT_TRUE(e.has_value());
+    edits.push_back(*e);
+
+    core::CompiledVariant inc;
+    core::CompiledVariant ref;
+    {
+        CompileModeGuard g(core::CompileMode::Incremental);
+        inc = compiler.compile(edits);
+    }
+    {
+        CompileModeGuard g(core::CompileMode::Reference);
+        ref = compiler.compile(edits);
+    }
+    ASSERT_EQ(inc.ok, ref.ok);
+    EXPECT_EQ(inc.failReason, ref.failReason);
+    if (inc.ok) {
+        EXPECT_EQ(ir::printModule(inc.module), ir::printModule(ref.module));
+        EXPECT_EQ(inc.programs.contentKey(), ref.programs.contentKey());
+    }
+}
+
+TEST(CowCompile, UntouchedProgramsAreSharedWithBaseSet)
+{
+    // The assembled variant must reuse the precompiled base Program
+    // objects (pointer identity) everywhere the patch didn't reach —
+    // that sharing is the compile-stage win the stage-split benchmark
+    // measures.
+    const auto base = fleet();
+    const core::VariantCompiler compiler(base);
+    CompileModeGuard guard(core::CompileMode::Incremental);
+
+    // An edit confined to @gamma (function 2).
+    mut::Edit e;
+    e.kind = mut::EditKind::InstrDelete;
+    e.srcUid = base.function(2).blocks[0].instrs[1].uid; // the and
+    const auto cv = compiler.compile({e});
+    ASSERT_TRUE(cv.ok) << cv.failReason;
+
+    const auto baseline = compiler.compile({});
+    ASSERT_TRUE(baseline.ok);
+    EXPECT_EQ(baseline.programs.share(0).get(), cv.programs.share(0).get());
+    EXPECT_EQ(baseline.programs.share(1).get(), cv.programs.share(1).get());
+    EXPECT_NE(baseline.programs.share(2).get(), cv.programs.share(2).get());
+    EXPECT_EQ(baseline.programs.share(3).get(), cv.programs.share(3).get());
+}
+
+} // namespace
+} // namespace gevo

@@ -235,6 +235,74 @@ TEST(Patch, BaseModuleIsNeverModified)
     EXPECT_EQ(ir::printModule(base), before);
 }
 
+TEST(Patch, CowSharesUntouchedFunctions)
+{
+    auto res = ir::parseModule(R"(
+kernel @a params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = add.i32 r1, 1
+    st.i32.global r0, r2
+    ret
+}
+
+kernel @b params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = mul.i32 r1, 2
+    st.i32.global r0, r2
+    ret
+}
+
+kernel @c params 1 regs 8 shared 0 local 0 {
+entry:
+    r1 = bid
+    r2 = sub.i32 r1, 3
+    st.i32.global r0, r2
+    ret
+}
+)");
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto& base = res.module;
+
+    // An applied edit detaches exactly the one function it touches; the
+    // others stay pointer-shared with the base.
+    Edit e;
+    e.kind = EditKind::InstrDelete;
+    e.srcUid = base.function(1).blocks[0].instrs[1].uid; // @b's mul
+    Module::resetCowDetachCount();
+    const auto out = applyPatch(base, {e});
+    EXPECT_EQ(Module::cowDetachCount(), 1u);
+    EXPECT_EQ(out.functionPtr(0).get(), base.functionPtr(0).get());
+    EXPECT_NE(out.functionPtr(1).get(), base.functionPtr(1).get());
+    EXPECT_EQ(out.functionPtr(2).get(), base.functionPtr(2).get());
+
+    // Skipped edits detach nothing: the variant is a pure pointer copy.
+    Edit dangling;
+    dangling.kind = EditKind::InstrDelete;
+    dangling.srcUid = 987654;
+    Module::resetCowDetachCount();
+    const auto noop = applyPatch(base, {dangling});
+    EXPECT_EQ(Module::cowDetachCount(), 0u);
+    for (std::size_t i = 0; i < base.numFunctions(); ++i)
+        EXPECT_EQ(noop.functionPtr(i).get(), base.functionPtr(i).get());
+
+    // Two edits in the same function still cost one detach.
+    Edit e2;
+    e2.kind = EditKind::OperandReplace;
+    e2.srcUid = base.function(1).blocks[0].instrs[1].uid;
+    e2.opIndex = 1;
+    e2.newOperand = Operand::imm(9);
+    Edit e3;
+    e3.kind = EditKind::OperandReplace;
+    e3.srcUid = base.function(1).blocks[0].instrs[2].uid; // @b's store
+    e3.opIndex = 1;
+    e3.newOperand = Operand::reg(1);
+    Module::resetCowDetachCount();
+    applyPatch(base, {e2, e3});
+    EXPECT_EQ(Module::cowDetachCount(), 1u);
+}
+
 TEST(Patch, StructuralEditsStayWithinOneKernel)
 {
     auto res = ir::parseModule(R"(

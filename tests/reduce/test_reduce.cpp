@@ -132,5 +132,32 @@ TEST(ReduceSim, TraceAndReferenceInterpretersAgree)
     sim::testutil::expectStatsEqual(trace.aggregate, ref.aggregate);
 }
 
+TEST(ReduceSim, DensePackingPreservesProfiledCounters)
+{
+    // The tree reduction halves the active mask every level — the
+    // densest sparse-mask workload in the suite. Profiled counters must
+    // be identical with packing on and off.
+    const auto cfg = smallConfig();
+    const auto built = buildReduce(cfg);
+    const ReduceDriver driver(cfg);
+    sim::testutil::InterpModeGuard m(sim::InterpMode::Trace);
+    ReduceRunOutput dense;
+    ReduceRunOutput legacy;
+    {
+        sim::testutil::DenseLaneGuard g(true);
+        dense = driver.run(built.module, sim::p100(), true);
+    }
+    {
+        sim::testutil::DenseLaneGuard g(false);
+        legacy = driver.run(built.module, sim::p100(), true);
+    }
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_EQ(dense.totalMs, legacy.totalMs);
+    EXPECT_EQ(dense.totals, legacy.totals);
+    EXPECT_EQ(dense.partials, legacy.partials);
+    sim::testutil::expectStatsEqual(dense.aggregate, legacy.aggregate);
+}
+
 } // namespace
 } // namespace gevo::reduce

@@ -36,6 +36,24 @@ class InterpModeGuard {
     InterpMode previous_;
 };
 
+/// RAII dense-lane-mode override; restores the previous setting on exit
+/// (so a GEVO_SIM_DENSE=0 suite run keeps its selection outside the
+/// guarded regions).
+class DenseLaneGuard {
+  public:
+    explicit DenseLaneGuard(bool on) : previous_(denseLaneMode())
+    {
+        setDenseLaneMode(on);
+    }
+    ~DenseLaneGuard() { setDenseLaneMode(previous_); }
+
+    DenseLaneGuard(const DenseLaneGuard&) = delete;
+    DenseLaneGuard& operator=(const DenseLaneGuard&) = delete;
+
+  private:
+    bool previous_;
+};
+
 /// Bit-identical LaunchStats comparison — shared by every differential
 /// suite (trace-vs-reference micro-kernels, app drivers, workload tests)
 /// so a new counter only has to be added here, not in each copy.

@@ -383,6 +383,229 @@ join:
     expectIdentical(prog, {1, 32}, {0}, v100());
 }
 
+// ---- dense active-lane packing (sparse masks) ----
+
+/// Run \p prog three ways — dense-packed trace, legacy (full-width)
+/// trace, and the reference interpreter — and assert all three produce
+/// bit-identical stats, faults, and memory images. This is the oracle
+/// for the sparse-mask gather: packing may only change how the lane loop
+/// iterates, never what it computes or counts.
+void
+expectDenseIdentical(const Program& prog, LaunchDims dims,
+                     const std::vector<std::uint64_t>& args,
+                     const DeviceConfig& dev = p100(), bool profile = false)
+{
+    DeviceMemory memD(1 << 18);
+    DeviceMemory memL(1 << 18);
+    DeviceMemory memR(1 << 18);
+    memD.alloc(1 << 16);
+    memL.alloc(1 << 16);
+    memR.alloc(1 << 16);
+
+    LaunchResult dense;
+    LaunchResult legacy;
+    LaunchResult ref;
+    {
+        ModeGuard g(InterpMode::Trace);
+        {
+            testutil::DenseLaneGuard d(true);
+            dense = launchKernel(dev, memD, prog, dims, args, profile);
+        }
+        {
+            testutil::DenseLaneGuard d(false);
+            legacy = launchKernel(dev, memL, prog, dims, args, profile);
+        }
+    }
+    {
+        ModeGuard g(InterpMode::Reference);
+        ref = launchKernel(dev, memR, prog, dims, args, profile);
+    }
+    EXPECT_EQ(dense.fault.kind, legacy.fault.kind)
+        << dense.fault.detail << " vs " << legacy.fault.detail;
+    EXPECT_EQ(dense.fault.detail, legacy.fault.detail);
+    EXPECT_EQ(dense.fault.kind, ref.fault.kind)
+        << dense.fault.detail << " vs " << ref.fault.detail;
+    expectStatsEqual(dense.stats, legacy.stats);
+    expectStatsEqual(dense.stats, ref.stats);
+    EXPECT_EQ(0, std::memcmp(memD.raw(), memL.raw(),
+                             static_cast<std::size_t>(memD.capacity())));
+    EXPECT_EQ(0, std::memcmp(memD.raw(), memR.raw(),
+                             static_cast<std::size_t>(memD.capacity())));
+}
+
+/// Kernel where only lanes passing a laneid guard run a per-lane loop;
+/// \p guard is the comparison line deciding who stays active. Inactive
+/// lanes' registers (r5/r6/r7 stay 0) must survive untouched — the final
+/// store writes them back so any clobber shows in the memory diff.
+Program
+sparseGuardKernel(const std::string& guard)
+{
+    const std::string text = R"(
+kernel @sparse params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = tid
+)" + guard + R"(
+    r4 = mov 0
+    r5 = mov 0
+    brc r3, header, exit
+header:
+    r5 = add.i32 r5, r2
+    r6 = mul.i32 r5, 3
+    r7 = add.i32 r6, r1
+    r4 = add.i32 r4, 1
+    r8 = cmp.lt.i32 r4, 17
+    brc r8, header, exit
+exit:
+    r9 = cvt.i32.i64 r2
+    r10 = mul.i64 r9, 4
+    r11 = add.i64 r0, r10
+    st.i32.global r11, r7
+    ret
+}
+)";
+    return testutil::compile(text.c_str());
+}
+
+TEST(DenseLanes, SparseMasksOfOneThreeAnd31Lanes)
+{
+    // 1 active lane (the degenerate case), 3 scattered lanes, and 31
+    // lanes (one hole — nearly full but still off the full-mask legacy
+    // shortcut).
+    expectDenseIdentical(sparseGuardKernel("    r3 = cmp.eq.i32 r1, 5"),
+                         {2, 64}, {0});
+    expectDenseIdentical(
+        sparseGuardKernel("    r12 = rem.i32 r1, 11\n"
+                          "    r3 = cmp.eq.i32 r12, 0"),
+        {2, 64}, {0});
+    expectDenseIdentical(sparseGuardKernel("    r3 = cmp.ne.i32 r1, 17"),
+                         {2, 64}, {0});
+}
+
+TEST(DenseLanes, MaskChangesMidLoop)
+{
+    // Lanes drop out of the loop at different trip counts, so the span
+    // mask shrinks as the loop runs: the ActiveSet must be re-gathered
+    // per span, never cached across a mask change.
+    constexpr const char* text = R"(
+kernel @shrink params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = tid
+    r2 = rem.i32 r1, 9
+    r3 = mov 0
+    r4 = mov 0
+    br header
+header:
+    r4 = add.i32 r4, r1
+    r5 = mul.i32 r4, 3
+    r3 = add.i32 r3, 1
+    r6 = cmp.le.i32 r3, r2
+    brc r6, header, exit
+exit:
+    r7 = cvt.i32.i64 r1
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    st.i32.global r9, r5
+    ret
+}
+)";
+    expectDenseIdentical(testutil::compile(text), {2, 64}, {0});
+}
+
+TEST(DenseLanes, AtomicsUnderDensePacking)
+{
+    // Atomic application order is lane order; the packed ActiveSet walks
+    // lanes ascending, so results must match the full-width loop exactly
+    // (including the CAS winner and the returned old values).
+    constexpr const char* text = R"(
+kernel @spatom params 1 regs 24 shared 256 local 0 {
+entry:
+    r1 = laneid
+    r2 = rem.i32 r1, 5
+    r3 = cmp.eq.i32 r2, 1
+    brc r3, active, join
+active:
+    r4 = atom.add.i32.shared 0, 1
+    r5 = atom.max.i32.shared 8, r1
+    r6 = atom.add.i32.global r0, r4
+    r7 = atom.cas.i32.shared 16, 0, r1
+    br join
+join:
+    r8 = cvt.i32.i64 r1
+    r9 = mul.i64 r8, 4
+    r10 = add.i64 r0, r9
+    st.i32.global r10, r7
+    ret
+}
+)";
+    expectDenseIdentical(testutil::compile(text), {2, 64}, {4096});
+}
+
+TEST(DenseLanes, BallotShflUnderDensePacking)
+{
+    // ballot must report the sparse mask itself; shfl reads source values
+    // from *inactive* lanes (lane 0 is masked off but named as a source),
+    // so the 32-wide source gather must survive dense packing.
+    constexpr const char* text = R"(
+kernel @spwarp params 1 regs 24 shared 0 local 0 {
+entry:
+    r1 = laneid
+    r2 = rem.i32 r1, 3
+    r3 = cmp.eq.i32 r2, 2
+    brc r3, active, join
+active:
+    r4 = activemask
+    r5 = rem.i32 r1, 2
+    r6 = ballot r4, r5
+    r7 = shfl.idx r4, r1, 0
+    r8 = shfl.up r4, r6, 1
+    r9 = add.i32 r7, r8
+    br join
+join:
+    r10 = cvt.i32.i64 r1
+    r11 = mul.i64 r10, 4
+    r12 = add.i64 r0, r11
+    st.i32.global r12, r9
+    ret
+}
+)";
+    expectDenseIdentical(testutil::compile(text), {1, 32}, {0}, p100());
+    expectDenseIdentical(testutil::compile(text), {1, 32}, {0}, v100());
+}
+
+TEST(DenseLanes, SparseMemoryTimingAndProfiledLocs)
+{
+    // Sparse-mask loads/stores: globalSectors, sharedConflictWays and
+    // locIssues are computed by the shared memTiming helper over a
+    // zero-initialised addrs[] — inactive lanes must contribute nothing,
+    // dense or not. Profiling on, so locIssues is exercised too.
+    constexpr const char* text = R"(
+kernel @spmem params 1 regs 24 shared 1024 local 0 {
+entry:
+    r1 = laneid
+    r2 = rem.i32 r1, 4
+    r3 = cmp.eq.i32 r2, 3
+    brc r3, active, join
+active:
+    r4 = mul.i32 r1, 128 @"sp.cu:12"
+    r5 = cvt.i32.i64 r4 @"sp.cu:12"
+    st.i32.shared r5, r1 @"sp.cu:13"
+    r6 = mul.i32 r1, 4 @"sp.cu:14"
+    r7 = cvt.i32.i64 r6
+    r8 = ld.i32.shared r7 @"sp.cu:15"
+    r9 = cvt.i32.i64 r1
+    r10 = mul.i64 r9, 64
+    r11 = add.i64 r0, r10
+    st.i32.global r11, r8 @"sp.cu:16"
+    br join
+join:
+    ret
+}
+)";
+    expectDenseIdentical(testutil::compile(text), {2, 64}, {0}, p100(),
+                         true);
+}
+
 // ---- faults ----
 
 TEST(TraceInterp, FaultsMatchBitForBit)
@@ -563,6 +786,63 @@ TEST(TraceInterp, SimcovDriverIdentical)
         EXPECT_EQ(trace.series[i].tcells, ref.series[i].tcells);
         EXPECT_EQ(trace.series[i].infected, ref.series[i].infected);
         EXPECT_EQ(trace.series[i].dead, ref.series[i].dead);
+    }
+}
+
+TEST(TraceInterp, AdeptAndSimcovDensePackingPreservesProfiledCounters)
+{
+    // Per-family dense regression for the two app drivers: profiled
+    // locIssues and memory-timing counters must be identical with dense
+    // packing on and off (adept's anti-diagonal wavefront and simcov's
+    // grid guards both leave partial masks).
+    ModeGuard m(InterpMode::Trace);
+    {
+        adept::SequenceSetConfig cfg;
+        cfg.numPairs = 3;
+        cfg.minLen = 24;
+        cfg.maxLen = 40;
+        cfg.seed = 7;
+        const auto pairs = adept::generatePairs(cfg);
+        const auto built = adept::buildAdeptV1(adept::ScoringParams{}, 64);
+        const adept::AdeptDriver driver(pairs, adept::ScoringParams{}, 1,
+                                        64);
+        adept::AdeptRunOutput dense;
+        adept::AdeptRunOutput legacy;
+        {
+            testutil::DenseLaneGuard g(true);
+            dense = driver.run(built.module, p100(), true);
+        }
+        {
+            testutil::DenseLaneGuard g(false);
+            legacy = driver.run(built.module, p100(), true);
+        }
+        ASSERT_EQ(dense.ok(), legacy.ok());
+        EXPECT_EQ(dense.totalMs, legacy.totalMs);
+        expectStatsEqual(dense.fwdStats, legacy.fwdStats);
+        expectStatsEqual(dense.revStats, legacy.revStats);
+        ASSERT_EQ(dense.results.size(), legacy.results.size());
+        for (std::size_t i = 0; i < dense.results.size(); ++i)
+            EXPECT_TRUE(dense.results[i] == legacy.results[i]);
+    }
+    {
+        simcov::SimcovConfig cfg;
+        cfg.gridW = 16;
+        cfg.steps = 4;
+        const simcov::SimcovDriver driver(cfg);
+        const auto built = simcov::buildSimcov(cfg);
+        simcov::SimcovRunOutput dense;
+        simcov::SimcovRunOutput legacy;
+        {
+            testutil::DenseLaneGuard g(true);
+            dense = driver.run(built.module, p100(), true);
+        }
+        {
+            testutil::DenseLaneGuard g(false);
+            legacy = driver.run(built.module, p100(), true);
+        }
+        ASSERT_EQ(dense.ok(), legacy.ok());
+        EXPECT_EQ(dense.totalMs, legacy.totalMs);
+        expectStatsEqual(dense.aggregate, legacy.aggregate);
     }
 }
 

@@ -115,5 +115,31 @@ TEST(StencilSim, TraceAndReferenceInterpretersAgree)
     sim::testutil::expectStatsEqual(trace.aggregate, ref.aggregate);
 }
 
+TEST(StencilSim, DensePackingPreservesProfiledCounters)
+{
+    // The boundary guard leaves edge lanes masked off, so the stencil
+    // hits the dense path: locIssues and memory-timing counters must be
+    // identical with packing on and off.
+    const auto cfg = smallConfig();
+    const auto built = buildStencil(cfg);
+    const StencilDriver driver(cfg);
+    sim::testutil::InterpModeGuard m(sim::InterpMode::Trace);
+    StencilRunOutput dense;
+    StencilRunOutput legacy;
+    {
+        sim::testutil::DenseLaneGuard g(true);
+        dense = driver.run(built.module, sim::p100(), true);
+    }
+    {
+        sim::testutil::DenseLaneGuard g(false);
+        legacy = driver.run(built.module, sim::p100(), true);
+    }
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_EQ(dense.totalMs, legacy.totalMs);
+    EXPECT_EQ(dense.grid, legacy.grid);
+    sim::testutil::expectStatsEqual(dense.aggregate, legacy.aggregate);
+}
+
 } // namespace
 } // namespace gevo::stencil
