@@ -66,7 +66,25 @@ printHelp(const core::WorkloadRegistry& registry)
                                 "configuration)")
         .flag("migration-interval", "<n>",
               "generations between ring migrations (0 = isolated)")
-        .flag("migration-count", "<n>", "individuals migrated per edge");
+        .flag("migration-count", "<n>", "individuals migrated per edge")
+        .flag("topology", "<kind>",
+              "island connectivity: auto (panmictic for 1 island, ring "
+              "otherwise; default), panmictic, ring, torus or star")
+        .flag("fitness-aware-migrants", "",
+              "incoming migrants replace an island's worst residents "
+              "only when strictly fitter (default: unconditional)");
+    usage.section("diagnosis-driven search")
+        .flag("sampler", "<kind>",
+              "edit-site sampling: uniform (the paper's operator, "
+              "default) or guided (biases edit sites toward the hot "
+              "source locations of each island's profiled elite)")
+        .flag("explore-floor", "<f>",
+              "guided sampler's minimum site weight in [0,1]: 0 = pure "
+              "exploitation, 1 = uniform (default 0.25)")
+        .flag("adapt-rates", "",
+              "self-adapt the per-island operator rates (1+1-ES rule: "
+              "perturb, keep on improvement, revert otherwise; rates "
+              "are logged per generation)");
     usage.section("robustness")
         .flag("backend", "<kind>",
               "evaluation backend: inprocess (default, fastest) or "
@@ -147,6 +165,12 @@ dumpHistory(const std::string& path, const core::SearchResult& result)
                      log.protocolErrors);
         for (const double ms : log.islandBestMs)
             std::fprintf(f, " %a", ms);
+        // Only present under --adapt-rates; the default dump stays
+        // byte-identical to pre-adaptation builds.
+        for (const auto& rt : log.islandRates)
+            std::fprintf(f, " rates %a %a %a %a %a %a", rt.wDelete,
+                         rt.wCopy, rt.wMove, rt.wReplace, rt.wSwap,
+                         rt.wOperand);
         std::fprintf(f, " edits %s\n", edits.c_str());
     }
     std::fclose(f);
@@ -204,6 +228,24 @@ main(int argc, char** argv)
         flags.getInt("migration-interval", params.migrationInterval));
     params.migrationCount = static_cast<std::uint32_t>(
         flags.getInt("migration-count", params.migrationCount));
+    const auto topologyName = flags.getChoice(
+        "topology", {"auto", "panmictic", "ring", "torus", "star"}, "auto");
+    params.topology = topologyName == "panmictic"
+                          ? core::TopologyKind::Panmictic
+                      : topologyName == "ring"  ? core::TopologyKind::Ring
+                      : topologyName == "torus" ? core::TopologyKind::Torus
+                      : topologyName == "star"  ? core::TopologyKind::Star
+                                                : core::TopologyKind::Auto;
+    params.fitnessAwareMigrants = flags.getBool(
+        "fitness-aware-migrants", params.fitnessAwareMigrants);
+    const auto samplerName =
+        flags.getChoice("sampler", {"uniform", "guided"}, "uniform");
+    params.samplerKind = samplerName == "guided"
+                             ? core::SamplerKind::Guided
+                             : core::SamplerKind::Uniform;
+    params.sampler.exploreFloor =
+        flags.getDouble("explore-floor", params.sampler.exploreFloor);
+    params.adaptRates = flags.getBool("adapt-rates", params.adaptRates);
     const auto backendName = flags.getChoice(
         "backend", {"inprocess", "isolated"},
         params.backend == core::EvalBackendKind::Isolated ? "isolated"
@@ -224,11 +266,17 @@ main(int argc, char** argv)
     std::printf("%s: %s\n", workload.name.c_str(),
                 instance->banner().c_str());
     std::printf("search: %s, population %u x %u generations, seed %llu, "
-                "fitness %s\n\n",
+                "fitness %s\n",
                 topology->describe().c_str(), params.populationSize,
                 params.generations,
                 static_cast<unsigned long long>(params.seed),
                 instance->fitness().name().c_str());
+    std::printf("sampler: %s", samplerName.c_str());
+    if (params.samplerKind == core::SamplerKind::Guided)
+        std::printf(", explore floor %.2f", params.sampler.exploreFloor);
+    if (params.adaptRates)
+        std::printf(", self-adaptive operator rates");
+    std::printf("\n\n");
 
     core::EvolutionEngine engine(instance->module(), instance->fitness(),
                                  params);
@@ -252,6 +300,15 @@ main(int argc, char** argv)
                     std::printf(" %.3fx", r.baselineMs / ms);
             }
             std::printf(")\n");
+            // Self-adaptation audit trail: the rates breeding the NEXT
+            // generation, one tuple per island.
+            for (std::size_t i = 0; i < log.islandRates.size(); ++i) {
+                const auto& rt = log.islandRates[i];
+                std::printf("  rates[%zu]: del %.3f copy %.3f move %.3f "
+                            "repl %.3f swap %.3f opnd %.3f\n",
+                            i, rt.wDelete, rt.wCopy, rt.wMove, rt.wReplace,
+                            rt.wSwap, rt.wOperand);
+            }
         });
 
     std::signal(SIGINT, SIG_DFL);

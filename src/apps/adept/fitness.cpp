@@ -25,6 +25,19 @@ AdeptFitness::evaluate(const core::CompiledVariant& variant) const
     return core::FitnessResult::pass(out.totalMs);
 }
 
+bool
+AdeptFitness::profileVariant(const core::CompiledVariant& variant,
+                             core::ProfileSummary* out) const
+{
+    const auto run = driver_.run(variant.programs, dev_, /*profile=*/true);
+    if (!run.ok())
+        return false;
+    *out = core::ProfileSummary{};
+    out->accumulateLaunch(run.fwdStats);
+    out->accumulateLaunch(run.revStats);
+    return true;
+}
+
 std::string
 AdeptFitness::name() const
 {

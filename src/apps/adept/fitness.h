@@ -23,6 +23,9 @@ class AdeptFitness : public core::FitnessFunction {
     core::FitnessResult
     evaluate(const core::CompiledVariant& variant) const override;
 
+    bool profileVariant(const core::CompiledVariant& variant,
+                        core::ProfileSummary* out) const override;
+
     std::string name() const override;
 
   private:

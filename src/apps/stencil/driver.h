@@ -90,6 +90,18 @@ class StencilFitness : public core::FitnessFunction {
         return core::FitnessResult::pass(out.totalMs);
     }
 
+    bool
+    profileVariant(const core::CompiledVariant& variant,
+                   core::ProfileSummary* out) const override
+    {
+        const auto run = driver_.run(variant.programs, dev_, /*profile=*/true);
+        if (!run.ok())
+            return false;
+        *out = core::ProfileSummary{};
+        out->accumulateLaunch(run.aggregate);
+        return true;
+    }
+
     std::string
     name() const override
     {

@@ -51,6 +51,18 @@ appendIndividual(std::string* out, const Individual& ind)
 }
 
 void
+appendSamplerConfig(std::string* out, const mut::SamplerConfig& cfg)
+{
+    appendDouble(out, cfg.wDelete);
+    appendDouble(out, cfg.wCopy);
+    appendDouble(out, cfg.wMove);
+    appendDouble(out, cfg.wReplace);
+    appendDouble(out, cfg.wSwap);
+    appendDouble(out, cfg.wOperand);
+    appendDouble(out, cfg.exploreFloor);
+}
+
+void
 appendLog(std::string* out, const GenerationLog& log)
 {
     appendLeU32(out, log.generation);
@@ -68,6 +80,9 @@ appendLog(std::string* out, const GenerationLog& log)
     appendLeU32(out, static_cast<std::uint32_t>(log.islandBestMs.size()));
     for (const double ms : log.islandBestMs)
         appendDouble(out, ms);
+    appendLeU32(out, static_cast<std::uint32_t>(log.islandRates.size()));
+    for (const auto& rates : log.islandRates)
+        appendSamplerConfig(out, rates);
 }
 
 // ---- payload parsers ----
@@ -163,6 +178,15 @@ parseIndividual(Cursor* c, Individual* out)
 }
 
 bool
+parseSamplerConfig(Cursor* c, mut::SamplerConfig* out)
+{
+    return c->readDouble(&out->wDelete) && c->readDouble(&out->wCopy) &&
+           c->readDouble(&out->wMove) && c->readDouble(&out->wReplace) &&
+           c->readDouble(&out->wSwap) && c->readDouble(&out->wOperand) &&
+           c->readDouble(&out->exploreFloor);
+}
+
+bool
 parseLog(Cursor* c, GenerationLog* out)
 {
     std::string edits;
@@ -181,6 +205,14 @@ parseLog(Cursor* c, GenerationLog* out)
     out->islandBestMs.resize(islandCount);
     for (auto& ms : out->islandBestMs) {
         if (!c->readDouble(&ms))
+            return false;
+    }
+    std::uint32_t ratesCount = 0;
+    if (!c->readU32(&ratesCount) || ratesCount > 4096)
+        return false;
+    out->islandRates.resize(ratesCount);
+    for (auto& rates : out->islandRates) {
+        if (!parseSamplerConfig(c, &rates))
             return false;
     }
     return true;
@@ -303,6 +335,13 @@ loadCheckpoint(const std::string& path, std::uint64_t expectedScope)
             if (!parseIndividual(&c, &member))
                 return corrupt("island member");
         }
+        std::uint8_t ratePending = 0;
+        if (!parseSamplerConfig(&c, &island.rates) ||
+            !parseSamplerConfig(&c, &island.candidateRates) ||
+            !c.readU8(&ratePending) ||
+            !c.readDouble(&island.rateLastBest))
+            return corrupt("island rate state");
+        island.ratePending = ratePending != 0;
         if (!c.atEnd())
             return corrupt("island record");
     }
@@ -363,6 +402,10 @@ saveCheckpoint(const std::string& path, std::uint64_t scope,
         appendLeU64(&payload, island.members.size());
         for (const auto& member : island.members)
             appendIndividual(&payload, member);
+        appendSamplerConfig(&payload, island.rates);
+        appendSamplerConfig(&payload, island.candidateRates);
+        payload.push_back(island.ratePending ? 1 : 0);
+        appendDouble(&payload, island.rateLastBest);
         appendRecord(&out, payload);
     }
 

@@ -48,8 +48,10 @@
 namespace gevo::core {
 
 /// Current checkpoint format version. Bump on any layout change: the
-/// loader rejects other versions wholesale.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// loader rejects other versions wholesale. v2 added the per-island
+/// self-adaptive operator-rate state and the per-generation islandRates
+/// log field (PR 8); v1 files degrade to a cold start with a warning.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// One island's durable state.
 struct CheckpointIsland {
@@ -60,6 +62,15 @@ struct CheckpointIsland {
     /// evaluated flags included, so elites and migrants skip
     /// re-evaluation exactly as they would have in the original run).
     std::vector<Individual> members;
+    /// Self-adaptive rate state (engine Island mirror; inert defaults
+    /// when adaptation is off). The guided sampler's heat profile is
+    /// deliberately NOT here: it is recomputed from the island elite
+    /// after every evaluation, so a resumed run re-derives it
+    /// bit-identically before the next breed.
+    mut::SamplerConfig rates{};
+    mut::SamplerConfig candidateRates{};
+    bool ratePending = false;
+    double rateLastBest = 0.0;
 };
 
 /// Full durable search state.

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "core/cache_store.h"
@@ -67,12 +68,16 @@ checkpointScopeOf(const CompiledVariant& baselineCv,
     const auto& w = p.sampler;
     const std::string fingerprint = strformat(
         "pop=%u eli=%u xov=%a mut=%a app=%a tour=%u seed=%llu isl=%u "
-        "mig=%u,%u w=%a,%a,%a,%a,%a,%a",
+        "mig=%u,%u w=%a,%a,%a,%a,%a,%a smp=%u floor=%a topo=%u adapt=%u "
+        "fam=%u",
         p.populationSize, p.elitism, p.crossoverProb, p.mutationProb,
         p.mutationAppendProb, p.tournamentSize,
         static_cast<unsigned long long>(p.seed), p.islands,
         p.migrationInterval, p.migrationCount, w.wDelete, w.wCopy, w.wMove,
-        w.wReplace, w.wSwap, w.wOperand);
+        w.wReplace, w.wSwap, w.wOperand,
+        static_cast<unsigned>(p.samplerKind), w.exploreFloor,
+        static_cast<unsigned>(p.topology), p.adaptRates ? 1u : 0u,
+        p.fitnessAwareMigrants ? 1u : 0u);
     std::uint64_t scope =
         VariantCache::hashKey(baselineCv.programs.contentKey() + '\n' +
                               fitness.name() + '\n' + fingerprint);
@@ -109,7 +114,79 @@ EvolutionEngine::EvolutionEngine(const ir::Module& base,
                    "(the watchdog needs a budget)");
     if (params_.resume && params_.checkpointPath.empty())
         GEVO_FATAL("resume requires a checkpointPath");
+    params_.sampler.validate();
     GEVO_ASSERT(topology_->islandCount() >= 1, "no islands");
+    if (params_.samplerKind == SamplerKind::Guided)
+        guidedSamplers_.resize(topology_->islandCount());
+}
+
+const mut::MutationSampler*
+EvolutionEngine::samplerFor(std::uint32_t i) const
+{
+    if (params_.samplerKind == SamplerKind::Guided)
+        return &guidedSamplers_[i];
+    return &uniformSampler_;
+}
+
+void
+EvolutionEngine::profileElites(const std::vector<Island>& islands)
+{
+    if (params_.samplerKind != SamplerKind::Guided)
+        return;
+    // One profiled evaluation per island per generation — the cheap path.
+    // The elite's cleaned module shares the base's interned-loc table
+    // (COW), so the histogram indexes map straight onto the instruction
+    // locs the sampler sees. An invalid elite (or a workload without
+    // profiling support) keeps the previous generation's heat.
+    for (std::size_t i = 0; i < islands.size(); ++i) {
+        const Individual& elite = islands[i].pop.best();
+        if (!elite.fitness.valid)
+            continue;
+        const auto cv = compileVariant(base_, elite.edits);
+        if (!cv.ok)
+            continue;
+        ProfileSummary summary;
+        if (fitness_.profileVariant(cv, &summary))
+            guidedSamplers_[i].setProfile(summary.locIssues);
+    }
+}
+
+void
+EvolutionEngine::adaptRatesStep(std::vector<Island>* islands,
+                                GenerationLog* log)
+{
+    if (!params_.adaptRates)
+        return;
+    // Log-normal-style multiplicative perturbation (the ESCH lineage's
+    // self-adaptation rule, from a uniform draw since the Rng has no
+    // gaussian): w' = clamp(w * exp(tau * U(-1, 1))). exploreFloor is
+    // left alone — it is a guided-sampler shape knob, not an operator
+    // rate.
+    constexpr double kTau = 0.25;
+    constexpr double kMinW = 0.01;
+    constexpr double kMaxW = 4.0;
+    auto perturb = [&](const mut::SamplerConfig& from, Rng& rng) {
+        mut::SamplerConfig next = from;
+        for (double* w : {&next.wDelete, &next.wCopy, &next.wMove,
+                          &next.wReplace, &next.wSwap, &next.wOperand}) {
+            const double factor =
+                std::exp(kTau * (2.0 * rng.uniform() - 1.0));
+            *w = std::clamp(*w * factor, kMinW, kMaxW);
+        }
+        return next;
+    };
+    for (auto& island : *islands) {
+        // Verdict on the candidate that bred this generation: keep it
+        // only when the island's best improved under it (1+1 rule at
+        // island granularity).
+        if (island.ratePending && island.bestMs < island.rateLastBest)
+            island.rates = island.candidateRates;
+        island.rateLastBest = island.bestMs;
+        island.candidateRates = perturb(island.rates, island.rng);
+        island.ratePending = true;
+        island.pop.rates() = island.candidateRates;
+        log->islandRates.push_back(island.candidateRates);
+    }
 }
 
 void
@@ -342,6 +419,10 @@ EvolutionEngine::saveSearchCheckpoint(const std::vector<Island>& islands,
         ci.rngState = island.rng.state();
         ci.bestMs = island.bestMs;
         ci.members = island.pop.members();
+        ci.rates = island.rates;
+        ci.candidateRates = island.candidateRates;
+        ci.ratePending = island.ratePending;
+        ci.rateLastBest = island.rateLastBest;
         st.islands.push_back(std::move(ci));
     }
     st.quarantine.assign(quarantine_.begin(), quarantine_.end());
@@ -434,6 +515,17 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
                      st.islands[i].bestMs});
                 islands.back().pop.members() = st.islands[i].members;
                 islands.back().rng.setState(st.islands[i].rngState);
+                islands.back().pop.setSampler(samplerFor(i));
+                islands.back().rates = st.islands[i].rates;
+                islands.back().candidateRates =
+                    st.islands[i].candidateRates;
+                islands.back().ratePending = st.islands[i].ratePending;
+                islands.back().rateLastBest = st.islands[i].rateLastBest;
+                if (params_.adaptRates)
+                    islands.back().pop.rates() =
+                        islands.back().ratePending
+                            ? islands.back().candidateRates
+                            : islands.back().rates;
             }
             result.history = st.history;
             result.best = st.best;
@@ -453,6 +545,9 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
             islands.push_back({Population(base_, params_),
                                Rng(islandSeed(params_.seed, i)),
                                baseline.ms});
+            islands.back().pop.setSampler(samplerFor(i));
+            islands.back().rates = params_.sampler;
+            islands.back().candidateRates = params_.sampler;
             islands.back().pop.seed(islands.back().rng);
         }
     }
@@ -480,6 +575,14 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
             }
             log.islandBestMs.push_back(island.bestMs);
         }
+        // Diagnosis feedback for the next breed: re-profile each island's
+        // elite for the guided samplers, then run the per-island
+        // self-adaptation step (which records the next generation's rates
+        // in this log entry). Both happen before migration/breed and draw
+        // only from per-island streams, so resumed runs replay them
+        // bit-identically.
+        profileElites(islands);
+        adaptRatesStep(&islands, &log);
         log.meanMs = log.validCount
                          ? sum / static_cast<double>(log.validCount)
                          : 0.0;

@@ -61,6 +61,10 @@ struct GenerationLog {
     /// a migration-free run evolves exactly like a single-island search
     /// with the same seed.
     std::vector<double> islandBestMs;
+    /// Per-island operator rates that will breed the NEXT generation
+    /// (one entry per island when params.adaptRates is on, empty
+    /// otherwise) — the ESCH-style self-adaptation audit trail.
+    std::vector<mut::SamplerConfig> islandRates;
 
     // ---- robustness accounting (core/eval_backend.h) ----
     /// Evaluations whose worker died (segfault/abort/OOM) this generation.
@@ -144,12 +148,36 @@ class EvolutionEngine {
     }
 
   private:
-    /// One island: a population plus its private RNG stream.
+    /// One island: a population plus its private RNG stream and its
+    /// self-adaptive operator-rate state (meaningful when
+    /// params.adaptRates; inert defaults otherwise).
     struct Island {
         Population pop;
         Rng rng;
         double bestMs;
+        /// Accepted operator rates (the 1+1-ES incumbent).
+        mut::SamplerConfig rates{};
+        /// Perturbed rates that bred the generation now being evaluated.
+        mut::SamplerConfig candidateRates{};
+        /// candidateRates awaits its accept/revert verdict.
+        bool ratePending = false;
+        /// Island best at the moment candidateRates was proposed; the
+        /// verdict compares against this.
+        double rateLastBest = 0.0;
     };
+
+    /// The sampler driving island \p i's populations.
+    const mut::MutationSampler* samplerFor(std::uint32_t i) const;
+
+    /// Re-profile island elites and feed the heat to the guided samplers
+    /// (no-op unless params.samplerKind == Guided).
+    void profileElites(const std::vector<Island>& islands);
+
+    /// One self-adaptation step per island (ESCH-style 1+1 rule): judge
+    /// the pending candidate against the island best, adopt or revert,
+    /// propose the next candidate from the island's own RNG stream, and
+    /// record the rates that will breed the next generation in \p log.
+    void adaptRatesStep(std::vector<Island>* islands, GenerationLog* log);
 
     /// Evaluate every unevaluated individual across all islands as one
     /// batched backend dispatch, deduplicated globally and served from
@@ -184,6 +212,11 @@ class EvolutionEngine {
     const FitnessFunction& fitness_;
     EvolutionParams params_;
     std::unique_ptr<SearchTopology> topology_;
+    /// Edit-sampling strategies. Uniform is stateless and shared;
+    /// guided samplers are per island (each carries its island elite's
+    /// loc-heat profile).
+    mut::UniformSampler uniformSampler_;
+    std::vector<mut::ProfileGuidedSampler> guidedSamplers_;
     /// Level 1: canonical edit-list key -> fitness (skips even the
     /// compile stage for genotypes seen before).
     VariantCache cache_;

@@ -28,6 +28,7 @@
 
 #include "ir/function.h"
 #include "mutation/edit.h"
+#include "sim/executor.h"
 #include "sim/program.h"
 
 namespace gevo::core {
@@ -119,6 +120,25 @@ class VariantCompiler {
     sim::ProgramSet basePrograms_; ///< cleanedBase_ decoded once.
 };
 
+/// Structured diagnosis of one profiled evaluation: the per-loc issue
+/// histogram plus the memory-stall and divergence aggregates the simulator
+/// already computes. `locIssues` is indexed by interned source-loc id
+/// (slot 0 = instructions without a loc) — the same id space the base
+/// module's instructions carry, because the COW loc table is shared by
+/// every variant, so the guided sampler can map heat straight onto
+/// candidate edit sites.
+struct ProfileSummary {
+    std::vector<std::uint64_t> locIssues; ///< Issue slots per loc id.
+    std::uint64_t warpInstrs = 0;         ///< Warp-instructions executed.
+    std::uint64_t issueCycles = 0;        ///< Issue slots incl. stalls.
+    std::uint64_t divergences = 0;        ///< Branch divergence events.
+    std::uint64_t sharedConflictWays = 0; ///< Shared-mem bank conflict ways.
+    std::uint64_t globalSectors = 0;      ///< 32B global sectors touched.
+
+    /// Fold another launch's stats into this summary.
+    void accumulateLaunch(const sim::LaunchStats& stats);
+};
+
 /// Application-supplied scoring of a compiled variant.
 ///
 /// Implementations must be safe to call concurrently from multiple threads
@@ -130,6 +150,20 @@ class FitnessFunction {
 
     /// Score a successfully compiled variant. \pre variant.ok.
     virtual FitnessResult evaluate(const CompiledVariant& variant) const = 0;
+
+    /// Re-run one evaluation with per-loc profiling enabled and fill
+    /// \p out. Returns false when the workload does not support profiling
+    /// (the default) or the variant fails its tests — the caller keeps
+    /// whatever profile it had. This is the deliberately separate "cheap
+    /// path": the engine profiles only the per-island elite once per
+    /// generation, so bulk evaluate() never pays for histogram upkeep.
+    virtual bool profileVariant(const CompiledVariant& variant,
+                                ProfileSummary* out) const
+    {
+        (void)variant;
+        (void)out;
+        return false;
+    }
 
     /// Short description for logs.
     virtual std::string name() const = 0;

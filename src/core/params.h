@@ -28,6 +28,29 @@ enum class EvalBackendKind : std::uint8_t {
     Isolated,
 };
 
+/// Which edit-sampling strategy the populations use (mutation/sampler.h).
+enum class SamplerKind : std::uint8_t {
+    /// Historical uniform sampling; bit-for-bit the pre-seam RNG draws.
+    Uniform,
+    /// Profile-guided: edit sites weighted by the per-island elite's
+    /// per-loc issue heat, re-profiled every generation.
+    Guided,
+};
+
+/// Which migration topology connects the islands (core/topology.h).
+enum class TopologyKind : std::uint8_t {
+    /// Historical behavior: panmictic when islands <= 1, ring otherwise.
+    Auto,
+    /// Single population, no migration. Requires islands <= 1.
+    Panmictic,
+    /// Directed cycle i -> (i+1) % N.
+    Ring,
+    /// 2D torus grid: each island sends to its right and down neighbors.
+    Torus,
+    /// Hub-and-spoke: island 0 exchanges with every other island.
+    Star,
+};
+
 /// Search hyper-parameters (paper defaults).
 struct EvolutionParams {
     std::uint32_t populationSize = 256; ///< Per island.
@@ -55,6 +78,25 @@ struct EvolutionParams {
     /// Individuals copied island i -> (i+1) % islands at each migration
     /// (the receiver's worst are replaced). Clamped below populationSize.
     std::uint32_t migrationCount = 2;
+    /// Migration topology. Auto keeps the historical mapping (panmictic
+    /// for one island, ring otherwise) and is the trajectory-neutral
+    /// default.
+    TopologyKind topology = TopologyKind::Auto;
+    /// Fitness-aware migrant acceptance: an immigrant replaces the
+    /// receiver's worst resident only when strictly fitter than it.
+    /// Default off = historical blind replacement.
+    bool fitnessAwareMigrants = false;
+
+    // ---- diagnosis-driven search ----
+    /// Edit-sampling strategy. Uniform reproduces the pre-seam trajectory
+    /// bit-for-bit; Guided re-profiles each island's elite every
+    /// generation and biases edit sites toward hot locations.
+    SamplerKind samplerKind = SamplerKind::Uniform;
+    /// Self-adaptive operator rates (ESCH-style 1+1 rule at island
+    /// granularity): each island perturbs its own SamplerConfig weights,
+    /// keeps the perturbation when the island's best improves, reverts it
+    /// otherwise. Rates are checkpointed and logged per generation.
+    bool adaptRates = false;
 
     // ---- evaluation pipeline ----
     /// true: full evaluation pipeline — per-individual memo, within-

@@ -9,11 +9,19 @@
 namespace gevo::core {
 
 Population::Population(const ir::Module& base, const EvolutionParams& params)
-    : base_(base), params_(params)
+    : base_(base), params_(params), rates_(params.sampler)
 {
     GEVO_ASSERT(params_.populationSize >= 2, "population too small");
     GEVO_ASSERT(params_.elitism < params_.populationSize,
                 "elitism exceeds population");
+}
+
+std::optional<mut::Edit>
+Population::sampleOne(const ir::Module& mod, Rng& rng) const
+{
+    if (sampler_ != nullptr)
+        return sampler_->sample(mod, rng, rates_);
+    return mut::sampleEdit(mod, rng, rates_);
 }
 
 void
@@ -25,7 +33,7 @@ Population::seed(Rng& rng)
         // GEVO seeds the population with single-mutation variants of the
         // original program.
         Individual ind;
-        const auto edit = mut::sampleEdit(base_, rng, params_.sampler);
+        const auto edit = sampleOne(base_, rng);
         if (edit)
             ind.edits.push_back(*edit);
         members_.push_back(std::move(ind));
@@ -74,7 +82,7 @@ Population::mutate(Individual* ind, Rng& rng)
     // Sample against the patched variant so new edits can build on
     // previously inserted instructions.
     const ir::Module patched = mut::applyPatch(base_, ind->edits);
-    const auto edit = mut::sampleEdit(patched, rng, params_.sampler);
+    const auto edit = sampleOne(patched, rng);
     if (edit) {
         ind->edits.push_back(*edit);
         ind->evaluated = false;
@@ -127,8 +135,20 @@ Population::receiveMigrants(const std::vector<Individual>& migrants)
 {
     GEVO_ASSERT(migrants.size() < members_.size(),
                 "migration would replace the whole population");
-    std::copy(migrants.begin(), migrants.end(),
-              members_.end() - static_cast<std::ptrdiff_t>(migrants.size()));
+    auto slot =
+        members_.end() - static_cast<std::ptrdiff_t>(migrants.size());
+    if (params_.fitnessAwareMigrants) {
+        // Same slot pairing as the blind path, but an immigrant only
+        // evicts a strictly worse resident — a weak island can no longer
+        // overwrite a receiver's good genotypes.
+        for (const auto& m : migrants) {
+            if (m.fitness.ms < slot->fitness.ms)
+                *slot = m;
+            ++slot;
+        }
+    } else {
+        std::copy(migrants.begin(), migrants.end(), slot);
+    }
     sortByFitness();
 }
 

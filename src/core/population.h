@@ -19,6 +19,7 @@
 #include "core/fitness.h"
 #include "core/params.h"
 #include "mutation/edit.h"
+#include "mutation/sampler.h"
 #include "support/rng.h"
 
 namespace gevo::core {
@@ -62,15 +63,36 @@ class Population {
 
     /// Replace the worst members with \p migrants (already evaluated on
     /// the sending island; fitness is island-independent so it transfers).
-    /// Leaves the population sorted.
+    /// With params.fitnessAwareMigrants, each migrant only takes its slot
+    /// when strictly fitter than the resident it would evict. Leaves the
+    /// population sorted.
     void receiveMigrants(const std::vector<Individual>& migrants);
+
+    /// Install the edit-sampling strategy (non-owning; must outlive the
+    /// population). nullptr = the legacy free-function path, which is
+    /// draw-for-draw what UniformSampler does.
+    void setSampler(const mut::MutationSampler* sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    /// This population's own operator rates — seeded from params.sampler,
+    /// perturbed by the engine's self-adaptive machinery, restored from
+    /// checkpoints. All sampling goes through these, so the default path
+    /// (rates == params.sampler, never touched) is unchanged.
+    mut::SamplerConfig& rates() { return rates_; }
+    const mut::SamplerConfig& rates() const { return rates_; }
 
   private:
     const Individual& tournament(Rng& rng) const;
     void mutate(Individual* ind, Rng& rng);
+    std::optional<mut::Edit> sampleOne(const ir::Module& mod,
+                                       Rng& rng) const;
 
     const ir::Module& base_;
     const EvolutionParams& params_;
+    const mut::MutationSampler* sampler_ = nullptr;
+    mut::SamplerConfig rates_;
     std::vector<Individual> members_;
 };
 

@@ -78,8 +78,56 @@ class RingTopology : public SearchTopology {
     std::uint32_t interval_;
 };
 
-/// Topology implied by \p params: panmictic when islands <= 1, else a
-/// ring with params.migrationInterval.
+/// N islands on a 2D torus grid (rows x cols with rows the largest
+/// divisor of N at most sqrt(N)): every `interval` generations each
+/// island sends its best to its right and down neighbors (wrapping).
+/// Denser than the ring — two out-edges per island — so good genotypes
+/// spread in O(sqrt(N)) migrations instead of O(N), while staying
+/// deterministic and RNG-free like every built-in topology.
+class TorusTopology : public SearchTopology {
+  public:
+    TorusTopology(std::uint32_t islands, std::uint32_t interval);
+
+    std::uint32_t islandCount() const override { return islands_; }
+    std::vector<MigrationEdge>
+    migrationsAfter(std::uint32_t gen) const override;
+    std::string describe() const override;
+
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t cols() const { return cols_; }
+
+  private:
+    std::uint32_t islands_;
+    std::uint32_t interval_;
+    std::uint32_t rows_;
+    std::uint32_t cols_;
+};
+
+/// Hub-and-spoke: island 0 is the hub; every `interval` generations each
+/// spoke sends its best to the hub and the hub broadcasts its best to
+/// every spoke. The hub concentrates the globally best genotypes (pair
+/// with fitnessAwareMigrants so a weak spoke cannot overwrite hub
+/// elites), and spokes receive hub elites without seeing each other —
+/// a classic exploitation-heavy layout.
+class StarTopology : public SearchTopology {
+  public:
+    StarTopology(std::uint32_t islands, std::uint32_t interval);
+
+    std::uint32_t islandCount() const override { return islands_; }
+    std::vector<MigrationEdge>
+    migrationsAfter(std::uint32_t gen) const override;
+    std::string describe() const override;
+
+  private:
+    std::uint32_t islands_;
+    std::uint32_t interval_;
+};
+
+/// Topology implied by \p params. TopologyKind::Auto keeps the historical
+/// mapping — panmictic when islands <= 1, else a ring with
+/// params.migrationInterval; explicit kinds select directly. Panmictic
+/// with islands > 1 is a fatal config error; ring/torus/star with one
+/// island simply never migrate.
 std::unique_ptr<SearchTopology> makeTopology(const EvolutionParams& params);
 
 } // namespace gevo::core

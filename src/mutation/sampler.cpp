@@ -1,6 +1,9 @@
 #include "mutation/sampler.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
 
 namespace gevo::mut {
 
@@ -34,21 +37,65 @@ collect(const Module& mod)
     return out;
 }
 
-/// Pick a random element with predicate; nullopt if none qualify.
-template <typename Pred>
-std::optional<InstrRef>
-pick(const std::vector<InstrRef>& pool, Rng& rng, Pred pred)
-{
-    std::vector<std::size_t> candidates;
-    candidates.reserve(pool.size());
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-        if (pred(pool[i]))
-            candidates.push_back(i);
+/// Uniform instruction picker: one rng.below() draw over the candidate set.
+/// This is the historical draw sequence — UniformSampler's bit-for-bit
+/// contract lives here.
+struct UniformPick {
+    template <typename Pred>
+    std::optional<InstrRef>
+    operator()(const std::vector<InstrRef>& pool, Rng& rng, Pred pred) const
+    {
+        std::vector<std::size_t> candidates;
+        candidates.reserve(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            if (pred(pool[i]))
+                candidates.push_back(i);
+        }
+        if (candidates.empty())
+            return std::nullopt;
+        return pool[candidates[rng.below(candidates.size())]];
     }
-    if (candidates.empty())
-        return std::nullopt;
-    return pool[candidates[rng.below(candidates.size())]];
-}
+};
+
+/// Heat-weighted instruction picker: site weight is
+/// floor + (1 - floor) * heat(loc), one rng.uniform() roulette draw.
+struct GuidedPick {
+    const ProfileGuidedSampler& sampler;
+    double floor;
+
+    template <typename Pred>
+    std::optional<InstrRef>
+    operator()(const std::vector<InstrRef>& pool, Rng& rng, Pred pred) const
+    {
+        std::vector<std::size_t> candidates;
+        std::vector<double> weight;
+        candidates.reserve(pool.size());
+        weight.reserve(pool.size());
+        double total = 0.0;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            if (!pred(pool[i]))
+                continue;
+            const double w =
+                floor + (1.0 - floor) * sampler.heat(pool[i].instr->loc);
+            candidates.push_back(i);
+            weight.push_back(w);
+            total += w;
+        }
+        if (candidates.empty())
+            return std::nullopt;
+        if (!(total > 0.0)) {
+            // Degenerate (floor 0 and every candidate cold): fall back to
+            // a uniform draw so cold kernels still mutate.
+            return pool[candidates[rng.below(candidates.size())]];
+        }
+        double roll = rng.uniform() * total;
+        for (std::size_t k = 0; k < candidates.size(); ++k) {
+            if ((roll -= weight[k]) < 0)
+                return pool[candidates[k]];
+        }
+        return pool[candidates.back()];
+    }
+};
 
 /// Fresh uid for clone edits: top-bit-tagged random id so edits from
 /// different individuals cannot collide after crossover.
@@ -58,13 +105,14 @@ freshUid(Rng& rng)
     return (1ull << 63) | rng.next();
 }
 
+template <typename Picker>
 std::optional<Edit>
 sampleOperandReplace(const Module& mod, const std::vector<InstrRef>& pool,
-                     Rng& rng)
+                     Rng& rng, const Picker& pickFn)
 {
     // Pick a target instruction with at least one operand.
     const auto target =
-        pick(pool, rng, [](const InstrRef& r) { return r.instr->nops > 0; });
+        pickFn(pool, rng, [](const InstrRef& r) { return r.instr->nops > 0; });
     if (!target)
         return std::nullopt;
     const auto& in = *target->instr;
@@ -104,10 +152,12 @@ sampleOperandReplace(const Module& mod, const std::vector<InstrRef>& pool,
     return e;
 }
 
-} // namespace
-
+/// Operator cascade shared by both samplers; the picker decides how
+/// instruction sites are drawn.
+template <typename Picker>
 std::optional<Edit>
-sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
+sampleWith(const Module& mod, Rng& rng, const SamplerConfig& cfg,
+           const Picker& pickFn)
 {
     const auto pool = collect(mod);
     if (pool.empty())
@@ -120,7 +170,7 @@ sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
     auto nonTerm = [](const InstrRef& r) { return !r.terminator; };
 
     if ((roll -= cfg.wDelete) < 0) {
-        const auto victim = pick(pool, rng, nonTerm);
+        const auto victim = pickFn(pool, rng, nonTerm);
         if (!victim)
             return std::nullopt;
         Edit e;
@@ -129,10 +179,10 @@ sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
         return e;
     }
     if ((roll -= cfg.wCopy) < 0) {
-        const auto src = pick(pool, rng, nonTerm);
+        const auto src = pickFn(pool, rng, nonTerm);
         if (!src)
             return std::nullopt;
-        const auto dst = pick(pool, rng, [&](const InstrRef& r) {
+        const auto dst = pickFn(pool, rng, [&](const InstrRef& r) {
             return r.fnIdx == src->fnIdx;
         });
         if (!dst)
@@ -145,10 +195,10 @@ sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
         return e;
     }
     if ((roll -= cfg.wMove) < 0) {
-        const auto src = pick(pool, rng, nonTerm);
+        const auto src = pickFn(pool, rng, nonTerm);
         if (!src)
             return std::nullopt;
-        const auto dst = pick(pool, rng, [&](const InstrRef& r) {
+        const auto dst = pickFn(pool, rng, [&](const InstrRef& r) {
             return r.fnIdx == src->fnIdx && r.uid != src->uid;
         });
         if (!dst)
@@ -160,10 +210,10 @@ sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
         return e;
     }
     if ((roll -= cfg.wReplace) < 0) {
-        const auto src = pick(pool, rng, nonTerm);
+        const auto src = pickFn(pool, rng, nonTerm);
         if (!src)
             return std::nullopt;
-        const auto dst = pick(pool, rng, [&](const InstrRef& r) {
+        const auto dst = pickFn(pool, rng, [&](const InstrRef& r) {
             return r.fnIdx == src->fnIdx && !r.terminator &&
                    r.uid != src->uid;
         });
@@ -177,10 +227,10 @@ sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
         return e;
     }
     if ((roll -= cfg.wSwap) < 0) {
-        const auto a = pick(pool, rng, nonTerm);
+        const auto a = pickFn(pool, rng, nonTerm);
         if (!a)
             return std::nullopt;
-        const auto b = pick(pool, rng, [&](const InstrRef& r) {
+        const auto b = pickFn(pool, rng, [&](const InstrRef& r) {
             return r.fnIdx == a->fnIdx && !r.terminator && r.uid != a->uid;
         });
         if (!b)
@@ -191,7 +241,67 @@ sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
         e.dstUid = b->uid;
         return e;
     }
-    return sampleOperandReplace(mod, pool, rng);
+    return sampleOperandReplace(mod, pool, rng, pickFn);
+}
+
+} // namespace
+
+void
+SamplerConfig::validate() const
+{
+    const double w[] = {wDelete, wCopy, wMove, wReplace, wSwap, wOperand};
+    const char* names[] = {"delete", "copy",  "move",
+                           "replace", "swap", "operand"};
+    double total = 0.0;
+    for (int i = 0; i < 6; ++i) {
+        if (!std::isfinite(w[i]) || w[i] < 0.0)
+            GEVO_FATAL("sampler weight '%s' must be finite and >= 0 "
+                       "(got %g)",
+                       names[i], w[i]);
+        total += w[i];
+    }
+    if (total <= 0.0)
+        GEVO_FATAL("sampler weights sum to zero: at least one mutation "
+                   "operator weight must be positive");
+    if (!std::isfinite(exploreFloor) || exploreFloor < 0.0 ||
+        exploreFloor > 1.0)
+        GEVO_FATAL("exploreFloor must be in [0, 1] (got %g)", exploreFloor);
+}
+
+std::optional<Edit>
+sampleEdit(const Module& mod, Rng& rng, const SamplerConfig& cfg)
+{
+    return sampleWith(mod, rng, cfg, UniformPick{});
+}
+
+std::optional<Edit>
+UniformSampler::sample(const Module& mod, Rng& rng,
+                       const SamplerConfig& cfg) const
+{
+    return sampleWith(mod, rng, cfg, UniformPick{});
+}
+
+void
+ProfileGuidedSampler::setProfile(const std::vector<std::uint64_t>& locIssues)
+{
+    std::uint64_t maxIssues = 0;
+    for (std::uint64_t c : locIssues)
+        maxIssues = std::max(maxIssues, c);
+    if (maxIssues == 0) {
+        heat_.clear();
+        return;
+    }
+    heat_.assign(locIssues.size(), 0.0);
+    for (std::size_t i = 0; i < locIssues.size(); ++i)
+        heat_[i] = static_cast<double>(locIssues[i]) /
+                   static_cast<double>(maxIssues);
+}
+
+std::optional<Edit>
+ProfileGuidedSampler::sample(const Module& mod, Rng& rng,
+                             const SamplerConfig& cfg) const
+{
+    return sampleWith(mod, rng, cfg, GuidedPick{*this, cfg.exploreFloor});
 }
 
 std::pair<std::vector<Edit>, std::vector<Edit>>

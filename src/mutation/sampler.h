@@ -5,11 +5,20 @@
 /// later mutations can reference instructions earlier copies introduced —
 /// the stepping-stone structure the paper's epistasis analysis (Sec V)
 /// depends on.
+///
+/// Sampling is a seam: `UniformSampler` reproduces the historical
+/// `sampleEdit` RNG draw sequence bit-for-bit (the trajectory-neutrality
+/// oracle), while `ProfileGuidedSampler` biases the edit-site distribution
+/// toward hot source locations reported by the simulator's per-loc issue
+/// histogram — the diagnosis-driven recipe from the related work — with a
+/// tunable exploration floor so cold sites never starve.
 
 #ifndef GEVO_MUTATION_SAMPLER_H
 #define GEVO_MUTATION_SAMPLER_H
 
+#include <cstdint>
 #include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -19,7 +28,9 @@
 
 namespace gevo::mut {
 
-/// Relative weights of the mutation operators.
+/// Relative weights of the mutation operators plus the guided sampler's
+/// exploration floor. Per-island copies of this struct are what the
+/// self-adaptive rate machinery perturbs and inherits.
 struct SamplerConfig {
     double wDelete = 0.20;
     double wCopy = 0.12;
@@ -29,12 +40,74 @@ struct SamplerConfig {
     double wOperand = 0.42; ///< Operand replacement carries the search
                             ///< (paper Sec VI: the headline edits are all
                             ///< condition/operand rewrites).
+
+    /// Minimum relative site weight under the guided sampler, in [0, 1]:
+    /// a site with zero recorded issues keeps `exploreFloor` of the weight
+    /// the hottest site gets. 1.0 degenerates to uniform site selection.
+    double exploreFloor = 0.25;
+
+    /// Fatal (user error) on a negative weight, an all-zero weight vector,
+    /// a non-finite value, or an exploreFloor outside [0, 1].
+    void validate() const;
 };
 
 /// Draw one random edit valid against \p mod; nullopt when the module has
-/// no mutable instructions. Deterministic in (mod, rng state).
+/// no mutable instructions. Deterministic in (mod, rng state). This is the
+/// historical uniform path; `UniformSampler` delegates here.
 std::optional<Edit> sampleEdit(const ir::Module& mod, Rng& rng,
                                const SamplerConfig& cfg = {});
+
+/// Edit-sampling strategy seam. Implementations must be deterministic in
+/// (mod, rng state, cfg, profile state) — the engine calls them from the
+/// single-threaded breed step, so determinism here is whole-search
+/// determinism.
+class MutationSampler {
+  public:
+    virtual ~MutationSampler() = default;
+
+    /// Draw one edit against \p mod using operator weights from \p cfg.
+    virtual std::optional<Edit> sample(const ir::Module& mod, Rng& rng,
+                                       const SamplerConfig& cfg) const = 0;
+
+    /// Stable short name ("uniform"/"guided") for banners and scope keys.
+    virtual std::string_view name() const = 0;
+};
+
+/// Bit-for-bit reproduction of the legacy `sampleEdit` draw sequence.
+class UniformSampler final : public MutationSampler {
+  public:
+    std::optional<Edit> sample(const ir::Module& mod, Rng& rng,
+                               const SamplerConfig& cfg) const override;
+    std::string_view name() const override { return "uniform"; }
+};
+
+/// Profile-guided sampler: instruction picks are weighted by the issue
+/// heat of their interned source location (shared through the COW loc
+/// table, so base-module instruction locs index directly into a variant's
+/// profile). Without a profile installed it behaves uniformly (every site
+/// at the exploration floor).
+class ProfileGuidedSampler final : public MutationSampler {
+  public:
+    /// Install a per-loc issue histogram (index = interned loc id). The
+    /// heat is max-normalized to [0, 1]; an empty or all-zero histogram
+    /// clears the profile.
+    void setProfile(const std::vector<std::uint64_t>& locIssues);
+    void clearProfile() { heat_.clear(); }
+    bool hasProfile() const { return !heat_.empty(); }
+
+    /// Normalized heat of loc id (0 when unknown / no profile).
+    double heat(std::uint32_t loc) const
+    {
+        return loc < heat_.size() ? heat_[loc] : 0.0;
+    }
+
+    std::optional<Edit> sample(const ir::Module& mod, Rng& rng,
+                               const SamplerConfig& cfg) const override;
+    std::string_view name() const override { return "guided"; }
+
+  private:
+    std::vector<double> heat_; ///< Per interned loc id, max-normalized.
+};
 
 /// One-point crossover on edit lists (GEVO-style tail exchange): returns
 /// {a[:i] + b[j:], b[:j] + a[i:]} with i, j drawn uniformly.

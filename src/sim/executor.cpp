@@ -152,11 +152,36 @@ struct WarpState {
     int index = 0;
 };
 
-/// Reusable execution context: allocates warp/lane state once per launch
-/// and replays it for every block. Blocks of one launch are identical in
-/// shape (same program, same blockDim), so per-block construction only
-/// needs to reset state — re-allocating register files and reconvergence
-/// stacks per block dominated launch cost for small kernels.
+/// Per-thread reusable launch scratch: the shared/local arenas and warp
+/// contexts (register files, scoreboards, reconvergence stacks) survive
+/// across launchKernel calls, so a workload issuing many tiny launches —
+/// bfs runs one kernel per BFS level — stops paying allocation cost per
+/// launch. Safe because BlockRunner::resetBlock re-initializes every
+/// per-block observable before use: arenas are refilled, scoreboards and
+/// masks reset, and registers are either zero-filled (reference path) or
+/// covered by the uniform bits until materialized (trace path), so stale
+/// bytes from a previous launch are never read. One runner exists per
+/// thread at a time (launchKernel's parallel path gives each spawned
+/// thread its own thread_local copy).
+struct ExecScratch {
+    std::vector<std::uint8_t> shared;
+    std::vector<std::uint8_t> local;
+    std::vector<WarpState> warps;
+};
+
+ExecScratch&
+execScratch()
+{
+    thread_local ExecScratch scratch;
+    return scratch;
+}
+
+/// Reusable execution context: binds the thread's scratch state once per
+/// launch and replays it for every block. Blocks of one launch are
+/// identical in shape (same program, same blockDim), so per-block
+/// construction only needs to reset state — re-allocating register files
+/// and reconvergence stacks per block (and, before the scratch reuse,
+/// per launch) dominated launch cost for small kernels.
 class BlockRunner {
   public:
     BlockRunner(const DeviceConfig& dev, DeviceMemory& mem,
@@ -165,7 +190,8 @@ class BlockRunner {
                 bool profileLocs, bool trace, bool dense)
         : dev_(dev), mem_(mem), prog_(prog), dims_(dims), args_(args),
           stats_(stats), profileLocs_(profileLocs), trace_(trace),
-          dense_(dense)
+          dense_(dense), shared_(execScratch().shared),
+          local_(execScratch().local), warps_(execScratch().warps)
     {
         shared_.resize(prog.sharedBytes);
         local_.resize(static_cast<std::size_t>(prog.localBytes) *
@@ -695,9 +721,9 @@ class BlockRunner {
     bool trace_;
     bool dense_;
 
-    std::vector<std::uint8_t> shared_;
-    std::vector<std::uint8_t> local_;
-    std::vector<WarpState> warps_;
+    std::vector<std::uint8_t>& shared_;
+    std::vector<std::uint8_t>& local_;
+    std::vector<WarpState>& warps_;
     Fault fault_;
 };
 

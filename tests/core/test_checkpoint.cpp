@@ -142,6 +142,11 @@ sampleState()
     log.quarantineHits = 2;
     log.bestEdits = {del};
     log.islandBestMs = {3.5, 4.0};
+    // v2: the self-adaptation audit trail (one rate tuple per island).
+    mut::SamplerConfig loggedRates;
+    loggedRates.wDelete = 0.5;
+    loggedRates.wOperand = 0.125;
+    log.islandRates = {loggedRates, mut::SamplerConfig{}};
     st.history = {log, log};
     st.history[0].generation = 6;
 
@@ -152,6 +157,12 @@ sampleState()
     Individual bad{{opr}, FitnessResult::fail("wrong output"), true};
     Individual fresh{{del}, {}, false};
     a.members = {good, bad, fresh};
+    // v2: mid-verdict self-adaptive rate state.
+    a.rates.wSwap = 0.75;
+    a.candidateRates.wSwap = 1.5;
+    a.candidateRates.exploreFloor = 0.0625;
+    a.ratePending = true;
+    a.rateLastBest = 3.25;
     CheckpointIsland b;
     b.rngState = {~0ull, 5, 6, 7};
     b.bestMs = 4.0;
@@ -160,6 +171,18 @@ sampleState()
 
     st.quarantine = {std::string("bin\0key", 7), "plain"};
     return st;
+}
+
+void
+expectRatesEqual(const mut::SamplerConfig& a, const mut::SamplerConfig& b)
+{
+    EXPECT_EQ(a.wDelete, b.wDelete);
+    EXPECT_EQ(a.wCopy, b.wCopy);
+    EXPECT_EQ(a.wMove, b.wMove);
+    EXPECT_EQ(a.wReplace, b.wReplace);
+    EXPECT_EQ(a.wSwap, b.wSwap);
+    EXPECT_EQ(a.wOperand, b.wOperand);
+    EXPECT_EQ(a.exploreFloor, b.exploreFloor);
 }
 
 void
@@ -191,6 +214,11 @@ expectStatesEqual(const CheckpointState& a, const CheckpointState& b)
         EXPECT_EQ(a.history[g].islandBestMs, b.history[g].islandBestMs);
         EXPECT_EQ(mut::serializeEdits(a.history[g].bestEdits),
                   mut::serializeEdits(b.history[g].bestEdits));
+        ASSERT_EQ(a.history[g].islandRates.size(),
+                  b.history[g].islandRates.size());
+        for (std::size_t i = 0; i < a.history[g].islandRates.size(); ++i)
+            expectRatesEqual(a.history[g].islandRates[i],
+                             b.history[g].islandRates[i]);
     }
     ASSERT_EQ(a.islands.size(), b.islands.size());
     for (std::size_t i = 0; i < a.islands.size(); ++i) {
@@ -208,6 +236,11 @@ expectStatesEqual(const CheckpointState& a, const CheckpointState& b)
             EXPECT_EQ(ma.fitness.failReason, mb.fitness.failReason);
             EXPECT_EQ(ma.evaluated, mb.evaluated);
         }
+        expectRatesEqual(a.islands[i].rates, b.islands[i].rates);
+        expectRatesEqual(a.islands[i].candidateRates,
+                         b.islands[i].candidateRates);
+        EXPECT_EQ(a.islands[i].ratePending, b.islands[i].ratePending);
+        EXPECT_EQ(a.islands[i].rateLastBest, b.islands[i].rateLastBest);
     }
     EXPECT_EQ(a.quarantine, b.quarantine);
 }

@@ -203,6 +203,84 @@ TEST(Island, MigrationChangesTheSearch)
     EXPECT_TRUE(anyDiff);
 }
 
+TEST(Island, FitnessAwareMigrantsOnlyReplaceWorseResidents)
+{
+    // Unit-level semantics of Population::receiveMigrants under
+    // params.fitnessAwareMigrants: a migrant takes its slot only when
+    // strictly fitter than the resident it would evict.
+    const auto mod = toyModule();
+    EvolutionParams params;
+    params.populationSize = 4;
+    params.elitism = 1;
+    params.fitnessAwareMigrants = true;
+    Population pop(mod, params);
+    Rng rng(1);
+    pop.seed(rng);
+    ASSERT_EQ(pop.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        pop.members()[i].fitness = FitnessResult::pass(10.0 + i);
+        pop.members()[i].evaluated = true;
+    }
+    pop.sortByFitness(); // residents: 10, 11, 12, 13
+
+    // Two migrants target the two worst slots (12, 13): 11.5 beats 12,
+    // 20.0 loses to 13 and must be rejected.
+    Individual strong;
+    strong.fitness = FitnessResult::pass(11.5);
+    strong.evaluated = true;
+    Individual weak;
+    weak.fitness = FitnessResult::pass(20.0);
+    weak.evaluated = true;
+    pop.receiveMigrants({strong, weak});
+
+    std::vector<double> ms;
+    for (const auto& m : pop.members())
+        ms.push_back(m.fitness.ms);
+    EXPECT_EQ(ms, (std::vector<double>{10.0, 11.0, 11.5, 13.0}));
+
+    // Default policy: unconditional replacement of the worst slots.
+    params.fitnessAwareMigrants = false;
+    Population blind(mod, params);
+    blind.seed(rng);
+    for (std::size_t i = 0; i < 4; ++i) {
+        blind.members()[i].fitness = FitnessResult::pass(10.0 + i);
+        blind.members()[i].evaluated = true;
+    }
+    blind.sortByFitness();
+    blind.receiveMigrants({strong, weak});
+    ms.clear();
+    for (const auto& m : blind.members())
+        ms.push_back(m.fitness.ms);
+    EXPECT_EQ(ms, (std::vector<double>{10.0, 11.0, 11.5, 20.0}));
+}
+
+TEST(Island, FitnessAwareMigrationIsDeterministicAndNeverHurts)
+{
+    // Engine-level: the fitness-aware policy is deterministic across
+    // thread counts, and since migrants can only displace strictly worse
+    // residents, every island's best-so-far stays monotone.
+    const auto mod = toyModule();
+    ToyFitness fitness;
+    EvolutionParams params;
+    params.populationSize = 10;
+    params.generations = 8;
+    params.elitism = 2;
+    params.seed = 33;
+    params.islands = 3;
+    params.migrationInterval = 2;
+    params.migrationCount = 2;
+    params.fitnessAwareMigrants = true;
+    const auto one = EvolutionEngine(mod, fitness, params).run();
+    params.threads = 4;
+    const auto four = EvolutionEngine(mod, fitness, params).run();
+    expectSameTrajectory(one, four);
+    for (std::size_t g = 0; g + 1 < one.history.size(); ++g) {
+        for (std::size_t i = 0; i < params.islands; ++i)
+            EXPECT_LE(one.history[g + 1].islandBestMs[i],
+                      one.history[g].islandBestMs[i]);
+    }
+}
+
 TEST(Island, GlobalBestIsBestOfIslands)
 {
     const auto mod = toyModule();

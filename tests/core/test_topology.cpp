@@ -60,6 +60,109 @@ TEST(Topology, SingleIslandRingNeverMigrates)
     EXPECT_TRUE(t.migrationsAfter(1).empty());
 }
 
+TEST(Topology, TorusFactorsIntoTheMostSquareGrid)
+{
+    // 6 islands -> 2x3; every island emits a right and a down edge.
+    TorusTopology t(6, 3);
+    EXPECT_EQ(t.islandCount(), 6u);
+    EXPECT_TRUE(t.migrationsAfter(0).empty());
+    EXPECT_TRUE(t.migrationsAfter(2).empty());
+    const auto edges = t.migrationsAfter(3);
+    ASSERT_EQ(edges.size(), 12u);
+    // Spot-check the wrap-around edges: island 2 (row 0, col 2) wraps
+    // right to 0; island 5 (row 1, col 2) wraps down to 2.
+    bool wrapRight = false;
+    bool wrapDown = false;
+    for (const auto& e : edges) {
+        if (e.from == 2 && e.to == 0)
+            wrapRight = true;
+        if (e.from == 5 && e.to == 2)
+            wrapDown = true;
+        EXPECT_NE(e.from, e.to);
+        EXPECT_LT(e.to, 6u);
+    }
+    EXPECT_TRUE(wrapRight);
+    EXPECT_TRUE(wrapDown);
+    // Every island participates as a source exactly twice on a 2-D grid.
+    std::vector<int> outDegree(6, 0);
+    for (const auto& e : edges)
+        ++outDegree[e.from];
+    for (int d : outDegree)
+        EXPECT_EQ(d, 2);
+}
+
+TEST(Topology, PrimeIslandCountTorusDegeneratesToRing)
+{
+    // 5 islands factor as 1x5: no distinct down edge, so the torus is
+    // exactly the 5-ring (no duplicate or self edges).
+    TorusTopology t(5, 2);
+    const auto edges = t.migrationsAfter(2);
+    ASSERT_EQ(edges.size(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(edges[i].from, i);
+        EXPECT_EQ(edges[i].to, (i + 1) % 5);
+    }
+}
+
+TEST(Topology, StarRoutesThroughTheHub)
+{
+    StarTopology t(4, 2);
+    EXPECT_EQ(t.islandCount(), 4u);
+    EXPECT_TRUE(t.migrationsAfter(1).empty());
+    const auto edges = t.migrationsAfter(2);
+    // 3 spokes in, then 3 broadcasts out; spoke->hub edges must come
+    // first so the hub ingests before it broadcasts its (pre-migration)
+    // elites.
+    ASSERT_EQ(edges.size(), 6u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(edges[i].to, 0u);
+        EXPECT_EQ(edges[i].from, i + 1);
+    }
+    for (std::size_t i = 3; i < 6; ++i) {
+        EXPECT_EQ(edges[i].from, 0u);
+        EXPECT_EQ(edges[i].to, i - 2);
+    }
+}
+
+TEST(Topology, SingleIslandTorusAndStarNeverMigrate)
+{
+    TorusTopology torus(1, 1);
+    StarTopology star(1, 1);
+    for (std::uint32_t gen = 0; gen <= 10; ++gen) {
+        EXPECT_TRUE(torus.migrationsAfter(gen).empty());
+        EXPECT_TRUE(star.migrationsAfter(gen).empty());
+    }
+}
+
+TEST(Topology, MakeTopologySelectsRequestedKind)
+{
+    EvolutionParams params;
+    params.islands = 6;
+    params.migrationInterval = 4;
+
+    params.topology = TopologyKind::Torus;
+    EXPECT_NE(makeTopology(params)->describe().find("torus"),
+              std::string::npos);
+    params.topology = TopologyKind::Star;
+    EXPECT_NE(makeTopology(params)->describe().find("star"),
+              std::string::npos);
+    params.topology = TopologyKind::Ring;
+    EXPECT_NE(makeTopology(params)->describe().find("ring"),
+              std::string::npos);
+    // Explicit panmictic with one island is fine...
+    params.islands = 1;
+    params.topology = TopologyKind::Panmictic;
+    EXPECT_EQ(makeTopology(params)->describe(), "panmictic");
+}
+
+TEST(TopologyDeathTest, PanmicticWithMultipleIslandsIsFatal)
+{
+    EvolutionParams params;
+    params.islands = 3;
+    params.topology = TopologyKind::Panmictic;
+    EXPECT_DEATH(makeTopology(params), "panmictic");
+}
+
 TEST(Topology, MakeTopologyDerivesFromParams)
 {
     EvolutionParams params;

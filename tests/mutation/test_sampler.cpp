@@ -135,6 +135,187 @@ TEST(Sampler, OperandReplaceRespectsSlotKinds)
     }
 }
 
+// The uniform seam must reproduce the free-function draw sequence
+// bit-for-bit: the engine swaps `sampleEdit` for `UniformSampler` on the
+// default path, so any divergence here forks every historical trajectory.
+TEST(Sampler, UniformSamplerMatchesSampleEditExactly)
+{
+    const auto base = baseModule();
+    const UniformSampler sampler;
+    const SamplerConfig cfg;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng a(seed);
+        Rng b(seed);
+        ir::Module variant = base.clone();
+        for (int i = 0; i < 200; ++i) {
+            const auto ea = sampleEdit(variant, a, cfg);
+            const auto eb = sampler.sample(variant, b, cfg);
+            ASSERT_EQ(ea.has_value(), eb.has_value()) << seed << ":" << i;
+            if (!ea)
+                continue;
+            ASSERT_TRUE(*ea == *eb) << seed << ":" << i;
+            ASSERT_EQ(ea->newUid, eb->newUid) << seed << ":" << i;
+            // Both RNGs must sit at the identical state — equal edits
+            // from different draw counts would still fork the search.
+            ASSERT_EQ(a.state(), b.state()) << seed << ":" << i;
+            // Fuzz against evolving genotypes, not just the base: walk
+            // the variant forward with every 10th sampled edit.
+            if (i % 10 == 9)
+                applyEdit(variant, *ea);
+        }
+    }
+}
+
+ir::Module
+locModule()
+{
+    // Two basic blocks of mutable instructions: four at a "hot" source
+    // loc, four at a "cold" one, plus unattributed control flow.
+    auto res = ir::parseModule(R"(
+kernel @k params 2 regs 24 shared 0 local 0 {
+entry:
+    r2 = tid @"hot.cu:10"
+    r3 = add.i32 r2, 1 @"hot.cu:10"
+    r4 = mul.i32 r3, 2 @"hot.cu:11"
+    r5 = add.i32 r4, 3 @"hot.cu:11"
+    r6 = mul.i32 r5, 5 @"cold.cu:40"
+    r7 = add.i32 r6, 7 @"cold.cu:40"
+    r8 = mul.i32 r7, 9 @"cold.cu:41"
+    r9 = add.i32 r8, 11 @"cold.cu:41"
+    ret
+}
+)");
+    EXPECT_TRUE(res.ok) << res.error;
+    return std::move(res.module);
+}
+
+/// Issue histogram that marks every loc whose name starts with "hot" as
+/// hot and leaves the rest cold.
+std::vector<std::uint64_t>
+hotProfile(const ir::Module& mod)
+{
+    std::vector<std::uint64_t> issues;
+    for (std::size_t f = 0; f < mod.numFunctions(); ++f) {
+        const auto& fn = mod.function(f);
+        for (const auto& bb : fn.blocks) {
+            for (const auto& in : bb.instrs) {
+                if (in.loc >= issues.size())
+                    issues.resize(in.loc + 1, 0);
+                if (mod.locString(in.loc).rfind("hot", 0) == 0)
+                    issues[in.loc] = 1000;
+            }
+        }
+    }
+    return issues;
+}
+
+/// Fraction of sampled edits that anchor on a hot-loc instruction.
+double
+hotFraction(const ir::Module& mod, const MutationSampler& sampler,
+            const SamplerConfig& cfg, int draws)
+{
+    Rng rng(42);
+    int hot = 0;
+    int attributed = 0;
+    for (int i = 0; i < draws; ++i) {
+        const auto edit = sampler.sample(mod, rng, cfg);
+        if (!edit)
+            continue;
+        const auto pos = mod.function(0).findUid(edit->srcUid);
+        if (!pos.valid())
+            continue;
+        const auto loc = mod.function(0).at(pos).loc;
+        if (loc == 0)
+            continue;
+        ++attributed;
+        if (mod.locString(loc).rfind("hot", 0) == 0)
+            ++hot;
+    }
+    EXPECT_GT(attributed, draws / 2);
+    return static_cast<double>(hot) / static_cast<double>(attributed);
+}
+
+TEST(GuidedSampler, BiasesEditSitesTowardHotLocs)
+{
+    const auto mod = locModule();
+    ProfileGuidedSampler guided;
+    guided.setProfile(hotProfile(mod));
+    ASSERT_TRUE(guided.hasProfile());
+
+    SamplerConfig cfg;
+    cfg.exploreFloor = 0.25;
+    const double guidedHot = hotFraction(mod, guided, cfg, 4000);
+    const double uniformHot =
+        hotFraction(mod, UniformSampler{}, cfg, 4000);
+    // Half the mutable instructions are hot, so uniform sits near 0.5;
+    // with floor 0.25 the hot sites carry weight 1.0 vs 0.25, i.e. an
+    // expected hot share of 0.8. Demand a clear separation.
+    EXPECT_GT(guidedHot, uniformHot + 0.15);
+    EXPECT_GT(guidedHot, 0.6);
+}
+
+TEST(GuidedSampler, FloorOfOneDegeneratesToUniformDistribution)
+{
+    const auto mod = locModule();
+    ProfileGuidedSampler guided;
+    guided.setProfile(hotProfile(mod));
+
+    SamplerConfig cfg;
+    cfg.exploreFloor = 1.0;
+    const double guidedHot = hotFraction(mod, guided, cfg, 4000);
+    const double uniformHot =
+        hotFraction(mod, UniformSampler{}, cfg, 4000);
+    EXPECT_NEAR(guidedHot, uniformHot, 0.05);
+}
+
+TEST(GuidedSampler, ExplorationFloorKeepsColdSitesAlive)
+{
+    const auto mod = locModule();
+    ProfileGuidedSampler guided;
+    guided.setProfile(hotProfile(mod));
+
+    SamplerConfig cfg;
+    cfg.exploreFloor = 0.25;
+    // Cold sites must still be sampled (floor > 0): expected cold share
+    // is 0.25/1.25 = 0.2 of attributed picks.
+    const double guidedHot = hotFraction(mod, guided, cfg, 4000);
+    EXPECT_LT(guidedHot, 0.95);
+}
+
+TEST(GuidedSampler, NoProfileBehavesLikeUniformSiteSelection)
+{
+    const auto mod = locModule();
+    const ProfileGuidedSampler guided;
+    ASSERT_FALSE(guided.hasProfile());
+    const SamplerConfig cfg;
+    const double guidedHot = hotFraction(mod, guided, cfg, 4000);
+    const double uniformHot =
+        hotFraction(mod, UniformSampler{}, cfg, 4000);
+    EXPECT_NEAR(guidedHot, uniformHot, 0.05);
+}
+
+TEST(SamplerConfigDeathTest, NegativeWeightIsFatal)
+{
+    SamplerConfig cfg;
+    cfg.wMove = -0.1;
+    EXPECT_DEATH(cfg.validate(), "move");
+}
+
+TEST(SamplerConfigDeathTest, AllZeroWeightsAreFatal)
+{
+    SamplerConfig cfg;
+    cfg.wDelete = cfg.wCopy = cfg.wMove = 0.0;
+    cfg.wReplace = cfg.wSwap = cfg.wOperand = 0.0;
+    EXPECT_DEATH(cfg.validate(), "zero");
+}
+
+TEST(SamplerConfigDeathTest, ExploreFloorOutsideUnitIntervalIsFatal)
+{
+    SamplerConfig cfg;
+    cfg.exploreFloor = 1.5;
+    EXPECT_DEATH(cfg.validate(), "exploreFloor");
+}
+
 TEST(Crossover, PreservesTotalEditCount)
 {
     Rng rng(11);
