@@ -35,13 +35,22 @@
 /// too.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
 
 #include "apps/registry.h"
 #include "bench_util.h"
 #include "core/fitness.h"
 #include "core/workload.h"
+#include "farm/server.h"
 #include "mutation/edit.h"
+#include "support/logging.h"
+#include "support/strings.h"
 
 namespace {
 
@@ -112,17 +121,71 @@ runSearch(const core::WorkloadInstance& instance,
     return s;
 }
 
+/// One loopback farm worker daemon (Unix-domain socket) serving this
+/// bench process's workload instance for the --remote-workers rows.
+class LoopbackWorker {
+  public:
+    LoopbackWorker(const core::WorkloadInstance& instance,
+                   const std::string& banner)
+    {
+        static int counter = 0;
+        const std::string tag = strformat("/tmp/gevo_bench_farm_%d_%d",
+                                          ::getpid(), counter++);
+        socketPath_ = tag + ".sock";
+        readyPath_ = tag + ".ready";
+        pid_ = ::fork();
+        if (pid_ == -1)
+            GEVO_FATAL("fork for loopback farm worker failed");
+        if (pid_ == 0) {
+            ::setpgid(0, 0); // Sessions die with the daemon.
+            farm::ServerOptions opts;
+            opts.listenSpec = "unix:" + socketPath_;
+            opts.readyFile = readyPath_;
+            opts.banner = banner;
+            ::_Exit(farm::runWorkerServer(instance.module(),
+                                          instance.fitness(), opts));
+        }
+        ::setpgid(pid_, pid_);
+        for (int i = 0; i < 750 && ::access(readyPath_.c_str(), F_OK) != 0;
+             ++i)
+            ::usleep(20 * 1000);
+        if (::access(readyPath_.c_str(), F_OK) != 0)
+            GEVO_FATAL("loopback farm worker never came up on %s",
+                       socketPath_.c_str());
+    }
+
+    ~LoopbackWorker()
+    {
+        ::kill(-pid_, SIGKILL);
+        ::waitpid(pid_, nullptr, 0);
+        for (int i = 0; i < 750 && ::kill(-pid_, 0) == 0; ++i)
+            ::usleep(2 * 1000);
+        ::unlink(socketPath_.c_str());
+        ::unlink(readyPath_.c_str());
+    }
+
+    std::string spec() const { return "unix:" + socketPath_; }
+
+  private:
+    pid_t pid_ = -1;
+    std::string socketPath_;
+    std::string readyPath_;
+};
+
 /// Everything measured for one workload, for both the table and the JSON
 /// artifact.
 struct WorkloadReport {
     std::string name;
     RunStats uncached;
     RunStats cached;
+    RunStats remote;
     RunStats cold;
     RunStats warm;
     bool haveWarm = false;      ///< --cache-path rows were run.
+    bool haveRemote = false;    ///< --remote-workers rows were run.
     bool trajectoryIdentical = false;
     bool warmOk = true;         ///< Warm-start invariants held.
+    bool remoteOk = true;       ///< Remote row kept the trajectory.
 
     /// Cached-over-uncached variants/sec ratio; 0 when the best edit
     /// lists disagree, which would invalidate the comparison.
@@ -182,6 +245,38 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
         .cell(cached.seconds, 2).cell(cached.variantsPerSec(), 1)
         .cell(cached.hitRate(), 2).cell(ratio, 2);
 
+    // Remote farm row: the same cached search sharded over N loopback
+    // worker daemons through the socket protocol — what the framing,
+    // round-trips and result commit cost relative to in-process.
+    const int remoteWorkers =
+        static_cast<int>(flags.getInt("remote-workers", 0));
+    if (remoteWorkers > 0) {
+        report.haveRemote = true;
+        std::vector<std::unique_ptr<LoopbackWorker>> workers;
+        std::string list;
+        for (int i = 0; i < remoteWorkers; ++i) {
+            workers.push_back(std::make_unique<LoopbackWorker>(
+                *instance, workload.name + " bench worker"));
+            if (!list.empty())
+                list += ',';
+            list += workers.back()->spec();
+        }
+        auto remoteParams = params;
+        remoteParams.backend = core::EvalBackendKind::Remote;
+        remoteParams.workers = list;
+        if (remoteParams.evalTimeoutMs == 0)
+            remoteParams.evalTimeoutMs = 30000;
+        report.remote = runSearch(*instance, remoteParams, true);
+        const RunStats& remote = report.remote;
+        t.row().cell(workload.name)
+            .cell(strformat("remote x%d", remoteWorkers))
+            .cell(static_cast<long long>(remote.requests))
+            .cell(static_cast<long long>(remote.simulations))
+            .cell(remote.seconds, 2).cell(remote.variantsPerSec(), 1)
+            .cell(remote.hitRate(), 2)
+            .cell(remote.variantsPerSec() / uncached.variantsPerSec(), 2);
+    }
+
     // Warm-start pair: cold run persists its caches, warm run reuses
     // them. Both are full searches — only the file differs.
     const std::string cacheDir = flags.getString("cache-path", "");
@@ -223,6 +318,20 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
                 "(search speedup %.2fx vs %.2fx)\n",
                 sameBest ? "yes" : "NO — CACHE CHANGED THE TRAJECTORY",
                 uncached.speedup, cached.speedup);
+    if (report.haveRemote) {
+        const bool remoteSame =
+            report.remote.bestEdits == uncached.bestEdits &&
+            report.remote.evalFailures == 0;
+        report.remoteOk = remoteSame;
+        std::printf("remote farm row: %s (%.1f variants/s over the "
+                    "socket, %zu eval failures, trajectory %s)\n",
+                    remoteSame ? "PASS" : "FAIL",
+                    report.remote.variantsPerSec(),
+                    report.remote.evalFailures,
+                    report.remote.bestEdits == uncached.bestEdits
+                        ? "identical"
+                        : "DIVERGED");
+    }
     if (!cacheDir.empty()) {
         const bool warmSame = cold.bestEdits == uncached.bestEdits &&
                               warm.bestEdits == uncached.bestEdits;
@@ -290,9 +399,13 @@ writeJson(const std::string& path,
                      r.gateRatio());
         std::fprintf(f, "      \"warm_ok\": %s,\n",
                      r.warmOk ? "true" : "false");
+        std::fprintf(f, "      \"remote_ok\": %s,\n",
+                     r.remoteOk ? "true" : "false");
         std::fprintf(f, "      \"modes\": {\n");
         jsonMode(f, "uncached", r.uncached, false);
-        jsonMode(f, "cached", r.cached, !r.haveWarm);
+        jsonMode(f, "cached", r.cached, !r.haveWarm && !r.haveRemote);
+        if (r.haveRemote)
+            jsonMode(f, "remote", r.remote, !r.haveWarm);
         if (r.haveWarm) {
             jsonMode(f, "cold_persist", r.cold, false);
             jsonMode(f, "warm_start", r.warm, true);
@@ -311,6 +424,9 @@ writeJson(const std::string& path,
 int
 main(int argc, char** argv)
 {
+    // The --remote-workers rows write to farm sockets; a worker going
+    // away must surface as a write error, not kill the bench.
+    std::signal(SIGPIPE, SIG_IGN);
     apps::registerBuiltinWorkloads();
     auto& registry = core::WorkloadRegistry::instance();
     const Flags flags(argc, argv);
@@ -324,6 +440,7 @@ main(int argc, char** argv)
 
     bool gateRan = false;
     bool warmStartOk = true;
+    bool remoteOk = true;
     double adeptRatio = 0.0;
     double otherMin = -1.0;
     std::vector<WorkloadReport> reports;
@@ -332,6 +449,8 @@ main(int argc, char** argv)
         const WorkloadReport& report = reports.back();
         if (!report.warmOk)
             warmStartOk = false;
+        if (!report.remoteOk)
+            remoteOk = false;
         const double ratio = report.gateRatio();
         if (name == "adept-v0") {
             gateRan = true;
@@ -343,6 +462,9 @@ main(int argc, char** argv)
 
     if (!warmStartOk)
         std::printf("warm-start check: FAIL (see per-workload lines "
+                    "above)\n");
+    if (!remoteOk)
+        std::printf("remote farm check: FAIL (see per-workload lines "
                     "above)\n");
     const bool gatePass = gateRan && adeptRatio >= 3.0;
     const std::string jsonPath = flags.getString("json", "");
@@ -356,11 +478,11 @@ main(int argc, char** argv)
         std::printf("acceptance gate (adept-v0 >= 3x): not run (adept-v0 "
                     "not in --workloads; min measured ratio %.2fx)\n",
                     otherMin < 0.0 ? 0.0 : otherMin);
-        return warmStartOk && jsonOk ? 0 : 1;
+        return warmStartOk && remoteOk && jsonOk ? 0 : 1;
     }
     std::printf("acceptance gate (adept-v0 >= 3x): %s (%.2fx; others min "
                 "%.2fx)\n",
                 gatePass ? "PASS" : "FAIL", adeptRatio,
                 otherMin < 0.0 ? 0.0 : otherMin);
-    return gatePass && warmStartOk && jsonOk ? 0 : 1;
+    return gatePass && warmStartOk && remoteOk && jsonOk ? 0 : 1;
 }

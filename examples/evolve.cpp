@@ -87,13 +87,18 @@ printHelp(const core::WorkloadRegistry& registry)
               "are logged per generation)");
     usage.section("robustness")
         .flag("backend", "<kind>",
-              "evaluation backend: inprocess (default, fastest) or "
+              "evaluation backend: inprocess (default, fastest), "
               "isolated (fork-per-batch workers; a crashing/hanging "
               "variant is penalized and quarantined instead of killing "
-              "the search)")
+              "the search), or remote (shard batches across gevo-workerd "
+              "daemons; fault-free runs are trajectory-identical to "
+              "inprocess)")
+        .flag("workers", "<list>",
+              "remote-backend worker endpoints, comma-separated "
+              "host:port or unix:/path (required with --backend=remote)")
         .flag("eval-timeout-ms", "<n>",
-              "isolated-backend watchdog budget per evaluation (default "
-              "30000)")
+              "per-evaluation watchdog budget for the isolated and "
+              "remote backends (default 30000)")
         .flag("checkpoint-path", "<file>",
               "durable search-state snapshots: save every "
               "checkpoint-interval generations and on completion or "
@@ -181,6 +186,10 @@ dumpHistory(const std::string& path, const core::SearchResult& result)
 int
 main(int argc, char** argv)
 {
+    // Process-wide: a remote worker (or an isolated worker's pipe)
+    // vanishing mid-write must surface as a write error the backend
+    // handles, never as a SIGPIPE death of the whole search.
+    std::signal(SIGPIPE, SIG_IGN);
     apps::registerBuiltinWorkloads();
     auto& registry = core::WorkloadRegistry::instance();
     const Flags flags(argc, argv);
@@ -247,12 +256,15 @@ main(int argc, char** argv)
         flags.getDouble("explore-floor", params.sampler.exploreFloor);
     params.adaptRates = flags.getBool("adapt-rates", params.adaptRates);
     const auto backendName = flags.getChoice(
-        "backend", {"inprocess", "isolated"},
+        "backend", {"inprocess", "isolated", "remote"},
         params.backend == core::EvalBackendKind::Isolated ? "isolated"
                                                           : "inprocess");
     params.backend = backendName == "isolated"
                          ? core::EvalBackendKind::Isolated
+                     : backendName == "remote"
+                         ? core::EvalBackendKind::Remote
                          : core::EvalBackendKind::InProcess;
+    params.workers = flags.getString("workers", params.workers);
     params.evalTimeoutMs = static_cast<std::uint32_t>(
         flags.getInt("eval-timeout-ms", params.evalTimeoutMs));
     params.checkpointPath =

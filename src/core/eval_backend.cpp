@@ -16,7 +16,9 @@
 #include <unistd.h>
 
 #include "core/cache_store.h" // crc32 — the pipe frames reuse it.
+#include "core/fault_inject.h"
 #include "support/bytes.h"
+#include "support/io.h"
 #include "support/logging.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
@@ -31,100 +33,14 @@ evalFailureName(EvalFailure failure)
       case EvalFailure::WorkerCrash: return "crash";
       case EvalFailure::WorkerTimeout: return "timeout";
       case EvalFailure::ProtocolError: return "protocol";
+      case EvalFailure::ConnectionLost: return "connection-lost";
+      case EvalFailure::HandshakeRejected: return "handshake-rejected";
+      case EvalFailure::RpcTimeout: return "rpc-timeout";
     }
     return "?";
 }
 
 namespace {
-
-// ---- fault injection (GEVO_FAULT_INJECT) ----
-
-enum class FaultKind : std::uint8_t { Crash, Hang, Garbage };
-
-/// One injected fault: fire when the global evaluation sequence number
-/// equals `at` (or any later number, with the "+" suffix).
-struct FaultSpec {
-    FaultKind kind = FaultKind::Crash;
-    std::uint64_t at = 0;
-    bool fromHere = false;
-};
-
-/// Parse GEVO_FAULT_INJECT ("crash@12,hang@3,garbage@7+"). Malformed
-/// specs are fatal user errors — a silently ignored fault spec would make
-/// a crash test vacuously green.
-std::vector<FaultSpec>
-parseFaultSpecs()
-{
-    std::vector<FaultSpec> specs;
-    const char* env = std::getenv("GEVO_FAULT_INJECT");
-    if (env == nullptr || *env == '\0')
-        return specs;
-    for (const auto& part : split(env, ',')) {
-        const auto text = trim(part);
-        if (text.empty())
-            GEVO_FATAL("GEVO_FAULT_INJECT: empty spec in '%s'", env);
-        const auto sep = text.find('@');
-        if (sep == std::string_view::npos)
-            GEVO_FATAL("GEVO_FAULT_INJECT: expected kind@index, got '%s'",
-                       std::string(text).c_str());
-        const auto kindName = text.substr(0, sep);
-        FaultSpec spec;
-        if (kindName == "crash") {
-            spec.kind = FaultKind::Crash;
-        } else if (kindName == "hang") {
-            spec.kind = FaultKind::Hang;
-        } else if (kindName == "garbage") {
-            spec.kind = FaultKind::Garbage;
-        } else {
-            GEVO_FATAL("GEVO_FAULT_INJECT: unknown kind '%s' (want "
-                       "crash/hang/garbage)",
-                       std::string(kindName).c_str());
-        }
-        auto index = text.substr(sep + 1);
-        if (!index.empty() && index.back() == '+') {
-            spec.fromHere = true;
-            index.remove_suffix(1);
-        }
-        if (index.empty() ||
-            index.find_first_not_of("0123456789") != std::string_view::npos)
-            GEVO_FATAL("GEVO_FAULT_INJECT: bad index in '%s'",
-                       std::string(text).c_str());
-        spec.at = std::strtoull(std::string(index).c_str(), nullptr, 10);
-        specs.push_back(spec);
-    }
-    return specs;
-}
-
-std::optional<FaultKind>
-faultFor(const std::vector<FaultSpec>& specs, std::uint64_t seq)
-{
-    for (const auto& spec : specs) {
-        if (spec.fromHere ? seq >= spec.at : seq == spec.at)
-            return spec.kind;
-    }
-    return std::nullopt;
-}
-
-/// A genuine invalid-access death, not a tidy abort(): the reaping path
-/// under test is the one a wild pointer in a hostile mutant would take.
-[[noreturn]] void
-faultCrash()
-{
-    std::raise(SIGSEGV);
-    std::_Exit(139); // Not reached unless SIGSEGV is blocked.
-}
-
-/// Sleep until something kills us (the isolated watchdog — or nothing,
-/// when injected into the in-process backend: hanging the host is the
-/// failure mode this file exists to contain).
-void
-faultHang()
-{
-    for (;;) {
-        struct timespec ts = {1, 0};
-        nanosleep(&ts, nullptr);
-    }
-}
 
 // ---- shared single-task evaluation ----
 
@@ -139,16 +55,12 @@ stageNsSince(StageClock::time_point start)
             .count());
 }
 
-/// Evaluate one edit list through the two-stage pipeline. With a
-/// \p programCache this is the cached-path body the engine used to inline
-/// (compile, serve repeat programs from the cache, simulate + insert
-/// otherwise); without one it is the compile-per-call reference path
-/// (every task simulated, no cache lookups). Both stages run through the
-/// backend's precompiled VariantCompiler and record into the process-wide
-/// stage timers. \p programKeyOut, when non-null, receives the program
-/// content key of a fresh simulation (isolated workers ship it to the
-/// parent so the live cache learns the result; their own insert dies with
-/// the forked address space).
+} // namespace
+
+/// Both stages run through the caller's precompiled VariantCompiler and
+/// record into the process-wide stage timers. (Exported: the farm worker
+/// session serves connections with this exact body, so remote results
+/// are bit-identical to in-process ones.)
 EvalOutcome
 evaluateTask(const VariantCompiler& compiler, const FitnessFunction& fitness,
              const std::vector<mut::Edit>& edits, VariantCache* programCache,
@@ -190,6 +102,8 @@ evaluateTask(const VariantCompiler& compiler, const FitnessFunction& fitness,
     return out;
 }
 
+namespace {
+
 // ---- in-process backend ----
 
 class InProcessBackend final : public EvaluationBackend {
@@ -217,8 +131,9 @@ class InProcessBackend final : public EvaluationBackend {
                     faultCrash();
                 if (*fault == FaultKind::Hang)
                     faultHang();
-                // Garbage has no in-process meaning: there is no pipe to
-                // corrupt. Ignored, so one spec can drive both backends.
+                // Garbage and the network kinds have no in-process
+                // meaning: there is no pipe or socket to corrupt. Ignored,
+                // so one spec can drive every backend.
             }
             (*out)[i] =
                 evaluateTask(compiler_, fitness_, *batch[i], programCache,
@@ -252,40 +167,6 @@ constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
 constexpr std::uint32_t kShutdownTask = 0xffffffffu;
 /// Request message: u32 taskIndex | u64 sequence number.
 constexpr std::size_t kRequestSize = 12;
-
-bool
-writeAll(int fd, const char* p, std::size_t n)
-{
-    while (n > 0) {
-        const ssize_t w = ::write(fd, p, n);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += w;
-        n -= static_cast<std::size_t>(w);
-    }
-    return true;
-}
-
-bool
-readFull(int fd, char* p, std::size_t n)
-{
-    while (n > 0) {
-        const ssize_t r = ::read(fd, p, n);
-        if (r < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (r == 0)
-            return false; // EOF mid-message.
-        p += r;
-        n -= static_cast<std::size_t>(r);
-    }
-    return true;
-}
 
 class IsolatedBackend final : public EvaluationBackend {
   public:
@@ -340,7 +221,11 @@ class IsolatedBackend final : public EvaluationBackend {
     }
 
   private:
+    // The watchdog must measure wall-clock monotonically: a suspend/
+    // resume or an NTP step across a system_clock deadline would fire
+    // spurious WorkerTimeouts (and poison the quarantine set).
     using Clock = std::chrono::steady_clock;
+    static_assert(Clock::is_steady, "watchdog clock must be monotonic");
 
     struct Worker {
         pid_t pid = -1;
@@ -373,13 +258,16 @@ class IsolatedBackend final : public EvaluationBackend {
                     faultCrash();
                   case FaultKind::Hang:
                     faultHang();
-                    break;
                   case FaultKind::Garbage: {
                     static constexpr char junk[] = "these bytes are not a "
                                                    "response frame";
                     writeAll(respFd, junk, sizeof(junk));
                     std::_Exit(0);
                   }
+                  case FaultKind::Disconnect:
+                  case FaultKind::Delay:
+                  case FaultKind::Truncate:
+                    break; // Socket-only kinds: no meaning on a pipe.
                 }
             }
             std::string programKey;
@@ -525,7 +413,12 @@ class IsolatedBackend final : public EvaluationBackend {
                 FitnessResult::fail("evaluation worker protocol error");
             break;
           case EvalFailure::None:
-            GEVO_PANIC("failureOutcome(None)");
+          case EvalFailure::ConnectionLost:
+          case EvalFailure::HandshakeRejected:
+          case EvalFailure::RpcTimeout:
+            GEVO_PANIC("failureOutcome(%d): not an isolated-backend "
+                       "failure kind",
+                       static_cast<int>(failure));
         }
         return out;
     }
@@ -750,6 +643,8 @@ makeBackend(const ir::Module& base, const FitnessFunction& fitness,
         return std::make_unique<IsolatedBackend>(base, fitness, workers,
                                                  params.evalTimeoutMs);
       }
+      case EvalBackendKind::Remote:
+        return makeRemoteBackend(base, fitness, params);
     }
     GEVO_PANIC("unknown evaluation backend kind");
 }

@@ -66,9 +66,18 @@ enum class EvalFailure : std::uint8_t {
     WorkerCrash,   ///< The evaluating process died (segfault/abort/OOM).
     WorkerTimeout, ///< The watchdog killed an evaluation over budget.
     ProtocolError, ///< The worker returned an undecodable response.
+    // Remote-backend (farm) kinds. GenerationLog counters fold these into
+    // the three above (connection loss counts as a crash, an RPC deadline
+    // as a timeout, a handshake rejection as a protocol error) so the
+    // --dump-history format is backend-independent.
+    ConnectionLost,    ///< The transport died mid-evaluation, repeatedly.
+    HandshakeRejected, ///< Every redispatch landed on a worker that now
+                       ///< rejects the trajectory-scope handshake.
+    RpcTimeout,        ///< No reply within the per-evaluation deadline.
 };
 
-/// Human-readable failure name ("crash", "timeout", "protocol").
+/// Human-readable failure name ("crash", "timeout", "protocol",
+/// "connection-lost", "handshake-rejected", "rpc-timeout").
 std::string_view evalFailureName(EvalFailure failure);
 
 /// Outcome of one dispatched evaluation.
@@ -108,6 +117,27 @@ class EvaluationBackend {
 std::unique_ptr<EvaluationBackend>
 makeBackend(const ir::Module& base, const FitnessFunction& fitness,
             const EvolutionParams& params);
+
+/// The fault-tolerant socket client over the farm protocol
+/// (`params.workers` = comma-separated "host:port" / "unix:/path" list).
+/// Defined in farm/client.cpp; makeBackend routes
+/// EvalBackendKind::Remote here.
+std::unique_ptr<EvaluationBackend>
+makeRemoteBackend(const ir::Module& base, const FitnessFunction& fitness,
+                  const EvolutionParams& params);
+
+/// Evaluate one edit list through the two-stage pipeline against a
+/// precompiled \p compiler. With a \p programCache this is the cached-path
+/// body (compile, serve repeat programs from the cache, simulate + insert
+/// otherwise); without one it is the compile-per-call reference path
+/// (every task simulated, no cache lookups). \p programKeyOut, when
+/// non-null, receives the program content key of a fresh simulation
+/// (out-of-process workers ship it back so the caller's live cache learns
+/// the result). Shared by every backend and the farm worker session.
+EvalOutcome
+evaluateTask(const VariantCompiler& compiler, const FitnessFunction& fitness,
+             const std::vector<mut::Edit>& edits, VariantCache* programCache,
+             std::string* programKeyOut);
 
 } // namespace gevo::core
 

@@ -26,6 +26,12 @@ enum class EvalBackendKind : std::uint8_t {
     /// as a deterministic invalid-individual penalty and the genotype is
     /// quarantined so it is never dispatched again.
     Isolated,
+    /// Socket-based evaluation farm (src/farm/): batches are sharded
+    /// across `workers` daemons over the framed protocol, with
+    /// per-evaluation deadlines, redispatch on worker loss, and local
+    /// degradation when every worker is gone. Fault-free runs are
+    /// trajectory-identical to InProcess.
+    Remote,
 };
 
 /// Which edit-sampling strategy the populations use (mutation/sampler.h).
@@ -134,10 +140,16 @@ struct EvolutionParams {
     /// pre-backend engine; Isolated survives worker crashes/hangs at the
     /// cost of fork/pipe overhead per generation.
     EvalBackendKind backend = EvalBackendKind::InProcess;
-    /// Isolated-backend watchdog: wall-clock budget per evaluation, after
-    /// which the worker is killed and the variant scored as a
-    /// WorkerTimeout penalty. Ignored by the in-process backend.
+    /// Per-evaluation wall-clock watchdog budget, applied uniformly to
+    /// every out-of-process path: the isolated backend kills the worker
+    /// and scores a WorkerTimeout penalty; the remote backend treats a
+    /// silent connection as dead after this budget (RpcTimeout after the
+    /// redispatch strikes are exhausted). Ignored by the in-process
+    /// backend.
     std::uint32_t evalTimeoutMs = 30000;
+    /// Remote-backend worker endpoints: comma-separated "host:port" or
+    /// "unix:/path" entries. Required when backend == Remote.
+    std::string workers;
     /// Durable search-state snapshots (core/checkpoint.h): when
     /// non-empty, full search state (populations, fitness, RNG streams,
     /// generation counter, history, quarantine set) is written here every

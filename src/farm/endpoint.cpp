@@ -1,0 +1,230 @@
+#include "farm/endpoint.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/strings.h"
+
+namespace gevo::farm {
+
+namespace {
+
+bool
+setBlocking(int fd, bool blocking)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int want = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+/// Fill a sockaddr_un; false when the path does not fit (sun_path is
+/// ~108 bytes).
+bool
+unixAddr(const std::string& path, sockaddr_un* addr, std::string* error)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr->sun_path)) {
+        *error = strformat("unix socket path too long (%zu bytes, max %zu)",
+                           path.size(), sizeof(addr->sun_path) - 1);
+        return false;
+    }
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+bool
+parseEndpoint(const std::string& spec, Endpoint* out, std::string* error)
+{
+    *out = Endpoint{};
+    out->spec = spec;
+    if (spec.rfind("unix:", 0) == 0) {
+        out->isUnix = true;
+        out->path = spec.substr(5);
+        if (out->path.empty()) {
+            *error = strformat("endpoint '%s': empty unix path",
+                               spec.c_str());
+            return false;
+        }
+        return true;
+    }
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == spec.size()) {
+        *error = strformat("endpoint '%s': want host:port or unix:/path",
+                           spec.c_str());
+        return false;
+    }
+    out->host = spec.substr(0, colon);
+    out->port = spec.substr(colon + 1);
+    if (out->port.find_first_not_of("0123456789") != std::string::npos) {
+        *error = strformat("endpoint '%s': port must be numeric",
+                           spec.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+listenEndpoint(const Endpoint& ep, std::string* error)
+{
+    if (ep.isUnix) {
+        sockaddr_un addr;
+        if (!unixAddr(ep.path, &addr, error))
+            return -1;
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            *error = strformat("socket: %s", std::strerror(errno));
+            return -1;
+        }
+        ::unlink(ep.path.c_str()); // Stale file from a killed daemon.
+        if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 16) != 0) {
+            *error = strformat("bind/listen %s: %s", ep.spec.c_str(),
+                               std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* res = nullptr;
+    const int gai =
+        ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &res);
+    if (gai != 0) {
+        *error = strformat("resolve %s: %s", ep.spec.c_str(),
+                           ::gai_strerror(gai));
+        return -1;
+    }
+    int fd = -1;
+    for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 16) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        *error = strformat("bind/listen %s: %s", ep.spec.c_str(),
+                           std::strerror(errno));
+    return fd;
+}
+
+int
+connectEndpoint(const Endpoint& ep, int timeoutMs, std::string* error)
+{
+    int fd = -1;
+    if (ep.isUnix) {
+        sockaddr_un addr;
+        if (!unixAddr(ep.path, &addr, error))
+            return -1;
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            *error = strformat("socket: %s", std::strerror(errno));
+            return -1;
+        }
+        if (!setBlocking(fd, false)) {
+            *error = "fcntl failed";
+            ::close(fd);
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0 &&
+            errno != EINPROGRESS && errno != EAGAIN) {
+            *error = strformat("connect %s: %s", ep.spec.c_str(),
+                               std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo* res = nullptr;
+        const int gai =
+            ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &res);
+        if (gai != 0) {
+            *error = strformat("resolve %s: %s", ep.spec.c_str(),
+                               ::gai_strerror(gai));
+            return -1;
+        }
+        for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+            fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+            if (fd < 0)
+                continue;
+            if (!setBlocking(fd, false)) {
+                ::close(fd);
+                fd = -1;
+                continue;
+            }
+            if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0 ||
+                errno == EINPROGRESS)
+                break;
+            ::close(fd);
+            fd = -1;
+        }
+        ::freeaddrinfo(res);
+        if (fd < 0) {
+            *error = strformat("connect %s: %s", ep.spec.c_str(),
+                               std::strerror(errno));
+            return -1;
+        }
+    }
+
+    // Await connection completion within the budget.
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc;
+    while ((rc = ::poll(&pfd, 1, timeoutMs)) < 0 && errno == EINTR) {
+    }
+    if (rc <= 0) {
+        *error = strformat("connect %s: %s", ep.spec.c_str(),
+                           rc == 0 ? "timed out" : std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    int soErr = 0;
+    socklen_t len = sizeof(soErr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len) != 0 ||
+        soErr != 0) {
+        *error = strformat("connect %s: %s", ep.spec.c_str(),
+                           std::strerror(soErr != 0 ? soErr : errno));
+        ::close(fd);
+        return -1;
+    }
+    if (!setBlocking(fd, true)) {
+        *error = "fcntl failed";
+        ::close(fd);
+        return -1;
+    }
+    if (!ep.isUnix) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return fd;
+}
+
+} // namespace gevo::farm

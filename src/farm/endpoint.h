@@ -1,0 +1,40 @@
+/// \file
+/// Farm endpoint addressing: "host:port" (TCP, for workers on other
+/// machines) or "unix:/path" (Unix-domain, for loopback farms — tests,
+/// CI and bench use these to dodge port races). Shared by the daemon's
+/// listener (farm/server.cpp) and the RemoteBackend's dialer
+/// (farm/client.cpp).
+
+#ifndef GEVO_FARM_ENDPOINT_H
+#define GEVO_FARM_ENDPOINT_H
+
+#include <string>
+
+namespace gevo::farm {
+
+struct Endpoint {
+    std::string spec; ///< The original text, for logs.
+    bool isUnix = false;
+    std::string host; ///< TCP only.
+    std::string port; ///< TCP only.
+    std::string path; ///< Unix only.
+};
+
+/// Parse "host:port" or "unix:/path". False (with \p error set) on
+/// malformed specs.
+bool parseEndpoint(const std::string& spec, Endpoint* out,
+                   std::string* error);
+
+/// Bind + listen. Returns the listening fd, or -1 with \p error set.
+/// Unix paths are unlinked first (a stale socket file from a killed
+/// daemon must not block the restart).
+int listenEndpoint(const Endpoint& ep, std::string* error);
+
+/// Connect with a wall-clock budget (non-blocking connect + poll, so an
+/// unreachable host cannot wedge the caller). Returns a blocking
+/// connected fd, or -1 with \p error set.
+int connectEndpoint(const Endpoint& ep, int timeoutMs, std::string* error);
+
+} // namespace gevo::farm
+
+#endif // GEVO_FARM_ENDPOINT_H

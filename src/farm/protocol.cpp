@@ -1,0 +1,284 @@
+#include "farm/protocol.h"
+
+#include <bit>
+
+#include "core/cache_store.h" // crc32 — same framing as the pipe protocol.
+#include "core/variant_cache.h"
+#include "support/bytes.h"
+
+namespace gevo::farm {
+
+void
+appendFrame(std::string* out, std::string_view payload)
+{
+    appendLeU32(out, kFrameMagic);
+    appendLeU32(out, static_cast<std::uint32_t>(payload.size()));
+    appendLeU32(out, core::crc32(payload.data(), payload.size()));
+    out->append(payload);
+}
+
+FrameReader::Status
+FrameReader::next(std::string* payload)
+{
+    if (buf_.size() < kFrameHeader)
+        return Status::NeedMore;
+    const std::uint32_t magic = readLeU32(buf_.data());
+    const std::uint32_t len = readLeU32(buf_.data() + 4);
+    const std::uint32_t crc = readLeU32(buf_.data() + 8);
+    if (magic != kFrameMagic || len > kMaxFramePayload)
+        return Status::Corrupt;
+    if (buf_.size() - kFrameHeader < len)
+        return Status::NeedMore;
+    const char* body = buf_.data() + kFrameHeader;
+    if (core::crc32(body, len) != crc)
+        return Status::Corrupt;
+    payload->assign(body, len);
+    buf_.erase(0, kFrameHeader + len);
+    return Status::Frame;
+}
+
+namespace {
+
+void
+appendString(std::string* out, std::string_view s)
+{
+    appendLeU32(out, static_cast<std::uint32_t>(s.size()));
+    out->append(s);
+}
+
+/// Bounds-checked sequential payload reader.
+struct Cursor {
+    const char* p;
+    std::size_t left;
+
+    explicit Cursor(std::string_view payload)
+        : p(payload.data()), left(payload.size())
+    {
+    }
+
+    bool
+    u8(std::uint8_t* out)
+    {
+        if (left < 1)
+            return false;
+        *out = static_cast<std::uint8_t>(*p);
+        ++p;
+        --left;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t* out)
+    {
+        if (left < 4)
+            return false;
+        *out = readLeU32(p);
+        p += 4;
+        left -= 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t* out)
+    {
+        if (left < 8)
+            return false;
+        *out = readLeU64(p);
+        p += 8;
+        left -= 8;
+        return true;
+    }
+
+    bool
+    str(std::string* out)
+    {
+        std::uint32_t n = 0;
+        if (!u32(&n) || left < n)
+            return false;
+        out->assign(p, n);
+        p += n;
+        left -= n;
+        return true;
+    }
+
+    bool
+    done() const
+    {
+        return left == 0;
+    }
+};
+
+bool
+expectType(Cursor* c, MsgType want)
+{
+    std::uint8_t t = 0;
+    return c->u8(&t) && t == static_cast<std::uint8_t>(want);
+}
+
+} // namespace
+
+std::string
+encodeHello(const HelloMsg& msg)
+{
+    std::string p;
+    p.push_back(static_cast<char>(MsgType::Hello));
+    appendLeU32(&p, msg.version);
+    appendLeU64(&p, msg.scope);
+    appendLeU32(&p, msg.timeoutMs);
+    return p;
+}
+
+std::string
+encodeHelloOk(std::string_view description)
+{
+    std::string p;
+    p.push_back(static_cast<char>(MsgType::HelloOk));
+    appendString(&p, description);
+    return p;
+}
+
+std::string
+encodeHelloReject(std::string_view reason)
+{
+    std::string p;
+    p.push_back(static_cast<char>(MsgType::HelloReject));
+    appendString(&p, reason);
+    return p;
+}
+
+std::string
+encodeEvalRequest(const EvalRequest& req)
+{
+    std::string p;
+    p.push_back(static_cast<char>(MsgType::Eval));
+    appendLeU64(&p, req.seq);
+    p.push_back(req.useCache ? 1 : 0);
+    appendString(&p, mut::serializeEdits(req.edits));
+    return p;
+}
+
+std::string
+encodeEvalReply(const EvalReply& reply)
+{
+    std::string p;
+    p.push_back(static_cast<char>(MsgType::EvalResult));
+    appendLeU64(&p, reply.seq);
+    p.push_back(reply.outcome.result.valid ? 1 : 0);
+    appendLeU64(&p, std::bit_cast<std::uint64_t>(reply.outcome.result.ms));
+    appendString(&p, reply.outcome.result.failReason);
+    p.push_back(reply.outcome.simulated ? 1 : 0);
+    p.push_back(reply.outcome.rejected ? 1 : 0);
+    appendString(&p, reply.programKey);
+    return p;
+}
+
+std::string
+encodePing(std::uint64_t nonce)
+{
+    std::string p;
+    p.push_back(static_cast<char>(MsgType::Ping));
+    appendLeU64(&p, nonce);
+    return p;
+}
+
+std::string
+encodePong(std::uint64_t nonce)
+{
+    std::string p;
+    p.push_back(static_cast<char>(MsgType::Pong));
+    appendLeU64(&p, nonce);
+    return p;
+}
+
+MsgType
+payloadType(std::string_view payload)
+{
+    if (payload.empty())
+        return MsgType{0};
+    return static_cast<MsgType>(static_cast<std::uint8_t>(payload[0]));
+}
+
+bool
+decodeHello(std::string_view payload, HelloMsg* out)
+{
+    Cursor c(payload);
+    return expectType(&c, MsgType::Hello) && c.u32(&out->version) &&
+           c.u64(&out->scope) && c.u32(&out->timeoutMs) && c.done();
+}
+
+bool
+decodeHelloOk(std::string_view payload, std::string* description)
+{
+    Cursor c(payload);
+    return expectType(&c, MsgType::HelloOk) && c.str(description) &&
+           c.done();
+}
+
+bool
+decodeHelloReject(std::string_view payload, std::string* reason)
+{
+    Cursor c(payload);
+    return expectType(&c, MsgType::HelloReject) && c.str(reason) && c.done();
+}
+
+bool
+decodeEvalRequest(std::string_view payload, EvalRequest* out)
+{
+    Cursor c(payload);
+    std::uint8_t useCache = 0;
+    std::string editsText;
+    if (!expectType(&c, MsgType::Eval) || !c.u64(&out->seq) ||
+        !c.u8(&useCache) || !c.str(&editsText) || !c.done())
+        return false;
+    out->useCache = useCache != 0;
+    return mut::deserializeEdits(editsText, &out->edits);
+}
+
+bool
+decodeEvalReply(std::string_view payload, EvalReply* out)
+{
+    Cursor c(payload);
+    std::uint8_t valid = 0;
+    std::uint64_t msBits = 0;
+    std::uint8_t simulated = 0;
+    std::uint8_t rejected = 0;
+    if (!expectType(&c, MsgType::EvalResult) || !c.u64(&out->seq) ||
+        !c.u8(&valid) || !c.u64(&msBits) ||
+        !c.str(&out->outcome.result.failReason) || !c.u8(&simulated) ||
+        !c.u8(&rejected) || !c.str(&out->programKey) || !c.done())
+        return false;
+    out->outcome.result.valid = valid != 0;
+    out->outcome.result.ms = std::bit_cast<double>(msBits);
+    out->outcome.simulated = simulated != 0;
+    out->outcome.rejected = rejected != 0;
+    out->outcome.failure = core::EvalFailure::None;
+    return true;
+}
+
+bool
+decodePing(std::string_view payload, std::uint64_t* nonce)
+{
+    Cursor c(payload);
+    return expectType(&c, MsgType::Ping) && c.u64(nonce) && c.done();
+}
+
+bool
+decodePong(std::string_view payload, std::uint64_t* nonce)
+{
+    Cursor c(payload);
+    return expectType(&c, MsgType::Pong) && c.u64(nonce) && c.done();
+}
+
+std::uint64_t
+trajectoryScope(const core::VariantCompiler& compiler,
+                const core::FitnessFunction& fitness)
+{
+    const core::CompiledVariant baseline = compiler.compile({});
+    std::uint64_t scope = core::VariantCache::hashKey(
+        baseline.programs.contentKey() + '\n' + fitness.name());
+    if (scope == 0) // 0 means "unchecked" to scope comparators.
+        scope = 1;
+    return scope;
+}
+
+} // namespace gevo::farm

@@ -1,0 +1,61 @@
+/// \file
+/// One farm worker connection: handshake, then serve Eval requests until
+/// the peer goes away. Runs in a short-lived child process forked by the
+/// WorkerServer (farm/server.h), so a crashing or hanging variant takes
+/// down only the session — the daemon accepts the client's reconnect
+/// with a fresh process.
+
+#ifndef GEVO_FARM_SESSION_H
+#define GEVO_FARM_SESSION_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/fault_inject.h"
+#include "core/fitness.h"
+#include "core/variant_cache.h"
+#include "farm/protocol.h"
+
+namespace gevo::farm {
+
+class WorkerSession {
+  public:
+    /// \p compiler and \p fitness must outlive the session. \p scope is
+    /// the daemon's trajectory-scope fingerprint (protocol.h); a Hello
+    /// carrying any other scope is rejected. \p banner is echoed in
+    /// HelloOk for client-side logs.
+    WorkerSession(const core::VariantCompiler& compiler,
+                  const core::FitnessFunction& fitness, std::uint64_t scope,
+                  std::string banner);
+
+    /// Serve one connection until EOF, error, or corruption. Never
+    /// throws and never exits the process on peer misbehavior (a peer
+    /// closing mid-frame just ends the session); an injected crash/hang
+    /// fault or a hostile variant may well kill the process — that is
+    /// the failure mode the client's redispatch exists to absorb.
+    void serve(int fd);
+
+    std::size_t served() const { return served_; }
+
+  private:
+    bool handshake(int fd, FrameReader* reader);
+    /// False ends the session (peer gone / corrupt stream).
+    bool handleEval(int fd, const std::string& payload);
+
+    const core::VariantCompiler& compiler_;
+    const core::FitnessFunction& fitness_;
+    std::uint64_t scope_;
+    std::string banner_;
+    std::vector<core::FaultSpec> faults_;
+    /// Session-local program-content cache: repeat programs across a
+    /// client's generations are served without re-simulation. Purely an
+    /// optimization — entries are values of the deterministic fitness
+    /// function, so hits and misses score identically.
+    core::VariantCache cache_;
+    std::uint32_t clientTimeoutMs_ = 0;
+    std::size_t served_ = 0;
+};
+
+} // namespace gevo::farm
+
+#endif // GEVO_FARM_SESSION_H

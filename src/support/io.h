@@ -1,0 +1,60 @@
+/// \file
+/// EINTR-safe full-buffer read/write on file descriptors, shared by the
+/// isolated backend's pipe protocol (core/eval_backend.cpp) and the farm
+/// socket protocol (src/farm/). Short reads and writes are retried until
+/// the buffer completes or the peer is genuinely gone — a peer closing
+/// mid-frame surfaces as `false` here and as a ProtocolError/connection
+/// loss at the protocol layer, never as process death (callers ignore
+/// SIGPIPE).
+
+#ifndef GEVO_SUPPORT_IO_H
+#define GEVO_SUPPORT_IO_H
+
+#include <cerrno>
+#include <cstddef>
+
+#include <unistd.h>
+
+namespace gevo {
+
+/// Write all \p n bytes, retrying short writes and EINTR. False on any
+/// hard error (EPIPE/ECONNRESET when the peer is gone).
+inline bool
+writeAll(int fd, const char* p, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/// Read exactly \p n bytes, retrying short reads and EINTR. False on a
+/// hard error or EOF mid-buffer.
+inline bool
+readFull(int fd, char* p, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t r = ::read(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false; // EOF mid-message.
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+} // namespace gevo
+
+#endif // GEVO_SUPPORT_IO_H
