@@ -78,7 +78,7 @@ msOf(const ir::Module& base, const std::vector<mut::Edit>& edits,
     if (!r.valid)
         GEVO_FATAL("%s unexpectedly invalid: %s", what,
                    r.failReason.c_str());
-    return r.ms;
+    return r.ms();
 }
 
 /// Print a bench banner.

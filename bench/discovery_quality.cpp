@@ -55,7 +55,7 @@ runOne(const core::WorkloadInstance& instance,
 
     SearchOutcome out;
     out.valid = result.best.fitness.valid;
-    out.bestMs = result.best.fitness.ms;
+    out.bestMs = result.best.fitness.ms();
     out.speedup = result.speedup();
     out.gensToBest = params.generations + 1;
     for (const auto& log : result.history) {

@@ -84,6 +84,6 @@ main(int argc, char** argv)
     const auto base = fit({});
     const auto both = fit({rev[0].edit, rev[1].edit});
     std::printf("reverse-kernel cluster {e11,e0}: %.1f%% (paper ~2%%)\n",
-                both.valid ? 100 * (base.ms - both.ms) / base.ms : -1.0);
+                both.valid ? 100 * (base.ms() - both.ms()) / base.ms() : -1.0);
     return 0;
 }

@@ -53,7 +53,7 @@ main(int argc, char** argv)
         t1.row().cell(dev.name)
             .cell(r.valid ? "runs" : "FAILS to run")
             .cell(r.valid ? strformat("%+.2f%% runtime",
-                                      100 * (r.ms - base.ms) / base.ms)
+                                      100 * (r.ms() - base.ms()) / base.ms())
                           : r.failReason.substr(0, 60));
     }
     t1.print();

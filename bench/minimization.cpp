@@ -45,7 +45,7 @@ main(int argc, char** argv)
         trial.push_back(*edit);
         const auto r = fit(trial);
         // Keep only neutral-ish survivors, like drift would.
-        if (r.valid && r.ms <= fit(individual).ms * 1.01) {
+        if (r.valid && r.ms() <= fit(individual).ms() * 1.01) {
             individual = std::move(trial);
             ++added;
         }
@@ -55,7 +55,7 @@ main(int argc, char** argv)
                 individual.size(), golden.size(), added);
     const auto full = fit(individual);
     std::printf("full-set improvement: %.1f%% (paper: 28.9%%)\n\n",
-                100 * (baseline.ms - full.ms) / baseline.ms);
+                100 * (baseline.ms() - full.ms()) / baseline.ms());
 
     // ---- Algorithm 1 ----
     const auto minimized = analysis::minimizeEdits(individual, fit, 0.01);
@@ -64,7 +64,7 @@ main(int argc, char** argv)
                 individual.size(), minimized.kept.size());
     std::printf("kept-set improvement: %.1f%% (paper: 28%% after "
                 "minimization)\n\n",
-                100 * (baseline.ms - minimized.keptMs) / baseline.ms);
+                100 * (baseline.ms() - minimized.keptMs) / baseline.ms());
 
     // ---- Algorithm 2 ----
     const auto split = analysis::separateEpistasis(minimized.kept, fit);

@@ -46,6 +46,7 @@
 #include "apps/registry.h"
 #include "bench_util.h"
 #include "core/fitness.h"
+#include "core/portfolio.h"
 #include "core/workload.h"
 #include "farm/server.h"
 #include "mutation/edit.h"
@@ -91,12 +92,11 @@ struct RunStats {
 };
 
 RunStats
-runSearch(const core::WorkloadInstance& instance,
+runSearch(const ir::Module& module, const core::FitnessFunction& fitness,
           core::EvolutionParams params, bool useCache)
 {
     params.useCache = useCache;
-    core::EvolutionEngine engine(instance.module(), instance.fitness(),
-                                 params);
+    core::EvolutionEngine engine(module, fitness, params);
     core::resetStageTimes();
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = engine.run();
@@ -179,13 +179,16 @@ struct WorkloadReport {
     RunStats uncached;
     RunStats cached;
     RunStats remote;
+    RunStats portfolio;
     RunStats cold;
     RunStats warm;
     bool haveWarm = false;      ///< --cache-path rows were run.
     bool haveRemote = false;    ///< --remote-workers rows were run.
+    bool havePortfolio = false; ///< --portfolio-devices row was run.
     bool trajectoryIdentical = false;
     bool warmOk = true;         ///< Warm-start invariants held.
     bool remoteOk = true;       ///< Remote row kept the trajectory.
+    bool portfolioOk = true;    ///< Portfolio row completed cleanly.
 
     /// Cached-over-uncached variants/sec ratio; 0 when the best edit
     /// lists disagree, which would invalidate the comparison.
@@ -222,8 +225,8 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
 
     WorkloadReport report;
     report.name = workload.name;
-    report.uncached = runSearch(*instance, params, false);
-    report.cached = runSearch(*instance, params, true);
+    report.uncached = runSearch(instance->module(), instance->fitness(), params, false);
+    report.cached = runSearch(instance->module(), instance->fitness(), params, true);
     const RunStats& uncached = report.uncached;
     const RunStats& cached = report.cached;
 
@@ -266,7 +269,7 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
         remoteParams.workers = list;
         if (remoteParams.evalTimeoutMs == 0)
             remoteParams.evalTimeoutMs = 30000;
-        report.remote = runSearch(*instance, remoteParams, true);
+        report.remote = runSearch(instance->module(), instance->fitness(), remoteParams, true);
         const RunStats& remote = report.remote;
         t.row().cell(workload.name)
             .cell(strformat("remote x%d", remoteWorkers))
@@ -275,6 +278,31 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
             .cell(remote.seconds, 2).cell(remote.variantsPerSec(), 1)
             .cell(remote.hitRate(), 2)
             .cell(remote.variantsPerSec() / uncached.variantsPerSec(), 2);
+    }
+
+    // Portfolio row: the cached search scored across a device set
+    // (every evaluation is N simulations instead of one), so the
+    // per-variant cost of cross-device generality is visible next to
+    // the single-device rows.
+    const std::string portfolioCsv =
+        flags.getString("portfolio-devices", "");
+    if (!portfolioCsv.empty()) {
+        report.havePortfolio = true;
+        const auto devices = sim::resolveDeviceList(portfolioCsv);
+        const core::PortfolioFitness portfolioFitness(instance->fitness(),
+                                                      devices);
+        report.portfolio = runSearch(instance->module(), portfolioFitness,
+                                     params, true);
+        const RunStats& portfolio = report.portfolio;
+        t.row().cell(workload.name)
+            .cell(strformat("portfolio x%zu", devices.size()))
+            .cell(static_cast<long long>(portfolio.requests))
+            .cell(static_cast<long long>(portfolio.simulations))
+            .cell(portfolio.seconds, 2)
+            .cell(portfolio.variantsPerSec(), 1)
+            .cell(portfolio.hitRate(), 2)
+            .cell(portfolio.variantsPerSec() / uncached.variantsPerSec(),
+                  2);
     }
 
     // Warm-start pair: cold run persists its caches, warm run reuses
@@ -288,8 +316,8 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
             cacheDir + "/" + workload.name + ".gevocache";
         std::remove(path.c_str()); // A genuine cold start.
         params.cachePath = path;
-        cold = runSearch(*instance, params, true);
-        warm = runSearch(*instance, params, true);
+        cold = runSearch(instance->module(), instance->fitness(), params, true);
+        warm = runSearch(instance->module(), instance->fitness(), params, true);
         t.row().cell(workload.name).cell("cold+persist")
             .cell(static_cast<long long>(cold.requests))
             .cell(static_cast<long long>(cold.simulations))
@@ -331,6 +359,20 @@ benchWorkload(const core::Workload& workload, const Flags& flags)
                     report.remote.bestEdits == uncached.bestEdits
                         ? "identical"
                         : "DIVERGED");
+    }
+    if (report.havePortfolio) {
+        // The portfolio scores a different (multi-device) fitness, so
+        // its best edit list may legitimately differ from the
+        // single-device rows; the invariants are a clean, productive
+        // run.
+        const bool ok = report.portfolio.evalFailures == 0 &&
+                        report.portfolio.speedup > 0.0;
+        report.portfolioOk = ok;
+        std::printf("portfolio row: %s (%.1f variants/s across %s, "
+                    "search speedup %.2fx)\n",
+                    ok ? "PASS" : "FAIL",
+                    report.portfolio.variantsPerSec(),
+                    portfolioCsv.c_str(), report.portfolio.speedup);
     }
     if (!cacheDir.empty()) {
         const bool warmSame = cold.bestEdits == uncached.bestEdits &&
@@ -401,11 +443,17 @@ writeJson(const std::string& path,
                      r.warmOk ? "true" : "false");
         std::fprintf(f, "      \"remote_ok\": %s,\n",
                      r.remoteOk ? "true" : "false");
+        std::fprintf(f, "      \"portfolio_ok\": %s,\n",
+                     r.portfolioOk ? "true" : "false");
         std::fprintf(f, "      \"modes\": {\n");
         jsonMode(f, "uncached", r.uncached, false);
-        jsonMode(f, "cached", r.cached, !r.haveWarm && !r.haveRemote);
+        jsonMode(f, "cached", r.cached,
+                 !r.haveWarm && !r.haveRemote && !r.havePortfolio);
         if (r.haveRemote)
-            jsonMode(f, "remote", r.remote, !r.haveWarm);
+            jsonMode(f, "remote", r.remote,
+                     !r.haveWarm && !r.havePortfolio);
+        if (r.havePortfolio)
+            jsonMode(f, "portfolio", r.portfolio, !r.haveWarm);
         if (r.haveWarm) {
             jsonMode(f, "cold_persist", r.cold, false);
             jsonMode(f, "warm_start", r.warm, true);
@@ -441,6 +489,7 @@ main(int argc, char** argv)
     bool gateRan = false;
     bool warmStartOk = true;
     bool remoteOk = true;
+    bool portfolioOk = true;
     double adeptRatio = 0.0;
     double otherMin = -1.0;
     std::vector<WorkloadReport> reports;
@@ -451,6 +500,8 @@ main(int argc, char** argv)
             warmStartOk = false;
         if (!report.remoteOk)
             remoteOk = false;
+        if (!report.portfolioOk)
+            portfolioOk = false;
         const double ratio = report.gateRatio();
         if (name == "adept-v0") {
             gateRan = true;
@@ -466,6 +517,9 @@ main(int argc, char** argv)
     if (!remoteOk)
         std::printf("remote farm check: FAIL (see per-workload lines "
                     "above)\n");
+    if (!portfolioOk)
+        std::printf("portfolio check: FAIL (see per-workload lines "
+                    "above)\n");
     const bool gatePass = gateRan && adeptRatio >= 3.0;
     const std::string jsonPath = flags.getString("json", "");
     bool jsonOk = true;
@@ -478,11 +532,13 @@ main(int argc, char** argv)
         std::printf("acceptance gate (adept-v0 >= 3x): not run (adept-v0 "
                     "not in --workloads; min measured ratio %.2fx)\n",
                     otherMin < 0.0 ? 0.0 : otherMin);
-        return warmStartOk && remoteOk && jsonOk ? 0 : 1;
+        return warmStartOk && remoteOk && portfolioOk && jsonOk ? 0 : 1;
     }
     std::printf("acceptance gate (adept-v0 >= 3x): %s (%.2fx; others min "
                 "%.2fx)\n",
                 gatePass ? "PASS" : "FAIL", adeptRatio,
                 otherMin < 0.0 ? 0.0 : otherMin);
-    return gatePass && warmStartOk && remoteOk && jsonOk ? 0 : 1;
+    return gatePass && warmStartOk && remoteOk && portfolioOk && jsonOk
+               ? 0
+               : 1;
 }

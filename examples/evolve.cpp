@@ -11,9 +11,12 @@
 
 #include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "apps/registry.h"
 #include "core/engine.h"
+#include "core/objectives.h"
+#include "core/portfolio.h"
 #include "core/workload.h"
 #include "mutation/edit.h"
 #include "support/flags.h"
@@ -73,6 +76,23 @@ printHelp(const core::WorkloadRegistry& registry)
         .flag("fitness-aware-migrants", "",
               "incoming migrants replace an island's worst residents "
               "only when strictly fitter (default: unconditional)");
+    usage.section("multi-objective & device portfolio")
+        .flag("devices", "<list>",
+              "score each variant on this comma-separated device set "
+              "(e.g. p100,v100; 'all' = the full Table I set) instead of "
+              "the single --device model; per-objective values are "
+              "aggregated across devices")
+        .flag("device-agg", "<kind>",
+              "portfolio aggregation: worst (per-objective max, default) "
+              "or mean")
+        .flag("objectives", "<list>",
+              "objectives driving Pareto selection, comma-separated from "
+              "cycles, sectors, divergence ('all' = every objective; "
+              "default cycles)")
+        .flag("select", "<kind>",
+              "survivor selection: scalar (rank by cycles, the paper's "
+              "rule, default) or pareto (NSGA-II non-dominated sort + "
+              "crowding distance over --objectives)");
     usage.section("diagnosis-driven search")
         .flag("sampler", "<kind>",
               "edit-site sampling: uniform (the paper's operator, "
@@ -176,6 +196,10 @@ dumpHistory(const std::string& path, const core::SearchResult& result)
             std::fprintf(f, " rates %a %a %a %a %a %a", rt.wDelete,
                          rt.wCopy, rt.wMove, rt.wReplace, rt.wSwap,
                          rt.wOperand);
+        // Only present under --select=pareto; the default dump stays
+        // byte-identical to scalar-selection builds.
+        if (log.paretoFrontSize != 0)
+            std::fprintf(f, " front %zu", log.paretoFrontSize);
         std::fprintf(f, " edits %s\n", edits.c_str());
     }
     std::fclose(f);
@@ -272,7 +296,27 @@ main(int argc, char** argv)
     params.checkpointInterval = static_cast<std::uint32_t>(
         flags.getInt("checkpoint-interval", params.checkpointInterval));
     params.resume = flags.getBool("resume", params.resume);
+    params.objectives = core::resolveObjectiveList(
+        flags.getString("objectives", "cycles"));
+    const auto selectName =
+        flags.getChoice("select", {"scalar", "pareto"}, "scalar");
+    params.selection = selectName == "pareto"
+                           ? core::SelectionKind::Pareto
+                           : core::SelectionKind::Scalar;
     const auto dumpPath = flags.getString("dump-history", "");
+
+    // A device portfolio wraps the workload's fitness; everything
+    // downstream (engine, backends, caches, farm) sees one
+    // FitnessFunction whose name() encodes the device set.
+    const auto devicesCsv = flags.getString("devices", "");
+    std::unique_ptr<core::PortfolioFitness> portfolio;
+    const core::FitnessFunction* fitness = &instance->fitness();
+    if (!devicesCsv.empty()) {
+        portfolio = std::make_unique<core::PortfolioFitness>(
+            instance->fitness(), sim::resolveDeviceList(devicesCsv),
+            core::deviceAggByName(flags.getString("device-agg", "worst")));
+        fitness = portfolio.get();
+    }
 
     const auto topology = core::makeTopology(params);
     std::printf("%s: %s\n", workload.name.c_str(),
@@ -282,7 +326,10 @@ main(int argc, char** argv)
                 topology->describe().c_str(), params.populationSize,
                 params.generations,
                 static_cast<unsigned long long>(params.seed),
-                instance->fitness().name().c_str());
+                fitness->name().c_str());
+    if (params.selection == core::SelectionKind::Pareto)
+        std::printf("selection: pareto over %s\n",
+                    core::objectiveListName(params.objectives).c_str());
     std::printf("sampler: %s", samplerName.c_str());
     if (params.samplerKind == core::SamplerKind::Guided)
         std::printf(", explore floor %.2f", params.sampler.exploreFloor);
@@ -290,8 +337,7 @@ main(int argc, char** argv)
         std::printf(", self-adaptive operator rates");
     std::printf("\n\n");
 
-    core::EvolutionEngine engine(instance->module(), instance->fitness(),
-                                 params);
+    core::EvolutionEngine engine(instance->module(), *fitness, params);
     // A Ctrl-C (or a scheduler's SIGTERM) ends the run gracefully: the
     // in-flight generation completes, the final checkpoint and cache
     // saves are written, and the summary below still prints — so a
@@ -342,6 +388,21 @@ main(int argc, char** argv)
 
     std::printf("\nbest: %.3fx with %zu edits\n", result.speedup(),
                 result.best.edits.size());
+    if (!result.paretoFront.empty()) {
+        std::printf("pareto front: %zu non-dominated edit lists\n",
+                    result.paretoFront.size());
+        for (const auto& ind : result.paretoFront) {
+            std::printf("  [");
+            for (std::size_t i = 0; i < params.objectives.size(); ++i)
+                std::printf(
+                    "%s%s %.6g", i ? ", " : "",
+                    std::string(core::objectiveName(params.objectives[i]))
+                        .c_str(),
+                    ind.fitness.objective(
+                        static_cast<std::size_t>(params.objectives[i])));
+            std::printf("] %zu edits\n", ind.edits.size());
+        }
+    }
     std::printf("cache: %zu served, %zu evaluated, %zu entries (%zu "
                 "preloaded), %zu evicted\n",
                 result.cacheSummary.served, result.cacheSummary.evaluated,
@@ -365,11 +426,13 @@ main(int argc, char** argv)
 
     const auto golden = instance->goldenEdits();
     if (!golden.empty()) {
-        const auto ceiling = core::evaluateVariant(
-            instance->module(), golden, instance->fitness());
-        if (ceiling.valid && ceiling.ms > 0.0) {
+        // Score the golden edits through the same (possibly portfolio)
+        // fitness the search used, so the ratio is like-for-like.
+        const auto ceiling =
+            core::evaluateVariant(instance->module(), golden, *fitness);
+        if (ceiling.valid && ceiling.ms() > 0.0) {
             std::printf("golden-edit ceiling: %.3fx",
-                        result.baselineMs / ceiling.ms);
+                        result.baselineMs / ceiling.ms());
             if (instance->paperCeiling() > 0.0)
                 std::printf(" (paper: %.2fx)", instance->paperCeiling());
             std::printf("\n");

@@ -91,7 +91,7 @@ main()
     // (2) baseline run
     SquareFitness fitness;
     const auto baseline = core::evaluateVariant(parsed.module, {}, fitness);
-    std::printf("baseline: %.4f simulated ms (valid=%d)\n", baseline.ms,
+    std::printf("baseline: %.4f simulated ms (valid=%d)\n", baseline.ms(),
                 baseline.valid);
 
     // (3+4) evolve

@@ -18,8 +18,10 @@
 
 #include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "apps/registry.h"
+#include "core/portfolio.h"
 #include "core/workload.h"
 #include "farm/server.h"
 #include "support/flags.h"
@@ -48,7 +50,13 @@ printHelp(const core::WorkloadRegistry& registry)
               "handshake enforces this via the trajectory-scope "
               "fingerprint")
         .flag("device", "<gpu>",
-              "device model, e.g. P100/V100 (default P100)");
+              "device model, e.g. P100/V100 (default P100)")
+        .flag("devices", "<list>",
+              "serve a device-portfolio fitness over this "
+              "comma-separated device set ('all' = the full Table I "
+              "set); must match the client's --devices exactly")
+        .flag("device-agg", "<kind>",
+              "portfolio aggregation: worst (default) or mean");
     usage.section("registered workloads");
     for (const auto& name : registry.names()) {
         const auto& w = registry.get(name);
@@ -92,11 +100,23 @@ main(int argc, char** argv)
     config.flags = &flags;
     const auto instance = workload.make(config);
 
+    // Mirror evolve's portfolio wiring: the wrapped fitness's name()
+    // feeds the trajectory-scope fingerprint, so a daemon serving a
+    // different device set rejects the handshake.
+    const auto devicesCsv = flags.getString("devices", "");
+    std::unique_ptr<core::PortfolioFitness> portfolio;
+    const core::FitnessFunction* fitness = &instance->fitness();
+    if (!devicesCsv.empty()) {
+        portfolio = std::make_unique<core::PortfolioFitness>(
+            instance->fitness(), sim::resolveDeviceList(devicesCsv),
+            core::deviceAggByName(flags.getString("device-agg", "worst")));
+        fitness = portfolio.get();
+    }
+
     farm::ServerOptions opts;
     opts.listenSpec = listenSpec;
     opts.readyFile = flags.getString("ready-file", "");
     opts.banner = workload.name + ": " + instance->banner();
 
-    return farm::runWorkerServer(instance->module(), instance->fitness(),
-                                 opts);
+    return farm::runWorkerServer(instance->module(), *fitness, opts);
 }

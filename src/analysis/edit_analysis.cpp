@@ -42,7 +42,7 @@ minimizeEdits(const std::vector<Edit>& edits, const EditSetFitness& fitness,
     MinimizationResult result;
     const auto full = fitness(edits);
     GEVO_ASSERT(full.valid, "minimization needs a valid starting set");
-    result.fullMs = full.ms;
+    result.fullMs = full.ms();
 
     // Algorithm 1: walk each edit; measure f(S - weaks) against
     // f(S - weaks - ei); drop ei when the relative gain is below the
@@ -57,7 +57,7 @@ minimizeEdits(const std::vector<Edit>& edits, const EditSetFitness& fitness,
             weak[i] = false; // removal breaks the program: edit matters
             continue;
         }
-        const double gain = (withoutI.ms - current.ms) / withoutI.ms;
+        const double gain = (withoutI.ms() - current.ms()) / withoutI.ms();
         if (gain < threshold) {
             current = withoutI; // confirmed weak; keep it dropped
         } else {
@@ -71,7 +71,7 @@ minimizeEdits(const std::vector<Edit>& edits, const EditSetFitness& fitness,
             result.kept.push_back(edits[i]);
         }
     }
-    result.keptMs = fitness(result.kept).ms;
+    result.keptMs = fitness(result.kept).ms();
     return result;
 }
 
@@ -82,7 +82,7 @@ separateEpistasis(const std::vector<Edit>& edits,
     EpistasisResult result;
     const auto baseline = fitness({});
     GEVO_ASSERT(baseline.valid, "baseline must be valid");
-    result.baselineMs = baseline.ms;
+    result.baselineMs = baseline.ms();
 
     // Algorithm 2.
     std::vector<bool> indep(edits.size(), false);
@@ -104,8 +104,8 @@ separateEpistasis(const std::vector<Edit>& edits,
         if (!ctxWithout.valid || !ctxWith.valid)
             continue;
 
-        const double perfIncr = (baseline.ms - solo.ms) / baseline.ms;
-        const double perfDecr = (ctxWithout.ms - ctxWith.ms) / ctxWithout.ms;
+        const double perfIncr = (baseline.ms() - solo.ms()) / baseline.ms();
+        const double perfDecr = (ctxWithout.ms() - ctxWith.ms()) / ctxWithout.ms();
         const double denom =
             std::max(std::abs(perfIncr), std::abs(perfDecr));
         const bool agrees =
@@ -121,8 +121,8 @@ separateEpistasis(const std::vector<Edit>& edits,
             result.epistatic.push_back(edits[i]);
         }
     }
-    result.independentMs = fitness(result.independent).ms;
-    result.epistaticMs = fitness(result.epistatic).ms;
+    result.independentMs = fitness(result.independent).ms();
+    result.epistaticMs = fitness(result.epistatic).ms();
     return result;
 }
 
@@ -134,7 +134,7 @@ searchSubsets(const std::vector<Edit>& epistatic,
                 "exhaustive subset search capped at 20 edits (paper "
                 "Sec VII notes the same scaling limit)");
     const auto baseline = fitness({});
-    const double baseMs = baseline.ms;
+    const double baseMs = baseline.ms();
 
     std::vector<SubsetResult> results;
     const std::uint32_t total = 1u << epistatic.size();
@@ -150,8 +150,8 @@ searchSubsets(const std::vector<Edit>& epistatic,
         const auto fit = fitness(subset);
         r.valid = fit.valid;
         if (fit.valid) {
-            r.ms = fit.ms;
-            r.improvement = (baseMs - fit.ms) / baseMs;
+            r.ms = fit.ms();
+            r.improvement = (baseMs - fit.ms()) / baseMs;
         }
         results.push_back(r);
     }

@@ -7,7 +7,14 @@ namespace gevo::adept {
 core::FitnessResult
 AdeptFitness::evaluate(const core::CompiledVariant& variant) const
 {
-    const auto out = driver_.run(variant.programs, dev_);
+    return evaluateOn(variant, dev_);
+}
+
+core::FitnessResult
+AdeptFitness::evaluateOn(const core::CompiledVariant& variant,
+                         const sim::DeviceConfig& dev) const
+{
+    const auto out = driver_.run(variant.programs, dev);
     if (!out.ok())
         return core::FitnessResult::fail(out.fault.detail);
     const auto& expected = driver_.expected();
@@ -22,7 +29,12 @@ AdeptFitness::evaluate(const core::CompiledVariant& variant) const
                 expected[p].endB, expected[p].startA, expected[p].startB));
         }
     }
-    return core::FitnessResult::pass(out.totalMs);
+    return core::FitnessResult::pass(
+        out.totalMs,
+        static_cast<double>(out.fwdStats.globalSectors +
+                            out.revStats.globalSectors),
+        static_cast<double>(out.fwdStats.divergences +
+                            out.revStats.divergences));
 }
 
 bool

@@ -23,6 +23,10 @@ class AdeptFitness : public core::FitnessFunction {
     core::FitnessResult
     evaluate(const core::CompiledVariant& variant) const override;
 
+    core::FitnessResult
+    evaluateOn(const core::CompiledVariant& variant,
+               const sim::DeviceConfig& dev) const override;
+
     bool profileVariant(const core::CompiledVariant& variant,
                         core::ProfileSummary* out) const override;
 

@@ -76,7 +76,14 @@ class BfsFitness : public core::FitnessFunction {
     core::FitnessResult
     evaluate(const core::CompiledVariant& variant) const override
     {
-        const auto out = driver_.run(variant.programs, dev_);
+        return evaluateOn(variant, dev_);
+    }
+
+    core::FitnessResult
+    evaluateOn(const core::CompiledVariant& variant,
+               const sim::DeviceConfig& dev) const override
+    {
+        const auto out = driver_.run(variant.programs, dev);
         if (!out.ok())
             return core::FitnessResult::fail(out.fault.detail);
         const auto& expected = driver_.expected();
@@ -86,7 +93,7 @@ class BfsFitness : public core::FitnessFunction {
                     "node %zu: got distance %d, want %d", v, out.dist[v],
                     expected[v]));
         }
-        return core::FitnessResult::pass(out.totalMs);
+        return core::FitnessResult::pass(out.totalMs, out.aggregate);
     }
 
     bool

@@ -82,7 +82,14 @@ class ReduceFitness : public core::FitnessFunction {
     core::FitnessResult
     evaluate(const core::CompiledVariant& variant) const override
     {
-        const auto out = driver_.run(variant.programs, dev_);
+        return evaluateOn(variant, dev_);
+    }
+
+    core::FitnessResult
+    evaluateOn(const core::CompiledVariant& variant,
+               const sim::DeviceConfig& dev) const override
+    {
+        const auto out = driver_.run(variant.programs, dev);
         if (!out.ok())
             return core::FitnessResult::fail(out.fault.detail);
         for (std::size_t d = 0; d < out.totals.size(); ++d) {
@@ -96,7 +103,7 @@ class ReduceFitness : public core::FitnessFunction {
                     "dataset %zu: got total %u, want %u", d,
                     out.totals[d], driver_.expectedTotals()[d]));
         }
-        return core::FitnessResult::pass(out.totalMs);
+        return core::FitnessResult::pass(out.totalMs, out.aggregate);
     }
 
     bool

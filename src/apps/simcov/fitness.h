@@ -23,14 +23,21 @@ class SimcovFitness : public core::FitnessFunction {
     core::FitnessResult
     evaluate(const core::CompiledVariant& variant) const override
     {
-        const auto out = driver_.run(variant.programs, dev_);
+        return evaluateOn(variant, dev_);
+    }
+
+    core::FitnessResult
+    evaluateOn(const core::CompiledVariant& variant,
+               const sim::DeviceConfig& dev) const override
+    {
+        const auto out = driver_.run(variant.programs, dev);
         if (!out.ok())
             return core::FitnessResult::fail(out.fault.detail);
         const auto diag =
             compareSeries(driver_.expected(), out.series, tolerance_);
         if (!diag.empty())
             return core::FitnessResult::fail(diag);
-        return core::FitnessResult::pass(out.totalMs);
+        return core::FitnessResult::pass(out.totalMs, out.aggregate);
     }
 
     bool

@@ -73,7 +73,14 @@ class StencilFitness : public core::FitnessFunction {
     core::FitnessResult
     evaluate(const core::CompiledVariant& variant) const override
     {
-        const auto out = driver_.run(variant.programs, dev_);
+        return evaluateOn(variant, dev_);
+    }
+
+    core::FitnessResult
+    evaluateOn(const core::CompiledVariant& variant,
+               const sim::DeviceConfig& dev) const override
+    {
+        const auto out = driver_.run(variant.programs, dev);
         if (!out.ok())
             return core::FitnessResult::fail(out.fault.detail);
         const auto& expected = driver_.expected();
@@ -87,7 +94,7 @@ class StencilFitness : public core::FitnessFunction {
                     static_cast<double>(expected[i])));
             }
         }
-        return core::FitnessResult::pass(out.totalMs);
+        return core::FitnessResult::pass(out.totalMs, out.aggregate);
     }
 
     bool

@@ -44,12 +44,19 @@ parsePayload(const char* p, std::size_t size, CacheStoreRecord* out)
         return false;
     out->key.assign(p + pos, keyLen);
     pos += keyLen;
-    if (!need(1 + 8 + 4))
+    if (!need(1 + 4))
         return false;
     out->result.valid = p[pos] != 0;
     pos += 1;
-    out->result.ms = std::bit_cast<double>(readLeU64(p + pos));
-    pos += 8;
+    const std::uint32_t objCount = readLeU32(p + pos);
+    pos += 4;
+    if (objCount > 64 || !need(std::size_t{objCount} * 8 + 4))
+        return false;
+    out->result.objectives.resize(objCount);
+    for (auto& v : out->result.objectives) {
+        v = std::bit_cast<double>(readLeU64(p + pos));
+        pos += 8;
+    }
     const std::uint32_t reasonLen = readLeU32(p + pos);
     pos += 4;
     if (!need(reasonLen))
@@ -66,7 +73,10 @@ appendPayload(std::string* out, const CacheStoreRecord& rec)
     appendLeU32(out, static_cast<std::uint32_t>(rec.key.size()));
     out->append(rec.key);
     out->push_back(rec.result.valid ? 1 : 0);
-    appendLeU64(out, std::bit_cast<std::uint64_t>(rec.result.ms));
+    appendLeU32(out,
+                static_cast<std::uint32_t>(rec.result.objectives.size()));
+    for (const double v : rec.result.objectives)
+        appendLeU64(out, std::bit_cast<std::uint64_t>(v));
     appendLeU32(out,
                 static_cast<std::uint32_t>(rec.result.failReason.size()));
     out->append(rec.result.failReason);

@@ -55,8 +55,9 @@ namespace gevo::core {
 
 /// Current file-format version. Bump on any layout change: the loader
 /// rejects other versions wholesale (a half-understood cache is worse
-/// than a cold start).
-inline constexpr std::uint32_t kCacheStoreVersion = 1;
+/// than a cold start). v2 replaced the single fitness scalar with the
+/// objective vector.
+inline constexpr std::uint32_t kCacheStoreVersion = 2;
 
 /// One persisted cache entry. `level` says which cache the key belongs
 /// to: 0 = canonical edit-list key, 1 = compiled-program content key.

@@ -45,7 +45,10 @@ appendIndividual(std::string* out, const Individual& ind)
 {
     appendString(out, mut::serializeEdits(ind.edits));
     out->push_back(ind.fitness.valid ? 1 : 0);
-    appendDouble(out, ind.fitness.ms);
+    appendLeU32(out,
+                static_cast<std::uint32_t>(ind.fitness.objectives.size()));
+    for (const double v : ind.fitness.objectives)
+        appendDouble(out, v);
     appendString(out, ind.fitness.failReason);
     out->push_back(ind.evaluated ? 1 : 0);
 }
@@ -76,6 +79,7 @@ appendLog(std::string* out, const GenerationLog& log)
     appendLeU64(out, log.workerTimeouts);
     appendLeU64(out, log.protocolErrors);
     appendLeU64(out, log.quarantineHits);
+    appendLeU64(out, log.paretoFrontSize);
     appendString(out, mut::serializeEdits(log.bestEdits));
     appendLeU32(out, static_cast<std::uint32_t>(log.islandBestMs.size()));
     for (const double ms : log.islandBestMs)
@@ -169,8 +173,15 @@ parseIndividual(Cursor* c, Individual* out)
     std::uint8_t evaluated = 0;
     if (!c->readString(&edits) || !mut::deserializeEdits(edits, &out->edits))
         return false;
-    if (!c->readU8(&valid) || !c->readDouble(&out->fitness.ms) ||
-        !c->readString(&out->fitness.failReason) || !c->readU8(&evaluated))
+    std::uint32_t objCount = 0;
+    if (!c->readU8(&valid) || !c->readU32(&objCount) || objCount > 64)
+        return false;
+    out->fitness.objectives.resize(objCount);
+    for (auto& v : out->fitness.objectives) {
+        if (!c->readDouble(&v))
+            return false;
+    }
+    if (!c->readString(&out->fitness.failReason) || !c->readU8(&evaluated))
         return false;
     out->fitness.valid = valid != 0;
     out->evaluated = evaluated != 0;
@@ -198,7 +209,8 @@ parseLog(Cursor* c, GenerationLog* out)
         !c->readSize(&out->workerCrashes) ||
         !c->readSize(&out->workerTimeouts) ||
         !c->readSize(&out->protocolErrors) ||
-        !c->readSize(&out->quarantineHits) || !c->readString(&edits) ||
+        !c->readSize(&out->quarantineHits) ||
+        !c->readSize(&out->paretoFrontSize) || !c->readString(&edits) ||
         !mut::deserializeEdits(edits, &out->bestEdits) ||
         !c->readU32(&islandCount))
         return false;
@@ -295,23 +307,25 @@ loadCheckpoint(const std::string& path, std::uint64_t expectedScope)
     Cursor c{nullptr, 0};
 
     // meta: generation | finished | baselineMs | islands | history
-    // | quarantine counts.
+    // | quarantine | pareto-front counts.
     std::uint8_t finished = 0;
     std::size_t islandCount = 0;
     std::size_t historyCount = 0;
     std::size_t quarantineCount = 0;
+    std::size_t frontCount = 0;
     if (!nextRecord(bytes, &pos, &c))
         return corrupt("meta record");
     if (!c.readU32(&res.state.generation) || !c.readU8(&finished) ||
         !c.readDouble(&res.state.baselineMs) ||
         !c.readSize(&islandCount) || !c.readSize(&historyCount) ||
-        !c.readSize(&quarantineCount) || !c.atEnd())
+        !c.readSize(&quarantineCount) || !c.readSize(&frontCount) ||
+        !c.atEnd())
         return corrupt("meta record");
     res.state.finished = finished != 0;
     // Count sanity: a corrupted-but-CRC-valid meta must not drive
     // gigabyte allocations.
     if (islandCount > 4096 || historyCount > (1u << 24) ||
-        quarantineCount > (1u << 24))
+        quarantineCount > (1u << 24) || frontCount > (1u << 24))
         return corrupt("meta counts");
 
     if (!nextRecord(bytes, &pos, &c) ||
@@ -363,6 +377,16 @@ loadCheckpoint(const std::string& path, std::uint64_t expectedScope)
     if (!c.atEnd())
         return corrupt("quarantine record");
 
+    if (!nextRecord(bytes, &pos, &c))
+        return corrupt("pareto-front record");
+    res.state.paretoFront.resize(frontCount);
+    for (auto& ind : res.state.paretoFront) {
+        if (!parseIndividual(&c, &ind))
+            return corrupt("pareto-front record");
+    }
+    if (!c.atEnd())
+        return corrupt("pareto-front record");
+
     // One consistent state means exactly these records: trailing bytes
     // are damage (or a writer this version does not understand).
     if (pos != bytes.size())
@@ -388,6 +412,7 @@ saveCheckpoint(const std::string& path, std::uint64_t scope,
     appendLeU64(&payload, state.islands.size());
     appendLeU64(&payload, state.history.size());
     appendLeU64(&payload, state.quarantine.size());
+    appendLeU64(&payload, state.paretoFront.size());
     appendRecord(&out, payload);
 
     payload.clear();
@@ -418,6 +443,11 @@ saveCheckpoint(const std::string& path, std::uint64_t scope,
     payload.clear();
     for (const auto& key : state.quarantine)
         appendString(&payload, key);
+    appendRecord(&out, payload);
+
+    payload.clear();
+    for (const auto& ind : state.paretoFront)
+        appendIndividual(&payload, ind);
     appendRecord(&out, payload);
 
     // Same atomic-replace discipline as saveCacheStore: process-unique

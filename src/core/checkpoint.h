@@ -24,7 +24,8 @@
 ///            + u64 scope fingerprint
 ///   record*  u32 payloadLen | u32 crc32(payload) | payload
 ///   records  meta, best individual, islands[i]..., history[g]...,
-///            quarantine (exact count and order fixed by meta)
+///            quarantine, pareto front (exact counts and order fixed
+///            by meta)
 ///
 /// The scope fingerprint binds a checkpoint to the search that wrote it:
 /// compiled-baseline content + fitness name + every trajectory-relevant
@@ -50,8 +51,11 @@ namespace gevo::core {
 /// Current checkpoint format version. Bump on any layout change: the
 /// loader rejects other versions wholesale. v2 added the per-island
 /// self-adaptive operator-rate state and the per-generation islandRates
-/// log field (PR 8); v1 files degrade to a cold start with a warning.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// log field (PR 8); v3 replaced the single fitness scalar with the
+/// objective vector and added the Pareto archive and the per-generation
+/// paretoFrontSize log field. Older versions degrade to a cold start
+/// with a warning.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// One island's durable state.
 struct CheckpointIsland {
@@ -88,6 +92,9 @@ struct CheckpointState {
     std::vector<CheckpointIsland> islands;
     /// Canonical edit-list keys of quarantined genotypes, sorted.
     std::vector<std::string> quarantine;
+    /// Cross-generation non-dominated archive (Pareto selection only;
+    /// empty for scalar runs), ordered by canonical edit-list key.
+    std::vector<Individual> paretoFront;
 };
 
 /// Outcome of reading a checkpoint file.

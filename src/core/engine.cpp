@@ -76,7 +76,7 @@ checkpointScopeOf(const CompiledVariant& baselineCv,
     const std::string fingerprint = strformat(
         "pop=%u eli=%u xov=%a mut=%a app=%a tour=%u seed=%llu isl=%u "
         "mig=%u,%u w=%a,%a,%a,%a,%a,%a smp=%u floor=%a topo=%u adapt=%u "
-        "fam=%u",
+        "fam=%u sel=%u obj=%s",
         p.populationSize, p.elitism, p.crossoverProb, p.mutationProb,
         p.mutationAppendProb, p.tournamentSize,
         static_cast<unsigned long long>(p.seed), p.islands,
@@ -84,7 +84,9 @@ checkpointScopeOf(const CompiledVariant& baselineCv,
         w.wReplace, w.wSwap, w.wOperand,
         static_cast<unsigned>(p.samplerKind), w.exploreFloor,
         static_cast<unsigned>(p.topology), p.adaptRates ? 1u : 0u,
-        p.fitnessAwareMigrants ? 1u : 0u);
+        p.fitnessAwareMigrants ? 1u : 0u,
+        static_cast<unsigned>(p.selection),
+        objectiveListName(p.objectives).c_str());
     std::uint64_t scope =
         VariantCache::hashKey(baselineCv.programs.contentKey() + '\n' +
                               fitness.name() + '\n' + fingerprint);
@@ -417,6 +419,51 @@ EvolutionEngine::savePersistentCaches() const
 }
 
 void
+EvolutionEngine::updateParetoArchive(const std::vector<Island>& islands)
+{
+    // Candidates: the current archive plus every valid member,
+    // deduplicated by canonical key (first occurrence wins — fitness is
+    // a deterministic function of the key, so duplicates are equal).
+    std::vector<Individual> pool;
+    std::vector<std::string> keys;
+    std::unordered_set<std::string> seen;
+    const auto add = [&](const Individual& ind) {
+        std::string key = VariantCache::keyOf(ind.edits);
+        if (!seen.insert(key).second)
+            return;
+        pool.push_back(ind);
+        keys.push_back(std::move(key));
+    };
+    for (const auto& ind : paretoArchive_)
+        add(ind);
+    for (const auto& island : islands)
+        for (const auto& ind : island.pop.members())
+            if (ind.fitness.valid)
+                add(ind);
+
+    // Keep the non-dominated subset. Equal objective vectors under
+    // distinct keys are all kept — distinct edit lists tied on the
+    // front are exactly what the front should report. O(n^2) over
+    // archive + populations, fine at these scales.
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < pool.size() && !dominated; ++j)
+            dominated = j != i && dominates(pool[j].fitness,
+                                            pool[i].fitness,
+                                            params_.objectives);
+        if (!dominated)
+            keep.push_back(i);
+    }
+    std::sort(keep.begin(), keep.end(),
+              [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+    paretoArchive_.clear();
+    paretoArchive_.reserve(keep.size());
+    for (const std::size_t i : keep)
+        paretoArchive_.push_back(std::move(pool[i]));
+}
+
+void
 EvolutionEngine::saveSearchCheckpoint(const std::vector<Island>& islands,
                                       const SearchResult& result,
                                       std::uint32_t lastGen,
@@ -442,6 +489,7 @@ EvolutionEngine::saveSearchCheckpoint(const std::vector<Island>& islands,
     }
     st.quarantine.assign(quarantine_.begin(), quarantine_.end());
     std::sort(st.quarantine.begin(), st.quarantine.end());
+    st.paretoFront = paretoArchive_;
     std::string error;
     if (!saveCheckpoint(params_.checkpointPath, checkpointScope_, st,
                         &error))
@@ -456,6 +504,7 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
     SearchResult result;
     stopRequested_.store(false, std::memory_order_relaxed);
     quarantine_.clear();
+    paretoArchive_.clear();
 
     const auto baselineCv = compileVariant(base_, {});
     if (!baselineCv.ok)
@@ -479,7 +528,7 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
             cacheScope_ = 1;
         result.cacheSummary.preloaded = loadPersistentCaches();
     }
-    result.baselineMs = baseline.ms;
+    result.baselineMs = baseline.ms();
     result.best.fitness = baseline;
     result.best.evaluated = true;
     if (params_.useCache) {
@@ -544,6 +593,7 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
             }
             result.history = st.history;
             result.best = st.best;
+            paretoArchive_ = st.paretoFront;
             quarantine_.insert(st.quarantine.begin(),
                                st.quarantine.end());
             startGen = st.generation + 1;
@@ -559,7 +609,7 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         for (std::uint32_t i = 0; i < numIslands; ++i) {
             islands.push_back({Population(base_, params_),
                                Rng(islandSeed(params_.seed, i)),
-                               baseline.ms});
+                               baseline.ms()});
             islands.back().pop.setSampler(samplerFor(i));
             islands.back().rates = params_.sampler;
             islands.back().candidateRates = params_.sampler;
@@ -576,19 +626,27 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         double sum = 0.0;
         for (auto& island : islands) {
             island.pop.sortByFitness();
+            // Scan every member for the scalar best, not just the
+            // sorted front: in Pareto mode the head of the list is
+            // rank/crowding ordered, not the time minimum. The strict
+            // better() comparator makes this identical to the
+            // historical front-only check in Scalar mode, where the
+            // front IS the minimum.
             for (const auto& ind : island.pop.members()) {
-                if (ind.fitness.valid) {
-                    sum += ind.fitness.ms;
-                    ++log.validCount;
-                }
-            }
-            const Individual& front = island.pop.best();
-            if (front.fitness.valid) {
-                island.bestMs = std::min(island.bestMs, front.fitness.ms);
-                if (front.fitness.ms < result.best.fitness.ms)
-                    result.best = front;
+                if (!ind.fitness.valid)
+                    continue;
+                sum += ind.fitness.ms();
+                ++log.validCount;
+                island.bestMs = std::min(island.bestMs, ind.fitness.ms());
+                if (FitnessResult::better(ind.fitness,
+                                          result.best.fitness))
+                    result.best = ind;
             }
             log.islandBestMs.push_back(island.bestMs);
+        }
+        if (params_.selection == SelectionKind::Pareto) {
+            updateParetoArchive(islands);
+            log.paretoFrontSize = paretoArchive_.size();
         }
         // Diagnosis feedback for the next breed: re-profile each island's
         // elite for the guided samplers, then run the per-island
@@ -601,7 +659,7 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
         log.meanMs = log.validCount
                          ? sum / static_cast<double>(log.validCount)
                          : 0.0;
-        log.bestMs = result.best.fitness.ms;
+        log.bestMs = result.best.fitness.ms();
         log.bestEdits = result.best.edits;
         result.history.push_back(log);
         if (onGeneration)
@@ -665,6 +723,7 @@ EvolutionEngine::run(const GenerationCallback& onGeneration)
                                log.protocolErrors;
     }
     result.quarantined = quarantine_.size();
+    result.paretoFront = paretoArchive_;
     const auto cs = cache_.stats();
     const auto ps = programCache_.stats();
     result.cacheSummary.entries = cs.entries + ps.entries;

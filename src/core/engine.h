@@ -78,6 +78,11 @@ struct GenerationLog {
     /// failure penalty without being dispatched again. Counted inside
     /// cacheHits (they are served from a memo level), broken out here.
     std::size_t quarantineHits = 0;
+
+    /// Size of the cross-generation Pareto archive after this
+    /// generation (always 0 in Scalar mode — the field only reaches
+    /// --dump-history output under --select=pareto).
+    std::size_t paretoFrontSize = 0;
 };
 
 /// Whole-run cache accounting, aggregated from the GenerationLogs (the
@@ -108,12 +113,16 @@ struct SearchResult {
     /// covers only the completed generations, and the final checkpoint /
     /// cache saves have already been written.
     bool interrupted = false;
+    /// Non-dominated archive over the whole run (Pareto selection only;
+    /// empty in Scalar mode). Deterministically ordered by canonical
+    /// edit-list key.
+    std::vector<Individual> paretoFront;
 
     /// Final speedup (baseline / best), 1.0 when nothing improved.
     double speedup() const
     {
-        return best.fitness.valid && best.fitness.ms > 0.0
-                   ? baselineMs / best.fitness.ms
+        return best.fitness.valid && best.fitness.ms() > 0.0
+                   ? baselineMs / best.fitness.ms()
                    : 1.0;
     }
 };
@@ -185,6 +194,11 @@ class EvolutionEngine {
     void evaluateIslands(EvaluationBackend& backend,
                          std::vector<Island>* islands, GenerationLog* log);
 
+    /// Fold this generation's valid members into the cross-generation
+    /// non-dominated archive (Pareto mode only): dedup by canonical
+    /// edit-list key, drop dominated entries, order by key.
+    void updateParetoArchive(const std::vector<Island>& islands);
+
     /// Snapshot the full search state to params_.checkpointPath
     /// (failure warns and continues — durability never fails a search).
     void saveSearchCheckpoint(const std::vector<Island>& islands,
@@ -207,6 +221,10 @@ class EvolutionEngine {
     /// cache scope inputs PLUS every trajectory-relevant parameter (see
     /// core/checkpoint.h). Computed once per run().
     std::uint64_t checkpointScope_ = 0;
+
+    /// Cross-generation Pareto archive (Pareto mode only; checkpointed
+    /// and surfaced as SearchResult::paretoFront).
+    std::vector<Individual> paretoArchive_;
 
     const ir::Module& base_;
     const FitnessFunction& fitness_;

@@ -71,13 +71,8 @@ evaluateTask(const VariantCompiler& compiler, const FitnessFunction& fitness,
     const CompiledVariant cv = compiler.compile(edits);
     recordCompileNs(stageNsSince(compileStart));
     if (programCache == nullptr) {
-        if (!cv.ok) {
-            out.result = FitnessResult::fail(cv.failReason);
-        } else {
-            const auto simStart = StageClock::now();
-            out.result = fitness.evaluate(cv);
-            recordSimulateNs(stageNsSince(simStart));
-        }
+        out.result = cv.ok ? scoreVariant(fitness, cv)
+                           : FitnessResult::fail(cv.failReason);
         out.simulated = true;
         return out;
     }
@@ -92,9 +87,7 @@ evaluateTask(const VariantCompiler& compiler, const FitnessFunction& fitness,
         out.result = cached;
         return out;
     }
-    const auto simStart = StageClock::now();
-    out.result = fitness.evaluate(cv);
-    recordSimulateNs(stageNsSince(simStart));
+    out.result = scoreVariant(fitness, cv);
     out.simulated = true;
     programCache->insert(programKey, out.result);
     if (programKeyOut != nullptr)
@@ -277,8 +270,11 @@ class IsolatedBackend final : public EvaluationBackend {
             std::string payload;
             appendLeU32(&payload, task);
             payload.push_back(outcome.result.valid ? 1 : 0);
-            appendLeU64(&payload,
-                        std::bit_cast<std::uint64_t>(outcome.result.ms));
+            appendLeU32(&payload,
+                        static_cast<std::uint32_t>(
+                            outcome.result.objectives.size()));
+            for (const double v : outcome.result.objectives)
+                appendLeU64(&payload, std::bit_cast<std::uint64_t>(v));
             appendLeU32(&payload, static_cast<std::uint32_t>(
                                       outcome.result.failReason.size()));
             payload.append(outcome.result.failReason);
@@ -585,14 +581,21 @@ class IsolatedBackend final : public EvaluationBackend {
     {
         std::size_t pos = 0;
         auto need = [&](std::size_t n) { return pos + n <= size; };
-        if (!need(4 + 1 + 8 + 4))
+        if (!need(4 + 1 + 4))
             return false;
         *task = readLeU32(p + pos);
         pos += 4;
         out->result.valid = p[pos] != 0;
         pos += 1;
-        out->result.ms = std::bit_cast<double>(readLeU64(p + pos));
-        pos += 8;
+        const std::uint32_t objCount = readLeU32(p + pos);
+        pos += 4;
+        if (objCount > 64 || !need(std::size_t{objCount} * 8 + 4))
+            return false;
+        out->result.objectives.resize(objCount);
+        for (auto& v : out->result.objectives) {
+            v = std::bit_cast<double>(readLeU64(p + pos));
+            pos += 8;
+        }
         const std::uint32_t reasonLen = readLeU32(p + pos);
         pos += 4;
         if (!need(reasonLen))

@@ -1,6 +1,7 @@
 #include "core/fitness.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -203,13 +204,25 @@ VariantCompiler::compile(const std::vector<mut::Edit>& edits) const
 }
 
 FitnessResult
+scoreVariant(const FitnessFunction& fitness, const CompiledVariant& variant)
+{
+    const auto start = std::chrono::steady_clock::now();
+    FitnessResult result = fitness.evaluate(variant);
+    recordSimulateNs(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    return result;
+}
+
+FitnessResult
 evaluateVariant(const ir::Module& base, const std::vector<mut::Edit>& edits,
                 const FitnessFunction& fitness)
 {
     const CompiledVariant cv = compileVariant(base, edits);
     if (!cv.ok)
         return FitnessResult::fail(cv.failReason);
-    return fitness.evaluate(cv);
+    return scoreVariant(fitness, cv);
 }
 
 } // namespace gevo::core

@@ -28,28 +28,90 @@
 
 #include "ir/function.h"
 #include "mutation/edit.h"
+#include "sim/device_config.h"
 #include "sim/executor.h"
 #include "sim/program.h"
 
 namespace gevo::core {
 
-/// Outcome of evaluating one variant.
+/// Outcome of evaluating one variant: a vector of minimized objective
+/// values instead of the historical single scalar. The legacy scalar
+/// survives as the derived accessor ms(), which every scalar-mode
+/// ordering decision goes through, so single-objective trajectories are
+/// unchanged.
 struct FitnessResult {
-    bool valid = false;  ///< Passed every test case.
-    double ms = std::numeric_limits<double>::infinity(); ///< Mean simulated
-                                                         ///< kernel time.
+    /// Indices into `objectives` (core/objectives.h names the same
+    /// slots as an enum for selection config).
+    static constexpr std::size_t kTime = 0;
+    static constexpr std::size_t kSectors = 1;
+    static constexpr std::size_t kDivergence = 2;
+
+    bool valid = false; ///< Passed every test case.
+    /// Structured payload, all minimized: [kTime] = mean simulated
+    /// kernel time (the legacy scalar), [kSectors] = 32B global-memory
+    /// sectors touched, [kDivergence] = branch-divergence events.
+    /// Empty when invalid; a bare pass(ms) carries only the time slot.
+    std::vector<double> objectives;
     std::string failReason; ///< Why the variant was rejected.
 
-    /// Convenience for a passing result.
+    /// The legacy scalar: simulated time for valid results, +inf
+    /// otherwise. Invalid results sink exactly as the old `ms` field
+    /// did, so orderings over ms() reproduce the historical ones.
+    double ms() const
+    {
+        return valid && !objectives.empty()
+                   ? objectives[kTime]
+                   : std::numeric_limits<double>::infinity();
+    }
+
+    /// Objective \p i with the same sink semantics as ms(): +inf when
+    /// invalid, 0 when the producer did not record that dimension.
+    double objective(std::size_t i) const
+    {
+        if (!valid)
+            return std::numeric_limits<double>::infinity();
+        return i < objectives.size() ? objectives[i] : 0.0;
+    }
+
+    /// Strict "a is fitter than b" on the primary scalar — THE
+    /// comparator for every scalar-mode ordering decision (engine
+    /// best-tracking, migrant acceptance, tournament), centralized so
+    /// call sites cannot silently drift from one another.
+    static bool better(const FitnessResult& a, const FitnessResult& b)
+    {
+        return a.ms() < b.ms();
+    }
+
+    /// Passing result carrying only the time objective.
     static FitnessResult pass(double msValue)
     {
-        return {true, msValue, {}};
+        FitnessResult r;
+        r.valid = true;
+        r.objectives = {msValue};
+        return r;
+    }
+    /// Passing result with the full objective vector.
+    static FitnessResult pass(double msValue, double sectors,
+                              double divergences)
+    {
+        FitnessResult r;
+        r.valid = true;
+        r.objectives = {msValue, sectors, divergences};
+        return r;
+    }
+    /// Full vector from a launch-stat aggregate.
+    static FitnessResult pass(double msValue,
+                              const sim::LaunchStats& stats)
+    {
+        return pass(msValue, static_cast<double>(stats.globalSectors),
+                    static_cast<double>(stats.divergences));
     }
     /// Convenience for a failing result.
     static FitnessResult fail(std::string reason)
     {
-        return {false, std::numeric_limits<double>::infinity(),
-                std::move(reason)};
+        FitnessResult r;
+        r.failReason = std::move(reason);
+        return r;
     }
 };
 
@@ -151,6 +213,22 @@ class FitnessFunction {
     /// Score a successfully compiled variant. \pre variant.ok.
     virtual FitnessResult evaluate(const CompiledVariant& variant) const = 0;
 
+    /// Score a compiled variant on a specific device model — the
+    /// portfolio path (core/portfolio.h loops this over a device set).
+    /// Workloads that support it implement evaluate() by delegating
+    /// here with their configured device; the default refuses, so a
+    /// single-device-only fitness keeps working everywhere except
+    /// inside a portfolio.
+    virtual FitnessResult evaluateOn(const CompiledVariant& variant,
+                                     const sim::DeviceConfig& dev) const
+    {
+        (void)variant;
+        (void)dev;
+        return FitnessResult::fail("fitness '" + name() +
+                                   "' does not support per-device "
+                                   "evaluation");
+    }
+
     /// Re-run one evaluation with per-loc profiling enabled and fill
     /// \p out. Returns false when the workload does not support profiling
     /// (the default) or the variant fails its tests — the caller keeps
@@ -176,6 +254,13 @@ class FitnessFunction {
 FitnessResult evaluateVariant(const ir::Module& base,
                               const std::vector<mut::Edit>& edits,
                               const FitnessFunction& fitness);
+
+/// Score stage shared by every evaluate call site (both evaluation
+/// backends and evaluateVariant): runs fitness.evaluate under the
+/// simulate stage timer, so the objective vector is produced — and its
+/// cost attributed — in exactly one place. \pre variant.ok.
+FitnessResult scoreVariant(const FitnessFunction& fitness,
+                           const CompiledVariant& variant);
 
 /// Cumulative wall-clock spent in each pipeline stage since the last
 /// reset, summed across evaluator threads.

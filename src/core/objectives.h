@@ -1,0 +1,75 @@
+/// \file
+/// Objective vocabulary for multi-objective fitness: which dimensions a
+/// search minimizes, Pareto domination over them, and NSGA-II
+/// rank/crowding scoring with deterministic tie-breaking.
+
+#ifndef GEVO_CORE_OBJECTIVES_H
+#define GEVO_CORE_OBJECTIVES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gevo::core {
+
+struct FitnessResult; // core/fitness.h
+
+/// One scoreable dimension. The enum value is the index into
+/// FitnessResult::objectives, so projecting a result onto a chosen
+/// objective set is `result.objective(static_cast<size_t>(obj))`.
+/// Every objective is minimized.
+enum class Objective : std::uint8_t {
+    Time = 0,       ///< Simulated kernel time (the legacy scalar).
+    Sectors = 1,    ///< 32B global-memory sectors touched (traffic).
+    Divergence = 2, ///< Branch-divergence events.
+};
+
+/// Canonical CLI name: "cycles", "sectors", "divergence". Time is
+/// spelled "cycles" after the paper's fitness (simulated time is a
+/// fixed-frequency scaling of the cycle count, so the ordering is the
+/// same quantity).
+std::string_view objectiveName(Objective o);
+
+/// Parse one objective name, case-insensitive, accepting aliases
+/// (time/ms for cycles, memory for sectors, div for divergence).
+/// Fatal with the registered list on unknown names, mirroring
+/// WorkloadRegistry::resolveList.
+Objective objectiveByName(const std::string& name);
+
+/// Parse a comma-separated objective list ("cycles,sectors"; "all" =
+/// every dimension). Fatal on empty or unknown entries, listing what
+/// is registered.
+std::vector<Objective> resolveObjectiveList(const std::string& csv);
+
+/// Render a list back to canonical comma-separated form (scope
+/// fingerprints, summary lines).
+std::string objectiveListName(const std::vector<Objective>& objectives);
+
+/// Pareto domination of \p a over \p b projected onto \p objectives:
+/// no worse on every dimension, strictly better on at least one. An
+/// invalid result never dominates and is dominated by any valid one.
+bool dominates(const FitnessResult& a, const FitnessResult& b,
+               const std::vector<Objective>& objectives);
+
+/// NSGA-II scores for one pool of results.
+struct ParetoScore {
+    std::uint32_t rank = 0; ///< 0 = the non-dominated front.
+    double crowding = 0.0;  ///< Crowding distance within the rank.
+};
+
+/// Fast non-dominated sort + crowding distance over \p results (all
+/// entries must be valid). \p keys are the canonical edit-list keys,
+/// aligned with \p results: per-objective crowding sweeps order by
+/// (value, key), so the scores are independent of input order — the
+/// property that keeps Pareto trajectories reproducible across
+/// threads and backends. Front boundaries get infinite crowding.
+std::vector<ParetoScore>
+paretoScores(const std::vector<const FitnessResult*>& results,
+             const std::vector<std::string>& keys,
+             const std::vector<Objective>& objectives);
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_OBJECTIVES_H

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/objectives.h"
 #include "mutation/sampler.h"
 
 namespace gevo::core {
@@ -57,6 +59,19 @@ enum class TopologyKind : std::uint8_t {
     Star,
 };
 
+/// Which survivor-/tournament-ordering rule selection uses
+/// (core/population.h).
+enum class SelectionKind : std::uint8_t {
+    /// Single-scalar ordering by FitnessResult::ms() — the paper's rule
+    /// and the bit-identical legacy default.
+    Scalar,
+    /// NSGA-II: non-dominated sort + crowding distance over
+    /// EvolutionParams::objectives, ties broken by canonical edit-list
+    /// key so trajectories stay reproducible across threads and
+    /// backends.
+    Pareto,
+};
+
 /// Search hyper-parameters (paper defaults).
 struct EvolutionParams {
     std::uint32_t populationSize = 256; ///< Per island.
@@ -103,6 +118,15 @@ struct EvolutionParams {
     /// keeps the perturbation when the island's best improves, reverts it
     /// otherwise. Rates are checkpointed and logged per generation.
     bool adaptRates = false;
+
+    // ---- multi-objective selection ----
+    /// Survivor/tournament ordering. Scalar reproduces the historical
+    /// trajectory bit-for-bit; Pareto ranks on `objectives`.
+    SelectionKind selection = SelectionKind::Scalar;
+    /// Objective dimensions Pareto selection ranks on (Scalar mode uses
+    /// only the primary time objective regardless). Part of the
+    /// checkpoint scope fingerprint.
+    std::vector<Objective> objectives = {Objective::Time};
 
     // ---- evaluation pipeline ----
     /// true: full evaluation pipeline — per-individual memo, within-

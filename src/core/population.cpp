@@ -1,8 +1,12 @@
 #include "core/population.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <string>
 
+#include "core/objectives.h"
+#include "core/variant_cache.h"
 #include "mutation/patch.h"
 #include "support/logging.h"
 
@@ -43,12 +47,16 @@ Population::seed(Rng& rng)
 void
 Population::sortByFitness()
 {
+    if (params_.selection == SelectionKind::Pareto) {
+        sortPareto();
+        return;
+    }
     std::vector<std::uint32_t> order(members_.size());
     std::iota(order.begin(), order.end(), 0u);
     std::stable_sort(order.begin(), order.end(),
                      [this](std::uint32_t a, std::uint32_t b) {
-                         return members_[a].fitness.ms <
-                                members_[b].fitness.ms;
+                         return FitnessResult::better(members_[a].fitness,
+                                                      members_[b].fitness);
                      });
     std::vector<Individual> sorted;
     sorted.reserve(members_.size());
@@ -57,13 +65,77 @@ Population::sortByFitness()
     members_ = std::move(sorted);
 }
 
+void
+Population::sortPareto()
+{
+    // Canonical keys, computed once per sort: the deterministic
+    // tie-break that keeps Pareto trajectories identical across
+    // threads and backends — rank and crowding are order-independent,
+    // but equal-crowding ties within a rank would not be without a
+    // total order.
+    const std::size_t n = members_.size();
+    std::vector<std::string> keys(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys[i] = VariantCache::keyOf(members_[i].edits);
+
+    std::vector<std::uint32_t> validIdx;
+    std::vector<const FitnessResult*> fits;
+    std::vector<std::string> validKeys;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!members_[i].fitness.valid) {
+            members_[i].paretoRank =
+                std::numeric_limits<std::uint32_t>::max();
+            members_[i].crowding = 0.0;
+            continue;
+        }
+        validIdx.push_back(i);
+        fits.push_back(&members_[i].fitness);
+        validKeys.push_back(keys[i]);
+    }
+    const auto scores = paretoScores(fits, validKeys, params_.objectives);
+    for (std::size_t k = 0; k < validIdx.size(); ++k) {
+        members_[validIdx[k]].paretoRank = scores[k].rank;
+        members_[validIdx[k]].crowding = scores[k].crowding;
+    }
+
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  const Individual& ia = members_[a];
+                  const Individual& ib = members_[b];
+                  if (ia.paretoRank != ib.paretoRank)
+                      return ia.paretoRank < ib.paretoRank;
+                  if (ia.crowding != ib.crowding)
+                      return ia.crowding > ib.crowding;
+                  return keys[a] < keys[b];
+              });
+    std::vector<Individual> sorted;
+    sorted.reserve(n);
+    for (const std::uint32_t i : order)
+        sorted.push_back(std::move(members_[i]));
+    members_ = std::move(sorted);
+}
+
+bool
+Population::beats(const Individual& a, const Individual& b) const
+{
+    if (params_.selection == SelectionKind::Pareto) {
+        // The NSGA-II order is already materialized in the member list,
+        // so "earlier in the list" IS "better" — comparing positions
+        // avoids recomputing rank/crowding per tournament draw.
+        return &a < &b;
+    }
+    return FitnessResult::better(a.fitness, b.fitness);
+}
+
 const Individual&
 Population::tournament(Rng& rng) const
 {
     const Individual* best = nullptr;
     for (std::uint32_t i = 0; i < params_.tournamentSize; ++i) {
         const Individual& c = members_[rng.below(members_.size())];
-        if (best == nullptr || c.fitness.ms < best->fitness.ms)
+        if (best == nullptr || beats(c, *best))
             best = &c;
     }
     return *best;
@@ -140,9 +212,11 @@ Population::receiveMigrants(const std::vector<Individual>& migrants)
     if (params_.fitnessAwareMigrants) {
         // Same slot pairing as the blind path, but an immigrant only
         // evicts a strictly worse resident — a weak island can no longer
-        // overwrite a receiver's good genotypes.
+        // overwrite a receiver's good genotypes. Pareto mode also uses
+        // the scalar comparator here: ranks are island-local and not
+        // comparable across populations.
         for (const auto& m : migrants) {
-            if (m.fitness.ms < slot->fitness.ms)
+            if (FitnessResult::better(m.fitness, slot->fitness))
                 *slot = m;
             ++slot;
         }

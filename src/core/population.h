@@ -29,6 +29,11 @@ struct Individual {
     std::vector<mut::Edit> edits;
     FitnessResult fitness;
     bool evaluated = false;
+    /// Pareto bookkeeping, recomputed by every Pareto-mode
+    /// sortByFitness (never serialized; meaningless in Scalar mode).
+    /// Rank 0 is the non-dominated front of this island's members.
+    std::uint32_t paretoRank = 0;
+    double crowding = 0.0;
 };
 
 /// A population with the GA operators; all stochastic decisions flow from
@@ -46,12 +51,17 @@ class Population {
     const std::vector<Individual>& members() const { return members_; }
     std::size_t size() const { return members_.size(); }
 
-    /// Stable sort ascending by fitness.ms (invalid = +inf sinks to the
-    /// back). Sorts index proxies, then applies the permutation, so each
-    /// Individual moves exactly once instead of being copied per swap.
+    /// Order members best-first. Scalar mode: stable sort ascending by
+    /// fitness.ms() (invalid = +inf sinks to the back) — bit-identical
+    /// to the historical single-scalar sort. Pareto mode: NSGA-II order
+    /// (rank ascending, crowding descending, canonical edit-list key
+    /// ascending; invalid members last). Both sort index proxies, then
+    /// apply the permutation, so each Individual moves exactly once
+    /// instead of being copied per swap.
     void sortByFitness();
 
-    /// Best member. \pre sorted.
+    /// Best member. \pre sorted. In Pareto mode this is the head of the
+    /// NSGA-II order (a non-dominated member), not the scalar minimum.
     const Individual& best() const { return members_.front(); }
 
     /// Replace the members with the next generation: elitism, tournament
@@ -85,6 +95,11 @@ class Population {
 
   private:
     const Individual& tournament(Rng& rng) const;
+    /// Selection's "a beats b": FitnessResult::better in Scalar mode,
+    /// NSGA-II list position in Pareto mode (\pre sorted, and both must
+    /// point into members_). Identical RNG consumption either way.
+    bool beats(const Individual& a, const Individual& b) const;
+    void sortPareto();
     void mutate(Individual* ind, Rng& rng);
     std::optional<mut::Edit> sampleOne(const ir::Module& mod,
                                        Rng& rng) const;

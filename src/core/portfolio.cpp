@@ -1,0 +1,108 @@
+#include "core/portfolio.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "support/logging.h"
+
+namespace gevo::core {
+
+std::string_view
+deviceAggName(DeviceAgg agg)
+{
+    switch (agg) {
+    case DeviceAgg::Worst:
+        return "worst";
+    case DeviceAgg::Mean:
+        return "mean";
+    }
+    GEVO_FATAL("deviceAggName: bad aggregation %u",
+               static_cast<unsigned>(agg));
+}
+
+DeviceAgg
+deviceAggByName(const std::string& name)
+{
+    std::string n = name;
+    for (auto& c : n)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (n == "worst")
+        return DeviceAgg::Worst;
+    if (n == "mean")
+        return DeviceAgg::Mean;
+    GEVO_FATAL("unknown device aggregation '%s' (registered: worst, "
+               "mean)",
+               name.c_str());
+}
+
+PortfolioFitness::PortfolioFitness(const FitnessFunction& inner,
+                                   std::vector<sim::DeviceConfig> devices,
+                                   DeviceAgg agg)
+    : inner_(inner), devices_(std::move(devices)), agg_(agg)
+{
+    GEVO_ASSERT(!devices_.empty(), "portfolio needs at least one device");
+}
+
+FitnessResult
+PortfolioFitness::evaluate(const CompiledVariant& variant) const
+{
+    if (devices_.size() == 1)
+        return inner_.evaluateOn(variant, devices_[0]);
+
+    std::vector<FitnessResult> per;
+    per.reserve(devices_.size());
+    for (const auto& dev : devices_) {
+        FitnessResult r = inner_.evaluateOn(variant, dev);
+        if (!r.valid)
+            return FitnessResult::fail(dev.name + ": " + r.failReason);
+        per.push_back(std::move(r));
+    }
+
+    std::size_t width = 0;
+    for (const auto& r : per)
+        width = std::max(width, r.objectives.size());
+    FitnessResult out;
+    out.valid = true;
+    out.objectives.assign(width, 0.0);
+    for (std::size_t i = 0; i < width; ++i) {
+        if (agg_ == DeviceAgg::Worst) {
+            double worst = per[0].objective(i);
+            for (const auto& r : per)
+                worst = std::max(worst, r.objective(i));
+            out.objectives[i] = worst;
+        } else {
+            double sum = 0.0;
+            for (const auto& r : per)
+                sum += r.objective(i);
+            out.objectives[i] = sum / static_cast<double>(per.size());
+        }
+    }
+    return out;
+}
+
+FitnessResult
+PortfolioFitness::evaluateOn(const CompiledVariant& variant,
+                             const sim::DeviceConfig& dev) const
+{
+    return inner_.evaluateOn(variant, dev);
+}
+
+bool
+PortfolioFitness::profileVariant(const CompiledVariant& variant,
+                                 ProfileSummary* out) const
+{
+    return inner_.profileVariant(variant, out);
+}
+
+std::string
+PortfolioFitness::name() const
+{
+    std::string devs;
+    for (const auto& dev : devices_)
+        devs += (devs.empty() ? "" : "+") + dev.name;
+    return inner_.name() + "|portfolio(" + devs + "," +
+           std::string(deviceAggName(agg_)) + ")";
+}
+
+} // namespace gevo::core

@@ -1,0 +1,84 @@
+/// \file
+/// Device-portfolio fitness: score one variant against a set of device
+/// models (the paper's Table I GPUs) and aggregate per-objective, so
+/// the search rewards edits that generalize across devices instead of
+/// overfitting one timing model.
+///
+/// The portfolio wraps any FitnessFunction that implements evaluateOn
+/// and presents the same FitnessFunction interface, so the engine,
+/// backends, caches and farm are portfolio-agnostic: name() encodes the
+/// device set and aggregation, which automatically re-scopes cache
+/// files, checkpoints and farm handshakes.
+
+#ifndef GEVO_CORE_PORTFOLIO_H
+#define GEVO_CORE_PORTFOLIO_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fitness.h"
+#include "sim/device_config.h"
+
+namespace gevo::core {
+
+/// How per-device objective values collapse into the portfolio's
+/// vector. Every objective is minimized, so Worst = max over devices.
+enum class DeviceAgg : std::uint8_t {
+    Worst, ///< Per-objective max: optimize the worst-case device.
+    Mean,  ///< Per-objective arithmetic mean over the devices.
+};
+
+/// Canonical CLI name ("worst", "mean").
+std::string_view deviceAggName(DeviceAgg agg);
+
+/// Parse one aggregation name, case-insensitive; fatal with the
+/// registered list on unknown names.
+DeviceAgg deviceAggByName(const std::string& name);
+
+/// Portfolio wrapper around a per-device-capable fitness function.
+class PortfolioFitness final : public FitnessFunction {
+  public:
+    /// \p inner must outlive the portfolio and support evaluateOn; the
+    /// device list must be non-empty.
+    PortfolioFitness(const FitnessFunction& inner,
+                     std::vector<sim::DeviceConfig> devices,
+                     DeviceAgg agg = DeviceAgg::Worst);
+
+    /// A portfolio of one device passes straight through to the inner
+    /// fitness on that device (identical FitnessResult, failReason
+    /// included) — what makes single-device portfolio runs bit-identical
+    /// to plain runs. Multi-device: any per-device failure fails the
+    /// variant (tagged with the device name); otherwise each objective
+    /// is aggregated across devices per `agg`.
+    FitnessResult evaluate(const CompiledVariant& variant) const override;
+
+    /// Delegates to the inner fitness (a portfolio inside a portfolio
+    /// collapses to per-device scoring).
+    FitnessResult evaluateOn(const CompiledVariant& variant,
+                             const sim::DeviceConfig& dev) const override;
+
+    /// Profiles on the inner fitness's own device: the guided sampler
+    /// wants one representative heat map, not a cross-device blend.
+    bool profileVariant(const CompiledVariant& variant,
+                        ProfileSummary* out) const override;
+
+    /// Inner name + '+'-joined device list + aggregation, so every
+    /// scope fingerprint derived from the fitness name changes with the
+    /// portfolio config.
+    std::string name() const override;
+
+    const std::vector<sim::DeviceConfig>& devices() const
+    {
+        return devices_;
+    }
+
+  private:
+    const FitnessFunction& inner_;
+    std::vector<sim::DeviceConfig> devices_;
+    DeviceAgg agg_;
+};
+
+} // namespace gevo::core
+
+#endif // GEVO_CORE_PORTFOLIO_H

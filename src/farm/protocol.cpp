@@ -164,7 +164,10 @@ encodeEvalReply(const EvalReply& reply)
     p.push_back(static_cast<char>(MsgType::EvalResult));
     appendLeU64(&p, reply.seq);
     p.push_back(reply.outcome.result.valid ? 1 : 0);
-    appendLeU64(&p, std::bit_cast<std::uint64_t>(reply.outcome.result.ms));
+    appendLeU32(&p, static_cast<std::uint32_t>(
+                        reply.outcome.result.objectives.size()));
+    for (const double v : reply.outcome.result.objectives)
+        appendLeU64(&p, std::bit_cast<std::uint64_t>(v));
     appendString(&p, reply.outcome.result.failReason);
     p.push_back(reply.outcome.simulated ? 1 : 0);
     p.push_back(reply.outcome.rejected ? 1 : 0);
@@ -239,16 +242,23 @@ decodeEvalReply(std::string_view payload, EvalReply* out)
 {
     Cursor c(payload);
     std::uint8_t valid = 0;
-    std::uint64_t msBits = 0;
+    std::uint32_t objCount = 0;
     std::uint8_t simulated = 0;
     std::uint8_t rejected = 0;
     if (!expectType(&c, MsgType::EvalResult) || !c.u64(&out->seq) ||
-        !c.u8(&valid) || !c.u64(&msBits) ||
-        !c.str(&out->outcome.result.failReason) || !c.u8(&simulated) ||
+        !c.u8(&valid) || !c.u32(&objCount) || objCount > 64)
+        return false;
+    out->outcome.result.objectives.resize(objCount);
+    for (auto& v : out->outcome.result.objectives) {
+        std::uint64_t bits = 0;
+        if (!c.u64(&bits))
+            return false;
+        v = std::bit_cast<double>(bits);
+    }
+    if (!c.str(&out->outcome.result.failReason) || !c.u8(&simulated) ||
         !c.u8(&rejected) || !c.str(&out->programKey) || !c.done())
         return false;
     out->outcome.result.valid = valid != 0;
-    out->outcome.result.ms = std::bit_cast<double>(msBits);
     out->outcome.simulated = simulated != 0;
     out->outcome.rejected = rejected != 0;
     out->outcome.failure = core::EvalFailure::None;

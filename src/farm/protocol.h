@@ -36,7 +36,9 @@
 namespace gevo::farm {
 
 /// Bumped on any wire-format change; mismatched peers reject at Hello.
-constexpr std::uint32_t kFarmProtocolVersion = 1;
+/// v2 replaced EvalReply's single fitness scalar with the objective
+/// vector.
+constexpr std::uint32_t kFarmProtocolVersion = 2;
 
 /// Frame header: u32 magic | u32 payloadLen | u32 crc32(payload).
 constexpr std::uint32_t kFrameMagic = 0x52564547u; // "GEVR"

@@ -1,6 +1,10 @@
 #include "sim/device_config.h"
 
+#include <cctype>
+#include <string_view>
+
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace gevo::sim {
 
@@ -108,17 +112,61 @@ v100()
     return c;
 }
 
+namespace {
+
+bool
+sameNameIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+std::string
+registeredDeviceNames()
+{
+    std::string known;
+    for (const auto& dev : allDevices())
+        known += (known.empty() ? "" : ", ") + dev.name;
+    return known;
+}
+
+} // namespace
+
 DeviceConfig
 deviceByName(const std::string& name)
 {
-    if (name == "P100")
-        return p100();
-    if (name == "GTX1080Ti" || name == "1080Ti")
+    if (sameNameIgnoreCase(name, "1080Ti")) // historical shorthand
         return gtx1080ti();
-    if (name == "V100")
-        return v100();
-    GEVO_FATAL("unknown device '%s' (want P100, GTX1080Ti or V100)",
-               name.c_str());
+    for (const auto& dev : allDevices()) {
+        if (sameNameIgnoreCase(name, dev.name))
+            return dev;
+    }
+    GEVO_FATAL("unknown device '%s' (registered: %s)", name.c_str(),
+               registeredDeviceNames().c_str());
+}
+
+std::vector<DeviceConfig>
+resolveDeviceList(const std::string& csv)
+{
+    if (sameNameIgnoreCase(trim(csv), "all"))
+        return allDevices();
+    // split() yields at least one entry even for an empty csv, so the
+    // per-entry emptiness check also covers the empty-list case.
+    std::vector<DeviceConfig> out;
+    for (const auto& raw : split(csv, ',')) {
+        const auto name = std::string(trim(raw));
+        if (name.empty())
+            GEVO_FATAL("empty device name in list '%s' (registered: %s)",
+                       csv.c_str(), registeredDeviceNames().c_str());
+        out.push_back(deviceByName(name));
+    }
+    return out;
 }
 
 std::vector<DeviceConfig>

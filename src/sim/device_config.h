@@ -90,8 +90,16 @@ DeviceConfig gtx1080ti();
 /// NVIDIA Tesla V100 (Volta).
 DeviceConfig v100();
 
-/// Preset by name ("P100"/"GTX1080Ti"/"V100"); fatal on unknown names.
+/// Preset by name, matched case-insensitively against the registered
+/// devices ("1080Ti" survives as a historical shorthand). Unknown names
+/// die with the registered device list, mirroring the workload
+/// registry's fatal style.
 DeviceConfig deviceByName(const std::string& name);
+
+/// Parse a comma-separated device list ("p100,v100"; "all" = the full
+/// Table I set). Fatal on empty or unknown entries, listing the
+/// registered devices.
+std::vector<DeviceConfig> resolveDeviceList(const std::string& csv);
 
 /// All three paper devices, in Table I order.
 std::vector<DeviceConfig> allDevices();

@@ -56,7 +56,7 @@ TEST(GoldenEdits, V0MemsetRemovalGivesPaperScaleSpeedup)
     ASSERT_TRUE(base.valid);
     ASSERT_TRUE(gevo.valid) << gevo.failReason;
     // Paper Sec VI-C: ">30x"; ours lands in the mid-20s..30s.
-    EXPECT_GT(base.ms / gevo.ms, 15.0);
+    EXPECT_GT(base.ms() / gevo.ms(), 15.0);
 }
 
 TEST(GoldenEdits, ClusterMembersFailIndividually)
@@ -92,11 +92,11 @@ TEST(GoldenEdits, ClusterSubsetsMatchPaperStructure)
     ASSERT_TRUE(e6810.valid);
     ASSERT_TRUE(all4.valid);
     // Paper Fig 7 ordering: {6} < {6,8} < {6,8,10} < {5,6,8,10}.
-    EXPECT_LT(std::abs(base.ms - e6.ms) / base.ms, 0.02); // "<1%"
-    EXPECT_LT(e68.ms, e6.ms);
-    EXPECT_LT(e6810.ms, e68.ms);
-    EXPECT_LT(all4.ms, e6810.ms);
-    EXPECT_GT(base.ms / all4.ms, 1.05);
+    EXPECT_LT(std::abs(base.ms() - e6.ms()) / base.ms(), 0.02); // "<1%"
+    EXPECT_LT(e68.ms(), e6.ms());
+    EXPECT_LT(e6810.ms(), e68.ms());
+    EXPECT_LT(all4.ms(), e6810.ms());
+    EXPECT_GT(base.ms() / all4.ms(), 1.05);
 }
 
 TEST(GoldenEdits, FullSetReachesPaperBallparkOnP100)
@@ -106,8 +106,8 @@ TEST(GoldenEdits, FullSetReachesPaperBallparkOnP100)
     const auto all = evalV1(fx, editsOf(v1AllGoldenEdits(fx.v1)));
     ASSERT_TRUE(all.valid) << all.failReason;
     // Paper Fig 4: 1.28x on the P100.
-    EXPECT_GT(base.ms / all.ms, 1.20);
-    EXPECT_LT(base.ms / all.ms, 1.40);
+    EXPECT_GT(base.ms() / all.ms(), 1.20);
+    EXPECT_LT(base.ms() / all.ms(), 1.40);
 }
 
 TEST(GoldenEdits, BallotRemovalHelpsVoltaNotPascal)
@@ -123,8 +123,8 @@ TEST(GoldenEdits, BallotRemovalHelpsVoltaNotPascal)
     const auto v100Ballot = evalV1(fx, ballotOnly, sim::v100());
     ASSERT_TRUE(p100Ballot.valid);
     ASSERT_TRUE(v100Ballot.valid);
-    const double pascalGain = p100Base.ms / p100Ballot.ms;
-    const double voltaGain = v100Base.ms / v100Ballot.ms;
+    const double pascalGain = p100Base.ms() / p100Ballot.ms();
+    const double voltaGain = v100Base.ms() / v100Ballot.ms();
     // Paper Sec VI-B: ~4% on the V100, nothing on the P100.
     EXPECT_GT(voltaGain, 1.02);
     EXPECT_LT(pascalGain, 1.01);
@@ -156,7 +156,7 @@ TEST(GoldenEdits, CrossDeviceGeneralityOfV0Optimization)
         const auto base = core::evaluateVariant(fx.v0.module, {}, fit);
         const auto opt = core::evaluateVariant(fx.v0.module, edits, fit);
         ASSERT_TRUE(opt.valid) << dev.name;
-        EXPECT_GT(base.ms / opt.ms, 10.0) << dev.name;
+        EXPECT_GT(base.ms() / opt.ms(), 10.0) << dev.name;
     }
 }
 

@@ -83,7 +83,7 @@ TEST(CacheEviction, ReinsertDoesNotDuplicateOrEvict)
     EXPECT_EQ(cache.stats().evictions, 0u);
     FitnessResult out;
     ASSERT_TRUE(cache.lookup(keyN(1), &out));
-    EXPECT_DOUBLE_EQ(out.ms, 1.0); // first value wins
+    EXPECT_DOUBLE_EQ(out.ms(), 1.0); // first value wins
 }
 
 TEST(CacheEviction, ReinsertRefreshesRecency)

@@ -83,7 +83,7 @@ expectRecordsEqual(const std::vector<CacheStoreRecord>& a,
         EXPECT_EQ(a[i].level, b[i].level) << i;
         EXPECT_EQ(a[i].key, b[i].key) << i;
         EXPECT_EQ(a[i].result.valid, b[i].result.valid) << i;
-        EXPECT_EQ(a[i].result.ms, b[i].result.ms) << i;
+        EXPECT_EQ(a[i].result.ms(), b[i].result.ms()) << i;
         EXPECT_EQ(a[i].result.failReason, b[i].result.failReason) << i;
     }
 }
@@ -107,7 +107,7 @@ TEST(CacheStore, SaveLoadRoundTrip)
     expectRecordsEqual(load.records, records);
 
     // Fail results round-trip their infinite ms bit-exactly.
-    EXPECT_TRUE(std::isinf(load.records[2].result.ms));
+    EXPECT_TRUE(std::isinf(load.records[2].result.ms()));
 }
 
 TEST(CacheStore, EmptyStoreRoundTrip)
@@ -220,7 +220,7 @@ TEST(CacheStore, FlippedByteEndsTheStreamAtTheDamagedRecord)
     EXPECT_LT(load.records.size(), records.size());
     for (std::size_t i = 0; i < load.records.size(); ++i) {
         EXPECT_EQ(load.records[i].key, records[i].key);
-        EXPECT_EQ(load.records[i].result.ms, records[i].result.ms);
+        EXPECT_EQ(load.records[i].result.ms(), records[i].result.ms());
     }
 }
 
@@ -435,7 +435,7 @@ TEST(CacheStore, ConcurrentSaveDuringEvaluationIsConsistent)
         for (const auto& rec : load.records) {
             FitnessResult expected;
             ASSERT_TRUE(cache.lookup(rec.key, &expected));
-            EXPECT_EQ(rec.result.ms, expected.ms);
+            EXPECT_EQ(rec.result.ms(), expected.ms());
         }
     };
     for (int round = 0; round < 15; ++round) {

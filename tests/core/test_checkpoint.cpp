@@ -127,7 +127,9 @@ sampleState()
     opr.newOperand = ir::Operand::imm(3);
 
     st.best.edits = {del};
-    st.best.fitness = FitnessResult::pass(3.5);
+    // v3: full objective vector (time, sectors, divergence), not just
+    // the scalar.
+    st.best.fitness = FitnessResult::pass(3.5, 96.0, 2.0);
     st.best.evaluated = true;
 
     GenerationLog log;
@@ -147,13 +149,15 @@ sampleState()
     loggedRates.wDelete = 0.5;
     loggedRates.wOperand = 0.125;
     log.islandRates = {loggedRates, mut::SamplerConfig{}};
+    // v3: Pareto-front size per generation.
+    log.paretoFrontSize = 2;
     st.history = {log, log};
     st.history[0].generation = 6;
 
     CheckpointIsland a;
     a.rngState = {1, 2, 3, 4};
     a.bestMs = 3.5;
-    Individual good{{del, opr}, FitnessResult::pass(3.5), true};
+    Individual good{{del, opr}, FitnessResult::pass(3.5, 96.0, 2.0), true};
     Individual bad{{opr}, FitnessResult::fail("wrong output"), true};
     Individual fresh{{del}, {}, false};
     a.members = {good, bad, fresh};
@@ -170,6 +174,10 @@ sampleState()
     st.islands = {a, b};
 
     st.quarantine = {std::string("bin\0key", 7), "plain"};
+    // v3: the cross-generation Pareto archive rides along.
+    st.paretoFront = {good, Individual{{opr},
+                                       FitnessResult::pass(4.0, 80.0, 1.0),
+                                       true}};
     return st;
 }
 
@@ -186,14 +194,22 @@ expectRatesEqual(const mut::SamplerConfig& a, const mut::SamplerConfig& b)
 }
 
 void
+expectIndividualsEqual(const Individual& a, const Individual& b)
+{
+    EXPECT_EQ(mut::serializeEdits(a.edits), mut::serializeEdits(b.edits));
+    EXPECT_EQ(a.fitness.valid, b.fitness.valid);
+    EXPECT_EQ(a.fitness.objectives, b.fitness.objectives);
+    EXPECT_EQ(a.fitness.failReason, b.fitness.failReason);
+    EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+void
 expectStatesEqual(const CheckpointState& a, const CheckpointState& b)
 {
     EXPECT_EQ(a.generation, b.generation);
     EXPECT_EQ(a.finished, b.finished);
     EXPECT_EQ(a.baselineMs, b.baselineMs);
-    EXPECT_EQ(mut::serializeEdits(a.best.edits),
-              mut::serializeEdits(b.best.edits));
-    EXPECT_EQ(a.best.fitness.ms, b.best.fitness.ms);
+    expectIndividualsEqual(a.best, b.best);
     ASSERT_EQ(a.history.size(), b.history.size());
     for (std::size_t g = 0; g < a.history.size(); ++g) {
         EXPECT_EQ(a.history[g].generation, b.history[g].generation);
@@ -211,6 +227,8 @@ expectStatesEqual(const CheckpointState& a, const CheckpointState& b)
                   b.history[g].protocolErrors);
         EXPECT_EQ(a.history[g].quarantineHits,
                   b.history[g].quarantineHits);
+        EXPECT_EQ(a.history[g].paretoFrontSize,
+                  b.history[g].paretoFrontSize);
         EXPECT_EQ(a.history[g].islandBestMs, b.history[g].islandBestMs);
         EXPECT_EQ(mut::serializeEdits(a.history[g].bestEdits),
                   mut::serializeEdits(b.history[g].bestEdits));
@@ -226,16 +244,9 @@ expectStatesEqual(const CheckpointState& a, const CheckpointState& b)
         EXPECT_EQ(a.islands[i].bestMs, b.islands[i].bestMs);
         ASSERT_EQ(a.islands[i].members.size(),
                   b.islands[i].members.size());
-        for (std::size_t m = 0; m < a.islands[i].members.size(); ++m) {
-            const Individual& ma = a.islands[i].members[m];
-            const Individual& mb = b.islands[i].members[m];
-            EXPECT_EQ(mut::serializeEdits(ma.edits),
-                      mut::serializeEdits(mb.edits));
-            EXPECT_EQ(ma.fitness.valid, mb.fitness.valid);
-            EXPECT_EQ(ma.fitness.ms, mb.fitness.ms);
-            EXPECT_EQ(ma.fitness.failReason, mb.fitness.failReason);
-            EXPECT_EQ(ma.evaluated, mb.evaluated);
-        }
+        for (std::size_t m = 0; m < a.islands[i].members.size(); ++m)
+            expectIndividualsEqual(a.islands[i].members[m],
+                                   b.islands[i].members[m]);
         expectRatesEqual(a.islands[i].rates, b.islands[i].rates);
         expectRatesEqual(a.islands[i].candidateRates,
                          b.islands[i].candidateRates);
@@ -243,6 +254,9 @@ expectStatesEqual(const CheckpointState& a, const CheckpointState& b)
         EXPECT_EQ(a.islands[i].rateLastBest, b.islands[i].rateLastBest);
     }
     EXPECT_EQ(a.quarantine, b.quarantine);
+    ASSERT_EQ(a.paretoFront.size(), b.paretoFront.size());
+    for (std::size_t i = 0; i < a.paretoFront.size(); ++i)
+        expectIndividualsEqual(a.paretoFront[i], b.paretoFront[i]);
 }
 
 TEST(Checkpoint, SaveLoadRoundTrip)
@@ -279,6 +293,21 @@ TEST(Checkpoint, VersionMismatchIsRejected)
     ASSERT_TRUE(saveCheckpoint(path, 42, sampleState()));
     auto bytes = readFile(path);
     bytes[8] = static_cast<char>(kCheckpointVersion + 1); // u32 LSB.
+    writeFile(path, bytes);
+    const auto load = loadCheckpoint(path, 42);
+    EXPECT_EQ(load.status, CheckpointLoadResult::Status::VersionMismatch);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, OlderV2FileDegradesToVersionMismatch)
+{
+    // A pre-objective-vector (v2) checkpoint is not readable by the v3
+    // parser; it must surface as VersionMismatch, which the engine
+    // turns into a warned cold start instead of a partial restore.
+    const auto path = tmpPath("v2");
+    ASSERT_TRUE(saveCheckpoint(path, 42, sampleState()));
+    auto bytes = readFile(path);
+    bytes[8] = 2; // u32 version LSB: the PR 9 on-disk format.
     writeFile(path, bytes);
     const auto load = loadCheckpoint(path, 42);
     EXPECT_EQ(load.status, CheckpointLoadResult::Status::VersionMismatch);
@@ -363,7 +392,7 @@ expectSameTrajectory(const SearchResult& a, const SearchResult& b)
     }
     EXPECT_EQ(mut::serializeEdits(a.best.edits),
               mut::serializeEdits(b.best.edits));
-    EXPECT_EQ(a.best.fitness.ms, b.best.fitness.ms);
+    EXPECT_EQ(a.best.fitness.ms(), b.best.fitness.ms());
 }
 
 EvolutionParams

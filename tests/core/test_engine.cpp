@@ -77,7 +77,7 @@ TEST(Fitness, BaselinePasses)
     ToyFitness fitness;
     const auto result = evaluateVariant(mod, {}, fitness);
     EXPECT_TRUE(result.valid) << result.failReason;
-    EXPECT_GT(result.ms, 0.0);
+    EXPECT_GT(result.ms(), 0.0);
 }
 
 TEST(Fitness, BreakingEditIsInvalid)
@@ -109,7 +109,7 @@ TEST(Fitness, LoopRemovalEditIsValidAndFaster)
     e.newOperand = ir::Operand::imm(0);
     const auto result = evaluateVariant(mod, {e}, fitness);
     ASSERT_TRUE(result.valid) << result.failReason;
-    EXPECT_LT(result.ms, baseline.ms * 0.3);
+    EXPECT_LT(result.ms(), baseline.ms() * 0.3);
 }
 
 TEST(Engine, FindsTheLoopRemoval)
@@ -126,7 +126,7 @@ TEST(Engine, FindsTheLoopRemoval)
     EXPECT_TRUE(result.best.fitness.valid);
     // The memset loop dominates; the search must find a large win.
     EXPECT_GT(result.speedup(), 2.0)
-        << "best " << result.best.fitness.ms << " baseline "
+        << "best " << result.best.fitness.ms() << " baseline "
         << result.baselineMs;
 }
 

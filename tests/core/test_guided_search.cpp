@@ -148,7 +148,7 @@ expectSameTrajectory(const SearchResult& a, const SearchResult& b)
     }
     EXPECT_EQ(mut::serializeEdits(a.best.edits),
               mut::serializeEdits(b.best.edits));
-    EXPECT_EQ(a.best.fitness.ms, b.best.fitness.ms);
+    EXPECT_EQ(a.best.fitness.ms(), b.best.fitness.ms());
 }
 
 TEST(GuidedSearch, DeterministicAcrossThreadsCacheAndBackend)

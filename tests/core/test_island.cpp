@@ -235,7 +235,7 @@ TEST(Island, FitnessAwareMigrantsOnlyReplaceWorseResidents)
 
     std::vector<double> ms;
     for (const auto& m : pop.members())
-        ms.push_back(m.fitness.ms);
+        ms.push_back(m.fitness.ms());
     EXPECT_EQ(ms, (std::vector<double>{10.0, 11.0, 11.5, 13.0}));
 
     // Default policy: unconditional replacement of the worst slots.
@@ -250,7 +250,7 @@ TEST(Island, FitnessAwareMigrantsOnlyReplaceWorseResidents)
     blind.receiveMigrants({strong, weak});
     ms.clear();
     for (const auto& m : blind.members())
-        ms.push_back(m.fitness.ms);
+        ms.push_back(m.fitness.ms());
     EXPECT_EQ(ms, (std::vector<double>{10.0, 11.0, 11.5, 20.0}));
 }
 

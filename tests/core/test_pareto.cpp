@@ -1,0 +1,537 @@
+/// Multi-objective selection and the device portfolio: domination and
+/// NSGA-II scoring (with the deterministic tie-breaking that keeps
+/// Pareto trajectories reproducible), Population's Pareto ordering,
+/// PortfolioFitness aggregation, the objective/device list parsers, and
+/// engine-level determinism of a Pareto search across thread counts,
+/// backends and portfolio wrapping.
+
+#include "core/objectives.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/population.h"
+#include "core/portfolio.h"
+#include "core/variant_cache.h"
+#include "ir/parser.h"
+#include "sim/device_config.h"
+#include "sim/device_memory.h"
+#include "sim/executor.h"
+#include "sim/program.h"
+
+namespace gevo::core {
+namespace {
+
+// Same toy target as test_engine: a pointless scratch-zeroing loop
+// dominates the runtime, and the fitness validates outputs exactly.
+constexpr const char* kToyKernel = R"(
+kernel @toy params 1 regs 24 shared 512 local 0 {
+entry:
+    r1 = tid
+    r2 = mov 0
+    br memset
+memset:
+    r3 = mul.i32 r2, 4
+    r4 = cvt.i32.i64 r3
+    st.i32.shared r4, 0
+    r2 = add.i32 r2, 1
+    r5 = cmp.lt.i32 r2, 96
+    brc r5, memset, work
+work:
+    r6 = mul.i32 r1, 2
+    r7 = cvt.i32.i64 r1
+    r8 = mul.i64 r7, 4
+    r9 = add.i64 r0, r8
+    st.i32.global r9, r6
+    ret
+}
+)";
+
+/// Per-device-capable toy fitness (the app pattern: evaluate() is
+/// evaluateOn() at the configured device, and the result carries the
+/// full objective vector).
+class ToyFitness : public FitnessFunction {
+  public:
+    FitnessResult
+    evaluate(const CompiledVariant& variant) const override
+    {
+        return evaluateOn(variant, sim::p100());
+    }
+
+    FitnessResult
+    evaluateOn(const CompiledVariant& variant,
+               const sim::DeviceConfig& dev) const override
+    {
+        const auto* prog = variant.programs.find("toy");
+        if (prog == nullptr)
+            return FitnessResult::fail("kernel missing");
+        sim::DeviceMemory mem(1 << 16);
+        const auto out = mem.alloc(64 * 4);
+        const auto res = sim::launchKernel(
+            dev, mem, *prog, {1, 64}, {static_cast<std::uint64_t>(out)});
+        if (!res.ok())
+            return FitnessResult::fail(res.fault.detail);
+        for (int t = 0; t < 64; ++t) {
+            if (mem.read<std::int32_t>(out + t * 4) != t * 2)
+                return FitnessResult::fail("wrong output");
+        }
+        return FitnessResult::pass(res.stats.ms, res.stats);
+    }
+
+    std::string name() const override { return "toy"; }
+};
+
+/// Synthetic per-device values, no simulator: P100 is fast but
+/// traffic-heavy, V100 slow but lean — so worst/mean aggregation and
+/// failure tagging are checkable exactly.
+class StubFitness : public FitnessFunction {
+  public:
+    explicit StubFitness(bool failOnV100 = false) : failOnV100_(failOnV100)
+    {
+    }
+
+    FitnessResult
+    evaluate(const CompiledVariant& variant) const override
+    {
+        return evaluateOn(variant, sim::p100());
+    }
+
+    FitnessResult
+    evaluateOn(const CompiledVariant&,
+               const sim::DeviceConfig& dev) const override
+    {
+        if (dev.name == "P100")
+            return FitnessResult::pass(2.0, 10.0, 1.0);
+        if (failOnV100_)
+            return FitnessResult::fail("stub says no");
+        return FitnessResult::pass(4.0, 6.0, 3.0);
+    }
+
+    std::string name() const override { return "stub"; }
+
+  private:
+    bool failOnV100_;
+};
+
+ir::Module
+toyModule()
+{
+    auto res = ir::parseModule(kToyKernel);
+    EXPECT_TRUE(res.ok) << res.error;
+    return std::move(res.module);
+}
+
+CompiledVariant
+toyVariant(const ir::Module& mod)
+{
+    VariantCompiler compiler(mod);
+    return compiler.compile({});
+}
+
+FitnessResult
+vec(double t, double s, double d)
+{
+    return FitnessResult::pass(t, s, d);
+}
+
+const std::vector<Objective> kTimeSectors = {Objective::Time,
+                                             Objective::Sectors};
+
+// ---- FitnessResult accessors ----
+
+TEST(FitnessResult, ScalarPassFillsOnlyTime)
+{
+    const auto r = FitnessResult::pass(2.5);
+    EXPECT_TRUE(r.valid);
+    ASSERT_EQ(r.objectives.size(), 1u);
+    EXPECT_EQ(r.ms(), 2.5);
+    // Missing dimensions project to 0 (neutral for minimization).
+    EXPECT_EQ(r.objective(FitnessResult::kSectors), 0.0);
+}
+
+TEST(FitnessResult, InvalidProjectsToInfinity)
+{
+    const auto r = FitnessResult::fail("nope");
+    EXPECT_FALSE(r.valid);
+    EXPECT_TRUE(std::isinf(r.ms()));
+    EXPECT_TRUE(std::isinf(r.objective(FitnessResult::kDivergence)));
+    EXPECT_TRUE(FitnessResult::better(FitnessResult::pass(1e30), r));
+}
+
+// ---- domination ----
+
+TEST(Dominates, RequiresNoWorseEverywhereStrictlyBetterSomewhere)
+{
+    const auto a = vec(1.0, 5.0, 0.0);
+    const auto b = vec(2.0, 5.0, 0.0);
+    const auto c = vec(2.0, 4.0, 0.0);
+    EXPECT_TRUE(dominates(a, b, kTimeSectors));
+    EXPECT_FALSE(dominates(b, a, kTimeSectors));
+    // a vs c: better on time, worse on sectors — incomparable.
+    EXPECT_FALSE(dominates(a, c, kTimeSectors));
+    EXPECT_FALSE(dominates(c, a, kTimeSectors));
+    // Equal vectors never dominate each other.
+    EXPECT_FALSE(dominates(a, a, kTimeSectors));
+}
+
+TEST(Dominates, ProjectionIgnoresUnselectedObjectives)
+{
+    // Worse sectors, but the search only minimizes time.
+    const auto a = vec(1.0, 100.0, 0.0);
+    const auto b = vec(2.0, 1.0, 0.0);
+    EXPECT_TRUE(dominates(a, b, {Objective::Time}));
+}
+
+TEST(Dominates, InvalidNeverDominatesAndIsAlwaysDominated)
+{
+    const auto bad = FitnessResult::fail("crash");
+    const auto good = vec(1.0, 1.0, 1.0);
+    EXPECT_FALSE(dominates(bad, good, kTimeSectors));
+    EXPECT_TRUE(dominates(good, bad, kTimeSectors));
+    EXPECT_FALSE(dominates(bad, bad, kTimeSectors));
+}
+
+// ---- NSGA-II scores ----
+
+TEST(ParetoScores, RanksLayerTheFronts)
+{
+    // f0 and f1 are mutually incomparable (rank 0); f2 is dominated by
+    // both (rank 1); f3 by everything (rank 2).
+    const auto f0 = vec(1.0, 4.0, 0.0);
+    const auto f1 = vec(2.0, 2.0, 0.0);
+    const auto f2 = vec(3.0, 5.0, 0.0);
+    const auto f3 = vec(4.0, 6.0, 0.0);
+    const std::vector<const FitnessResult*> pool = {&f0, &f1, &f2, &f3};
+    const std::vector<std::string> keys = {"a", "b", "c", "d"};
+    const auto scores = paretoScores(pool, keys, kTimeSectors);
+    EXPECT_EQ(scores[0].rank, 0u);
+    EXPECT_EQ(scores[1].rank, 0u);
+    EXPECT_EQ(scores[2].rank, 1u);
+    EXPECT_EQ(scores[3].rank, 2u);
+    // Two-member fronts: everyone is a boundary, crowding infinite.
+    EXPECT_TRUE(std::isinf(scores[0].crowding));
+    EXPECT_TRUE(std::isinf(scores[1].crowding));
+}
+
+TEST(ParetoScores, BoundariesInfiniteInteriorFinite)
+{
+    const auto f0 = vec(1.0, 9.0, 0.0);
+    const auto f1 = vec(2.0, 5.0, 0.0);
+    const auto f2 = vec(3.0, 1.0, 0.0);
+    const std::vector<const FitnessResult*> pool = {&f0, &f1, &f2};
+    const auto scores =
+        paretoScores(pool, {"a", "b", "c"}, kTimeSectors);
+    EXPECT_TRUE(std::isinf(scores[0].crowding));
+    EXPECT_TRUE(std::isinf(scores[2].crowding));
+    // Interior point, normalized gaps: (3-1)/(3-1) + (9-1)/(9-1) = 2.
+    EXPECT_DOUBLE_EQ(scores[1].crowding, 2.0);
+    EXPECT_FALSE(std::isinf(scores[1].crowding));
+}
+
+TEST(ParetoScores, IndependentOfInputOrder)
+{
+    // Includes duplicate objective vectors, the case where naive
+    // crowding sweeps become order-dependent.
+    const std::vector<FitnessResult> pool = {
+        vec(1.0, 9.0, 0.0), vec(2.0, 5.0, 0.0), vec(2.0, 5.0, 1.0),
+        vec(3.0, 1.0, 0.0), vec(5.0, 5.0, 0.0),
+    };
+    const std::vector<std::string> keys = {"k0", "k1", "k2", "k3", "k4"};
+    std::vector<std::size_t> perm = {0, 1, 2, 3, 4};
+    std::vector<ParetoScore> reference;
+    do {
+        std::vector<const FitnessResult*> rs;
+        std::vector<std::string> ks;
+        for (const auto i : perm) {
+            rs.push_back(&pool[i]);
+            ks.push_back(keys[i]);
+        }
+        const auto scores = paretoScores(rs, ks, kTimeSectors);
+        // Un-permute so every iteration is comparable.
+        std::vector<ParetoScore> unperm(pool.size());
+        for (std::size_t p = 0; p < perm.size(); ++p)
+            unperm[perm[p]] = scores[p];
+        if (reference.empty()) {
+            reference = unperm;
+            continue;
+        }
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            EXPECT_EQ(unperm[i].rank, reference[i].rank) << i;
+            EXPECT_EQ(unperm[i].crowding, reference[i].crowding) << i;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+// ---- parsers ----
+
+TEST(ObjectiveNames, RoundTripAndAliases)
+{
+    EXPECT_EQ(objectiveByName("cycles"), Objective::Time);
+    EXPECT_EQ(objectiveByName("MS"), Objective::Time);
+    EXPECT_EQ(objectiveByName("memory"), Objective::Sectors);
+    EXPECT_EQ(objectiveByName("div"), Objective::Divergence);
+    const auto all = resolveObjectiveList("all");
+    EXPECT_EQ(all.size(), 3u);
+    EXPECT_EQ(objectiveListName(all), "cycles,sectors,divergence");
+    const auto two = resolveObjectiveList(" cycles , sectors ");
+    EXPECT_EQ(objectiveListName(two), "cycles,sectors");
+}
+
+TEST(ObjectiveNamesDeathTest, UnknownAndDuplicateAreFatalWithListing)
+{
+    EXPECT_EXIT(objectiveByName("watts"),
+                ::testing::ExitedWithCode(1),
+                "unknown objective 'watts' \\(registered: cycles, "
+                "sectors, divergence\\)");
+    EXPECT_EXIT(resolveObjectiveList("cycles,cycles"),
+                ::testing::ExitedWithCode(1), "duplicate objective");
+    EXPECT_EXIT(resolveObjectiveList(""), ::testing::ExitedWithCode(1),
+                "empty objective name");
+}
+
+TEST(DeviceNames, ListResolvesCaseInsensitivelyWithAll)
+{
+    const auto two = sim::resolveDeviceList("p100, v100");
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0].name, "P100");
+    EXPECT_EQ(two[1].name, "V100");
+    EXPECT_EQ(sim::resolveDeviceList("ALL").size(), 3u);
+    EXPECT_EQ(sim::deviceByName("1080ti").name, "GTX1080Ti");
+}
+
+TEST(DeviceNamesDeathTest, UnknownDeviceIsFatalWithListing)
+{
+    EXPECT_EXIT(sim::deviceByName("K80"), ::testing::ExitedWithCode(1),
+                "unknown device 'K80' \\(registered: P100, GTX1080Ti, "
+                "V100\\)");
+    EXPECT_EXIT(sim::resolveDeviceList("p100,,v100"),
+                ::testing::ExitedWithCode(1), "empty device name");
+    EXPECT_EXIT(deviceAggByName("median"), ::testing::ExitedWithCode(1),
+                "unknown device aggregation");
+}
+
+// ---- Population Pareto ordering ----
+
+Individual
+member(std::uint64_t uid, FitnessResult fitness)
+{
+    mut::Edit e;
+    e.kind = mut::EditKind::InstrDelete;
+    e.srcUid = uid;
+    Individual ind;
+    ind.edits = {e};
+    ind.fitness = std::move(fitness);
+    ind.evaluated = true;
+    return ind;
+}
+
+TEST(PopulationPareto, SortOrdersByRankThenCrowdingInvalidLast)
+{
+    const auto mod = toyModule();
+    EvolutionParams params;
+    params.populationSize = 6;
+    params.selection = SelectionKind::Pareto;
+    params.objectives = kTimeSectors;
+    Population pop(mod, params);
+    auto& m = pop.members();
+    m.clear();
+    m.push_back(member(1, vec(3.0, 5.0, 0.0)));  // rank 1
+    m.push_back(member(2, FitnessResult::fail("crash"))); // last
+    m.push_back(member(3, vec(1.0, 9.0, 0.0)));  // rank 0 boundary
+    m.push_back(member(4, vec(2.0, 5.0, 0.0)));  // rank 0 interior
+    m.push_back(member(5, vec(3.0, 1.0, 0.0)));  // rank 0 boundary
+    pop.sortByFitness();
+
+    ASSERT_EQ(pop.size(), 5u);
+    // Rank 0 (3 members) first: the two infinite-crowding boundaries
+    // ahead of the interior point, tie broken by canonical key.
+    EXPECT_EQ(pop.members()[0].paretoRank, 0u);
+    EXPECT_EQ(pop.members()[1].paretoRank, 0u);
+    EXPECT_EQ(pop.members()[2].paretoRank, 0u);
+    EXPECT_TRUE(std::isinf(pop.members()[0].crowding));
+    EXPECT_TRUE(std::isinf(pop.members()[1].crowding));
+    EXPECT_EQ(pop.members()[2].edits[0].srcUid, 4u);
+    EXPECT_EQ(pop.members()[3].paretoRank, 1u);
+    EXPECT_EQ(pop.members()[3].edits[0].srcUid, 1u);
+    EXPECT_FALSE(pop.members()[4].fitness.valid);
+    // best() is a non-dominated member.
+    EXPECT_EQ(pop.best().paretoRank, 0u);
+}
+
+// ---- PortfolioFitness ----
+
+TEST(Portfolio, OfOnePassesThroughBitForBit)
+{
+    const auto mod = toyModule();
+    const auto cv = toyVariant(mod);
+    ToyFitness toy;
+    PortfolioFitness port(toy, {sim::p100()});
+    const auto direct = toy.evaluate(cv);
+    const auto wrapped = port.evaluate(cv);
+    ASSERT_TRUE(direct.valid);
+    EXPECT_EQ(wrapped.valid, direct.valid);
+    EXPECT_EQ(wrapped.objectives, direct.objectives);
+    EXPECT_EQ(wrapped.failReason, direct.failReason);
+}
+
+TEST(Portfolio, WorstTakesPerObjectiveMaximum)
+{
+    const auto mod = toyModule();
+    const auto cv = toyVariant(mod);
+    StubFitness stub;
+    PortfolioFitness port(stub, {sim::p100(), sim::v100()},
+                          DeviceAgg::Worst);
+    const auto r = port.evaluate(cv);
+    ASSERT_TRUE(r.valid);
+    ASSERT_EQ(r.objectives.size(), 3u);
+    EXPECT_EQ(r.objectives[0], 4.0);  // max(2, 4)
+    EXPECT_EQ(r.objectives[1], 10.0); // max(10, 6)
+    EXPECT_EQ(r.objectives[2], 3.0);  // max(1, 3)
+}
+
+TEST(Portfolio, MeanAveragesPerObjective)
+{
+    const auto mod = toyModule();
+    const auto cv = toyVariant(mod);
+    StubFitness stub;
+    PortfolioFitness port(stub, {sim::p100(), sim::v100()},
+                          DeviceAgg::Mean);
+    const auto r = port.evaluate(cv);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.objectives[0], 3.0);
+    EXPECT_EQ(r.objectives[1], 8.0);
+    EXPECT_EQ(r.objectives[2], 2.0);
+}
+
+TEST(Portfolio, AnyDeviceFailureFailsTheVariantTagged)
+{
+    const auto mod = toyModule();
+    const auto cv = toyVariant(mod);
+    StubFitness stub(/*failOnV100=*/true);
+    PortfolioFitness port(stub, {sim::p100(), sim::v100()});
+    const auto r = port.evaluate(cv);
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(r.failReason, "V100: stub says no");
+}
+
+TEST(Portfolio, NameEncodesDevicesAndAggregation)
+{
+    StubFitness stub;
+    PortfolioFitness port(stub, {sim::p100(), sim::v100()},
+                          DeviceAgg::Mean);
+    EXPECT_EQ(port.name(), "stub|portfolio(P100+V100,mean)");
+}
+
+// ---- engine-level determinism ----
+
+EvolutionParams
+paretoParams(std::uint32_t threads, EvalBackendKind backend)
+{
+    EvolutionParams params;
+    params.populationSize = 10;
+    params.generations = 6;
+    params.elitism = 2;
+    params.seed = 5;
+    params.threads = threads;
+    params.backend = backend;
+    params.selection = SelectionKind::Pareto;
+    params.objectives = kTimeSectors;
+    return params;
+}
+
+void
+expectSameTrajectory(const SearchResult& a, const SearchResult& b)
+{
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t g = 0; g < a.history.size(); ++g) {
+        EXPECT_EQ(a.history[g].bestMs, b.history[g].bestMs);
+        EXPECT_EQ(a.history[g].meanMs, b.history[g].meanMs);
+        EXPECT_EQ(a.history[g].paretoFrontSize,
+                  b.history[g].paretoFrontSize);
+        EXPECT_EQ(mut::serializeEdits(a.history[g].bestEdits),
+                  mut::serializeEdits(b.history[g].bestEdits));
+    }
+    ASSERT_EQ(a.paretoFront.size(), b.paretoFront.size());
+    for (std::size_t i = 0; i < a.paretoFront.size(); ++i) {
+        EXPECT_EQ(mut::serializeEdits(a.paretoFront[i].edits),
+                  mut::serializeEdits(b.paretoFront[i].edits));
+        EXPECT_EQ(a.paretoFront[i].fitness.objectives,
+                  b.paretoFront[i].fitness.objectives);
+    }
+}
+
+TEST(EnginePareto, DeterministicAcrossThreadsAndBackends)
+{
+    const auto mod = toyModule();
+    ToyFitness toy;
+    PortfolioFitness port(toy, {sim::p100(), sim::v100()});
+
+    const auto reference =
+        EvolutionEngine(mod, port,
+                        paretoParams(1, EvalBackendKind::InProcess))
+            .run();
+    EXPECT_FALSE(reference.paretoFront.empty());
+    for (const auto& ind : reference.paretoFront)
+        EXPECT_TRUE(ind.fitness.valid);
+
+    const auto threaded =
+        EvolutionEngine(mod, port,
+                        paretoParams(4, EvalBackendKind::InProcess))
+            .run();
+    expectSameTrajectory(reference, threaded);
+
+    const auto isolated =
+        EvolutionEngine(mod, port,
+                        paretoParams(4, EvalBackendKind::Isolated))
+            .run();
+    expectSameTrajectory(reference, isolated);
+}
+
+TEST(EnginePareto, FrontMembersAreMutuallyNonDominated)
+{
+    const auto mod = toyModule();
+    ToyFitness toy;
+    const auto result =
+        EvolutionEngine(mod, toy,
+                        paretoParams(1, EvalBackendKind::InProcess))
+            .run();
+    const auto& front = result.paretoFront;
+    ASSERT_FALSE(front.empty());
+    for (std::size_t i = 0; i < front.size(); ++i)
+        for (std::size_t j = 0; j < front.size(); ++j)
+            EXPECT_FALSE(dominates(front[i].fitness, front[j].fitness,
+                                   kTimeSectors))
+                << i << " dominates " << j;
+}
+
+TEST(EnginePareto, PortfolioOfOneMatchesPlainRunBitForBit)
+{
+    // The single-device portfolio passthrough plus the scalar-default
+    // objective vector make wrapping a no-op for the trajectory.
+    const auto mod = toyModule();
+    ToyFitness toy;
+    PortfolioFitness port(toy, {sim::p100()});
+    EvolutionParams params;
+    params.populationSize = 10;
+    params.generations = 6;
+    params.elitism = 2;
+    params.seed = 5;
+
+    const auto plain = EvolutionEngine(mod, toy, params).run();
+    const auto wrapped = EvolutionEngine(mod, port, params).run();
+    ASSERT_EQ(plain.history.size(), wrapped.history.size());
+    for (std::size_t g = 0; g < plain.history.size(); ++g) {
+        EXPECT_EQ(plain.history[g].bestMs, wrapped.history[g].bestMs);
+        EXPECT_EQ(plain.history[g].meanMs, wrapped.history[g].meanMs);
+        EXPECT_EQ(mut::serializeEdits(plain.history[g].bestEdits),
+                  mut::serializeEdits(wrapped.history[g].bestEdits));
+    }
+    EXPECT_EQ(plain.best.fitness.objectives,
+              wrapped.best.fitness.objectives);
+}
+
+} // namespace
+} // namespace gevo::core

@@ -84,12 +84,12 @@ TEST(VariantCache, LookupInsertAndStats)
     cache.insert(key, FitnessResult::pass(1.5));
     ASSERT_TRUE(cache.lookup(key, &out));
     EXPECT_TRUE(out.valid);
-    EXPECT_DOUBLE_EQ(out.ms, 1.5);
+    EXPECT_DOUBLE_EQ(out.ms(), 1.5);
 
     // Re-insertion is a no-op (results are immutable).
     cache.insert(key, FitnessResult::pass(9.0));
     ASSERT_TRUE(cache.lookup(key, &out));
-    EXPECT_DOUBLE_EQ(out.ms, 1.5);
+    EXPECT_DOUBLE_EQ(out.ms(), 1.5);
 
     const auto stats = cache.stats();
     EXPECT_EQ(stats.hits, 2u);
@@ -116,7 +116,7 @@ TEST(VariantCache, ConcurrentInsertLookup)
             cache.insert(key, FitnessResult::pass(static_cast<double>(k)));
             FitnessResult out;
             ASSERT_TRUE(cache.lookup(key, &out));
-            ASSERT_DOUBLE_EQ(out.ms, static_cast<double>(k));
+            ASSERT_DOUBLE_EQ(out.ms(), static_cast<double>(k));
         }
     });
     EXPECT_EQ(cache.stats().entries, static_cast<std::uint64_t>(kKeys));

@@ -151,7 +151,7 @@ TEST_F(WorkloadRegistryTest, EveryWorkloadEvolvesTwoTinyGenerations)
                                                  instance->fitness());
             EXPECT_TRUE(ceiling.valid) << name << ": "
                                        << ceiling.failReason;
-            EXPECT_LT(ceiling.ms, result.baselineMs) << name;
+            EXPECT_LT(ceiling.ms(), result.baselineMs) << name;
             // The new families' planted edits are dominated-guard folds
             // and duplicate-chain reroutes: correct at every scale, so
             // they must also survive held-out validation. (SIMCoV's

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/portfolio.h"
 #include "ir/parser.h"
 #include "mutation/edit.h"
 #include "sim/device_config.h"
@@ -63,21 +64,27 @@ class ToyFitness : public FitnessFunction {
     FitnessResult
     evaluate(const CompiledVariant& variant) const override
     {
+        return evaluateOn(variant, sim::p100());
+    }
+
+    FitnessResult
+    evaluateOn(const CompiledVariant& variant,
+               const sim::DeviceConfig& dev) const override
+    {
         const auto* prog = variant.programs.find("toy");
         if (prog == nullptr)
             return FitnessResult::fail("kernel missing");
         sim::DeviceMemory mem(1 << 16);
         const auto out = mem.alloc(64 * 4);
         const auto res = sim::launchKernel(
-            sim::p100(), mem, *prog, {1, 64},
-            {static_cast<std::uint64_t>(out)});
+            dev, mem, *prog, {1, 64}, {static_cast<std::uint64_t>(out)});
         if (!res.ok())
             return FitnessResult::fail(res.fault.detail);
         for (int t = 0; t < 64; ++t) {
             if (mem.read<std::int32_t>(out + t * 4) != t * 2)
                 return FitnessResult::fail("wrong output");
         }
-        return FitnessResult::pass(res.stats.ms);
+        return FitnessResult::pass(res.stats.ms, res.stats);
     }
 
     std::string name() const override { return "toy"; }
@@ -136,7 +143,7 @@ expectSameTrajectory(const SearchResult& a, const SearchResult& b)
     }
     EXPECT_EQ(mut::serializeEdits(a.best.edits),
               mut::serializeEdits(b.best.edits));
-    EXPECT_EQ(a.best.fitness.ms, b.best.fitness.ms);
+    EXPECT_EQ(a.best.fitness.ms(), b.best.fitness.ms());
 }
 
 /// One forked worker daemon (plus the session children it forks, all in
@@ -252,6 +259,37 @@ TEST(FarmE2E, RemoteMatchesInProcessTrajectory)
         EXPECT_EQ(remote.evalFailures, 0u);
         EXPECT_EQ(remote.quarantined, 0u);
     }
+}
+
+TEST(FarmE2E, ParetoPortfolioRemoteMatchesInProcess)
+{
+    // Multi-objective selection over a device portfolio, served by real
+    // remote workers: the v2 wire format must carry the full objective
+    // vector with exact bits, or the Pareto ordering drifts.
+    const auto mod = toyModule();
+    ToyFitness toy;
+    PortfolioFitness fitness(toy, {sim::p100(), sim::v100()});
+    ToyWorker w0(mod, fitness), w1(mod, fitness);
+    auto params = smallParams();
+    params.selection = SelectionKind::Pareto;
+    params.objectives = {Objective::Time, Objective::Sectors};
+    params.backend = EvalBackendKind::InProcess;
+    const auto inProcess = EvolutionEngine(mod, fitness, params).run();
+    EXPECT_FALSE(inProcess.paretoFront.empty());
+
+    params.backend = EvalBackendKind::Remote;
+    params.workers = workerList({&w0, &w1});
+    params.evalTimeoutMs = 10000;
+    const auto remote = EvolutionEngine(mod, fitness, params).run();
+    expectSameTrajectory(inProcess, remote);
+    ASSERT_EQ(remote.paretoFront.size(), inProcess.paretoFront.size());
+    for (std::size_t i = 0; i < remote.paretoFront.size(); ++i) {
+        EXPECT_EQ(mut::serializeEdits(remote.paretoFront[i].edits),
+                  mut::serializeEdits(inProcess.paretoFront[i].edits));
+        EXPECT_EQ(remote.paretoFront[i].fitness.objectives,
+                  inProcess.paretoFront[i].fitness.objectives);
+    }
+    EXPECT_EQ(remote.evalFailures, 0u);
 }
 
 TEST(FarmE2E, WorkerKilledMidRunIsAbsorbedByRedispatch)

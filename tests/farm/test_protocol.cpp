@@ -215,7 +215,7 @@ TEST(FarmMessages, EvalReplyRoundTripsExactDoubleBits)
         EvalReply reply;
         reply.seq = 99;
         reply.outcome.result.valid = true;
-        reply.outcome.result.ms = ms;
+        reply.outcome.result.objectives = {ms};
         reply.outcome.result.failReason = "why not";
         reply.outcome.failure = core::EvalFailure::None;
         reply.outcome.simulated = true;
@@ -228,7 +228,7 @@ TEST(FarmMessages, EvalReplyRoundTripsExactDoubleBits)
         ASSERT_TRUE(decodeEvalReply(payload, &out));
         EXPECT_EQ(out.seq, reply.seq);
         EXPECT_EQ(out.outcome.result.valid, reply.outcome.result.valid);
-        EXPECT_EQ(std::bit_cast<std::uint64_t>(out.outcome.result.ms),
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(out.outcome.result.ms()),
                   std::bit_cast<std::uint64_t>(ms));
         EXPECT_EQ(out.outcome.result.failReason,
                   reply.outcome.result.failReason);
@@ -237,6 +237,30 @@ TEST(FarmMessages, EvalReplyRoundTripsExactDoubleBits)
         EXPECT_EQ(out.outcome.rejected, reply.outcome.rejected);
         EXPECT_EQ(out.programKey, reply.programKey);
     }
+}
+
+TEST(FarmMessages, EvalReplyCarriesTheFullObjectiveVector)
+{
+    // v2 wire format: the reply marshals the whole objective vector
+    // (time, sectors, divergence), not just the scalar — a Pareto
+    // search over remote workers depends on every dimension arriving
+    // with exact bits.
+    EvalReply reply;
+    reply.seq = 7;
+    reply.outcome.result =
+        core::FitnessResult::pass(1.25, 96.0, 1.0 / 3.0);
+    reply.outcome.simulated = true;
+    reply.programKey = "k";
+
+    const std::string payload = encodeEvalReply(reply);
+    EvalReply out;
+    ASSERT_TRUE(decodeEvalReply(payload, &out));
+    ASSERT_EQ(out.outcome.result.objectives.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                      out.outcome.result.objectives[i]),
+                  std::bit_cast<std::uint64_t>(
+                      reply.outcome.result.objectives[i]));
 }
 
 TEST(FarmMessages, PingPongRoundTrip)
@@ -435,7 +459,7 @@ TEST(FarmHandshake, MatchingScopeIsAcceptedAndServesEvals)
     ASSERT_TRUE(decodeEvalReply(result, &reply));
     EXPECT_EQ(reply.seq, 5u);
     EXPECT_TRUE(reply.outcome.result.valid);
-    EXPECT_EQ(reply.outcome.result.ms, 1.0);
+    EXPECT_EQ(reply.outcome.result.ms(), 1.0);
 
     std::uint64_t nonce = 0;
     harness.send(encodePing(31337));

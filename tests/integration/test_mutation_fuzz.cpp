@@ -46,7 +46,7 @@ expectModesAgree(const ir::Module& base,
     }
     EXPECT_EQ(trace.valid, ref.valid) << mut::serializeEdits(edits);
     if (trace.valid && ref.valid)
-        EXPECT_EQ(trace.ms, ref.ms) << mut::serializeEdits(edits);
+        EXPECT_EQ(trace.ms(), ref.ms()) << mut::serializeEdits(edits);
     else
         EXPECT_EQ(trace.failReason, ref.failReason)
             << mut::serializeEdits(edits);
@@ -82,7 +82,7 @@ TEST_P(AdeptFuzz, RandomPatchesNeverCrashAndStayDeterministic)
         const auto b = core::evaluateVariant(built.module, edits, fitness);
         EXPECT_EQ(a.valid, b.valid);
         if (a.valid) {
-            EXPECT_DOUBLE_EQ(a.ms, b.ms);
+            EXPECT_DOUBLE_EQ(a.ms(), b.ms());
             ++valid;
         } else {
             EXPECT_FALSE(a.failReason.empty());

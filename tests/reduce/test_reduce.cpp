@@ -79,13 +79,13 @@ TEST(ReduceGolden, AllEditsPassAndSpeedUp)
     const auto golden = core::evaluateVariant(
         built.module, editsOf(allGoldenEdits(built)), fitness);
     ASSERT_TRUE(golden.valid) << golden.failReason;
-    EXPECT_LT(golden.ms, baseline.ms);
+    EXPECT_LT(golden.ms(), baseline.ms());
 
     for (const auto& named : allGoldenEdits(built)) {
         const auto one =
             core::evaluateVariant(built.module, {named.edit}, fitness);
         EXPECT_TRUE(one.valid) << named.name << ": " << one.failReason;
-        EXPECT_LE(one.ms, baseline.ms) << named.name;
+        EXPECT_LE(one.ms(), baseline.ms()) << named.name;
     }
 }
 

@@ -135,8 +135,8 @@ TEST(SimcovGolden, BoundaryRemovalPassesAndSpeedsUpSmallGrid)
         built.module, editsOf(boundaryCheckEdits(built)), fitness);
     ASSERT_TRUE(bnd.valid) << bnd.failReason;
     // Paper Sec VI-D: ~20% improvement from boundary-check removal.
-    EXPECT_GT(base.ms / bnd.ms, 1.12);
-    EXPECT_LT(base.ms / bnd.ms, 1.40);
+    EXPECT_GT(base.ms() / bnd.ms(), 1.12);
+    EXPECT_LT(base.ms() / bnd.ms(), 1.40);
 }
 
 TEST(SimcovGolden, AllGoldenEditsReachPaperBallpark)
@@ -150,8 +150,8 @@ TEST(SimcovGolden, AllGoldenEditsReachPaperBallpark)
         built.module, editsOf(allGoldenEdits(built)), fitness);
     ASSERT_TRUE(all.valid) << all.failReason;
     // Paper Fig 5: 1.29x on the P100.
-    EXPECT_GT(base.ms / all.ms, 1.15);
-    EXPECT_LT(base.ms / all.ms, 1.45);
+    EXPECT_GT(base.ms() / all.ms(), 1.15);
+    EXPECT_LT(base.ms() / all.ms(), 1.45);
 }
 
 TEST(SimcovGolden, BoundaryRemovalFaultsOnLargeTightGrid)

@@ -82,14 +82,14 @@ TEST(StencilGolden, AllEditsPassAndSpeedUp)
     const auto golden = core::evaluateVariant(
         built.module, editsOf(allGoldenEdits(built)), fitness);
     ASSERT_TRUE(golden.valid) << golden.failReason;
-    EXPECT_LT(golden.ms, baseline.ms);
+    EXPECT_LT(golden.ms(), baseline.ms());
 
     // Each planted edit is independently valid and non-degrading.
     for (const auto& named : allGoldenEdits(built)) {
         const auto one =
             core::evaluateVariant(built.module, {named.edit}, fitness);
         EXPECT_TRUE(one.valid) << named.name << ": " << one.failReason;
-        EXPECT_LE(one.ms, baseline.ms) << named.name;
+        EXPECT_LE(one.ms(), baseline.ms()) << named.name;
     }
 }
 
